@@ -1,0 +1,827 @@
+(* Experiment harness: regenerates every experiment in EXPERIMENTS.md.
+   Run `dune exec bench/main.exe` for everything, or pass experiment
+   ids (e1 .. e9, fig31, fig43, micro) to run a subset. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+open Ccv_convert
+module W = Ccv_workload
+module B = Ccv_baselines
+
+let section title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Shared setup for the Figure 4.2 -> 4.4 restructuring                *)
+
+let interpose_op =
+  Schema_change.Interpose
+    { through = W.Company.div_emp;
+      new_entity = W.Company.dept;
+      group_by = [ "DEPT-NAME" ];
+      left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+    }
+
+let net_source prog =
+  let mapping, _ = Mapping.derive_network W.Company.schema in
+  match Generator.to_network mapping prog with
+  | Ok (p, _) -> p
+  | Error e -> failwith ("source generation: " ^ e)
+
+let company_setup n =
+  let sdb =
+    if n = 0 then W.Company.instance () else W.Company.scaled ~seed:42 ~n
+  in
+  let sm, sns = Mapping.derive_network W.Company.schema in
+  let source_db = Mapping.load_network sm sns sdb in
+  let sdb', _ = Result.get_ok (Data_translate.translate sdb interpose_op) in
+  let target_schema = Schema_change.apply_exn W.Company.schema interpose_op in
+  let tm, tns = Mapping.derive_network target_schema in
+  let target_db = Mapping.load_network tm tns sdb' in
+  (sdb, source_db, tm, target_db)
+
+(* ------------------------------------------------------------------ *)
+(* E1: emulation / bridge overhead vs rewritten program                *)
+
+(* md-sales against scaled instances: division DIV001 exists there. *)
+let scaled_sales_query =
+  { Aprog.name = "DIV-SALES";
+    body =
+      [ Aprog.For_each
+          { query =
+              [ Apattern.Self
+                  { target = "DIV";
+                    qual =
+                      Cond.Cmp
+                        ( Cond.Eq,
+                          Cond.Field "DIV-NAME",
+                          Cond.Const (Value.Str "DIV001") );
+                  };
+                Apattern.Assoc_via
+                  { assoc = W.Company.div_emp; source = "DIV"; qual = Cond.True };
+                Apattern.Via_assoc
+                  { target = "EMP";
+                    assoc = W.Company.div_emp;
+                    qual =
+                      Cond.Cmp
+                        ( Cond.Eq,
+                          Cond.Field "DEPT-NAME",
+                          Cond.Const (Value.Str "SALES") );
+                  };
+              ];
+            body = [ Aprog.Display [ Host.v "EMP.EMP-NAME" ] ];
+          };
+      ];
+  }
+
+let e1 () =
+  section
+    "E1  Cost of conversion strategies under the Fig 4.2->4.4 split \
+     (paper claim: emulation and bridge suffer \"degraded efficiency\", \
+     §2.1.2)";
+  let req =
+    { Supervisor.source_schema = W.Company.schema;
+      source_model = Mapping.Net;
+      ops = [ interpose_op ];
+      target_model = Mapping.Net;
+    }
+  in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (pname, prog) ->
+          let _sdb, source_db, tm, target_db = company_setup n in
+          let source = net_source prog in
+          let src_run =
+            Engines.run (Engines.Net_db source_db) (Engines.Net_program source)
+          in
+          let report =
+            match Supervisor.convert_program req (Engines.Net_program source) with
+            | Ok r -> r
+            | Error (stage, e) -> failwith (stage ^ ": " ^ e)
+          in
+          let conv_run, conv_ms =
+            time_ms (fun () ->
+                Engines.run (Engines.Net_db target_db)
+                  report.Supervisor.target_program)
+          in
+          let emu =
+            B.Emulation.create ~source_schema:W.Company.schema ~op:interpose_op
+              tm
+          in
+          let (_, emu_acc), emu_ms =
+            time_ms (fun () -> B.Emulation.run emu target_db source)
+          in
+          let bridge =
+            B.Bridge.create ~source_schema:W.Company.schema
+              ~ops:[ interpose_op ] tm
+          in
+          let (_, bridge_acc), bridge_ms =
+            time_ms (fun () -> B.Bridge.run bridge target_db source)
+          in
+          rows :=
+            [ string_of_int n;
+              pname;
+              string_of_int src_run.Engines.accesses;
+              string_of_int conv_run.Engines.accesses;
+              string_of_int emu_acc;
+              string_of_int bridge_acc;
+              Tablefmt.float_cell conv_ms;
+              Tablefmt.float_cell emu_ms;
+              Tablefmt.float_cell bridge_ms;
+            ]
+            :: !rows)
+        [ ("md-age", W.Programs.maryland_age_query);
+          ("div-sales", scaled_sales_query);
+        ])
+    [ 20; 50; 100; 200 ];
+  Tablefmt.print
+    ~title:
+      "accesses and wall time per strategy (converted = rewritten program)"
+    ~aligns:
+      [ Tablefmt.Right; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right;
+      ]
+    [ "n(emp)"; "program"; "source acc"; "converted acc"; "emulated acc";
+      "bridge acc"; "conv ms"; "emu ms"; "bridge ms";
+    ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E2: conversion coverage by restructuring class                      *)
+
+let restructurings =
+  [ ("rename-entity",
+     [ Schema_change.Rename_entity { from_ = "EMP"; to_ = "EMPLOYEE" } ]);
+    ("rename-field",
+     [ Schema_change.Rename_field
+         { entity = "EMP"; from_ = "AGE"; to_ = "EMP-AGE" };
+     ]);
+    ("add-field",
+     [ Schema_change.Add_field
+         { entity = "EMP";
+           field = Field.make "SALARY" Value.Tint;
+           default = Value.Int 0;
+         };
+     ]);
+    ("drop-field",
+     [ Schema_change.Drop_field { entity = "EMP"; field = "AGE" } ]);
+    ("add-constraint",
+     [ Schema_change.Add_constraint
+         (Semantic.Field_not_null { entity = "EMP"; field = "DEPT-NAME" });
+     ]);
+    ("widen-card",
+     [ Schema_change.Drop_constraint (Semantic.Total_right W.Company.div_emp);
+       Schema_change.Widen_cardinality { assoc = W.Company.div_emp };
+     ]);
+    ("interpose", [ interpose_op ]);
+  ]
+
+let e2 () =
+  section
+    "E2  Conversion coverage by restructuring class (anchor: §2.1.1's \
+     65-70% success for conventional converters; §5.2's levels of \
+     successful conversion)";
+  let sample = W.Company.instance () in
+  let programs =
+    W.Generator.batch ~seed:2024 W.Company.schema ~sample ~n:60 ()
+  in
+  (* Build concrete network sources; drop the few whose chains the
+     network model cannot host (counted separately). *)
+  let mapping, _ = Mapping.derive_network W.Company.schema in
+  let sources =
+    List.filter_map
+      (fun (fam, prog) ->
+        match Generator.to_network mapping prog with
+        | Ok (p, _) -> Some (fam, p)
+        | Error _ -> None)
+      programs
+  in
+  let total = List.length sources in
+  let rows =
+    List.map
+      (fun (cname, ops) ->
+        let req =
+          { Supervisor.source_schema = W.Company.schema;
+            source_model = Mapping.Net;
+            ops;
+            target_model = Mapping.Net;
+          }
+        in
+        let converted = ref 0 and strict = ref 0 and modulo = ref 0 in
+        let divergent = ref 0 and refused = ref 0 in
+        List.iter
+          (fun (_fam, source) ->
+            let sdb = W.Company.instance () in
+            match
+              Supervisor.convert_and_verify req (Engines.Net_program source) sdb
+            with
+            | Error _ -> incr refused
+            | Ok outcome -> (
+                incr converted;
+                match outcome.Supervisor.verdict with
+                | Equivalence.Strict -> incr strict
+                | Equivalence.Modulo_order -> incr modulo
+                | Equivalence.Divergent _ -> incr divergent))
+          sources;
+        let pct x = Printf.sprintf "%3.0f%%" (100. *. float x /. float total) in
+        [ cname;
+          string_of_int total;
+          pct !converted;
+          pct !strict;
+          pct !modulo;
+          pct !divergent;
+          pct !refused;
+        ])
+      restructurings
+  in
+  Tablefmt.print
+    ~title:
+      "generated network programs converted per class (refused = flagged \
+       for the conversion analyst)"
+    [ "class"; "programs"; "converted"; "strict-eq"; "order-eq"; "divergent";
+      "refused";
+    ]
+    rows;
+  (* Second table: pure model-to-model conversion of the same corpus
+     (no schema change) — the §4.1 "conversion from one DBMS to
+     another" coverage. *)
+  let model_rows =
+    List.map
+      (fun (tname, target) ->
+        let req =
+          { Supervisor.source_schema = W.Company.schema;
+            source_model = Mapping.Net;
+            ops = [];
+            target_model = target;
+          }
+        in
+        let strict = ref 0 and modulo = ref 0 in
+        let divergent = ref 0 and refused = ref 0 in
+        List.iter
+          (fun (_fam, source) ->
+            let sdb = W.Company.instance () in
+            match
+              Supervisor.convert_and_verify req (Engines.Net_program source) sdb
+            with
+            | Error _ -> incr refused
+            | Ok outcome -> (
+                match outcome.Supervisor.verdict with
+                | Equivalence.Strict -> incr strict
+                | Equivalence.Modulo_order -> incr modulo
+                | Equivalence.Divergent _ -> incr divergent))
+          sources;
+        let pct x = Printf.sprintf "%3.0f%%" (100. *. float x /. float total) in
+        [ "net -> " ^ tname; string_of_int total; pct !strict; pct !modulo;
+          pct !divergent; pct !refused;
+        ])
+      [ ("rel", Mapping.Rel); ("net", Mapping.Net); ("hier", Mapping.Hier) ]
+  in
+  print_newline ();
+  Tablefmt.print
+    ~title:"cross-model conversion of the same corpus (no schema change)"
+    [ "direction"; "programs"; "strict-eq"; "order-eq"; "divergent"; "refused" ]
+    model_rows
+
+(* ------------------------------------------------------------------ *)
+(* E3: the Maryland worked example, end to end                         *)
+
+let fig43_text =
+  {|SCHEMA NAME IS COMPANY-NAME
+RECORD SECTION;
+  RECORD NAME IS DIV.
+  FIELDS ARE.
+    DIV-NAME PIC X(20).
+    DIV-LOC PIC X(10).
+  END RECORD.
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    EMP-NAME PIC X(25).
+    DEPT-NAME PIC X(5).
+    AGE PIC 9(2).
+    DIV-NAME VIRTUAL
+      VIA DIV-EMP
+      USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+  SET NAME IS ALL-DIV.
+  OWNER IS SYSTEM.
+  MEMBER IS DIV.
+  SET KEYS ARE (DIV-NAME).
+  END SET.
+  SET NAME IS ALL-EMP.
+  OWNER IS SYSTEM.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+  SET NAME IS DIV-EMP.
+  OWNER IS DIV.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+END SET SECTION.
+END SCHEMA.|}
+
+let e3 () =
+  section
+    "E3  Figure 4.2 -> Figure 4.4: the §4.2 FIND statements under the \
+     DEPT interposition";
+  let ddl = Ccv_frontend.Ddl.parse fig43_text in
+  let finds =
+    [ ("example 1 (age > 30)",
+       "FIND(EMP: SYSTEM, ALL-DIV, DIV, DIV-EMP, EMP(AGE > 30))");
+      ("example 2 (machinery sales)",
+       "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, \
+        EMP(DEPT-NAME = 'SALES'))");
+    ]
+  in
+  List.iter
+    (fun (label, text) ->
+      let f = Ccv_frontend.Dml_parse.parse_find ddl text in
+      Printf.printf "source %s:\n  %s\n" label text;
+      let converted, issues =
+        match Rules.convert W.Company.schema interpose_op
+                { Aprog.name = "F"; body = [ Aprog.For_each { query = f.Ccv_frontend.Dml_parse.query; body = [] } ] }
+        with
+        | Ok (p, issues) -> (p, issues)
+        | Error e -> failwith e
+      in
+      let query' =
+        match converted.Aprog.body with
+        | [ Aprog.For_each { query; _ } ] -> query
+        | _ -> failwith "unexpected shape"
+      in
+      Printf.printf "converted:\n  %s\n"
+        (Ccv_frontend.Dml_parse.find_of_query ~target:"EMP" query');
+      List.iter (fun i -> Printf.printf "  note: %s\n" i) issues;
+      (* verify operationally *)
+      let prog query =
+        { Aprog.name = "F";
+          body =
+            [ Aprog.For_each
+                { query; body = [ Aprog.Display [ Host.v "EMP.EMP-NAME" ] ] }
+            ];
+        }
+      in
+      let sdb = W.Company.instance () in
+      let before = Ainterp.run sdb (prog f.Ccv_frontend.Dml_parse.query) in
+      let sdb', _ = Result.get_ok (Data_translate.translate sdb interpose_op) in
+      let after = Ainterp.run sdb' (prog query') in
+      Printf.printf "verdict: %s\n\n"
+        (Fmt.str "%a" Equivalence.pp_verdict
+           (Equivalence.compare_traces before.Ainterp.trace after.Ainterp.trace)))
+    finds
+
+(* ------------------------------------------------------------------ *)
+(* E4: optimizer effect                                                *)
+
+let e4 () =
+  section "E4  Optimizer effect on access-path length and accesses (§5.4)";
+  (* Programs with late guards, as a naive converter would leave them. *)
+  let guarded name entity field value display =
+    { Aprog.name;
+      body =
+        [ Aprog.For_each
+            { query = [ Apattern.Self { target = entity; qual = Cond.True } ];
+              body =
+                [ Aprog.If
+                    ( Cond.Cmp
+                        ( Cond.Eq,
+                          Cond.Var (entity ^ "." ^ field),
+                          Cond.Const value ),
+                      [ Aprog.Display [ Host.v display ] ],
+                      [] );
+                ];
+            };
+        ];
+    }
+  in
+  let chain_guarded =
+    { Aprog.name = "CHAIN";
+      body =
+        [ Aprog.For_each
+            { query =
+                [ Apattern.Self { target = "DIV"; qual = Cond.True };
+                  Apattern.Assoc_via
+                    { assoc = W.Company.div_emp; source = "DIV";
+                      qual = Cond.True };
+                  Apattern.Via_assoc
+                    { target = "EMP"; assoc = W.Company.div_emp;
+                      qual = Cond.True };
+                ];
+              body =
+                [ Aprog.If
+                    ( Cond.And
+                        ( Cond.Cmp
+                            ( Cond.Eq,
+                              Cond.Var "DIV.DIV-NAME",
+                              Cond.Const (Value.Str "MACHINERY") ),
+                          Cond.Cmp
+                            ( Cond.Eq,
+                              Cond.Var "EMP.DEPT-NAME",
+                              Cond.Const (Value.Str "SALES") ) ),
+                      [ Aprog.Display [ Host.v "EMP.EMP-NAME" ] ],
+                      [] );
+                ];
+            };
+        ];
+    }
+  in
+  let progs =
+    [ ("late-guard scan",
+       guarded "SCAN" "EMP" "DEPT-NAME" (Value.Str "SALES") "EMP.EMP-NAME");
+      ("late-guard chain", chain_guarded);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        let sdb = W.Company.scaled ~seed:9 ~n:120 in
+        let before_acc =
+          Counters.total (Sdb.counters sdb) |> fun b ->
+          ignore (Ainterp.run sdb p);
+          Counters.total (Sdb.counters sdb) - b
+        in
+        let p', log = Optimizer.optimize W.Company.schema p in
+        let after_acc =
+          let b = Counters.total (Sdb.counters sdb) in
+          ignore (Ainterp.run sdb p');
+          Counters.total (Sdb.counters sdb) - b
+        in
+        [ name;
+          string_of_int (Aprog.size p);
+          string_of_int (Aprog.size p');
+          string_of_int before_acc;
+          string_of_int after_acc;
+          string_of_int (List.length log);
+        ])
+      progs
+  in
+  Tablefmt.print
+    ~title:"before/after the optimizer (accesses on the reference engine)"
+    [ "program"; "stmts before"; "stmts after"; "acc before"; "acc after";
+      "rewrites";
+    ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* E5: declarative vs procedural integrity (§3.1)                      *)
+
+let e5 () =
+  section
+    "E5  Integrity constraints: declarative model enforcement vs \
+     program-embedded checks (§3.1)";
+  let sdb = W.School.instance () in
+  let outcomes = ref [] in
+  let record name result = outcomes := (name, result) :: !outcomes in
+  (* 1. Offering for a missing course (existence constraint). *)
+  (match
+     Sdb.link sdb W.School.offering ~left:[ Value.Str "C999" ]
+       ~right:[ Value.Str "F78" ]
+   with
+  | Error (Status.Constraint_violation _) -> record "dangling offering" "rejected"
+  | Error s -> record "dangling offering" (Status.show s)
+  | Ok _ -> record "dangling offering" "ACCEPTED (corruption)");
+  (* 2. Third offering of one course (participation limit). *)
+  let sdb2 =
+    Sdb.link_exn sdb W.School.offering ~left:[ Value.Str "C102" ]
+      ~right:[ Value.Str "S79" ]
+  in
+  (match
+     Sdb.link sdb2 W.School.offering ~left:[ Value.Str "C102" ]
+       ~right:[ Value.Str "F79" ]
+   with
+  | Error (Status.Constraint_violation _) ->
+      record "3rd offering of C102" "rejected (limit 2)"
+  | Error s -> record "3rd offering of C102" (Status.show s)
+  | Ok _ -> record "3rd offering of C102" "ACCEPTED (corruption)");
+  (* 3. Null CNAME (field constraint). *)
+  (match
+     Sdb.insert_entity sdb W.School.course
+       (Row.of_list [ ("CNO", Value.Str "C900"); ("CNAME", Value.Null) ])
+   with
+  | Error (Status.Constraint_violation _) -> record "null CNAME" "rejected"
+  | Error s -> record "null CNAME" (Status.show s)
+  | Ok _ -> record "null CNAME" "ACCEPTED (corruption)");
+  (* 4. The ERASE-cascade hazard on the network realization: deleting a
+     semester with ERASE ALL silently deletes offerings (the paper's
+     DELETE/ERASE example). *)
+  let mapping, nschema = Mapping.derive_network W.School.schema in
+  let ndb = Mapping.load_network mapping nschema sdb in
+  let module Ndb = Ccv_network.Ndb in
+  let offerings_before =
+    List.length (Ndb.all_keys_silent ndb "COURSE-OFFERING")
+  in
+  let sem_key = List.hd (Ndb.all_keys_silent ndb "SEMESTER") in
+  (match Ndb.erase ndb Ndb.Erase_all sem_key with
+  | Ok ndb' ->
+      let offerings_after =
+        List.length (Ndb.all_keys_silent ndb' "COURSE-OFFERING")
+      in
+      record "ERASE ALL semester (network)"
+        (Printf.sprintf "cascaded: %d -> %d offerings silently gone"
+           offerings_before offerings_after)
+  | Error s -> record "ERASE ALL semester (network)" (Status.show s));
+  (* 5. Same deletion at the semantic level keeps an audit trail. *)
+  (match
+     Sdb.delete_entity sdb W.School.semester [ Value.Str "F78" ] ~cascade:false
+   with
+  | Ok sdb' ->
+      record "delete semester (semantic, no cascade)"
+        (match Sdb.validate sdb' with
+        | [] -> "clean"
+        | v -> Printf.sprintf "%d audited violations" (List.length v))
+  | Error (Status.Constraint_violation _) ->
+      record "delete semester (semantic, no cascade)" "rejected"
+  | Error s -> record "delete semester (semantic, no cascade)" (Status.show s));
+  Tablefmt.print
+    ~title:"constraint scenarios (school database, Figure 3.1)"
+    [ "scenario"; "outcome" ]
+    (List.rev_map (fun (a, b) -> [ a; b ]) !outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* E6: the §4.1 access-pattern example in SEQUEL and CODASYL           *)
+
+let e6 () =
+  section
+    "E6  §4.1 example: one access-pattern sequence, generated to SEQUEL \
+     and to CODASYL DML, executed equivalently";
+  let prog = W.Programs.su_d2_query in
+  Printf.printf "access-pattern representation:\n%s\n"
+    (Fmt.str "%a" Apattern.pp (List.hd (Aprog.queries prog)));
+  let sdb = W.Empdept.instance () in
+  let rel_mapping, rschema = Mapping.derive_relational W.Empdept.schema in
+  let rdb = Mapping.load_relational rschema sdb in
+  let net_mapping, nschema = Mapping.derive_network W.Empdept.schema in
+  let ndb = Mapping.load_network net_mapping nschema sdb in
+  let rel_prog =
+    match Generator.to_relational rel_mapping prog with
+    | Ok (p, _) -> p
+    | Error e -> failwith e
+  in
+  let net_prog =
+    match Generator.to_network net_mapping prog with
+    | Ok (p, _) -> p
+    | Error e -> failwith e
+  in
+  Printf.printf "\n--- SEQUEL form ---\n%s\n"
+    (Fmt.str "%a" (Host.pp ~dml:Engines.Rel_dml.pp) rel_prog);
+  Printf.printf "\n--- CODASYL form ---\n%s\n"
+    (Fmt.str "%a" (Host.pp ~dml:Ccv_network.Dml.pp) net_prog);
+  let r1 = Engines.run (Engines.Rel_db rdb) (Engines.Rel_program rel_prog) in
+  let r2 = Engines.run (Engines.Net_db ndb) (Engines.Net_program net_prog) in
+  Printf.printf "relational output: %s\n"
+    (String.concat " | " (Io_trace.terminal_lines r1.Engines.trace));
+  Printf.printf "network output:    %s\n"
+    (String.concat " | " (Io_trace.terminal_lines r2.Engines.trace));
+  Printf.printf "verdict: %s\n"
+    (Fmt.str "%a" Equivalence.pp_verdict
+       (Equivalence.compare_traces r1.Engines.trace r2.Engines.trace))
+
+(* ------------------------------------------------------------------ *)
+(* E7: analyzer template coverage and hazards                          *)
+
+let e7 () =
+  section
+    "E7  Program-analyzer template coverage (§5.3) and §3.2 hazard \
+     detection";
+  let mapping, _ = Mapping.derive_network W.Company.schema in
+  (* hand-built variants *)
+  let rows =
+    List.map
+      (fun (name, prog, expected) ->
+        match Analyzer.analyze_network mapping prog with
+        | Ok { Analyzer.hazards; _ } ->
+            [ name; "analyzed";
+              (if hazards = [] then "-" else String.concat "; " hazards);
+              (if expected then "as expected" else "UNEXPECTED");
+            ]
+        | Error reason ->
+            [ name; "refused"; reason;
+              (if expected then "UNEXPECTED" else "as expected");
+            ])
+      (W.Generator.non_template_variants W.Company.schema)
+  in
+  Tablefmt.print ~title:"hand-written program variants"
+    [ "program"; "analysis"; "diagnostics"; "check" ]
+    rows;
+  (* generated corpus round-trip *)
+  let sample = W.Company.instance () in
+  let corpus = W.Generator.batch ~seed:77 W.Company.schema ~sample ~n:80 () in
+  let attempted = ref 0 and analyzed = ref 0 and behaved = ref 0 in
+  List.iter
+    (fun (_fam, aprog) ->
+      match Generator.to_network mapping aprog with
+      | Error _ -> ()
+      | Ok (source, _) -> (
+          incr attempted;
+          match Analyzer.analyze_network mapping source with
+          | Error _ -> ()
+          | Ok { Analyzer.aprog = recovered; _ } ->
+              incr analyzed;
+              let sdb = W.Company.instance () in
+              let r1 = Ainterp.run sdb aprog in
+              let r2 = Ainterp.run sdb recovered in
+              if Io_trace.equal r1.Ainterp.trace r2.Ainterp.trace then
+                incr behaved))
+    corpus;
+  Printf.printf
+    "\ngenerated corpus: %d programs, %d analyzed (%.0f%%), %d behaviour-\n\
+     preserving round-trips (%.0f%%)\n"
+    !attempted !analyzed
+    (100. *. float !analyzed /. float !attempted)
+    !behaved
+    (100. *. float !behaved /. float !attempted)
+
+(* ------------------------------------------------------------------ *)
+(* E8: data translation throughput                                     *)
+
+let e8 () =
+  section "E8  Data translation throughput (records+links per second)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let sdb = W.Company.scaled ~seed:4 ~n in
+      let volume = Sdb.total_instances sdb in
+      List.iter
+        (fun (name, op) ->
+          let (_ : Sdb.t), ms =
+            time_ms (fun () -> Data_translate.translate_exn sdb op)
+          in
+          rows :=
+            [ string_of_int n; name; string_of_int volume;
+              Tablefmt.float_cell ms;
+              Tablefmt.float_cell (float volume /. (ms /. 1000.) /. 1000.);
+            ]
+            :: !rows)
+        [ ("rename-entity",
+           Schema_change.Rename_entity { from_ = "EMP"; to_ = "EMPLOYEE" });
+          ("add-field",
+           Schema_change.Add_field
+             { entity = "EMP";
+               field = Field.make "SALARY" Value.Tint;
+               default = Value.Int 0;
+             });
+          ("interpose", interpose_op);
+        ])
+    [ 100; 400; 1000 ];
+  Tablefmt.print
+    ~title:"semantic-level restructuring translation"
+    ~aligns:
+      [ Tablefmt.Right; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right;
+      ]
+    [ "n(emp)"; "operator"; "instances"; "ms"; "k inst/s" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* E9: inverse mappings (Housel)                                       *)
+
+let e9 () =
+  section
+    "E9  Invertibility of restructuring operators (Housel's assumption, \
+     §2.2) and round-trip checks";
+  let sdb = W.Company.instance () in
+  let rows =
+    List.map
+      (fun (name, ops) ->
+        match ops with
+        | [ op ] ->
+            let verdict = Inverse.invert W.Company.schema op in
+            let roundtrip =
+              match Inverse.roundtrip sdb op with
+              | Some true -> "contents restored"
+              | Some false -> "NOT restored"
+              | None -> "no inverse"
+            in
+            [ name; Fmt.str "%a" Inverse.pp_verdict verdict; roundtrip ]
+        | _ -> [ name; "(multi-op)"; "-" ])
+      restructurings
+  in
+  Tablefmt.print ~title:"T^-1(T(db)) = db ?"
+    [ "operator"; "invertibility"; "round-trip" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+
+let fig31 () =
+  section
+    "F3.1  The school database: one semantic schema, its relational \
+     (Fig 3.1a) and CODASYL (Fig 3.1b) realizations";
+  Printf.printf "semantic schema:\n%s\n\n"
+    (Fmt.str "%a" Semantic.pp W.School.schema);
+  let _m, rschema = Mapping.derive_relational W.School.schema in
+  Printf.printf "relational (Figure 3.1a):\n%s\n\n"
+    (Fmt.str "%a" Ccv_relational.Rschema.pp rschema);
+  let _m, nschema = Mapping.derive_network W.School.schema in
+  Printf.printf "network (Figure 3.1b):\n%s\n"
+    (Fmt.str "%a" Ccv_network.Nschema.pp nschema)
+
+let fig43 () =
+  section "F4.3  Maryland DDL round-trip (Figure 4.3)";
+  let ddl = Ccv_frontend.Ddl.parse fig43_text in
+  let printed = Ccv_frontend.Ddl.to_string ddl in
+  Printf.printf "%s\n" printed;
+  let again = Ccv_frontend.Ddl.parse printed in
+  Printf.printf "round-trip: %s\n"
+    (if ddl = again then "stable" else "UNSTABLE")
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel)                                         *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel, monotonic clock)";
+  let open Bechamel in
+  let sdb = W.Company.scaled ~seed:13 ~n:200 in
+  let net_mapping, nschema = Mapping.derive_network W.Company.schema in
+  let ndb = Mapping.load_network net_mapping nschema sdb in
+  let rel_mapping, rschema = Mapping.derive_relational W.Company.schema in
+  let rdb = Mapping.load_relational rschema sdb in
+  let hier_mapping, hschema = Mapping.derive_hier W.Company.schema in
+  let hdb = Mapping.load_hier hier_mapping hschema sdb in
+  let net_prog = net_source W.Programs.maryland_sales_query in
+  let rel_prog =
+    Result.get_ok (Generator.to_relational rel_mapping W.Programs.maryland_sales_query)
+    |> fst
+  in
+  let hier_prog =
+    Result.get_ok (Generator.to_hier hier_mapping W.Programs.maryland_sales_query)
+    |> fst
+  in
+  let tests =
+    [ Test.make ~name:"net: FIND sweep (md-sales)" (Staged.stage (fun () ->
+          ignore (Engines.run (Engines.Net_db ndb) (Engines.Net_program net_prog))));
+      Test.make ~name:"rel: cursor sweep (md-sales)" (Staged.stage (fun () ->
+          ignore (Engines.run (Engines.Rel_db rdb) (Engines.Rel_program rel_prog))));
+      Test.make ~name:"hier: GN sweep (md-sales)" (Staged.stage (fun () ->
+          ignore
+            (Engines.run (Engines.Hier_db hdb) (Engines.Hier_program hier_prog))));
+      Test.make ~name:"analyze (network md-sales)" (Staged.stage (fun () ->
+          ignore (Analyzer.analyze_network net_mapping net_prog)));
+      Test.make ~name:"convert (interpose rule)" (Staged.stage (fun () ->
+          ignore
+            (Rules.convert W.Company.schema interpose_op
+               W.Programs.maryland_sales_query)));
+      Test.make ~name:"translate (interpose, n=200)" (Staged.stage (fun () ->
+          ignore (Data_translate.translate_exn sdb interpose_op)));
+      Test.make ~name:"generate (network)" (Staged.stage (fun () ->
+          ignore (Generator.to_network net_mapping W.Programs.maryland_sales_query)));
+    ]
+  in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                     ~predictors:[| Measure.run |])
+        (Toolkit.Instance.monotonic_clock) raw
+    in
+    results
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "%-36s %12.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-36s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("fig31", fig31); ("fig43", fig43);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id all with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (have: %s)\n" id
+            (String.concat ", " (List.map fst all)))
+    requested

@@ -1,0 +1,158 @@
+(* convertc — the conversion system as a command-line tool.
+
+   Takes a Maryland DDL schema file, a program file in the FIND/DISPLAY
+   syntax, and a restructuring description; prints the converted
+   program and the supervisor's issue log.
+
+   Restructuring syntax (one operator per --op, applied in order):
+
+     rename-entity OLD NEW
+     rename-field ENTITY OLD NEW
+     rename-assoc OLD NEW
+     add-field ENTITY FIELD (str|int)
+     drop-field ENTITY FIELD
+     interpose THROUGH NEW-ENTITY GROUP-FIELD LEFT-ASSOC RIGHT-ASSOC
+     widen ASSOC
+     restrict ENTITY FIELD VALUE   (drop instances where FIELD = VALUE)
+
+   Example:
+
+     convertc --schema fig43.ddl --program list-sales.prog \
+       --op "interpose DIV-EMP DEPT DEPT-NAME DIV-DEPT DEPT-EMP" *)
+
+open Cmdliner
+open Ccv_common
+open Ccv_abstract
+open Ccv_transform
+open Ccv_convert
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_op s =
+  match String.split_on_char ' ' (String.trim s) |> List.filter (( <> ) "") with
+  | [ "rename-entity"; a; b ] ->
+      Ok (Schema_change.Rename_entity { from_ = a; to_ = b })
+  | [ "rename-field"; e; a; b ] ->
+      Ok (Schema_change.Rename_field { entity = e; from_ = a; to_ = b })
+  | [ "rename-assoc"; a; b ] ->
+      Ok (Schema_change.Rename_assoc { from_ = a; to_ = b })
+  | [ "add-field"; e; f; ty ] ->
+      let ty, default =
+        match String.lowercase_ascii ty with
+        | "int" -> (Value.Tint, Value.Int 0)
+        | _ -> (Value.Tstr, Value.Str "")
+      in
+      Ok (Schema_change.Add_field { entity = e; field = Field.make f ty; default })
+  | [ "drop-field"; e; f ] ->
+      Ok (Schema_change.Drop_field { entity = e; field = f })
+  | [ "interpose"; through; n; g; la; ra ] ->
+      Ok
+        (Schema_change.Interpose
+           { through; new_entity = n; group_by = [ g ]; left_assoc = la;
+             right_assoc = ra })
+  | [ "widen"; a ] -> Ok (Schema_change.Widen_cardinality { assoc = a })
+  | [ "restrict"; e; f; v ] ->
+      let v = Option.value (Value.of_literal v) ~default:(Value.Str v) in
+      Ok
+        (Schema_change.Restrict_extension
+           { entity = e; qual = Cond.eq_field_const f v })
+  | _ -> Error (Fmt.str "cannot parse operator %S" s)
+
+let run schema_path program_path ops_raw verbose =
+  let ddl = Ccv_frontend.Ddl.parse (read_file schema_path) in
+  let source_schema = Ccv_frontend.Ddl.to_semantic ddl in
+  let aprog, notes =
+    Ccv_frontend.Dml_parse.parse_program ddl (read_file program_path)
+  in
+  List.iter (Printf.printf "note: %s\n") notes;
+  let ops =
+    List.map
+      (fun s ->
+        match parse_op s with Ok op -> op | Error e -> failwith e)
+      ops_raw
+  in
+  (* Build the concrete CODASYL source from the parsed program, then
+     run the full pipeline. *)
+  let source_mapping = Supervisor.mapping_for Mapping.Net source_schema in
+  let source =
+    match Generator.generate source_mapping aprog with
+    | Ok g -> g.Generator.program
+    | Error e -> failwith ("source program not realizable: " ^ e)
+  in
+  if verbose then
+    Printf.printf "--- source (CODASYL) ---\n%s\n"
+      (Fmt.str "%a" Engines.pp_program source);
+  let req =
+    { Supervisor.source_schema;
+      source_model = Mapping.Net;
+      ops;
+      target_model = Mapping.Net;
+    }
+  in
+  match Supervisor.convert_program req source with
+  | Error (stage, reason) ->
+      Printf.printf "conversion failed at %s: %s\n" stage reason;
+      exit 1
+  | Ok report ->
+      Printf.printf "--- classification ---\n";
+      List.iter
+        (fun (op, cls) ->
+          Printf.printf "%s  [%s]\n"
+            (Schema_change.show_op op)
+            (Schema_change.show_class cls))
+        report.Supervisor.classification;
+      Printf.printf "\n--- converted access paths ---\n";
+      List.iter
+        (fun q ->
+          Printf.printf "%s\n"
+            (Ccv_frontend.Dml_parse.find_of_query
+               ~target:(Apattern.result_of q) q))
+        (Aprog.queries report.Supervisor.optimized);
+      Printf.printf "\n--- converted program (CODASYL) ---\n%s\n"
+        (Fmt.str "%a" Engines.pp_program report.Supervisor.target_program);
+      if report.Supervisor.issues <> [] then begin
+        Printf.printf "--- issues for the conversion analyst ---\n";
+        List.iter
+          (fun i -> Printf.printf "%s\n" (Fmt.str "%a" Supervisor.pp_issue i))
+          report.Supervisor.issues
+      end;
+      if verbose && report.Supervisor.optimizer_log <> [] then begin
+        Printf.printf "--- optimizer ---\n";
+        List.iter (Printf.printf "%s\n") report.Supervisor.optimizer_log
+      end
+
+let schema_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "schema" ] ~docv:"FILE" ~doc:"Maryland DDL schema (Figure 4.3 syntax)")
+
+let program_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "program" ] ~docv:"FILE" ~doc:"program in FIND/DISPLAY syntax")
+
+let ops_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "op" ] ~docv:"OP" ~doc:"restructuring operator (repeatable)")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print intermediate forms")
+
+let cmd =
+  let doc =
+    "convert a database program to match a schema restructuring (CODASYL \
+     Database Program Conversion framework, 1979)"
+  in
+  Cmd.v
+    (Cmd.info "convertc" ~version:"1.0" ~doc)
+    Term.(const run $ schema_arg $ program_arg $ ops_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

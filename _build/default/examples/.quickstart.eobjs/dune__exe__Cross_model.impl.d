@@ -1,0 +1,1 @@
+examples/cross_model.ml: Apattern Aprog Ccv_abstract Ccv_common Ccv_convert Ccv_transform Ccv_workload Engines Equivalence Fmt Generator Io_trace List Mapping Printf String Supervisor

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aprog Ccv_abstract Ccv_convert Ccv_transform Ccv_workload Engines Equivalence Fmt Generator List Mapping Printf Schema_change Supervisor

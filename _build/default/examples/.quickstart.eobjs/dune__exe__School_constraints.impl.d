@@ -1,0 +1,1 @@
+examples/school_constraints.ml: Ccv_common Ccv_model Ccv_network Ccv_transform Ccv_workload List Mapping Printf Result Row Sdb Status Value

@@ -1,0 +1,1 @@
+examples/school_constraints.mli:

@@ -1,0 +1,1 @@
+lib/abstract/ainterp.ml: Apattern Aprog Ccv_common Ccv_model Cond Host Io_trace List Option Row Sdb Semantic Status String Value

@@ -1,0 +1,1 @@
+lib/abstract/ainterp.mli: Aprog Ccv_common Ccv_model Io_trace Value

@@ -1,0 +1,1 @@
+lib/abstract/apattern.ml: Ccv_common Ccv_model Cond Field Fmt List Option Row Sdb Semantic Value

@@ -1,0 +1,1 @@
+lib/abstract/apattern.mli: Ccv_common Ccv_model Cond Format Row

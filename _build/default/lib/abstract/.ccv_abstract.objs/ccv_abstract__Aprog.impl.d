@@ -1,0 +1,1 @@
+lib/abstract/aprog.ml: Apattern Ccv_common Cond Field Fmt List String

@@ -1,0 +1,1 @@
+lib/abstract/aprog.mli: Apattern Ccv_common Ccv_model Cond Format

@@ -1,0 +1,1 @@
+lib/abstract/host.ml: Ccv_common Cond Fmt Io_trace List Option Row Status String Value

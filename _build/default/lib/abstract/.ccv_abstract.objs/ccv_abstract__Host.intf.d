@@ -1,0 +1,1 @@
+lib/abstract/host.mli: Ccv_common Cond Format Io_trace Status Value

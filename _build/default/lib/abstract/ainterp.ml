@@ -1,0 +1,238 @@
+open Ccv_common
+open Ccv_model
+
+type result = {
+  db : Sdb.t;
+  trace : Io_trace.t;
+  env : (string * Value.t) list;
+  steps : int;
+  hit_limit : bool;
+}
+
+exception Step_limit
+
+type rt = {
+  mutable rdb : Sdb.t;
+  mutable renv : (string * Value.t) list;
+  mutable rsteps : int;
+  mutable rinput : string list;
+  builder : Io_trace.Builder.t;
+  max_steps : int;
+}
+
+let lookup rt name =
+  Some (Option.value (List.assoc_opt name rt.renv) ~default:Value.Null)
+
+let assign rt name value =
+  rt.renv <- (name, value) :: List.filter (fun (n, _) -> n <> name) rt.renv
+
+let set_status rt status =
+  assign rt Host.status_var (Value.Str (Status.code status))
+
+let eval_expr rt e = Cond.eval_expr ~env:(lookup rt) Row.empty e
+let eval_cond rt c = Cond.eval ~env:(lookup rt) Row.empty c
+
+let render rt es =
+  String.concat " " (List.map (fun e -> Value.to_display (eval_expr rt e)) es)
+
+let tick rt =
+  rt.rsteps <- rt.rsteps + 1;
+  if rt.rsteps > rt.max_steps then raise Step_limit
+
+let bind_context rt ctx =
+  List.iter (fun (n, v) -> assign rt n v) (Row.to_list ctx)
+
+(* Key of the instance a context holds for a given entity. *)
+let ctx_key schema ctx name =
+  let e = Semantic.find_entity_exn schema name in
+  List.map
+    (fun k ->
+      Option.value (Row.get ctx (e.ename ^ "." ^ k)) ~default:Value.Null)
+    e.key
+
+let rec exec_stmt rt stmt =
+  let schema = Sdb.schema rt.rdb in
+  match stmt with
+  | Aprog.For_each { query; body } ->
+      tick rt;
+      let ctxs = Apattern.eval rt.rdb ~env:(lookup rt) query in
+      List.iter
+        (fun ctx ->
+          bind_context rt ctx;
+          exec_body rt body)
+        ctxs;
+      (* A completed sweep leaves a clean status register, as the
+         concrete loop idioms do after their terminal FIND. *)
+      set_status rt Status.Ok
+  | Aprog.First { query; present; absent } -> (
+      tick rt;
+      match Apattern.eval rt.rdb ~env:(lookup rt) query with
+      | ctx :: _ ->
+          bind_context rt ctx;
+          set_status rt Status.Ok;
+          exec_body rt present
+      | [] ->
+          set_status rt Status.Not_found;
+          exec_body rt absent)
+  | Aprog.Insert { entity; values; connects } -> (
+      tick rt;
+      let row =
+        Row.of_list (List.map (fun (f, e) -> (f, eval_expr rt e)) values)
+      in
+      let e = Semantic.find_entity_exn schema entity in
+      let right = Sdb.key_of e row in
+      (* Insert-and-connect is atomic, mirroring a CODASYL STORE into
+         AUTOMATIC sets: when any connection fails, nothing happens. *)
+      match Sdb.insert_entity rt.rdb entity row with
+      | Error s -> set_status rt s
+      | Ok db ->
+          let rec go db = function
+            | [] ->
+                rt.rdb <- db;
+                set_status rt Status.Ok
+            | (assoc, key_exprs) :: rest -> (
+                let left = List.map (eval_expr rt) key_exprs in
+                match Sdb.link db assoc ~left ~right with
+                | Ok db -> go db rest
+                | Error s -> set_status rt s)
+          in
+          go db connects)
+  | Aprog.Link { assoc; left_key; right_key; attrs } -> (
+      tick rt;
+      let left = List.map (eval_expr rt) left_key in
+      let right = List.map (eval_expr rt) right_key in
+      let attrs =
+        Row.of_list (List.map (fun (f, e) -> (f, eval_expr rt e)) attrs)
+      in
+      match Sdb.link ~attrs rt.rdb assoc ~left ~right with
+      | Ok db ->
+          rt.rdb <- db;
+          set_status rt Status.Ok
+      | Error s -> set_status rt s)
+  | Aprog.Unlink { assoc; left_key; right_key } -> (
+      tick rt;
+      let right = List.map (eval_expr rt) right_key in
+      let left =
+        match left_key with
+        | [] ->
+            (* DISCONNECT semantics: find the partner. *)
+            let found =
+              List.find_opt
+                (fun (l : Sdb.link) ->
+                  List.compare Value.compare l.rkey right = 0)
+                (Sdb.links_silent rt.rdb assoc)
+            in
+            (match found with Some l -> l.lkey | None -> [ Value.Null ])
+        | _ -> List.map (eval_expr rt) left_key
+      in
+      match Sdb.unlink rt.rdb assoc ~left ~right with
+      | Ok db ->
+          rt.rdb <- db;
+          set_status rt Status.Ok
+      | Error s -> set_status rt s)
+  | Aprog.Update { query; assigns } ->
+      tick rt;
+      let target = Apattern.result_of query in
+      let ctxs = Apattern.eval rt.rdb ~env:(lookup rt) query in
+      let status = ref Status.Ok in
+      List.iter
+        (fun ctx ->
+          bind_context rt ctx;
+          let key = ctx_key schema ctx target in
+          let values = List.map (fun (f, e) -> (f, eval_expr rt e)) assigns in
+          match Sdb.update_entity rt.rdb target key values with
+          | Ok db -> rt.rdb <- db
+          | Error s -> status := s)
+        ctxs;
+      set_status rt !status
+  | Aprog.Delete { query; cascade } ->
+      tick rt;
+      let target = Apattern.result_of query in
+      let ctxs = Apattern.eval rt.rdb ~env:(lookup rt) query in
+      let status = ref Status.Ok in
+      (* Entity targets are deleted; association targets are unlinked. *)
+      (match Semantic.find_assoc schema target with
+      | Some a ->
+          let le = Semantic.find_entity_exn schema a.left in
+          let re = Semantic.find_entity_exn schema a.right in
+          List.iter
+            (fun ctx ->
+              let pick (e : Semantic.entity) =
+                List.map
+                  (fun k ->
+                    Option.value (Row.get ctx (target ^ "." ^ k))
+                      ~default:Value.Null)
+                  e.key
+              in
+              match
+                Sdb.unlink rt.rdb target ~left:(pick le) ~right:(pick re)
+              with
+              | Ok db -> rt.rdb <- db
+              | Error Status.Not_found -> ()
+              | Error s -> status := s)
+            ctxs
+      | None ->
+          List.iter
+            (fun ctx ->
+              let key = ctx_key schema ctx target in
+              match Sdb.delete_entity rt.rdb target key ~cascade with
+              | Ok db -> rt.rdb <- db
+              | Error Status.Not_found -> ()
+              | Error s -> status := s)
+            ctxs);
+      set_status rt !status
+  | Aprog.Display es ->
+      tick rt;
+      Io_trace.Builder.emit rt.builder (Io_trace.Terminal_out (render rt es))
+  | Aprog.Accept x ->
+      tick rt;
+      let line, rest =
+        match rt.rinput with [] -> ("", []) | l :: rest -> (l, rest)
+      in
+      rt.rinput <- rest;
+      Io_trace.Builder.emit rt.builder (Io_trace.Terminal_in line);
+      assign rt x (Value.Str line)
+  | Aprog.Write_file (file, es) ->
+      tick rt;
+      Io_trace.Builder.emit rt.builder (Io_trace.File_write (file, render rt es))
+  | Aprog.Move (e, x) ->
+      tick rt;
+      assign rt x (eval_expr rt e)
+  | Aprog.If (c, a, b) ->
+      tick rt;
+      if eval_cond rt c then exec_body rt a else exec_body rt b
+  | Aprog.While (c, body) ->
+      tick rt;
+      let rec loop () =
+        if eval_cond rt c then begin
+          exec_body rt body;
+          tick rt;
+          loop ()
+        end
+      in
+      loop ()
+
+and exec_body rt body = List.iter (exec_stmt rt) body
+
+let run ?(input = []) ?(max_steps = 200_000) db (p : Aprog.t) =
+  let rt =
+    { rdb = db;
+      renv = [ (Host.status_var, Value.Str "0000") ];
+      rsteps = 0;
+      rinput = input;
+      builder = Io_trace.Builder.create ();
+      max_steps;
+    }
+  in
+  let hit_limit =
+    try
+      exec_body rt p.body;
+      false
+    with Step_limit -> true
+  in
+  { db = rt.rdb;
+    trace = Io_trace.Builder.contents rt.builder;
+    env = rt.renv;
+    steps = rt.rsteps;
+    hit_limit;
+  }

@@ -1,0 +1,17 @@
+(** Reference semantics for abstract programs: execution directly over
+    a semantic-model instance.  Used to validate the Program Analyzer
+    (the abstract image of a program must behave like the original) and
+    to test transformation rules in isolation from any concrete DBMS. *)
+
+open Ccv_common
+
+type result = {
+  db : Ccv_model.Sdb.t;
+  trace : Io_trace.t;
+  env : (string * Value.t) list;
+  steps : int;
+  hit_limit : bool;
+}
+
+val run :
+  ?input:string list -> ?max_steps:int -> Ccv_model.Sdb.t -> Aprog.t -> result

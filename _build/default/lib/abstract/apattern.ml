@@ -1,0 +1,200 @@
+open Ccv_common
+open Ccv_model
+
+type step =
+  | Self of { target : string; qual : Cond.t }
+  | Through of {
+      target : string;
+      source : string;
+      link : string * string;
+      qual : Cond.t;
+    }
+  | Assoc_via of { assoc : string; source : string; qual : Cond.t }
+  | Via_assoc of { target : string; assoc : string; qual : Cond.t }
+
+type t = step list
+
+let target_of = function
+  | Self { target; _ } | Through { target; _ } | Via_assoc { target; _ } ->
+      Field.canon target
+  | Assoc_via { assoc; _ } -> Field.canon assoc
+
+let names_of seq = List.map target_of seq
+
+let result_of = function
+  | [] -> invalid_arg "Apattern.result_of: empty sequence"
+  | seq -> target_of (List.nth seq (List.length seq - 1))
+
+let qual_of = function
+  | Self { qual; _ } | Through { qual; _ } | Assoc_via { qual; _ }
+  | Via_assoc { qual; _ } -> qual
+
+let map_qual f = function
+  | Self s -> Self { s with qual = f s.qual }
+  | Through s -> Through { s with qual = f s.qual }
+  | Assoc_via s -> Assoc_via { s with qual = f s.qual }
+  | Via_assoc s -> Via_assoc { s with qual = f s.qual }
+
+let check ?(bound = []) schema seq =
+  let problems = ref [] in
+  let note fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  let seen = ref (List.map Field.canon bound) in
+  let have name = List.exists (Field.name_equal name) !seen in
+  List.iter
+    (fun step ->
+      (match step with
+      | Self { target; _ } ->
+          if Semantic.find_entity schema target = None then
+            note "unknown entity %s" target
+      | Through { target; source; link = tf, _sf; qual = _ } -> (
+          (match Semantic.find_entity schema target with
+          | None -> note "unknown entity %s" target
+          | Some e ->
+              if not (Field.mem e.fields tf) then
+                note "%s has no field %s" target tf);
+          if not (have source) then
+            note "THROUGH access to %s from unaccessed %s" target source)
+      | Assoc_via { assoc; source; _ } -> (
+          match Semantic.find_assoc schema assoc with
+          | None -> note "unknown association %s" assoc
+          | Some a ->
+              if
+                not
+                  (Field.name_equal a.left source
+                  || Field.name_equal a.right source)
+              then note "%s is not an endpoint of %s" source assoc;
+              if not (have source) then
+                note "ASSOC access to %s from unaccessed %s" assoc source)
+      | Via_assoc { target; assoc; _ } -> (
+          match Semantic.find_assoc schema assoc with
+          | None -> note "unknown association %s" assoc
+          | Some a ->
+              if
+                not
+                  (Field.name_equal a.left target
+                  || Field.name_equal a.right target)
+              then note "%s is not an endpoint of %s" target assoc;
+              if not (have assoc) then
+                note "access to %s via unaccessed %s" target assoc));
+      seen := target_of step :: !seen)
+    seq;
+  List.rev !problems
+
+let qualify name row =
+  Row.of_list
+    (List.map (fun (f, v) -> (Field.canon name ^ "." ^ f, v)) (Row.to_list row))
+
+(* A source binding comes from the context built by earlier steps, or
+   — for a query nested inside an enclosing FOR EACH — from the host
+   environment where the outer loop bound it. *)
+let ctx_value ~env ctx name field =
+  let qname = Field.canon name ^ "." ^ Field.canon field in
+  match Row.get ctx qname with
+  | Some v -> v
+  | None -> Option.value (env qname) ~default:Value.Null
+
+(* Evaluate a step's qualification: fields resolve in the candidate
+   row, variables in the caller's environment. *)
+let qual_holds ~env row qual = Cond.eval ~env row qual
+
+let eval db ~env seq =
+  let schema = Sdb.schema db in
+  let extend ctxs step =
+    match step with
+    | Self { target; qual } ->
+        let rows =
+          List.filter (fun r -> qual_holds ~env r qual) (Sdb.rows db target)
+        in
+        List.concat_map
+          (fun ctx -> List.map (fun r -> Row.union ctx (qualify target r)) rows)
+          ctxs
+    | Through { target; source; link = tf, sf; qual } ->
+        List.concat_map
+          (fun ctx ->
+            let wanted = ctx_value ~env ctx source sf in
+            Sdb.rows db target
+            |> List.filter (fun r ->
+                   (match Row.get r tf with
+                   | Some v -> Value.equal v wanted
+                   | None -> false)
+                   && qual_holds ~env r qual)
+            |> List.map (fun r -> Row.union ctx (qualify target r)))
+          ctxs
+    | Assoc_via { assoc; source; qual } ->
+        let a = Semantic.find_assoc_exn schema assoc in
+        let source_is_left = Field.name_equal a.left source in
+        let src_entity =
+          Semantic.find_entity_exn schema (if source_is_left then a.left else a.right)
+        in
+        List.concat_map
+          (fun ctx ->
+            let src_key =
+              List.map (fun k -> ctx_value ~env ctx source k) src_entity.key
+            in
+            Sdb.links db assoc
+            |> List.filter (fun (l : Sdb.link) ->
+                   let side = if source_is_left then l.lkey else l.rkey in
+                   List.compare Value.compare side src_key = 0)
+            |> List.filter_map (fun l ->
+                   let lrow = Sdb.link_row schema a l in
+                   if qual_holds ~env lrow qual then
+                     Some (Row.union ctx (qualify assoc lrow))
+                   else None))
+          ctxs
+    | Via_assoc { target; assoc; qual } ->
+        let a = Semantic.find_assoc_exn schema assoc in
+        let target_is_left = Field.name_equal a.left target in
+        let tgt_entity =
+          Semantic.find_entity_exn schema (if target_is_left then a.left else a.right)
+        in
+        List.concat_map
+          (fun ctx ->
+            let key =
+              List.map (fun k -> ctx_value ~env ctx assoc k) tgt_entity.key
+            in
+            match Sdb.find_entity db tgt_entity.ename key with
+            | Some r when qual_holds ~env r qual ->
+                [ Row.union ctx (qualify target r) ]
+            | Some _ | None -> [])
+          ctxs
+  in
+  List.fold_left extend [ Row.empty ] seq
+
+let equal_step a b =
+  match a, b with
+  | Self x, Self y ->
+      Field.name_equal x.target y.target && Cond.equal x.qual y.qual
+  | Through x, Through y ->
+      Field.name_equal x.target y.target
+      && Field.name_equal x.source y.source
+      && Field.name_equal (fst x.link) (fst y.link)
+      && Field.name_equal (snd x.link) (snd y.link)
+      && Cond.equal x.qual y.qual
+  | Assoc_via x, Assoc_via y ->
+      Field.name_equal x.assoc y.assoc
+      && Field.name_equal x.source y.source
+      && Cond.equal x.qual y.qual
+  | Via_assoc x, Via_assoc y ->
+      Field.name_equal x.target y.target
+      && Field.name_equal x.assoc y.assoc
+      && Cond.equal x.qual y.qual
+  | (Self _ | Through _ | Assoc_via _ | Via_assoc _), _ -> false
+
+let equal a b = List.length a = List.length b && List.for_all2 equal_step a b
+
+let pp_qual ppf = function
+  | Cond.True -> ()
+  | q -> Fmt.pf ppf " WHERE %a" Cond.pp q
+
+let pp_step ppf = function
+  | Self { target; qual } -> Fmt.pf ppf "ACCESS %s via %s%a" target target pp_qual qual
+  | Through { target; source; link = tf, sf; qual } ->
+      Fmt.pf ppf "ACCESS %s via %s through (%s,%s)%a" target source tf sf
+        pp_qual qual
+  | Assoc_via { assoc; source; qual } ->
+      Fmt.pf ppf "ACCESS %s via %s%a" assoc source pp_qual qual
+  | Via_assoc { target; assoc; qual } ->
+      Fmt.pf ppf "ACCESS %s via %s%a" target assoc pp_qual qual
+
+let pp ppf seq = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_step) seq
+let show seq = Fmt.str "%a" pp seq

@@ -1,0 +1,63 @@
+(** The four basic access patterns of section 4.1, and their evaluation
+    as a pipeline ("a sequence of these basic access patterns can be
+    used to describe the traversal of data specified in the application
+    program").
+
+    A sequence is evaluated left to right over a growing set of
+    {e contexts}.  A context is a joined row whose fields are qualified
+    ["NAME.FIELD"]; each step extends every context with the
+    occurrences it reaches.  Qualifications within a step are written
+    on the {e unqualified} fields of that step's target. *)
+
+open Ccv_common
+
+type step =
+  | Self of { target : string; qual : Cond.t }
+      (** ACCESS A via A — occurrences of entity A satisfying the
+          qualification *)
+  | Through of {
+      target : string;
+      source : string;
+      link : string * string;  (** (target field, source field) *)
+      qual : Cond.t;
+    }
+      (** ACCESS A via B through (Ai, Bj) — entities related only by
+          comparable fields *)
+  | Assoc_via of { assoc : string; source : string; qual : Cond.t }
+      (** ACCESS AB via B — association occurrences constrained by a
+          previously accessed B *)
+  | Via_assoc of { target : string; assoc : string; qual : Cond.t }
+      (** ACCESS A via AB — entity occurrences reached through accessed
+          association occurrences *)
+
+type t = step list
+
+(** Target name a step reaches (entity, or association for
+    [Assoc_via]). *)
+val target_of : step -> string
+
+(** Names every step mentions, in order. *)
+val names_of : t -> string list
+
+(** The entity/assoc whose occurrences the whole sequence delivers
+    (target of the last step); raises [Invalid_argument] on []. *)
+val result_of : t -> string
+
+val qual_of : step -> Cond.t
+val map_qual : (Cond.t -> Cond.t) -> step -> step
+
+(** Static validation against a semantic schema: targets exist,
+    association endpoints line up, sources appear earlier in the
+    sequence or in [bound] (names an enclosing FOR EACH binds).
+    Returns error messages. *)
+val check : ?bound:string list -> Ccv_model.Semantic.t -> t -> string list
+
+(** [eval db ~env seq] — the list of contexts, deterministic order.
+    A first-step source that no earlier step bound resolves through
+    [env] (qualified ["NAME.FIELD"] variables of an enclosing loop). *)
+val eval : Ccv_model.Sdb.t -> env:Cond.env -> t -> Row.t list
+
+val equal : t -> t -> bool
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit
+val show : t -> string

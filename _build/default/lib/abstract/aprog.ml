@@ -1,0 +1,208 @@
+open Ccv_common
+
+type astmt =
+  | For_each of { query : Apattern.t; body : astmt list }
+  | First of { query : Apattern.t; present : astmt list; absent : astmt list }
+  | Insert of {
+      entity : string;
+      values : (string * Cond.expr) list;
+      connects : (string * Cond.expr list) list;
+    }
+  | Link of {
+      assoc : string;
+      left_key : Cond.expr list;
+      right_key : Cond.expr list;
+      attrs : (string * Cond.expr) list;
+    }
+  | Unlink of { assoc : string; left_key : Cond.expr list; right_key : Cond.expr list }
+  | Update of { query : Apattern.t; assigns : (string * Cond.expr) list }
+  | Delete of { query : Apattern.t; cascade : bool }
+  | Display of Cond.expr list
+  | Accept of string
+  | Write_file of string * Cond.expr list
+  | Move of Cond.expr * string
+  | If of Cond.t * astmt list * astmt list
+  | While of Cond.t * astmt list
+
+type t = { name : string; body : astmt list }
+
+let rec queries_of_stmt = function
+  | For_each { query; body } -> query :: List.concat_map queries_of_stmt body
+  | First { query; present; absent } ->
+      (query :: List.concat_map queries_of_stmt present)
+      @ List.concat_map queries_of_stmt absent
+  | Update { query; _ } | Delete { query; _ } -> [ query ]
+  | Insert _ | Link _ | Unlink _ | Display _ | Accept _ | Write_file _
+  | Move _ -> []
+  | If (_, a, b) ->
+      List.concat_map queries_of_stmt a @ List.concat_map queries_of_stmt b
+  | While (_, body) -> List.concat_map queries_of_stmt body
+
+let queries p = List.concat_map queries_of_stmt p.body
+
+let rec map_stmt f = function
+  | For_each { query; body } ->
+      For_each { query = f query; body = List.map (map_stmt f) body }
+  | First { query; present; absent } ->
+      First
+        { query = f query;
+          present = List.map (map_stmt f) present;
+          absent = List.map (map_stmt f) absent;
+        }
+  | Update { query; assigns } -> Update { query = f query; assigns }
+  | Delete { query; cascade } -> Delete { query = f query; cascade }
+  | (Insert _ | Link _ | Unlink _ | Display _ | Accept _ | Write_file _
+    | Move _) as s -> s
+  | If (c, a, b) -> If (c, List.map (map_stmt f) a, List.map (map_stmt f) b)
+  | While (c, body) -> While (c, List.map (map_stmt f) body)
+
+let map_queries f p = { p with body = List.map (map_stmt f) p.body }
+
+let rec size_stmt = function
+  | For_each { body; _ } -> 1 + List.fold_left (fun n s -> n + size_stmt s) 0 body
+  | First { present; absent; _ } ->
+      1 + List.fold_left (fun n s -> n + size_stmt s) 0 (present @ absent)
+  | Insert _ | Link _ | Unlink _ | Update _ | Delete _ | Display _ | Accept _
+  | Write_file _ | Move _ -> 1
+  | If (_, a, b) -> 1 + List.fold_left (fun n s -> n + size_stmt s) 0 (a @ b)
+  | While (_, body) -> 1 + List.fold_left (fun n s -> n + size_stmt s) 0 body
+
+let size p = List.fold_left (fun n s -> n + size_stmt s) 0 p.body
+
+let path_length p =
+  List.fold_left (fun n q -> n + List.length q) 0 (queries p)
+
+let check schema p =
+  (* Thread the names each FOR EACH binds into nested queries. *)
+  let rec stmt bound = function
+    | For_each { query; body } ->
+        Apattern.check ~bound schema query
+        @ body_check (Apattern.names_of query @ bound) body
+    | First { query; present; absent } ->
+        Apattern.check ~bound schema query
+        @ body_check (Apattern.names_of query @ bound) present
+        @ body_check bound absent
+    | Update { query; _ } | Delete { query; _ } ->
+        Apattern.check ~bound schema query
+    | Insert _ | Link _ | Unlink _ | Display _ | Accept _ | Write_file _
+    | Move _ -> []
+    | If (_, a, b) -> body_check bound a @ body_check bound b
+    | While (_, body) -> body_check bound body
+  and body_check bound body = List.concat_map (stmt bound) body in
+  body_check [] p.body
+
+let rec equal_stmt a b =
+  match a, b with
+  | For_each x, For_each y ->
+      Apattern.equal x.query y.query && equal_body x.body y.body
+  | First x, First y ->
+      Apattern.equal x.query y.query
+      && equal_body x.present y.present
+      && equal_body x.absent y.absent
+  | Insert x, Insert y ->
+      Field.name_equal x.entity y.entity && x.values = y.values
+      && x.connects = y.connects
+  | Link x, Link y ->
+      Field.name_equal x.assoc y.assoc
+      && x.left_key = y.left_key && x.right_key = y.right_key
+      && x.attrs = y.attrs
+  | Unlink x, Unlink y ->
+      Field.name_equal x.assoc y.assoc
+      && x.left_key = y.left_key && x.right_key = y.right_key
+  | Update x, Update y ->
+      Apattern.equal x.query y.query && x.assigns = y.assigns
+  | Delete x, Delete y ->
+      Apattern.equal x.query y.query && x.cascade = y.cascade
+  | Display x, Display y -> x = y
+  | Accept x, Accept y -> String.equal x y
+  | Write_file (f1, e1), Write_file (f2, e2) -> String.equal f1 f2 && e1 = e2
+  | Move (e1, x1), Move (e2, x2) -> e1 = e2 && String.equal x1 x2
+  | If (c1, a1, b1), If (c2, a2, b2) ->
+      Cond.equal c1 c2 && equal_body a1 a2 && equal_body b1 b2
+  | While (c1, b1), While (c2, b2) -> Cond.equal c1 c2 && equal_body b1 b2
+  | ( For_each _ | First _ | Insert _ | Link _ | Unlink _ | Update _
+    | Delete _ | Display _ | Accept _ | Write_file _ | Move _ | If _
+    | While _ ), _ -> false
+
+and equal_body a b = List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal a b = String.equal a.name b.name && equal_body a.body b.body
+
+let rec pp_stmt indent ppf s =
+  let pad = String.make indent ' ' in
+  match s with
+  | For_each { query; body } ->
+      Fmt.pf ppf "%sFOR EACH@.%a%sDO@.%a%sEND-FOR" pad
+        (pp_query (indent + 2)) query pad (pp_body (indent + 2)) body pad
+  | First { query; present; absent } ->
+      Fmt.pf ppf "%sFIRST@.%a%sPRESENT@.%a%sABSENT@.%a%sEND-FIRST" pad
+        (pp_query (indent + 2)) query pad (pp_body (indent + 2)) present pad
+        (pp_body (indent + 2)) absent pad
+  | Insert { entity; values; connects } ->
+      Fmt.pf ppf "%sINSERT %s (%a)%a" pad entity
+        Fmt.(list ~sep:(any ", ") (fun ppf (f, e) ->
+                 pf ppf "%s=%a" f Cond.pp_expr e))
+        values
+        (fun ppf -> function
+          | [] -> ()
+          | cs ->
+              Fmt.pf ppf " CONNECT %a"
+                Fmt.(
+                  list ~sep:(any "; ") (fun ppf (a, ks) ->
+                      pf ppf "%s VIA (%a)" a
+                        (list ~sep:(any ",") Cond.pp_expr)
+                        ks))
+                cs)
+        connects
+  | Link { assoc; left_key; right_key; attrs } ->
+      Fmt.pf ppf "%sLINK %s (%a)-(%a)%a" pad assoc
+        Fmt.(list ~sep:(any ",") Cond.pp_expr) left_key
+        Fmt.(list ~sep:(any ",") Cond.pp_expr) right_key
+        (fun ppf -> function
+          | [] -> ()
+          | attrs ->
+              Fmt.pf ppf " WITH (%a)"
+                Fmt.(list ~sep:(any ", ") (fun ppf (f, e) ->
+                         pf ppf "%s=%a" f Cond.pp_expr e))
+                attrs)
+        attrs
+  | Unlink { assoc; left_key; right_key } ->
+      Fmt.pf ppf "%sUNLINK %s (%a)-(%a)" pad assoc
+        Fmt.(list ~sep:(any ",") Cond.pp_expr) left_key
+        Fmt.(list ~sep:(any ",") Cond.pp_expr) right_key
+  | Update { query; assigns } ->
+      Fmt.pf ppf "%sUPDATE@.%a%sSET %a" pad (pp_query (indent + 2)) query pad
+        Fmt.(list ~sep:(any ", ") (fun ppf (f, e) ->
+                 pf ppf "%s=%a" f Cond.pp_expr e))
+        assigns
+  | Delete { query; cascade } ->
+      Fmt.pf ppf "%sDELETE%s@.%a" pad (if cascade then " CASCADE" else "")
+        (pp_query (indent + 2)) query
+  | Display es ->
+      Fmt.pf ppf "%sDISPLAY %a" pad Fmt.(list ~sep:(any " ") Cond.pp_expr) es
+  | Accept x -> Fmt.pf ppf "%sACCEPT %s" pad x
+  | Write_file (file, es) ->
+      Fmt.pf ppf "%sWRITE %a TO FILE %s" pad
+        Fmt.(list ~sep:(any " ") Cond.pp_expr) es file
+  | Move (e, x) -> Fmt.pf ppf "%sMOVE %a TO %s" pad Cond.pp_expr e x
+  | If (c, a, []) ->
+      Fmt.pf ppf "%sIF %a THEN@.%a%sEND-IF" pad Cond.pp c
+        (pp_body (indent + 2)) a pad
+  | If (c, a, b) ->
+      Fmt.pf ppf "%sIF %a THEN@.%a%sELSE@.%a%sEND-IF" pad Cond.pp c
+        (pp_body (indent + 2)) a pad (pp_body (indent + 2)) b pad
+  | While (c, body) ->
+      Fmt.pf ppf "%sWHILE %a@.%a%sEND-WHILE" pad Cond.pp c
+        (pp_body (indent + 2)) body pad
+
+and pp_body indent ppf body =
+  List.iter (fun s -> Fmt.pf ppf "%a@." (pp_stmt indent) s) body
+
+and pp_query indent ppf q =
+  List.iter
+    (fun step ->
+      Fmt.pf ppf "%s%a@." (String.make indent ' ') Apattern.pp_step step)
+    q
+
+let pp ppf p = Fmt.pf ppf "ABSTRACT PROGRAM %s.@.%a" p.name (pp_body 2) p.body
+let show p = Fmt.str "%a" pp p

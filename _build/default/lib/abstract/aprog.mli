@@ -1,0 +1,63 @@
+(** The abstract program representation of Figure 4.1: host control
+    structure and I/O retained verbatim, database interaction expressed
+    as access-pattern sequences over the semantic model.  This is what
+    the Program Analyzer produces, the Program Converter rewrites, the
+    Optimizer simplifies and the Program Generator compiles back to a
+    concrete DML. *)
+
+open Ccv_common
+
+type astmt =
+  | For_each of { query : Apattern.t; body : astmt list }
+      (** iterate the contexts; each binds qualified vars
+          ["NAME.FIELD"] for the body *)
+  | First of { query : Apattern.t; present : astmt list; absent : astmt list }
+      (** bind the first context if any *)
+  | Insert of {
+      entity : string;
+      values : (string * Cond.expr) list;
+      connects : (string * Cond.expr list) list;
+          (** associations to join at insertion: (assoc, left-key
+              exprs); needed because AUTOMATIC owner-coupled sets
+              connect at STORE time, so insert-and-connect is one
+              operation in the network model *)
+    }
+  | Link of {
+      assoc : string;
+      left_key : Cond.expr list;
+      right_key : Cond.expr list;
+      attrs : (string * Cond.expr) list;
+    }
+  | Unlink of { assoc : string; left_key : Cond.expr list; right_key : Cond.expr list }
+      (** [left_key = []] unlinks the right instance from whichever
+          left partner it has (the DISCONNECT idiom, sound for 1:N) *)
+  | Update of { query : Apattern.t; assigns : (string * Cond.expr) list }
+      (** update the instances delivered by the query (its result
+          entity); assigns evaluate in the context *)
+  | Delete of { query : Apattern.t; cascade : bool }
+  | Display of Cond.expr list
+  | Accept of string
+  | Write_file of string * Cond.expr list
+  | Move of Cond.expr * string
+  | If of Cond.t * astmt list * astmt list
+  | While of Cond.t * astmt list
+
+type t = { name : string; body : astmt list }
+
+(** Every access-pattern sequence in the program (for analysis). *)
+val queries : t -> Apattern.t list
+
+(** Structure-preserving rewrite of every query. *)
+val map_queries : (Apattern.t -> Apattern.t) -> t -> t
+
+(** Statement count (optimizer metric). *)
+val size : t -> int
+
+(** Total access-pattern steps across all queries (the paper's "access
+    path length"). *)
+val path_length : t -> int
+
+val check : Ccv_model.Semantic.t -> t -> string list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,237 @@
+open Ccv_common
+
+type 'dml stmt =
+  | Dml of 'dml
+  | Move of Cond.expr * string
+  | Display of Cond.expr list
+  | Accept of string
+  | Write_file of string * Cond.expr list
+  | If of Cond.t * 'dml stmt list * 'dml stmt list
+  | While of Cond.t * 'dml stmt list
+
+type 'dml program = { name : string; body : 'dml stmt list }
+
+let status_var = "DB-STATUS"
+let status_ok = Cond.Cmp (Cond.Eq, Cond.Var status_var, Cond.Const (Value.Str "0000"))
+
+let status_is s =
+  Cond.Cmp (Cond.Eq, Cond.Var status_var, Cond.Const (Value.Str (Status.code s)))
+
+let status_not s =
+  Cond.Cmp (Cond.Ne, Cond.Var status_var, Cond.Const (Value.Str (Status.code s)))
+
+let v name = Cond.Var name
+let str s = Cond.Const (Value.Str s)
+let int i = Cond.Const (Value.Int i)
+
+let rec map_stmt f = function
+  | Dml d -> Dml (f d)
+  | Move (e, x) -> Move (e, x)
+  | Display es -> Display es
+  | Accept x -> Accept x
+  | Write_file (file, es) -> Write_file (file, es)
+  | If (c, a, b) -> If (c, List.map (map_stmt f) a, List.map (map_stmt f) b)
+  | While (c, body) -> While (c, List.map (map_stmt f) body)
+
+let map_dml f p = { p with body = List.map (map_stmt f) p.body }
+
+let rec concat_map_stmt f = function
+  | Dml d -> f d
+  | Move (e, x) -> [ Move (e, x) ]
+  | Display es -> [ Display es ]
+  | Accept x -> [ Accept x ]
+  | Write_file (file, es) -> [ Write_file (file, es) ]
+  | If (c, a, b) ->
+      [ If (c, List.concat_map (concat_map_stmt f) a,
+            List.concat_map (concat_map_stmt f) b) ]
+  | While (c, body) -> [ While (c, List.concat_map (concat_map_stmt f) body) ]
+
+let concat_map_dml f p =
+  { p with body = List.concat_map (concat_map_stmt f) p.body }
+
+let rec dml_of_stmt = function
+  | Dml d -> [ d ]
+  | Move _ | Display _ | Accept _ | Write_file _ -> []
+  | If (_, a, b) -> List.concat_map dml_of_stmt a @ List.concat_map dml_of_stmt b
+  | While (_, body) -> List.concat_map dml_of_stmt body
+
+let dml_list p = List.concat_map dml_of_stmt p.body
+
+let rec vars_of_stmt ~vars_of_dml = function
+  | Dml d -> vars_of_dml d
+  | Move (e, x) -> x :: Cond.vars (Cond.Cmp (Cond.Eq, e, e))
+  | Display es | Write_file (_, es) ->
+      List.concat_map (fun e -> Cond.vars (Cond.Cmp (Cond.Eq, e, e))) es
+  | Accept x -> [ x ]
+  | If (c, a, b) ->
+      Cond.vars c
+      @ List.concat_map (vars_of_stmt ~vars_of_dml) a
+      @ List.concat_map (vars_of_stmt ~vars_of_dml) b
+  | While (c, body) ->
+      Cond.vars c @ List.concat_map (vars_of_stmt ~vars_of_dml) body
+
+let variables p ~vars_of_dml =
+  let all = List.concat_map (vars_of_stmt ~vars_of_dml) p.body in
+  let rec dedup seen = function
+    | [] -> List.rev seen
+    | x :: rest -> if List.mem x seen then dedup seen rest else dedup (x :: seen) rest
+  in
+  dedup [] all
+
+let rec size_stmt = function
+  | Dml _ | Move _ | Display _ | Accept _ | Write_file _ -> 1
+  | If (_, a, b) ->
+      1 + List.fold_left (fun n s -> n + size_stmt s) 0 (a @ b)
+  | While (_, body) -> 1 + List.fold_left (fun n s -> n + size_stmt s) 0 body
+
+let size p = List.fold_left (fun n s -> n + size_stmt s) 0 p.body
+
+let pp ~dml ppf p =
+  let rec pp_stmt indent ppf s =
+    let pad = String.make indent ' ' in
+    match s with
+    | Dml d -> Fmt.pf ppf "%s%a." pad dml d
+    | Move (e, x) -> Fmt.pf ppf "%sMOVE %a TO %s." pad Cond.pp_expr e x
+    | Display es ->
+        Fmt.pf ppf "%sDISPLAY %a." pad
+          Fmt.(list ~sep:(any " ") Cond.pp_expr) es
+    | Accept x -> Fmt.pf ppf "%sACCEPT %s." pad x
+    | Write_file (file, es) ->
+        Fmt.pf ppf "%sWRITE %a TO FILE %s." pad
+          Fmt.(list ~sep:(any " ") Cond.pp_expr) es file
+    | If (c, a, []) ->
+        Fmt.pf ppf "%sIF %a THEN@.%a%sEND-IF." pad Cond.pp c
+          (pp_body (indent + 2)) a pad
+    | If (c, a, b) ->
+        Fmt.pf ppf "%sIF %a THEN@.%a%sELSE@.%a%sEND-IF." pad Cond.pp c
+          (pp_body (indent + 2)) a pad (pp_body (indent + 2)) b pad
+    | While (c, body) ->
+        Fmt.pf ppf "%sPERFORM WHILE %a@.%a%sEND-PERFORM." pad Cond.pp c
+          (pp_body (indent + 2)) body pad
+  and pp_body indent ppf body =
+    List.iter (fun s -> Fmt.pf ppf "%a@." (pp_stmt indent) s) body
+  in
+  Fmt.pf ppf "PROGRAM %s.@.%a" p.name (pp_body 2) p.body
+
+module type ENGINE = sig
+  type db
+  type state
+  type dml
+
+  val initial_state : db -> state
+
+  val exec :
+    db -> state -> env:Cond.env -> dml ->
+    db * state * (string * Value.t) list * Status.t
+end
+
+module Run (E : ENGINE) = struct
+  type result = {
+    db : E.db;
+    trace : Io_trace.t;
+    env : (string * Value.t) list;
+    statuses : Status.t list;
+    steps : int;
+    hit_limit : bool;
+  }
+
+  exception Step_limit
+
+  type rt = {
+    mutable rdb : E.db;
+    mutable rstate : E.state;
+    mutable renv : (string * Value.t) list;
+    mutable rstatuses : Status.t list;
+    mutable rsteps : int;
+    mutable rinput : string list;
+    builder : Io_trace.Builder.t;
+    max_steps : int;
+  }
+
+  let lookup rt name =
+    Some (Option.value (List.assoc_opt name rt.renv) ~default:Value.Null)
+
+  let assign rt name value =
+    rt.renv <-
+      (name, value) :: List.filter (fun (n, _) -> n <> name) rt.renv
+
+  let eval_expr rt e = Cond.eval_expr ~env:(lookup rt) Row.empty e
+  let eval_cond rt c = Cond.eval ~env:(lookup rt) Row.empty c
+
+  let render rt es =
+    String.concat " " (List.map (fun e -> Value.to_display (eval_expr rt e)) es)
+
+  let tick rt =
+    rt.rsteps <- rt.rsteps + 1;
+    if rt.rsteps > rt.max_steps then raise Step_limit
+
+  let rec exec_stmt rt = function
+    | Dml d ->
+        tick rt;
+        let db, state, updates, status =
+          E.exec rt.rdb rt.rstate ~env:(lookup rt) d
+        in
+        rt.rdb <- db;
+        rt.rstate <- state;
+        List.iter (fun (n, v) -> assign rt n v) updates;
+        assign rt status_var (Value.Str (Status.code status));
+        rt.rstatuses <- status :: rt.rstatuses
+    | Move (e, x) ->
+        tick rt;
+        assign rt x (eval_expr rt e)
+    | Display es ->
+        tick rt;
+        Io_trace.Builder.emit rt.builder (Io_trace.Terminal_out (render rt es))
+    | Accept x ->
+        tick rt;
+        let line, rest =
+          match rt.rinput with [] -> ("", []) | l :: rest -> (l, rest)
+        in
+        rt.rinput <- rest;
+        Io_trace.Builder.emit rt.builder (Io_trace.Terminal_in line);
+        assign rt x (Value.Str line)
+    | Write_file (file, es) ->
+        tick rt;
+        Io_trace.Builder.emit rt.builder (Io_trace.File_write (file, render rt es))
+    | If (c, a, b) ->
+        tick rt;
+        if eval_cond rt c then exec_body rt a else exec_body rt b
+    | While (c, body) ->
+        tick rt;
+        let rec loop () =
+          if eval_cond rt c then begin
+            exec_body rt body;
+            tick rt;
+            loop ()
+          end
+        in
+        loop ()
+
+  and exec_body rt body = List.iter (exec_stmt rt) body
+
+  let run ?(input = []) ?(max_steps = 200_000) db program =
+    let rt =
+      { rdb = db;
+        rstate = E.initial_state db;
+        renv = [ (status_var, Value.Str "0000") ];
+        rstatuses = [];
+        rsteps = 0;
+        rinput = input;
+        builder = Io_trace.Builder.create ();
+        max_steps;
+      }
+    in
+    let hit_limit =
+      try
+        exec_body rt program.body;
+        false
+      with Step_limit -> true
+    in
+    { db = rt.rdb;
+      trace = Io_trace.Builder.contents rt.builder;
+      env = rt.renv;
+      statuses = List.rev rt.rstatuses;
+      steps = rt.rsteps;
+      hit_limit;
+    }
+end

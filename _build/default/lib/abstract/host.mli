@@ -1,0 +1,88 @@
+(** The host-language layer: a small COBOL-like structured language
+    with embedded DML statements, generic in the DML type so the same
+    host skeleton runs against any of the three engines.
+
+    This is where the paper's operational equivalence judgment lives:
+    running a program yields an {!Ccv_common.Io_trace.t} of its
+    terminal and non-database file behaviour, and §1.1 declares two
+    programs equivalent iff those traces coincide. *)
+
+open Ccv_common
+
+type 'dml stmt =
+  | Dml of 'dml
+  | Move of Cond.expr * string  (** MOVE expr TO var *)
+  | Display of Cond.expr list  (** one terminal line, space-separated *)
+  | Accept of string  (** read the next terminal input into var *)
+  | Write_file of string * Cond.expr list
+  | If of Cond.t * 'dml stmt list * 'dml stmt list
+  | While of Cond.t * 'dml stmt list
+      (** test before each iteration; expressions are over host
+          variables only *)
+
+type 'dml program = { name : string; body : 'dml stmt list }
+
+(** The status register every DML statement writes (its
+    {!Ccv_common.Status.code}); host conditions test it. *)
+val status_var : string
+
+val status_ok : Cond.t
+val status_is : Status.t -> Cond.t
+val status_not : Status.t -> Cond.t
+
+(** A host variable as a condition/expression operand. *)
+val v : string -> Cond.expr
+
+val str : string -> Cond.expr
+val int : int -> Cond.expr
+
+(** Structural helpers for analysis and conversion. *)
+
+val map_dml : ('a -> 'b) -> 'a program -> 'b program
+
+(** Replace each DML statement by a statement {e list} (for template
+    rewrites that expand one statement into several). *)
+val concat_map_dml : ('a -> 'b stmt list) -> 'a program -> 'b program
+
+val dml_list : 'a program -> 'a list
+
+(** All host variables the program reads or writes. *)
+val variables : 'a program -> vars_of_dml:('a -> string list) -> string list
+
+val size : 'a program -> int
+
+val pp :
+  dml:(Format.formatter -> 'a -> unit) -> Format.formatter -> 'a program ->
+  unit
+
+(** Execution. *)
+
+module type ENGINE = sig
+  type db
+  type state
+  type dml
+
+  val initial_state : db -> state
+
+  val exec :
+    db -> state -> env:Cond.env -> dml ->
+    db * state * (string * Value.t) list * Status.t
+end
+
+module Run (E : ENGINE) : sig
+  type result = {
+    db : E.db;
+    trace : Io_trace.t;
+    env : (string * Value.t) list;  (** final variable bindings *)
+    statuses : Status.t list;  (** per executed DML, in order *)
+    steps : int;
+    hit_limit : bool;  (** the [max_steps] guard fired *)
+  }
+
+  (** [run ?input ?max_steps db program].  [input] scripts the
+      terminal; an exhausted script reads as [""].  Unset variables
+      read as [Null].  [max_steps] (default 200_000) bounds total
+      statement executions. *)
+  val run :
+    ?input:string list -> ?max_steps:int -> E.db -> E.dml program -> result
+end

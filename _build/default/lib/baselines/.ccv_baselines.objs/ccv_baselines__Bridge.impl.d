@@ -1,0 +1,1 @@
+lib/baselines/bridge.ml: Ccv_abstract Ccv_common Ccv_model Ccv_network Ccv_transform Counters Data_translate Host Inverse List Mapping Schema_change Semantic Status

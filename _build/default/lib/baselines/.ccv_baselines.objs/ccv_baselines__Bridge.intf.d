@@ -1,0 +1,1 @@
+lib/baselines/bridge.mli: Ccv_abstract Ccv_common Ccv_model Ccv_network Ccv_transform Host Mapping Schema_change

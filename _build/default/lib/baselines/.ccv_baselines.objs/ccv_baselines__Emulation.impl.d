@@ -1,0 +1,1 @@
+lib/baselines/emulation.ml: Ccv_abstract Ccv_common Ccv_model Ccv_network Ccv_transform Cond Counters Field Host List Mapping Schema_change Semantic Status

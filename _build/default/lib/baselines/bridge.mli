@@ -1,0 +1,36 @@
+(** The bridge-program conversion strategy of §2.1.2: "the source
+    application program's access requirements are supported by
+    dynamically reconstructing from the target database that portion
+    of the source database needed" (the WAND-style dynamic
+    restructuring).
+
+    The bridge reconstructs the source-form database from the
+    restructured one on first access — charging every record read on
+    the target and written into the bridge image — and then serves the
+    source program's DML from the reconstruction.  Retrieval only: a
+    faithful reverse mapping for updates is exactly what the paper
+    says makes this strategy break down. *)
+
+open Ccv_abstract
+open Ccv_transform
+
+type t
+
+(** [create ~source_schema ~ops target_mapping] — the ops are the
+    forward restructuring; the bridge applies their inverses to
+    reconstruct (fails on non-invertible ops, per Housel's
+    restriction). *)
+val create :
+  source_schema:Ccv_model.Semantic.t -> ops:Schema_change.op list ->
+  Mapping.t -> t
+
+module Engine :
+  Host.ENGINE
+    with type db = t * Ccv_network.Ndb.t
+     and type dml = Ccv_network.Dml.t
+
+module Run : module type of Host.Run (Engine)
+
+val run :
+  ?input:string list -> ?max_steps:int -> t -> Ccv_network.Ndb.t ->
+  Ccv_network.Dml.t Host.program -> Ccv_common.Io_trace.t * int

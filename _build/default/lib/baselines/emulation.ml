@@ -1,0 +1,184 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+module Ndb = Ccv_network.Ndb
+module Dml = Ccv_network.Dml
+module Interp = Ccv_network.Interp
+
+type t = {
+  through : string;
+  la : string;  (** DIV-DEPT style set (left association name) *)
+  ra : string;  (** DEPT-EMP style set *)
+  owner : Semantic.entity;
+  member : Semantic.entity;
+}
+
+let create ~source_schema ~op target_mapping =
+  match op with
+  | Schema_change.Interpose { through; left_assoc; right_assoc; _ } ->
+      let a = Semantic.find_assoc_exn source_schema through in
+      (match
+         ( Mapping.assoc_real target_mapping left_assoc,
+           Mapping.assoc_real target_mapping right_assoc )
+       with
+      | Mapping.Assoc_set { set = la; _ }, Mapping.Assoc_set { set = ra; _ } ->
+          { through = Field.canon through;
+            la;
+            ra;
+            owner = Semantic.find_entity_exn source_schema a.left;
+            member = Semantic.find_entity_exn source_schema a.right;
+          }
+      | _, _ ->
+          invalid_arg "Emulation.create: interposed associations must be sets")
+  | Schema_change.Rename_entity _ | Schema_change.Rename_field _
+  | Schema_change.Rename_assoc _ | Schema_change.Add_field _
+  | Schema_change.Drop_field _ | Schema_change.Add_constraint _
+  | Schema_change.Drop_constraint _ | Schema_change.Widen_cardinality _
+  | Schema_change.Collapse _ | Schema_change.Restrict_extension _ ->
+      invalid_arg "Emulation.create: only INTERPOSE is emulated"
+
+module Engine = struct
+  type db = t * Ndb.t
+
+  type state = {
+    cur : Interp.currency;
+    via : (int * int) option;  (** virtual position: (group, member) *)
+    thr : int option;  (** current of the replaced set *)
+  }
+
+  type dml = Dml.t
+
+  let initial_state _ = { cur = Interp.initial_currency; via = None; thr = None }
+
+  (* Track the virtual set's currency: any touched owner or member
+     record becomes its current. *)
+  let track emu ndb st key =
+    match Ndb.rtype_of ndb key with
+    | Some r
+      when Field.name_equal r emu.owner.ename
+           || Field.name_equal r emu.member.ename ->
+        { st with thr = Some key }
+    | Some _ | None -> st
+
+  let virtual_owner emu ndb st =
+    match st.thr with
+    | None -> None
+    | Some key -> (
+        match Ndb.rtype_of ndb key with
+        | Some r when Field.name_equal r emu.owner.ename -> Some key
+        | Some r when Field.name_equal r emu.member.ename -> (
+            Counters.record_read (Ndb.counters ndb);
+            match Ndb.owner_of ndb ~set:emu.ra ~member:key with
+            | None -> None
+            | Some group ->
+                Counters.record_read (Ndb.counters ndb);
+                Ndb.owner_of ndb ~set:emu.la ~member:group)
+        | Some _ | None -> None)
+
+  let matches ndb ~env key cond =
+    match Ndb.view ndb key with
+    | Some row -> Cond.eval ~env row cond
+    | None -> false
+
+  (* Sweep the two-level structure that replaced the set: groups of
+     the owner, then members of each group — this is the emulation
+     overhead the paper predicts. *)
+  let sweep emu ndb ~env owner_key cond ~from_ =
+    let groups = Ndb.members ndb ~set:emu.la ~owner:owner_key in
+    let rec go groups skipping =
+      match groups with
+      | [] -> None
+      | g :: rest -> (
+          let members = Ndb.members ndb ~set:emu.ra ~owner:g in
+          let members, skipping =
+            match from_ with
+            | Some (fg, fm) when skipping ->
+                if g = fg then
+                  let rec after = function
+                    | [] -> []
+                    | m :: tl -> if m = fm then tl else after tl
+                  in
+                  (after members, false)
+                else ([], true)
+            | _ -> (members, skipping)
+          in
+          match List.find_opt (fun m -> matches ndb ~env m cond) members with
+          | Some m -> Some (g, m)
+          | None -> go rest skipping)
+    in
+    go groups (from_ <> None)
+
+  let ok_found emu ndb st key via =
+    let cur = Interp.establish ndb st.cur key in
+    let st = { cur; via; thr = Some key } in
+    ignore emu;
+    (st, Status.Ok)
+
+  let exec (emu, ndb) st ~env stmt =
+    let fail status = ((emu, ndb), st, [], status) in
+    let pass stmt =
+      let o = Interp.exec ndb st.cur ~env stmt in
+      let st' = { st with cur = o.Interp.cur } in
+      let st' =
+        match Interp.current_of_run_unit o.Interp.cur with
+        | Some key when Status.is_ok o.Interp.status ->
+            track emu ndb st' key
+        | Some _ | None -> st'
+      in
+      ((emu, o.Interp.db), st', o.Interp.updates, o.Interp.status)
+    in
+    match stmt with
+    | Dml.Find (Dml.First_within (m, s, cond))
+      when Field.name_equal s emu.through ->
+        if not (Field.name_equal m emu.member.ename) then
+          fail (Status.Invalid_request "emulated set has one member type")
+        else (
+          match virtual_owner emu ndb st with
+          | None -> fail Status.No_currency
+          | Some owner_key -> (
+              match sweep emu ndb ~env owner_key cond ~from_:None with
+              | Some (g, key) ->
+                  let st, status = ok_found emu ndb st key (Some (g, key)) in
+                  ((emu, ndb), st, [], status)
+              | None -> fail Status.End_of_set))
+    | Dml.Find (Dml.Next_within (m, s, cond))
+      when Field.name_equal s emu.through ->
+        if not (Field.name_equal m emu.member.ename) then
+          fail (Status.Invalid_request "emulated set has one member type")
+        else (
+          match virtual_owner emu ndb st, st.via with
+          | Some owner_key, Some from_ -> (
+              match sweep emu ndb ~env owner_key cond ~from_:(Some from_) with
+              | Some (g, key) ->
+                  let st, status = ok_found emu ndb st key (Some (g, key)) in
+                  ((emu, ndb), st, [], status)
+              | None -> fail Status.End_of_set)
+          | Some owner_key, None -> (
+              match sweep emu ndb ~env owner_key cond ~from_:None with
+              | Some (g, key) ->
+                  let st, status = ok_found emu ndb st key (Some (g, key)) in
+                  ((emu, ndb), st, [], status)
+              | None -> fail Status.End_of_set)
+          | None, _ -> fail Status.No_currency)
+    | Dml.Find (Dml.Owner_within s) when Field.name_equal s emu.through -> (
+        match virtual_owner emu ndb st with
+        | Some owner_key ->
+            Counters.record_read (Ndb.counters ndb);
+            let st, status = ok_found emu ndb st owner_key None in
+            ((emu, ndb), st, [], status)
+        | None -> fail Status.No_currency)
+    | Dml.Store _ | Dml.Modify _ | Dml.Erase _ | Dml.Connect _
+    | Dml.Disconnect _ ->
+        (* Task 609: "retrieval only -- no update allowed". *)
+        fail (Status.Invalid_request "DML emulation is retrieval-only")
+    | Dml.Find _ | Dml.Get _ -> pass stmt
+end
+
+module Run = Host.Run (Engine)
+
+let run ?input ?max_steps emu ndb program =
+  let counters = Ndb.counters ndb in
+  let before = Counters.total counters in
+  let r = Run.run ?input ?max_steps (emu, ndb) program in
+  (r.Run.trace, Counters.total counters - before)

@@ -1,0 +1,38 @@
+(** The DML-emulation conversion strategy of §2.1.2 (the Honeywell
+    "Task 609" package): "preserves the behavior of the application
+    program by intercepting the individual DML calls at execution time
+    and invoking equivalent DML calls to the restructured database."
+
+    Like its model, this implementation is {b retrieval only} ("1)
+    retrieval only — no update allowed") and supports a fixed
+    restructuring class — the INTERPOSE split of Figure 4.2→4.4 — on
+    network databases.  Every intercepted call pays reconstruction
+    work on the restructured database (owner hops to rebuild the
+    grouped fields, two-level sweeps to mimic the replaced set), which
+    is precisely the "degraded efficiency" E1 measures. *)
+
+open Ccv_abstract
+open Ccv_transform
+
+type t
+(** An emulation layer: source-schema DML accepted, target database
+    operated. *)
+
+(** [create ~source_schema ~op target_mapping] — [op] must be an
+    [Interpose]; raises [Invalid_argument] otherwise. *)
+val create :
+  source_schema:Ccv_model.Semantic.t -> op:Schema_change.op -> Mapping.t -> t
+
+module Engine :
+  Host.ENGINE
+    with type db = t * Ccv_network.Ndb.t
+     and type dml = Ccv_network.Dml.t
+
+module Run : module type of Host.Run (Engine)
+
+(** Convenience: run a source network program through the emulator on
+    the restructured database. *)
+val run :
+  ?input:string list -> ?max_steps:int -> t -> Ccv_network.Ndb.t ->
+  Ccv_network.Dml.t Host.program ->
+  Ccv_common.Io_trace.t * int (** trace, accesses *)

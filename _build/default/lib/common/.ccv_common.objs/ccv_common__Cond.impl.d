@@ -1,0 +1,1 @@
+lib/common/cond.ml: Field Fmt List Row String Value

@@ -1,0 +1,1 @@
+lib/common/cond.mli: Format Row Value

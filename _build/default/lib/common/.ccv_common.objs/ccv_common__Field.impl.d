@@ -1,0 +1,1 @@
+lib/common/field.ml: Fmt List Option String Value

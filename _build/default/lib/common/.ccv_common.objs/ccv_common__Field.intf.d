@@ -1,0 +1,1 @@
+lib/common/field.mli: Format Value

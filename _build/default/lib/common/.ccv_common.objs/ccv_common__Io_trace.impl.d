@@ -1,0 +1,1 @@
+lib/common/io_trace.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/common/row.ml: Field Fmt Hashtbl List Option String Value

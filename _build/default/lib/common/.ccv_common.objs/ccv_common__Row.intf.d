@@ -1,0 +1,1 @@
+lib/common/row.mli: Field Format Value

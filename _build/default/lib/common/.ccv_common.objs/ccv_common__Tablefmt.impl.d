@@ -1,0 +1,1 @@
+lib/common/tablefmt.ml: Buffer List Option Printf String

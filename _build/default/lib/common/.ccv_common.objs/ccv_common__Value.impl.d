@@ -1,0 +1,1 @@
+lib/common/value.ml: Bool Float Fmt Hashtbl Int String

@@ -1,0 +1,215 @@
+type expr =
+  | Const of Value.t
+  | Field of string
+  | Var of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Concat of expr * expr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of expr
+  | Is_not_null of expr
+
+type env = string -> Value.t option
+
+let no_env _ = None
+
+exception Unbound of string
+
+let rec eval_expr ~env row = function
+  | Const v -> v
+  | Field name -> (
+      match Row.get row name with
+      | Some v -> v
+      | None -> raise (Unbound ("field " ^ name)))
+  | Var name -> (
+      match env name with
+      | Some v -> v
+      | None -> raise (Unbound ("variable " ^ name)))
+  | Add (a, b) -> Value.add (eval_expr ~env row a) (eval_expr ~env row b)
+  | Sub (a, b) -> Value.sub (eval_expr ~env row a) (eval_expr ~env row b)
+  | Mul (a, b) -> Value.mul (eval_expr ~env row a) (eval_expr ~env row b)
+  | Concat (a, b) -> Value.concat (eval_expr ~env row a) (eval_expr ~env row b)
+
+let apply_cmp op a b =
+  (* 1979 three-valued logic in miniature: a comparison involving NULL
+     is false except for Eq NULL NULL, matching how the paper's
+     existence constraints treat missing references. *)
+  match op with
+  | Eq -> Value.equal a b
+  | Ne -> not (Value.equal a b)
+  | Lt -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b < 0
+  | Le -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b <= 0
+  | Gt -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b > 0
+  | Ge -> (not (Value.is_null a || Value.is_null b)) && Value.compare a b >= 0
+
+let rec eval ~env row = function
+  | True -> true
+  | Cmp (op, a, b) -> apply_cmp op (eval_expr ~env row a) (eval_expr ~env row b)
+  | And (a, b) -> eval ~env row a && eval ~env row b
+  | Or (a, b) -> eval ~env row a || eval ~env row b
+  | Not a -> not (eval ~env row a)
+  | Is_null e -> Value.is_null (eval_expr ~env row e)
+  | Is_not_null e -> not (Value.is_null (eval_expr ~env row e))
+
+let rec fields_of_expr = function
+  | Const _ | Var _ -> []
+  | Field name -> [ Field.canon name ]
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Concat (a, b) ->
+      fields_of_expr a @ fields_of_expr b
+
+let rec vars_of_expr = function
+  | Const _ | Field _ -> []
+  | Var name -> [ name ]
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Concat (a, b) ->
+      vars_of_expr a @ vars_of_expr b
+
+let dedup xs =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | x :: rest -> if List.mem x seen then go seen rest else go (x :: seen) rest
+  in
+  go [] xs
+
+let rec fields = function
+  | True -> []
+  | Cmp (_, a, b) -> dedup (fields_of_expr a @ fields_of_expr b)
+  | And (a, b) | Or (a, b) -> dedup (fields a @ fields b)
+  | Not a -> fields a
+  | Is_null e | Is_not_null e -> dedup (fields_of_expr e)
+
+let rec vars = function
+  | True -> []
+  | Cmp (_, a, b) -> dedup (vars_of_expr a @ vars_of_expr b)
+  | And (a, b) | Or (a, b) -> dedup (vars a @ vars b)
+  | Not a -> vars a
+  | Is_null e | Is_not_null e -> dedup (vars_of_expr e)
+
+let rec map_fields_expr f = function
+  | Const v -> Const v
+  | Field name -> Field (f name)
+  | Var name -> Var name
+  | Add (a, b) -> Add (map_fields_expr f a, map_fields_expr f b)
+  | Sub (a, b) -> Sub (map_fields_expr f a, map_fields_expr f b)
+  | Mul (a, b) -> Mul (map_fields_expr f a, map_fields_expr f b)
+  | Concat (a, b) -> Concat (map_fields_expr f a, map_fields_expr f b)
+
+let rec map_fields f = function
+  | True -> True
+  | Cmp (op, a, b) -> Cmp (op, map_fields_expr f a, map_fields_expr f b)
+  | And (a, b) -> And (map_fields f a, map_fields f b)
+  | Or (a, b) -> Or (map_fields f a, map_fields f b)
+  | Not a -> Not (map_fields f a)
+  | Is_null e -> Is_null (map_fields_expr f e)
+  | Is_not_null e -> Is_not_null (map_fields_expr f e)
+
+let rec fields_to_vars_expr f = function
+  | Const v -> Const v
+  | Field name -> Var (f name)
+  | Var name -> Var name
+  | Add (a, b) -> Add (fields_to_vars_expr f a, fields_to_vars_expr f b)
+  | Sub (a, b) -> Sub (fields_to_vars_expr f a, fields_to_vars_expr f b)
+  | Mul (a, b) -> Mul (fields_to_vars_expr f a, fields_to_vars_expr f b)
+  | Concat (a, b) -> Concat (fields_to_vars_expr f a, fields_to_vars_expr f b)
+
+let rec fields_to_vars f = function
+  | True -> True
+  | Cmp (op, a, b) -> Cmp (op, fields_to_vars_expr f a, fields_to_vars_expr f b)
+  | And (a, b) -> And (fields_to_vars f a, fields_to_vars f b)
+  | Or (a, b) -> Or (fields_to_vars f a, fields_to_vars f b)
+  | Not a -> Not (fields_to_vars f a)
+  | Is_null e -> Is_null (fields_to_vars_expr f e)
+  | Is_not_null e -> Is_not_null (fields_to_vars_expr f e)
+
+let rec subst_vars_expr env = function
+  | Const v -> Const v
+  | Field name -> Field name
+  | Var name -> (
+      match env name with Some v -> Const v | None -> Var name)
+  | Add (a, b) -> Add (subst_vars_expr env a, subst_vars_expr env b)
+  | Sub (a, b) -> Sub (subst_vars_expr env a, subst_vars_expr env b)
+  | Mul (a, b) -> Mul (subst_vars_expr env a, subst_vars_expr env b)
+  | Concat (a, b) -> Concat (subst_vars_expr env a, subst_vars_expr env b)
+
+let rec subst_vars env = function
+  | True -> True
+  | Cmp (op, a, b) -> Cmp (op, subst_vars_expr env a, subst_vars_expr env b)
+  | And (a, b) -> And (subst_vars env a, subst_vars env b)
+  | Or (a, b) -> Or (subst_vars env a, subst_vars env b)
+  | Not a -> Not (subst_vars env a)
+  | Is_null e -> Is_null (subst_vars_expr env e)
+  | Is_not_null e -> Is_not_null (subst_vars_expr env e)
+
+let rec split_conjuncts = function
+  | True -> []
+  | And (a, b) -> split_conjuncts a @ split_conjuncts b
+  | (Cmp _ | Or _ | Not _ | Is_null _ | Is_not_null _) as c -> [ c ]
+
+let conj = function
+  | [] -> True
+  | c :: rest -> List.fold_left (fun acc c' -> And (acc, c')) c rest
+
+let cand a b = match a, b with True, c | c, True -> c | a, b -> And (a, b)
+
+let eq_field_const name v = Cmp (Eq, Field (Field.canon name), Const v)
+
+let as_field_eq_const = function
+  | Cmp (Eq, Field name, Const v) | Cmp (Eq, Const v, Field name) ->
+      Some (Field.canon name, v)
+  | True | Cmp _ | And _ | Or _ | Not _ | Is_null _ | Is_not_null _ -> None
+
+let rec equal_expr a b =
+  match a, b with
+  | Const x, Const y -> Value.equal x y
+  | Field x, Field y -> Field.name_equal x y
+  | Var x, Var y -> String.equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Concat (a1, a2), Concat (b1, b2) -> equal_expr a1 b1 && equal_expr a2 b2
+  | (Const _ | Field _ | Var _ | Add _ | Sub _ | Mul _ | Concat _), _ -> false
+
+let rec equal a b =
+  match a, b with
+  | True, True -> true
+  | Cmp (o1, a1, a2), Cmp (o2, b1, b2) ->
+      o1 = o2 && equal_expr a1 b1 && equal_expr a2 b2
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
+      equal a1 b1 && equal a2 b2
+  | Not a, Not b -> equal a b
+  | Is_null a, Is_null b | Is_not_null a, Is_not_null b -> equal_expr a b
+  | (True | Cmp _ | And _ | Or _ | Not _ | Is_null _ | Is_not_null _), _ ->
+      false
+
+let rec pp_expr ppf = function
+  | Const v -> Value.pp ppf v
+  | Field name -> Fmt.string ppf name
+  | Var name -> Fmt.pf ppf ":%s" name
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Concat (a, b) -> Fmt.pf ppf "(%a || %a)" pp_expr a pp_expr b
+
+let pp_cmp ppf op =
+  Fmt.string ppf
+    (match op with
+    | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "TRUE"
+  | Cmp (op, a, b) -> Fmt.pf ppf "%a %a %a" pp_expr a pp_cmp op pp_expr b
+  | And (a, b) -> Fmt.pf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Fmt.pf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Fmt.pf ppf "NOT %a" pp a
+  | Is_null e -> Fmt.pf ppf "%a IS NULL" pp_expr e
+  | Is_not_null e -> Fmt.pf ppf "%a IS NOT NULL" pp_expr e
+
+let show c = Fmt.str "%a" pp c

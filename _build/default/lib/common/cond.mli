@@ -1,0 +1,73 @@
+(** Boolean qualification expressions over a record and a host-variable
+    environment.  This one expression language serves relational
+    selection, CODASYL FIND qualification, DL/I segment search
+    arguments and the Maryland FIND booleans, so that the converter can
+    rewrite conditions uniformly. *)
+
+type expr =
+  | Const of Value.t
+  | Field of string  (** field of the record under test *)
+  | Var of string  (** host-program variable *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Concat of expr * expr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | Cmp of cmp * expr * expr
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of expr
+  | Is_not_null of expr
+
+type env = string -> Value.t option
+(** Host-variable lookup. *)
+
+val no_env : env
+
+exception Unbound of string
+(** Raised by {!eval} on an unknown field or variable. *)
+
+val eval_expr : env:env -> Row.t -> expr -> Value.t
+val eval : env:env -> Row.t -> t -> bool
+
+(** Structural traversals used by the analyzer and converter. *)
+
+val fields_of_expr : expr -> string list
+val fields : t -> string list
+val vars : t -> string list
+
+(** [map_fields f c] renames every [Field] reference. *)
+val map_fields : (string -> string) -> t -> t
+
+(** [fields_to_vars f c] turns every [Field x] into [Var (f x)] — used
+    when a record qualification becomes a host test over fetched
+    working-storage variables. *)
+val fields_to_vars : (string -> string) -> t -> t
+
+(** [subst_vars env c] folds known host variables into constants. *)
+val subst_vars : env -> t -> t
+
+(** [split_conjuncts c] flattens nested [And]s (never returns [True]
+    inside the list; [True] yields []). *)
+val split_conjuncts : t -> t list
+
+val conj : t list -> t
+
+(** Smart conjunction: drops [True] operands. *)
+val cand : t -> t -> t
+
+(** [eq_field_const name v] builds the common [FIELD = literal] shape. *)
+val eq_field_const : string -> Value.t -> t
+
+(** Detect the [FIELD = literal] shape (after var substitution). *)
+val as_field_eq_const : t -> (string * Value.t) option
+
+val equal : t -> t -> bool
+val pp_expr : Format.formatter -> expr -> unit
+val pp : Format.formatter -> t -> unit
+val show : t -> string

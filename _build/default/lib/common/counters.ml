@@ -1,0 +1,15 @@
+type t = { mutable reads : int; mutable writes : int }
+
+let create () = { reads = 0; writes = 0 }
+let record_read t = t.reads <- t.reads + 1
+let record_write t = t.writes <- t.writes + 1
+let record_reads t n = t.reads <- t.reads + n
+let reads t = t.reads
+let writes t = t.writes
+let total t = t.reads + t.writes
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0
+
+let snapshot t = (t.reads, t.writes)

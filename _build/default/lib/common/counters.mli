@@ -1,0 +1,21 @@
+(** Low-level access accounting.  Every engine charges its record
+    touches here so that experiment E1 can compare the access cost of
+    converted programs against the emulation and bridge baselines. *)
+
+type t
+
+val create : unit -> t
+
+val record_read : t -> unit
+val record_write : t -> unit
+
+(** Charge [n] reads at once (bulk scans). *)
+val record_reads : t -> int -> unit
+
+val reads : t -> int
+val writes : t -> int
+val total : t -> int
+val reset : t -> unit
+
+(** [diff after before] as (reads, writes) — [snapshot]-style use. *)
+val snapshot : t -> int * int

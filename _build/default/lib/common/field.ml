@@ -1,0 +1,26 @@
+type t = { name : string; ty : Value.ty }
+
+let canon = String.uppercase_ascii
+let name_equal a b = String.equal (canon a) (canon b)
+let make name ty = { name = canon name; ty }
+let equal a b = name_equal a.name b.name && Value.equal_ty a.ty b.ty
+
+let compare a b =
+  let c = String.compare (canon a.name) (canon b.name) in
+  if c <> 0 then c else Value.compare_ty a.ty b.ty
+
+let pp ppf f = Fmt.pf ppf "%s:%a" f.name Value.pp_ty f.ty
+let show f = Fmt.str "%a" pp f
+let find fields name = List.find_opt (fun f -> name_equal f.name name) fields
+let mem fields name = Option.is_some (find fields name)
+let names fields = List.map (fun f -> f.name) fields
+
+let check_distinct ~what fields =
+  let rec go = function
+    | [] -> ()
+    | f :: rest ->
+        if mem rest f.name then
+          invalid_arg (Fmt.str "%s: duplicate field %s" what f.name)
+        else go rest
+  in
+  go fields

@@ -1,0 +1,27 @@
+(** Field (data-item) declarations, shared by every schema language. *)
+
+type t = { name : string; ty : Value.ty }
+
+val make : string -> Value.ty -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+(** [find fields name] is the declaration named [name], if any.
+    Field names compare case-insensitively, as in the 1979 DDLs. *)
+val find : t list -> string -> t option
+
+val mem : t list -> string -> bool
+
+(** [names fields] in declaration order. *)
+val names : t list -> string list
+
+(** Case-insensitive name equality used throughout the system. *)
+val name_equal : string -> string -> bool
+
+(** Canonical (upper-case) spelling of a field/record/set name. *)
+val canon : string -> string
+
+(** Raise [Invalid_argument] when the list declares a name twice. *)
+val check_distinct : what:string -> t list -> unit

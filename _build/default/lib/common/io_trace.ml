@@ -1,0 +1,54 @@
+type event =
+  | Terminal_out of string
+  | Terminal_in of string
+  | File_write of string * string
+  | File_read of string * string
+
+type t = event list
+
+let equal_event a b =
+  match a, b with
+  | Terminal_out x, Terminal_out y | Terminal_in x, Terminal_in y ->
+      String.equal x y
+  | File_write (f1, l1), File_write (f2, l2)
+  | File_read (f1, l1), File_read (f2, l2) ->
+      String.equal f1 f2 && String.equal l1 l2
+  | (Terminal_out _ | Terminal_in _ | File_write _ | File_read _), _ -> false
+
+let equal a b = List.length a = List.length b && List.for_all2 equal_event a b
+
+let pp_event ppf = function
+  | Terminal_out s -> Fmt.pf ppf "OUT  %s" s
+  | Terminal_in s -> Fmt.pf ppf "IN   %s" s
+  | File_write (f, l) -> Fmt.pf ppf "FW   %s: %s" f l
+  | File_read (f, l) -> Fmt.pf ppf "FR   %s: %s" f l
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_event) t
+let show t = Fmt.str "%a" pp t
+
+let first_divergence a b =
+  let rec go i a b =
+    match a, b with
+    | [], [] -> None
+    | x :: a', y :: b' ->
+        if equal_event x y then go (i + 1) a' b' else Some (i, Some x, Some y)
+    | x :: _, [] -> Some (i, Some x, None)
+    | [], y :: _ -> Some (i, None, Some y)
+  in
+  go 0 a b
+
+let terminal_lines t =
+  List.filter_map
+    (function
+      | Terminal_out s -> Some s
+      | Terminal_in _ | File_write _ | File_read _ -> None)
+    t
+
+module Builder = struct
+  type trace = t
+  type t = { mutable rev : event list }
+
+  let create () = { rev = [] }
+  let emit b e = b.rev <- e :: b.rev
+  let contents b = List.rev b.rev
+end

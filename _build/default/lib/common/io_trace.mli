@@ -1,0 +1,38 @@
+(** The observable behaviour of a database program, as defined in
+    section 1.1 of the paper: "except with respect to the database, a
+    restructured program must preserve the input/output behavior of the
+    original program".  An [Io_trace.t] records exactly that observable
+    part — terminal and non-database file interactions — and two
+    programs are judged equivalent iff their traces are equal. *)
+
+type event =
+  | Terminal_out of string
+  | Terminal_in of string  (** value consumed from the terminal script *)
+  | File_write of string * string  (** file name, line *)
+  | File_read of string * string
+
+type t = event list
+(** In chronological order. *)
+
+val equal_event : event -> event -> bool
+val equal : t -> t -> bool
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+(** First differing position and the two events there, for diagnostics
+    ([None] when traces are equal). *)
+val first_divergence : t -> t -> (int * event option * event option) option
+
+(** Only the terminal lines, in order — handy in tests. *)
+val terminal_lines : t -> string list
+
+(** A mutable trace under construction (interpreters append). *)
+module Builder : sig
+  type trace = t
+  type t
+
+  val create : unit -> t
+  val emit : t -> event -> unit
+  val contents : t -> trace
+end

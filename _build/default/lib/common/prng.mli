@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random generator (splitmix64) for workload
+    generation.  The standard-library [Random] is avoided so that every
+    experiment is reproducible from a printed seed. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+val int_in : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [float t x] is uniform in [0, x). *)
+val float : t -> float -> float
+
+(** [pick t xs] raises [Invalid_argument] on an empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [pick_weighted t pairs] picks proportionally to the (positive)
+    weights. *)
+val pick_weighted : t -> (int * 'a) list -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+
+(** Fixed-length alphabetic string, upper-case. *)
+val word : t -> int -> string
+
+(** Split off an independent generator (for parallel sub-workloads). *)
+val split : t -> t

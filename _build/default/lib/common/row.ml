@@ -1,0 +1,94 @@
+type t = (string * Value.t) list
+(* Invariant: names are canonical (upper-case) and distinct, in field
+   declaration order.  Rows are tiny (a handful of fields), so an assoc
+   list beats a map on both clarity and constant factors. *)
+
+let empty = []
+
+let of_list bindings =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (name, v) :: rest ->
+        let name = Field.canon name in
+        if List.mem_assoc name acc then go acc rest
+        else go ((name, v) :: acc) rest
+  in
+  go [] bindings
+
+let to_list row = row
+let get row name = List.assoc_opt (Field.canon name) row
+let get_exn row name = List.assoc (Field.canon name) row
+
+let set row name v =
+  let name = Field.canon name in
+  if List.mem_assoc name row then
+    List.map (fun (n, old) -> if String.equal n name then (n, v) else (n, old)) row
+  else row @ [ (name, v) ]
+
+let remove row name =
+  let name = Field.canon name in
+  List.filter (fun (n, _) -> not (String.equal n name)) row
+
+let mem row name = List.mem_assoc (Field.canon name) row
+let fields row = List.map fst row
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && Value.equal v1 v2)
+       a b
+
+let equal_unordered a b =
+  List.length a = List.length b
+  && List.for_all
+       (fun (n, v) -> match List.assoc_opt n b with
+         | Some v' -> Value.equal v v'
+         | None -> false)
+       a
+
+let compare a b =
+  List.compare
+    (fun (n1, v1) (n2, v2) ->
+      let c = String.compare n1 n2 in
+      if c <> 0 then c else Value.compare v1 v2)
+    a b
+
+let project row names =
+  List.map
+    (fun name ->
+      let name = Field.canon name in
+      (name, Option.value (List.assoc_opt name row) ~default:Value.Null))
+    names
+
+let rename row ~from_ ~to_ =
+  let from_ = Field.canon from_ and to_ = Field.canon to_ in
+  List.map
+    (fun (n, v) -> if String.equal n from_ then (to_, v) else (n, v))
+    row
+
+let union a b =
+  a @ List.filter (fun (n, _) -> not (List.mem_assoc n a)) b
+
+let conforms row decls =
+  List.length row = List.length decls
+  && List.for_all
+       (fun (d : Field.t) ->
+         match get row d.name with
+         | Some v -> Value.conforms v d.ty
+         | None -> false)
+       decls
+
+let coerce row decls =
+  List.map
+    (fun (d : Field.t) ->
+      (d.name, Option.value (get row d.name) ~default:Value.Null))
+    decls
+
+let pp ppf row =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (n, v) ->
+         Fmt.pf ppf "%s=%a" n Value.pp v))
+    row
+
+let show row = Fmt.str "%a" pp row
+let hash row = Hashtbl.hash (List.map (fun (n, v) -> (n, Value.hash v)) row)

@@ -1,0 +1,53 @@
+(** A generic record/tuple/segment instance: an ordered mapping from
+    field names to {!Value.t}.  Field order is the declaration order and
+    is preserved by all operations, so printed output is deterministic. *)
+
+type t
+
+val empty : t
+
+(** [of_list bindings] canonicalises names; later bindings override
+    earlier ones for the same name (the position of the first wins). *)
+val of_list : (string * Value.t) list -> t
+
+val to_list : t -> (string * Value.t) list
+val get : t -> string -> Value.t option
+
+(** [get_exn row name] raises [Not_found] when the field is absent. *)
+val get_exn : t -> string -> Value.t
+
+(** [set row name v] replaces or appends the binding. *)
+val set : t -> string -> Value.t -> t
+
+val remove : t -> string -> t
+val mem : t -> string -> bool
+val fields : t -> string list
+val equal : t -> t -> bool
+
+(** Order-insensitive equality: same bindings regardless of position. *)
+val equal_unordered : t -> t -> bool
+
+val compare : t -> t -> int
+
+(** [project row names] keeps exactly [names], in the given order;
+    missing fields become [Null] (the 1979 convention for a field the
+    restructured record no longer carries). *)
+val project : t -> string list -> t
+
+(** [rename row ~from_ ~to_] renames a field, keeping its position. *)
+val rename : t -> from_:string -> to_:string -> t
+
+(** [union a b]: bindings of [a] then bindings of [b] not already in
+    [a] (left-biased, used to join owner and member records). *)
+val union : t -> t -> t
+
+(** [conforms row fields] checks arity, names and value types. *)
+val conforms : t -> Field.t list -> bool
+
+(** [coerce row fields] reorders/pads a row to a declaration: fields in
+    declaration order, missing ones [Null], extra ones dropped. *)
+val coerce : t -> Field.t list -> t
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val hash : t -> int

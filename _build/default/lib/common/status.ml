@@ -1,0 +1,43 @@
+type t =
+  | Ok
+  | Not_found
+  | End_of_set
+  | Constraint_violation of string
+  | No_currency
+  | Duplicate_key of string
+  | Invalid_request of string
+
+let is_ok = function
+  | Ok -> true
+  | Not_found | End_of_set | Constraint_violation _ | No_currency
+  | Duplicate_key _ | Invalid_request _ -> false
+
+let equal a b =
+  match a, b with
+  | Ok, Ok | Not_found, Not_found | End_of_set, End_of_set
+  | No_currency, No_currency -> true
+  | Constraint_violation x, Constraint_violation y
+  | Duplicate_key x, Duplicate_key y
+  | Invalid_request x, Invalid_request y -> String.equal x y
+  | ( Ok | Not_found | End_of_set | Constraint_violation _ | No_currency
+    | Duplicate_key _ | Invalid_request _ ), _ -> false
+
+let code = function
+  | Ok -> "0000"
+  | Not_found -> "0326"
+  | End_of_set -> "0307"
+  | Constraint_violation _ -> "1205"
+  | No_currency -> "0303"
+  | Duplicate_key _ -> "1605"
+  | Invalid_request _ -> "9999"
+
+let pp ppf = function
+  | Ok -> Fmt.string ppf "OK"
+  | Not_found -> Fmt.string ppf "NOT-FOUND"
+  | End_of_set -> Fmt.string ppf "END-OF-SET"
+  | Constraint_violation msg -> Fmt.pf ppf "CONSTRAINT-VIOLATION(%s)" msg
+  | No_currency -> Fmt.string ppf "NO-CURRENCY"
+  | Duplicate_key msg -> Fmt.pf ppf "DUPLICATE-KEY(%s)" msg
+  | Invalid_request msg -> Fmt.pf ppf "INVALID-REQUEST(%s)" msg
+
+let show s = Fmt.str "%a" pp s

@@ -1,0 +1,22 @@
+(** DBMS status codes.  Section 3.2 of the paper singles out
+    status-code dependence as a conversion hazard, so every engine
+    reports through this one explicit type and the analyzer can reason
+    about which codes a program tests. *)
+
+type t =
+  | Ok
+  | Not_found  (** no record satisfied the qualification *)
+  | End_of_set  (** FIND NEXT ran off the end of a set / scan *)
+  | Constraint_violation of string
+  | No_currency  (** navigation with no established position *)
+  | Duplicate_key of string
+  | Invalid_request of string
+
+val is_ok : t -> bool
+val equal : t -> t -> bool
+
+(** Stable numeric code, in the COBOL tradition ("0000", "0326"...). *)
+val code : t -> string
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,68 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?title ?aligns headers rows =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> List.init ncols (fun _ -> Left)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length h) rows)
+      headers
+  in
+  let line =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let render_row cells =
+    let padded =
+      List.mapi
+        (fun i w ->
+          let cell = Option.value (List.nth_opt cells i) ~default:"" in
+          let align = List.nth aligns i in
+          " " ^ pad align w cell ^ " ")
+        widths
+    in
+    "|" ^ String.concat "|" padded ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let print ?title ?aligns headers rows =
+  print_string (render ?title ?aligns headers rows)
+
+let float_cell ?(digits = 2) f = Printf.sprintf "%.*f" digits f
+let ratio_cell f = Printf.sprintf "%.2fx" f

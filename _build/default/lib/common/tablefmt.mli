@@ -1,0 +1,20 @@
+(** ASCII table rendering for the experiment report harness. *)
+
+type align = Left | Right
+
+(** [render ~title ~aligns headers rows] draws a boxed table.  When
+    [aligns] is omitted every column is left-aligned. *)
+val render :
+  ?title:string -> ?aligns:align list -> string list -> string list list ->
+  string
+
+(** [print ...] is [render] followed by [print_string]. *)
+val print :
+  ?title:string -> ?aligns:align list -> string list -> string list list ->
+  unit
+
+(** Format a float with [digits] decimals (default 2). *)
+val float_cell : ?digits:int -> float -> string
+
+(** Format a ratio like ["3.2x"]. *)
+val ratio_cell : float -> string

@@ -1,0 +1,1 @@
+lib/convert/advisor.ml: Apattern Aprog Ccv_abstract Ccv_common Ccv_model Cond Field Fmt List Rules Semantic String

@@ -1,0 +1,1 @@
+lib/convert/advisor.mli: Aprog Ccv_abstract Ccv_model Format Semantic

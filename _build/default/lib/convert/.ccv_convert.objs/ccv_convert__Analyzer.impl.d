@@ -1,0 +1,1 @@
+lib/convert/analyzer.ml: Apattern Aprog Ccv_abstract Ccv_common Ccv_hier Ccv_model Ccv_network Ccv_relational Ccv_transform Cond Engines Field Fmt Host List Mapping Rel_dml Semantic String Value

@@ -1,0 +1,1 @@
+lib/convert/engines.ml: Ccv_abstract Ccv_common Ccv_hier Ccv_network Ccv_relational Counters Fmt Host Io_trace List Row Status

@@ -1,0 +1,1 @@
+lib/convert/engines.mli: Ccv_abstract Ccv_common Ccv_hier Ccv_network Ccv_relational Format Host Io_trace

@@ -1,0 +1,1 @@
+lib/convert/equivalence.ml: Ainterp Ccv_abstract Ccv_common Ccv_model Ccv_transform Engines Fmt Generator Io_trace List Mapping Sdb String

@@ -1,0 +1,1 @@
+lib/convert/equivalence.mli: Aprog Ccv_abstract Ccv_common Ccv_model Ccv_transform Engines Format Io_trace Mapping Sdb

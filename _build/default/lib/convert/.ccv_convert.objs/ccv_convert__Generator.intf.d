@@ -1,0 +1,1 @@
+lib/convert/generator.mli: Aprog Ccv_abstract Ccv_hier Ccv_network Ccv_transform Engines Host Mapping

@@ -1,0 +1,1 @@
+lib/convert/optimizer.ml: Apattern Aprog Ccv_abstract Ccv_common Ccv_model Cond Field Fmt Host List Rules Semantic String

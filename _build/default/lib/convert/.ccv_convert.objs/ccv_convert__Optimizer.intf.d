@@ -1,0 +1,1 @@
+lib/convert/optimizer.mli: Aprog Ccv_abstract Ccv_model Semantic

@@ -1,0 +1,1 @@
+lib/convert/rules.ml: Apattern Aprog Ccv_abstract Ccv_common Ccv_model Ccv_transform Cond Field Fmt Fun List Schema_change Semantic String

@@ -1,0 +1,1 @@
+lib/convert/rules.mli: Aprog Ccv_abstract Ccv_common Ccv_model Ccv_transform Schema_change Semantic

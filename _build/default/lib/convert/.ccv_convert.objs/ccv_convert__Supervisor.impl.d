@@ -1,0 +1,1 @@
+lib/convert/supervisor.ml: Advisor Analyzer Aprog Ccv_abstract Ccv_model Ccv_transform Data_translate Engines Equivalence Fmt Generator List Mapping Optimizer Result Rules Schema_change Sdb Semantic

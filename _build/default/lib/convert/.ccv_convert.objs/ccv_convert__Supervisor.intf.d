@@ -1,0 +1,1 @@
+lib/convert/supervisor.mli: Aprog Ccv_abstract Ccv_model Ccv_transform Engines Equivalence Format Mapping Schema_change Sdb Semantic

@@ -1,0 +1,141 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+type suggestion = { severity : [ `Advice | `Suspicion ]; message : string }
+
+let pp_suggestion ppf s =
+  Fmt.pf ppf "[%s] %s"
+    (match s.severity with `Advice -> "advice" | `Suspicion -> "suspicion")
+    s.message
+
+let prefix_of x =
+  match String.index_opt x '.' with
+  | Some i -> Some (String.sub x 0 i)
+  | None -> None
+
+(* Does an association's attribute or key field carry the same name on
+   both linked fields?  Heuristic for "related in application terms":
+   the linking fields correspond to an association endpoint key. *)
+let through_suggestions schema query =
+  List.filter_map
+    (fun step ->
+      match step with
+      | Apattern.Through { target; source; link = tf, sf; _ } -> (
+          match Semantic.assoc_between schema source target with
+          | Some a ->
+              Some
+                { severity = `Advice;
+                  message =
+                    Fmt.str
+                      "ACCESS %s via %s through (%s,%s): association %s \
+                       already relates these entities — use its access path"
+                      target source tf sf a.aname;
+                }
+          | None ->
+              (* no declared relationship: suspicious unless both
+                 fields are keys of their entities *)
+              let is_key ename f =
+                match Semantic.find_entity schema ename with
+                | Some e -> List.exists (Field.name_equal f) e.key
+                | None -> false
+              in
+              if is_key target tf || is_key source sf then None
+              else
+                Some
+                  { severity = `Suspicion;
+                    message =
+                      Fmt.str
+                        "ACCESS %s via %s through (%s,%s): the schema \
+                         declares no relationship between these entities — \
+                         the fields may not be related in application terms"
+                        target source tf sf;
+                  })
+      | Apattern.Self _ | Apattern.Assoc_via _ | Apattern.Via_assoc _ -> None)
+    query
+
+(* A FIRST whose access can deliver several instances (non-key
+   qualification, or navigation through the many side). *)
+let first_suggestion schema query =
+  match query with
+  | [ Apattern.Self { target; qual } ] -> (
+      match Semantic.find_entity schema target with
+      | Some e ->
+          let bound_keys =
+            List.filter
+              (fun k ->
+                List.exists
+                  (fun c ->
+                    match Cond.as_field_eq_const c with
+                    | Some (f, _) -> Field.name_equal f k
+                    | None -> (
+                        match c with
+                        | Cond.Cmp (Cond.Eq, Cond.Field f, Cond.Var _)
+                        | Cond.Cmp (Cond.Eq, Cond.Var _, Cond.Field f) ->
+                            Field.name_equal f k
+                        | _ -> false))
+                  (Cond.split_conjuncts qual))
+              e.key
+          in
+          if List.length bound_keys = List.length e.key then []
+          else
+            [ { severity = `Suspicion;
+                message =
+                  Fmt.str
+                    "FIRST over %s with a non-key qualification: several \
+                     instances may match — did the program mean to process \
+                     all of them? (§3.2 order dependence)"
+                    target;
+              };
+            ]
+      | None -> [])
+  | _ ->
+      [ { severity = `Suspicion;
+          message =
+            "FIRST over a multi-step access sequence processes one of \
+             possibly many contexts";
+        };
+      ]
+
+(* Steps whose bindings the program never reads. *)
+let overshoot_suggestions _schema p =
+  let used = Rules.qualified_vars p in
+  let used_prefixes = List.filter_map prefix_of used in
+  List.concat_map
+    (fun query ->
+      match List.rev query with
+      | last :: _ :: _ ->
+          let name = Apattern.target_of last in
+          if
+            Cond.equal (Apattern.qual_of last) Cond.True
+            && not (List.exists (Field.name_equal name) used_prefixes)
+          then
+            [ { severity = `Advice;
+                message =
+                  Fmt.str
+                    "the final access to %s binds values the program never \
+                     reads — the navigation may be unnecessary"
+                    name;
+              };
+            ]
+          else []
+      | _ -> [])
+    (Aprog.queries p)
+
+let review schema (p : Aprog.t) =
+  let rec walk = function
+    | Aprog.For_each { query; body } ->
+        through_suggestions schema query @ List.concat_map walk body
+    | Aprog.First { query; present; absent } ->
+        first_suggestion schema query
+        @ through_suggestions schema query
+        @ List.concat_map walk present
+        @ List.concat_map walk absent
+    | Aprog.Update { query; _ } | Aprog.Delete { query; _ } ->
+        through_suggestions schema query
+    | Aprog.If (_, a, b) -> List.concat_map walk a @ List.concat_map walk b
+    | Aprog.While (_, body) -> List.concat_map walk body
+    | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ | Aprog.Display _
+    | Aprog.Accept _ | Aprog.Write_file _ | Aprog.Move _ -> []
+  in
+  List.concat_map walk p.Aprog.body @ overshoot_suggestions schema p

@@ -1,0 +1,30 @@
+(** The §5.3 by-product: "if a program analyzer can be successfully
+    constructed, it could be used as a programmer's aid during initial
+    writing of database application programs.  Application programmers
+    may misunderstand or misuse data relationships... a programmer may
+    try to relate two files through two data items which are not
+    related in application terms. Or the programmer may not be aware of
+    all the access paths available."
+
+    The advisor inspects an abstract program against the semantic
+    schema and reports improvement suggestions:
+
+    - a [Through] (comparable-fields) access between entities that an
+      association already connects — use the association's access path;
+    - a [Through] access over fields with no declared relationship at
+      all — flag the §5.3 "not related in application terms" suspicion;
+    - a [First] over an access that can deliver many instances —
+      the §3.2 "process the first" vs "process all" confusion;
+    - query steps whose bindings the program never reads — wasted
+      navigation (access-path overshoot). *)
+
+open Ccv_abstract
+open Ccv_model
+
+type suggestion = {
+  severity : [ `Advice | `Suspicion ];
+  message : string;
+}
+
+val review : Semantic.t -> Aprog.t -> suggestion list
+val pp_suggestion : Format.formatter -> suggestion -> unit

@@ -1,0 +1,1095 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+module Dml = Ccv_network.Dml
+module Sql = Ccv_relational.Sql
+module Hdml = Ccv_hier.Hdml
+
+type analysis = { aprog : Aprog.t; hazards : string list }
+
+exception Fail of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Fail s)) fmt
+
+type actx = {
+  mapping : Mapping.t;
+  schema : Semantic.t;
+  hazards : string list ref;
+}
+
+let hazard ctx fmt = Fmt.kstr (fun s -> ctx.hazards := s :: !(ctx.hazards)) fmt
+let is_status_ok c = Cond.equal c Host.status_ok
+
+let is_status_reset = function
+  | Host.Move (Cond.Const (Value.Str "0000"), v) -> String.equal v Host.status_var
+  | _ -> false
+
+let is_status_move = function
+  | Host.Move (_, v) -> String.equal v Host.status_var
+  | _ -> false
+
+let consume_reset = function
+  | s :: rest when is_status_reset s -> rest
+  | rest -> rest
+
+(* Section 3.2: a host condition over the status register outside a
+   recognized template is the status-code-dependence hazard. *)
+let check_status_dependence c =
+  if List.exists (String.equal Host.status_var) (Cond.vars c) then
+    fail "status-code dependence outside a recognized template"
+
+let qvar name field = Field.canon name ^ "." ^ Field.canon field
+
+let entity ctx name = Semantic.find_entity_exn ctx.schema name
+
+let is_entity ctx name = Semantic.find_entity ctx.schema name <> None
+
+(* The association whose realization involves the given set name. *)
+let assoc_of_set ctx set =
+  List.find_map
+    (fun (a : Semantic.assoc) ->
+      match Mapping.assoc_real ctx.mapping a.aname with
+      | Mapping.Assoc_set { set = s; _ } when Field.name_equal s set ->
+          Some (a, `Member_set)
+      | Mapping.Assoc_link_record { left_set; right_set; _ } ->
+          if Field.name_equal left_set set then Some (a, `Left_link)
+          else if Field.name_equal right_set set then Some (a, `Right_link)
+          else None
+      | Mapping.Assoc_set _ | Mapping.Assoc_relation _
+      | Mapping.Assoc_parent_child | Mapping.Assoc_link_segment _ -> None)
+    ctx.schema.Semantic.assocs
+
+(* The association realized by a link record / relation / segment of
+   the given name. *)
+let assoc_of_realname ctx name =
+  List.find_opt
+    (fun (a : Semantic.assoc) ->
+      match Mapping.assoc_real ctx.mapping a.aname with
+      | Mapping.Assoc_link_record { record; _ } -> Field.name_equal record name
+      | Mapping.Assoc_relation r -> Field.name_equal r name
+      | Mapping.Assoc_link_segment s -> Field.name_equal s name
+      | Mapping.Assoc_set _ | Mapping.Assoc_parent_child ->
+          Field.name_equal a.aname name)
+    ctx.schema.Semantic.assocs
+
+(* Split a qualification between association fields (both keys and
+   attributes) and the rest. *)
+let split_assoc_qual ctx (a : Semantic.assoc) qual =
+  let le = entity ctx a.left and re = entity ctx a.right in
+  let anames = le.key @ re.key @ Field.names a.fields in
+  let inside, outside =
+    List.partition
+      (fun c ->
+        List.for_all (fun f -> List.exists (Field.name_equal f) anames)
+          (Cond.fields c))
+      (Cond.split_conjuncts qual)
+  in
+  (Cond.conj inside, Cond.conj outside)
+
+(* Recover (field -> expr) bindings from a conjunction of equalities,
+   e.g. the qualification a generator built with [key_eq_exprs]. *)
+let bindings_of_cond cond =
+  List.map
+    (fun c ->
+      match c with
+      | Cond.Cmp (Cond.Eq, Cond.Field f, e) | Cond.Cmp (Cond.Eq, e, Cond.Field f)
+        -> (Field.canon f, e)
+      | _ -> fail "unrecognized qualification shape in key lookup")
+    (Cond.split_conjuncts cond)
+
+let exprs_for keys bindings =
+  List.map
+    (fun k ->
+      match List.find_opt (fun (f, _) -> Field.name_equal f k) bindings with
+      | Some (_, e) -> e
+      | None -> fail "key field %s not bound in qualification" k)
+    keys
+
+let split_last xs =
+  match List.rev xs with
+  | [] -> None
+  | last :: rev_init -> Some (List.rev rev_init, last)
+
+(* Collect a maximal run of MOVE statements. *)
+let rec collect_moves acc = function
+  | Host.Move (e, x) :: rest when not (String.equal x Host.status_var) ->
+      collect_moves ((x, e) :: acc) rest
+  | rest -> (List.rev acc, rest)
+
+(* Moves targeting "NAME.FIELD". *)
+let uwa_moves name moves =
+  List.filter_map
+    (fun (x, e) ->
+      let p = Field.canon name ^ "." in
+      if String.length x > String.length p
+         && String.equal (String.sub x 0 (String.length p)) p
+      then Some (String.sub x (String.length p) (String.length x - String.length p), e)
+      else None)
+    moves
+
+(* ------------------------------------------------------------------ *)
+(* Network analysis                                                    *)
+
+module Net = struct
+  (* Recognize the §4.1 member-loop trailer: ... FIND NEXT m WITHIN s. *)
+  let rec body ctx (stmts : Dml.t Host.stmt list) : Aprog.astmt list =
+    match stmts with
+    | [] -> []
+    (* FIND ANY + WHILE: entity scan loop or whole-scan delete loop *)
+    | Host.Dml (Dml.Find (Dml.Any (r, q))) :: Host.While (c, wbody) :: rest
+      when is_status_ok c -> (
+        match split_last wbody with
+        | Some (mid, Host.Dml (Dml.Find (Dml.Duplicate (r', q'))))
+          when Field.name_equal r r' && Cond.equal q q' -> (
+            if not (is_entity ctx r) then
+              fail "whole-association scan over %s has no access pattern" r;
+            match mid with
+            | Host.Dml (Dml.Get r'') :: middle when Field.name_equal r r'' ->
+                Aprog.For_each
+                  { query = [ Apattern.Self { target = r; qual = q } ];
+                    body = body ctx middle;
+                  }
+                :: body ctx (consume_reset rest)
+            | _ -> fail "scan loop over %s lacks a GET" r)
+        | Some _ | None -> (
+            match wbody with
+            | [ Host.Dml (Dml.Erase (mode, r'));
+                Host.Dml (Dml.Find (Dml.Any (r'', q')));
+              ]
+              when Field.name_equal r r' && Field.name_equal r r''
+                   && Cond.equal q q' ->
+                delete_stmt ctx r q mode :: body ctx (consume_reset rest)
+            | _ -> fail "unrecognized FIND ANY loop over %s" r))
+    (* FIND ANY + IF: FIRST template or keyed UNLINK of a link record *)
+    | Host.Dml (Dml.Find (Dml.Any (r, q))) :: Host.If (c, then_, else_) :: rest
+      when is_status_ok c -> (
+        match then_ with
+        | Host.Dml (Dml.Get r') :: present when Field.name_equal r r' ->
+            if not (is_entity ctx r) then fail "FIRST over a link record %s" r;
+            Aprog.First
+              { query = [ Apattern.Self { target = r; qual = q } ];
+                present = body ctx present;
+                absent = body ctx else_;
+              }
+            :: body ctx rest
+        | [ Host.Dml (Dml.Erase (Dml.Erase_one, r')) ]
+          when Field.name_equal r r' -> (
+            match assoc_of_realname ctx r with
+            | Some a when not (is_entity ctx r) ->
+                let le = entity ctx a.left and re = entity ctx a.right in
+                let bindings = bindings_of_cond q in
+                Aprog.Unlink
+                  { assoc = a.aname;
+                    left_key = exprs_for le.key bindings;
+                    right_key = exprs_for re.key bindings;
+                  }
+                :: body ctx rest
+            | Some _ | None -> fail "keyed ERASE of %s unrecognized" r)
+        | _ -> fail "unrecognized FIND ANY / IF combination on %s" r)
+    (* Manual link: FIND ANY owner; FIND ANY member; CONNECT *)
+    | Host.Dml (Dml.Find (Dml.Any (o, qo)))
+      :: Host.Dml (Dml.Find (Dml.Any (m, qm)))
+      :: Host.Dml (Dml.Connect (m', set))
+      :: rest
+      when Field.name_equal m m' -> (
+        match assoc_of_set ctx set with
+        | Some (a, `Member_set) ->
+            let le = entity ctx a.left and re = entity ctx a.right in
+            if not (Field.name_equal o a.left) then
+              fail "CONNECT owner mismatch on set %s" set;
+            Aprog.Link
+              { assoc = a.aname;
+                left_key = exprs_for le.key (bindings_of_cond qo);
+                right_key = exprs_for re.key (bindings_of_cond qm);
+                attrs = [];
+              }
+            :: body ctx rest
+        | Some _ | None -> fail "CONNECT into unknown set %s" set)
+    (* FIND ANY member; DISCONNECT *)
+    | Host.Dml (Dml.Find (Dml.Any (m, qm)))
+      :: Host.Dml (Dml.Disconnect (m', set))
+      :: rest
+      when Field.name_equal m m' -> (
+        match assoc_of_set ctx set with
+        | Some (a, `Member_set) ->
+            let re = entity ctx a.right in
+            Aprog.Unlink
+              { assoc = a.aname;
+                left_key = [];
+                right_key = exprs_for re.key (bindings_of_cond qm);
+              }
+            :: body ctx rest
+        | Some _ | None -> fail "DISCONNECT from unknown set %s" set)
+    (* Member loop: FIND FIRST ... WITHIN + WHILE *)
+    | Host.Dml (Dml.Find (Dml.First_within (m, set, q)))
+      :: Host.While (c, wbody)
+      :: rest
+      when is_status_ok c ->
+        member_loop ctx m set q wbody rest
+    (* FIND FIRST WITHIN without a loop: §3.2 "process the first". *)
+    | Host.Dml (Dml.Find (Dml.First_within (m, set, q)))
+      :: Host.If (c, then_, else_)
+      :: rest
+      when is_status_ok c -> (
+        hazard ctx
+          "order dependence: program processes only the first member of %s"
+          set;
+        match assoc_of_set ctx set with
+        | Some (a, `Member_set) ->
+            let qa, qm = split_assoc_qual ctx a q in
+            let present =
+              match then_ with
+              | Host.Dml (Dml.Get m') :: more when Field.name_equal m m' ->
+                  body ctx more
+              | _ -> body ctx then_
+            in
+            Aprog.First
+              { query =
+                  [ Apattern.Assoc_via
+                      { assoc = a.aname; source = a.left; qual = qa };
+                    Apattern.Via_assoc
+                      { target = m; assoc = a.aname; qual = qm };
+                  ];
+                present;
+                absent = body ctx else_;
+              }
+            :: body ctx rest
+        | Some _ | None -> fail "FIND FIRST within unknown set %s" set)
+    (* Runs of MOVEs feed STORE / MODIFY / owner navigation. *)
+    | Host.Move _ :: _ as all -> (
+        let moves, after = collect_moves [] all in
+        match after with
+        | Host.Dml (Dml.Store r) :: rest -> store_stmt ctx moves r rest
+        | Host.Dml (Dml.Modify (r, fields)) :: rest ->
+            modify_stmt ctx moves r fields rest
+        | Host.Dml (Dml.Find (Dml.Owner_within set)) :: Host.If (c, then_, [])
+          :: rest
+          when is_status_ok c ->
+            owner_nav ctx set then_ rest
+        | _ ->
+            (* plain host moves *)
+            let first =
+              match all with
+              | Host.Move (e, x) :: _ -> Aprog.Move (e, x)
+              | _ -> assert false
+            in
+            first :: body ctx (List.tl all))
+    | Host.Dml (Dml.Store r) :: rest -> store_stmt ctx [] r rest
+    | Host.Dml (Dml.Modify (r, fields)) :: rest ->
+        modify_stmt ctx [] r fields rest
+    | Host.Dml (Dml.Find (Dml.Owner_within set)) :: Host.If (c, then_, [])
+      :: rest
+      when is_status_ok c ->
+        owner_nav ctx set then_ rest
+    | Host.Dml (Dml.Erase (mode, r)) :: rest ->
+        (* Standalone ERASE of the current record of the enclosing loop. *)
+        let e = entity ctx r in
+        hazard ctx "standalone ERASE %s re-expressed as a keyed delete" r;
+        Aprog.Delete
+          { query =
+              [ Apattern.Self
+                  { target = r;
+                    qual =
+                      Cond.conj
+                        (List.map
+                           (fun k ->
+                             Cond.Cmp
+                               (Cond.Eq, Cond.Field k, Cond.Var (qvar r k)))
+                           e.key);
+                  };
+              ];
+            cascade = (mode = Dml.Erase_all);
+          }
+        :: body ctx rest
+    | Host.Dml d :: next -> (
+        (* Diagnose the §3.2 status hazard before giving up. *)
+        match next with
+        | (Host.If (c, _, _) | Host.While (c, _)) :: _
+          when List.exists (String.equal Host.status_var) (Cond.vars c) ->
+            fail "status-code dependence outside a recognized template"
+        | _ -> fail "no template matches %a" Dml.pp d)
+    | Host.Display es :: rest -> Aprog.Display es :: body ctx rest
+    | Host.Accept x :: rest -> Aprog.Accept x :: body ctx rest
+    | Host.Write_file (f, es) :: rest ->
+        Aprog.Write_file (f, es) :: body ctx rest
+    | Host.If (c, a, b) :: rest ->
+        check_status_dependence c;
+        Aprog.If (c, body ctx a, body ctx b) :: body ctx rest
+    | Host.While (c, w) :: rest ->
+        check_status_dependence c;
+        Aprog.While (c, body ctx w) :: body ctx rest
+
+  and member_loop ctx m set q wbody rest =
+    match assoc_of_set ctx set with
+    | Some (a, `Member_set) -> (
+        match split_last wbody with
+        | Some (mid, Host.Dml (Dml.Find (Dml.Next_within (m', set', q'))))
+          when Field.name_equal m m' && Field.name_equal set set'
+               && Cond.equal q q' -> (
+            match mid with
+            | Host.Dml (Dml.Get m'') :: middle when Field.name_equal m m'' ->
+                let qa, qm = split_assoc_qual ctx a q in
+                Aprog.For_each
+                  { query =
+                      [ Apattern.Assoc_via
+                          { assoc = a.aname; source = a.left; qual = qa };
+                        Apattern.Via_assoc
+                          { target = m; assoc = a.aname; qual = qm };
+                      ];
+                    (* binding moves in [middle] are kept: inert *)
+                    body = body ctx middle;
+                  }
+                :: body ctx (consume_reset rest)
+            | _ -> fail "member loop on %s lacks a GET" set)
+        | Some _ | None -> (
+            (* erase-in-set loop *)
+            match wbody with
+            | [ Host.Dml (Dml.Erase (mode, m'));
+                Host.Dml (Dml.Find (Dml.Current _));
+                Host.Dml (Dml.Find (Dml.First_within (m'', set', q')));
+              ]
+              when Field.name_equal m m' && Field.name_equal m m''
+                   && Field.name_equal set set' && Cond.equal q q' ->
+                let qa, qm = split_assoc_qual ctx a q in
+                Aprog.Delete
+                  { query =
+                      [ Apattern.Assoc_via
+                          { assoc = a.aname; source = a.left; qual = qa };
+                        Apattern.Via_assoc
+                          { target = m; assoc = a.aname; qual = qm };
+                      ];
+                    cascade = (match wbody with
+                              | Host.Dml (Dml.Erase (Dml.Erase_all, _)) :: _ -> true
+                              | _ -> mode_is_all mode);
+                  }
+                :: body ctx (consume_reset rest)
+            | _ -> fail "unrecognized loop within set %s" set))
+    | Some (a, (`Left_link | `Right_link as side)) ->
+        link_loop ctx a side m set q wbody rest
+    | None -> fail "loop within unknown set %s" set
+
+  and mode_is_all = function Dml.Erase_all -> true | Dml.Erase_one -> false
+
+  and link_loop ctx (a : Semantic.assoc) side record set q wbody rest =
+    let source = match side with `Left_link -> a.left | `Right_link -> a.right in
+    match split_last wbody with
+    | Some (mid, Host.Dml (Dml.Find (Dml.Next_within (r', set', q'))))
+      when Field.name_equal record r' && Field.name_equal set set'
+           && Cond.equal q q' -> (
+        match mid with
+        | Host.Dml (Dml.Get r'') :: middle when Field.name_equal record r'' -> (
+            (* Optional owner navigation to the far endpoint. *)
+            match middle with
+            | Host.Dml (Dml.Find (Dml.Owner_within tgt_set))
+              :: Host.If (c, Host.Dml (Dml.Get tgt) :: deeper, [])
+              :: more
+              when is_status_ok c ->
+                if more <> [] then fail "statements after owner navigation";
+                Aprog.For_each
+                  { query =
+                      [ Apattern.Assoc_via
+                          { assoc = a.aname; source; qual = q };
+                        Apattern.Via_assoc
+                          { target = tgt; assoc = a.aname; qual = Cond.True };
+                      ];
+                    body = body ctx deeper;
+                  }
+                :: body ctx (consume_reset rest) |> fun r ->
+                ignore tgt_set;
+                r
+            | _ ->
+                Aprog.For_each
+                  { query =
+                      [ Apattern.Assoc_via { assoc = a.aname; source; qual = q }
+                      ];
+                    body = body ctx middle;
+                  }
+                :: body ctx (consume_reset rest))
+        | _ -> fail "link loop on %s lacks a GET" set)
+    | Some _ | None -> fail "unrecognized link-record loop on %s" set
+
+  and owner_nav ctx set then_ rest =
+    match assoc_of_set ctx set with
+    | Some (a, `Member_set) -> (
+        match then_ with
+        | Host.Dml (Dml.Get o) :: deeper when Field.name_equal o a.left ->
+            Aprog.For_each
+              { query =
+                  [ Apattern.Assoc_via
+                      { assoc = a.aname; source = a.right; qual = Cond.True };
+                    Apattern.Via_assoc
+                      { target = a.left; assoc = a.aname; qual = Cond.True };
+                  ];
+                body = body ctx deeper;
+              }
+            :: body ctx rest
+        | _ -> fail "owner navigation on %s lacks a GET" set)
+    | Some (_, (`Left_link | `Right_link)) | None ->
+        fail "owner navigation on unexpected set %s" set
+
+  and store_stmt ctx moves r rest =
+    match assoc_of_realname ctx r with
+    | Some a when not (is_entity ctx r) ->
+        (* STORE of a link record = LINK. *)
+        let le = entity ctx a.left and re = entity ctx a.right in
+        let fields = uwa_moves r moves in
+        let pick keys =
+          List.map
+            (fun k ->
+              match List.find_opt (fun (f, _) -> Field.name_equal f k) fields with
+              | Some (_, e) -> e
+              | None -> fail "STORE %s lacks key move for %s" r k)
+            keys
+        in
+        let attrs =
+          List.filter
+            (fun (f, _) ->
+              not
+                (List.exists (Field.name_equal f) le.key
+                || List.exists (Field.name_equal f) re.key))
+            fields
+        in
+        Aprog.Link
+          { assoc = a.aname;
+            left_key = pick le.key;
+            right_key = pick re.key;
+            attrs;
+          }
+        :: body ctx rest
+    | Some _ | None ->
+        let e = entity ctx r in
+        let fields = uwa_moves r moves in
+        let values =
+          List.filter (fun (f, _) -> Field.mem e.fields f) fields
+        in
+        (* Moves into member fields of AUTOMATIC sets are connections. *)
+        let connects =
+          List.filter_map
+            (fun (a : Semantic.assoc) ->
+              match Mapping.assoc_real ctx.mapping a.aname with
+              | Mapping.Assoc_set { member_fields; _ }
+                when Field.name_equal a.right r ->
+                  let exprs =
+                    List.filter_map
+                      (fun mf ->
+                        List.find_map
+                          (fun (f, ex) ->
+                            if Field.name_equal f mf && not (Field.mem e.fields mf)
+                            then Some ex
+                            else None)
+                          fields)
+                      member_fields
+                  in
+                  if List.length exprs = List.length member_fields then
+                    Some (a.aname, exprs)
+                  else None
+              | Mapping.Assoc_set _ | Mapping.Assoc_relation _
+              | Mapping.Assoc_link_record _ | Mapping.Assoc_parent_child
+              | Mapping.Assoc_link_segment _ -> None)
+            (Semantic.assocs_of ctx.schema r)
+        in
+        (* Manual connects following the STORE. *)
+        let rec manual acc = function
+          | Host.Dml (Dml.Find (Dml.Any (o, qo)))
+            :: Host.Dml (Dml.Connect (m, set))
+            :: more
+            when Field.name_equal m r -> (
+              match assoc_of_set ctx set with
+              | Some (a, `Member_set) ->
+                  let le = entity ctx a.left in
+                  ignore o;
+                  manual
+                    ((a.aname, exprs_for le.key (bindings_of_cond qo)) :: acc)
+                    more
+              | Some _ | None -> fail "CONNECT into unknown set %s" set)
+          | more -> (List.rev acc, more)
+        in
+        let manual_connects, rest = manual [] rest in
+        Aprog.Insert { entity = r; values; connects = connects @ manual_connects }
+        :: body ctx rest
+
+  and modify_stmt ctx moves r fields rest =
+    let e = entity ctx r in
+    let uwa = uwa_moves r moves in
+    let assigns =
+      List.map
+        (fun f ->
+          match List.find_opt (fun (g, _) -> Field.name_equal g f) uwa with
+          | Some (_, ex) -> (Field.canon f, ex)
+          | None -> (Field.canon f, Cond.Var (qvar r f)))
+        fields
+    in
+    Aprog.Update
+      { query =
+          [ Apattern.Self
+              { target = r;
+                qual =
+                  Cond.conj
+                    (List.map
+                       (fun k ->
+                         Cond.Cmp (Cond.Eq, Cond.Field k, Cond.Var (qvar r k)))
+                       e.key);
+              };
+          ];
+        assigns;
+      }
+    :: body ctx rest
+
+  and delete_stmt ctx r q mode =
+    match assoc_of_realname ctx r with
+    | Some _ when not (is_entity ctx r) ->
+        fail "whole-association delete over %s" r
+    | Some _ | None ->
+        Aprog.Delete
+          { query = [ Apattern.Self { target = r; qual = q } ];
+            cascade = (mode = Dml.Erase_all);
+          }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Relational analysis                                                 *)
+
+module Rel = struct
+  open Engines
+
+  (* Interpret an opened query as one access step: pins of the shape
+     [Field k = Var "S.k"] over a full side key denote Assoc_via /
+     Via_assoc; otherwise the step is a Self scan. *)
+  let step_of_query ctx (q : Sql.query) =
+    if is_entity ctx q.Sql.from_ then
+      match assoc_of_realname ctx q.Sql.from_ with
+      | Some _ -> fail "ambiguous relation %s" q.Sql.from_
+      | None -> `Self (q.Sql.from_, q.Sql.where_)
+    else
+      match assoc_of_realname ctx q.Sql.from_ with
+      | Some a ->
+          let le = entity ctx a.left and re = entity ctx a.right in
+          let conjuncts = Cond.split_conjuncts q.Sql.where_ in
+          let pin_of side_name keys =
+            let pins, others =
+              List.partition
+                (fun c ->
+                  match c with
+                  | Cond.Cmp (Cond.Eq, Cond.Field f, Cond.Var v) ->
+                      List.exists (Field.name_equal f) keys
+                      && String.equal v (qvar side_name f)
+                  | _ -> false)
+                conjuncts
+            in
+            if List.length pins = List.length keys then Some others else None
+          in
+          (match pin_of a.left le.key with
+          | Some others -> `Assoc (a, a.left, Cond.conj others)
+          | None -> (
+              match pin_of a.right re.key with
+              | Some others -> `Assoc (a, a.right, Cond.conj others)
+              | None -> fail "unpinned association scan over %s" a.aname))
+      | None -> fail "unknown relation %s" q.Sql.from_
+
+  let rec body ctx (stmts : Rel_dml.t Host.stmt list) : Aprog.astmt list =
+    match stmts with
+    | [] -> []
+    | Host.Dml (Rel_dml.Open q)
+      :: Host.Dml Rel_dml.Fetch
+      :: Host.While (c, wbody)
+      :: Host.Dml Rel_dml.Close
+      :: rest
+      when is_status_ok c -> (
+        match split_last wbody with
+        | Some (mid, Host.Dml Rel_dml.Fetch) -> (
+            match step_of_query ctx q with
+            | `Self (e, qual) ->
+                Aprog.For_each
+                  { query = [ Apattern.Self { target = e; qual } ];
+                    body = body ctx mid;
+                  }
+                :: body ctx (consume_reset rest)
+            | `Assoc (a, source, qual) -> (
+                (* Optional Via_assoc inner fetch. *)
+                match mid with
+                | Host.Dml (Rel_dml.Open q2)
+                  :: Host.Dml Rel_dml.Fetch
+                  :: Host.If (c2, deeper, [])
+                  :: Host.Dml Rel_dml.Close
+                  :: []
+                  when is_status_ok c2 && is_entity ctx q2.Sql.from_ ->
+                    let tgt = entity ctx q2.Sql.from_ in
+                    let conjuncts = Cond.split_conjuncts q2.Sql.where_ in
+                    let pins, others =
+                      List.partition
+                        (fun cj ->
+                          match cj with
+                          | Cond.Cmp (Cond.Eq, Cond.Field f, Cond.Var v) ->
+                              List.exists (Field.name_equal f) tgt.key
+                              && String.equal v (qvar a.aname f)
+                          | _ -> false)
+                        conjuncts
+                    in
+                    if List.length pins <> List.length tgt.key then
+                      fail "inner fetch of %s not pinned to %s" tgt.ename
+                        a.aname;
+                    Aprog.For_each
+                      { query =
+                          [ Apattern.Assoc_via
+                              { assoc = a.aname; source; qual };
+                            Apattern.Via_assoc
+                              { target = tgt.ename;
+                                assoc = a.aname;
+                                qual = Cond.conj others;
+                              };
+                          ];
+                        body = body ctx deeper;
+                      }
+                    :: body ctx (consume_reset rest)
+                | _ ->
+                    Aprog.For_each
+                      { query =
+                          [ Apattern.Assoc_via { assoc = a.aname; source; qual }
+                          ];
+                        body = body ctx mid;
+                      }
+                    :: body ctx (consume_reset rest)))
+        | Some _ | None -> fail "cursor loop does not end with FETCH")
+    | Host.Dml (Rel_dml.Open q)
+      :: Host.Dml Rel_dml.Fetch
+      :: Host.If (c, then_, else_)
+      :: rest
+      when is_status_ok c -> (
+        match step_of_query ctx q with
+        | `Self (e, qual) ->
+            let strip = function
+              | Host.Dml Rel_dml.Close :: s :: more when is_status_move s ->
+                  more
+              | Host.Dml Rel_dml.Close :: more -> more
+              | more -> more
+            in
+            Aprog.First
+              { query = [ Apattern.Self { target = e; qual } ];
+                present = body ctx (strip then_);
+                absent = body ctx (strip else_);
+              }
+            :: body ctx rest
+        | `Assoc _ -> fail "FIRST over an association relation")
+    | Host.Dml (Rel_dml.Exec (Sql.Insert (rel, assigns))) :: rest -> (
+        match assoc_of_realname ctx rel with
+        | Some a when not (is_entity ctx rel) ->
+            let le = entity ctx a.left and re = entity ctx a.right in
+            let pick keys =
+              List.map
+                (fun k ->
+                  match
+                    List.find_opt (fun (f, _) -> Field.name_equal f k) assigns
+                  with
+                  | Some (_, e) -> e
+                  | None -> fail "INSERT into %s lacks key %s" rel k)
+                keys
+            in
+            let attrs =
+              List.filter
+                (fun (f, _) ->
+                  not
+                    (List.exists (Field.name_equal f) le.key
+                    || List.exists (Field.name_equal f) re.key))
+                assigns
+            in
+            Aprog.Link
+              { assoc = a.aname;
+                left_key = pick le.key;
+                right_key = pick re.key;
+                attrs;
+              }
+            :: body ctx rest
+        | Some _ | None ->
+            let e = entity ctx rel in
+            (* Following inserts into association relations that embed
+               this entity's key are connections. *)
+            let key_exprs =
+              List.map
+                (fun k ->
+                  match
+                    List.find_opt (fun (f, _) -> Field.name_equal f k) assigns
+                  with
+                  | Some (_, ex) -> Some ex
+                  | None -> None)
+                e.key
+            in
+            let rec connects acc = function
+              | Host.Dml (Rel_dml.Exec (Sql.Insert (arel, aassigns))) :: more
+                -> (
+                  match assoc_of_realname ctx arel with
+                  | Some a
+                    when (not (is_entity ctx arel))
+                         && Field.name_equal a.right rel ->
+                      let le = entity ctx a.left in
+                      let lk =
+                        List.map
+                          (fun k ->
+                            match
+                              List.find_opt
+                                (fun (f, _) -> Field.name_equal f k)
+                                aassigns
+                            with
+                            | Some (_, ex) -> ex
+                            | None -> fail "connect insert lacks %s" k)
+                          le.key
+                      in
+                      connects ((a.aname, lk) :: acc) more
+                  | Some _ | None -> (List.rev acc, Host.Dml (Rel_dml.Exec (Sql.Insert (arel, aassigns))) :: more)
+                  )
+              | more -> (List.rev acc, more)
+            in
+            let conn, rest = connects [] rest in
+            ignore key_exprs;
+            Aprog.Insert { entity = rel; values = assigns; connects = conn }
+            :: body ctx rest)
+    | Host.Dml (Rel_dml.Exec (Sql.Update (rel, assigns, cond))) :: rest ->
+        Aprog.Update
+          { query = [ Apattern.Self { target = rel; qual = cond } ]; assigns }
+        :: body ctx rest
+    | Host.Dml (Rel_dml.Exec (Sql.Delete (rel, cond))) :: rest -> (
+        match assoc_of_realname ctx rel with
+        | Some a when not (is_entity ctx rel) -> (
+            (* keyed unlink when both sides are pinned; otherwise part
+               of a cascade group handled with the entity delete *)
+            let le = entity ctx a.left and re = entity ctx a.right in
+            match
+              (try Some (bindings_of_cond cond) with Fail _ -> None)
+            with
+            | Some bindings
+              when List.length bindings = List.length le.key + List.length re.key
+              ->
+                Aprog.Unlink
+                  { assoc = a.aname;
+                    left_key = exprs_for le.key bindings;
+                    right_key = exprs_for re.key bindings;
+                  }
+                :: body ctx rest
+            | _ -> (
+                (* link-removal prefix of an entity delete group *)
+                match delete_group ctx (Host.Dml (Rel_dml.Exec (Sql.Delete (rel, cond))) :: rest) with
+                | Some (stmt, rest) -> stmt :: body ctx rest
+                | None -> fail "unrecognized DELETE of %s" rel))
+        | Some _ | None -> (
+            match delete_group ctx (Host.Dml (Rel_dml.Exec (Sql.Delete (rel, cond))) :: rest) with
+            | Some (stmt, rest) -> stmt :: body ctx rest
+            | None ->
+                Aprog.Delete
+                  { query = [ Apattern.Self { target = rel; qual = cond } ];
+                    cascade = false;
+                  }
+                :: body ctx rest))
+    | Host.Dml d :: _ -> fail "no template matches %a" Rel_dml.pp d
+    | Host.Display es :: rest -> Aprog.Display es :: body ctx rest
+    | Host.Accept x :: rest -> Aprog.Accept x :: body ctx rest
+    | Host.Write_file (f, es) :: rest ->
+        Aprog.Write_file (f, es) :: body ctx rest
+    | Host.Move (e, x) :: rest -> Aprog.Move (e, x) :: body ctx rest
+    | Host.If (c, a, b) :: rest ->
+        check_status_dependence c;
+        Aprog.If (c, body ctx a, body ctx b) :: body ctx rest
+    | Host.While (c, w) :: rest ->
+        check_status_dependence c;
+        Aprog.While (c, body ctx w) :: body ctx rest
+
+  (* A group [DELETE assoc... ; DELETE entity (key pins)] collapses
+     into one entity delete (the links die with the entity at the
+     semantic level). *)
+  and delete_group ctx stmts =
+    let rec skip_assoc_deletes acc = function
+      | Host.Dml (Rel_dml.Exec (Sql.Delete (rel, _))) :: more
+        when (not (is_entity ctx rel)) && assoc_of_realname ctx rel <> None ->
+          skip_assoc_deletes (acc + 1) more
+      | rest -> (acc, rest)
+    in
+    let _n, after = skip_assoc_deletes 0 stmts in
+    match after with
+    | Host.Dml (Rel_dml.Exec (Sql.Delete (rel, cond))) :: rest
+      when is_entity ctx rel ->
+        Some
+          ( Aprog.Delete
+              { query = [ Apattern.Self { target = rel; qual = cond } ];
+                cascade = false;
+              },
+            rest )
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical analysis                                               *)
+
+module Hier = struct
+  (* A pinned SSA (qual = key-eq-vars of its own segment) marks an
+     ancestor bound by an enclosing loop. *)
+  let is_pin ctx (s : Hdml.ssa) =
+    match Semantic.find_entity ctx.schema s.Hdml.seg with
+    | None -> false
+    | Some e ->
+        let pins =
+          List.map
+            (fun k -> Cond.Cmp (Cond.Eq, Cond.Field k, Cond.Var (qvar e.ename k)))
+            e.key
+        in
+        Cond.equal s.Hdml.qual (Cond.conj pins)
+
+  let parent_assoc ctx child =
+    List.find_opt
+      (fun (a : Semantic.assoc) ->
+        Field.name_equal a.right child
+        && Mapping.assoc_real ctx.mapping a.aname = Mapping.Assoc_parent_child)
+      ctx.schema.Semantic.assocs
+
+  (* Interpret an SSA path as an access-pattern chain. *)
+  let chain_of_ssas ctx (ssas : Hdml.ssa list) =
+    let rec go prev acc = function
+      | [] -> List.rev acc
+      | (s : Hdml.ssa) :: rest -> (
+          match Semantic.find_entity ctx.schema s.Hdml.seg with
+          | Some e -> (
+              match prev with
+              | None when is_pin ctx s && rest <> [] ->
+                  (* outer-bound ancestor: contributes no step *)
+                  go (Some e.ename) acc rest
+              | None ->
+                  go (Some e.ename)
+                    (Apattern.Self { target = e.ename; qual = s.Hdml.qual }
+                     :: acc)
+                    rest
+              | Some src -> (
+                  match parent_assoc ctx e.ename with
+                  | Some a when Field.name_equal a.left src ->
+                      go (Some e.ename)
+                        (Apattern.Via_assoc
+                           { target = e.ename;
+                             assoc = a.aname;
+                             qual = s.Hdml.qual;
+                           }
+                         :: Apattern.Assoc_via
+                              { assoc = a.aname; source = src; qual = Cond.True }
+                         :: acc)
+                        rest
+                  | Some _ | None ->
+                      fail "segment %s is not a child of %s" e.ename src))
+          | None -> (
+              match assoc_of_realname ctx s.Hdml.seg with
+              | Some a -> (
+                  match prev with
+                  | Some src when Field.name_equal a.left src ->
+                      go (Some s.Hdml.seg)
+                        (Apattern.Assoc_via
+                           { assoc = a.aname; source = src; qual = s.Hdml.qual }
+                         :: acc)
+                        rest
+                  | Some _ | None ->
+                      fail "link segment %s without its parent" s.Hdml.seg)
+              | None -> fail "unknown segment %s" s.Hdml.seg))
+    in
+    go None [] ssas
+
+  let rec body ctx (stmts : Hdml.t Host.stmt list) : Aprog.astmt list =
+    match stmts with
+    | [] -> []
+    | Host.Dml (Hdml.Gn ssas) :: Host.While (c, wbody) :: rest
+      when is_status_ok c -> (
+        match split_last wbody with
+        | Some (mid, Host.Dml (Hdml.Gn ssas'))
+          when List.length ssas = List.length ssas'
+               && List.for_all2
+                    (fun (a : Hdml.ssa) (b : Hdml.ssa) ->
+                      Field.name_equal a.Hdml.seg b.Hdml.seg
+                      && Cond.equal a.Hdml.qual b.Hdml.qual)
+                    ssas ssas' ->
+            let query = chain_of_ssas ctx ssas in
+            (match mid with
+            | [ Host.Dml Hdml.Dlet ] ->
+                Aprog.Delete { query; cascade = true }
+            | _ ->
+                (* Binding moves are kept: they re-assign the values the
+                   contexts already bind, which is behaviourally inert. *)
+                Aprog.For_each { query; body = body ctx mid })
+            :: body ctx (consume_reset rest)
+        | Some (_, Host.Dml (Hdml.Gn _)) ->
+            fail "GN loop with mismatched SSAs"
+        | Some _ | None -> (
+            match wbody with
+            | [ Host.Dml Hdml.Dlet; Host.Dml (Hdml.Gn ssas') ]
+              when List.length ssas = List.length ssas' ->
+                Aprog.Delete
+                  { query = chain_of_ssas ctx ssas; cascade = true }
+                :: body ctx (consume_reset rest)
+            | _ -> fail "unrecognized GN loop"))
+    | Host.Dml (Hdml.Gu ssas) :: Host.If (c, then_, else_) :: rest
+      when is_status_ok c ->
+        Aprog.First
+          { query = chain_of_ssas ctx ssas;
+            present = body ctx then_;
+            absent = body ctx else_;
+          }
+        :: body ctx rest
+    | Host.Move _ :: _ as all -> (
+        let moves, after = collect_moves [] all in
+        match after with
+        | Host.Dml (Hdml.Isrt (seg, parent_ssas)) :: rest ->
+            isrt_stmt ctx moves seg parent_ssas rest
+        | Host.Dml (Hdml.Repl fields) :: rest -> repl_stmt ctx moves fields rest
+        | _ -> (
+            match all with
+            | Host.Move (e, x) :: tl -> Aprog.Move (e, x) :: body ctx tl
+            | _ -> assert false))
+    | Host.Dml (Hdml.Isrt (seg, parent_ssas)) :: rest ->
+        isrt_stmt ctx [] seg parent_ssas rest
+    | Host.Dml d :: _ -> fail "no template matches %a" Hdml.pp d
+    | Host.Display es :: rest -> Aprog.Display es :: body ctx rest
+    | Host.Accept x :: rest -> Aprog.Accept x :: body ctx rest
+    | Host.Write_file (f, es) :: rest ->
+        Aprog.Write_file (f, es) :: body ctx rest
+    | Host.If (c, a, b) :: rest ->
+        check_status_dependence c;
+        Aprog.If (c, body ctx a, body ctx b) :: body ctx rest
+    | Host.While (c, w) :: rest ->
+        check_status_dependence c;
+        Aprog.While (c, body ctx w) :: body ctx rest
+
+  and isrt_stmt ctx moves seg parent_ssas rest =
+    match assoc_of_realname ctx seg with
+    | Some a when not (is_entity ctx seg) ->
+        let le = entity ctx a.left and re = entity ctx a.right in
+        let fields = uwa_moves seg moves in
+        let left_key =
+          match parent_ssas with
+          | [ s ] -> exprs_for le.key (bindings_of_cond s.Hdml.qual)
+          | _ -> fail "link segment ISRT without its parent SSA"
+        in
+        let right_key =
+          List.map
+            (fun k ->
+              match List.find_opt (fun (f, _) -> Field.name_equal f k) fields with
+              | Some (_, e) -> e
+              | None -> fail "ISRT %s lacks key move for %s" seg k)
+            re.key
+        in
+        let attrs =
+          List.filter
+            (fun (f, _) -> not (List.exists (Field.name_equal f) re.key))
+            fields
+        in
+        Aprog.Link { assoc = a.aname; left_key; right_key; attrs }
+        :: body ctx rest
+    | Some _ | None ->
+        let e = entity ctx seg in
+        let fields = uwa_moves seg moves in
+        let values = List.filter (fun (f, _) -> Field.mem e.fields f) fields in
+        let connects =
+          match parent_ssas with
+          | [] -> []
+          | [ s ] -> (
+              match parent_assoc ctx e.ename with
+              | Some a ->
+                  let le = entity ctx a.left in
+                  [ (a.aname, exprs_for le.key (bindings_of_cond s.Hdml.qual)) ]
+              | None -> fail "ISRT %s under unexpected parent" seg)
+          | _ -> fail "ISRT with a multi-level parent path"
+        in
+        (* Link-segment inserts that follow connect further
+           associations. *)
+        let rec more_links acc = function
+          | Host.Move _ :: _ as all -> (
+              let mvs, after = collect_moves [] all in
+              match after with
+              | Host.Dml (Hdml.Isrt (seg2, [ ps ])) :: more -> (
+                  match assoc_of_realname ctx seg2 with
+                  | Some a when not (is_entity ctx seg2) ->
+                      let le = entity ctx a.left in
+                      ignore mvs;
+                      more_links
+                        ((a.aname, exprs_for le.key (bindings_of_cond ps.Hdml.qual))
+                         :: acc)
+                        more
+                  | Some _ | None -> (List.rev acc, all))
+              | _ -> (List.rev acc, all))
+          | all -> (List.rev acc, all)
+        in
+        let extra, rest = more_links [] rest in
+        Aprog.Insert { entity = seg; values; connects = connects @ extra }
+        :: body ctx rest
+
+  and repl_stmt ctx moves fields rest =
+    (* REPL applies to the current segment; recover its type from the
+       move that assigns one of the replaced fields (earlier moves in
+       the run may be loop binding moves for other names). *)
+    let target =
+      List.find_map
+        (fun (x, _) ->
+          match String.index_opt x '.' with
+          | Some i ->
+              let prefix = String.sub x 0 i in
+              let field = String.sub x (i + 1) (String.length x - i - 1) in
+              if
+                is_entity ctx prefix
+                && List.exists (Field.name_equal field) fields
+              then Some prefix
+              else None
+          | None -> None)
+        moves
+    in
+    let target =
+      match target with
+      | Some t -> t
+      | None -> fail "REPL without qualified moves"
+    in
+    let e = entity ctx target in
+    let uwa = uwa_moves target moves in
+    let assigns =
+      List.map
+        (fun f ->
+          match List.find_opt (fun (g, _) -> Field.name_equal g f) uwa with
+          | Some (_, ex) -> (Field.canon f, ex)
+          | None -> (Field.canon f, Cond.Var (qvar target f)))
+        fields
+    in
+    Aprog.Update
+      { query =
+          [ Apattern.Self
+              { target;
+                qual =
+                  Cond.conj
+                    (List.map
+                       (fun k ->
+                         Cond.Cmp (Cond.Eq, Cond.Field k, Cond.Var (qvar target k)))
+                       e.key);
+              };
+          ];
+        assigns;
+      }
+    :: body ctx rest
+end
+
+(* ------------------------------------------------------------------ *)
+
+let wrap ctx name f =
+  try
+    let body = f () in
+    Ok { aprog = { Aprog.name; body }; hazards = List.rev !(ctx.hazards) }
+  with
+  | Fail reason -> Error reason
+  | Invalid_argument reason -> Error reason
+
+let make_ctx mapping =
+  { mapping; schema = mapping.Mapping.semantic; hazards = ref [] }
+
+let analyze_network mapping (p : Dml.t Host.program) =
+  let ctx = make_ctx mapping in
+  wrap ctx p.Host.name (fun () -> Net.body ctx p.Host.body)
+
+let analyze_relational mapping (p : Engines.Rel_dml.t Host.program) =
+  let ctx = make_ctx mapping in
+  wrap ctx p.Host.name (fun () -> Rel.body ctx p.Host.body)
+
+let analyze_hier mapping (p : Hdml.t Host.program) =
+  let ctx = make_ctx mapping in
+  wrap ctx p.Host.name (fun () -> Hier.body ctx p.Host.body)
+
+let analyze mapping = function
+  | Engines.Net_program p -> analyze_network mapping p
+  | Engines.Rel_program p -> analyze_relational mapping p
+  | Engines.Hier_program p -> analyze_hier mapping p

@@ -1,0 +1,39 @@
+(** The Program Analyzer of Figure 4.1: "uses the source database
+    description and matches candidate language templates against the
+    source application program to produce a representation of the
+    database operations and data access patterns made by the program."
+
+    Analysis works by structural template matching over the host
+    program — the CODASYL FIND-ANY/FIND-NEXT loop idioms of §4.1, the
+    embedded-SQL cursor idioms, and the DL/I GN-loop idioms — and
+    translates each into access-pattern sequences over the semantic
+    model, using the source {!Ccv_transform.Mapping.t} to interpret
+    record types, sets and segments.
+
+    Programs outside the template library fail analysis ("large
+    classes of programs will have to be analyzed to become convinced
+    that the set of templates is widely applicable", §5.3); §3.2's
+    hazards — status-code dependence outside a template, processing
+    only the first member of a many-member set, qualification over
+    never-assigned variables — are reported in [hazards] (some fatal,
+    some warnings). *)
+
+open Ccv_abstract
+open Ccv_transform
+
+type analysis = {
+  aprog : Aprog.t;
+  hazards : string list;  (** non-fatal §3.2 warnings *)
+}
+
+val analyze_network :
+  Mapping.t -> Ccv_network.Dml.t Host.program -> (analysis, string) result
+
+val analyze_relational :
+  Mapping.t -> Engines.Rel_dml.t Host.program -> (analysis, string) result
+
+val analyze_hier :
+  Mapping.t -> Ccv_hier.Hdml.t Host.program -> (analysis, string) result
+
+(** Dispatch on the program's model; the mapping must match. *)
+val analyze : Mapping.t -> Engines.program -> (analysis, string) result

@@ -1,0 +1,155 @@
+open Ccv_common
+open Ccv_abstract
+module Ndb = Ccv_network.Ndb
+module Interp = Ccv_network.Interp
+module Rdb = Ccv_relational.Rdb
+module Sql = Ccv_relational.Sql
+module Hdb = Ccv_hier.Hdb
+module Hinterp = Ccv_hier.Hinterp
+
+module Rel_dml = struct
+  type t = Exec of Sql.stmt | Open of Sql.query | Fetch | Close
+
+  let equal a b =
+    match a, b with
+    | Exec s1, Exec s2 -> (
+        match s1, s2 with
+        | Sql.Query q1, Sql.Query q2 -> Sql.equal_query q1 q2
+        | s1, s2 -> s1 = s2)
+    | Open q1, Open q2 -> Sql.equal_query q1 q2
+    | Fetch, Fetch | Close, Close -> true
+    | (Exec _ | Open _ | Fetch | Close), _ -> false
+
+  let pp ppf = function
+    | Exec s -> Fmt.pf ppf "EXEC SQL %a" Sql.pp s
+    | Open q -> Fmt.pf ppf "OPEN CURSOR FOR %a" Sql.pp_query q
+    | Fetch -> Fmt.string ppf "FETCH"
+    | Close -> Fmt.string ppf "CLOSE"
+end
+
+module Net_engine = struct
+  type db = Ndb.t
+  type state = Interp.currency
+  type dml = Ccv_network.Dml.t
+
+  let initial_state _ = Interp.initial_currency
+
+  let exec db state ~env stmt =
+    let o = Interp.exec db state ~env stmt in
+    (o.Interp.db, o.Interp.cur, o.Interp.updates, o.Interp.status)
+end
+
+module Rel_engine = struct
+  type db = Rdb.t
+  type state = (string * Row.t list) list
+  (** open cursors, innermost first: (source relation, pending rows) *)
+
+  type dml = Rel_dml.t
+
+  let initial_state _ = []
+  let cursor_depth state = List.length state
+
+  let exec db state ~env stmt =
+    match stmt with
+    | Rel_dml.Exec s -> (
+        match Sql.exec ~env db s with
+        | Ok (db, _rows) -> (db, state, [], Status.Ok)
+        | Error status -> (db, state, [], status))
+    | Rel_dml.Open q ->
+        let rows = Sql.run_query ~env db q in
+        (db, (q.Sql.from_, rows) :: state, [], Status.Ok)
+    | Rel_dml.Fetch -> (
+        match state with
+        | [] -> (db, state, [], Status.No_currency)
+        | (rel, []) :: rest -> (db, (rel, []) :: rest, [], Status.End_of_set)
+        | (rel, row :: more) :: rest ->
+            let updates =
+              List.map
+                (fun (f, v) -> (rel ^ "." ^ f, v))
+                (Row.to_list row)
+            in
+            (db, (rel, more) :: rest, updates, Status.Ok))
+    | Rel_dml.Close -> (
+        match state with
+        | [] -> (db, state, [], Status.No_currency)
+        | _ :: rest -> (db, rest, [], Status.Ok))
+end
+
+module Hier_engine = struct
+  type db = Hdb.t
+  type state = Hinterp.position
+  type dml = Ccv_hier.Hdml.t
+
+  let initial_state _ = Hinterp.initial_position
+
+  let exec db state ~env stmt =
+    let o = Hinterp.exec db state ~env stmt in
+    (o.Hinterp.db, o.Hinterp.pos, o.Hinterp.updates, o.Hinterp.status)
+end
+
+module Net_run = Host.Run (Net_engine)
+module Rel_run = Host.Run (Rel_engine)
+module Hier_run = Host.Run (Hier_engine)
+
+type program =
+  | Net_program of Ccv_network.Dml.t Host.program
+  | Rel_program of Rel_dml.t Host.program
+  | Hier_program of Ccv_hier.Hdml.t Host.program
+
+type database =
+  | Net_db of Ndb.t
+  | Rel_db of Rdb.t
+  | Hier_db of Hdb.t
+
+type run_result = {
+  trace : Io_trace.t;
+  steps : int;
+  hit_limit : bool;
+  accesses : int;
+  final_db : database;
+}
+
+let run ?input ?max_steps db program =
+  match db, program with
+  | Net_db db, Net_program p ->
+      let counters = Ndb.counters db in
+      let before = Counters.total counters in
+      let r = Net_run.run ?input ?max_steps db p in
+      { trace = r.Net_run.trace;
+        steps = r.Net_run.steps;
+        hit_limit = r.Net_run.hit_limit;
+        accesses = Counters.total counters - before;
+        final_db = Net_db r.Net_run.db;
+      }
+  | Rel_db db, Rel_program p ->
+      let counters = Rdb.counters db in
+      let before = Counters.total counters in
+      let r = Rel_run.run ?input ?max_steps db p in
+      { trace = r.Rel_run.trace;
+        steps = r.Rel_run.steps;
+        hit_limit = r.Rel_run.hit_limit;
+        accesses = Counters.total counters - before;
+        final_db = Rel_db r.Rel_run.db;
+      }
+  | Hier_db db, Hier_program p ->
+      let counters = Hdb.counters db in
+      let before = Counters.total counters in
+      let r = Hier_run.run ?input ?max_steps db p in
+      { trace = r.Hier_run.trace;
+        steps = r.Hier_run.steps;
+        hit_limit = r.Hier_run.hit_limit;
+        accesses = Counters.total counters - before;
+        final_db = Hier_db r.Hier_run.db;
+      }
+  | (Net_db _ | Rel_db _ | Hier_db _), _ ->
+      invalid_arg "Engines.run: database and program models differ"
+
+let program_size = function
+  | Net_program p -> Host.size p
+  | Rel_program p -> Host.size p
+  | Hier_program p -> Host.size p
+
+let pp_program ppf = function
+  | Net_program p -> Host.pp ~dml:Ccv_network.Dml.pp ppf p
+  | Rel_program p -> Host.pp ~dml:Rel_dml.pp ppf p
+  | Hier_program p -> Host.pp ~dml:Ccv_hier.Hdml.pp ppf p

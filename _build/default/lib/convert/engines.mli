@@ -1,0 +1,77 @@
+(** {!Ccv_abstract.Host.ENGINE} adapters for the three concrete
+    database engines, plus the embedded-SQL cursor DML the relational
+    host programs use. *)
+
+open Ccv_common
+open Ccv_abstract
+
+(** Embedded-SQL statements: updates execute directly; queries run
+    through an explicit cursor stack ([Open]/[Fetch]/[Close]), the
+    1970s host-language idiom.  [Fetch] binds each field of the next
+    row as ["REL.FIELD"] and reports [End_of_set] at exhaustion. *)
+module Rel_dml : sig
+  type t =
+    | Exec of Ccv_relational.Sql.stmt
+    | Open of Ccv_relational.Sql.query
+    | Fetch
+    | Close
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Net_engine :
+  Host.ENGINE
+    with type db = Ccv_network.Ndb.t
+     and type dml = Ccv_network.Dml.t
+     and type state = Ccv_network.Interp.currency
+
+module Rel_engine : sig
+  include
+    Host.ENGINE
+      with type db = Ccv_relational.Rdb.t
+       and type dml = Rel_dml.t
+
+  val cursor_depth : state -> int
+end
+
+module Hier_engine :
+  Host.ENGINE
+    with type db = Ccv_hier.Hdb.t
+     and type dml = Ccv_hier.Hdml.t
+     and type state = Ccv_hier.Hinterp.position
+
+(** Runners, one per engine. *)
+module Net_run : module type of Host.Run (Net_engine)
+
+module Rel_run : module type of Host.Run (Rel_engine)
+module Hier_run : module type of Host.Run (Hier_engine)
+
+(** A concrete program in whichever model it targets. *)
+type program =
+  | Net_program of Ccv_network.Dml.t Host.program
+  | Rel_program of Rel_dml.t Host.program
+  | Hier_program of Ccv_hier.Hdml.t Host.program
+
+(** A concrete database instance. *)
+type database =
+  | Net_db of Ccv_network.Ndb.t
+  | Rel_db of Ccv_relational.Rdb.t
+  | Hier_db of Ccv_hier.Hdb.t
+
+type run_result = {
+  trace : Io_trace.t;
+  steps : int;
+  hit_limit : bool;
+  accesses : int;  (** engine record reads+writes consumed by the run *)
+  final_db : database;
+}
+
+(** [run ?input ?max_steps db program] — pairs a database with a
+    program of the same model; raises [Invalid_argument] on a model
+    mismatch. *)
+val run :
+  ?input:string list -> ?max_steps:int -> database -> program -> run_result
+
+val program_size : program -> int
+val pp_program : Format.formatter -> program -> unit

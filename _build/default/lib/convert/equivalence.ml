@@ -1,0 +1,82 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+
+type verdict = Strict | Modulo_order | Divergent of string
+
+let multiset_equal a b =
+  let sort t =
+    List.sort String.compare
+      (List.map (fun e -> Fmt.str "%a" Io_trace.pp_event e) t)
+  in
+  List.length a = List.length b && sort a = sort b
+
+let compare_traces reference observed =
+  if Io_trace.equal reference observed then Strict
+  else if multiset_equal reference observed then Modulo_order
+  else
+    match Io_trace.first_divergence reference observed with
+    | Some (i, r, o) ->
+        let show = function
+          | Some e -> Fmt.str "%a" Io_trace.pp_event e
+          | None -> "<end>"
+        in
+        Divergent
+          (Fmt.str "event %d: expected %s, got %s" i (show r) (show o))
+    | None -> Divergent "traces differ"
+
+let verdict_at_least threshold v =
+  match threshold, v with
+  | Strict, Strict -> true
+  | Strict, (Modulo_order | Divergent _) -> false
+  | Modulo_order, (Strict | Modulo_order) -> true
+  | Modulo_order, Divergent _ -> false
+  | Divergent _, _ -> true
+
+let pp_verdict ppf = function
+  | Strict -> Fmt.string ppf "strict"
+  | Modulo_order -> Fmt.string ppf "modulo-order"
+  | Divergent why -> Fmt.pf ppf "divergent (%s)" why
+
+type check = {
+  verdict : verdict;
+  reference : Io_trace.t;
+  observed : Io_trace.t;
+  accesses : int;
+  gen_issues : string list;
+}
+
+let realize model sdb =
+  let schema = Sdb.schema sdb in
+  match model with
+  | Mapping.Rel ->
+      let mapping, rschema = Mapping.derive_relational schema in
+      (mapping, Engines.Rel_db (Mapping.load_relational rschema sdb))
+  | Mapping.Net ->
+      let mapping, nschema = Mapping.derive_network schema in
+      (mapping, Engines.Net_db (Mapping.load_network mapping nschema sdb))
+  | Mapping.Hier ->
+      let mapping, hschema = Mapping.derive_hier schema in
+      (mapping, Engines.Hier_db (Mapping.load_hier mapping hschema sdb))
+
+let check_against_model ?(input = []) model sdb aprog =
+  let mapping, db = realize model sdb in
+  match Generator.generate mapping aprog with
+  | Error reason -> Error reason
+  | Ok { Generator.program; issues } ->
+      let reference = (Ainterp.run ~input sdb aprog).Ainterp.trace in
+      let r = Engines.run ~input db program in
+      Ok
+        { verdict = compare_traces reference r.Engines.trace;
+          reference;
+          observed = r.Engines.trace;
+          accesses = r.Engines.accesses;
+          gen_issues = issues;
+        }
+
+let compare_runs ?(input = []) db1 p1 db2 p2 =
+  let r1 = Engines.run ~input db1 p1 in
+  let r2 = Engines.run ~input db2 p2 in
+  (compare_traces r1.Engines.trace r2.Engines.trace, r1.Engines.trace,
+   r2.Engines.trace)

@@ -1,0 +1,43 @@
+(** The operational equivalence judgment of §1.1 ("except with respect
+    to the database, a restructured program must preserve the
+    input/output behavior of the original program"), with the weaker
+    level §5.2 anticipates ("there are probably levels of successful
+    conversion"): traces equal as multisets, which tolerates the
+    enumeration-order changes a model switch can force. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+
+type verdict =
+  | Strict  (** traces identical, event for event *)
+  | Modulo_order  (** same events, different interleaving *)
+  | Divergent of string  (** first divergence, human-readable *)
+
+val compare_traces : Io_trace.t -> Io_trace.t -> verdict
+val verdict_at_least : verdict -> verdict -> bool
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Run an abstract program on one of the three realizations of the
+    same semantic instance and compare with the {!Ainterp} reference
+    run.  Returns the verdict plus both traces. *)
+type check = {
+  verdict : verdict;
+  reference : Io_trace.t;
+  observed : Io_trace.t;
+  accesses : int;  (** engine accesses of the concrete run *)
+  gen_issues : string list;
+}
+
+val check_against_model :
+  ?input:string list -> Mapping.target_model -> Sdb.t -> Aprog.t ->
+  (check, string) result
+(** [Error reason] when the generator cannot target that model. *)
+
+(** Compare two concrete runs directly (used by the conversion
+    pipeline: source program on source db vs converted program on
+    translated db). *)
+val compare_runs :
+  ?input:string list -> Engines.database -> Engines.program ->
+  Engines.database -> Engines.program -> verdict * Io_trace.t * Io_trace.t

@@ -1,0 +1,1135 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+module Dml = Ccv_network.Dml
+module Sql = Ccv_relational.Sql
+module Hdml = Ccv_hier.Hdml
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun s -> raise (Unsupported s)) fmt
+
+type gen = { program : Engines.program; issues : string list }
+
+let qvar name field = Field.canon name ^ "." ^ Field.canon field
+
+(* A record qualification re-expressed over fetched host variables. *)
+let host_cond prefix_of cond = Cond.fields_to_vars prefix_of cond
+
+let guard cond body = match cond with Cond.True -> body | c -> [ Host.If (c, body, []) ]
+
+let status_reset = Host.Move (Cond.Const (Value.Str "0000"), Host.status_var)
+
+let status_set st =
+  Host.Move (Cond.Const (Value.Str (Status.code st)), Host.status_var)
+
+(* key = Var bindings, e.g. E# = :EMP.E# — pins an already-bound
+   instance in a qualification or SSA. *)
+let key_eq_vars name keys =
+  Cond.conj
+    (List.map (fun k -> Cond.Cmp (Cond.Eq, Cond.Field k, Cond.Var (qvar name k))) keys)
+
+let key_eq_exprs keys exprs =
+  Cond.conj
+    (List.map2 (fun k e -> Cond.Cmp (Cond.Eq, Cond.Field k, e)) keys exprs)
+
+(* Split a qualification's conjuncts: those whose fields all lie in
+   [allowed] stay; the rest go to a host-level guard via [prefix_of]. *)
+let split_qual allowed prefix_of cond =
+  let inside, outside =
+    List.partition
+      (fun c ->
+        List.for_all
+          (fun f -> List.exists (Field.name_equal f) allowed)
+          (Cond.fields c))
+      (Cond.split_conjuncts cond)
+  in
+  (Cond.conj inside, host_cond prefix_of (Cond.conj outside))
+
+type ctx = {
+  mapping : Mapping.t;
+  schema : Semantic.t;
+  issues : string list ref;
+}
+
+let issue ctx fmt = Fmt.kstr (fun s -> ctx.issues := s :: !(ctx.issues)) fmt
+
+let entity ctx name = Semantic.find_entity_exn ctx.schema name
+let assoc ctx name = Semantic.find_assoc_exn ctx.schema name
+
+(* Fields of an association occurrence as seen abstractly: left key,
+   right key, attributes. *)
+let assoc_field_names ctx (a : Semantic.assoc) =
+  let le = entity ctx a.left and re = entity ctx a.right in
+  let rec dedup = function
+    | [] -> []
+    | f :: rest ->
+        f :: dedup (List.filter (fun g -> not (Field.name_equal f g)) rest)
+  in
+  dedup (le.key @ re.key @ Field.names a.fields)
+
+(* ------------------------------------------------------------------ *)
+(* Network target                                                      *)
+
+module Net = struct
+  (* Currency discipline: a FIND disturbs the currency of its record
+     type and of every set the found record participates in, so no
+     enclosing loop may be walking those (§3.2's currency hazard). *)
+  type enclosing = { rtypes : string list; sets : string list }
+
+  let no_enclosing = { rtypes = []; sets = [] }
+
+  let check_scan ctx enc rtype =
+    if List.exists (Field.name_equal rtype) enc.rtypes then
+      unsupported "nested scan over record type %s would destroy currency"
+        rtype;
+    (* A FIND also moves the currency of every set the found record
+       participates in: refuse when an enclosing loop walks one. *)
+    let touched =
+      List.concat_map
+        (fun (a : Semantic.assoc) ->
+          match Mapping.assoc_real_opt ctx.mapping a.aname with
+          | Some (Mapping.Assoc_set { set; _ }) -> [ Field.canon set ]
+          | Some (Mapping.Assoc_link_record { left_set; right_set; _ }) ->
+              if Field.name_equal rtype a.aname then [ left_set; right_set ]
+              else []
+          | Some (Mapping.Assoc_relation _ | Mapping.Assoc_parent_child
+                 | Mapping.Assoc_link_segment _)
+          | None -> [])
+        (Semantic.assocs_of ctx.schema rtype)
+    in
+    match List.find_opt (fun s -> List.mem s enc.sets) touched with
+    | Some s ->
+        unsupported "nested FIND on %s would move the currency of set %s"
+          rtype s
+    | None -> ()
+
+  (* Moves binding the association pseudo-record from member fields:
+     the member view carries the owner key (stored or virtual) under
+     the owner's key field names. *)
+  let assoc_moves_from_member ctx (a : Semantic.assoc) member_name =
+    List.map
+      (fun f -> Host.Move (Cond.Var (qvar member_name f), qvar a.aname f))
+      (assoc_field_names ctx a)
+
+  (* [inner] receives the enclosing-currency description accumulated
+     by the loops wrapped around it. *)
+  let rec steps ctx enc (seq : Apattern.t) inner =
+    match seq with
+    | [] -> inner enc
+    | Apattern.Self { target; qual } :: rest ->
+        check_scan ctx enc target;
+        let enc' = { enc with rtypes = Field.canon target :: enc.rtypes } in
+        let k = steps ctx enc' rest inner in
+        [ Host.Dml (Dml.Find (Dml.Any (target, qual)));
+          Host.While
+            ( Host.status_ok,
+              (Host.Dml (Dml.Get target) :: k)
+              @ [ Host.Dml (Dml.Find (Dml.Duplicate (target, qual))) ] );
+        ]
+    | Apattern.Through { target; source; link = tf, sf; qual } :: rest ->
+        check_scan ctx enc target;
+        let enc' = { enc with rtypes = Field.canon target :: enc.rtypes } in
+        let k = steps ctx enc' rest inner in
+        let cond =
+          Cond.cand
+            (Cond.Cmp (Cond.Eq, Cond.Field tf, Cond.Var (qvar source sf)))
+            qual
+        in
+        [ Host.Dml (Dml.Find (Dml.Any (target, cond)));
+          Host.While
+            ( Host.status_ok,
+              (Host.Dml (Dml.Get target) :: k)
+              @ [ Host.Dml (Dml.Find (Dml.Duplicate (target, cond))) ] );
+        ]
+    | Apattern.Assoc_via { assoc = aname; source; qual } :: rest -> (
+        let a = assoc ctx aname in
+        let source_is_left = Field.name_equal source a.left in
+        match Mapping.assoc_real ctx.mapping aname with
+        | Mapping.Assoc_set { set; member_fields = _ } ->
+            if source_is_left then set_member_loop ctx enc a set qual rest inner
+            else set_owner_nav ctx enc a set qual rest inner
+        | Mapping.Assoc_link_record { record; left_set; right_set } ->
+            link_record_loop ctx enc a ~record ~left_set ~right_set
+              ~source_is_left qual rest inner
+        | Mapping.Assoc_relation _ | Mapping.Assoc_parent_child
+        | Mapping.Assoc_link_segment _ ->
+            unsupported "association %s has no network realization" aname)
+    | Apattern.Via_assoc { assoc; _ } :: _ ->
+        unsupported "unpaired access via association %s" assoc
+
+  (* Loop over the members of the source-owned occurrence of a set
+     (the paper's FIND NEXT ... WITHIN ... template, §4.1). *)
+  and set_member_loop ctx enc (a : Semantic.assoc) set qual rest inner =
+    let member = entity ctx a.right in
+    let moves = assoc_moves_from_member ctx a member.ename in
+    let enc' = { enc with sets = Field.canon set :: enc.sets } in
+    let continue_, combined, host_guard =
+      match rest with
+      | Apattern.Via_assoc { target; assoc = a2; qual = q2 } :: rest'
+        when Field.name_equal a2 a.aname && Field.name_equal target a.right ->
+          (rest', Cond.cand qual q2, Cond.True)
+      | _ -> (rest, qual, Cond.True)
+    in
+    ignore host_guard;
+    let k = steps ctx enc' continue_ inner in
+    [ Host.Dml (Dml.Find (Dml.First_within (member.ename, set, combined)));
+      Host.While
+        ( Host.status_ok,
+          (Host.Dml (Dml.Get member.ename) :: moves)
+          @ k
+          @ [ Host.Dml (Dml.Find (Dml.Next_within (member.ename, set, combined)))
+            ] );
+    ]
+
+  (* Navigate from a member to its owner: FIND OWNER WITHIN set. *)
+  and set_owner_nav ctx enc (a : Semantic.assoc) set qual rest inner =
+    let owner = entity ctx a.left in
+    let member = entity ctx a.right in
+    if
+      not
+        (List.exists
+           (function
+             | Semantic.Total_right x -> Field.name_equal x a.aname
+             | Semantic.Total_left _ | Semantic.Participation_limit _
+             | Semantic.Field_not_null _ -> false)
+           ctx.schema.Semantic.constraints
+        ||
+        match (entity ctx a.right).kind with
+        | Semantic.Characterizing o -> Field.name_equal o a.left
+        | Semantic.Defined -> false)
+    then
+      unsupported
+        "navigation to the OPTIONAL owner of %s cannot rely on set currency"
+        set;
+    match rest with
+    | Apattern.Via_assoc { target; assoc = a2; qual = q2 } :: rest'
+      when Field.name_equal a2 a.aname && Field.name_equal target a.left ->
+        let k = steps ctx enc rest' inner in
+        let moves = assoc_moves_from_member ctx a member.ename in
+        (* The association qualification over owner/member key vars. *)
+        let q1_host =
+          host_cond
+            (fun f ->
+              if List.exists (Field.name_equal f) owner.key then
+                qvar owner.ename f
+              else qvar member.ename f)
+            qual
+        in
+        let q2_host = host_cond (qvar owner.ename) q2 in
+        moves
+        @ [ Host.Dml (Dml.Find (Dml.Owner_within set));
+            Host.If
+              ( Host.status_ok,
+                Host.Dml (Dml.Get owner.ename)
+                :: guard (Cond.cand q1_host q2_host) k,
+                [] );
+          ]
+    | _ ->
+        (* Association occurrence alone: everything is derivable from
+           the member's view. *)
+        let moves = assoc_moves_from_member ctx a member.ename in
+        let q_host =
+          host_cond (fun f -> qvar a.aname f) qual
+        in
+        let k = steps ctx enc rest inner in
+        moves @ guard q_host k
+
+  and link_record_loop ctx enc (a : Semantic.assoc) ~record ~left_set
+      ~right_set ~source_is_left qual rest inner =
+    let src_set = if source_is_left then left_set else right_set in
+    let enc' = { enc with sets = src_set :: enc.sets } in
+    let loop_body_tail =
+      [ Host.Dml (Dml.Find (Dml.Next_within (record, src_set, qual))) ]
+    in
+    match rest with
+    | Apattern.Via_assoc { target; assoc = a2; qual = q2 } :: rest'
+      when Field.name_equal a2 a.aname ->
+        let tgt_is_right = Field.name_equal target a.right in
+        let tgt_set = if tgt_is_right then right_set else left_set in
+        let tgt = entity ctx target in
+        let q2_host = host_cond (qvar tgt.ename) q2 in
+        let k = steps ctx enc' rest' inner in
+        [ Host.Dml (Dml.Find (Dml.First_within (record, src_set, qual)));
+          Host.While
+            ( Host.status_ok,
+              [ Host.Dml (Dml.Get record);
+                Host.Dml (Dml.Find (Dml.Owner_within tgt_set));
+                Host.If
+                  ( Host.status_ok,
+                    Host.Dml (Dml.Get tgt.ename) :: guard q2_host k,
+                    [] );
+              ]
+              @ loop_body_tail );
+        ]
+    | _ ->
+        let k = steps ctx enc' rest inner in
+        [ Host.Dml (Dml.Find (Dml.First_within (record, src_set, qual)));
+          Host.While
+            ( Host.status_ok,
+              (Host.Dml (Dml.Get record) :: k) @ loop_body_tail );
+        ]
+
+  let rec stmt ctx enc (s : Aprog.astmt) : Dml.t Host.stmt list =
+    match s with
+    | Aprog.For_each { query; body } ->
+        steps ctx enc query (fun enc' -> body_stmts ctx enc' body)
+        @ [ status_reset ]
+    | Aprog.First { query; present; absent } -> (
+        match query with
+        | [ Apattern.Self { target; qual } ] ->
+            check_scan ctx enc target;
+            [ Host.Dml (Dml.Find (Dml.Any (target, qual)));
+              Host.If
+                ( Host.status_ok,
+                  Host.Dml (Dml.Get target) :: body_stmts ctx enc present,
+                  body_stmts ctx enc absent );
+            ]
+        | _ -> unsupported "FIRST over a multi-step access sequence")
+    | Aprog.Insert { entity = ename; values; connects } ->
+        let e = entity ctx ename in
+        let value_moves =
+          List.map (fun (f, ex) -> Host.Move (ex, qvar ename f)) values
+        in
+        let auto_moves, manual_connects =
+          List.fold_left
+            (fun (moves, manual) (aname, key_exprs) ->
+              let a = assoc ctx aname in
+              match Mapping.assoc_real ctx.mapping aname with
+              | Mapping.Assoc_set { set; member_fields } ->
+                  let decl =
+                    Ccv_network.Nschema.find_set_exn
+                      (match ctx.mapping.Mapping.model with
+                      | _ -> network_schema ctx)
+                      set
+                  in
+                  if decl.Ccv_network.Nschema.insertion = Ccv_network.Nschema.Automatic
+                  then
+                    ( moves
+                      @ List.map2
+                          (fun mf ex -> Host.Move (ex, qvar ename mf))
+                          member_fields key_exprs,
+                      manual )
+                  else (moves, (a, set, key_exprs) :: manual)
+              | Mapping.Assoc_link_record _ ->
+                  unsupported
+                    "INSERT cannot connect through link-record association %s"
+                    aname
+              | Mapping.Assoc_relation _ | Mapping.Assoc_parent_child
+              | Mapping.Assoc_link_segment _ ->
+                  unsupported "association %s has no network realization" aname)
+            ([], []) connects
+        in
+        let store = [ Host.Dml (Dml.Store ename) ] in
+        let connect_stmts =
+          List.concat_map
+            (fun ((a : Semantic.assoc), set, key_exprs) ->
+              let owner = entity ctx a.left in
+              [ Host.Dml
+                  (Dml.Find (Dml.Any (owner.ename, key_eq_exprs owner.key key_exprs)));
+                Host.Dml (Dml.Connect (e.ename, set));
+              ])
+            (List.rev manual_connects)
+        in
+        value_moves @ auto_moves @ store @ connect_stmts
+    | Aprog.Link { assoc = aname; left_key; right_key; attrs } -> (
+        let a = assoc ctx aname in
+        match Mapping.assoc_real ctx.mapping aname with
+        | Mapping.Assoc_link_record { record; _ } ->
+            let le = entity ctx a.left and re = entity ctx a.right in
+            let moves =
+              List.map2 (fun k ex -> Host.Move (ex, qvar record k)) le.key left_key
+              @ List.map2
+                  (fun k ex -> Host.Move (ex, qvar record k))
+                  re.key right_key
+              @ List.map (fun (f, ex) -> Host.Move (ex, qvar record f)) attrs
+            in
+            moves @ [ Host.Dml (Dml.Store record) ]
+        | Mapping.Assoc_set { set; _ } ->
+            let decl = Ccv_network.Nschema.find_set_exn (network_schema ctx) set in
+            if decl.Ccv_network.Nschema.insertion = Ccv_network.Nschema.Automatic
+            then
+              unsupported
+                "LINK through AUTOMATIC set %s: members connect at STORE" set
+            else
+              let le = entity ctx a.left and re = entity ctx a.right in
+              [ Host.Dml
+                  (Dml.Find (Dml.Any (le.ename, key_eq_exprs le.key left_key)));
+                Host.Dml
+                  (Dml.Find (Dml.Any (re.ename, key_eq_exprs re.key right_key)));
+                Host.Dml (Dml.Connect (re.ename, set));
+              ]
+        | Mapping.Assoc_relation _ | Mapping.Assoc_parent_child
+        | Mapping.Assoc_link_segment _ ->
+            unsupported "association %s has no network realization" aname)
+    | Aprog.Unlink { assoc = aname; left_key; right_key } -> (
+        let a = assoc ctx aname in
+        match Mapping.assoc_real ctx.mapping aname with
+        | Mapping.Assoc_link_record { record; _ } ->
+            let le = entity ctx a.left and re = entity ctx a.right in
+            let cond =
+              Cond.And
+                (key_eq_exprs le.key left_key, key_eq_exprs re.key right_key)
+            in
+            [ Host.Dml (Dml.Find (Dml.Any (record, cond)));
+              Host.If
+                (Host.status_ok, [ Host.Dml (Dml.Erase (Dml.Erase_one, record)) ], []);
+            ]
+        | Mapping.Assoc_set { set; _ } ->
+            let decl = Ccv_network.Nschema.find_set_exn (network_schema ctx) set in
+            if decl.Ccv_network.Nschema.retention <> Ccv_network.Nschema.Optional
+            then unsupported "UNLINK from non-OPTIONAL set %s" set
+            else
+              let re = entity ctx a.right in
+              ignore left_key;
+              [ Host.Dml
+                  (Dml.Find (Dml.Any (re.ename, key_eq_exprs re.key right_key)));
+                Host.Dml (Dml.Disconnect (re.ename, set));
+              ]
+        | Mapping.Assoc_relation _ | Mapping.Assoc_parent_child
+        | Mapping.Assoc_link_segment _ ->
+            unsupported "association %s has no network realization" aname)
+    | Aprog.Update { query; assigns } -> (
+        let target = Apattern.result_of query in
+        let rtype =
+          match Mapping.assoc_real_opt ctx.mapping target with
+          | Some (Mapping.Assoc_link_record { record; _ }) -> record
+          | Some (Mapping.Assoc_set _) ->
+              unsupported "UPDATE of a set-realized association %s" target
+          | Some _ -> unsupported "UPDATE of association %s" target
+          | None -> Field.canon target
+        in
+        let modify =
+          List.map (fun (f, ex) -> Host.Move (ex, qvar rtype f)) assigns
+          @ [ Host.Dml (Dml.Modify (rtype, List.map fst assigns)) ]
+        in
+        (* An update of the record an enclosing loop is positioned on
+           (query = its own key pins) is the CODASYL in-place idiom:
+           FIND CURRENT re-establishes the run unit, then MODIFY —
+           rather than a nested scan the currency rules forbid. *)
+        match query with
+        | [ Apattern.Self { target = t; qual } ]
+          when List.exists (Field.name_equal rtype) enc.rtypes
+               && Field.name_equal t target
+               && Cond.equal qual
+                    (key_eq_vars rtype
+                       (match Semantic.find_entity ctx.schema target with
+                       | Some e -> e.Semantic.key
+                       | None -> [ "" ])) ->
+            Host.Dml (Dml.Find (Dml.Current rtype)) :: modify
+        | _ -> steps ctx enc query (fun _ -> modify) @ [ status_reset ])
+    | Aprog.Delete { query; cascade } ->
+        let mode = if cascade then Dml.Erase_all else Dml.Erase_one in
+        delete ctx enc query mode @ [ status_reset ]
+    | Aprog.Display es -> [ Host.Display es ]
+    | Aprog.Accept x -> [ Host.Accept x ]
+    | Aprog.Write_file (f, es) -> [ Host.Write_file (f, es) ]
+    | Aprog.Move (e, x) -> [ Host.Move (e, x) ]
+    | Aprog.If (c, a, b) ->
+        [ Host.If (c, body_stmts ctx enc a, body_stmts ctx enc b) ]
+    | Aprog.While (c, body) -> [ Host.While (c, body_stmts ctx enc body) ]
+
+  and body_stmts ctx enc body = List.concat_map (stmt ctx enc) body
+
+  and delete ctx enc query mode =
+    match query with
+    | [ Apattern.Self { target; qual } ] ->
+        let target_rtype =
+          match Mapping.assoc_real_opt ctx.mapping target with
+          | Some (Mapping.Assoc_link_record { record; _ }) -> record
+          | Some _ -> unsupported "DELETE of association %s" target
+          | None -> Field.canon target
+        in
+        [ Host.Dml (Dml.Find (Dml.Any (target_rtype, qual)));
+          Host.While
+            ( Host.status_ok,
+              [ Host.Dml (Dml.Erase (mode, target_rtype));
+                Host.Dml (Dml.Find (Dml.Any (target_rtype, qual)));
+              ] );
+        ]
+    | _ -> (
+        (* Outer loops position on the source; the innermost member
+           loop is a find-erase-refind cycle that re-establishes set
+           currency through FIND CURRENT after each ERASE. *)
+        match List.rev query with
+        | Apattern.Via_assoc { target; assoc = aname; qual = q2 }
+          :: Apattern.Assoc_via { assoc = aname'; source; qual = q1 }
+          :: outer_rev
+          when Field.name_equal aname aname' -> (
+            let a = assoc ctx aname in
+            if not (Field.name_equal target a.right) then
+              unsupported "DELETE navigating to an owner";
+            match Mapping.assoc_real ctx.mapping aname with
+            | Mapping.Assoc_set { set; _ } ->
+                let member = entity ctx a.right in
+                let combined = Cond.cand q1 q2 in
+                let inner =
+                  [ Host.Dml
+                      (Dml.Find (Dml.First_within (member.ename, set, combined)));
+                    Host.While
+                      ( Host.status_ok,
+                        [ Host.Dml (Dml.Erase (mode, member.ename));
+                          Host.Dml (Dml.Find (Dml.Current source));
+                          Host.Dml
+                            (Dml.Find
+                               (Dml.First_within (member.ename, set, combined)));
+                        ] );
+                  ]
+                in
+                steps ctx enc (List.rev outer_rev) (fun _ -> inner)
+            | Mapping.Assoc_link_record _ ->
+                unsupported "DELETE through a link-record association"
+            | Mapping.Assoc_relation _ | Mapping.Assoc_parent_child
+            | Mapping.Assoc_link_segment _ ->
+                unsupported "association %s has no network realization" aname)
+        | _ -> unsupported "DELETE over this access sequence")
+
+  and network_schema ctx =
+    match ctx.mapping.Mapping.model with
+    | Mapping.Net ->
+        let _, nschema = Mapping.derive_network ctx.schema in
+        nschema
+    | Mapping.Rel | Mapping.Hier ->
+        unsupported "network generation from a non-network mapping"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Relational target                                                   *)
+
+module Rel = struct
+  open Engines
+
+  let rec steps ctx (seq : Apattern.t) inner =
+    match seq with
+    | [] -> inner
+    | Apattern.Self { target; qual } :: rest ->
+        cursor_loop target qual (steps ctx rest inner)
+    | Apattern.Through { target; source; link = tf, sf; qual } :: rest ->
+        let cond =
+          Cond.cand
+            (Cond.Cmp (Cond.Eq, Cond.Field tf, Cond.Var (qvar source sf)))
+            qual
+        in
+        cursor_loop target cond (steps ctx rest inner)
+    | Apattern.Assoc_via { assoc = aname; source; qual } :: rest -> (
+        let a = assoc ctx aname in
+        let src = entity ctx source in
+        let where_ = Cond.cand (key_eq_vars source src.key) qual in
+        match rest with
+        | Apattern.Via_assoc { target; assoc = a2; qual = q2 } :: rest'
+          when Field.name_equal a2 a.aname ->
+            let tgt = entity ctx target in
+            let tcond = Cond.cand (key_eq_vars a.aname tgt.key) q2 in
+            cursor_loop a.aname where_
+              [ Host.Dml (Rel_dml.Open (Sql.query target ~where_:tcond));
+                Host.Dml Rel_dml.Fetch;
+                Host.If (Host.status_ok, steps ctx rest' inner, []);
+                Host.Dml Rel_dml.Close;
+              ]
+        | _ -> cursor_loop a.aname where_ (steps ctx rest inner))
+    | Apattern.Via_assoc { assoc; _ } :: _ ->
+        unsupported "unpaired access via association %s" assoc
+
+  and cursor_loop rel where_ k =
+    [ Host.Dml (Engines.Rel_dml.Open (Sql.query rel ~where_));
+      Host.Dml Engines.Rel_dml.Fetch;
+      Host.While (Host.status_ok, k @ [ Host.Dml Engines.Rel_dml.Fetch ]);
+      Host.Dml Engines.Rel_dml.Close;
+    ]
+
+  let rec stmt ctx (s : Aprog.astmt) : Rel_dml.t Host.stmt list =
+    match s with
+    | Aprog.For_each { query; body } ->
+        steps ctx query (body_stmts ctx body) @ [ status_reset ]
+    | Aprog.First { query; present; absent } -> (
+        match query with
+        | [ Apattern.Self { target; qual } ] ->
+            [ Host.Dml (Rel_dml.Open (Sql.query target ~where_:qual));
+              Host.Dml Rel_dml.Fetch;
+              Host.If
+                ( Host.status_ok,
+                  Host.Dml Rel_dml.Close :: status_reset
+                  :: body_stmts ctx present,
+                  Host.Dml Rel_dml.Close :: status_set Status.Not_found
+                  :: body_stmts ctx absent );
+            ]
+        | _ -> unsupported "FIRST over a multi-step access sequence")
+    | Aprog.Insert { entity = ename; values; connects } ->
+        let e = entity ctx ename in
+        let right_key_exprs =
+          List.map
+            (fun k ->
+              match
+                List.find_opt (fun (f, _) -> Field.name_equal f k) values
+              with
+              | Some (_, ex) -> ex
+              | None -> unsupported "INSERT %s lacks key field %s" ename k)
+            e.key
+        in
+        Host.Dml (Rel_dml.Exec (Sql.Insert (ename, values)))
+        :: List.concat_map
+             (fun (aname, key_exprs) ->
+               let a = assoc ctx aname in
+               let le = entity ctx a.left in
+               let assigns =
+                 List.map2 (fun k ex -> (k, ex)) le.key key_exprs
+                 @ List.map2 (fun k ex -> (k, ex)) e.key right_key_exprs
+               in
+               [ Host.Dml (Rel_dml.Exec (Sql.Insert (aname, assigns))) ])
+             connects
+    | Aprog.Link { assoc = aname; left_key; right_key; attrs } ->
+        let a = assoc ctx aname in
+        let le = entity ctx a.left and re = entity ctx a.right in
+        let assigns =
+          List.map2 (fun k ex -> (k, ex)) le.key left_key
+          @ List.map2 (fun k ex -> (k, ex)) re.key right_key
+          @ attrs
+        in
+        [ Host.Dml (Rel_dml.Exec (Sql.Insert (aname, assigns))) ]
+    | Aprog.Unlink { assoc = aname; left_key; right_key } ->
+        let a = assoc ctx aname in
+        let le = entity ctx a.left and re = entity ctx a.right in
+        let cond =
+          Cond.And (key_eq_exprs le.key left_key, key_eq_exprs re.key right_key)
+        in
+        [ Host.Dml (Rel_dml.Exec (Sql.Delete (aname, cond))) ]
+    | Aprog.Update { query; assigns } ->
+        let target = Apattern.result_of query in
+        let key =
+          match Semantic.find_entity ctx.schema target with
+          | Some e -> e.Semantic.key
+          | None ->
+              let a = assoc ctx target in
+              (entity ctx a.left).key @ (entity ctx a.right).key
+        in
+        let inner =
+          [ Host.Dml
+              (Rel_dml.Exec
+                 (Sql.Update (target, assigns, key_eq_vars target key)));
+          ]
+        in
+        steps ctx query inner @ [ status_reset ]
+    | Aprog.Delete { query; cascade } ->
+        let target = Apattern.result_of query in
+        let inner =
+          match Semantic.find_entity ctx.schema target with
+          | Some e ->
+              if not cascade then
+                issue ctx
+                  "DELETE %s without cascade: the relational target cannot \
+                   check totality partners"
+                  target;
+              (match
+                 List.find_opt
+                   (fun (c : Semantic.entity) ->
+                     match c.kind with
+                     | Semantic.Characterizing o -> Field.name_equal o target
+                     | Semantic.Defined -> false)
+                   ctx.schema.Semantic.entities
+               with
+              | Some child ->
+                  unsupported
+                    "DELETE of %s requires cascading into characterizing %s"
+                    target child.ename
+              | None -> ());
+              (* Cascading totality: partners of a 1:N total association
+                 are orphaned by this deletion and must die too (M:N
+                 totality would need a sole-link test SQL-77 cannot
+                 express here). *)
+              let total aname =
+                List.exists
+                  (function
+                    | Semantic.Total_right x -> Field.name_equal x aname
+                    | Semantic.Total_left _ | Semantic.Participation_limit _
+                    | Semantic.Field_not_null _ -> false)
+                  ctx.schema.Semantic.constraints
+              in
+              let partner_cascades =
+                if not cascade then []
+                else
+                  List.concat_map
+                    (fun (a : Semantic.assoc) ->
+                      if
+                        Field.name_equal a.left target
+                        && total a.aname
+                      then
+                        if a.card <> Semantic.One_to_many then
+                          unsupported
+                            "cascade through M:N total association %s needs a \
+                             sole-link test"
+                            a.aname
+                        else
+                          let re = entity ctx a.right in
+                          [ Host.Dml
+                              (Rel_dml.Open
+                                 (Sql.query a.aname
+                                    ~where_:(key_eq_vars target e.Semantic.key)));
+                            Host.Dml Rel_dml.Fetch;
+                            Host.While
+                              ( Host.status_ok,
+                                [ Host.Dml
+                                    (Rel_dml.Exec
+                                       (Sql.Delete
+                                          ( re.ename,
+                                            key_eq_vars a.aname re.key )));
+                                  Host.Dml Rel_dml.Fetch;
+                                ] );
+                            Host.Dml Rel_dml.Close;
+                          ]
+                      else [])
+                    (Semantic.assocs_of ctx.schema target)
+              in
+              partner_cascades
+              @ List.map
+                  (fun (a : Semantic.assoc) ->
+                    let side_keys =
+                      if Field.name_equal a.left target then e.Semantic.key
+                      else (entity ctx a.right).key
+                    in
+                    Host.Dml
+                      (Rel_dml.Exec
+                         (Sql.Delete (a.aname, key_eq_vars target side_keys))))
+                  (Semantic.assocs_of ctx.schema target)
+              @ [ Host.Dml
+                    (Rel_dml.Exec
+                       (Sql.Delete (target, key_eq_vars target e.Semantic.key)));
+                ]
+          | None ->
+              let a = assoc ctx target in
+              let keys = (entity ctx a.left).key @ (entity ctx a.right).key in
+              [ Host.Dml
+                  (Rel_dml.Exec (Sql.Delete (target, key_eq_vars target keys)));
+              ]
+        in
+        steps ctx query inner @ [ status_reset ]
+    | Aprog.Display es -> [ Host.Display es ]
+    | Aprog.Accept x -> [ Host.Accept x ]
+    | Aprog.Write_file (f, es) -> [ Host.Write_file (f, es) ]
+    | Aprog.Move (e, x) -> [ Host.Move (e, x) ]
+    | Aprog.If (c, a, b) -> [ Host.If (c, body_stmts ctx a, body_stmts ctx b) ]
+    | Aprog.While (c, body) -> [ Host.While (c, body_stmts ctx body) ]
+
+  and body_stmts ctx body = List.concat_map (stmt ctx) body
+end
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical target                                                 *)
+
+module Hier = struct
+  (* Compilation carries the accumulated SSA path pinning every
+     enclosing level by its key (qualified SSAs over host variables) —
+     the idiom a careful IMS programmer uses instead of GNP so that
+     nested sweeps never lose position. *)
+
+  let pin ctx name =
+    let e = entity ctx name in
+    Hdml.ssa ~qual:(key_eq_vars e.ename e.key) e.ename
+
+  (* The ancestor chain of an entity under the hierarchical mapping,
+     as key-pinned SSAs (the enclosing loops bound those keys). *)
+  let ancestor_pins ctx name =
+    let parent_of ename =
+      List.find_map
+        (fun (a : Semantic.assoc) ->
+          match Mapping.assoc_real_opt ctx.mapping a.aname with
+          | Some Mapping.Assoc_parent_child
+            when Field.name_equal a.right ename
+                 && not (Field.name_equal a.left ename) ->
+              Some a.left
+          | Some _ | None -> None)
+        (Semantic.assocs_of ctx.schema ename)
+    in
+    let rec up acc ename =
+      match parent_of ename with
+      | None -> pin ctx ename :: acc
+      | Some p -> up (pin ctx ename :: acc) p
+    in
+    up [] (Field.canon name)
+
+  (* Starting SSA path for a query compiled at nesting [depth]. *)
+  let initial_path ctx depth (query : Apattern.t) =
+    match query with
+    | Apattern.Self { target; _ } :: _ ->
+        if depth > 0 then
+          unsupported
+            "independent scan of %s inside a DL/I loop would lose position"
+            target;
+        []
+    | Apattern.Assoc_via { source; _ } :: _ -> ancestor_pins ctx source
+    | Apattern.Through { target; _ } :: _ ->
+        unsupported "comparable-field access to %s needs a second position"
+          target
+    | (Apattern.Via_assoc _ :: _ | []) ->
+        unsupported "query cannot start with an association endpoint access"
+
+  let rec steps ctx path (seq : Apattern.t) inner =
+    match seq with
+    | [] -> inner
+    | Apattern.Self { target; qual } :: rest ->
+        if path <> [] then
+          unsupported
+            "independent scan of %s inside a DL/I loop would lose position"
+            target;
+        let ssas = [ Hdml.ssa ~qual target ] in
+        let k = steps ctx [ pin ctx target ] rest inner in
+        [ Host.Dml (Hdml.Gn ssas);
+          Host.While (Host.status_ok, k @ [ Host.Dml (Hdml.Gn ssas) ]);
+        ]
+    | Apattern.Through { target; _ } :: _ ->
+        unsupported "comparable-field access to %s needs a second position"
+          target
+    | Apattern.Assoc_via { assoc = aname; source; qual } :: rest -> (
+        let a = assoc ctx aname in
+        if not (Field.name_equal source a.left) then
+          unsupported "DL/I cannot navigate upward through %s" aname;
+        match Mapping.assoc_real ctx.mapping aname with
+        | Mapping.Assoc_parent_child -> (
+            let child = entity ctx a.right in
+            (* Conjuncts over the child's own fields ride in the SSA;
+               the rest (owner-key comparisons) are implied by the
+               pinned ancestors. *)
+            let in_ssa, in_host =
+              split_qual
+                (Field.names child.fields)
+                (fun f -> qvar a.aname f)
+                qual
+            in
+            let moves =
+              List.map
+                (fun f -> Host.Move (Cond.Var (qvar source f), qvar a.aname f))
+                (entity ctx a.left).key
+              @ List.map
+                  (fun f ->
+                    Host.Move (Cond.Var (qvar child.ename f), qvar a.aname f))
+                  child.key
+            in
+            match rest with
+            | Apattern.Via_assoc { target; assoc = a2; qual = q2 } :: rest'
+              when Field.name_equal a2 a.aname
+                   && Field.name_equal target a.right ->
+                let ssas =
+                  path @ [ Hdml.ssa ~qual:(Cond.cand in_ssa q2) child.ename ]
+                in
+                let k = steps ctx (path @ [ pin ctx child.ename ]) rest' inner in
+                [ Host.Dml (Hdml.Gn ssas);
+                  Host.While
+                    ( Host.status_ok,
+                      moves @ guard in_host k @ [ Host.Dml (Hdml.Gn ssas) ] );
+                ]
+            | _ ->
+                let ssas = path @ [ Hdml.ssa ~qual:in_ssa child.ename ] in
+                let k = steps ctx (path @ [ pin ctx child.ename ]) rest inner in
+                [ Host.Dml (Hdml.Gn ssas);
+                  Host.While
+                    ( Host.status_ok,
+                      moves @ guard in_host k @ [ Host.Dml (Hdml.Gn ssas) ] );
+                ])
+        | Mapping.Assoc_link_segment seg -> (
+            let re = entity ctx a.right in
+            let seg_decl_fields =
+              (* right key + attributes, as laid out by the mapping *)
+              re.key @ Field.names a.fields
+            in
+            let in_ssa, in_host =
+              split_qual seg_decl_fields (fun f -> qvar a.aname f) qual
+            in
+            let moves =
+              List.map
+                (fun f -> Host.Move (Cond.Var (qvar source f), qvar a.aname f))
+                (entity ctx a.left).key
+            in
+            match rest with
+            | Apattern.Via_assoc { target; assoc = a2; qual = q2 } :: rest'
+              when Field.name_equal a2 a.aname
+                   && Field.name_equal target a.right ->
+                (* The far endpoint itself is out of reach, but its key
+                   is stored in the link segment — a converter can bind
+                   exactly the key fields (real systems exploit the
+                   same stored foreign key).  Qualifications or later
+                   accesses over its non-key fields stay impossible. *)
+                let key_only, beyond =
+                  split_qual re.key (fun f -> qvar target f) q2
+                in
+                if beyond <> Cond.True then
+                  unsupported
+                    "DL/I cannot test non-key fields of the far endpoint of %s"
+                    seg;
+                let far_moves =
+                  List.map
+                    (fun k ->
+                      Host.Move (Cond.Var (qvar a.aname k), qvar target k))
+                    re.key
+                in
+                let key_host = host_cond (qvar target) key_only in
+                let ssas = path @ [ Hdml.ssa ~qual:in_ssa seg ] in
+                let k = steps ctx (path @ [ Hdml.ssa seg ]) rest' inner in
+                [ Host.Dml (Hdml.Gn ssas);
+                  Host.While
+                    ( Host.status_ok,
+                      moves @ far_moves
+                      @ guard (Cond.cand in_host key_host) k
+                      @ [ Host.Dml (Hdml.Gn ssas) ] );
+                ]
+            | Apattern.Via_assoc _ :: _ ->
+                unsupported
+                  "DL/I cannot reach the far endpoint of link segment %s" seg
+            | _ ->
+                let ssas = path @ [ Hdml.ssa ~qual:in_ssa seg ] in
+                let k = steps ctx (path @ [ Hdml.ssa seg ]) rest inner in
+                [ Host.Dml (Hdml.Gn ssas);
+                  Host.While
+                    ( Host.status_ok,
+                      moves @ guard in_host k @ [ Host.Dml (Hdml.Gn ssas) ] );
+                ])
+        | Mapping.Assoc_relation _ | Mapping.Assoc_set _
+        | Mapping.Assoc_link_record _ ->
+            unsupported "association %s has no hierarchical realization" aname)
+    | Apattern.Via_assoc { assoc; _ } :: _ ->
+        unsupported "unpaired access via association %s" assoc
+
+  (* Flatten a whole query into one SSA path (for GU-style one-shot
+     positioning in FIRST and DELETE). *)
+  let flatten ctx (seq : Apattern.t) =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | Apattern.Self { target; qual } :: rest when acc = [] ->
+          go [ Hdml.ssa ~qual target ] rest
+      | Apattern.Assoc_via { assoc = aname; source; qual }
+        :: Apattern.Via_assoc { target; assoc = a2; qual = q2 }
+        :: rest
+        when Field.name_equal aname a2 -> (
+          let a = assoc ctx aname in
+          if
+            not
+              (Field.name_equal source a.left && Field.name_equal target a.right)
+          then unsupported "cannot flatten upward navigation";
+          match Mapping.assoc_real ctx.mapping aname with
+          | Mapping.Assoc_parent_child ->
+              go (Hdml.ssa ~qual:(Cond.cand qual q2) target :: acc) rest
+          | Mapping.Assoc_set _ | Mapping.Assoc_relation _
+          | Mapping.Assoc_link_record _ | Mapping.Assoc_link_segment _ ->
+              unsupported "cannot flatten association %s" aname)
+      | Apattern.Assoc_via { assoc = aname; qual; _ } :: rest -> (
+          match Mapping.assoc_real ctx.mapping aname with
+          | Mapping.Assoc_link_segment seg ->
+              go (Hdml.ssa ~qual seg :: acc) rest
+          | Mapping.Assoc_parent_child | Mapping.Assoc_set _
+          | Mapping.Assoc_relation _ | Mapping.Assoc_link_record _ ->
+              unsupported "cannot flatten association %s" aname)
+      | (Apattern.Self _ | Apattern.Through _ | Apattern.Via_assoc _) :: _ ->
+          unsupported "cannot flatten this access sequence"
+    in
+    go [] seq
+
+  let rec stmt ctx depth (s : Aprog.astmt) : Hdml.t Host.stmt list =
+    match s with
+    | Aprog.For_each { query; body } ->
+        steps ctx (initial_path ctx depth query) query
+          (body_stmts ctx (depth + 1) body)
+        @ [ status_reset ]
+    | Aprog.First { query; present; absent } ->
+        if depth > 0 then
+          unsupported "FIRST inside a DL/I loop would lose position";
+        let ssas = flatten ctx query in
+        [ Host.Dml (Hdml.Gu ssas);
+          Host.If
+            ( Host.status_ok,
+              body_stmts ctx depth present,
+              body_stmts ctx depth absent );
+        ]
+    | Aprog.Insert { entity = ename; values; connects } ->
+        if depth > 0 then
+          unsupported "ISRT inside a DL/I loop would lose position";
+        let e = entity ctx ename in
+        let value_moves =
+          List.map (fun (f, ex) -> Host.Move (ex, qvar ename f)) values
+        in
+        let parent_assoc =
+          List.find_opt
+            (fun (aname, _) ->
+              match Mapping.assoc_real ctx.mapping aname with
+              | Mapping.Assoc_parent_child -> true
+              | Mapping.Assoc_set _ | Mapping.Assoc_relation _
+              | Mapping.Assoc_link_record _ | Mapping.Assoc_link_segment _ ->
+                  false)
+            connects
+        in
+        let parent_ssas =
+          match parent_assoc with
+          | None -> []
+          | Some (aname, key_exprs) ->
+              let a = assoc ctx aname in
+              let le = entity ctx a.left in
+              [ Hdml.ssa ~qual:(key_eq_exprs le.key key_exprs) le.ename ]
+        in
+        let others =
+          List.filter
+            (fun (aname, _) ->
+              match parent_assoc with
+              | Some (p, _) -> not (Field.name_equal p aname)
+              | None -> true)
+            connects
+        in
+        let link_stmts =
+          List.concat_map
+            (fun (aname, key_exprs) ->
+              let a = assoc ctx aname in
+              match Mapping.assoc_real ctx.mapping aname with
+              | Mapping.Assoc_link_segment seg ->
+                  let le = entity ctx a.left in
+                  let right_key_moves =
+                    List.map
+                      (fun k ->
+                        match
+                          List.find_opt (fun (f, _) -> Field.name_equal f k) values
+                        with
+                        | Some (_, ex) -> Host.Move (ex, qvar seg k)
+                        | None ->
+                            unsupported "INSERT %s lacks key field %s" ename k)
+                      e.key
+                  in
+                  right_key_moves
+                  @ [ Host.Dml
+                        (Hdml.Isrt
+                           ( seg,
+                             [ Hdml.ssa ~qual:(key_eq_exprs le.key key_exprs)
+                                 le.ename
+                             ] ));
+                    ]
+              | Mapping.Assoc_parent_child | Mapping.Assoc_set _
+              | Mapping.Assoc_relation _ | Mapping.Assoc_link_record _ ->
+                  unsupported "cannot connect through %s hierarchically" aname)
+            others
+        in
+        value_moves @ [ Host.Dml (Hdml.Isrt (ename, parent_ssas)) ] @ link_stmts
+    | Aprog.Link { assoc = aname; left_key; right_key; attrs } -> (
+        if depth > 0 then
+          unsupported "ISRT inside a DL/I loop would lose position";
+        let a = assoc ctx aname in
+        match Mapping.assoc_real ctx.mapping aname with
+        | Mapping.Assoc_link_segment seg ->
+            let le = entity ctx a.left and re = entity ctx a.right in
+            let moves =
+              List.map2 (fun k ex -> Host.Move (ex, qvar seg k)) re.key right_key
+              @ List.map (fun (f, ex) -> Host.Move (ex, qvar seg f)) attrs
+            in
+            moves
+            @ [ Host.Dml
+                  (Hdml.Isrt
+                     ( seg,
+                       [ Hdml.ssa ~qual:(key_eq_exprs le.key left_key) le.ename ]
+                     ));
+              ]
+        | Mapping.Assoc_parent_child ->
+            unsupported "LINK through parent-child %s: children attach at ISRT"
+              aname
+        | Mapping.Assoc_set _ | Mapping.Assoc_relation _
+        | Mapping.Assoc_link_record _ ->
+            unsupported "association %s has no hierarchical realization" aname)
+    | Aprog.Unlink { assoc = aname; left_key; right_key } -> (
+        if depth > 0 then
+          unsupported "DLET inside a DL/I loop would lose position";
+        let a = assoc ctx aname in
+        match Mapping.assoc_real ctx.mapping aname with
+        | Mapping.Assoc_link_segment seg ->
+            let le = entity ctx a.left and re = entity ctx a.right in
+            let ssas =
+              [ Hdml.ssa ~qual:(key_eq_exprs le.key left_key) le.ename;
+                Hdml.ssa ~qual:(key_eq_exprs re.key right_key) seg;
+              ]
+            in
+            [ Host.Dml (Hdml.Gu ssas);
+              Host.If (Host.status_ok, [ Host.Dml Hdml.Dlet ], []);
+            ]
+        | Mapping.Assoc_parent_child | Mapping.Assoc_set _
+        | Mapping.Assoc_relation _ | Mapping.Assoc_link_record _ ->
+            unsupported "UNLINK of %s unsupported hierarchically" aname)
+    | Aprog.Update { query; assigns } ->
+        let target = Apattern.result_of query in
+        let tname =
+          match Mapping.assoc_real_opt ctx.mapping target with
+          | Some (Mapping.Assoc_link_segment seg) -> seg
+          | Some _ -> unsupported "UPDATE of association %s" target
+          | None -> Field.canon target
+        in
+        let inner =
+          List.map (fun (f, ex) -> Host.Move (ex, qvar tname f)) assigns
+          @ [ Host.Dml (Hdml.Repl (List.map fst assigns)) ]
+        in
+        steps ctx (initial_path ctx depth query) query inner @ [ status_reset ]
+    | Aprog.Delete { query; cascade } ->
+        if depth > 0 then
+          unsupported "DLET inside a DL/I loop would lose position";
+        let target = Apattern.result_of query in
+        if not cascade then begin
+          match Semantic.find_entity ctx.schema target with
+          | Some _
+            when Ccv_hier.Hschema.children
+                   (snd (Mapping.derive_hier ctx.schema))
+                   target
+                 <> [] ->
+              issue ctx
+                "DLET of %s cascades into its children regardless of the \
+                 program's intent"
+                target
+          | Some _ | None -> ()
+        end;
+        let ssas = flatten ctx query in
+        [ Host.Dml (Hdml.Gn ssas);
+          Host.While
+            ( Host.status_ok,
+              [ Host.Dml Hdml.Dlet; Host.Dml (Hdml.Gn ssas) ] );
+          status_reset;
+        ]
+    | Aprog.Display es -> [ Host.Display es ]
+    | Aprog.Accept x -> [ Host.Accept x ]
+    | Aprog.Write_file (f, es) -> [ Host.Write_file (f, es) ]
+    | Aprog.Move (e, x) -> [ Host.Move (e, x) ]
+    | Aprog.If (c, a, b) ->
+        [ Host.If (c, body_stmts ctx depth a, body_stmts ctx depth b) ]
+    | Aprog.While (c, body) -> [ Host.While (c, body_stmts ctx depth body) ]
+
+  and body_stmts ctx depth body = List.concat_map (stmt ctx depth) body
+end
+
+(* ------------------------------------------------------------------ *)
+
+let make_ctx mapping =
+  { mapping; schema = mapping.Mapping.semantic; issues = ref [] }
+
+let to_network mapping (p : Aprog.t) =
+  let ctx = make_ctx mapping in
+  try
+    let body = Net.body_stmts ctx Net.no_enclosing p.Aprog.body in
+    Ok ({ Host.name = p.Aprog.name; body }, List.rev !(ctx.issues))
+  with Unsupported reason -> Error reason
+
+let to_relational mapping (p : Aprog.t) =
+  let ctx = make_ctx mapping in
+  try
+    let body = Rel.body_stmts ctx p.Aprog.body in
+    Ok ({ Host.name = p.Aprog.name; body }, List.rev !(ctx.issues))
+  with Unsupported reason -> Error reason
+
+let to_hier mapping (p : Aprog.t) =
+  let ctx = make_ctx mapping in
+  try
+    let body = Hier.body_stmts ctx 0 p.Aprog.body in
+    Ok ({ Host.name = p.Aprog.name; body }, List.rev !(ctx.issues))
+  with Unsupported reason -> Error reason
+
+let generate mapping p =
+  match mapping.Mapping.model with
+  | Mapping.Net ->
+      Result.map
+        (fun (prog, issues) -> { program = Engines.Net_program prog; issues })
+        (to_network mapping p)
+  | Mapping.Rel ->
+      Result.map
+        (fun (prog, issues) -> { program = Engines.Rel_program prog; issues })
+        (to_relational mapping p)
+  | Mapping.Hier ->
+      Result.map
+        (fun (prog, issues) -> { program = Engines.Hier_program prog; issues })
+        (to_hier mapping p)

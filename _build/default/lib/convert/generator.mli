@@ -1,0 +1,39 @@
+(** The Program Generator of Figure 4.1: compile an abstract program
+    (host structure + access-pattern sequences) into a concrete host
+    program for the model a {!Ccv_transform.Mapping.t} realizes —
+    CODASYL DML loops with currency discipline, embedded-SQL cursor
+    loops, or DL/I calls with accumulated qualified SSAs.
+
+    Generation is total for the relational model on supported abstract
+    forms, and partial for network/hierarchical where the 1979 models
+    genuinely cannot express an access (e.g. upward navigation to an
+    OPTIONAL owner, position-destroying scans inside a DL/I loop);
+    those cases return [Error] with the reason — the supervisor logs
+    them as conversion issues, reproducing the paper's observation that
+    "a completely automated system is probably not possible" (§3.2).
+
+    Known semantic seams (documented in DESIGN.md): DL/I enumerates a
+    child segment grouped under its parents, so an entity scan
+    generated to hierarchical preserves I/O only up to output order —
+    the §5.2 "levels of successful conversion". *)
+
+open Ccv_abstract
+open Ccv_transform
+
+type gen = {
+  program : Engines.program;
+  issues : string list;  (** non-fatal warnings for the supervisor *)
+}
+
+val to_network :
+  Mapping.t -> Aprog.t -> (Ccv_network.Dml.t Host.program * string list, string) result
+
+val to_relational :
+  Mapping.t -> Aprog.t ->
+  (Engines.Rel_dml.t Host.program * string list, string) result
+
+val to_hier :
+  Mapping.t -> Aprog.t -> (Ccv_hier.Hdml.t Host.program * string list, string) result
+
+(** Dispatch on the mapping's model. *)
+val generate : Mapping.t -> Aprog.t -> (gen, string) result

@@ -1,0 +1,180 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+(* Variables read anywhere in a statement list (including query
+   qualifications). *)
+let vars_read body =
+  let p = { Aprog.name = "_"; body } in
+  Rules.qualified_vars p
+
+let prefix_of x =
+  match String.index_opt x '.' with
+  | Some i -> Some (String.sub x 0 i, String.sub x (i + 1) (String.length x - i - 1))
+  | None -> None
+
+(* Try to fold a host condition into a query: every conjunct whose
+   variables all belong to one access target becomes part of that
+   step's qualification (variables turn back into fields). *)
+let fold_guard query cond =
+  let targets = Apattern.names_of query in
+  let foldable, residual =
+    List.partition
+      (fun c ->
+        let vs = List.filter_map prefix_of (Cond.vars c) in
+        vs <> []
+        && List.length vs = List.length (Cond.vars c)
+        && (match vs with
+           | (p0, _) :: _ ->
+               List.for_all (fun (p, _) -> Field.name_equal p p0) vs
+               && List.exists (Field.name_equal p0) targets
+           | [] -> false)
+        && Cond.fields c = [])
+      (Cond.split_conjuncts cond)
+  in
+  if foldable = [] then None
+  else
+    let add_to_step target extra step =
+      if Field.name_equal (Apattern.target_of step) target then
+        Apattern.map_qual (fun q -> Cond.cand q extra) step
+      else step
+    in
+    let query' =
+      List.fold_left
+        (fun query c ->
+          match List.filter_map prefix_of (Cond.vars c) with
+          | (target, _) :: _ ->
+              let extra =
+                Rules.map_cond
+                  (fun x ->
+                    match prefix_of x with
+                    | Some (p, f) when Field.name_equal p target -> Cond.Field f
+                    | Some _ | None -> Cond.Var x)
+                  c
+              in
+              (* fold into the FIRST step delivering that target *)
+              let folded = ref false in
+              List.map
+                (fun step ->
+                  if
+                    (not !folded)
+                    && Field.name_equal (Apattern.target_of step) target
+                  then begin
+                    folded := true;
+                    add_to_step target extra step
+                  end
+                  else step)
+                query
+          | [] -> query)
+        query foldable
+    in
+    Some (query', Cond.conj residual)
+
+(* A trailing [Assoc_via A via E; Via_assoc N via A] pair is removable
+   when the association is 1:N (E on the right) and total — each E has
+   exactly one partner, so the hop neither filters nor duplicates —
+   and nothing reads the bindings it produces. *)
+let drop_redundant_hop schema query ~used =
+  match List.rev query with
+  | Apattern.Via_assoc { target; assoc = a2; qual = Cond.True }
+    :: Apattern.Assoc_via { assoc = a1; source; qual = Cond.True }
+    :: rev_rest
+    when Field.name_equal a1 a2 -> (
+      match Semantic.find_assoc schema a1 with
+      | Some a
+        when a.card = Semantic.One_to_many
+             && Field.name_equal a.right source
+             && (List.exists
+                   (function
+                     | Semantic.Total_right x -> Field.name_equal x a.aname
+                     | Semantic.Total_left _ | Semantic.Participation_limit _
+                     | Semantic.Field_not_null _ -> false)
+                   schema.Semantic.constraints
+                ||
+                match (Semantic.find_entity_exn schema a.right).kind with
+                | Semantic.Characterizing o -> Field.name_equal o a.left
+                | Semantic.Defined -> false) ->
+          let binds_unused =
+            not
+              (List.exists
+                 (fun v ->
+                   match prefix_of v with
+                   | Some (p, _) ->
+                       Field.name_equal p target || Field.name_equal p a1
+                   | None -> false)
+                 used)
+          in
+          if binds_unused then Some (List.rev rev_rest) else None
+      | Some _ | None -> None)
+  | _ -> None
+
+let is_pure_cond c = not (List.exists (String.equal Host.status_var) (Cond.vars c))
+
+let rec opt_body schema log body =
+  let body = List.concat_map (opt_stmt schema log) body in
+  (* dead move elimination *)
+  let rec dme = function
+    | Aprog.Move (_, x) :: (Aprog.Move (_, y) :: _ as rest)
+      when String.equal x y ->
+        log := Fmt.str "dead MOVE to %s removed" x :: !log;
+        dme rest
+    | s :: rest -> s :: dme rest
+    | [] -> []
+  in
+  dme body
+
+and opt_stmt schema log (s : Aprog.astmt) : Aprog.astmt list =
+  match s with
+  | Aprog.For_each { query; body } -> (
+      let body = opt_body schema log body in
+      (* qualification pushdown from a sole guarding IF *)
+      let query, body =
+        match body with
+        | [ Aprog.If (c, inner, []) ] when is_pure_cond c -> (
+            match fold_guard query c with
+            | Some (query', residual) ->
+                log :=
+                  Fmt.str "guard folded into access path (%a)" Cond.pp c
+                  :: !log;
+                ( query',
+                  if Cond.equal residual Cond.True then inner
+                  else [ Aprog.If (residual, inner, []) ] )
+            | None -> (query, body))
+        | _ -> (query, body)
+      in
+      let used = vars_read body in
+      match drop_redundant_hop schema query ~used with
+      | Some query' ->
+          log := "redundant partner navigation removed" :: !log;
+          [ Aprog.For_each { query = query'; body } ]
+      | None -> [ Aprog.For_each { query; body } ])
+  | Aprog.First { query; present; absent } ->
+      [ Aprog.First
+          { query;
+            present = opt_body schema log present;
+            absent = opt_body schema log absent;
+          };
+      ]
+  | Aprog.If (c, [], []) when is_pure_cond c ->
+      log := "empty IF removed" :: !log;
+      []
+  | Aprog.If (c, a, b) ->
+      [ Aprog.If (c, opt_body schema log a, opt_body schema log b) ]
+  | Aprog.While (c, body) -> [ Aprog.While (c, opt_body schema log body) ]
+  | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ | Aprog.Update _
+  | Aprog.Delete _ | Aprog.Display _ | Aprog.Accept _ | Aprog.Write_file _
+  | Aprog.Move _ -> [ s ]
+
+let optimize schema (p : Aprog.t) =
+  let log = ref [] in
+  let rec fix body n =
+    if n = 0 then body
+    else
+      let body' = opt_body schema log body in
+      if
+        Aprog.equal { p with Aprog.body = body } { p with Aprog.body = body' }
+      then body
+      else fix body' (n - 1)
+  in
+  let body = fix p.Aprog.body 5 in
+  ({ p with Aprog.body = body }, List.rev !log)

@@ -1,0 +1,23 @@
+(** The Optimizer of Figure 4.1: "the target program's representation
+    is further processed by an optimizer which refines the
+    representation, improving access paths, algorithms, and data
+    handling" (§5.4 ties this to access-path selection).
+
+    Abstract-level rewrites implemented:
+    - {b qualification pushdown}: a host IF guard over one access
+      target's fields folds back into that step's qualification, so
+      the engine prunes during the scan instead of after it;
+    - {b redundant navigation removal}: a trailing hop to a 1:N total
+      association partner whose bindings nobody reads (often left
+      behind by a Collapse conversion) disappears;
+    - {b dead move elimination}: consecutive MOVEs to the same
+      variable keep only the last;
+    - {b empty-branch pruning}: an IF with two empty branches and a
+      pure condition disappears.
+
+    Each rewrite is logged for the conversion report. *)
+
+open Ccv_abstract
+open Ccv_model
+
+val optimize : Semantic.t -> Aprog.t -> Aprog.t * string list

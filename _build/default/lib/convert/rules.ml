@@ -1,0 +1,797 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+
+exception Refuse of string
+
+let refuse fmt = Fmt.kstr (fun s -> raise (Refuse s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Generic traversals                                                  *)
+
+let rec map_expr f = function
+  | Cond.Const v -> Cond.Const v
+  | Cond.Field x -> Cond.Field x
+  | Cond.Var x -> f x
+  | Cond.Add (a, b) -> Cond.Add (map_expr f a, map_expr f b)
+  | Cond.Sub (a, b) -> Cond.Sub (map_expr f a, map_expr f b)
+  | Cond.Mul (a, b) -> Cond.Mul (map_expr f a, map_expr f b)
+  | Cond.Concat (a, b) -> Cond.Concat (map_expr f a, map_expr f b)
+
+let rec map_cond f = function
+  | Cond.True -> Cond.True
+  | Cond.Cmp (op, a, b) -> Cond.Cmp (op, map_expr f a, map_expr f b)
+  | Cond.And (a, b) -> Cond.And (map_cond f a, map_cond f b)
+  | Cond.Or (a, b) -> Cond.Or (map_cond f a, map_cond f b)
+  | Cond.Not a -> Cond.Not (map_cond f a)
+  | Cond.Is_null e -> Cond.Is_null (map_expr f e)
+  | Cond.Is_not_null e -> Cond.Is_not_null (map_expr f e)
+
+type rewriter = {
+  rw_query : Apattern.t -> Apattern.t;
+  rw_expr : Cond.expr -> Cond.expr;
+  rw_cond : Cond.t -> Cond.t;
+  rw_varname : string -> string;  (** applied to MOVE/ACCEPT targets *)
+  rw_stmt : rewriter -> Aprog.astmt -> Aprog.astmt list option;
+      (** custom statement rewrite; [None] falls through to the
+          structural rewrite, [Some stmts] re-enters the pipeline (the
+          rewriter must not re-match its own output) *)
+}
+
+let rec rw_body r body = List.concat_map (rw_stmt_full r) body
+
+and rw_stmt_full r s =
+  match r.rw_stmt r s with
+  | None -> [ rw_structural r s ]
+  | Some stmts -> List.concat_map (rw_stmt_full r) stmts
+
+and rw_structural r = function
+  | Aprog.For_each { query; body } ->
+      Aprog.For_each { query = r.rw_query query; body = rw_body r body }
+  | Aprog.First { query; present; absent } ->
+      Aprog.First
+        { query = r.rw_query query;
+          present = rw_body r present;
+          absent = rw_body r absent;
+        }
+  | Aprog.Insert { entity; values; connects } ->
+      Aprog.Insert
+        { entity;
+          values = List.map (fun (f, e) -> (f, r.rw_expr e)) values;
+          connects =
+            List.map (fun (a, ks) -> (a, List.map r.rw_expr ks)) connects;
+        }
+  | Aprog.Link { assoc; left_key; right_key; attrs } ->
+      Aprog.Link
+        { assoc;
+          left_key = List.map r.rw_expr left_key;
+          right_key = List.map r.rw_expr right_key;
+          attrs = List.map (fun (f, e) -> (f, r.rw_expr e)) attrs;
+        }
+  | Aprog.Unlink { assoc; left_key; right_key } ->
+      Aprog.Unlink
+        { assoc;
+          left_key = List.map r.rw_expr left_key;
+          right_key = List.map r.rw_expr right_key;
+        }
+  | Aprog.Update { query; assigns } ->
+      Aprog.Update
+        { query = r.rw_query query;
+          assigns = List.map (fun (f, e) -> (f, r.rw_expr e)) assigns;
+        }
+  | Aprog.Delete { query; cascade } ->
+      Aprog.Delete { query = r.rw_query query; cascade }
+  | Aprog.Display es -> Aprog.Display (List.map r.rw_expr es)
+  | Aprog.Accept x -> Aprog.Accept (r.rw_varname x)
+  | Aprog.Write_file (f, es) -> Aprog.Write_file (f, List.map r.rw_expr es)
+  | Aprog.Move (e, x) -> Aprog.Move (r.rw_expr e, r.rw_varname x)
+  | Aprog.If (c, a, b) -> Aprog.If (r.rw_cond c, rw_body r a, rw_body r b)
+  | Aprog.While (c, body) -> Aprog.While (r.rw_cond c, rw_body r body)
+
+let identity_rewriter =
+  { rw_query = Fun.id;
+    rw_expr = Fun.id;
+    rw_cond = Fun.id;
+    rw_varname = Fun.id;
+    rw_stmt = (fun _ _ -> None);
+  }
+
+let apply_rewriter r (p : Aprog.t) = { p with Aprog.body = rw_body r p.body }
+
+let rename_vars f p =
+  let rw_var x = Cond.Var (f x) in
+  apply_rewriter
+    { identity_rewriter with
+      rw_expr = map_expr rw_var;
+      rw_cond = map_cond rw_var;
+      rw_varname = f;
+      rw_query = List.map (Apattern.map_qual (map_cond rw_var));
+    }
+    p
+
+let qualified_vars p =
+  let acc = ref [] in
+  let note x = if String.contains x '.' && not (List.mem x !acc) then acc := x :: !acc in
+  let rw_var x = note x; Cond.Var x in
+  ignore
+    (apply_rewriter
+       { identity_rewriter with
+         rw_expr = map_expr rw_var;
+         rw_cond = map_cond rw_var;
+         rw_query = List.map (Apattern.map_qual (map_cond rw_var));
+       }
+       p);
+  List.rev !acc
+
+(* Rename the "NAME." prefix of qualified variables. *)
+let rename_prefix ~from_ ~to_ =
+  let pfx = Field.canon from_ ^ "." in
+  fun x ->
+    let n = String.length pfx in
+    if String.length x > n && Field.name_equal (String.sub x 0 n) pfx then
+      Field.canon to_ ^ "." ^ String.sub x n (String.length x - n)
+    else x
+
+(* Rename one qualified variable exactly. *)
+let rename_qvar ~from_ ~to_ x = if Field.name_equal x from_ then to_ else x
+
+(* ------------------------------------------------------------------ *)
+(* Step-level renamings                                                *)
+
+let rename_step_names ~is_entity ~from_ ~to_ step =
+  let r name = if Field.name_equal name from_ then Field.canon to_ else name in
+  match step with
+  | Apattern.Self s ->
+      if is_entity then Apattern.Self { s with target = r s.target }
+      else Apattern.Self s
+  | Apattern.Through s ->
+      if is_entity then
+        Apattern.Through { s with target = r s.target; source = r s.source }
+      else Apattern.Through s
+  | Apattern.Assoc_via s ->
+      if is_entity then Apattern.Assoc_via { s with source = r s.source }
+      else Apattern.Assoc_via { s with assoc = r s.assoc }
+  | Apattern.Via_assoc s ->
+      if is_entity then Apattern.Via_assoc { s with target = r s.target }
+      else Apattern.Via_assoc { s with assoc = r s.assoc }
+
+(* ------------------------------------------------------------------ *)
+(* The INTERPOSE rule (Figure 4.2 -> 4.4)                              *)
+
+type interpose_info = {
+  through : string;
+  n : string;  (** the interposed entity *)
+  group_by : string list;
+  la : string;
+  ra : string;
+  owner : Semantic.entity;
+  member : Semantic.entity;
+}
+
+let in_group info f = List.exists (Field.name_equal f) info.group_by
+
+(* Split a qualification into (conjuncts over grouped fields, rest);
+   mixed conjuncts refuse (cannot place them on one side). *)
+let split_group info qual =
+  let grouped, rest =
+    List.partition
+      (fun c ->
+        let fs = Cond.fields c in
+        fs <> [] && List.for_all (in_group info) fs)
+      (Cond.split_conjuncts qual)
+  in
+  List.iter
+    (fun c ->
+      let fs = Cond.fields c in
+      if List.exists (in_group info) fs && not (List.for_all (in_group info) fs)
+      then refuse "qualification mixes grouped and ungrouped fields: %a" Cond.pp c)
+    rest;
+  (Cond.conj grouped, Cond.conj rest)
+
+(* Rewrite one access sequence under INTERPOSE. *)
+let rec interpose_query info steps =
+  match steps with
+  | [] -> []
+  | Apattern.Assoc_via { assoc; source; qual }
+    :: Apattern.Via_assoc { target; assoc = a2; qual = q2 }
+    :: rest
+    when Field.name_equal assoc info.through && Field.name_equal a2 info.through
+    ->
+      let dir_down = Field.name_equal source info.owner.ename in
+      let qg, qrest = split_group info q2 in
+      (* The association qualification (over the endpoint keys) splits
+         the same way: owner-key conjuncts live on N (which embeds the
+         owner key), member-key conjuncts join the member side. *)
+      let q1_n, q1_member =
+        List.partition
+          (fun c ->
+            List.for_all
+              (fun f -> List.exists (Field.name_equal f) info.owner.key)
+              (Cond.fields c))
+          (Cond.split_conjuncts qual)
+      in
+      List.iter
+        (fun c ->
+          if
+            not
+              (List.for_all
+                 (fun f ->
+                   List.exists (Field.name_equal f) info.member.key)
+                 (Cond.fields c))
+          then
+            refuse "association qualification %a cannot be split" Cond.pp c)
+        q1_member;
+      let qg = Cond.cand qg (Cond.conj q1_n) in
+      let qrest = Cond.cand qrest (Cond.conj q1_member) in
+      if dir_down then
+        (* O -> E becomes O -> N -> E, grouped-field conditions moving
+           onto N (the §4.2 DEPT(DEPT-NAME='SALES') move). *)
+        Apattern.Assoc_via { assoc = info.la; source; qual = Cond.True }
+        :: Apattern.Via_assoc { target = info.n; assoc = info.la; qual = qg }
+        :: Apattern.Assoc_via
+             { assoc = info.ra; source = info.n; qual = Cond.True }
+        :: Apattern.Via_assoc { target; assoc = info.ra; qual = qrest }
+        :: interpose_query info rest
+      else
+        Apattern.Assoc_via
+          { assoc = info.ra; source; qual = Cond.conj q1_member }
+        :: Apattern.Via_assoc { target = info.n; assoc = info.ra; qual = qg }
+        :: Apattern.Assoc_via
+             { assoc = info.la; source = info.n; qual = Cond.True }
+        :: Apattern.Via_assoc { target; assoc = info.la; qual = qrest }
+        :: interpose_query info rest
+  | Apattern.Assoc_via { assoc; source; qual } :: rest
+    when Field.name_equal assoc info.through ->
+      (* Unpaired association access: the replaced association's
+         occurrences correspond one-to-one with the N->E association's
+         occurrences (every E has exactly one N). *)
+      let qg, qrest = split_group info qual in
+      if Field.name_equal source info.owner.ename then
+        Apattern.Assoc_via { assoc = info.la; source; qual = Cond.True }
+        :: Apattern.Via_assoc { target = info.n; assoc = info.la; qual = qg }
+        :: Apattern.Assoc_via { assoc = info.ra; source = info.n; qual = qrest }
+        :: interpose_query info rest
+      else
+        Apattern.Assoc_via { assoc = info.ra; source; qual = qrest }
+        :: (if Cond.equal qg Cond.True then []
+            else
+              [ Apattern.Via_assoc
+                  { target = info.n; assoc = info.ra; qual = qg };
+              ])
+        @ interpose_query info rest
+  | Apattern.Self { target; qual } :: rest
+    when Field.name_equal target info.member.ename ->
+      let qg, qrest = split_group info qual in
+      let base = Apattern.Self { target; qual = qrest } in
+      if Cond.equal qg Cond.True then base :: interpose_query info rest
+      else
+        (* Keep the member enumeration order and filter through the
+           (unique, total) interposed owner. *)
+        base
+        :: Apattern.Assoc_via
+             { assoc = info.ra; source = target; qual = Cond.True }
+        :: Apattern.Via_assoc { target = info.n; assoc = info.ra; qual = qg }
+        :: interpose_query info rest
+  | step :: rest -> step :: interpose_query info rest
+
+(* Does the program reference any grouped field variable of the member? *)
+let uses_grouped_vars info p =
+  List.exists
+    (fun v ->
+      List.exists
+        (fun g -> Field.name_equal v (info.member.ename ^ "." ^ Field.canon g))
+        info.group_by)
+    (qualified_vars p)
+
+(* Ensure every query that delivers the member also reaches N when the
+   program reads grouped variables. *)
+let extend_for_grouped_vars info query =
+  let reaches_n =
+    List.exists
+      (fun s -> Field.name_equal (Apattern.target_of s) info.n)
+      query
+  in
+  let delivers_member =
+    List.exists
+      (fun s -> Field.name_equal (Apattern.target_of s) info.member.ename)
+      query
+  in
+  if delivers_member && not reaches_n then
+    query
+    @ [ Apattern.Assoc_via
+          { assoc = info.ra; source = info.member.ename; qual = Cond.True };
+        Apattern.Via_assoc
+          { target = info.n; assoc = info.ra; qual = Cond.True };
+      ]
+  else query
+
+let interpose_rule schema ~through ~new_entity ~group_by ~left_assoc
+    ~right_assoc (p : Aprog.t) =
+  let issues = ref [] in
+  let issue fmt = Fmt.kstr (fun s -> issues := s :: !issues) fmt in
+  let a = Semantic.find_assoc_exn schema through in
+  let info =
+    { through = Field.canon through;
+      n = Field.canon new_entity;
+      group_by = List.map Field.canon group_by;
+      la = Field.canon left_assoc;
+      ra = Field.canon right_assoc;
+      owner = Semantic.find_entity_exn schema a.left;
+      member = Semantic.find_entity_exn schema a.right;
+    }
+  in
+  let needs_n = uses_grouped_vars info p in
+  let rw_query q =
+    let q = interpose_query info q in
+    if needs_n then extend_for_grouped_vars info q else q
+  in
+  let rename_assoc_vars = rename_prefix ~from_:info.through ~to_:info.ra in
+  let rename = rename_prefix ~from_:info.member.ename ~to_:info.n in
+  let rename_grouped x =
+    (* Only grouped fields move to N; other member fields stay. *)
+    let p = Field.canon info.member.ename ^ "." in
+    let n = String.length p in
+    if
+      String.length x > n
+      && Field.name_equal (String.sub x 0 n) p
+      && in_group info (String.sub x n (String.length x - n))
+    then rename x
+    else x
+  in
+  let rw_var x = Cond.Var (rename_assoc_vars (rename_grouped x)) in
+  let rw_stmt _r s =
+    match s with
+    | Aprog.Insert { entity; values; connects }
+      when Field.name_equal entity info.member.ename
+           && List.exists
+                (fun (an, _) -> Field.name_equal an info.through)
+                connects ->
+        let grouped_values, kept_values =
+          List.partition (fun (f, _) -> in_group info f) values
+        in
+        if List.length grouped_values <> List.length info.group_by then
+          refuse "INSERT %s does not set every grouped field" entity;
+        let okey_exprs =
+          match
+            List.find_opt (fun (an, _) -> Field.name_equal an info.through)
+              connects
+          with
+          | Some (_, ks) -> ks
+          | None ->
+              refuse "INSERT %s is not connected through %s" entity
+                info.through
+        in
+        let group_exprs =
+          List.map
+            (fun g ->
+              match
+                List.find_opt (fun (f, _) -> Field.name_equal f g)
+                  grouped_values
+              with
+              | Some (_, e) -> e
+              | None -> refuse "INSERT %s misses grouped field %s" entity g)
+            info.group_by
+        in
+        let nkey = okey_exprs @ group_exprs in
+        let n_qual =
+          Cond.conj
+            (List.map2
+               (fun k e -> Cond.Cmp (Cond.Eq, Cond.Field k, e))
+               (info.owner.key @ info.group_by)
+               nkey)
+        in
+        let n_values =
+          List.map2
+            (fun k e -> (Field.canon k, e))
+            (info.owner.key @ info.group_by)
+            nkey
+        in
+        let connects' =
+          List.map
+            (fun (an, ks) ->
+              if Field.name_equal an info.through then (info.ra, nkey)
+              else (an, ks))
+            connects
+        in
+        issue
+          "INSERT %s now materialises its %s group on demand (guarded insert)"
+          entity info.n;
+        Some
+          [ Aprog.First
+              { query = [ Apattern.Self { target = info.n; qual = n_qual } ];
+                present = [];
+                absent =
+                  [ Aprog.Insert
+                      { entity = info.n;
+                        values = n_values;
+                        connects = [ (info.la, okey_exprs) ];
+                      };
+                  ];
+              };
+            Aprog.Insert
+              { entity = info.member.ename;
+                values = kept_values;
+                connects = connects';
+              };
+          ]
+    | Aprog.Update { query; assigns }
+      when Field.name_equal (Apattern.result_of query) info.member.ename
+           && List.exists (fun (f, _) -> in_group info f) assigns ->
+        (* §4.3: "under certain restructurings, updates may be
+           ambiguous ... similar to the well-known view update
+           problem." *)
+        refuse "UPDATE of grouped field(s) of %s is ambiguous after the split"
+          info.member.ename
+    | Aprog.Link { assoc; _ } | Aprog.Unlink { assoc; _ }
+      when Field.name_equal assoc info.through ->
+        refuse "LINK/UNLINK through the replaced association %s" info.through
+    | _ -> None
+  in
+  let p' =
+    apply_rewriter
+      { rw_query;
+        rw_expr = map_expr rw_var;
+        rw_cond = map_cond rw_var;
+        rw_varname = (fun x -> rename_assoc_vars (rename_grouped x));
+        rw_stmt;
+      }
+      p
+  in
+  (p', List.rev !issues)
+
+(* ------------------------------------------------------------------ *)
+(* The COLLAPSE rule (inverse)                                         *)
+
+let collapse_rule schema ~left_assoc ~right_assoc ~removed_entity
+    ~restored_assoc (p : Aprog.t) =
+  let la = Semantic.find_assoc_exn schema left_assoc in
+  let ra = Semantic.find_assoc_exn schema right_assoc in
+  let n = Semantic.find_entity_exn schema removed_entity in
+  let owner = Semantic.find_entity_exn schema la.left in
+  let member = Semantic.find_entity_exn schema ra.right in
+  let own_fields =
+    List.filter_map
+      (fun (f : Field.t) ->
+        if List.exists (Field.name_equal f.name) owner.key then None
+        else Some f.name)
+      n.fields
+  in
+  let rec rw_query = function
+    | [] -> []
+    | Apattern.Assoc_via { assoc = a1; source; qual = q1 }
+      :: Apattern.Via_assoc { target = t1; assoc = a1'; qual = qn }
+      :: Apattern.Assoc_via { assoc = a2; source = s2; qual = q2 }
+      :: Apattern.Via_assoc { target = t2; assoc = a2'; qual = qe }
+      :: rest
+      when Field.name_equal a1 left_assoc
+           && Field.name_equal a1' left_assoc
+           && Field.name_equal a2 right_assoc
+           && Field.name_equal a2' right_assoc
+           && Field.name_equal t1 n.ename
+           && Field.name_equal s2 n.ename ->
+        if not (Cond.equal q1 Cond.True && Cond.equal q2 Cond.True) then
+          refuse "qualified association steps cannot be collapsed";
+        (* N's own-field conditions become member conditions. *)
+        let qn' =
+          Cond.conj
+            (List.map
+               (fun c ->
+                 let fs = Cond.fields c in
+                 if List.for_all (fun f -> List.exists (Field.name_equal f) own_fields) fs
+                 then c
+                 else if fs = [] then c
+                 else refuse "condition on %s keys cannot move to %s" n.ename member.ename)
+               (Cond.split_conjuncts qn))
+        in
+        Apattern.Assoc_via
+          { assoc = Field.canon restored_assoc; source; qual = Cond.True }
+        :: Apattern.Via_assoc
+             { target = t2;
+               assoc = Field.canon restored_assoc;
+               qual = Cond.cand qn' qe;
+             }
+        :: rw_query rest
+    | step :: rest ->
+        let name = Apattern.target_of step in
+        if Field.name_equal name n.ename then
+          refuse "access to removed entity %s cannot be collapsed" n.ename
+        else if
+          Field.name_equal name left_assoc || Field.name_equal name right_assoc
+        then refuse "loose access through a collapsed association"
+        else step :: rw_query rest
+  in
+  let rename x =
+    (* N.g -> MEMBER.g for N's own fields. *)
+    let pfx = Field.canon n.ename ^ "." in
+    let l = String.length pfx in
+    if String.length x > l && Field.name_equal (String.sub x 0 l) pfx then begin
+      let f = String.sub x l (String.length x - l) in
+      if List.exists (Field.name_equal f) own_fields then
+        Field.canon member.ename ^ "." ^ f
+      else x
+    end
+    else x
+  in
+  let rw_var x = Cond.Var (rename x) in
+  let rw_stmt _r s =
+    match s with
+    | Aprog.Insert { entity; _ } when Field.name_equal entity n.ename ->
+        (* Creation of the grouping entity disappears: its content is
+           now implied by member rows. *)
+        Some []
+    | Aprog.First { query = [ Apattern.Self { target; _ } ]; present; absent }
+      when Field.name_equal target n.ename && present = [] ->
+        (* The guarded-creation idiom becomes a no-op. *)
+        if
+          List.for_all
+            (function
+              | Aprog.Insert { entity; _ } -> Field.name_equal entity n.ename
+              | _ -> false)
+            absent
+        then Some []
+        else refuse "FIRST over removed entity %s" n.ename
+    | _ -> None
+  in
+  let p' =
+    apply_rewriter
+      { rw_query;
+        rw_expr = map_expr rw_var;
+        rw_cond = map_cond rw_var;
+        rw_varname = rename;
+        rw_stmt;
+      }
+      p
+  in
+  (p', [])
+
+(* ------------------------------------------------------------------ *)
+
+let convert schema op p =
+  try
+    match op with
+    | Schema_change.Rename_entity { from_; to_ } ->
+        let p =
+          Aprog.map_queries
+            (List.map (rename_step_names ~is_entity:true ~from_ ~to_))
+            p
+        in
+        let rn = rename_prefix ~from_ ~to_ in
+        let p = rename_vars rn p in
+        let rw_stmt _r = function
+          | Aprog.Insert i when Field.name_equal i.entity from_ ->
+              Some [ Aprog.Insert { i with entity = Field.canon to_ } ]
+          | _ -> None
+        in
+        Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+    | Schema_change.Rename_assoc { from_; to_ } ->
+        let p =
+          Aprog.map_queries
+            (List.map (rename_step_names ~is_entity:false ~from_ ~to_))
+            p
+        in
+        let rn = rename_prefix ~from_ ~to_ in
+        let p = rename_vars rn p in
+        let rename_in an = if Field.name_equal an from_ then Field.canon to_ else an in
+        let rw_stmt _r = function
+          | Aprog.Link l when Field.name_equal l.assoc from_ ->
+              Some [ Aprog.Link { l with assoc = Field.canon to_ } ]
+          | Aprog.Unlink u when Field.name_equal u.assoc from_ ->
+              Some [ Aprog.Unlink { u with assoc = Field.canon to_ } ]
+          | Aprog.Insert i
+            when List.exists
+                   (fun (a, _) -> Field.name_equal a from_)
+                   i.connects ->
+              Some
+                [ Aprog.Insert
+                    { i with
+                      connects =
+                        List.map (fun (a, k) -> (rename_in a, k)) i.connects;
+                    };
+                ]
+          | _ -> None
+        in
+        Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+    | Schema_change.Rename_field { entity; from_; to_ } ->
+        let rename_field_cond target qual =
+          if Field.name_equal target entity then
+            Cond.map_fields
+              (fun f -> if Field.name_equal f from_ then Field.canon to_ else f)
+              qual
+          else qual
+        in
+        let rw_query =
+          List.map (fun step ->
+              match step with
+              | Apattern.Self s when Field.name_equal s.target entity ->
+                  Apattern.Self { s with qual = rename_field_cond s.target s.qual }
+              | Apattern.Through s when Field.name_equal s.target entity ->
+                  let tf, sf = s.link in
+                  let tf =
+                    if Field.name_equal tf from_ then Field.canon to_ else tf
+                  in
+                  Apattern.Through
+                    { s with
+                      link = (tf, sf);
+                      qual = rename_field_cond s.target s.qual;
+                    }
+              | Apattern.Via_assoc s when Field.name_equal s.target entity ->
+                  Apattern.Via_assoc
+                    { s with qual = rename_field_cond s.target s.qual }
+              | Apattern.Self _ | Apattern.Through _ | Apattern.Assoc_via _
+              | Apattern.Via_assoc _ -> step)
+        in
+        let qv = Field.canon entity ^ "." ^ Field.canon from_ in
+        let qv' = Field.canon entity ^ "." ^ Field.canon to_ in
+        let p = Aprog.map_queries rw_query p in
+        let p = rename_vars (rename_qvar ~from_:qv ~to_:qv') p in
+        let rw_stmt _r = function
+          | Aprog.Insert i
+            when Field.name_equal i.entity entity
+                 && List.exists (fun (f, _) -> Field.name_equal f from_)
+                      i.values ->
+              Some
+                [ Aprog.Insert
+                    { i with
+                      values =
+                        List.map
+                          (fun (f, e) ->
+                            ((if Field.name_equal f from_ then Field.canon to_
+                              else f), e))
+                          i.values;
+                    };
+                ]
+          | Aprog.Update u
+            when Field.name_equal (Apattern.result_of u.query) entity
+                 && List.exists (fun (f, _) -> Field.name_equal f from_)
+                      u.assigns ->
+              Some
+                [ Aprog.Update
+                    { u with
+                      assigns =
+                        List.map
+                          (fun (f, e) ->
+                            ((if Field.name_equal f from_ then Field.canon to_
+                              else f), e))
+                          u.assigns;
+                    };
+                ]
+          | _ -> None
+        in
+        Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+    | Schema_change.Add_field _ -> Ok (p, [])
+    | Schema_change.Drop_field { entity; field } ->
+        let qv = Field.canon entity ^ "." ^ Field.canon field in
+        if List.exists (Field.name_equal qv) (qualified_vars p) then
+          Error
+            (Fmt.str
+               "program reads %s, whose values the restructuring does not \
+                preserve"
+               qv)
+        else
+          let touches_qual =
+            List.exists
+              (fun q ->
+                List.exists
+                  (fun step ->
+                    Field.name_equal (Apattern.target_of step) entity
+                    && List.exists (Field.name_equal field)
+                         (Cond.fields (Apattern.qual_of step)))
+                  q)
+              (Aprog.queries p)
+          in
+          if touches_qual then
+            Error
+              (Fmt.str "program qualifies on dropped field %s.%s" entity field)
+          else
+            let rw_stmt _r = function
+              | Aprog.Insert i
+                when Field.name_equal i.entity entity
+                     && List.exists (fun (f, _) -> Field.name_equal f field)
+                          i.values ->
+                  Some
+                    [ Aprog.Insert
+                        { i with
+                          values =
+                            List.filter
+                              (fun (f, _) -> not (Field.name_equal f field))
+                              i.values;
+                        };
+                    ]
+              | _ -> None
+            in
+            Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+    | Schema_change.Add_constraint c ->
+        Ok
+          ( p,
+            [ Fmt.str
+                "new constraint (%a): the program's updates may now be \
+                 rejected at run time"
+                Semantic.pp_constraint c;
+            ] )
+    | Schema_change.Drop_constraint _ -> Ok (p, [])
+    | Schema_change.Widen_cardinality { assoc } ->
+        (* Retrieval is unchanged; inserts that connected through the
+           association must link explicitly, since the widened
+           association is realized as a link record. *)
+        let a = Semantic.find_assoc_exn schema assoc in
+        let re = Semantic.find_entity_exn schema a.right in
+        let rw_stmt _r = function
+          | Aprog.Insert i
+            when List.exists (fun (an, _) -> Field.name_equal an assoc) i.connects
+            ->
+              let this, others =
+                List.partition
+                  (fun (an, _) -> Field.name_equal an assoc)
+                  i.connects
+              in
+              let right_key =
+                List.map
+                  (fun k ->
+                    match
+                      List.find_opt (fun (f, _) -> Field.name_equal f k) i.values
+                    with
+                    | Some (_, e) -> e
+                    | None -> refuse "INSERT %s lacks key %s" i.entity k)
+                  re.key
+              in
+              Some
+                (Aprog.Insert { i with connects = others }
+                 :: List.map
+                      (fun (_, lk) ->
+                        Aprog.Link
+                          { assoc = Field.canon assoc;
+                            left_key = lk;
+                            right_key;
+                            attrs = [];
+                          })
+                      this)
+          | _ -> None
+        in
+        Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+    | Schema_change.Interpose
+        { through; new_entity; group_by; left_assoc; right_assoc } ->
+        Ok
+          (interpose_rule schema ~through ~new_entity ~group_by ~left_assoc
+             ~right_assoc p)
+    | Schema_change.Collapse
+        { left_assoc; right_assoc; removed_entity; restored_assoc } ->
+        Ok
+          (collapse_rule schema ~left_assoc ~right_assoc ~removed_entity
+             ~restored_assoc p)
+    | Schema_change.Restrict_extension { entity; qual } ->
+        (* §5.2: "we would probably want a conversion system to convert
+           the 'print all employees' program successfully, though
+           perhaps a warning should be issued." *)
+        let touches =
+          List.exists
+            (fun q ->
+              List.exists
+                (fun step ->
+                  Field.name_equal (Apattern.target_of step) entity)
+                q)
+            (Aprog.queries p)
+        in
+        Ok
+          ( p,
+            if touches then
+              [ Fmt.str
+                  "the program reads %s, whose extension the conversion                    restricts (DROPPING %a): behaviour is preserved only up                    to the removed instances (§5.2)"
+                  entity Cond.pp qual;
+              ]
+            else [] )
+  with Refuse reason -> Error reason
+
+let convert_all schema ops p =
+  let rec go schema ops p issues =
+    match ops with
+    | [] -> Ok (p, issues)
+    | op :: rest -> (
+        match convert schema op p with
+        | Error e -> Error e
+        | Ok (p', new_issues) -> (
+            match Schema_change.apply schema op with
+            | Error e -> Error e
+            | Ok schema' -> go schema' rest p' (issues @ new_issues)))
+  in
+  go schema ops p []

@@ -1,0 +1,41 @@
+(** The transformation rules of Figure 4.1: "the internal
+    representation of how the database schema has been changed is used
+    by a Program Converter to select the proper transformation rules
+    for use in mapping the source program representation to the target
+    program representation."
+
+    Each {!Ccv_transform.Schema_change.op} selects one rule; a rule
+    rewrites the abstract program so that it "runs equivalently"
+    against the restructured database.  Rules can refuse (the program
+    is not convertible — e.g. it reads a dropped field, §1.1's
+    information-loss case, or updates a grouped field, §4.3's view
+    update ambiguity) and can emit issues for the conversion analyst
+    (§4's interactive supervisor), e.g. the Figure 4.4 SORT note when a
+    restructuring changes enumeration order. *)
+
+open Ccv_abstract
+open Ccv_model
+open Ccv_transform
+
+val convert :
+  Semantic.t -> Schema_change.op -> Aprog.t ->
+  (Aprog.t * string list, string) result
+(** [convert source_schema op program] — the source schema is the one
+    the program was analyzed against (before [op]). *)
+
+val convert_all :
+  Semantic.t -> Schema_change.op list -> Aprog.t ->
+  (Aprog.t * string list, string) result
+
+(** Rename every host-variable reference through [f] (exposed for the
+    optimizer and tests). *)
+val rename_vars : (string -> string) -> Aprog.t -> Aprog.t
+
+(** All qualified variables ("NAME.FIELD") the program mentions. *)
+val qualified_vars : Aprog.t -> string list
+
+(** Expression/condition rewriting on variable references (shared with
+    the optimizer). *)
+val map_expr : (string -> Ccv_common.Cond.expr) -> Ccv_common.Cond.expr -> Ccv_common.Cond.expr
+
+val map_cond : (string -> Ccv_common.Cond.expr) -> Ccv_common.Cond.t -> Ccv_common.Cond.t

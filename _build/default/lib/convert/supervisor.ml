@@ -1,0 +1,140 @@
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+
+type request = {
+  source_schema : Semantic.t;
+  source_model : Mapping.target_model;
+  ops : Schema_change.op list;
+  target_model : Mapping.target_model;
+}
+
+type issue = { stage : string; message : string }
+
+type report = {
+  classification : (Schema_change.op * Schema_change.change_class) list;
+  target_schema : Semantic.t;
+  abstract_source : Aprog.t;
+  abstract_target : Aprog.t;
+  optimized : Aprog.t;
+  target_program : Engines.program;
+  issues : issue list;
+  optimizer_log : string list;
+}
+
+let pp_issue ppf i = Fmt.pf ppf "[%s] %s" i.stage i.message
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>classification:@ %a@ issues:@ %a@ optimizer:@ %a@]"
+    (Fmt.list (fun ppf (op, cls) ->
+         Fmt.pf ppf "  %a -> %a" Schema_change.pp_op op Schema_change.pp_class
+           cls))
+    r.classification
+    (Fmt.list (fun ppf i -> Fmt.pf ppf "  %a" pp_issue i))
+    r.issues
+    (Fmt.list (fun ppf s -> Fmt.pf ppf "  %s" s))
+    r.optimizer_log
+
+let realize model sdb =
+  let schema = Sdb.schema sdb in
+  match model with
+  | Mapping.Rel ->
+      let mapping, rschema = Mapping.derive_relational schema in
+      (mapping, Engines.Rel_db (Mapping.load_relational rschema sdb))
+  | Mapping.Net ->
+      let mapping, nschema = Mapping.derive_network schema in
+      (mapping, Engines.Net_db (Mapping.load_network mapping nschema sdb))
+  | Mapping.Hier ->
+      let mapping, hschema = Mapping.derive_hier schema in
+      (mapping, Engines.Hier_db (Mapping.load_hier mapping hschema sdb))
+
+let mapping_for model schema =
+  match model with
+  | Mapping.Rel -> fst (Mapping.derive_relational schema)
+  | Mapping.Net -> fst (Mapping.derive_network schema)
+  | Mapping.Hier -> fst (Mapping.derive_hier schema)
+
+let ( let* ) r f = Result.bind r f
+
+let convert_program req program =
+  (* Conversion Analyzer: validate and classify the restructuring. *)
+  let classification =
+    List.map (fun op -> (op, Schema_change.classify op)) req.ops
+  in
+  let* target_schema =
+    Result.map_error
+      (fun e -> ("conversion-analyzer", e))
+      (Schema_change.apply_all req.source_schema req.ops)
+  in
+  (* Program Analyzer. *)
+  let source_mapping = mapping_for req.source_model req.source_schema in
+  let* { Analyzer.aprog = abstract_source; hazards } =
+    Result.map_error (fun e -> ("program-analyzer", e))
+      (Analyzer.analyze source_mapping program)
+  in
+  (* Program Converter: transformation rules per change class. *)
+  let* abstract_target, rule_issues =
+    Result.map_error (fun e -> ("program-converter", e))
+      (Rules.convert_all req.source_schema req.ops abstract_source)
+  in
+  (* Optimizer. *)
+  let optimized, optimizer_log = Optimizer.optimize target_schema abstract_target in
+  (* Program Generator against the target mapping. *)
+  let target_mapping = mapping_for req.target_model target_schema in
+  let* { Generator.program = target_program; issues = gen_issues } =
+    Result.map_error (fun e -> ("program-generator", e))
+      (Generator.generate target_mapping optimized)
+  in
+  let advisor =
+    List.map
+      (fun s -> Fmt.str "%a" Advisor.pp_suggestion s)
+      (Advisor.review req.source_schema abstract_source)
+  in
+  let issues =
+    List.map (fun m -> { stage = "program-analyzer"; message = m }) hazards
+    @ List.map (fun m -> { stage = "advisor"; message = m }) advisor
+    @ List.map (fun m -> { stage = "program-converter"; message = m }) rule_issues
+    @ List.map (fun m -> { stage = "program-generator"; message = m }) gen_issues
+  in
+  Ok
+    { classification;
+      target_schema;
+      abstract_source;
+      abstract_target;
+      optimized;
+      target_program;
+      issues;
+      optimizer_log;
+    }
+
+let translate_database req sdb =
+  match Data_translate.translate_all sdb req.ops with
+  | Error e -> Error e
+  | Ok (sdb', warnings) ->
+      let _, db = realize req.target_model sdb' in
+      Ok (db, sdb', warnings)
+
+type outcome = {
+  report : report;
+  verdict : Equivalence.verdict;
+  source_accesses : int;
+  target_accesses : int;
+}
+
+let convert_and_verify ?(input = []) req program sdb =
+  let* report = convert_program req program in
+  let _, source_db = realize req.source_model sdb in
+  let* target_db, _sdb', _warnings =
+    Result.map_error (fun e -> ("data-translator", e)) (translate_database req sdb)
+  in
+  let source_run = Engines.run ~input source_db program in
+  let target_run = Engines.run ~input target_db report.target_program in
+  let verdict =
+    Equivalence.compare_traces source_run.Engines.trace target_run.Engines.trace
+  in
+  Ok
+    { report;
+      verdict;
+      source_accesses = source_run.Engines.accesses;
+      target_accesses = target_run.Engines.accesses;
+    }

@@ -1,0 +1,69 @@
+(** The Program Conversion Supervisor of Figure 4.1: it feeds the
+    source and target database descriptions to the Conversion Analyzer
+    (change classification), drives the Program Analyzer, the Program
+    Converter, the Optimizer and the Program Generator, and collects
+    every issue raised along the way — the paper expects "an
+    interactive system ... most successful in resolving issues of
+    database integrity and application program requirements"; the
+    issue log is what the conversion analyst would see. *)
+
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+
+type request = {
+  source_schema : Semantic.t;
+  source_model : Mapping.target_model;
+  ops : Schema_change.op list;  (** the restructuring definition *)
+  target_model : Mapping.target_model;
+}
+
+type issue = {
+  stage : string;  (** "analyzer" | "converter" | "generator" | ... *)
+  message : string;
+}
+
+type report = {
+  classification : (Schema_change.op * Schema_change.change_class) list;
+  target_schema : Semantic.t;
+  abstract_source : Aprog.t;
+  abstract_target : Aprog.t;
+  optimized : Aprog.t;
+  target_program : Engines.program;
+  issues : issue list;
+  optimizer_log : string list;
+}
+
+val pp_issue : Format.formatter -> issue -> unit
+val pp_report : Format.formatter -> report -> unit
+
+(** Convert one concrete program.  [Error (stage, reason)] when a stage
+    refuses — the paper's "cannot be handled automatically" outcome. *)
+val convert_program :
+  request -> Engines.program -> (report, string * string) result
+
+(** Translate a semantic instance along the request's ops and realize
+    it in the target model (the data-translation leg of a conversion).
+    Returns the loaded database plus translation warnings. *)
+val translate_database :
+  request -> Sdb.t -> (Engines.database * Sdb.t * string list, string) result
+
+(** End-to-end: convert the program, translate the data, run both
+    sides, and judge equivalence per §1.1/§5.2. *)
+type outcome = {
+  report : report;
+  verdict : Equivalence.verdict;
+  source_accesses : int;
+  target_accesses : int;
+}
+
+val convert_and_verify :
+  ?input:string list -> request -> Engines.program -> Sdb.t ->
+  (outcome, string * string) result
+
+(** Realize a semantic instance in a model (helper shared with
+    experiments). *)
+val realize : Mapping.target_model -> Sdb.t -> Mapping.t * Engines.database
+
+(** The mapping a model derives for a schema. *)
+val mapping_for : Mapping.target_model -> Semantic.t -> Mapping.t

@@ -1,0 +1,1 @@
+lib/frontend/ddl.ml: Ccv_common Ccv_model Ccv_network Field Fmt Lexer List Option String Value

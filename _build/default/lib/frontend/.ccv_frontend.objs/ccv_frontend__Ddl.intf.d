@@ -1,0 +1,1 @@
+lib/frontend/ddl.mli: Ccv_common Ccv_model Ccv_network Format Value

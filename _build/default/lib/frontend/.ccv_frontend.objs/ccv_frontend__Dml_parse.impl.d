@@ -1,0 +1,1 @@
+lib/frontend/dml_parse.ml: Apattern Aprog Buffer Ccv_abstract Ccv_common Cond Ddl Field Fmt Lexer List String Value

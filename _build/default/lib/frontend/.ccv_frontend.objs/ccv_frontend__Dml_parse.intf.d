@@ -1,0 +1,1 @@
+lib/frontend/dml_parse.mli: Apattern Aprog Ccv_abstract Ddl Format

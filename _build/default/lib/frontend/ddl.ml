@@ -1,0 +1,346 @@
+open Ccv_common
+
+type field_decl =
+  | Pic of string * Value.ty * int
+  | Virtual of { vname : string; via : string; using : string }
+
+type record_decl = { rname : string; fields : field_decl list }
+
+type set_decl = {
+  sname : string;
+  owner : string option;
+  member : string;
+  keys : string list;
+}
+
+type t = { schema_name : string; records : record_decl list; sets : set_decl list }
+
+exception Parse_error of string
+
+let perr fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* A tiny token cursor.  Periods and semicolons are statement
+   separators and skipped on demand. *)
+type cursor = { mutable toks : Lexer.token list }
+
+let skip_seps c =
+  let rec go = function
+    | (Lexer.Period | Lexer.Semicolon) :: rest -> go rest
+    | toks -> toks
+  in
+  c.toks <- go c.toks
+
+let peek c =
+  skip_seps c;
+  match c.toks with [] -> None | t :: _ -> Some t
+
+let next c =
+  skip_seps c;
+  match c.toks with
+  | [] -> perr "unexpected end of input"
+  | t :: rest ->
+      c.toks <- rest;
+      t
+
+let expect_ident c =
+  match next c with
+  | Lexer.Ident s -> s
+  | t -> perr "expected a name, got %a" Lexer.pp_token t
+
+let expect_kw c kw =
+  match next c with
+  | Lexer.Ident s when String.equal s kw -> ()
+  | t -> perr "expected %s, got %a" kw Lexer.pp_token t
+
+let expect c tok =
+  let t = next c in
+  if t <> tok then perr "expected %a, got %a" Lexer.pp_token tok Lexer.pp_token t
+
+let at_kw c kw =
+  match peek c with Some (Lexer.Ident s) -> String.equal s kw | _ -> false
+
+let eat_kw c kw = if at_kw c kw then (ignore (next c); true) else false
+
+(* FIELDS ARE. <decl>* until END RECORD *)
+let parse_field c =
+  let name = expect_ident c in
+  if eat_kw c "PIC" then begin
+    let ty =
+      match next c with
+      | Lexer.Ident "X" -> Value.Tstr
+      | Lexer.Int_lit 9 -> Value.Tint
+      | Lexer.Ident "9" -> Value.Tint
+      | t -> perr "expected picture X or 9, got %a" Lexer.pp_token t
+    in
+    expect c Lexer.Lparen;
+    let width =
+      match next c with
+      | Lexer.Int_lit n -> n
+      | t -> perr "expected picture width, got %a" Lexer.pp_token t
+    in
+    expect c Lexer.Rparen;
+    Pic (name, ty, width)
+  end
+  else if eat_kw c "VIRTUAL" then begin
+    expect_kw c "VIA";
+    let via = expect_ident c in
+    expect_kw c "USING";
+    let using = expect_ident c in
+    Virtual { vname = name; via; using }
+  end
+  else perr "field %s: expected PIC or VIRTUAL" name
+
+let parse_record c =
+  expect_kw c "NAME";
+  expect_kw c "IS";
+  let rname = expect_ident c in
+  expect_kw c "FIELDS";
+  expect_kw c "ARE";
+  let rec fields acc =
+    if at_kw c "END" then begin
+      ignore (next c);
+      expect_kw c "RECORD";
+      List.rev acc
+    end
+    else fields (parse_field c :: acc)
+  in
+  { rname; fields = fields [] }
+
+let parse_set c =
+  expect_kw c "NAME";
+  expect_kw c "IS";
+  let sname = expect_ident c in
+  expect_kw c "OWNER";
+  expect_kw c "IS";
+  let owner =
+    match expect_ident c with "SYSTEM" -> None | r -> Some r
+  in
+  expect_kw c "MEMBER";
+  expect_kw c "IS";
+  let member = expect_ident c in
+  let keys =
+    if at_kw c "SET" then begin
+      ignore (next c);
+      expect_kw c "KEYS";
+      expect_kw c "ARE";
+      expect c Lexer.Lparen;
+      let rec go acc =
+        let k = expect_ident c in
+        match next c with
+        | Lexer.Comma -> go (k :: acc)
+        | Lexer.Rparen -> List.rev (k :: acc)
+        | t -> perr "in SET KEYS: got %a" Lexer.pp_token t
+      in
+      go []
+    end
+    else []
+  in
+  expect_kw c "END";
+  expect_kw c "SET";
+  { sname; owner; member; keys }
+
+let parse src =
+  let c = { toks = Lexer.tokenize src } in
+  expect_kw c "SCHEMA";
+  expect_kw c "NAME";
+  expect_kw c "IS";
+  let schema_name = expect_ident c in
+  expect_kw c "RECORD";
+  expect_kw c "SECTION";
+  let rec records acc =
+    if at_kw c "RECORD" then begin
+      ignore (next c);
+      records (parse_record c :: acc)
+    end
+    else List.rev acc
+  in
+  let records = records [] in
+  expect_kw c "END";
+  expect_kw c "RECORD";
+  expect_kw c "SECTION";
+  expect_kw c "SET";
+  expect_kw c "SECTION";
+  let rec sets acc =
+    if at_kw c "SET" then begin
+      ignore (next c);
+      sets (parse_set c :: acc)
+    end
+    else List.rev acc
+  in
+  let sets = sets [] in
+  expect_kw c "END";
+  expect_kw c "SET";
+  expect_kw c "SECTION";
+  expect_kw c "END";
+  expect_kw c "SCHEMA";
+  { schema_name; records; sets }
+
+let pp ppf t =
+  Fmt.pf ppf "SCHEMA NAME IS %s@.RECORD SECTION;@." t.schema_name;
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "@.  RECORD NAME IS %s.@.  FIELDS ARE.@." r.rname;
+      List.iter
+        (fun f ->
+          match f with
+          | Pic (name, Value.Tstr, w) -> Fmt.pf ppf "    %s PIC X(%d).@." name w
+          | Pic (name, _, w) -> Fmt.pf ppf "    %s PIC 9(%d).@." name w
+          | Virtual { vname; via; using } ->
+              Fmt.pf ppf "    %s VIRTUAL@.      VIA %s@.      USING %s.@."
+                vname via using)
+        r.fields;
+      Fmt.pf ppf "  END RECORD.@.")
+    t.records;
+  Fmt.pf ppf "END RECORD SECTION.@.SET SECTION.@.";
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "@.  SET NAME IS %s.@.  OWNER IS %s.@.  MEMBER IS %s.@."
+        s.sname
+        (Option.value s.owner ~default:"SYSTEM")
+        s.member;
+      (match s.keys with
+      | [] -> ()
+      | keys ->
+          Fmt.pf ppf "  SET KEYS ARE (%s).@." (String.concat ", " keys));
+      Fmt.pf ppf "  END SET.@.")
+    t.sets;
+  Fmt.pf ppf "END SET SECTION.@.@.END SCHEMA.@."
+
+let to_string t = Fmt.str "%a" pp t
+
+let stored_fields r =
+  List.filter_map
+    (function
+      | Pic (name, ty, _) -> Some (Field.make name ty)
+      | Virtual _ -> None)
+    r.fields
+
+(* The keys of the SYSTEM-owned singular set of a record, if any —
+   they serve as the record's identifying (CALC) key. *)
+let system_keys t rname =
+  List.fold_left
+    (fun acc (s : set_decl) ->
+      if s.owner = None && Field.name_equal s.member rname && s.keys <> [] then
+        Some s.keys
+      else acc)
+    None t.sets
+
+let to_network t =
+  let module N = Ccv_network.Nschema in
+  let find_record rname =
+    match List.find_opt (fun r -> Field.name_equal r.rname rname) t.records with
+    | Some r -> r
+    | None -> perr "unknown record %s" rname
+  in
+  let records =
+    List.map
+      (fun r ->
+        let virtuals =
+          List.filter_map
+            (function
+              | Virtual { vname; via; using } ->
+                  let set =
+                    match
+                      List.find_opt (fun s -> Field.name_equal s.sname via) t.sets
+                    with
+                    | Some s -> s
+                    | None -> perr "virtual %s: unknown set %s" vname via
+                  in
+                  let owner =
+                    match set.owner with
+                    | Some o -> find_record o
+                    | None -> perr "virtual %s VIA a SYSTEM set" vname
+                  in
+                  let vty =
+                    match
+                      List.find_opt
+                        (function
+                          | Pic (n, _, _) -> Field.name_equal n using
+                          | Virtual _ -> false)
+                        owner.fields
+                    with
+                    | Some (Pic (_, ty, _)) -> ty
+                    | Some (Virtual _) | None ->
+                        perr "virtual %s: owner %s lacks field %s" vname
+                          owner.rname using
+                  in
+                  Some { N.vname; vty; via_set = via; source_field = using }
+              | Pic _ -> None)
+            r.fields
+        in
+        let calc_key = Option.value (system_keys t r.rname) ~default:[] in
+        N.record_decl ~virtuals ~calc_key r.rname (stored_fields r))
+      t.records
+  in
+  let sets =
+    List.map
+      (fun s ->
+        let owner =
+          match s.owner with None -> N.System | Some o -> N.Owner_record o
+        in
+        let selection =
+          match s.owner with
+          | None -> N.By_current
+          | Some o ->
+              let member = find_record s.member in
+              let pairs =
+                List.filter_map
+                  (function
+                    | Virtual { vname; via; using }
+                      when Field.name_equal via s.sname -> Some (using, vname)
+                    | Virtual _ | Pic _ -> None)
+                  member.fields
+              in
+              if pairs = [] then
+                (* fall back: matching field names on both sides *)
+                let okeys = Option.value (system_keys t o) ~default:[] in
+                let m = find_record s.member in
+                let shared =
+                  List.filter
+                    (fun k ->
+                      List.exists
+                        (function
+                          | Pic (n, _, _) -> Field.name_equal n k
+                          | Virtual _ -> false)
+                        m.fields)
+                    okeys
+                in
+                if shared = [] then N.By_current
+                else N.By_value (List.map (fun k -> (k, k)) shared)
+              else N.By_value pairs
+        in
+        N.set_decl ~order:(match s.keys with [] -> N.Chronological | ks -> N.Sorted ks)
+          ~dups_allowed:false ~selection ~name:s.sname ~owner ~member:s.member
+          ())
+      t.sets
+  in
+  N.make records sets
+
+let to_semantic t =
+  let module S = Ccv_model.Semantic in
+  let entities =
+    List.map
+      (fun r ->
+        let fields = stored_fields r in
+        let key =
+          match system_keys t r.rname with
+          | Some ks -> ks
+          | None -> (
+              match fields with
+              | f :: _ -> [ f.Field.name ]
+              | [] -> perr "record %s has no fields" r.rname)
+        in
+        S.entity r.rname fields ~key)
+      t.records
+  in
+  let assocs, constraints =
+    List.fold_left
+      (fun (assocs, cs) s ->
+        match s.owner with
+        | None -> (assocs, cs)
+        | Some o ->
+            ( assocs @ [ S.assoc s.sname ~left:o ~right:s.member () ],
+              cs @ [ S.Total_right s.sname ] ))
+      ([], []) t.sets
+  in
+  S.make ~constraints entities assocs

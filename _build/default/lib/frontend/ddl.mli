@@ -1,0 +1,39 @@
+(** Parser and printer for the Maryland schema DDL of Figure 4.3
+    ("SCHEMA NAME IS COMPANY ... RECORD NAME IS DIV ... DIV-NAME
+    VIRTUAL VIA DIV-EMP USING DIV-NAME ... SET NAME IS ALL-DIV. OWNER
+    IS SYSTEM...").  Parsed schemas convert both to a concrete
+    {!Ccv_network.Nschema.t} and to a semantic schema for the
+    conversion pipeline. *)
+
+open Ccv_common
+
+type field_decl =
+  | Pic of string * Value.ty * int  (** name, type, picture width *)
+  | Virtual of { vname : string; via : string; using : string }
+
+type record_decl = { rname : string; fields : field_decl list }
+
+type set_decl = {
+  sname : string;
+  owner : string option;  (** [None] = SYSTEM *)
+  member : string;
+  keys : string list;
+}
+
+type t = { schema_name : string; records : record_decl list; sets : set_decl list }
+
+exception Parse_error of string
+
+val parse : string -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Concrete network schema: virtual fields and BY VALUE selection
+    derived from the VIRTUAL ... VIA ... USING clauses; CALC keys from
+    the SYSTEM-owned set's keys. *)
+val to_network : t -> Ccv_network.Nschema.t
+
+(** Semantic schema: records become entities (keyed by their singular
+    set's keys), owner-coupled sets become total 1:N associations named
+    after the set. *)
+val to_semantic : t -> Ccv_model.Semantic.t

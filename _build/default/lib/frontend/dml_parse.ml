@@ -1,0 +1,232 @@
+open Ccv_common
+open Ccv_abstract
+
+exception Parse_error of string
+
+let perr fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type find = { target : string; query : Apattern.t; sort_on : string list }
+
+type cursor = { mutable toks : Lexer.token list }
+
+let peek c = match c.toks with [] -> None | t :: _ -> Some t
+
+let next c =
+  match c.toks with
+  | [] -> perr "unexpected end of input"
+  | t :: rest ->
+      c.toks <- rest;
+      t
+
+let expect c tok =
+  let t = next c in
+  if t <> tok then perr "expected %a, got %a" Lexer.pp_token tok Lexer.pp_token t
+
+let expect_ident c =
+  match next c with
+  | Lexer.Ident s -> s
+  | t -> perr "expected a name, got %a" Lexer.pp_token t
+
+let at c tok = peek c = Some tok
+let at_kw c kw = match peek c with Some (Lexer.Ident s) -> String.equal s kw | _ -> false
+let eat c tok = if at c tok then (ignore (next c); true) else false
+let eat_kw c kw = if at_kw c kw then (ignore (next c); true) else false
+
+let is_record ddl name =
+  List.exists (fun (r : Ddl.record_decl) -> Field.name_equal r.rname name)
+    ddl.Ddl.records
+
+let set_of ddl name =
+  List.find_opt (fun (s : Ddl.set_decl) -> Field.name_equal s.sname name)
+    ddl.Ddl.sets
+
+(* cond := <field> <cmp> <literal> { AND <field> <cmp> <literal> } *)
+let parse_cond c =
+  let rec conj acc =
+    let f = expect_ident c in
+    let op =
+      match next c with
+      | Lexer.Eq -> Cond.Eq
+      | Lexer.Ne -> Cond.Ne
+      | Lexer.Lt -> Cond.Lt
+      | Lexer.Le -> Cond.Le
+      | Lexer.Gt -> Cond.Gt
+      | Lexer.Ge -> Cond.Ge
+      | t -> perr "expected a comparison, got %a" Lexer.pp_token t
+    in
+    let v =
+      match next c with
+      | Lexer.Str_lit s -> Value.Str s
+      | Lexer.Int_lit i -> Value.Int i
+      | t -> perr "expected a literal, got %a" Lexer.pp_token t
+    in
+    let acc = Cond.Cmp (op, Cond.Field f, Cond.Const v) :: acc in
+    if eat_kw c "AND" then conj acc else Cond.conj (List.rev acc)
+  in
+  conj []
+
+(* record-with-optional-qual: REC | REC ( cond ) *)
+let parse_qualified c =
+  let name = expect_ident c in
+  if eat c Lexer.Lparen then begin
+    let cond = parse_cond c in
+    expect c Lexer.Rparen;
+    (name, cond)
+  end
+  else (name, Cond.True)
+
+let rec parse_path ddl c prev acc =
+  if at c Lexer.Rparen then List.rev acc
+  else begin
+    expect c Lexer.Comma;
+    let set_name = expect_ident c in
+    match set_of ddl set_name with
+    | None -> perr "unknown set %s in access path" set_name
+    | Some set -> (
+        expect c Lexer.Comma;
+        let rec_name, qual = parse_qualified c in
+        if not (Field.name_equal rec_name set.Ddl.member) then
+          perr "%s is not the member of %s" rec_name set_name;
+        match set.Ddl.owner with
+        | None ->
+            (* SYSTEM set: this names the entry record — a Self step. *)
+            parse_path ddl c (Some rec_name)
+              (Apattern.Self { target = rec_name; qual } :: acc)
+        | Some owner ->
+            (match prev with
+            | Some p when Field.name_equal p owner -> ()
+            | Some p -> perr "path reaches %s from %s, not its owner %s"
+                          set_name p owner
+            | None -> perr "set %s appears before its owner" set_name);
+            parse_path ddl c (Some rec_name)
+              (Apattern.Via_assoc
+                 { target = rec_name; assoc = set_name; qual }
+               :: Apattern.Assoc_via
+                    { assoc = set_name; source = owner; qual = Cond.True }
+               :: acc))
+  end
+
+let parse_find_cursor ddl c =
+  let sort_on = ref [] in
+  let sorted = eat_kw c "SORT" in
+  if sorted then expect c Lexer.Lparen;
+  if not (eat_kw c "FIND") then perr "expected FIND";
+  expect c Lexer.Lparen;
+  let target = expect_ident c in
+  if not (is_record ddl target) then perr "unknown record %s" target;
+  expect c Lexer.Colon;
+  if not (eat_kw c "SYSTEM") then perr "access path must start at SYSTEM";
+  let query = parse_path ddl c None [] in
+  expect c Lexer.Rparen;
+  if sorted then begin
+    expect c Lexer.Rparen;
+    if eat_kw c "ON" then begin
+      expect c Lexer.Lparen;
+      let rec go acc =
+        let f = expect_ident c in
+        if eat c Lexer.Comma then go (f :: acc) else List.rev (f :: acc)
+      in
+      sort_on := go [];
+      expect c Lexer.Rparen
+    end
+  end;
+  (match query with
+  | [] -> perr "empty access path"
+  | _ -> ());
+  let result = Apattern.result_of query in
+  if not (Field.name_equal result target) then
+    perr "path delivers %s, not the target %s" result target;
+  { target; query; sort_on = !sort_on }
+
+let parse_find ddl src =
+  let c = { toks = Lexer.tokenize src } in
+  parse_find_cursor ddl c
+
+let parse_operand c =
+  match next c with
+  | Lexer.Str_lit s -> Cond.Const (Value.Str s)
+  | Lexer.Int_lit i -> Cond.Const (Value.Int i)
+  | Lexer.Ident r -> (
+      match next c with
+      | Lexer.Period -> (
+          match next c with
+          | Lexer.Ident f -> Cond.Var (Field.canon r ^ "." ^ Field.canon f)
+          | t -> perr "expected a field after %s., got %a" r Lexer.pp_token t)
+      | t -> perr "expected '.', got %a" Lexer.pp_token t)
+  | t -> perr "unexpected operand %a" Lexer.pp_token t
+
+let parse_operands c =
+  let rec go acc =
+    let e = parse_operand c in
+    if eat c Lexer.Comma then go (e :: acc) else List.rev (e :: acc)
+  in
+  go []
+
+let parse_program ddl src =
+  let c = { toks = Lexer.tokenize src } in
+  let notes = ref [] in
+  if not (eat_kw c "PROGRAM") then perr "expected PROGRAM";
+  let name = expect_ident c in
+  ignore (eat c Lexer.Period);
+  let rec stmts acc =
+    match peek c with
+    | None -> List.rev acc
+    | Some (Lexer.Ident "FOR") ->
+        ignore (next c);
+        if not (eat_kw c "EACH") then perr "expected EACH";
+        let find = parse_find_cursor ddl c in
+        if find.sort_on <> [] then
+          notes :=
+            Fmt.str
+              "SORT ON (%s) dropped: enumeration follows storage order"
+              (String.concat ", " find.sort_on)
+            :: !notes;
+        if not (eat_kw c "DISPLAY") then perr "expected DISPLAY";
+        let es = parse_operands c in
+        ignore (eat c Lexer.Period);
+        if not (eat_kw c "END") then perr "expected END";
+        ignore (eat c Lexer.Period);
+        stmts
+          (Aprog.For_each { query = find.query; body = [ Aprog.Display es ] }
+           :: acc)
+    | Some (Lexer.Ident "DISPLAY") ->
+        ignore (next c);
+        let es = parse_operands c in
+        ignore (eat c Lexer.Period);
+        stmts (Aprog.Display es :: acc)
+    | Some t -> perr "unexpected %a" Lexer.pp_token t
+  in
+  let body = stmts [] in
+  ({ Aprog.name; body }, List.rev !notes)
+
+let find_of_query ~target query =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Fmt.str "FIND(%s: SYSTEM" (Field.canon target));
+  let qual_str q =
+    match q with Cond.True -> "" | q -> Fmt.str "(%a)" Cond.pp q
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Apattern.Self { target = t; qual } ->
+          Buffer.add_string buf
+            (Fmt.str ", ALL-%s, %s%s" (Field.canon t) (Field.canon t)
+               (qual_str qual))
+      | Apattern.Assoc_via { assoc; qual; _ } ->
+          Buffer.add_string buf (Fmt.str ", %s%s" (Field.canon assoc) (qual_str qual))
+      | Apattern.Via_assoc { target = t; qual; _ } ->
+          Buffer.add_string buf (Fmt.str ", %s%s" (Field.canon t) (qual_str qual))
+      | Apattern.Through { target = t; source; link = tf, sf; qual } ->
+          Buffer.add_string buf
+            (Fmt.str ", THROUGH(%s.%s=%s.%s), %s%s" (Field.canon t) tf
+               (Field.canon source) sf (Field.canon t) (qual_str qual)))
+    query;
+  Buffer.add_char buf ')';
+  Buffer.contents buf
+
+let pp_find ppf f =
+  if f.sort_on <> [] then
+    Fmt.pf ppf "SORT(%s) ON (%s)"
+      (find_of_query ~target:f.target f.query)
+      (String.concat ", " f.sort_on)
+  else Fmt.string ppf (find_of_query ~target:f.target f.query)

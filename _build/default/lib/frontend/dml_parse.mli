@@ -1,0 +1,38 @@
+(** Parser for the Maryland FIND statement of §4.2 —
+
+    {v FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+            DIV-EMP, EMP(DEPT-NAME = 'SALES')) v}
+
+    — and a small program syntax around it:
+
+    {v PROGRAM <name>.
+       FOR EACH FIND(...) DISPLAY <operand> {, <operand>}. END.
+       DISPLAY <operand> {, <operand>}. v}
+
+    where an operand is ["REC.FIELD"], a quoted string, or an integer.
+    [SORT( FIND(...) ) ON (F,...)] is accepted; the sort wrapper is
+    returned as a note (our abstract programs enumerate in storage
+    order, as the Figure 4.4 discussion anticipates). *)
+
+open Ccv_abstract
+
+exception Parse_error of string
+
+type find = {
+  target : string;
+  query : Apattern.t;
+  sort_on : string list;  (** [] unless wrapped in SORT(...) ON (...) *)
+}
+
+(** [parse_find ddl src] — the DDL supplies the set/record vocabulary
+    (sets name the associations of {!Ddl.to_semantic}). *)
+val parse_find : Ddl.t -> string -> find
+
+val parse_program : Ddl.t -> string -> Aprog.t * string list
+(** program plus notes (e.g. dropped SORT wrappers). *)
+
+val pp_find : Format.formatter -> find -> unit
+
+(** Pretty-print an access sequence back in FIND syntax (used by the
+    CLI to show converted programs in the paper's own notation). *)
+val find_of_query : target:string -> Apattern.t -> string

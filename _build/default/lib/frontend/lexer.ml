@@ -1,0 +1,87 @@
+type token =
+  | Ident of string
+  | Str_lit of string
+  | Int_lit of int
+  | Lparen
+  | Rparen
+  | Comma
+  | Period
+  | Colon
+  | Semicolon
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+exception Error of string * int
+
+let is_ident_start c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '-' || c = '#'
+
+let tokenize src =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = '(' then go (i + 1) (Lparen :: acc)
+      else if c = ')' then go (i + 1) (Rparen :: acc)
+      else if c = ',' then go (i + 1) (Comma :: acc)
+      else if c = ';' then go (i + 1) (Semicolon :: acc)
+      else if c = ':' then go (i + 1) (Colon :: acc)
+      else if c = '=' then go (i + 1) (Eq :: acc)
+      else if c = '<' then
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (Le :: acc)
+        else if i + 1 < n && src.[i + 1] = '>' then go (i + 2) (Ne :: acc)
+        else go (i + 1) (Lt :: acc)
+      else if c = '>' then
+        if i + 1 < n && src.[i + 1] = '=' then go (i + 2) (Ge :: acc)
+        else go (i + 1) (Gt :: acc)
+      else if c = '\'' || c = '"' then begin
+        let quote = c in
+        let rec scan j =
+          if j >= n then raise (Error ("unterminated string", i))
+          else if src.[j] = quote then j
+          else scan (j + 1)
+        in
+        let j = scan (i + 1) in
+        go (j + 1) (Str_lit (String.sub src (i + 1) (j - i - 1)) :: acc)
+      end
+      else if c >= '0' && c <= '9' then begin
+        let rec scan j = if j < n && src.[j] >= '0' && src.[j] <= '9' then scan (j + 1) else j in
+        let j = scan i in
+        go j (Int_lit (int_of_string (String.sub src i (j - i))) :: acc)
+      end
+      else if is_ident_start c then begin
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        (* A period terminates statements; idents never end with '.' *)
+        go j (Ident (String.uppercase_ascii (String.sub src i (j - i))) :: acc)
+      end
+      else if c = '.' then go (i + 1) (Period :: acc)
+      else raise (Error (Printf.sprintf "unexpected character %c" c, i))
+  in
+  go 0 []
+
+let pp_token ppf = function
+  | Ident s -> Fmt.string ppf s
+  | Str_lit s -> Fmt.pf ppf "%S" s
+  | Int_lit i -> Fmt.int ppf i
+  | Lparen -> Fmt.string ppf "("
+  | Rparen -> Fmt.string ppf ")"
+  | Comma -> Fmt.string ppf ","
+  | Period -> Fmt.string ppf "."
+  | Colon -> Fmt.string ppf ":"
+  | Semicolon -> Fmt.string ppf ";"
+  | Eq -> Fmt.string ppf "="
+  | Ne -> Fmt.string ppf "<>"
+  | Lt -> Fmt.string ppf "<"
+  | Le -> Fmt.string ppf "<="
+  | Gt -> Fmt.string ppf ">"
+  | Ge -> Fmt.string ppf ">="

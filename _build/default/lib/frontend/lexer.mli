@@ -1,0 +1,27 @@
+(** Tokenizer for the Maryland DDL/DML surface syntax (Figures 4.3 and
+    the FIND statements of §4.2).  Identifiers may contain hyphens
+    (DIV-NAME); keywords are recognized case-insensitively by the
+    parsers, not here. *)
+
+type token =
+  | Ident of string  (** canonical upper-case *)
+  | Str_lit of string
+  | Int_lit of int
+  | Lparen
+  | Rparen
+  | Comma
+  | Period
+  | Colon
+  | Semicolon
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+exception Error of string * int
+(** message, character offset *)
+
+val tokenize : string -> token list
+val pp_token : Format.formatter -> token -> unit

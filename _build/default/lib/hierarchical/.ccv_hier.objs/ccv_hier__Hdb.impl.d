@@ -1,0 +1,1 @@
+lib/hierarchical/hdb.ml: Ccv_common Counters Field Fmt Hschema Int List Map Option Row Status String Value

@@ -1,0 +1,1 @@
+lib/hierarchical/hdb.mli: Ccv_common Counters Format Hschema Row Status Value

@@ -1,0 +1,1 @@
+lib/hierarchical/hdml.ml: Ccv_common Cond Field Fmt List

@@ -1,0 +1,1 @@
+lib/hierarchical/hdml.mli: Ccv_common Cond Format

@@ -1,0 +1,1 @@
+lib/hierarchical/hinterp.ml: Ccv_common Cond Field Hdb Hdml Hschema List Option Row Status Value

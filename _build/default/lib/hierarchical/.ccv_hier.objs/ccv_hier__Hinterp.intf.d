@@ -1,0 +1,1 @@
+lib/hierarchical/hinterp.mli: Ccv_common Cond Hdb Hdml Status Value

@@ -1,0 +1,1 @@
+lib/hierarchical/hschema.ml: Ccv_common Field Fmt List Option String

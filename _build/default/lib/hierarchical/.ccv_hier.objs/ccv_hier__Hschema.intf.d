@@ -1,0 +1,1 @@
+lib/hierarchical/hschema.mli: Ccv_common Field Format

@@ -1,0 +1,235 @@
+open Ccv_common
+module Imap = Map.Make (Int)
+
+type node = {
+  stype : string;
+  row : Row.t;
+  parent : int option;
+  children : int list;  (** ordered: decl order of types, then twin order *)
+}
+
+type t = {
+  schema : Hschema.t;
+  nodes : node Imap.t;
+  roots : int list;
+  next_key : int;
+  counters : Counters.t;
+}
+
+let create schema =
+  { schema;
+    nodes = Imap.empty;
+    roots = [];
+    next_key = 1;
+    counters = Counters.create ();
+  }
+
+let schema t = t.schema
+let counters t = t.counters
+
+let get t key =
+  match Imap.find_opt key t.nodes with
+  | Some n ->
+      Counters.record_read t.counters;
+      Some (n.stype, n.row)
+  | None -> None
+
+let get_silent t key =
+  Option.map (fun n -> (n.stype, n.row)) (Imap.find_opt key t.nodes)
+
+let stype_of t key = Option.map (fun n -> n.stype) (Imap.find_opt key t.nodes)
+
+let parent_of t key =
+  Option.bind (Imap.find_opt key t.nodes) (fun n -> n.parent)
+
+let children_of t key =
+  match Imap.find_opt key t.nodes with Some n -> n.children | None -> []
+
+let root_keys t = t.roots
+
+let hierarchic_sequence_silent t =
+  let rec walk acc key =
+    let acc = key :: acc in
+    match Imap.find_opt key t.nodes with
+    | Some n -> List.fold_left walk acc n.children
+    | None -> acc
+  in
+  List.rev (List.fold_left walk [] t.roots)
+
+let hierarchic_sequence t =
+  let seq = hierarchic_sequence_silent t in
+  Counters.record_reads t.counters (List.length seq);
+  seq
+
+(* Position of a new twin inside an ordered sibling list: after every
+   sibling of a type declared earlier, then in sequence-field order
+   among its own twins (ties/no-seq-field: last). *)
+let sibling_position t (decl : Hschema.seg_decl) row siblings =
+  let type_rank name =
+    let rec go i = function
+      | [] -> i
+      | (s : Hschema.seg_decl) :: rest ->
+          if Field.name_equal s.sname name then i else go (i + 1) rest
+    in
+    go 0 t.schema.Hschema.segments
+  in
+  let my_rank = type_rank decl.sname in
+  let seq_value r =
+    match decl.seq_field with
+    | None -> Value.Null
+    | Some f -> Option.value (Row.get r f) ~default:Value.Null
+  in
+  let my_seq = seq_value row in
+  let rec ins = function
+    | [] -> fun key -> [ key ]
+    | s :: rest -> (
+        fun key ->
+          let n = Imap.find s t.nodes in
+          let rank = type_rank n.stype in
+          let goes_before =
+            rank > my_rank
+            || (rank = my_rank
+               && decl.seq_field <> None
+               && Value.compare (seq_value n.row) my_seq > 0)
+          in
+          if goes_before then key :: s :: rest else s :: ins rest key)
+  in
+  fun key -> ins siblings key
+
+let insert t ~parent stype row =
+  let decl = Hschema.find_exn t.schema stype in
+  let row = Row.coerce row decl.fields in
+  if not (Row.conforms row decl.fields) then
+    Error (Status.Invalid_request (Fmt.str "bad segment for %s" decl.sname))
+  else
+    match parent, decl.parent with
+    | None, Some _ ->
+        Error (Status.Invalid_request (Fmt.str "%s is not a root segment" decl.sname))
+    | Some _, None ->
+        Error (Status.Invalid_request (Fmt.str "%s is a root segment" decl.sname))
+    | None, None ->
+        let key = t.next_key in
+        Counters.record_write t.counters;
+        let roots = sibling_position t decl row t.roots key in
+        Ok
+          ( { t with
+              nodes =
+                Imap.add key
+                  { stype = decl.sname; row; parent = None; children = [] }
+                  t.nodes;
+              roots;
+              next_key = key + 1;
+            },
+            key )
+    | Some pkey, Some ptype -> (
+        match Imap.find_opt pkey t.nodes with
+        | None -> Error Status.Not_found
+        | Some pnode when not (Field.name_equal pnode.stype ptype) ->
+            Error
+              (Status.Invalid_request
+                 (Fmt.str "%s cannot parent %s" pnode.stype decl.sname))
+        | Some pnode ->
+            let key = t.next_key in
+            Counters.record_write t.counters;
+            let children = sibling_position t decl row pnode.children key in
+            Ok
+              ( { t with
+                  nodes =
+                    t.nodes
+                    |> Imap.add key
+                         { stype = decl.sname;
+                           row;
+                           parent = Some pkey;
+                           children = [];
+                         }
+                    |> Imap.add pkey { pnode with children };
+                  next_key = key + 1;
+                },
+                key ))
+
+let insert_exn t ~parent stype row =
+  match insert t ~parent stype row with
+  | Ok res -> res
+  | Error s ->
+      invalid_arg (Fmt.str "Hdb.insert_exn %s: %a" stype Status.pp s)
+
+let delete t key =
+  match Imap.find_opt key t.nodes with
+  | None -> Error Status.Not_found
+  | Some node ->
+      let rec collect acc key =
+        let acc = key :: acc in
+        match Imap.find_opt key t.nodes with
+        | Some n -> List.fold_left collect acc n.children
+        | None -> acc
+      in
+      let doomed = collect [] key in
+      Counters.record_write t.counters;
+      let nodes = List.fold_left (fun m k -> Imap.remove k m) t.nodes doomed in
+      let t = { t with nodes } in
+      (match node.parent with
+      | None -> Ok { t with roots = List.filter (fun k -> k <> key) t.roots }
+      | Some pkey -> (
+          match Imap.find_opt pkey t.nodes with
+          | None -> Ok t
+          | Some pnode ->
+              Ok
+                { t with
+                  nodes =
+                    Imap.add pkey
+                      { pnode with
+                        children = List.filter (fun k -> k <> key) pnode.children;
+                      }
+                      t.nodes;
+                }))
+
+let replace t key assigns =
+  match Imap.find_opt key t.nodes with
+  | None -> Error Status.Not_found
+  | Some node ->
+      let decl = Hschema.find_exn t.schema node.stype in
+      let bad =
+        List.find_opt (fun (f, _) -> not (Field.mem decl.fields f)) assigns
+      in
+      (match bad with
+      | Some (f, _) ->
+          Error
+            (Status.Invalid_request (Fmt.str "unknown field %s of %s" f node.stype))
+      | None ->
+          Counters.record_write t.counters;
+          let row =
+            List.fold_left (fun row (f, v) -> Row.set row f v) node.row assigns
+          in
+          Ok { t with nodes = Imap.add key { node with row } t.nodes })
+
+let dump t =
+  let rec path_of key =
+    match Imap.find_opt key t.nodes with
+    | None -> []
+    | Some n -> (
+        match n.parent with
+        | None -> [ n.row ]
+        | Some p -> path_of p @ [ n.row ])
+  in
+  hierarchic_sequence_silent t
+  |> List.map path_of
+  |> List.sort (List.compare Row.compare)
+
+let equal_contents a b =
+  let da = dump a and db = dump b in
+  List.length da = List.length db
+  && List.for_all2
+       (fun p1 p2 -> List.length p1 = List.length p2 && List.for_all2 Row.equal p1 p2)
+       da db
+
+let total_segments t = Imap.cardinal t.nodes
+
+let pp ppf t =
+  let rec pp_node indent key =
+    match Imap.find_opt key t.nodes with
+    | None -> ()
+    | Some n ->
+        Fmt.pf ppf "%s%s %a@." (String.make indent ' ') n.stype Row.pp n.row;
+        List.iter (pp_node (indent + 2)) n.children
+  in
+  List.iter (pp_node 0) t.roots

@@ -1,0 +1,45 @@
+(** Hierarchical database instances: forests of segment occurrences in
+    hierarchic sequence (preorder; children grouped by the schema's
+    segment declaration order, twins ordered by sequence field). *)
+
+open Ccv_common
+
+type t
+
+val create : Hschema.t -> t
+val schema : t -> Hschema.t
+val counters : t -> Counters.t
+
+val get : t -> int -> (string * Row.t) option
+val get_silent : t -> int -> (string * Row.t) option
+val stype_of : t -> int -> string option
+val parent_of : t -> int -> int option
+val children_of : t -> int -> int list
+
+(** Root occurrences in twin order. *)
+val root_keys : t -> int list
+
+(** Full hierarchic sequence (preorder over all roots); charges one
+    read per element materialised. *)
+val hierarchic_sequence : t -> int list
+
+val hierarchic_sequence_silent : t -> int list
+
+(** [insert db ~parent stype row]: [parent = None] inserts a root.
+    Twin position follows the segment's sequence field. *)
+val insert : t -> parent:int option -> string -> Row.t -> (t * int, Status.t) result
+
+val insert_exn : t -> parent:int option -> string -> Row.t -> t * int
+
+(** Deletes a segment and its whole subtree (DL/I DLET semantics). *)
+val delete : t -> int -> (t, Status.t) result
+
+val replace : t -> int -> (string * Value.t) list -> (t, Status.t) result
+
+(** Canonical dump for key-independent comparison: every occurrence as
+    (path of rows from root), sorted. *)
+val dump : t -> Row.t list list
+
+val equal_contents : t -> t -> bool
+val total_segments : t -> int
+val pp : Format.formatter -> t -> unit

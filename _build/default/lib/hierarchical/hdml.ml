@@ -1,0 +1,56 @@
+open Ccv_common
+
+type ssa = { seg : string; qual : Cond.t }
+
+type t =
+  | Gu of ssa list
+  | Gn of ssa list
+  | Gnp of ssa list
+  | Isrt of string * ssa list
+  | Dlet
+  | Repl of string list
+
+let ssa ?(qual = Cond.True) seg = { seg = Field.canon seg; qual }
+let uwa ~stype ~field = Field.canon stype ^ "." ^ Field.canon field
+
+let segment_types = function
+  | Gu ssas | Gn ssas | Gnp ssas -> List.map (fun s -> s.seg) ssas
+  | Isrt (seg, ssas) -> List.map (fun s -> s.seg) ssas @ [ Field.canon seg ]
+  | Dlet | Repl _ -> []
+
+let vars_read = function
+  | Gu ssas | Gn ssas | Gnp ssas | Isrt (_, ssas) ->
+      List.concat_map (fun s -> Cond.vars s.qual) ssas
+  | Dlet | Repl _ -> []
+
+let equal_ssa a b = Field.name_equal a.seg b.seg && Cond.equal a.qual b.qual
+
+let equal x y =
+  match x, y with
+  | Gu a, Gu b | Gn a, Gn b | Gnp a, Gnp b ->
+      List.length a = List.length b && List.for_all2 equal_ssa a b
+  | Isrt (s1, a), Isrt (s2, b) ->
+      Field.name_equal s1 s2
+      && List.length a = List.length b
+      && List.for_all2 equal_ssa a b
+  | Dlet, Dlet -> true
+  | Repl f1, Repl f2 -> List.map Field.canon f1 = List.map Field.canon f2
+  | (Gu _ | Gn _ | Gnp _ | Isrt _ | Dlet | Repl _), _ -> false
+
+let pp_ssa ppf s =
+  match s.qual with
+  | Cond.True -> Fmt.string ppf s.seg
+  | q -> Fmt.pf ppf "%s(%a)" s.seg Cond.pp q
+
+let pp_ssas = Fmt.list ~sep:(Fmt.any " ") pp_ssa
+
+let pp ppf = function
+  | Gu ssas -> Fmt.pf ppf "GU %a" pp_ssas ssas
+  | Gn ssas -> Fmt.pf ppf "GN %a" pp_ssas ssas
+  | Gnp ssas -> Fmt.pf ppf "GNP %a" pp_ssas ssas
+  | Isrt (seg, ssas) -> Fmt.pf ppf "ISRT %s UNDER %a" seg pp_ssas ssas
+  | Dlet -> Fmt.string ppf "DLET"
+  | Repl fields ->
+      Fmt.pf ppf "REPL (%a)" Fmt.(list ~sep:(any ", ") string) fields
+
+let show t = Fmt.str "%a" pp t

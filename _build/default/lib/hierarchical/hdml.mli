@@ -1,0 +1,25 @@
+(** DL/I-style calls with segment search arguments (SSAs). *)
+
+open Ccv_common
+
+type ssa = { seg : string; qual : Cond.t }
+(** A qualified SSA constrains one level of the hierarchic path; the
+    last SSA names the target segment type. *)
+
+type t =
+  | Gu of ssa list  (** GET UNIQUE: first match in hierarchic sequence *)
+  | Gn of ssa list  (** GET NEXT: next match after current position *)
+  | Gnp of ssa list  (** GET NEXT WITHIN PARENT *)
+  | Isrt of string * ssa list
+      (** [(segment, parent path)]: segment row from UWA vars; the SSAs
+          locate the parent (empty for a root) *)
+  | Dlet  (** delete current segment and subtree *)
+  | Repl of string list  (** replace listed fields of current from UWA *)
+
+val ssa : ?qual:Cond.t -> string -> ssa
+val uwa : stype:string -> field:string -> string
+val segment_types : t -> string list
+val vars_read : t -> string list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,175 @@
+open Ccv_common
+
+type position = { current : int option; parentage : int option }
+
+let initial_position = { current = None; parentage = None }
+let current_key pos = pos.current
+
+type outcome = {
+  db : Hdb.t;
+  pos : position;
+  updates : (string * Value.t) list;
+  status : Status.t;
+}
+
+(* Does [key]'s root-to-self path satisfy every SSA?  Each SSA names a
+   segment type that must occur on the path with its qualification
+   true; the last SSA must be the node's own type. *)
+let ssa_match db ~env ssas key =
+  let rec path acc k =
+    match Hdb.parent_of db k with None -> k :: acc | Some p -> path (k :: acc) p
+  in
+  match List.rev ssas with
+  | [] -> true
+  | last :: _ -> (
+      match Hdb.stype_of db key with
+      | Some sty when Field.name_equal sty last.Hdml.seg ->
+          let ancestry = path [] key in
+          List.for_all
+            (fun (s : Hdml.ssa) ->
+              List.exists
+                (fun k ->
+                  match Hdb.get db k with
+                  | Some (sty, row) ->
+                      Field.name_equal sty s.seg && Cond.eval ~env row s.qual
+                  | None -> false)
+                ancestry)
+            ssas
+      | Some _ | None -> false)
+
+let retrieve db key =
+  match Hdb.get db key with
+  | Some (stype, row) ->
+      List.map
+        (fun (f, v) -> (Hdml.uwa ~stype ~field:f, v))
+        (Row.to_list row)
+  | None -> []
+
+let found db key =
+  { db;
+    pos = { current = Some key; parentage = Some key };
+    updates = retrieve db key;
+    status = Status.Ok;
+  }
+
+let not_found db pos status = { db; pos; updates = []; status }
+
+let rec drop_through key = function
+  | [] -> []
+  | k :: rest -> if k = key then rest else drop_through key rest
+
+let exec db pos ~env call =
+  match call with
+  | Hdml.Gu ssas -> (
+      let seq = Hdb.hierarchic_sequence db in
+      match List.find_opt (ssa_match db ~env ssas) seq with
+      | Some key -> found db key
+      | None -> not_found db pos Status.Not_found)
+  | Hdml.Gn ssas -> (
+      let seq = Hdb.hierarchic_sequence db in
+      let rest =
+        match pos.current with
+        | None -> seq
+        | Some key -> drop_through key seq
+      in
+      let candidate =
+        match ssas with
+        | [] -> (match rest with [] -> None | k :: _ -> Some k)
+        | _ -> List.find_opt (ssa_match db ~env ssas) rest
+      in
+      match candidate with
+      | Some key -> found db key
+      | None -> not_found db pos Status.End_of_set)
+  | Hdml.Gnp ssas -> (
+      match pos.parentage with
+      | None -> not_found db pos Status.No_currency
+      | Some parent -> (
+          (* Preorder of the parent's proper descendants. *)
+          let rec descend acc k =
+            List.fold_left
+              (fun acc c -> descend (acc @ [ c ]) c)
+              acc (Hdb.children_of db k)
+          in
+          let subtree = descend [] parent in
+          let rest =
+            match pos.current with
+            | Some key when key <> parent && List.mem key subtree ->
+                drop_through key subtree
+            | Some _ | None -> subtree
+          in
+          let candidate =
+            match ssas with
+            | [] -> (match rest with [] -> None | k :: _ -> Some k)
+            | _ -> List.find_opt (ssa_match db ~env ssas) rest
+          in
+          match candidate with
+          | Some key ->
+              (* GNP moves position but keeps parentage. *)
+              { db;
+                pos = { pos with current = Some key };
+                updates = retrieve db key;
+                status = Status.Ok;
+              }
+          | None -> not_found db pos Status.End_of_set))
+  | Hdml.Isrt (stype, ssas) -> (
+      let decl = Hschema.find_exn (Hdb.schema db) stype in
+      let row =
+        Row.of_list
+          (List.map
+             (fun (f : Field.t) ->
+               ( f.name,
+                 Option.value
+                   (env (Hdml.uwa ~stype:decl.sname ~field:f.name))
+                   ~default:Value.Null ))
+             decl.fields)
+      in
+      let parent =
+        match ssas with
+        | [] -> Ok None
+        | _ -> (
+            let seq = Hdb.hierarchic_sequence db in
+            match List.find_opt (ssa_match db ~env ssas) seq with
+            | Some key -> Ok (Some key)
+            | None -> Error Status.Not_found)
+      in
+      match parent with
+      | Error status -> not_found db pos status
+      | Ok parent -> (
+          match Hdb.insert db ~parent decl.sname row with
+          | Ok (db, key) ->
+              { db;
+                pos = { current = Some key; parentage = Some key };
+                updates = [];
+                status = Status.Ok;
+              }
+          | Error status -> not_found db pos status))
+  | Hdml.Dlet -> (
+      match pos.current with
+      | None -> not_found db pos Status.No_currency
+      | Some key -> (
+          match Hdb.delete db key with
+          | Ok db ->
+              { db;
+                pos = { current = None; parentage = None };
+                updates = [];
+                status = Status.Ok;
+              }
+          | Error status -> not_found db pos status))
+  | Hdml.Repl fields -> (
+      match pos.current with
+      | None -> not_found db pos Status.No_currency
+      | Some key -> (
+          match Hdb.stype_of db key with
+          | None -> not_found db pos Status.Not_found
+          | Some stype -> (
+              let assigns =
+                List.filter_map
+                  (fun f ->
+                    Option.map
+                      (fun v -> (Field.canon f, v))
+                      (env (Hdml.uwa ~stype ~field:f)))
+                  fields
+              in
+              match Hdb.replace db key assigns with
+              | Ok db -> { db; pos; updates = []; status = Status.Ok }
+              | Error status -> not_found db pos status)))

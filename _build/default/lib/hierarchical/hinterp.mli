@@ -1,0 +1,18 @@
+(** DL/I call execution with IMS-style position and parentage. *)
+
+open Ccv_common
+
+type position
+
+val initial_position : position
+val current_key : position -> int option
+
+type outcome = {
+  db : Hdb.t;
+  pos : position;
+  updates : (string * Value.t) list;
+      (** on successful retrievals, the segment's fields as UWA vars *)
+  status : Status.t;
+}
+
+val exec : Hdb.t -> position -> env:Cond.env -> Hdml.t -> outcome

@@ -1,0 +1,107 @@
+open Ccv_common
+
+type seg_decl = {
+  sname : string;
+  fields : Field.t list;
+  parent : string option;
+  seq_field : string option;
+}
+
+type t = { segments : seg_decl list }
+
+let seg_decl ?parent ?seq_field name fields =
+  let sname = Field.canon name in
+  Field.check_distinct ~what:("segment " ^ sname) fields;
+  (match seq_field with
+  | Some f when not (Field.mem fields f) ->
+      invalid_arg (Fmt.str "segment %s: sequence field %s not declared" sname f)
+  | Some _ | None -> ());
+  { sname;
+    fields;
+    parent = Option.map Field.canon parent;
+    seq_field = Option.map Field.canon seq_field;
+  }
+
+let find t name =
+  List.find_opt (fun s -> Field.name_equal s.sname name) t.segments
+
+let find_exn t name =
+  match find t name with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "Hschema: unknown segment %s" name)
+
+let make segments =
+  let t = { segments } in
+  let rec check_dups = function
+    | [] -> ()
+    | s :: rest ->
+        if List.exists (fun s' -> Field.name_equal s'.sname s.sname) rest then
+          invalid_arg (Fmt.str "Hschema: duplicate segment %s" s.sname)
+        else check_dups rest
+  in
+  check_dups segments;
+  List.iter
+    (fun s ->
+      match s.parent with
+      | None -> ()
+      | Some p ->
+          if find t p = None then
+            invalid_arg (Fmt.str "segment %s: unknown parent %s" s.sname p))
+    segments;
+  (* Acyclicity: walking parents must terminate. *)
+  List.iter
+    (fun s ->
+      let rec walk seen name =
+        if List.mem name seen then
+          invalid_arg (Fmt.str "Hschema: cycle through %s" name)
+        else
+          match (find_exn t name).parent with
+          | None -> ()
+          | Some p -> walk (name :: seen) p
+      in
+      walk [] s.sname)
+    segments;
+  t
+
+let seg_names t = List.map (fun s -> s.sname) t.segments
+let roots t = List.filter (fun s -> s.parent = None) t.segments
+
+let children t name =
+  let name = Field.canon name in
+  List.filter
+    (fun s -> match s.parent with Some p -> String.equal p name | None -> false)
+    t.segments
+
+let path_to t name =
+  let rec go acc name =
+    let s = find_exn t name in
+    match s.parent with None -> s :: acc | Some p -> go (s :: acc) p
+  in
+  go [] name
+
+let equal_seg a b =
+  Field.name_equal a.sname b.sname
+  && List.length a.fields = List.length b.fields
+  && List.for_all2 Field.equal a.fields b.fields
+  && Option.equal Field.name_equal a.parent b.parent
+  && Option.equal Field.name_equal a.seq_field b.seq_field
+
+let equal a b =
+  List.length a.segments = List.length b.segments
+  && List.for_all2 equal_seg a.segments b.segments
+
+let pp_seg ppf s =
+  Fmt.pf ppf "@[<h>SEGM %s(%a)%a%a@]" s.sname
+    Fmt.(list ~sep:(any ", ") Field.pp)
+    s.fields
+    (fun ppf -> function
+      | None -> Fmt.string ppf " ROOT"
+      | Some p -> Fmt.pf ppf " PARENT=%s" p)
+    s.parent
+    (fun ppf -> function
+      | None -> ()
+      | Some f -> Fmt.pf ppf " SEQ=%s" f)
+    s.seq_field
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_seg) t.segments
+let show t = Fmt.str "%a" pp t

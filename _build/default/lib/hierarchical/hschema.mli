@@ -1,0 +1,37 @@
+(** Hierarchical (IMS-like) schemas: segment types arranged in a tree.
+    The paper needs this model for the Mehl & Wang style conversions
+    (section 2.2) and for cross-model restructurings (section 5.1). *)
+
+open Ccv_common
+
+type seg_decl = {
+  sname : string;
+  fields : Field.t list;
+  parent : string option;  (** [None] for the root segment *)
+  seq_field : string option;  (** twin order within one parent *)
+}
+
+type t = { segments : seg_decl list }
+(** Children of a segment appear in declaration order — that order
+    defines the hierarchic sequence. *)
+
+val seg_decl :
+  ?parent:string -> ?seq_field:string -> string -> Field.t list -> seg_decl
+
+(** Validates parent references and acyclicity; raises
+    [Invalid_argument]. *)
+val make : seg_decl list -> t
+
+val find : t -> string -> seg_decl option
+val find_exn : t -> string -> seg_decl
+val seg_names : t -> string list
+val roots : t -> seg_decl list
+val children : t -> string -> seg_decl list
+
+(** Path of segment types from the root down to the given type,
+    inclusive. *)
+val path_to : t -> string -> seg_decl list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,1 @@
+lib/model/sdb.ml: Ccv_common Counters Field Fmt Hashtbl List Option Row Semantic Status String Value

@@ -1,0 +1,1 @@
+lib/model/sdb.mli: Ccv_common Counters Format Row Semantic Status Value

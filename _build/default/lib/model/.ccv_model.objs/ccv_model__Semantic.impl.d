@@ -1,0 +1,1 @@
+lib/model/semantic.ml: Ccv_common Field Fmt List String

@@ -1,0 +1,1 @@
+lib/model/semantic.mli: Ccv_common Field Format

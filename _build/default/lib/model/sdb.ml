@@ -1,0 +1,490 @@
+open Ccv_common
+
+type link = { lkey : Value.t list; rkey : Value.t list; attrs : Row.t }
+
+type t = {
+  schema : Semantic.t;
+  extents : (string * Row.t list) list;
+  link_sets : (string * link list) list;
+  counters : Counters.t;
+}
+
+let create schema =
+  { schema;
+    extents = List.map (fun (e : Semantic.entity) -> (e.ename, [])) schema.Semantic.entities;
+    link_sets = List.map (fun (a : Semantic.assoc) -> (a.aname, [])) schema.Semantic.assocs;
+    counters = Counters.create ();
+  }
+
+let schema t = t.schema
+let counters t = t.counters
+
+let extent t ename =
+  match List.assoc_opt (Field.canon ename) t.extents with
+  | Some rows -> rows
+  | None -> invalid_arg (Fmt.str "Sdb: unknown entity %s" ename)
+
+let link_set t aname =
+  match List.assoc_opt (Field.canon aname) t.link_sets with
+  | Some ls -> ls
+  | None -> invalid_arg (Fmt.str "Sdb: unknown association %s" aname)
+
+let rows t ename =
+  let r = extent t ename in
+  Counters.record_reads t.counters (List.length r);
+  r
+
+let rows_silent t ename = extent t ename
+
+let links t aname =
+  let ls = link_set t aname in
+  Counters.record_reads t.counters (List.length ls);
+  ls
+
+let links_silent t aname = link_set t aname
+
+let key_of (e : Semantic.entity) row =
+  List.map (fun k -> Option.value (Row.get row k) ~default:Value.Null) e.key
+
+let keys_equal = fun a b -> List.compare Value.compare a b = 0
+
+let find_entity t ename key =
+  let decl = Semantic.find_entity_exn t.schema ename in
+  List.find_opt
+    (fun row ->
+      Counters.record_read t.counters;
+      keys_equal (key_of decl row) key)
+    (extent t decl.ename)
+
+let link_row schema (a : Semantic.assoc) l =
+  let le = Semantic.find_entity_exn schema a.left in
+  let re = Semantic.find_entity_exn schema a.right in
+  Row.of_list
+    (List.combine le.key l.lkey @ List.combine re.key l.rkey
+    @ Row.to_list l.attrs)
+
+let set_extent t ename rows =
+  let ename = Field.canon ename in
+  { t with
+    extents =
+      List.map
+        (fun (n, r) -> if String.equal n ename then (n, rows) else (n, r))
+        t.extents;
+  }
+
+let set_links t aname ls =
+  let aname = Field.canon aname in
+  { t with
+    link_sets =
+      List.map
+        (fun (n, l) -> if String.equal n aname then (n, ls) else (n, l))
+        t.link_sets;
+  }
+
+let not_null_fields t (e : Semantic.entity) =
+  e.key
+  @ List.filter_map
+      (function
+        | Semantic.Field_not_null { entity; field }
+          when Field.name_equal entity e.ename -> Some (Field.canon field)
+        | Semantic.Field_not_null _ | Semantic.Total_left _
+        | Semantic.Total_right _ | Semantic.Participation_limit _ -> None)
+      t.schema.Semantic.constraints
+
+let insert_entity t ename row =
+  let decl = Semantic.find_entity_exn t.schema ename in
+  let row = Row.coerce row decl.fields in
+  if not (Row.conforms row decl.fields) then
+    Error (Status.Invalid_request (Fmt.str "bad instance for %s" decl.ename))
+  else
+    let null_violation =
+      List.find_opt
+        (fun f -> Value.is_null (Option.value (Row.get row f) ~default:Value.Null))
+        (not_null_fields t decl)
+    in
+    match null_violation with
+    | Some f ->
+        Error (Status.Constraint_violation (Fmt.str "%s.%s is null" decl.ename f))
+    | None ->
+        let key = key_of decl row in
+        if
+          List.exists
+            (fun r ->
+              Counters.record_read t.counters;
+              keys_equal (key_of decl r) key)
+            (extent t decl.ename)
+        then Error (Status.Duplicate_key decl.ename)
+        else begin
+          Counters.record_write t.counters;
+          Ok (set_extent t decl.ename (extent t decl.ename @ [ row ]))
+        end
+
+let insert_entity_exn t ename row =
+  match insert_entity t ename row with
+  | Ok t -> t
+  | Error s -> invalid_arg (Fmt.str "Sdb.insert_entity_exn %s: %a" ename Status.pp s)
+
+let limit_of t aname =
+  List.fold_left
+    (fun acc -> function
+      | Semantic.Participation_limit { assoc; per_left_max }
+        when Field.name_equal assoc aname ->
+          Some per_left_max
+      | Semantic.Participation_limit _ | Semantic.Total_left _
+      | Semantic.Total_right _ | Semantic.Field_not_null _ -> acc)
+    None t.schema.Semantic.constraints
+
+let link ?(attrs = Row.empty) t aname ~left ~right =
+  let a = Semantic.find_assoc_exn t.schema aname in
+  (* Existence: both endpoints must exist (the COURSE-OFFERING rule). *)
+  if find_entity t a.left left = None then
+    Error
+      (Status.Constraint_violation
+         (Fmt.str "%s: no %s instance for link" a.aname a.left))
+  else if find_entity t a.right right = None then
+    Error
+      (Status.Constraint_violation
+         (Fmt.str "%s: no %s instance for link" a.aname a.right))
+  else
+    let existing = link_set t a.aname in
+    if List.exists (fun l -> keys_equal l.lkey left && keys_equal l.rkey right) existing
+    then Error (Status.Duplicate_key a.aname)
+    else if
+      a.card = Semantic.One_to_many
+      && List.exists (fun l -> keys_equal l.rkey right) existing
+    then
+      Error
+        (Status.Constraint_violation
+           (Fmt.str "%s: %s instance already has a %s partner" a.aname a.right
+              a.left))
+    else
+      let over_limit =
+        match limit_of t a.aname with
+        | None -> false
+        | Some n ->
+            List.length (List.filter (fun l -> keys_equal l.lkey left) existing)
+            >= n
+      in
+      if over_limit then
+        Error
+          (Status.Constraint_violation
+             (Fmt.str "%s: participation limit reached" a.aname))
+      else begin
+        Counters.record_write t.counters;
+        let attrs = Row.coerce attrs a.fields in
+        Ok (set_links t a.aname (existing @ [ { lkey = left; rkey = right; attrs } ]))
+      end
+
+let link_exn ?attrs t aname ~left ~right =
+  match link ?attrs t aname ~left ~right with
+  | Ok t -> t
+  | Error s -> invalid_arg (Fmt.str "Sdb.link_exn %s: %a" aname Status.pp s)
+
+let unlink t aname ~left ~right =
+  let a = Semantic.find_assoc_exn t.schema aname in
+  let existing = link_set t a.aname in
+  let keep =
+    List.filter
+      (fun l -> not (keys_equal l.lkey left && keys_equal l.rkey right))
+      existing
+  in
+  if List.length keep = List.length existing then Error Status.Not_found
+  else begin
+    Counters.record_write t.counters;
+    Ok (set_links t a.aname keep)
+  end
+
+let characterizing_of t ename =
+  List.filter
+    (fun (e : Semantic.entity) ->
+      match e.kind with
+      | Semantic.Characterizing owner -> Field.name_equal owner ename
+      | Semantic.Defined -> false)
+    t.schema.Semantic.entities
+
+(* Rows of a characterizing entity belonging to a defined instance:
+   linked through the (unique) association between them. *)
+let dependents t (child : Semantic.entity) owner_name owner_key =
+  match Semantic.assoc_between t.schema child.ename owner_name with
+  | None -> []
+  | Some a ->
+      let child_is_right = Field.name_equal a.right child.ename in
+      List.filter_map
+        (fun l ->
+          let okey, ckey =
+            if child_is_right then (l.lkey, l.rkey) else (l.rkey, l.lkey)
+          in
+          if keys_equal okey owner_key then Some ckey else None)
+        (link_set t a.aname)
+
+let totality_partners t ename key =
+  (* Associations whose totality constraint would break for a partner
+     if this instance's links disappear: returns (entity, key) pairs
+     of partners that would be orphaned. *)
+  List.concat_map
+    (fun (a : Semantic.assoc) ->
+      let is_left = Field.name_equal a.left ename in
+      let partner_entity = if is_left then a.right else a.left in
+      let partner_total =
+        List.exists
+          (function
+            | Semantic.Total_right x ->
+                is_left && Field.name_equal x a.aname
+            | Semantic.Total_left x ->
+                (not is_left) && Field.name_equal x a.aname
+            | Semantic.Participation_limit _ | Semantic.Field_not_null _ ->
+                false)
+          t.schema.Semantic.constraints
+      in
+      if not partner_total then []
+      else
+        List.filter_map
+          (fun l ->
+            let mine, theirs = if is_left then (l.lkey, l.rkey) else (l.rkey, l.lkey) in
+            if keys_equal mine key then Some (partner_entity, theirs, a.aname)
+            else None)
+          (link_set t a.aname))
+    (Semantic.assocs_of t.schema ename)
+
+let rec delete_entity t ename key ~cascade =
+  let decl = Semantic.find_entity_exn t.schema ename in
+  match find_entity t decl.ename key with
+  | None -> Error Status.Not_found
+  | Some _ -> (
+      let orphaned =
+        List.filter
+          (fun (pe, pk, aname) ->
+            (* Orphaned only if this was the partner's sole link. *)
+            let remaining =
+              List.filter
+                (fun l ->
+                  let theirs =
+                    if Field.name_equal (Semantic.find_assoc_exn t.schema aname).left pe
+                    then l.lkey else l.rkey
+                  in
+                  keys_equal theirs pk)
+                (link_set t aname)
+            in
+            List.length remaining <= 1)
+          (totality_partners t decl.ename key)
+      in
+      if orphaned <> [] && not cascade then
+        Error
+          (Status.Constraint_violation
+             (Fmt.str "deleting %s would orphan %s" decl.ename
+                (String.concat ", " (List.map (fun (e, _, _) -> e) orphaned))))
+      else
+        (* Characterizing dependents die with their defined entity. *)
+        let deps =
+          List.concat_map
+            (fun child ->
+              List.map (fun k -> (child.Semantic.ename, k))
+                (dependents t child decl.ename key))
+            (characterizing_of t decl.ename)
+        in
+        let cascade_targets =
+          deps @ List.map (fun (e, k, _) -> (e, k)) (if cascade then orphaned else [])
+        in
+        (* Remove the instance and all its links first. *)
+        Counters.record_write t.counters;
+        let t =
+          set_extent t decl.ename
+            (List.filter
+               (fun r -> not (keys_equal (key_of decl r) key))
+               (extent t decl.ename))
+        in
+        let t =
+          List.fold_left
+            (fun t (a : Semantic.assoc) ->
+              let is_left = Field.name_equal a.left decl.ename in
+              set_links t a.aname
+                (List.filter
+                   (fun l ->
+                     let mine = if is_left then l.lkey else l.rkey in
+                     not (keys_equal mine key))
+                   (link_set t a.aname)))
+            t
+            (Semantic.assocs_of t.schema decl.ename)
+        in
+        let rec go t = function
+          | [] -> Ok t
+          | (e, k) :: rest -> (
+              match delete_entity t e k ~cascade:true with
+              | Ok t -> go t rest
+              | Error Status.Not_found -> go t rest
+              | Error err -> Error err)
+        in
+        go t cascade_targets)
+
+let update_entity t ename key assigns =
+  let decl = Semantic.find_entity_exn t.schema ename in
+  match find_entity t decl.ename key with
+  | None -> Error Status.Not_found
+  | Some _ ->
+      let bad =
+        List.find_opt (fun (f, _) -> not (Field.mem decl.fields f)) assigns
+      in
+      (match bad with
+      | Some (f, _) ->
+          Error (Status.Invalid_request (Fmt.str "unknown field %s.%s" decl.ename f))
+      | None ->
+          Counters.record_write t.counters;
+          let apply row =
+            if keys_equal (key_of decl row) key then
+              List.fold_left (fun row (f, v) -> Row.set row f v) row assigns
+            else row
+          in
+          Ok (set_extent t decl.ename (List.map apply (extent t decl.ename))))
+
+let validate t =
+  let problems = ref [] in
+  let note fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  (* Keys unique + not-null fields. *)
+  List.iter
+    (fun (e : Semantic.entity) ->
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun row ->
+          let key = key_of e row in
+          if List.exists Value.is_null key then
+            note "%s: null key in %a" e.ename Row.pp row;
+          let repr = String.concat "|" (List.map Value.show key) in
+          if Hashtbl.mem seen repr then note "%s: duplicate key %s" e.ename repr
+          else Hashtbl.add seen repr ();
+          List.iter
+            (fun f ->
+              if Value.is_null (Option.value (Row.get row f) ~default:Value.Null)
+              then note "%s.%s is null" e.ename f)
+            (not_null_fields t e))
+        (extent t e.ename))
+    t.schema.Semantic.entities;
+  (* Link endpoints exist; cardinality respected. *)
+  List.iter
+    (fun (a : Semantic.assoc) ->
+      let ls = link_set t a.aname in
+      List.iter
+        (fun l ->
+          if find_entity t a.left l.lkey = None then
+            note "%s: dangling left endpoint" a.aname;
+          if find_entity t a.right l.rkey = None then
+            note "%s: dangling right endpoint" a.aname)
+        ls;
+      if a.card = Semantic.One_to_many then begin
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun l ->
+            let repr = String.concat "|" (List.map Value.show l.rkey) in
+            if Hashtbl.mem seen repr then
+              note "%s: right instance %s has two left partners" a.aname repr
+            else Hashtbl.add seen repr ())
+          ls
+      end;
+      match limit_of t a.aname with
+      | None -> ()
+      | Some n ->
+          let counts = Hashtbl.create 16 in
+          List.iter
+            (fun l ->
+              let repr = String.concat "|" (List.map Value.show l.lkey) in
+              Hashtbl.replace counts repr
+                (1 + Option.value (Hashtbl.find_opt counts repr) ~default:0))
+            ls;
+          Hashtbl.iter
+            (fun repr c ->
+              if c > n then
+                note "%s: left %s participates %d times (limit %d)" a.aname repr
+                  c n)
+            counts)
+    t.schema.Semantic.assocs;
+  (* Totality. *)
+  List.iter
+    (function
+      | Semantic.Total_left aname ->
+          let a = Semantic.find_assoc_exn t.schema aname in
+          let le = Semantic.find_entity_exn t.schema a.left in
+          List.iter
+            (fun row ->
+              let key = key_of le row in
+              if not (List.exists (fun l -> keys_equal l.lkey key) (link_set t a.aname))
+              then note "%s: %s %a has no partner" a.aname a.left Row.pp row)
+            (extent t a.left)
+      | Semantic.Total_right aname ->
+          let a = Semantic.find_assoc_exn t.schema aname in
+          let re = Semantic.find_entity_exn t.schema a.right in
+          List.iter
+            (fun row ->
+              let key = key_of re row in
+              if not (List.exists (fun l -> keys_equal l.rkey key) (link_set t a.aname))
+              then note "%s: %s %a has no partner" a.aname a.right Row.pp row)
+            (extent t a.right)
+      | Semantic.Participation_limit _ | Semantic.Field_not_null _ -> ())
+    t.schema.Semantic.constraints;
+  List.rev !problems
+
+let partners_of_left t aname lkey =
+  let a = Semantic.find_assoc_exn t.schema aname in
+  List.filter_map
+    (fun l ->
+      if keys_equal l.lkey lkey then
+        Option.map (fun row -> (l.attrs, row)) (find_entity t a.right l.rkey)
+      else None)
+    (link_set t a.aname)
+
+let partners_of_right t aname rkey =
+  let a = Semantic.find_assoc_exn t.schema aname in
+  List.filter_map
+    (fun l ->
+      if keys_equal l.rkey rkey then
+        Option.map (fun row -> (l.attrs, row)) (find_entity t a.left l.lkey)
+      else None)
+    (link_set t a.aname)
+
+let equal_contents a b =
+  (* Field order is presentation, not content: canonicalise rows by
+     sorting their bindings before comparing extents. *)
+  let canon_row r = List.sort compare (Row.to_list r) in
+  let sorted_extent t n =
+    List.sort compare (List.map canon_row (rows_silent t n))
+  in
+  let link_key l = (l.lkey, l.rkey, Row.to_list l.attrs) in
+  let sorted_links t n =
+    List.sort compare (List.map link_key (links_silent t n))
+  in
+  List.for_all
+    (fun (n, _) ->
+      List.length (sorted_extent a n) = List.length (sorted_extent b n)
+      && List.for_all2
+           (fun r1 r2 ->
+             List.length r1 = List.length r2
+             && List.for_all2
+                  (fun (f1, v1) (f2, v2) ->
+                    String.equal f1 f2 && Value.equal v1 v2)
+                  r1 r2)
+           (sorted_extent a n) (sorted_extent b n))
+    a.extents
+  && List.for_all (fun (n, _) -> sorted_links a n = sorted_links b n) a.link_sets
+  && List.length a.extents = List.length b.extents
+  && List.length a.link_sets = List.length b.link_sets
+  && List.for_all
+       (fun (n, rows) -> List.length rows = List.length (rows_silent b n))
+       a.extents
+
+let total_instances t =
+  List.fold_left (fun acc (_, rows) -> acc + List.length rows) 0 t.extents
+  + List.fold_left (fun acc (_, ls) -> acc + List.length ls) 0 t.link_sets
+
+let pp ppf t =
+  List.iter
+    (fun (n, rows) ->
+      Fmt.pf ppf "@[<v2>%s:@ %a@]@." n (Fmt.list Row.pp) rows)
+    t.extents;
+  List.iter
+    (fun (n, ls) ->
+      Fmt.pf ppf "@[<v2>%s:@ %a@]@." n
+        (Fmt.list (fun ppf l ->
+             Fmt.pf ppf "%a -- %a %a"
+               Fmt.(list ~sep:(any ",") Value.pp) l.lkey
+               Fmt.(list ~sep:(any ",") Value.pp) l.rkey
+               Row.pp l.attrs))
+        ls)
+    t.link_sets

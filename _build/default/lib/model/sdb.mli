@@ -1,0 +1,75 @@
+(** Semantic-model database instances: entity extents plus association
+    links, with the model's integrity constraints enforced
+    declaratively — the paper's §3.1 thesis is that centralising these
+    rules (instead of burying them in program logic) is what makes
+    conversion tractable; experiment E5 measures exactly this. *)
+
+open Ccv_common
+
+type link = {
+  lkey : Value.t list;  (** key of the left entity instance *)
+  rkey : Value.t list;
+  attrs : Row.t;  (** association attributes *)
+}
+
+type t
+
+val create : Semantic.t -> t
+val schema : t -> Semantic.t
+val counters : t -> Counters.t
+
+val rows : t -> string -> Row.t list
+val rows_silent : t -> string -> Row.t list
+val links : t -> string -> link list
+val links_silent : t -> string -> link list
+
+(** [find_entity db ename key] — the instance with that key. *)
+val find_entity : t -> string -> Value.t list -> Row.t option
+
+val key_of : Semantic.entity -> Row.t -> Value.t list
+
+(** A link rendered as a row: left key fields, right key fields, then
+    attributes (the EMP-DEPT(E#,D#,YEAR-OF-SERVICE) presentation of
+    section 4.1). *)
+val link_row : Semantic.t -> Semantic.assoc -> link -> Row.t
+
+(** Insert with declarative checking: key uniqueness, non-null keys,
+    [Field_not_null] constraints. *)
+val insert_entity : t -> string -> Row.t -> (t, Status.t) result
+
+val insert_entity_exn : t -> string -> Row.t -> t
+
+(** Link two existing instances; checks endpoint existence (the §3.1
+    course-offering rule), cardinality and participation limits. *)
+val link : ?attrs:Row.t -> t -> string -> left:Value.t list ->
+  right:Value.t list -> (t, Status.t) result
+
+val link_exn :
+  ?attrs:Row.t -> t -> string -> left:Value.t list -> right:Value.t list -> t
+
+val unlink :
+  t -> string -> left:Value.t list -> right:Value.t list -> (t, Status.t) result
+
+(** [delete_entity db ename key ~cascade]: characterizing dependents
+    always die with their defined entity; links are removed.  Without
+    [cascade], a deletion that would break a [Total_*] constraint for a
+    surviving partner is rejected; with it, the partner dies too. *)
+val delete_entity :
+  t -> string -> Value.t list -> cascade:bool -> (t, Status.t) result
+
+val update_entity :
+  t -> string -> Value.t list -> (string * Value.t) list -> (t, Status.t) result
+
+(** Audit the whole instance against every declared constraint;
+    returns human-readable violations (empty = consistent). *)
+val validate : t -> string list
+
+(** Partners of one instance through an association. *)
+val partners_of_left : t -> string -> Value.t list -> (Row.t * Row.t) list
+(** (attrs, right row) pairs. *)
+
+val partners_of_right : t -> string -> Value.t list -> (Row.t * Row.t) list
+
+val equal_contents : t -> t -> bool
+val total_instances : t -> int
+val pp : Format.formatter -> t -> unit

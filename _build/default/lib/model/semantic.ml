@@ -1,0 +1,202 @@
+open Ccv_common
+
+type entity_kind = Defined | Characterizing of string
+
+type entity = {
+  ename : string;
+  fields : Field.t list;
+  key : string list;
+  kind : entity_kind;
+}
+
+type cardinality = One_to_many | Many_to_many
+
+type assoc = {
+  aname : string;
+  left : string;
+  right : string;
+  fields : Field.t list;
+  card : cardinality;
+}
+
+type constraint_ =
+  | Total_left of string
+  | Total_right of string
+  | Participation_limit of { assoc : string; per_left_max : int }
+  | Field_not_null of { entity : string; field : string }
+
+type t = {
+  entities : entity list;
+  assocs : assoc list;
+  constraints : constraint_ list;
+}
+
+let entity ?(kind = Defined) name fields ~key =
+  let ename = Field.canon name in
+  Field.check_distinct ~what:("entity " ^ ename) fields;
+  let key = List.map Field.canon key in
+  List.iter
+    (fun k ->
+      if not (Field.mem fields k) then
+        invalid_arg (Fmt.str "entity %s: key field %s not declared" ename k))
+    key;
+  let kind =
+    match kind with
+    | Defined -> Defined
+    | Characterizing owner -> Characterizing (Field.canon owner)
+  in
+  { ename; fields; key; kind }
+
+let assoc ?(fields = []) ?(card = One_to_many) name ~left ~right () =
+  let aname = Field.canon name in
+  Field.check_distinct ~what:("association " ^ aname) fields;
+  { aname; left = Field.canon left; right = Field.canon right; fields; card }
+
+let find_entity t name =
+  List.find_opt (fun e -> Field.name_equal e.ename name) t.entities
+
+let find_entity_exn t name =
+  match find_entity t name with
+  | Some e -> e
+  | None -> invalid_arg (Fmt.str "Semantic: unknown entity %s" name)
+
+let find_assoc t name =
+  List.find_opt (fun a -> Field.name_equal a.aname name) t.assocs
+
+let find_assoc_exn t name =
+  match find_assoc t name with
+  | Some a -> a
+  | None -> invalid_arg (Fmt.str "Semantic: unknown association %s" name)
+
+let make ?(constraints = []) entities assocs =
+  let t = { entities; assocs; constraints } in
+  let rec check_dup_e = function
+    | [] -> ()
+    | e :: rest ->
+        if List.exists (fun e' -> Field.name_equal e'.ename e.ename) rest then
+          invalid_arg (Fmt.str "Semantic: duplicate entity %s" e.ename)
+        else check_dup_e rest
+  in
+  check_dup_e entities;
+  let rec check_dup_a = function
+    | [] -> ()
+    | a :: rest ->
+        if List.exists (fun a' -> Field.name_equal a'.aname a.aname) rest then
+          invalid_arg (Fmt.str "Semantic: duplicate association %s" a.aname)
+        else check_dup_a rest
+  in
+  check_dup_a assocs;
+  List.iter
+    (fun e ->
+      match e.kind with
+      | Defined -> ()
+      | Characterizing owner ->
+          if find_entity t owner = None then
+            invalid_arg
+              (Fmt.str "entity %s characterizes unknown entity %s" e.ename owner))
+    entities;
+  List.iter
+    (fun a ->
+      ignore (find_entity_exn t a.left);
+      ignore (find_entity_exn t a.right))
+    assocs;
+  List.iter
+    (function
+      | Total_left a | Total_right a -> ignore (find_assoc_exn t a)
+      | Participation_limit { assoc = a; per_left_max } ->
+          ignore (find_assoc_exn t a);
+          if per_left_max < 1 then
+            invalid_arg "Semantic: participation limit must be >= 1"
+      | Field_not_null { entity = e; field } ->
+          let decl = find_entity_exn t e in
+          if not (Field.mem decl.fields field) then
+            invalid_arg
+              (Fmt.str "constraint on %s: unknown field %s" e field))
+    constraints;
+  t
+
+let entity_names t = List.map (fun e -> e.ename) t.entities
+let assoc_names t = List.map (fun a -> a.aname) t.assocs
+
+let assocs_of t name =
+  let name = Field.canon name in
+  List.filter
+    (fun a -> String.equal a.left name || String.equal a.right name)
+    t.assocs
+
+let assoc_between t e1 e2 =
+  let e1 = Field.canon e1 and e2 = Field.canon e2 in
+  let candidates =
+    List.filter
+      (fun a ->
+        (String.equal a.left e1 && String.equal a.right e2)
+        || (String.equal a.left e2 && String.equal a.right e1))
+      t.assocs
+  in
+  match candidates with [ a ] -> Some a | [] | _ :: _ -> None
+
+let constraints_on t name =
+  let name = Field.canon name in
+  List.filter
+    (function
+      | Total_left a | Total_right a | Participation_limit { assoc = a; _ } ->
+          String.equal (Field.canon a) name
+      | Field_not_null { entity; _ } -> String.equal (Field.canon entity) name)
+    t.constraints
+
+let equal_entity a b =
+  Field.name_equal a.ename b.ename
+  && List.length a.fields = List.length b.fields
+  && List.for_all2 Field.equal a.fields b.fields
+  && a.key = b.key && a.kind = b.kind
+
+let equal_assoc a b =
+  Field.name_equal a.aname b.aname
+  && Field.name_equal a.left b.left
+  && Field.name_equal a.right b.right
+  && List.length a.fields = List.length b.fields
+  && List.for_all2 Field.equal a.fields b.fields
+  && a.card = b.card
+
+let equal a b =
+  List.length a.entities = List.length b.entities
+  && List.for_all2 equal_entity a.entities b.entities
+  && List.length a.assocs = List.length b.assocs
+  && List.for_all2 equal_assoc a.assocs b.assocs
+  && a.constraints = b.constraints
+
+let pp_constraint ppf = function
+  | Total_left a -> Fmt.pf ppf "TOTAL LEFT %s" a
+  | Total_right a -> Fmt.pf ppf "TOTAL RIGHT %s" a
+  | Participation_limit { assoc; per_left_max } ->
+      Fmt.pf ppf "LIMIT %s <= %d PER LEFT" assoc per_left_max
+  | Field_not_null { entity; field } ->
+      Fmt.pf ppf "NOT NULL %s.%s" entity field
+
+let pp_entity ppf e =
+  Fmt.pf ppf "@[<h>ENTITY %s(%a) KEY(%a)%a@]" e.ename
+    Fmt.(list ~sep:(any ", ") Field.pp)
+    e.fields
+    Fmt.(list ~sep:(any ", ") string)
+    e.key
+    (fun ppf -> function
+      | Defined -> ()
+      | Characterizing owner -> Fmt.pf ppf " CHARACTERIZES %s" owner)
+    e.kind
+
+let pp_assoc ppf a =
+  Fmt.pf ppf "@[<h>ASSOC %s: %s %s %s%a@]" a.aname a.left
+    (match a.card with One_to_many -> "->*" | Many_to_many -> "*-*")
+    a.right
+    (fun ppf -> function
+      | [] -> ()
+      | fs -> Fmt.pf ppf " (%a)" Fmt.(list ~sep:(any ", ") Field.pp) fs)
+    a.fields
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@ %a@ %a@]"
+    (Fmt.list pp_entity) t.entities
+    (Fmt.list pp_assoc) t.assocs
+    (Fmt.list pp_constraint) t.constraints
+
+let show t = Fmt.str "%a" pp t

@@ -1,0 +1,87 @@
+(** Su's high-level semantic data model (section 4.1): entity types and
+    binary association types whose "structural properties, operational
+    characteristics and integrity constraints ... are given explicitly"
+    — the precondition the paper states for formulating transformation
+    rules.
+
+    The model distinguishes {e defined} entities from {e characterizing}
+    entities (EMP vs EMP.DEPENDENT: deleting an employee implies
+    deleting its dependents), and carries the constraint classes
+    section 3.1 shows are missing from the 1979 data models: existence
+    constraints on association endpoints and numeric limits on
+    relationship participation. *)
+
+open Ccv_common
+
+type entity_kind =
+  | Defined
+  | Characterizing of string
+      (** of the named defined entity: existence + deletion dependency *)
+
+type entity = {
+  ename : string;
+  fields : Field.t list;
+  key : string list;  (** identifying fields; never null *)
+  kind : entity_kind;
+}
+
+type cardinality =
+  | One_to_many  (** each right instance relates to at most one left *)
+  | Many_to_many
+
+type assoc = {
+  aname : string;
+  left : string;  (** entity name — the "one" side under [One_to_many] *)
+  right : string;
+  fields : Field.t list;  (** attributes of the association itself *)
+  card : cardinality;
+}
+
+type constraint_ =
+  | Total_left of string
+      (** every instance of the left entity participates in the assoc *)
+  | Total_right of string
+      (** every right instance participates (the §3.1 "course-offering
+          cannot exist unless course and semester do") *)
+  | Participation_limit of { assoc : string; per_left_max : int }
+      (** at most N right partners per left instance ("a course may not
+          be offered more than twice in a school year") *)
+  | Field_not_null of { entity : string; field : string }
+
+type t = {
+  entities : entity list;
+  assocs : assoc list;
+  constraints : constraint_ list;
+}
+
+val entity :
+  ?kind:entity_kind -> string -> Field.t list -> key:string list -> entity
+
+val assoc :
+  ?fields:Field.t list -> ?card:cardinality -> string -> left:string ->
+  right:string -> unit -> assoc
+
+(** Validates all cross references; raises [Invalid_argument]. *)
+val make :
+  ?constraints:constraint_ list -> entity list -> assoc list -> t
+
+val find_entity : t -> string -> entity option
+val find_entity_exn : t -> string -> entity
+val find_assoc : t -> string -> assoc option
+val find_assoc_exn : t -> string -> assoc
+val entity_names : t -> string list
+val assoc_names : t -> string list
+
+(** Associations touching a given entity. *)
+val assocs_of : t -> string -> assoc list
+
+(** The association connecting two entities, if exactly one exists. *)
+val assoc_between : t -> string -> string -> assoc option
+
+(** Constraints mentioning an entity or association. *)
+val constraints_on : t -> string -> constraint_ list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_constraint : Format.formatter -> constraint_ -> unit
+val show : t -> string

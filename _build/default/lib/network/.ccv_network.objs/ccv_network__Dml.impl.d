@@ -1,0 +1,1 @@
+lib/network/dml.ml: Ccv_common Cond Field Fmt List

@@ -1,0 +1,1 @@
+lib/network/dml.mli: Ccv_common Cond Format

@@ -1,0 +1,1 @@
+lib/network/interp.ml: Ccv_common Cond Counters Dml Field Fmt List Map Ndb Nschema Option Row Status String Value

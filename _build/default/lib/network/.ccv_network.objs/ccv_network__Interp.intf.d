@@ -1,0 +1,1 @@
+lib/network/interp.mli: Ccv_common Cond Dml Ndb Status Value

@@ -1,0 +1,1 @@
+lib/network/ndb.ml: Ccv_common Counters Field Fmt Int List Map Nschema Option Row Status String Value

@@ -1,0 +1,1 @@
+lib/network/ndb.mli: Ccv_common Counters Format Nschema Row Status Value

@@ -1,0 +1,1 @@
+lib/network/nschema.ml: Ccv_common Field Fmt List Value

@@ -1,0 +1,1 @@
+lib/network/nschema.mli: Ccv_common Field Format Value

@@ -1,0 +1,93 @@
+open Ccv_common
+
+type find =
+  | Any of string * Cond.t
+  | Duplicate of string * Cond.t
+  | First_within of string * string * Cond.t
+  | Next_within of string * string * Cond.t
+  | Owner_within of string
+  | Current of string
+
+type erase_mode = Erase_one | Erase_all
+
+type t =
+  | Find of find
+  | Get of string
+  | Store of string
+  | Modify of string * string list
+  | Erase of erase_mode * string
+  | Connect of string * string
+  | Disconnect of string * string
+
+let uwa ~rtype ~field = Field.canon rtype ^ "." ^ Field.canon field
+
+let record_types = function
+  | Find (Any (r, _) | Duplicate (r, _)) -> [ Field.canon r ]
+  | Find (First_within (r, _, _) | Next_within (r, _, _)) -> [ Field.canon r ]
+  | Find (Current r) -> [ Field.canon r ]
+  | Find (Owner_within _) -> []
+  | Get r | Store r | Modify (r, _) | Erase (_, r)
+  | Connect (r, _) | Disconnect (r, _) -> [ Field.canon r ]
+
+let set_types = function
+  | Find (Any _ | Duplicate _ | Current _) | Get _ | Store _ | Modify _
+  | Erase _ -> []
+  | Find (First_within (_, s, _) | Next_within (_, s, _) | Owner_within s)
+  | Connect (_, s) | Disconnect (_, s) -> [ Field.canon s ]
+
+let vars_read = function
+  | Find (Any (_, c) | Duplicate (_, c)
+         | First_within (_, _, c) | Next_within (_, _, c)) -> Cond.vars c
+  | Find (Owner_within _ | Current _) | Get _ | Erase _ | Connect _
+  | Disconnect _ -> []
+  | Store r | Modify (r, _) -> [ uwa ~rtype:r ~field:"*" ]
+
+let equal_find a b =
+  match a, b with
+  | Any (r1, c1), Any (r2, c2) | Duplicate (r1, c1), Duplicate (r2, c2) ->
+      Field.name_equal r1 r2 && Cond.equal c1 c2
+  | First_within (r1, s1, c1), First_within (r2, s2, c2)
+  | Next_within (r1, s1, c1), Next_within (r2, s2, c2) ->
+      Field.name_equal r1 r2 && Field.name_equal s1 s2 && Cond.equal c1 c2
+  | Owner_within s1, Owner_within s2 -> Field.name_equal s1 s2
+  | Current r1, Current r2 -> Field.name_equal r1 r2
+  | ( Any _ | Duplicate _ | First_within _ | Next_within _ | Owner_within _
+    | Current _ ), _ -> false
+
+let equal a b =
+  match a, b with
+  | Find f1, Find f2 -> equal_find f1 f2
+  | Get r1, Get r2 | Store r1, Store r2 -> Field.name_equal r1 r2
+  | Modify (r1, fs1), Modify (r2, fs2) ->
+      Field.name_equal r1 r2
+      && List.map Field.canon fs1 = List.map Field.canon fs2
+  | Erase (m1, r1), Erase (m2, r2) -> m1 = m2 && Field.name_equal r1 r2
+  | Connect (r1, s1), Connect (r2, s2) | Disconnect (r1, s1), Disconnect (r2, s2)
+    -> Field.name_equal r1 r2 && Field.name_equal s1 s2
+  | (Find _ | Get _ | Store _ | Modify _ | Erase _ | Connect _ | Disconnect _),
+    _ -> false
+
+let pp_qual ppf = function
+  | Cond.True -> ()
+  | c -> Fmt.pf ppf " USING %a" Cond.pp c
+
+let pp_find ppf = function
+  | Any (r, c) -> Fmt.pf ppf "FIND ANY %s%a" r pp_qual c
+  | Duplicate (r, c) -> Fmt.pf ppf "FIND DUPLICATE %s%a" r pp_qual c
+  | First_within (r, s, c) -> Fmt.pf ppf "FIND FIRST %s WITHIN %s%a" r s pp_qual c
+  | Next_within (r, s, c) -> Fmt.pf ppf "FIND NEXT %s WITHIN %s%a" r s pp_qual c
+  | Owner_within s -> Fmt.pf ppf "FIND OWNER WITHIN %s" s
+  | Current r -> Fmt.pf ppf "FIND CURRENT %s" r
+
+let pp ppf = function
+  | Find f -> pp_find ppf f
+  | Get r -> Fmt.pf ppf "GET %s" r
+  | Store r -> Fmt.pf ppf "STORE %s" r
+  | Modify (r, fs) ->
+      Fmt.pf ppf "MODIFY %s (%a)" r Fmt.(list ~sep:(any ", ") string) fs
+  | Erase (Erase_one, r) -> Fmt.pf ppf "ERASE %s" r
+  | Erase (Erase_all, r) -> Fmt.pf ppf "ERASE ALL %s" r
+  | Connect (r, s) -> Fmt.pf ppf "CONNECT %s TO %s" r s
+  | Disconnect (r, s) -> Fmt.pf ppf "DISCONNECT %s FROM %s" r s
+
+let show t = Fmt.str "%a" pp t

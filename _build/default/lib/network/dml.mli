@@ -1,0 +1,52 @@
+(** CODASYL-DBTG data-manipulation statements (the subset the paper's
+    examples use, section 4.1's language template and Figure 4.4's
+    rewrites).  Host-variable references appear inside qualifications
+    as [Cond.Var]; the user work area (UWA) naming convention is
+    ["RTYPE.FIELD"]. *)
+
+open Ccv_common
+
+type find =
+  | Any of string * Cond.t
+      (** [FIND ANY rtype USING qual] — first record of the type, in
+          database-key order, whose view satisfies the qualification *)
+  | Duplicate of string * Cond.t
+      (** [FIND DUPLICATE] — next matching record after the current of
+          the record type *)
+  | First_within of string * string * Cond.t
+      (** [(rtype, set, qual)] — first qualifying member of the current
+          occurrence of [set] *)
+  | Next_within of string * string * Cond.t
+      (** [FIND NEXT rtype WITHIN set USING qual] — as in the paper's
+          CODASYL template *)
+  | Owner_within of string  (** [FIND OWNER WITHIN set] *)
+  | Current of string
+      (** [FIND CURRENT rtype] — re-establish the current of the record
+          type as current of run unit (and of its sets), e.g. to regain
+          an occurrence after an ERASE cleared set currency *)
+
+type erase_mode = Erase_one | Erase_all
+
+type t =
+  | Find of find
+  | Get of string  (** copy the current record's view into UWA vars *)
+  | Store of string  (** build a record from UWA vars and store it *)
+  | Modify of string * string list  (** update listed fields from UWA *)
+  | Erase of erase_mode * string
+  | Connect of string * string  (** (rtype, set) at current occurrence *)
+  | Disconnect of string * string
+
+(** UWA variable name for a record field. *)
+val uwa : rtype:string -> field:string -> string
+
+(** Record types / set types a statement mentions. *)
+val record_types : t -> string list
+
+val set_types : t -> string list
+
+(** Host variables read by the statement (for dataflow analysis). *)
+val vars_read : t -> string list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,261 @@
+open Ccv_common
+module Smap = Map.Make (String)
+
+type currency = {
+  run_unit : int option;
+  of_record : int Smap.t;
+  of_set : int Smap.t;
+}
+
+let initial_currency =
+  { run_unit = None; of_record = Smap.empty; of_set = Smap.empty }
+
+let current_of_run_unit cur = cur.run_unit
+let current_of_record cur rtype = Smap.find_opt (Field.canon rtype) cur.of_record
+let current_of_set cur set = Smap.find_opt (Field.canon set) cur.of_set
+
+let current_occurrence_owner db cur set =
+  let decl = Nschema.find_set_exn (Ndb.schema db) set in
+  match decl.owner with
+  | Nschema.System -> Some Ndb.system_key
+  | Nschema.Owner_record orty -> (
+      match current_of_set cur decl.sname with
+      | None -> None
+      | Some key -> (
+          match Ndb.rtype_of db key with
+          | Some rty when Field.name_equal rty orty -> Some key
+          | Some _ -> Ndb.owner_of db ~set:decl.sname ~member:key
+          | None -> None))
+
+(* A record that becomes current of run unit also becomes current of
+   its record type and of every set it participates in (as owner or as
+   connected member). *)
+let make_current db cur key =
+  match Ndb.rtype_of db key with
+  | None -> cur
+  | Some rtype ->
+      let schema = Ndb.schema db in
+      let of_set =
+        List.fold_left
+          (fun acc (s : Nschema.set_decl) -> Smap.add s.sname key acc)
+          cur.of_set
+          (Nschema.sets_owned_by schema rtype)
+      in
+      let of_set =
+        List.fold_left
+          (fun acc (s : Nschema.set_decl) ->
+            match Ndb.owner_of db ~set:s.sname ~member:key with
+            | Some _ -> Smap.add s.sname key acc
+            | None -> acc)
+          of_set
+          (Nschema.sets_with_member schema rtype)
+      in
+      { run_unit = Some key;
+        of_record = Smap.add rtype key cur.of_record;
+        of_set;
+      }
+
+let establish = make_current
+
+type outcome = {
+  db : Ndb.t;
+  cur : currency;
+  updates : (string * Value.t) list;
+  status : Status.t;
+}
+
+let ok db cur = { db; cur; updates = []; status = Status.Ok }
+let fail db cur status = { db; cur; updates = []; status }
+
+let matches db ~env key cond =
+  match Ndb.view db key with
+  | Some row -> Cond.eval ~env row cond
+  | None -> false
+
+let find_in_order db ~env keys cond =
+  List.find_opt (fun k -> matches db ~env k cond) keys
+
+let exec_find db cur ~env = function
+  | Dml.Any (rtype, cond) -> (
+      match find_in_order db ~env (Ndb.all_keys db rtype) cond with
+      | Some key -> ok db (make_current db cur key)
+      | None -> fail db cur Status.Not_found)
+  | Dml.Duplicate (rtype, cond) -> (
+      match current_of_record cur rtype with
+      | None -> fail db cur Status.No_currency
+      | Some current -> (
+          let after = List.filter (fun k -> k > current) (Ndb.all_keys db rtype) in
+          match find_in_order db ~env after cond with
+          | Some key -> ok db (make_current db cur key)
+          | None -> fail db cur Status.Not_found))
+  | Dml.First_within (rtype, set, cond) -> (
+      match current_occurrence_owner db cur set with
+      | None -> fail db cur Status.No_currency
+      | Some owner -> (
+          let ms = Ndb.members db ~set ~owner in
+          let of_type k =
+            match Ndb.rtype_of db k with
+            | Some rty -> Field.name_equal rty rtype
+            | None -> false
+          in
+          match
+            find_in_order db ~env (List.filter of_type ms) cond
+          with
+          | Some key -> ok db (make_current db cur key)
+          | None -> fail db cur Status.End_of_set))
+  | Dml.Next_within (rtype, set, cond) -> (
+      match current_occurrence_owner db cur set with
+      | None -> fail db cur Status.No_currency
+      | Some owner -> (
+          let ms = Ndb.members db ~set ~owner in
+          (* Position: after the current of set when it is a member of
+             this occurrence; from the start when it is the owner. *)
+          let rest =
+            match current_of_set cur set with
+            | Some key when List.mem key ms ->
+                let rec after = function
+                  | [] -> []
+                  | m :: tail -> if m = key then tail else after tail
+                in
+                after ms
+            | Some _ | None -> ms
+          in
+          let of_type k =
+            match Ndb.rtype_of db k with
+            | Some rty -> Field.name_equal rty rtype
+            | None -> false
+          in
+          match find_in_order db ~env (List.filter of_type rest) cond with
+          | Some key -> ok db (make_current db cur key)
+          | None -> fail db cur Status.End_of_set))
+  | Dml.Current rtype -> (
+      match current_of_record cur rtype with
+      | Some key when Ndb.rtype_of db key <> None ->
+          Counters.record_read (Ndb.counters db);
+          ok db (make_current db cur key)
+      | Some _ | None -> fail db cur Status.No_currency)
+  | Dml.Owner_within set -> (
+      let decl = Nschema.find_set_exn (Ndb.schema db) set in
+      match decl.owner with
+      | Nschema.System ->
+          fail db cur (Status.Invalid_request ("FIND OWNER of SYSTEM set " ^ set))
+      | Nschema.Owner_record _ -> (
+          match current_occurrence_owner db cur set with
+          | Some owner when owner <> Ndb.system_key ->
+              Counters.record_read (Ndb.counters db);
+              ok db (make_current db cur owner)
+          | Some _ | None -> fail db cur Status.No_currency))
+
+let uwa_row_of_env ~env (decl : Nschema.record_decl) =
+  let fetch name = env (Dml.uwa ~rtype:decl.rname ~field:name) in
+  let stored =
+    List.map
+      (fun (f : Field.t) ->
+        (f.name, Option.value (fetch f.name) ~default:Value.Null))
+      decl.fields
+  in
+  let virtuals =
+    List.filter_map
+      (fun (v : Nschema.virtual_field) ->
+        Option.map (fun value -> (v.vname, value)) (fetch v.vname))
+      decl.virtuals
+  in
+  Row.of_list (stored @ virtuals)
+
+let exec db cur ~env stmt =
+  match stmt with
+  | Dml.Find f -> exec_find db cur ~env f
+  | Dml.Get rtype -> (
+      match cur.run_unit with
+      | None -> fail db cur Status.No_currency
+      | Some key -> (
+          match Ndb.rtype_of db key with
+          | Some rty when Field.name_equal rty rtype -> (
+              match Ndb.view db key with
+              | Some row ->
+                  let updates =
+                    List.map
+                      (fun (f, v) -> (Dml.uwa ~rtype ~field:f, v))
+                      (Row.to_list row)
+                  in
+                  { db; cur; updates; status = Status.Ok }
+              | None -> fail db cur Status.Not_found)
+          | Some rty ->
+              fail db cur
+                (Status.Invalid_request
+                   (Fmt.str "GET %s: current is a %s" rtype rty))
+          | None -> fail db cur Status.Not_found))
+  | Dml.Store rtype -> (
+      let decl = Nschema.find_record_exn (Ndb.schema db) rtype in
+      let row = uwa_row_of_env ~env decl in
+      let resolve_current set = current_occurrence_owner db cur set in
+      match Ndb.store ~resolve_current db rtype row with
+      | Ok (db, key) -> ok db (make_current db cur key)
+      | Error status -> fail db cur status)
+  | Dml.Modify (rtype, fields) -> (
+      match cur.run_unit with
+      | None -> fail db cur Status.No_currency
+      | Some key -> (
+          match Ndb.rtype_of db key with
+          | Some rty when Field.name_equal rty rtype -> (
+              let assigns =
+                List.filter_map
+                  (fun f ->
+                    Option.map
+                      (fun v -> (Field.canon f, v))
+                      (env (Dml.uwa ~rtype ~field:f)))
+                  fields
+              in
+              match Ndb.modify db key assigns with
+              | Ok db -> ok db cur
+              | Error status -> fail db cur status)
+          | Some rty ->
+              fail db cur
+                (Status.Invalid_request
+                   (Fmt.str "MODIFY %s: current is a %s" rtype rty))
+          | None -> fail db cur Status.Not_found))
+  | Dml.Erase (mode, rtype) -> (
+      match cur.run_unit with
+      | None -> fail db cur Status.No_currency
+      | Some key -> (
+          match Ndb.rtype_of db key with
+          | Some rty when Field.name_equal rty rtype -> (
+              let mode' =
+                match mode with
+                | Dml.Erase_one -> Ndb.Erase
+                | Dml.Erase_all -> Ndb.Erase_all
+              in
+              match Ndb.erase db mode' key with
+              | Ok db ->
+                  (* The erased record's currencies are gone. *)
+                  let cur =
+                    { run_unit = None;
+                      of_record =
+                        Smap.filter (fun _ k -> k <> key) cur.of_record;
+                      of_set = Smap.filter (fun _ k -> k <> key) cur.of_set;
+                    }
+                  in
+                  ok db cur
+              | Error status -> fail db cur status)
+          | Some rty ->
+              fail db cur
+                (Status.Invalid_request
+                   (Fmt.str "ERASE %s: current is a %s" rtype rty))
+          | None -> fail db cur Status.Not_found))
+  | Dml.Connect (rtype, set) -> (
+      match current_of_record cur rtype with
+      | None -> fail db cur Status.No_currency
+      | Some member -> (
+          match current_occurrence_owner db cur set with
+          | None -> fail db cur Status.No_currency
+          | Some owner -> (
+              match Ndb.connect db ~set ~member ~owner with
+              | Ok db -> ok db (make_current db cur member)
+              | Error status -> fail db cur status)))
+  | Dml.Disconnect (rtype, set) -> (
+      match current_of_record cur rtype with
+      | None -> fail db cur Status.No_currency
+      | Some member -> (
+          match Ndb.disconnect db ~set ~member with
+          | Ok db -> ok db cur
+          | Error status -> fail db cur status))

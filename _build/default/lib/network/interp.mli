@@ -1,0 +1,41 @@
+(** Execution of {!Dml} statements against an {!Ndb} instance, with
+    DBTG currency semantics.  Section 3.2 of the paper names currency
+    behaviour as a core difficulty of program conversion — the
+    converter must reproduce it exactly, so it is modelled explicitly:
+    a run unit carries a current-of-run-unit, a current per record type
+    and a current per set type; every successful FIND/STORE updates
+    all applicable indicators, and a failed operation leaves them
+    untouched. *)
+
+open Ccv_common
+
+type currency
+
+val initial_currency : currency
+
+(** Introspection (used by baselines and tests). *)
+val current_of_run_unit : currency -> int option
+
+val current_of_record : currency -> string -> int option
+val current_of_set : currency -> string -> int option
+
+(** Owner key of the current occurrence of a set ([None] when the set
+    has no currency yet); System-owned sets always resolve. *)
+val current_occurrence_owner : Ndb.t -> currency -> string -> int option
+
+(** [establish db cur key] makes the record with database key [key]
+    current of run unit, of its record type and of its sets — the
+    currency effect of a successful FIND, exposed for emulation layers
+    that locate records by their own means. *)
+val establish : Ndb.t -> currency -> int -> currency
+
+type outcome = {
+  db : Ndb.t;
+  cur : currency;
+  updates : (string * Value.t) list;  (** UWA variables written (GET) *)
+  status : Status.t;
+}
+
+(** [exec db cur ~env stmt] — never raises on data conditions; engine
+    misuse (unknown record/set type) raises [Invalid_argument]. *)
+val exec : Ndb.t -> currency -> env:Cond.env -> Dml.t -> outcome

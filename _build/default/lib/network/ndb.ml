@@ -1,0 +1,503 @@
+open Ccv_common
+module Imap = Map.Make (Int)
+module Smap = Map.Make (String)
+
+type entry = { rtype : string; row : Row.t }
+
+type t = {
+  schema : Nschema.t;
+  records : entry Imap.t;
+  sets : int list Imap.t Smap.t;  (** set name -> owner key -> members *)
+  member_of : int Smap.t Imap.t;  (** member key -> set name -> owner key *)
+  next_key : int;
+  counters : Counters.t;
+}
+
+let system_key = 0
+
+let create schema =
+  { schema;
+    records = Imap.empty;
+    sets =
+      List.fold_left
+        (fun acc (s : Nschema.set_decl) ->
+          let initial =
+            match s.owner with
+            | Nschema.System -> Imap.singleton system_key []
+            | Nschema.Owner_record _ -> Imap.empty
+          in
+          Smap.add s.sname initial acc)
+        Smap.empty schema.Nschema.sets;
+    member_of = Imap.empty;
+    next_key = 1;
+    counters = Counters.create ();
+  }
+
+let schema t = t.schema
+let counters t = t.counters
+
+let get t key =
+  match Imap.find_opt key t.records with
+  | Some e ->
+      Counters.record_read t.counters;
+      Some (e.rtype, e.row)
+  | None -> None
+
+let rtype_of t key = Option.map (fun e -> e.rtype) (Imap.find_opt key t.records)
+
+let owner_of t ~set ~member =
+  match Imap.find_opt member t.member_of with
+  | Some m -> Smap.find_opt (Field.canon set) m
+  | None -> None
+
+let view_gen ~charge t key =
+  match Imap.find_opt key t.records with
+  | None -> None
+  | Some e ->
+      if charge then Counters.record_read t.counters;
+      let decl = Nschema.find_record_exn t.schema e.rtype in
+      let row =
+        List.fold_left
+          (fun row (v : Nschema.virtual_field) ->
+            let value =
+              match owner_of t ~set:v.via_set ~member:key with
+              | None -> Value.Null
+              | Some owner -> (
+                  match Imap.find_opt owner t.records with
+                  | None -> Value.Null
+                  | Some oe ->
+                      if charge then Counters.record_read t.counters;
+                      Option.value (Row.get oe.row v.source_field)
+                        ~default:Value.Null)
+            in
+            Row.set row v.vname value)
+          e.row decl.virtuals
+      in
+      Some row
+
+let view t key = view_gen ~charge:true t key
+let view_silent t key = view_gen ~charge:false t key
+
+let all_keys_gen ~charge t rtype =
+  let rtype = Field.canon rtype in
+  Imap.fold
+    (fun key e acc ->
+      if String.equal e.rtype rtype then begin
+        if charge then Counters.record_read t.counters;
+        key :: acc
+      end
+      else acc)
+    t.records []
+  |> List.rev
+
+let all_keys t rtype = all_keys_gen ~charge:true t rtype
+let all_keys_silent t rtype = all_keys_gen ~charge:false t rtype
+
+let members_gen ~charge t ~set ~owner =
+  let set = Field.canon set in
+  match Smap.find_opt set t.sets with
+  | None -> invalid_arg (Fmt.str "Ndb: unknown set %s" set)
+  | Some occs ->
+      let ms = Option.value (Imap.find_opt owner occs) ~default:[] in
+      if charge then Counters.record_reads t.counters (List.length ms);
+      ms
+
+let members t ~set ~owner = members_gen ~charge:true t ~set ~owner
+let members_silent t ~set ~owner = members_gen ~charge:false t ~set ~owner
+
+let occurrences t set =
+  let set = Field.canon set in
+  let decl = Nschema.find_set_exn t.schema set in
+  let occs = Smap.find set t.sets in
+  match decl.owner with
+  | Nschema.System -> [ (system_key, Option.value (Imap.find_opt system_key occs) ~default:[]) ]
+  | Nschema.Owner_record orty ->
+      List.map
+        (fun okey -> (okey, Option.value (Imap.find_opt okey occs) ~default:[]))
+        (all_keys_silent t orty)
+
+(* Sort-key extraction: prefer the live view, fall back to a supplied
+   seed row (used at STORE time when virtuals are not yet resolvable). *)
+let sort_key_of t ~seed keys member_key =
+  let base =
+    match view_silent t member_key with Some r -> r | None -> Row.empty
+  in
+  List.map
+    (fun k ->
+      match Row.get base k with
+      | Some v when not (Value.is_null v) -> v
+      | Some _ | None -> Option.value (Row.get seed k) ~default:Value.Null)
+    keys
+
+let compare_keys = List.compare Value.compare
+
+(* Insert [member] into the occurrence list per the set's order. *)
+let place t (decl : Nschema.set_decl) ~seed existing member_key =
+  match decl.order with
+  | Nschema.Chronological -> Ok (existing @ [ member_key ])
+  | Nschema.Sorted keys ->
+      let new_key = sort_key_of t ~seed keys member_key in
+      let dup =
+        (not decl.dups_allowed)
+        && List.exists
+             (fun m ->
+               compare_keys (sort_key_of t ~seed:Row.empty keys m) new_key = 0)
+             existing
+      in
+      if dup then Error (Status.Duplicate_key decl.sname)
+      else
+        let rec ins = function
+          | [] -> [ member_key ]
+          | m :: rest ->
+              if compare_keys (sort_key_of t ~seed:Row.empty keys m) new_key > 0
+              then member_key :: m :: rest
+              else m :: ins rest
+        in
+        Ok (ins existing)
+
+let set_occurrence t set owner ms =
+  let occs = Smap.find set t.sets in
+  { t with sets = Smap.add set (Imap.add owner ms occs) t.sets }
+
+let add_membership t ~set ~member ~owner =
+  let m = Option.value (Imap.find_opt member t.member_of) ~default:Smap.empty in
+  { t with member_of = Imap.add member (Smap.add set owner m) t.member_of }
+
+let remove_membership t ~set ~member =
+  match Imap.find_opt member t.member_of with
+  | None -> t
+  | Some m -> { t with member_of = Imap.add member (Smap.remove set m) t.member_of }
+
+let connect_internal t (decl : Nschema.set_decl) ~seed ~member ~owner =
+  let existing = members_gen ~charge:false t ~set:decl.sname ~owner in
+  match place t decl ~seed existing member with
+  | Error s -> Error s
+  | Ok ms ->
+      Counters.record_write t.counters;
+      let t = set_occurrence t decl.sname owner ms in
+      Ok (add_membership t ~set:decl.sname ~member ~owner)
+
+(* Owner selection for AUTOMATIC insertion. *)
+let select_owner t (decl : Nschema.set_decl) ~resolve_current ~seed =
+  match decl.owner with
+  | Nschema.System -> Ok system_key
+  | Nschema.Owner_record orty -> (
+      match decl.selection with
+      | Nschema.By_value pairs -> (
+          let wanted =
+            List.map
+              (fun (ofield, mfield) ->
+                (ofield, Option.value (Row.get seed mfield) ~default:Value.Null))
+              pairs
+          in
+          match List.find_opt (fun (_, v) -> Value.is_null v) wanted with
+          | Some (ofield, _) ->
+              Error
+                (Status.Constraint_violation
+                   (Fmt.str "set %s: no selection value for %s" decl.sname
+                      ofield))
+          | None -> (
+              let candidate =
+                List.find_opt
+                  (fun k ->
+                    Counters.record_read t.counters;
+                    match Imap.find_opt k t.records with
+                    | Some e ->
+                        List.for_all
+                          (fun (ofield, v) ->
+                            match Row.get e.row ofield with
+                            | Some v' -> Value.equal v' v
+                            | None -> false)
+                          wanted
+                    | None -> false)
+                  (all_keys_silent t orty)
+              in
+              match candidate with
+              | Some k -> Ok k
+              | None ->
+                  (* The §3.1 guarantee: AUTOMATIC+MANDATORY insertion
+                     fails when no owner exists. *)
+                  Error
+                    (Status.Constraint_violation
+                       (Fmt.str "set %s: no owner matching %s" decl.sname
+                          (String.concat ", "
+                             (List.map
+                                (fun (o, v) ->
+                                  o ^ "=" ^ Value.to_display v)
+                                wanted))))))
+      | Nschema.By_current -> (
+          match resolve_current decl.sname with
+          | Some k -> Ok k
+          | None -> Error Status.No_currency))
+
+let store ?(resolve_current = fun _ -> None) t rtype row =
+  let rtype = Field.canon rtype in
+  let decl = Nschema.find_record_exn t.schema rtype in
+  let seed = row in
+  let stored = Row.coerce row decl.fields in
+  if not (Row.conforms stored decl.fields) then
+    Error (Status.Invalid_request (Fmt.str "bad record for %s" rtype))
+  else if
+    (* DUPLICATES NOT ALLOWED for the CALC key, as for relational
+       primary keys — keeps duplicate-insert behaviour aligned across
+       the engines a conversion moves between. *)
+    decl.calc_key <> []
+    && List.exists
+         (fun k ->
+           Counters.record_read t.counters;
+           match Imap.find_opt k t.records with
+           | Some e ->
+               List.for_all
+                 (fun f ->
+                   Value.equal
+                     (Option.value (Row.get e.row f) ~default:Value.Null)
+                     (Option.value (Row.get stored f) ~default:Value.Null))
+                 decl.calc_key
+           | None -> false)
+         (all_keys_gen ~charge:false t rtype)
+  then Error (Status.Duplicate_key rtype)
+  else
+    let key = t.next_key in
+    let auto_sets =
+      List.filter
+        (fun (s : Nschema.set_decl) -> s.insertion = Nschema.Automatic)
+        (Nschema.sets_with_member t.schema rtype)
+    in
+    (* Resolve every owner before mutating, so a failed selection
+       leaves the database untouched (programs take the DB from one
+       consistent state to another, §1.1). *)
+    let owners =
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | Error _ as e -> e
+          | Ok pairs -> (
+              match select_owner t s ~resolve_current ~seed with
+              | Ok owner -> Ok ((s, owner) :: pairs)
+              | Error e -> Error e))
+        (Ok []) auto_sets
+    in
+    match owners with
+    | Error s -> Error s
+    | Ok pairs ->
+        Counters.record_write t.counters;
+        let t =
+          { t with
+            records = Imap.add key { rtype; row = stored } t.records;
+            next_key = key + 1;
+          }
+        in
+        let rec connect_all t = function
+          | [] -> Ok t
+          | (s, owner) :: rest -> (
+              match connect_internal t s ~seed ~member:key ~owner with
+              | Ok t -> connect_all t rest
+              | Error e -> Error e)
+        in
+        (match connect_all t (List.rev pairs) with
+        | Ok t -> Ok (t, key)
+        | Error e -> Error e)
+
+let connect t ~set ~member ~owner =
+  let set = Field.canon set in
+  let decl = Nschema.find_set_exn t.schema set in
+  match rtype_of t member with
+  | None -> Error Status.Not_found
+  | Some rty when not (Field.name_equal rty decl.member) ->
+      Error (Status.Invalid_request (Fmt.str "%s is not a member of %s" rty set))
+  | Some _ ->
+      if owner_of t ~set ~member <> None then
+        Error (Status.Invalid_request (Fmt.str "already a member of %s" set))
+      else connect_internal t decl ~seed:Row.empty ~member ~owner
+
+let remove_from_occurrence t set owner member =
+  let ms = members_gen ~charge:false t ~set ~owner in
+  let t = set_occurrence t set owner (List.filter (fun m -> m <> member) ms) in
+  remove_membership t ~set ~member
+
+let disconnect t ~set ~member =
+  let set = Field.canon set in
+  let decl = Nschema.find_set_exn t.schema set in
+  match decl.retention with
+  | Nschema.Mandatory | Nschema.Fixed ->
+      Error
+        (Status.Constraint_violation
+           (Fmt.str "set %s: DISCONNECT of a %s member" set
+              (match decl.retention with
+              | Nschema.Mandatory -> "MANDATORY"
+              | Nschema.Fixed | Nschema.Optional -> "FIXED")))
+  | Nschema.Optional -> (
+      match owner_of t ~set ~member with
+      | None -> Error Status.Not_found
+      | Some owner ->
+          Counters.record_write t.counters;
+          Ok (remove_from_occurrence t set owner member))
+
+let modify t key assigns =
+  match Imap.find_opt key t.records with
+  | None -> Error Status.Not_found
+  | Some e ->
+      let decl = Nschema.find_record_exn t.schema e.rtype in
+      let bad =
+        List.find_opt (fun (f, _) -> not (Field.mem decl.fields f)) assigns
+      in
+      (match bad with
+      | Some (f, _) ->
+          Error (Status.Invalid_request (Fmt.str "unknown field %s of %s" f e.rtype))
+      | None ->
+          Counters.record_write t.counters;
+          let row =
+            List.fold_left (fun row (f, v) -> Row.set row f v) e.row assigns
+          in
+          let t = { t with records = Imap.add key { e with row } t.records } in
+          (* Re-place the record in sorted occurrences it belongs to. *)
+          let t =
+            List.fold_left
+              (fun t (s : Nschema.set_decl) ->
+                match s.order, owner_of t ~set:s.sname ~member:key with
+                | Nschema.Sorted _, Some owner ->
+                    let without =
+                      List.filter (fun m -> m <> key)
+                        (members_gen ~charge:false t ~set:s.sname ~owner)
+                    in
+                    let t = set_occurrence t s.sname owner without in
+                    (match place t s ~seed:Row.empty without key with
+                    | Ok ms -> set_occurrence t s.sname owner ms
+                    | Error _ -> set_occurrence t s.sname owner (without @ [ key ]))
+                | (Nschema.Sorted _ | Nschema.Chronological), _ -> t)
+              t
+              (Nschema.sets_with_member t.schema e.rtype)
+          in
+          Ok t)
+
+type erase_mode = Erase | Erase_all
+
+let rec erase t mode key =
+  match Imap.find_opt key t.records with
+  | None -> Error Status.Not_found
+  | Some e -> (
+      let owned = Nschema.sets_owned_by t.schema e.rtype in
+      let non_empty =
+        List.filter
+          (fun (s : Nschema.set_decl) ->
+            members_gen ~charge:false t ~set:s.sname ~owner:key <> [])
+          owned
+      in
+      match mode with
+      | Erase when non_empty <> [] ->
+          Error
+            (Status.Constraint_violation
+               (Fmt.str "ERASE %s: owns members in %s" e.rtype
+                  (String.concat ", "
+                     (List.map (fun (s : Nschema.set_decl) -> s.sname) non_empty))))
+      | Erase | Erase_all -> (
+          (* Cascade / disconnect owned members first. *)
+          let rec handle_owned t = function
+            | [] -> Ok t
+            | (s : Nschema.set_decl) :: rest -> (
+                let ms = members_gen ~charge:false t ~set:s.sname ~owner:key in
+                let step t m =
+                  match s.retention with
+                  | Nschema.Optional ->
+                      Counters.record_write t.counters;
+                      Ok (remove_from_occurrence t s.sname key m)
+                  | Nschema.Mandatory | Nschema.Fixed -> erase t Erase_all m
+                in
+                let rec go t = function
+                  | [] -> Ok t
+                  | m :: ms -> (
+                      match step t m with Ok t -> go t ms | Error e -> Error e)
+                in
+                match go t ms with
+                | Ok t -> handle_owned t rest
+                | Error e -> Error e)
+          in
+          match handle_owned t non_empty with
+          | Error e -> Error e
+          | Ok t ->
+              (* Remove the record from sets it belongs to. *)
+              let t =
+                List.fold_left
+                  (fun t (s : Nschema.set_decl) ->
+                    match owner_of t ~set:s.sname ~member:key with
+                    | Some owner -> remove_from_occurrence t s.sname owner key
+                    | None -> t)
+                  t
+                  (Nschema.sets_with_member t.schema e.rtype)
+              in
+              Counters.record_write t.counters;
+              Ok { t with records = Imap.remove key t.records }))
+
+type dump = {
+  record_contents : (string * Row.t list) list;
+  set_contents : (string * (Row.t option * Row.t) list) list;
+}
+
+let dump t =
+  let record_contents =
+    List.map
+      (fun (r : Nschema.record_decl) ->
+        let rows =
+          List.filter_map (fun k -> view_silent t k) (all_keys_silent t r.rname)
+        in
+        (r.rname, List.sort Row.compare rows))
+      t.schema.Nschema.records
+  in
+  let set_contents =
+    List.map
+      (fun (s : Nschema.set_decl) ->
+        let pairs =
+          List.concat_map
+            (fun (owner, ms) ->
+              let orow =
+                if owner = system_key then None else view_silent t owner
+              in
+              List.filter_map
+                (fun m ->
+                  Option.map (fun mrow -> (orow, mrow)) (view_silent t m))
+                ms)
+            (occurrences t s.sname)
+        in
+        let cmp (o1, m1) (o2, m2) =
+          let c = Option.compare Row.compare o1 o2 in
+          if c <> 0 then c else Row.compare m1 m2
+        in
+        (s.sname, List.sort cmp pairs))
+      t.schema.Nschema.sets
+  in
+  { record_contents; set_contents }
+
+let equal_contents a b =
+  let da = dump a and db = dump b in
+  let eq_rows = List.for_all2 (fun (n1, r1) (n2, r2) ->
+      String.equal n1 n2 && List.length r1 = List.length r2
+      && List.for_all2 Row.equal r1 r2)
+  in
+  let eq_pairs (n1, p1) (n2, p2) =
+    String.equal n1 n2 && List.length p1 = List.length p2
+    && List.for_all2
+         (fun (o1, m1) (o2, m2) ->
+           Option.equal Row.equal o1 o2 && Row.equal m1 m2)
+         p1 p2
+  in
+  List.length da.record_contents = List.length db.record_contents
+  && eq_rows da.record_contents db.record_contents
+  && List.length da.set_contents = List.length db.set_contents
+  && List.for_all2 eq_pairs da.set_contents db.set_contents
+
+let total_records t = Imap.cardinal t.records
+
+let pp ppf t =
+  Imap.iter
+    (fun key e -> Fmt.pf ppf "@[#%d %s %a@]@." key e.rtype Row.pp e.row)
+    t.records;
+  Smap.iter
+    (fun sname occs ->
+      Imap.iter
+        (fun owner ms ->
+          if ms <> [] then
+            Fmt.pf ppf "@[%s: #%d -> [%a]@]@." sname owner
+              Fmt.(list ~sep:(any "; ") int)
+              ms)
+        occs)
+    t.sets

@@ -1,0 +1,91 @@
+(** Network (CODASYL) database instances.
+
+    Records live in an arena addressed by integer database keys;
+    owner-coupled set occurrences are ordered member lists per owner.
+    Instances are persistent so experiments can snapshot them freely;
+    the access counter is shared (it accounts work, not state).
+
+    Currency is deliberately {e not} stored here — it belongs to the
+    run unit (see {!Interp}) — so [Ndb] operations that need "current
+    of set" take an explicit resolver. *)
+
+open Ccv_common
+
+type t
+
+(** Database key of the SYSTEM record, owner of singular sets. *)
+val system_key : int
+
+val create : Nschema.t -> t
+val schema : t -> Nschema.t
+val counters : t -> Counters.t
+
+(** [get db key] — stored row only; charges one read. *)
+val get : t -> int -> (string * Row.t) option
+
+(** [view db key] — stored row extended with virtual fields resolved
+    through set ownership (Figure 4.3's [VIRTUAL VIA ... USING ...]);
+    charges one read plus one per resolved virtual. *)
+val view : t -> int -> Row.t option
+
+val rtype_of : t -> int -> string option
+
+(** Keys of all records of a type, ascending; charges one read each. *)
+val all_keys : t -> string -> int list
+
+(** Silent variants for assertions and printing. *)
+val all_keys_silent : t -> string -> int list
+
+val view_silent : t -> int -> Row.t option
+
+(** [members db ~set ~owner] — ordered member keys; charges reads. *)
+val members : t -> set:string -> owner:int -> int list
+
+val members_silent : t -> set:string -> owner:int -> int list
+
+(** [owner_of db ~set ~member] — [None] when disconnected. *)
+val owner_of : t -> set:string -> member:int -> int option
+
+(** All occurrences of a set: [(owner_key, member_keys)], including
+    empty ones for every record of the owner type. *)
+val occurrences : t -> string -> (int * int list) list
+
+(** [store db rtype row] assigns a fresh key and connects the record
+    into every AUTOMATIC set it is a member of, using each set's
+    selection rule; [resolve_current] supplies "current of set" for
+    [By_current] selection.  The input row may carry values for virtual
+    fields — they are used for set selection and sort keys, then
+    dropped (virtuals are derived, not stored). *)
+val store :
+  ?resolve_current:(string -> int option) -> t -> string -> Row.t ->
+  (t * int, Status.t) result
+
+val connect : t -> set:string -> member:int -> owner:int -> (t, Status.t) result
+
+(** Fails on MANDATORY/FIXED membership, per DBTG. *)
+val disconnect : t -> set:string -> member:int -> (t, Status.t) result
+
+(** [modify db key assigns] updates stored fields and repositions the
+    record in sorted sets. *)
+val modify : t -> int -> (string * Value.t) list -> (t, Status.t) result
+
+type erase_mode =
+  | Erase  (** fails if the record owns any non-empty occurrence *)
+  | Erase_all
+      (** cascades: FIXED/MANDATORY members die, OPTIONAL members are
+          disconnected — the §3.1 integrity hazard *)
+
+val erase : t -> erase_mode -> int -> (t, Status.t) result
+
+(** Canonical content dump for db-key-independent comparison:
+    per record type the sorted stored rows, per set the sorted
+    (owner view, member view) pairs. *)
+type dump = {
+  record_contents : (string * Row.t list) list;
+  set_contents : (string * (Row.t option * Row.t) list) list;
+}
+
+val dump : t -> dump
+val equal_contents : t -> t -> bool
+val total_records : t -> int
+val pp : Format.formatter -> t -> unit

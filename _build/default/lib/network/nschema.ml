@@ -1,0 +1,279 @@
+open Ccv_common
+
+type insertion = Automatic | Manual
+type retention = Optional | Mandatory | Fixed
+type owner = System | Owner_record of string
+type order = Chronological | Sorted of string list
+type selection = By_value of (string * string) list | By_current
+
+type set_decl = {
+  sname : string;
+  owner : owner;
+  member : string;
+  insertion : insertion;
+  retention : retention;
+  order : order;
+  selection : selection;
+  dups_allowed : bool;
+}
+
+type virtual_field = {
+  vname : string;
+  vty : Value.ty;
+  via_set : string;
+  source_field : string;
+}
+
+type record_decl = {
+  rname : string;
+  fields : Field.t list;
+  virtuals : virtual_field list;
+  calc_key : string list;
+}
+
+type t = { records : record_decl list; sets : set_decl list }
+
+let record_decl ?(virtuals = []) ?(calc_key = []) name fields =
+  let rname = Field.canon name in
+  Field.check_distinct ~what:("record " ^ rname) fields;
+  let virtuals =
+    List.map
+      (fun v ->
+        { v with
+          vname = Field.canon v.vname;
+          via_set = Field.canon v.via_set;
+          source_field = Field.canon v.source_field;
+        })
+      virtuals
+  in
+  List.iter
+    (fun v ->
+      if Field.mem fields v.vname then
+        invalid_arg
+          (Fmt.str "record %s: virtual %s shadows a stored field" rname v.vname))
+    virtuals;
+  let calc_key = List.map Field.canon calc_key in
+  List.iter
+    (fun k ->
+      if not (Field.mem fields k) then
+        invalid_arg (Fmt.str "record %s: calc key %s not declared" rname k))
+    calc_key;
+  { rname; fields; virtuals; calc_key }
+
+let set_decl ?(insertion = Automatic) ?(retention = Mandatory)
+    ?(order = Chronological) ?(selection = By_current) ?(dups_allowed = true)
+    ~name ~owner ~member () =
+  let owner =
+    match owner with
+    | System -> System
+    | Owner_record r -> Owner_record (Field.canon r)
+  in
+  let order =
+    match order with
+    | Chronological -> Chronological
+    | Sorted keys -> Sorted (List.map Field.canon keys)
+  in
+  let selection =
+    match selection with
+    | By_current -> By_current
+    | By_value pairs ->
+        if pairs = [] then invalid_arg "Nschema.set_decl: empty BY VALUE list";
+        By_value (List.map (fun (o, m) -> (Field.canon o, Field.canon m)) pairs)
+  in
+  { sname = Field.canon name;
+    owner;
+    member = Field.canon member;
+    insertion;
+    retention;
+    order;
+    selection;
+    dups_allowed;
+  }
+
+let find_record t name =
+  List.find_opt (fun r -> Field.name_equal r.rname name) t.records
+
+let find_record_exn t name =
+  match find_record t name with
+  | Some r -> r
+  | None -> invalid_arg (Fmt.str "Nschema: unknown record type %s" name)
+
+let find_set t name =
+  List.find_opt (fun s -> Field.name_equal s.sname name) t.sets
+
+let find_set_exn t name =
+  match find_set t name with
+  | Some s -> s
+  | None -> invalid_arg (Fmt.str "Nschema: unknown set type %s" name)
+
+let all_field_names r =
+  Field.names r.fields @ List.map (fun v -> v.vname) r.virtuals
+
+let virtual_of r name =
+  List.find_opt (fun v -> Field.name_equal v.vname name) r.virtuals
+
+let make records sets =
+  let t = { records; sets } in
+  let rec check_dup_records = function
+    | [] -> ()
+    | r :: rest ->
+        if List.exists (fun r' -> Field.name_equal r'.rname r.rname) rest then
+          invalid_arg (Fmt.str "Nschema: duplicate record type %s" r.rname)
+        else check_dup_records rest
+  in
+  check_dup_records records;
+  let rec check_dup_sets = function
+    | [] -> ()
+    | s :: rest ->
+        if List.exists (fun s' -> Field.name_equal s'.sname s.sname) rest then
+          invalid_arg (Fmt.str "Nschema: duplicate set type %s" s.sname)
+        else check_dup_sets rest
+  in
+  check_dup_sets sets;
+  List.iter
+    (fun s ->
+      let member = find_record_exn t s.member in
+      let owner_decl =
+        match s.owner with
+        | System -> None
+        | Owner_record o -> Some (find_record_exn t o)
+      in
+      (match s.order with
+      | Chronological -> ()
+      | Sorted keys ->
+          List.iter
+            (fun k ->
+              if not (List.exists (Field.name_equal k) (all_field_names member))
+              then
+                invalid_arg
+                  (Fmt.str "set %s: sort key %s not a field of %s" s.sname k
+                     member.rname))
+            keys);
+      match s.selection with
+      | By_current -> ()
+      | By_value pairs ->
+          List.iter
+            (fun (ofield, mfield) ->
+              (match owner_decl with
+              | None ->
+                  invalid_arg
+                    (Fmt.str "set %s: BY VALUE selection on a SYSTEM set"
+                       s.sname)
+              | Some o ->
+                  if not (Field.mem o.fields ofield) then
+                    invalid_arg
+                      (Fmt.str "set %s: selection field %s not in owner %s"
+                         s.sname ofield o.rname));
+              if
+                not
+                  (List.exists (Field.name_equal mfield)
+                     (all_field_names member))
+              then
+                invalid_arg
+                  (Fmt.str "set %s: selection field %s not in member %s"
+                     s.sname mfield member.rname))
+            pairs)
+    sets;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun v ->
+          let s = find_set_exn t v.via_set in
+          if not (Field.name_equal s.member r.rname) then
+            invalid_arg
+              (Fmt.str "record %s: virtual %s VIA %s but %s is not its member"
+                 r.rname v.vname v.via_set r.rname);
+          match s.owner with
+          | System ->
+              invalid_arg
+                (Fmt.str "record %s: virtual %s VIA SYSTEM-owned set" r.rname
+                   v.vname)
+          | Owner_record o ->
+              let od = find_record_exn t o in
+              if not (Field.mem od.fields v.source_field) then
+                invalid_arg
+                  (Fmt.str "record %s: virtual %s sources missing field %s.%s"
+                     r.rname v.vname o v.source_field))
+        r.virtuals)
+    records;
+  t
+
+let record_names t = List.map (fun r -> r.rname) t.records
+let set_names t = List.map (fun s -> s.sname) t.sets
+
+let sets_owned_by t rname =
+  List.filter
+    (fun s ->
+      match s.owner with
+      | System -> false
+      | Owner_record o -> Field.name_equal o rname)
+    t.sets
+
+let sets_with_member t rname =
+  List.filter (fun s -> Field.name_equal s.member rname) t.sets
+
+let equal_set a b =
+  Field.name_equal a.sname b.sname
+  && a.owner = b.owner && Field.name_equal a.member b.member
+  && a.insertion = b.insertion && a.retention = b.retention
+  && a.order = b.order && a.selection = b.selection
+  && a.dups_allowed = b.dups_allowed
+
+let equal_record a b =
+  Field.name_equal a.rname b.rname
+  && List.length a.fields = List.length b.fields
+  && List.for_all2 Field.equal a.fields b.fields
+  && a.virtuals = b.virtuals && a.calc_key = b.calc_key
+
+let equal a b =
+  List.length a.records = List.length b.records
+  && List.for_all2 equal_record a.records b.records
+  && List.length a.sets = List.length b.sets
+  && List.for_all2 equal_set a.sets b.sets
+
+let pp_owner ppf = function
+  | System -> Fmt.string ppf "SYSTEM"
+  | Owner_record r -> Fmt.string ppf r
+
+let pp_set ppf s =
+  let pp_ins ppf = function
+    | Automatic -> Fmt.string ppf "AUTOMATIC"
+    | Manual -> Fmt.string ppf "MANUAL"
+  in
+  let pp_ret ppf = function
+    | Optional -> Fmt.string ppf "OPTIONAL"
+    | Mandatory -> Fmt.string ppf "MANDATORY"
+    | Fixed -> Fmt.string ppf "FIXED"
+  in
+  Fmt.pf ppf "@[<h>SET %s OWNER %a MEMBER %s %a %a%a@]" s.sname pp_owner
+    s.owner s.member pp_ins s.insertion pp_ret s.retention
+    (fun ppf -> function
+      | Chronological -> ()
+      | Sorted keys ->
+          Fmt.pf ppf " KEYS(%a)" Fmt.(list ~sep:(any ", ") string) keys)
+    s.order
+
+let pp_record ppf r =
+  Fmt.pf ppf "@[<h>RECORD %s(%a%a)%a@]" r.rname
+    Fmt.(list ~sep:(any ", ") Field.pp)
+    r.fields
+    (fun ppf -> function
+      | [] -> ()
+      | vs ->
+          Fmt.pf ppf ", %a"
+            Fmt.(
+              list ~sep:(any ", ") (fun ppf v ->
+                  pf ppf "%s VIRTUAL VIA %s USING %s" v.vname v.via_set
+                    v.source_field))
+            vs)
+    r.virtuals
+    (fun ppf -> function
+      | [] -> ()
+      | key -> Fmt.pf ppf " CALC(%a)" Fmt.(list ~sep:(any ", ") string) key)
+    r.calc_key
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@ %a@]"
+    (Fmt.list pp_record) t.records (Fmt.list pp_set) t.sets
+
+let show t = Fmt.str "%a" pp t

@@ -1,0 +1,91 @@
+(** CODASYL-DBTG owner-coupled-set schemas.
+
+    Models the constructs the paper leans on: record types with CALC
+    keys, set types with the AUTOMATIC/MANUAL insertion and
+    OPTIONAL/MANDATORY/FIXED retention options (section 3.1), sorted
+    member order with a duplicates rule, SYSTEM-owned singular sets and
+    virtual (source) fields declared [VIA set USING field] as in the
+    Maryland schema of Figure 4.3. *)
+
+open Ccv_common
+
+type insertion = Automatic | Manual
+
+type retention =
+  | Optional  (** ERASE of owner disconnects members *)
+  | Mandatory  (** ERASE of owner fails while members exist *)
+  | Fixed  (** ERASE of owner deletes members (the cascade of §3.1) *)
+
+type owner = System | Owner_record of string
+
+type order =
+  | Chronological  (** insertion order (ORDER IS LAST) *)
+  | Sorted of string list  (** ascending member sort-key fields *)
+
+type selection =
+  | By_value of (string * string) list
+      (** [(owner_field, member_field)] pairs: on STORE, the occurrence
+          whose owner matches the stored record on every pair is
+          selected (SET SELECTION BY VALUE; composite owner keys use
+          several pairs).  Must be non-empty. *)
+  | By_current  (** the run-unit's current occurrence of this set *)
+
+type set_decl = {
+  sname : string;
+  owner : owner;
+  member : string;
+  insertion : insertion;
+  retention : retention;
+  order : order;
+  selection : selection;
+  dups_allowed : bool;  (** duplicate sort keys within one occurrence *)
+}
+
+type virtual_field = {
+  vname : string;
+  vty : Value.ty;
+  via_set : string;
+  source_field : string;  (** field of the owner record *)
+}
+
+type record_decl = {
+  rname : string;
+  fields : Field.t list;  (** stored fields *)
+  virtuals : virtual_field list;  (** derived from a set owner *)
+  calc_key : string list;  (** FIND ANY hashes on these; [] = scan *)
+}
+
+type t = { records : record_decl list; sets : set_decl list }
+
+val record_decl :
+  ?virtuals:virtual_field list -> ?calc_key:string list -> string ->
+  Field.t list -> record_decl
+
+val set_decl :
+  ?insertion:insertion -> ?retention:retention -> ?order:order ->
+  ?selection:selection -> ?dups_allowed:bool -> name:string -> owner:owner ->
+  member:string -> unit -> set_decl
+
+(** Validates cross-references; raises [Invalid_argument]. *)
+val make : record_decl list -> set_decl list -> t
+
+val find_record : t -> string -> record_decl option
+val find_record_exn : t -> string -> record_decl
+val find_set : t -> string -> set_decl option
+val find_set_exn : t -> string -> set_decl
+val record_names : t -> string list
+val set_names : t -> string list
+
+(** Sets in which the given record type participates. *)
+val sets_owned_by : t -> string -> set_decl list
+
+val sets_with_member : t -> string -> set_decl list
+
+(** Stored + virtual field views of a record type. *)
+val all_field_names : record_decl -> string list
+
+val virtual_of : record_decl -> string -> virtual_field option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Ccv_common Cond Field Fmt List Option Rdb Row Rschema Value

@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Ccv_common Cond Format Rdb Row Rschema

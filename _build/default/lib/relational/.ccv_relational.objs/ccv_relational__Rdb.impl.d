@@ -1,0 +1,1 @@
+lib/relational/rdb.ml: Ccv_common Cond Counters Field Fmt List Option Row Rschema Status String Value

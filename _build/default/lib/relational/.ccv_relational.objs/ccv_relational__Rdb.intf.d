@@ -1,0 +1,1 @@
+lib/relational/rdb.mli: Ccv_common Cond Counters Format Row Rschema Status

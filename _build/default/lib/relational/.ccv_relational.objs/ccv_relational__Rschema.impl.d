@@ -1,0 +1,1 @@
+lib/relational/rschema.ml: Ccv_common Field Fmt List Option

@@ -1,0 +1,1 @@
+lib/relational/rschema.mli: Ccv_common Field Format

@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Algebra Ccv_common Cond Field Fmt List Rdb Row

@@ -1,0 +1,1 @@
+lib/relational/sql.mli: Algebra Ccv_common Cond Format Rdb Row Status

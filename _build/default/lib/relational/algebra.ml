@@ -1,0 +1,239 @@
+open Ccv_common
+
+type t =
+  | Rel of string
+  | Select of Cond.t * t
+  | Project of string list * t
+  | Product of t * t
+  | Join of Cond.t * t * t
+  | Natural_join of t * t
+  | Semijoin of (string * string) * t * t
+  | Rename of (string * string) list * t
+  | Union of t * t
+  | Diff of t * t
+  | Distinct of t
+  | Sort of string list * t
+
+let rec eval ~env db = function
+  | Rel name -> Rdb.rows db name
+  | Select (cond, e) -> List.filter (fun r -> Cond.eval ~env r cond) (eval ~env db e)
+  | Project (names, e) -> List.map (fun r -> Row.project r names) (eval ~env db e)
+  | Product (a, b) ->
+      let rb = eval ~env db b in
+      List.concat_map (fun ra -> List.map (fun r -> Row.union ra r) rb) (eval ~env db a)
+  | Join (cond, a, b) ->
+      let rb = eval ~env db b in
+      List.concat_map
+        (fun ra ->
+          List.filter_map
+            (fun r ->
+              let joined = Row.union ra r in
+              if Cond.eval ~env joined cond then Some joined else None)
+            rb)
+        (eval ~env db a)
+  | Natural_join (a, b) ->
+      let ra = eval ~env db a and rb = eval ~env db b in
+      let common =
+        match ra, rb with
+        | r1 :: _, r2 :: _ ->
+            List.filter (fun f -> Row.mem r2 f) (Row.fields r1)
+        | _, _ -> []
+      in
+      List.concat_map
+        (fun r1 ->
+          List.filter_map
+            (fun r2 ->
+              let agree =
+                List.for_all
+                  (fun f -> Value.equal (Row.get_exn r1 f) (Row.get_exn r2 f))
+                  common
+              in
+              if agree then Some (Row.union r1 r2) else None)
+            rb)
+        ra
+  | Semijoin ((fa, fb), a, b) ->
+      let keys =
+        List.filter_map (fun r -> Row.get r fb) (eval ~env db b)
+      in
+      List.filter
+        (fun r ->
+          match Row.get r fa with
+          | Some v -> List.exists (Value.equal v) keys
+          | None -> false)
+        (eval ~env db a)
+  | Rename (pairs, e) ->
+      List.map
+        (fun r ->
+          List.fold_left
+            (fun r (from_, to_) -> Row.rename r ~from_ ~to_)
+            r pairs)
+        (eval ~env db e)
+  | Union (a, b) -> eval ~env db a @ eval ~env db b
+  | Diff (a, b) ->
+      let rb = eval ~env db b in
+      List.filter (fun r -> not (List.exists (Row.equal r) rb)) (eval ~env db a)
+  | Distinct e ->
+      let rec dedup seen = function
+        | [] -> List.rev seen
+        | r :: rest ->
+            if List.exists (Row.equal r) seen then dedup seen rest
+            else dedup (r :: seen) rest
+      in
+      dedup [] (eval ~env db e)
+  | Sort (names, e) ->
+      let cmp r1 r2 =
+        let rec go = function
+          | [] -> 0
+          | n :: rest ->
+              let c =
+                Value.compare
+                  (Option.value (Row.get r1 n) ~default:Value.Null)
+                  (Option.value (Row.get r2 n) ~default:Value.Null)
+              in
+              if c <> 0 then c else go rest
+        in
+        go names
+      in
+      List.stable_sort cmp (eval ~env db e)
+
+let rec base_relations = function
+  | Rel name -> [ Field.canon name ]
+  | Select (_, e) | Project (_, e) | Rename (_, e) | Distinct e | Sort (_, e) ->
+      base_relations e
+  | Product (a, b) | Join (_, a, b) | Natural_join (a, b)
+  | Semijoin (_, a, b) | Union (a, b) | Diff (a, b) ->
+      base_relations a @ base_relations b
+
+(* Fields produced by an expression, when statically known. *)
+let rec out_fields schema = function
+  | Rel name -> (
+      match Rschema.find schema name with
+      | Some decl -> Some (Field.names decl.fields)
+      | None -> None)
+  | Select (_, e) | Distinct e | Sort (_, e) -> out_fields schema e
+  | Project (names, _) -> Some (List.map Field.canon names)
+  | Rename (pairs, e) ->
+      Option.map
+        (List.map (fun f ->
+             match
+               List.find_opt (fun (from_, _) -> Field.name_equal from_ f) pairs
+             with
+             | Some (_, to_) -> Field.canon to_
+             | None -> f))
+        (out_fields schema e)
+  | Product (a, b) | Join (_, a, b) | Natural_join (a, b) -> (
+      match out_fields schema a, out_fields schema b with
+      | Some fa, Some fb ->
+          Some (fa @ List.filter (fun f -> not (List.mem f fa)) fb)
+      | _, _ -> None)
+  | Semijoin (_, a, _) -> out_fields schema a
+  | Union (a, _) | Diff (a, _) -> out_fields schema a
+
+let cond_covered_by schema cond e =
+  match out_fields schema e with
+  | None -> false
+  | Some fs -> List.for_all (fun f -> List.mem f fs) (Cond.fields cond)
+
+let rec rewrite_once schema node =
+  let r = rewrite_once schema in
+  match node with
+  | Rel name -> Rel name
+  | Select (Cond.True, e) -> r e
+  | Select (c1, Select (c2, e)) -> Select (Cond.And (c2, c1), r e)
+  (* Selection pushdown: route each conjunct to the side that can
+     evaluate it, keep the rest above. *)
+  | Select (c, Product (a, b)) -> push_select schema c (fun x y -> Product (x, y)) a b
+  | Select (c, Join (jc, a, b)) ->
+      push_select schema c (fun x y -> Join (jc, x, y)) a b
+  | Select (c, Natural_join (a, b)) ->
+      push_select schema c (fun x y -> Natural_join (x, y)) a b
+  | Select (c, e) -> Select (c, r e)
+  | Project (names, Project (_, e)) -> Project (names, r e)
+  | Project (names, e) -> (
+      let e = r e in
+      match out_fields schema e with
+      | Some fs when List.map Field.canon names = fs -> e
+      | Some _ | None -> Project (names, e))
+  | Product (a, b) -> Product (r a, r b)
+  | Join (c, a, b) -> Join (c, r a, r b)
+  | Natural_join (a, b) -> Natural_join (r a, r b)
+  | Semijoin (k, a, b) -> Semijoin (k, r a, r b)
+  | Rename ([], e) -> r e
+  | Rename (pairs, e) -> Rename (pairs, r e)
+  | Union (a, b) -> Union (r a, r b)
+  | Diff (a, b) -> Diff (r a, r b)
+  | Distinct (Distinct e) -> Distinct (r e)
+  | Distinct e -> Distinct (r e)
+  | Sort (names, Sort (_, e)) -> Sort (names, r e)
+  | Sort (names, e) -> Sort (names, r e)
+
+and push_select schema c rebuild a b =
+  let conjuncts = Cond.split_conjuncts c in
+  let to_a, rest = List.partition (fun cj -> cond_covered_by schema cj a) conjuncts in
+  let to_b, above = List.partition (fun cj -> cond_covered_by schema cj b) rest in
+  let wrap side = function [] -> rewrite_once schema side | cs -> Select (Cond.conj cs, rewrite_once schema side) in
+  let core = rebuild (wrap a to_a) (wrap b to_b) in
+  match above with [] -> core | cs -> Select (Cond.conj cs, core)
+
+let rec size = function
+  | Rel _ -> 1
+  | Select (_, e) | Project (_, e) | Rename (_, e) | Distinct e | Sort (_, e) ->
+      1 + size e
+  | Product (a, b) | Join (_, a, b) | Natural_join (a, b)
+  | Semijoin (_, a, b) | Union (a, b) | Diff (a, b) ->
+      1 + size a + size b
+
+let rec equal x y =
+  match x, y with
+  | Rel a, Rel b -> Field.name_equal a b
+  | Select (c1, a), Select (c2, b) -> Cond.equal c1 c2 && equal a b
+  | Project (n1, a), Project (n2, b) ->
+      List.map Field.canon n1 = List.map Field.canon n2 && equal a b
+  | Product (a1, a2), Product (b1, b2)
+  | Natural_join (a1, a2), Natural_join (b1, b2)
+  | Union (a1, a2), Union (b1, b2)
+  | Diff (a1, a2), Diff (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Join (c1, a1, a2), Join (c2, b1, b2) ->
+      Cond.equal c1 c2 && equal a1 b1 && equal a2 b2
+  | Semijoin ((x1, y1), a1, a2), Semijoin ((x2, y2), b1, b2) ->
+      Field.name_equal x1 x2 && Field.name_equal y1 y2 && equal a1 b1
+      && equal a2 b2
+  | Rename (p1, a), Rename (p2, b) -> p1 = p2 && equal a b
+  | Distinct a, Distinct b -> equal a b
+  | Sort (n1, a), Sort (n2, b) ->
+      List.map Field.canon n1 = List.map Field.canon n2 && equal a b
+  | ( Rel _ | Select _ | Project _ | Product _ | Join _ | Natural_join _
+    | Semijoin _ | Rename _ | Union _ | Diff _ | Distinct _ | Sort _ ), _ ->
+      false
+
+let optimize schema e =
+  let rec fix e n =
+    if n = 0 then e
+    else
+      let e' = rewrite_once schema e in
+      if equal e e' then e else fix e' (n - 1)
+  in
+  fix e 20
+
+let rec pp ppf = function
+  | Rel name -> Fmt.string ppf name
+  | Select (c, e) -> Fmt.pf ppf "@[σ[%a]@,(%a)@]" Cond.pp c pp e
+  | Project (names, e) ->
+      Fmt.pf ppf "@[π[%a]@,(%a)@]"
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.string) names pp e
+  | Product (a, b) -> Fmt.pf ppf "(%a × %a)" pp a pp b
+  | Join (c, a, b) -> Fmt.pf ppf "(%a ⋈[%a] %a)" pp a Cond.pp c pp b
+  | Natural_join (a, b) -> Fmt.pf ppf "(%a ⋈ %a)" pp a pp b
+  | Semijoin ((fa, fb), a, b) -> Fmt.pf ppf "(%a ⋉[%s=%s] %a)" pp a fa fb pp b
+  | Rename (pairs, e) ->
+      Fmt.pf ppf "ρ[%a](%a)"
+        (Fmt.list ~sep:(Fmt.any ",") (fun ppf (f, t) -> Fmt.pf ppf "%s→%s" f t))
+        pairs pp e
+  | Union (a, b) -> Fmt.pf ppf "(%a ∪ %a)" pp a pp b
+  | Diff (a, b) -> Fmt.pf ppf "(%a − %a)" pp a pp b
+  | Distinct e -> Fmt.pf ppf "δ(%a)" pp e
+  | Sort (names, e) ->
+      Fmt.pf ppf "sort[%a](%a)"
+        (Fmt.list ~sep:(Fmt.any ",") Fmt.string) names pp e
+
+let show e = Fmt.str "%a" pp e

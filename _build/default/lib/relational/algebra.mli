@@ -1,0 +1,44 @@
+(** Relational algebra over {!Rdb} instances.  This is both the
+    execution engine for SEQUEL-style queries and the algebraic
+    substrate the optimizer reasons with (the paper's Michigan code
+    templates "correspond to operators in the relational algebra",
+    section 4.3). *)
+
+open Ccv_common
+
+type t =
+  | Rel of string  (** base relation *)
+  | Select of Cond.t * t
+  | Project of string list * t
+  | Product of t * t
+  | Join of Cond.t * t * t  (** theta join *)
+  | Natural_join of t * t
+  | Semijoin of (string * string) * t * t
+      (** [Semijoin ((a, b), l, r)]: rows of [l] whose field [a] occurs
+          as field [b] of some row of [r] — the IN-subquery shape. *)
+  | Rename of (string * string) list * t  (** (from, to) pairs *)
+  | Union of t * t
+  | Diff of t * t
+  | Distinct of t
+  | Sort of string list * t
+
+val eval : env:Cond.env -> Rdb.t -> t -> Row.t list
+
+(** Free base relations mentioned, left-to-right, with duplicates. *)
+val base_relations : t -> string list
+
+(** One bottom-up rewrite pass of the classical laws the paper's
+    optimisation section presupposes: selection pushdown through
+    product/join, fusing cascaded selections and projections, dropping
+    identity projections (needs the schema to know full field lists).
+    Idempotent when iterated to fixpoint via {!optimize}. *)
+val rewrite_once : Rschema.t -> t -> t
+
+val optimize : Rschema.t -> t -> t
+
+(** Number of operator nodes (optimizer metric). *)
+val size : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,138 @@
+open Ccv_common
+
+type t = {
+  schema : Rschema.t;
+  tables : (string * Row.t list) list;
+  counters : Counters.t;
+}
+
+let create schema =
+  { schema;
+    tables = List.map (fun r -> (r.Rschema.rname, [])) schema.Rschema.relations;
+    counters = Counters.create ();
+  }
+
+let schema t = t.schema
+let counters t = t.counters
+
+let find_table t rel =
+  match List.assoc_opt (Field.canon rel) t.tables with
+  | Some rows -> rows
+  | None -> invalid_arg (Fmt.str "Rdb: unknown relation %s" rel)
+
+let rows t rel =
+  let rows = find_table t rel in
+  Counters.record_reads t.counters (List.length rows);
+  rows
+
+let rows_silent t rel = find_table t rel
+let cardinality t rel = List.length (find_table t rel)
+
+let set_table t rel rows =
+  let rel = Field.canon rel in
+  { t with
+    tables =
+      List.map (fun (n, r) -> if String.equal n rel then (n, rows) else (n, r))
+        t.tables;
+  }
+
+let key_of decl row =
+  List.map (fun k -> Row.get_exn row k) decl.Rschema.key
+
+let insert t rel row =
+  let decl = Rschema.find_exn t.schema rel in
+  let row = Row.coerce row decl.fields in
+  if not (Row.conforms row decl.fields) then
+    Error (Status.Invalid_request (Fmt.str "bad tuple for %s" decl.rname))
+  else
+    let existing = find_table t decl.rname in
+    let dup =
+      decl.key <> []
+      && List.exists
+           (fun r ->
+             Counters.record_read t.counters;
+             List.for_all2 Value.equal (key_of decl r) (key_of decl row))
+           existing
+    in
+    if dup then Error (Status.Duplicate_key decl.rname)
+    else begin
+      Counters.record_write t.counters;
+      Ok (set_table t decl.rname (existing @ [ row ]))
+    end
+
+let insert_exn t rel row =
+  match insert t rel row with
+  | Ok t -> t
+  | Error s -> invalid_arg (Fmt.str "Rdb.insert_exn %s: %a" rel Status.pp s)
+
+let load t rel rows = List.fold_left (fun t row -> insert_exn t rel row) t rows
+
+let delete_where t rel cond ~env =
+  let existing = find_table t rel in
+  Counters.record_reads t.counters (List.length existing);
+  let keep, gone = List.partition (fun r -> not (Cond.eval ~env r cond)) existing in
+  let n = List.length gone in
+  if n > 0 then Counters.record_write t.counters;
+  (set_table t rel keep, n)
+
+let update_where t rel cond ~env assigns =
+  let decl = Rschema.find_exn t.schema rel in
+  let existing = find_table t decl.rname in
+  Counters.record_reads t.counters (List.length existing);
+  let bad = ref None in
+  let updated = ref 0 in
+  let apply row =
+    if Cond.eval ~env row cond then begin
+      incr updated;
+      Counters.record_write t.counters;
+      List.fold_left
+        (fun row (fname, e) ->
+          if not (Field.mem decl.fields fname) then begin
+            if !bad = None then
+              bad := Some (Status.Invalid_request
+                             (Fmt.str "unknown field %s in %s" fname decl.rname));
+            row
+          end
+          else Row.set row fname (Cond.eval_expr ~env row e))
+        row assigns
+    end
+    else row
+  in
+  let rows' = List.map apply existing in
+  match !bad with
+  | Some s -> Error s
+  | None -> Ok (set_table t decl.rname rows', !updated)
+
+let replace_rows t rel rows = set_table t rel rows
+
+let with_schema t schema =
+  { t with
+    schema;
+    tables =
+      List.map
+        (fun r ->
+          let name = r.Rschema.rname in
+          (name, Option.value (List.assoc_opt name t.tables) ~default:[]))
+        schema.Rschema.relations;
+  }
+
+let multiset_equal a b =
+  let sort = List.sort Row.compare in
+  List.length a = List.length b && List.for_all2 Row.equal (sort a) (sort b)
+
+let equal_contents a b =
+  let names t = List.map fst t.tables in
+  List.sort String.compare (names a) = List.sort String.compare (names b)
+  && List.for_all
+       (fun (n, rows) -> multiset_equal rows (rows_silent b n))
+       a.tables
+
+let total_rows t =
+  List.fold_left (fun acc (_, rows) -> acc + List.length rows) 0 t.tables
+
+let pp ppf t =
+  let pp_table ppf (name, rows) =
+    Fmt.pf ppf "@[<v2>%s (%d):@ %a@]" name (List.length rows)
+      (Fmt.list Row.pp) rows
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_table) t.tables

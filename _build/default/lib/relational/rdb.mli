@@ -1,0 +1,58 @@
+(** Relational database instances: named relations holding rows.
+
+    Instances are persistent (functional update) so that equivalence
+    experiments can keep the source instance while running candidate
+    programs; the access {!Ccv_common.Counters.t} is shared across
+    versions because it accounts work, not state. *)
+
+open Ccv_common
+
+type t
+
+val create : Rschema.t -> t
+val schema : t -> Rschema.t
+val counters : t -> Counters.t
+
+(** [rows db rel] — the current extension, charging one read per row.
+    Raises [Invalid_argument] on an unknown relation. *)
+val rows : t -> string -> Row.t list
+
+(** [rows_silent db rel] — same, without charging (for printing and
+    test assertions). *)
+val rows_silent : t -> string -> Row.t list
+
+val cardinality : t -> string -> int
+
+(** [insert db rel row] checks arity/types and key uniqueness. *)
+val insert : t -> string -> Row.t -> (t, Status.t) result
+
+(** [insert_exn] for bulk loading; raises [Invalid_argument] on any
+    rejection. *)
+val insert_exn : t -> string -> Row.t -> t
+
+val load : t -> string -> Row.t list -> t
+
+(** [delete_where db rel cond ~env] returns the new instance and the
+    number of rows deleted. *)
+val delete_where : t -> string -> Cond.t -> env:Cond.env -> t * int
+
+(** [update_where db rel cond ~env assigns] sets the given fields (from
+    expressions over the old row) on every matching row. *)
+val update_where :
+  t -> string -> Cond.t -> env:Cond.env -> (string * Cond.expr) list ->
+  (t * int, Status.t) result
+
+(** [replace_rows db rel rows] swaps a relation's extension wholesale
+    (used by the data translator); performs no checking. *)
+val replace_rows : t -> string -> Row.t list -> t
+
+(** [with_schema db schema] rebinds the schema (after a restructuring
+    that only renames declarations); relations absent from the new
+    schema are dropped, new ones start empty. *)
+val with_schema : t -> Rschema.t -> t
+
+(** Multiset equality of all extensions (row order ignored). *)
+val equal_contents : t -> t -> bool
+
+val total_rows : t -> int
+val pp : Format.formatter -> t -> unit

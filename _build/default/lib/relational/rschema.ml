@@ -1,0 +1,73 @@
+open Ccv_common
+
+type rel_decl = { rname : string; fields : Field.t list; key : string list }
+type t = { relations : rel_decl list }
+
+let rel_decl name fields ~key =
+  let rname = Field.canon name in
+  Field.check_distinct ~what:("relation " ^ rname) fields;
+  let key = List.map Field.canon key in
+  List.iter
+    (fun k ->
+      if not (Field.mem fields k) then
+        invalid_arg (Fmt.str "relation %s: key field %s not declared" rname k))
+    key;
+  { rname; fields; key }
+
+let make relations =
+  let rec check = function
+    | [] -> ()
+    | r :: rest ->
+        if List.exists (fun r' -> Field.name_equal r'.rname r.rname) rest then
+          invalid_arg (Fmt.str "schema: duplicate relation %s" r.rname)
+        else check rest
+  in
+  check relations;
+  { relations }
+
+let find t name =
+  List.find_opt (fun r -> Field.name_equal r.rname name) t.relations
+
+let find_exn t name =
+  match find t name with
+  | Some r -> r
+  | None -> invalid_arg (Fmt.str "schema: unknown relation %s" name)
+
+let mem t name = Option.is_some (find t name)
+let rel_names t = List.map (fun r -> r.rname) t.relations
+let add t decl = make (t.relations @ [ decl ])
+
+let remove t name =
+  { relations =
+      List.filter (fun r -> not (Field.name_equal r.rname name)) t.relations
+  }
+
+let replace t decl =
+  { relations =
+      List.map
+        (fun r -> if Field.name_equal r.rname decl.rname then decl else r)
+        t.relations
+  }
+
+let equal_rel a b =
+  Field.name_equal a.rname b.rname
+  && List.length a.fields = List.length b.fields
+  && List.for_all2 Field.equal a.fields b.fields
+  && List.length a.key = List.length b.key
+  && List.for_all2 Field.name_equal a.key b.key
+
+let equal a b =
+  List.length a.relations = List.length b.relations
+  && List.for_all2 equal_rel a.relations b.relations
+
+let pp_rel ppf r =
+  Fmt.pf ppf "@[<h>%s(%a)%a@]" r.rname
+    (Fmt.list ~sep:(Fmt.any ", ") Field.pp)
+    r.fields
+    (fun ppf -> function
+      | [] -> ()
+      | key -> Fmt.pf ppf " KEY(%a)" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) key)
+    r.key
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_rel) t.relations
+let show t = Fmt.str "%a" pp t

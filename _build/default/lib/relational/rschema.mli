@@ -1,0 +1,39 @@
+(** Relational schemas, in the style of the paper's Figure 3.1a:
+    relation declarations with attribute lists and a primary key (the
+    only constraint "maintained explicitly in the relational model...
+    tuple uniqueness by means of key declarations", section 3.1). *)
+
+open Ccv_common
+
+type rel_decl = {
+  rname : string;  (** canonical (upper-case) relation name *)
+  fields : Field.t list;
+  key : string list;  (** primary-key field names; [] = no key *)
+}
+
+type t = { relations : rel_decl list }
+
+(** [rel_decl name fields ~key] canonicalises names and validates that
+    key fields exist; raises [Invalid_argument] otherwise. *)
+val rel_decl : string -> Field.t list -> key:string list -> rel_decl
+
+val make : rel_decl list -> t
+
+(** Lookup is case-insensitive. *)
+val find : t -> string -> rel_decl option
+
+val find_exn : t -> string -> rel_decl
+val mem : t -> string -> bool
+val rel_names : t -> string list
+
+(** [add schema decl] / [remove schema name] / [replace schema decl] —
+    building blocks for schema restructurings. *)
+val add : t -> rel_decl -> t
+
+val remove : t -> string -> t
+val replace : t -> rel_decl -> t
+
+val equal : t -> t -> bool
+val pp_rel : Format.formatter -> rel_decl -> unit
+val pp : Format.formatter -> t -> unit
+val show : t -> string

@@ -1,0 +1,134 @@
+open Ccv_common
+
+type query = {
+  select : string list;
+  from_ : string;
+  where_ : Cond.t;
+  where_in : (string * query) list;
+  order_by : string list;
+}
+
+type stmt =
+  | Query of query
+  | Insert of string * (string * Cond.expr) list
+  | Delete of string * Cond.t
+  | Update of string * (string * Cond.expr) list * Cond.t
+
+let query ?(select = []) ?(where_ = Cond.True) ?(where_in = [])
+    ?(order_by = []) from_ =
+  { select = List.map Field.canon select;
+    from_ = Field.canon from_;
+    where_;
+    where_in = List.map (fun (f, q) -> (Field.canon f, q)) where_in;
+    order_by = List.map Field.canon order_by;
+  }
+
+let rec compile q =
+  let base = Algebra.Rel q.from_ in
+  let selected =
+    match q.where_ with
+    | Cond.True -> base
+    | c -> Algebra.Select (c, base)
+  in
+  let with_in =
+    List.fold_left
+      (fun acc (field, sub) ->
+        let sub_field =
+          match sub.select with
+          | [ f ] -> f
+          | _ ->
+              invalid_arg
+                (Fmt.str "Sql: IN subquery on %s must project one field"
+                   sub.from_)
+        in
+        Algebra.Semijoin ((field, sub_field), acc, compile sub))
+      selected q.where_in
+  in
+  let projected =
+    match q.select with
+    | [] -> with_in
+    | names -> Algebra.Project (names, with_in)
+  in
+  match q.order_by with
+  | [] -> projected
+  | names -> Algebra.Sort (names, projected)
+
+let run_query ~env db q = Algebra.eval ~env db (compile q)
+
+let exec ~env db = function
+  | Query q -> Ok (db, run_query ~env db q)
+  | Insert (rel, assigns) -> (
+      let row =
+        Row.of_list
+          (List.map (fun (f, e) -> (f, Cond.eval_expr ~env Row.empty e)) assigns)
+      in
+      match Rdb.insert db rel row with
+      | Ok db -> Ok (db, [])
+      | Error s -> Error s)
+  | Delete (rel, cond) ->
+      let db, _n = Rdb.delete_where db rel cond ~env in
+      Ok (db, [])
+  | Update (rel, assigns, cond) -> (
+      match Rdb.update_where db rel cond ~env assigns with
+      | Ok (db, _n) -> Ok (db, [])
+      | Error s -> Error s)
+
+let rec relations_of_query q =
+  q.from_ :: List.concat_map (fun (_, sub) -> relations_of_query sub) q.where_in
+
+let relations_of = function
+  | Query q -> relations_of_query q
+  | Insert (rel, _) | Delete (rel, _) | Update (rel, _, _) -> [ Field.canon rel ]
+
+let rec equal_query a b =
+  a.select = b.select
+  && Field.name_equal a.from_ b.from_
+  && Cond.equal a.where_ b.where_
+  && a.order_by = b.order_by
+  && List.length a.where_in = List.length b.where_in
+  && List.for_all2
+       (fun (f1, q1) (f2, q2) -> Field.name_equal f1 f2 && equal_query q1 q2)
+       a.where_in b.where_in
+
+let rec pp_query ppf q =
+  let pp_select ppf = function
+    | [] -> Fmt.string ppf "*"
+    | names -> Fmt.(list ~sep:(any ", ") string) ppf names
+  in
+  Fmt.pf ppf "@[<v2>SELECT %a@ FROM %s" pp_select q.select q.from_;
+  let has_where = q.where_ <> Cond.True || q.where_in <> [] in
+  if has_where then begin
+    Fmt.pf ppf "@ WHERE ";
+    let first = ref true in
+    let sep () = if !first then first := false else Fmt.pf ppf "@ AND " in
+    (match q.where_ with
+    | Cond.True -> ()
+    | c ->
+        sep ();
+        Cond.pp ppf c);
+    List.iter
+      (fun (f, sub) ->
+        sep ();
+        Fmt.pf ppf "%s IN@;<1 2>(%a)" f pp_query sub)
+      q.where_in
+  end;
+  (match q.order_by with
+  | [] -> ()
+  | names -> Fmt.pf ppf "@ ORDER BY %a" Fmt.(list ~sep:(any ", ") string) names);
+  Fmt.pf ppf "@]"
+
+let pp_assign ppf (f, e) = Fmt.pf ppf "%s = %a" f Cond.pp_expr e
+
+let pp ppf = function
+  | Query q -> pp_query ppf q
+  | Insert (rel, assigns) ->
+      Fmt.pf ppf "@[INSERT INTO %s (%a)@]" rel
+        Fmt.(list ~sep:(any ", ") pp_assign)
+        assigns
+  | Delete (rel, cond) -> Fmt.pf ppf "@[DELETE FROM %s WHERE %a@]" rel Cond.pp cond
+  | Update (rel, assigns, cond) ->
+      Fmt.pf ppf "@[UPDATE %s SET %a WHERE %a@]" rel
+        Fmt.(list ~sep:(any ", ") pp_assign)
+        assigns Cond.pp cond
+
+let show s = Fmt.str "%a" pp s

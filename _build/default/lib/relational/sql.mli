@@ -1,0 +1,42 @@
+(** SEQUEL-style statements, matching the surface language the paper
+    quotes in section 4.1 (nested [SELECT ... WHERE x IN (SELECT ...)]).
+    Queries compile to {!Algebra.t}; updates execute directly. *)
+
+open Ccv_common
+
+type query = {
+  select : string list;  (** projected fields; [] means SELECT * *)
+  from_ : string;
+  where_ : Cond.t;
+  where_in : (string * query) list;
+      (** [(field, sub)]: FIELD IN (subquery); the subquery must
+          project exactly one field. *)
+  order_by : string list;
+}
+
+type stmt =
+  | Query of query
+  | Insert of string * (string * Cond.expr) list
+  | Delete of string * Cond.t
+  | Update of string * (string * Cond.expr) list * Cond.t
+
+val query :
+  ?select:string list -> ?where_:Cond.t -> ?where_in:(string * query) list ->
+  ?order_by:string list -> string -> query
+
+(** Compile a query to relational algebra (IN becomes semijoin). *)
+val compile : query -> Algebra.t
+
+val run_query : env:Cond.env -> Rdb.t -> query -> Row.t list
+
+(** Execute any statement; queries return their rows, updates return
+    the new instance. *)
+val exec : env:Cond.env -> Rdb.t -> stmt -> (Rdb.t * Row.t list, Status.t) result
+
+(** Relations a statement touches. *)
+val relations_of : stmt -> string list
+
+val equal_query : query -> query -> bool
+val pp_query : Format.formatter -> query -> unit
+val pp : Format.formatter -> stmt -> unit
+val show : stmt -> string

@@ -1,0 +1,1 @@
+lib/transform/data_translate.ml: Ccv_common Ccv_model Cond Field Fmt List Option Result Row Schema_change Sdb Semantic Status String Value

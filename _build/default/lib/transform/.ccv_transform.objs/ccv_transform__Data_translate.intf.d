@@ -1,0 +1,1 @@
+lib/transform/data_translate.mli: Ccv_model Schema_change Sdb

@@ -1,0 +1,1 @@
+lib/transform/inverse.ml: Ccv_common Ccv_model Data_translate Field Fmt List Schema_change Sdb Semantic

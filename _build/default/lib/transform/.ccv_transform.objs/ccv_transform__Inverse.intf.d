@@ -1,0 +1,1 @@
+lib/transform/inverse.mli: Ccv_model Format Schema_change

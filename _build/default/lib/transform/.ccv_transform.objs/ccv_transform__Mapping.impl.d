@@ -1,0 +1,1 @@
+lib/transform/mapping.ml: Ccv_common Ccv_hier Ccv_model Ccv_network Ccv_relational Field Fmt Hashtbl List Option Row Sdb Semantic Status String Value

@@ -1,0 +1,1 @@
+lib/transform/mapping.mli: Ccv_hier Ccv_model Ccv_network Ccv_relational Format Sdb Semantic

@@ -1,0 +1,1 @@
+lib/transform/schema_change.ml: Ccv_common Ccv_model Cond Field Fmt List Result Semantic String Value

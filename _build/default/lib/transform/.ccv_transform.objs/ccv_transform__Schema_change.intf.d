@@ -1,0 +1,1 @@
+lib/transform/schema_change.mli: Ccv_common Ccv_model Field Format Semantic Value

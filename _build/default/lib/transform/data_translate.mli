@@ -1,0 +1,18 @@
+(** The data translator: restructure a semantic instance to match a
+    schema change (the paper's premise that "transforming the database
+    to match the schema can be accomplished with a modest effort" —
+    this module is that modest effort, and experiment E8 measures it).
+
+    Translation can emit warnings (e.g. grouped fields of instances
+    with no association partner are lost; a newly added constraint is
+    violated by existing data). *)
+
+open Ccv_model
+
+val translate :
+  Sdb.t -> Schema_change.op -> (Sdb.t * string list, string) result
+
+val translate_exn : Sdb.t -> Schema_change.op -> Sdb.t
+
+val translate_all :
+  Sdb.t -> Schema_change.op list -> (Sdb.t * string list, string) result

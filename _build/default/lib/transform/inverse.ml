@@ -1,0 +1,89 @@
+open Ccv_common
+open Ccv_model
+
+type verdict =
+  | Invertible of Schema_change.op
+  | Lossy of string
+  | Conditional of Schema_change.op * string
+
+let invert schema op =
+  match op with
+  | Schema_change.Rename_entity { from_; to_ } ->
+      Invertible (Schema_change.Rename_entity { from_ = to_; to_ = from_ })
+  | Schema_change.Rename_field { entity; from_; to_ } ->
+      Invertible (Schema_change.Rename_field { entity; from_ = to_; to_ = from_ })
+  | Schema_change.Rename_assoc { from_; to_ } ->
+      Invertible (Schema_change.Rename_assoc { from_ = to_; to_ = from_ })
+  | Schema_change.Add_field { entity; field; default = _ } ->
+      (* Dropping the added field restores the schema; the data is
+         restored exactly because the field carried the default. *)
+      Invertible (Schema_change.Drop_field { entity; field = field.Field.name })
+  | Schema_change.Drop_field { entity; field } ->
+      Lossy
+        (Fmt.str "values of %s.%s cannot be reconstructed" entity field)
+  | Schema_change.Restrict_extension { entity; _ } ->
+      Lossy (Fmt.str "removed %s instances cannot be reconstructed" entity)
+  | Schema_change.Add_constraint c ->
+      Invertible (Schema_change.Drop_constraint c)
+  | Schema_change.Drop_constraint c ->
+      Conditional
+        ( Schema_change.Add_constraint c,
+          "data written after the drop may violate the constraint" )
+  | Schema_change.Widen_cardinality { assoc } ->
+      Conditional
+        ( Schema_change.Widen_cardinality { assoc },
+          "narrowing back requires every right instance to keep a single \
+           partner" )
+  | Schema_change.Interpose
+      { through; new_entity; group_by = _; left_assoc; right_assoc } ->
+      Invertible
+        (Schema_change.Collapse
+           { left_assoc;
+             right_assoc;
+             removed_entity = new_entity;
+             restored_assoc = through;
+           })
+  | Schema_change.Collapse
+      { left_assoc; right_assoc; removed_entity; restored_assoc } -> (
+      (* Collapsing loses the grouping only if we forget which fields
+         were grouped; we can reconstruct them from the removed
+         entity's declaration. *)
+      match Semantic.find_entity schema removed_entity with
+      | None -> Lossy "removed entity unknown in the source schema"
+      | Some n ->
+          let la = Semantic.find_assoc_exn schema left_assoc in
+          let owner = Semantic.find_entity_exn schema la.left in
+          let group_by =
+            List.filter_map
+              (fun (f : Field.t) ->
+                if List.exists (Field.name_equal f.name) owner.key
+                then None
+                else Some f.name)
+              n.fields
+          in
+          Invertible
+            (Schema_change.Interpose
+               { through = restored_assoc;
+                 new_entity = removed_entity;
+                 group_by;
+                 left_assoc;
+                 right_assoc;
+               }))
+
+let pp_verdict ppf = function
+  | Invertible op -> Fmt.pf ppf "invertible by %a" Schema_change.pp_op op
+  | Lossy why -> Fmt.pf ppf "lossy: %s" why
+  | Conditional (op, cond) ->
+      Fmt.pf ppf "conditionally invertible by %a (%s)" Schema_change.pp_op op
+        cond
+
+let roundtrip db op =
+  match invert (Sdb.schema db) op with
+  | Lossy _ -> None
+  | Invertible inv | Conditional (inv, _) -> (
+      match Data_translate.translate db op with
+      | Error _ -> Some false
+      | Ok (db', _) -> (
+          match Data_translate.translate db' inv with
+          | Error _ -> Some false
+          | Ok (db'', _) -> Some (Sdb.equal_contents db db'')))

@@ -1,0 +1,25 @@
+(** Housel-style inverse analysis (section 2.2): "It is assumed ... that
+    the inverse of these data mapping operators exists, i.e., the
+    source database can be reconstructed from the target database";
+    Housel himself "observes that the assumption of the existence of
+    inverse operators restricts the scope of the conversion problem".
+
+    This module makes that observation executable: it decides which
+    restructuring operators are invertible, produces the inverse when
+    one exists, and experiment E9 verifies T⁻¹(T(db)) = db. *)
+
+type verdict =
+  | Invertible of Schema_change.op
+  | Lossy of string  (** why information is lost *)
+  | Conditional of Schema_change.op * string
+      (** invertible only under the stated data condition (checked at
+          translation time) *)
+
+val invert : Ccv_model.Semantic.t -> Schema_change.op -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** [roundtrip db op] — translate forward, then back when possible;
+    [Some true] = contents restored, [Some false] = not restored,
+    [None] = no inverse exists. *)
+val roundtrip : Ccv_model.Sdb.t -> Schema_change.op -> bool option

@@ -1,0 +1,640 @@
+open Ccv_common
+open Ccv_model
+module Rschema = Ccv_relational.Rschema
+module Rdb = Ccv_relational.Rdb
+module Nschema = Ccv_network.Nschema
+module Ndb = Ccv_network.Ndb
+module Hschema = Ccv_hier.Hschema
+module Hdb = Ccv_hier.Hdb
+
+type target_model = Rel | Net | Hier
+
+type assoc_real =
+  | Assoc_relation of string
+  | Assoc_set of { set : string; member_fields : string list }
+  | Assoc_link_record of { record : string; left_set : string; right_set : string }
+  | Assoc_parent_child
+  | Assoc_link_segment of string
+
+type t = {
+  model : target_model;
+  semantic : Semantic.t;
+  assoc_reals : (string * assoc_real) list;
+}
+
+let assoc_real_opt t aname = List.assoc_opt (Field.canon aname) t.assoc_reals
+
+let assoc_real t aname =
+  match assoc_real_opt t aname with
+  | Some r -> r
+  | None -> invalid_arg (Fmt.str "Mapping: unknown association %s" aname)
+
+let singular_set ename = "ALL-" ^ Field.canon ename
+
+let pp_model ppf = function
+  | Rel -> Fmt.string ppf "relational"
+  | Net -> Fmt.string ppf "network"
+  | Hier -> Fmt.string ppf "hierarchical"
+
+let pp_real ppf = function
+  | Assoc_relation r -> Fmt.pf ppf "relation %s" r
+  | Assoc_set { set; member_fields } ->
+      Fmt.pf ppf "set %s (selection via %s)" set
+        (String.concat ", " member_fields)
+  | Assoc_link_record { record; left_set; right_set } ->
+      Fmt.pf ppf "link record %s (sets %s, %s)" record left_set right_set
+  | Assoc_parent_child -> Fmt.string ppf "parent-child"
+  | Assoc_link_segment s -> Fmt.pf ppf "link segment %s" s
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>model: %a@ %a@]" pp_model t.model
+    (Fmt.list (fun ppf (a, r) -> Fmt.pf ppf "%s -> %a" a pp_real r))
+    t.assoc_reals
+
+(* Helpers over the semantic schema. *)
+
+let single_key (e : Semantic.entity) =
+  match e.key with
+  | [ k ] -> k
+  | _ ->
+      invalid_arg
+        (Fmt.str "Mapping: entity %s needs a single-field key for this model"
+           e.ename)
+
+let key_field_decl (e : Semantic.entity) k =
+  match Field.find e.fields k with
+  | Some f -> f
+  | None -> invalid_arg (Fmt.str "Mapping: %s has no key field %s" e.ename k)
+
+let is_characterizing schema (a : Semantic.assoc) =
+  let right = Semantic.find_entity_exn schema a.right in
+  match right.kind with
+  | Semantic.Characterizing owner -> Field.name_equal owner a.left
+  | Semantic.Defined -> false
+
+let is_total schema (a : Semantic.assoc) =
+  is_characterizing schema a
+  || List.exists
+       (function
+         | Semantic.Total_right x -> Field.name_equal x a.aname
+         | Semantic.Total_left _ | Semantic.Participation_limit _
+         | Semantic.Field_not_null _ -> false)
+       schema.Semantic.constraints
+
+(* An association realizable as a plain owner-coupled set / physical
+   parent-child: 1:N with no attributes of its own. *)
+let is_simple (a : Semantic.assoc) =
+  a.card = Semantic.One_to_many && a.fields = []
+
+(* ------------------------------------------------------------------ *)
+(* Relational realization                                              *)
+
+let assoc_rel_fields schema (a : Semantic.assoc) =
+  let le = Semantic.find_entity_exn schema a.left in
+  let re = Semantic.find_entity_exn schema a.right in
+  (* Dedup by name: an interposed entity's key embeds its owner's key
+     fields, which must appear once in the association relation. *)
+  let keys =
+    List.fold_left
+      (fun acc (f : Field.t) ->
+        if List.exists (fun (g : Field.t) -> Field.name_equal g.name f.name) acc
+        then acc
+        else acc @ [ f ])
+      []
+      (List.map (key_field_decl le) le.key @ List.map (key_field_decl re) re.key)
+  in
+  (keys @ a.fields, List.map (fun (f : Field.t) -> f.name) keys)
+
+let derive_relational schema =
+  let entity_rels =
+    List.map
+      (fun (e : Semantic.entity) ->
+        Rschema.rel_decl e.ename e.fields ~key:e.key)
+      schema.Semantic.entities
+  in
+  let assoc_rels =
+    List.map
+      (fun (a : Semantic.assoc) ->
+        let fields, key = assoc_rel_fields schema a in
+        Rschema.rel_decl a.aname fields ~key)
+      schema.Semantic.assocs
+  in
+  let mapping =
+    { model = Rel;
+      semantic = schema;
+      assoc_reals =
+        List.map
+          (fun (a : Semantic.assoc) -> (a.aname, Assoc_relation a.aname))
+          schema.Semantic.assocs;
+    }
+  in
+  (mapping, Rschema.make (entity_rels @ assoc_rels))
+
+(* ------------------------------------------------------------------ *)
+(* Network realization                                                 *)
+
+let derive_network schema =
+  let reals =
+    List.map
+      (fun (a : Semantic.assoc) ->
+        if is_simple a then
+          let le = Semantic.find_entity_exn schema a.left in
+          (* Member fields carrying the owner key have the owner key
+             field names (stored if the member already declares them,
+             virtual otherwise). *)
+          (a.aname, Assoc_set { set = a.aname; member_fields = le.key })
+        else
+          ( a.aname,
+            Assoc_link_record
+              { record = a.aname;
+                left_set = Field.canon a.left ^ "-" ^ Field.canon a.aname;
+                right_set = Field.canon a.right ^ "-" ^ Field.canon a.aname;
+              } ))
+      schema.Semantic.assocs
+  in
+  let real_of aname = List.assoc (Field.canon aname) reals in
+  let record_of_entity (e : Semantic.entity) =
+    (* A virtual field per owner-key field of each simple association
+       in which this entity is the member and does not itself store
+       that field. *)
+    let virtuals =
+      List.concat_map
+        (fun (a : Semantic.assoc) ->
+          match real_of a.aname with
+          | Assoc_set { set; member_fields }
+            when Field.name_equal a.right e.ename ->
+              let le = Semantic.find_entity_exn schema a.left in
+              List.filter_map
+                (fun mfield ->
+                  if Field.mem e.fields mfield then None
+                  else
+                    let lkey = key_field_decl le mfield in
+                    Some
+                      { Nschema.vname = mfield;
+                        vty = lkey.ty;
+                        via_set = set;
+                        source_field = lkey.name;
+                      })
+                member_fields
+          | Assoc_set _ | Assoc_relation _ | Assoc_link_record _
+          | Assoc_parent_child | Assoc_link_segment _ -> [])
+        (Semantic.assocs_of schema e.ename)
+    in
+    Nschema.record_decl ~virtuals ~calc_key:e.key e.ename e.fields
+  in
+  let link_records =
+    List.filter_map
+      (fun (a : Semantic.assoc) ->
+        match real_of a.aname with
+        | Assoc_link_record { record; _ } ->
+            let fields, key = assoc_rel_fields schema a in
+            Some (Nschema.record_decl ~calc_key:key record fields)
+        | Assoc_set _ | Assoc_relation _ | Assoc_parent_child
+        | Assoc_link_segment _ -> None)
+      schema.Semantic.assocs
+  in
+  let singular_sets =
+    List.map
+      (fun (e : Semantic.entity) ->
+        Nschema.set_decl ~insertion:Nschema.Automatic ~retention:Nschema.Fixed
+          ~name:(singular_set e.ename) ~owner:Nschema.System ~member:e.ename ())
+      schema.Semantic.entities
+  in
+  let assoc_sets =
+    List.concat_map
+      (fun (a : Semantic.assoc) ->
+        match real_of a.aname with
+        | Assoc_set { set; member_fields } ->
+            let le = Semantic.find_entity_exn schema a.left in
+            let total = is_total schema a in
+            [ Nschema.set_decl
+                ~insertion:(if total then Nschema.Automatic else Nschema.Manual)
+                ~retention:
+                  (if is_characterizing schema a then Nschema.Fixed
+                   else if total then Nschema.Mandatory
+                   else Nschema.Optional)
+                ~selection:(Nschema.By_value (List.combine le.key member_fields))
+                ~name:set ~owner:(Nschema.Owner_record a.left) ~member:a.right
+                ()
+            ]
+        | Assoc_link_record { record; left_set; right_set } ->
+            let le = Semantic.find_entity_exn schema a.left in
+            let re = Semantic.find_entity_exn schema a.right in
+            let self_pairs (e : Semantic.entity) =
+              List.map (fun k -> (k, k)) e.key
+            in
+            [ Nschema.set_decl ~insertion:Nschema.Automatic
+                ~retention:Nschema.Fixed
+                ~selection:(Nschema.By_value (self_pairs le))
+                ~name:left_set ~owner:(Nschema.Owner_record a.left)
+                ~member:record ();
+              Nschema.set_decl ~insertion:Nschema.Automatic
+                ~retention:Nschema.Fixed
+                ~selection:(Nschema.By_value (self_pairs re))
+                ~name:right_set ~owner:(Nschema.Owner_record a.right)
+                ~member:record ();
+            ]
+        | Assoc_relation _ | Assoc_parent_child | Assoc_link_segment _ -> [])
+      schema.Semantic.assocs
+  in
+  let records =
+    List.map record_of_entity schema.Semantic.entities @ link_records
+  in
+  let mapping = { model = Net; semantic = schema; assoc_reals = reals } in
+  (mapping, Nschema.make records (singular_sets @ assoc_sets))
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical realization                                            *)
+
+(* The (first) simple total association under which an entity hangs as
+   a physical child. *)
+let hier_parent_assoc schema (e : Semantic.entity) =
+  List.find_opt
+    (fun (a : Semantic.assoc) ->
+      Field.name_equal a.right e.ename && is_simple a && is_total schema a
+      && not (Field.name_equal a.left e.ename))
+    schema.Semantic.assocs
+
+let derive_hier schema =
+  let reals =
+    List.map
+      (fun (a : Semantic.assoc) ->
+        let re = Semantic.find_entity_exn schema a.right in
+        match hier_parent_assoc schema re with
+        | Some pa when Field.name_equal pa.aname a.aname ->
+            (a.aname, Assoc_parent_child)
+        | Some _ | None -> (a.aname, Assoc_link_segment (Field.canon a.aname)))
+      schema.Semantic.assocs
+  in
+  let real_of aname = List.assoc (Field.canon aname) reals in
+  let entity_segs =
+    List.map
+      (fun (e : Semantic.entity) ->
+        let parent =
+          Option.map
+            (fun (a : Semantic.assoc) -> a.left)
+            (hier_parent_assoc schema e)
+        in
+        Hschema.seg_decl ?parent e.ename e.fields)
+      schema.Semantic.entities
+  in
+  let link_segs =
+    List.filter_map
+      (fun (a : Semantic.assoc) ->
+        match real_of a.aname with
+        | Assoc_link_segment seg ->
+            let re = Semantic.find_entity_exn schema a.right in
+            let rkey = key_field_decl re (single_key re) in
+            Some (Hschema.seg_decl ~parent:a.left seg (rkey :: a.fields))
+        | Assoc_parent_child | Assoc_relation _ | Assoc_set _
+        | Assoc_link_record _ -> None)
+      schema.Semantic.assocs
+  in
+  let mapping = { model = Hier; semantic = schema; assoc_reals = reals } in
+  (mapping, Hschema.make (entity_segs @ link_segs))
+
+(* ------------------------------------------------------------------ *)
+(* Load order: owners of total simple associations first.              *)
+
+let load_order schema =
+  let entities = schema.Semantic.entities in
+  let depends_on (e : Semantic.entity) =
+    List.filter_map
+      (fun (a : Semantic.assoc) ->
+        if Field.name_equal a.right e.ename && is_total schema a
+           && not (Field.name_equal a.left e.ename)
+        then Some (Field.canon a.left)
+        else None)
+      (Semantic.assocs_of schema e.ename)
+  in
+  let rec go placed pending fuel =
+    if fuel = 0 then
+      invalid_arg "Mapping.load_order: cyclic total associations"
+    else
+      match pending with
+      | [] -> List.rev placed
+      | _ ->
+          let ready, blocked =
+            List.partition
+              (fun e ->
+                List.for_all
+                  (fun dep ->
+                    List.exists
+                      (fun (p : Semantic.entity) -> Field.name_equal p.ename dep)
+                      placed)
+                  (depends_on e))
+              pending
+          in
+          if ready = [] then
+            invalid_arg "Mapping.load_order: cyclic total associations"
+          else go (List.rev ready @ placed) blocked (fuel - 1)
+  in
+  go [] entities (List.length entities + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Relational load / extract                                           *)
+
+let load_relational rschema sdb =
+  let schema = Sdb.schema sdb in
+  let db = Rdb.create rschema in
+  let db =
+    List.fold_left
+      (fun db (e : Semantic.entity) ->
+        Rdb.load db e.ename (Sdb.rows_silent sdb e.ename))
+      db schema.Semantic.entities
+  in
+  List.fold_left
+    (fun db (a : Semantic.assoc) ->
+      Rdb.load db a.aname
+        (List.map
+           (fun l -> Sdb.link_row schema a l)
+           (Sdb.links_silent sdb a.aname)))
+    db schema.Semantic.assocs
+
+let extract_relational schema rdb =
+  let sdb = Sdb.create schema in
+  let sdb =
+    List.fold_left
+      (fun sdb (e : Semantic.entity) ->
+        List.fold_left
+          (fun sdb row -> Sdb.insert_entity_exn sdb e.ename row)
+          sdb
+          (Rdb.rows_silent rdb e.ename))
+      sdb (load_order schema)
+  in
+  List.fold_left
+    (fun sdb (a : Semantic.assoc) ->
+      let le = Semantic.find_entity_exn schema a.left in
+      let re = Semantic.find_entity_exn schema a.right in
+      List.fold_left
+        (fun sdb row ->
+          let pick keys = List.map (fun k -> Row.get_exn row k) keys in
+          Sdb.link_exn
+            ~attrs:(Row.project row (Field.names a.fields))
+            sdb a.aname ~left:(pick le.key) ~right:(pick re.key))
+        sdb
+        (Rdb.rows_silent rdb a.aname))
+    sdb schema.Semantic.assocs
+
+(* ------------------------------------------------------------------ *)
+(* Network load / extract                                              *)
+
+let store_exn db rtype row =
+  match Ndb.store db rtype row with
+  | Ok (db, key) -> (db, key)
+  | Error s ->
+      invalid_arg (Fmt.str "Mapping.load_network %s: %a" rtype Status.pp s)
+
+let load_network mapping nschema sdb =
+  let schema = Sdb.schema sdb in
+  let db = ref (Ndb.create nschema) in
+  let index : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let key_repr key = String.concat "|" (List.map Value.show key) in
+  (* Seed rows of member entities with the owner-key value so that
+     AUTOMATIC BY VALUE selection finds the right occurrence. *)
+  let seed_for (e : Semantic.entity) row =
+    List.fold_left
+      (fun row (a : Semantic.assoc) ->
+        match assoc_real mapping a.aname with
+        | Assoc_set { member_fields; _ }
+          when Field.name_equal a.right e.ename && is_total schema a ->
+            let rkey = Sdb.key_of e row in
+            let owner_key =
+              List.fold_left
+                (fun acc (l : Sdb.link) ->
+                  if List.compare Value.compare l.rkey rkey = 0 then Some l.lkey
+                  else acc)
+                None
+                (Sdb.links_silent sdb a.aname)
+            in
+            (match owner_key with
+            | Some lkey ->
+                List.fold_left2
+                  (fun row mfield v ->
+                    if Row.mem row mfield then row else Row.set row mfield v)
+                  row member_fields lkey
+            | None -> row)
+        | Assoc_set _ | Assoc_relation _ | Assoc_link_record _
+        | Assoc_parent_child | Assoc_link_segment _ -> row)
+      row
+      (Semantic.assocs_of schema e.ename)
+  in
+  List.iter
+    (fun (e : Semantic.entity) ->
+      List.iter
+        (fun row ->
+          let db', key = store_exn !db e.ename (seed_for e row) in
+          db := db';
+          Hashtbl.replace index (e.ename, key_repr (Sdb.key_of e row)) key)
+        (Sdb.rows_silent sdb e.ename))
+    (load_order schema);
+  List.iter
+    (fun (a : Semantic.assoc) ->
+      match assoc_real mapping a.aname with
+      | Assoc_set { set; _ } when not (is_total schema a) ->
+          (* MANUAL membership: CONNECT each link. *)
+          List.iter
+            (fun (l : Sdb.link) ->
+              let owner = Hashtbl.find index (Field.canon a.left, key_repr l.lkey) in
+              let member =
+                Hashtbl.find index (Field.canon a.right, key_repr l.rkey)
+              in
+              match Ndb.connect !db ~set ~member ~owner with
+              | Ok db' -> db := db'
+              | Error s ->
+                  invalid_arg
+                    (Fmt.str "Mapping.load_network connect %s: %a" set Status.pp
+                       s))
+            (Sdb.links_silent sdb a.aname)
+      | Assoc_set _ -> ()
+      | Assoc_link_record { record; _ } ->
+          List.iter
+            (fun l ->
+              let row = Sdb.link_row schema a l in
+              let db', _ = store_exn !db record row in
+              db := db')
+            (Sdb.links_silent sdb a.aname)
+      | Assoc_relation _ | Assoc_parent_child | Assoc_link_segment _ ->
+          invalid_arg "Mapping.load_network: non-network realization")
+    schema.Semantic.assocs;
+  !db
+
+let extract_network mapping ndb =
+  let schema = mapping.semantic in
+  let sdb = ref (Sdb.create schema) in
+  List.iter
+    (fun (e : Semantic.entity) ->
+      List.iter
+        (fun key ->
+          match Ndb.view_silent ndb key with
+          | Some row ->
+              let row = Row.project row (Field.names e.fields) in
+              sdb := Sdb.insert_entity_exn !sdb e.ename row
+          | None -> ())
+        (Ndb.all_keys_silent ndb e.ename))
+    (load_order schema);
+  List.iter
+    (fun (a : Semantic.assoc) ->
+      let le = Semantic.find_entity_exn schema a.left in
+      let re = Semantic.find_entity_exn schema a.right in
+      match assoc_real mapping a.aname with
+      | Assoc_set { set; _ } ->
+          List.iter
+            (fun (owner, members) ->
+              match Ndb.view_silent ndb owner with
+              | None -> ()
+              | Some orow ->
+                  let left = List.map (fun k -> Row.get_exn orow k) le.key in
+                  List.iter
+                    (fun m ->
+                      match Ndb.view_silent ndb m with
+                      | Some mrow ->
+                          let right =
+                            List.map (fun k -> Row.get_exn mrow k) re.key
+                          in
+                          sdb := Sdb.link_exn !sdb a.aname ~left ~right
+                      | None -> ())
+                    members)
+            (Ndb.occurrences ndb set)
+      | Assoc_link_record { record; _ } ->
+          List.iter
+            (fun key ->
+              match Ndb.view_silent ndb key with
+              | Some row ->
+                  let pick keys = List.map (fun k -> Row.get_exn row k) keys in
+                  sdb :=
+                    Sdb.link_exn
+                      ~attrs:(Row.project row (Field.names a.fields))
+                      !sdb a.aname ~left:(pick le.key) ~right:(pick re.key)
+              | None -> ())
+            (Ndb.all_keys_silent ndb record)
+      | Assoc_relation _ | Assoc_parent_child | Assoc_link_segment _ ->
+          invalid_arg "Mapping.extract_network: non-network realization")
+    schema.Semantic.assocs;
+  !sdb
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical load / extract                                         *)
+
+let load_hier mapping hschema sdb =
+  let schema = Sdb.schema sdb in
+  let db = ref (Hdb.create hschema) in
+  let index : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let key_repr key = String.concat "|" (List.map Value.show key) in
+  let insert_exn parent stype row =
+    let db', key = Hdb.insert_exn !db ~parent stype row in
+    db := db';
+    key
+  in
+  List.iter
+    (fun (e : Semantic.entity) ->
+      let parent_assoc = hier_parent_assoc schema e in
+      List.iter
+        (fun row ->
+          let rkey = Sdb.key_of e row in
+          let parent =
+            match parent_assoc with
+            | None -> None
+            | Some a ->
+                let link =
+                  List.find_opt
+                    (fun (l : Sdb.link) ->
+                      List.compare Value.compare l.rkey rkey = 0)
+                    (Sdb.links_silent sdb a.aname)
+                in
+                (match link with
+                | Some l ->
+                    Some (Hashtbl.find index (Field.canon a.left, key_repr l.lkey))
+                | None ->
+                    invalid_arg
+                      (Fmt.str "Mapping.load_hier: %s instance has no parent"
+                         e.ename))
+          in
+          let key = insert_exn parent e.ename row in
+          Hashtbl.replace index (e.ename, key_repr rkey) key)
+        (Sdb.rows_silent sdb e.ename))
+    (load_order schema);
+  List.iter
+    (fun (a : Semantic.assoc) ->
+      match assoc_real mapping a.aname with
+      | Assoc_parent_child -> ()
+      | Assoc_link_segment seg ->
+          let re = Semantic.find_entity_exn schema a.right in
+          let rkey_field = single_key re in
+          List.iter
+            (fun (l : Sdb.link) ->
+              let parent =
+                Hashtbl.find index (Field.canon a.left, key_repr l.lkey)
+              in
+              let row =
+                Row.of_list
+                  ((rkey_field, List.hd l.rkey) :: Row.to_list l.attrs)
+              in
+              ignore (insert_exn (Some parent) seg row))
+            (Sdb.links_silent sdb a.aname)
+      | Assoc_relation _ | Assoc_set _ | Assoc_link_record _ ->
+          invalid_arg "Mapping.load_hier: non-hierarchical realization")
+    schema.Semantic.assocs;
+  !db
+
+let extract_hier mapping hdb =
+  let schema = mapping.semantic in
+  let sdb = ref (Sdb.create schema) in
+  let nodes_of stype =
+    List.filter
+      (fun k ->
+        match Hdb.stype_of hdb k with
+        | Some t -> Field.name_equal t stype
+        | None -> false)
+      (Hdb.hierarchic_sequence_silent hdb)
+  in
+  List.iter
+    (fun (e : Semantic.entity) ->
+      List.iter
+        (fun k ->
+          match Hdb.get_silent hdb k with
+          | Some (_, row) -> sdb := Sdb.insert_entity_exn !sdb e.ename row
+          | None -> ())
+        (nodes_of e.ename))
+    (load_order schema);
+  let key_of_node (e : Semantic.entity) k =
+    match Hdb.get_silent hdb k with
+    | Some (_, row) -> Some (Sdb.key_of e row)
+    | None -> None
+  in
+  List.iter
+    (fun (a : Semantic.assoc) ->
+      let le = Semantic.find_entity_exn schema a.left in
+      let re = Semantic.find_entity_exn schema a.right in
+      match assoc_real mapping a.aname with
+      | Assoc_parent_child ->
+          List.iter
+            (fun k ->
+              match Hdb.parent_of hdb k with
+              | Some p -> (
+                  match key_of_node le p, key_of_node re k with
+                  | Some left, Some right ->
+                      sdb := Sdb.link_exn !sdb a.aname ~left ~right
+                  | _, _ -> ())
+              | None -> ())
+            (nodes_of re.ename)
+      | Assoc_link_segment seg ->
+          let rkey_field = single_key re in
+          List.iter
+            (fun k ->
+              match Hdb.get_silent hdb k, Hdb.parent_of hdb k with
+              | Some (_, row), Some p -> (
+                  match key_of_node le p with
+                  | Some left ->
+                      sdb :=
+                        Sdb.link_exn
+                          ~attrs:(Row.project row (Field.names a.fields))
+                          !sdb a.aname ~left
+                          ~right:[ Row.get_exn row rkey_field ]
+                  | None -> ())
+              | _, _ -> ())
+            (nodes_of seg)
+      | Assoc_relation _ | Assoc_set _ | Assoc_link_record _ ->
+          invalid_arg "Mapping.extract_hier: non-hierarchical realization")
+    schema.Semantic.assocs;
+  !sdb

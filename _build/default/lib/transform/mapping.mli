@@ -1,0 +1,84 @@
+(** Realization of a semantic schema in each concrete 1979 data model,
+    with data loaders in both directions.
+
+    This is the keystone the paper's framework turns on: the semantic
+    model is the "intermediate form ... used as the target for the
+    decompilation process and the source of a compilation process"
+    (section 3.1), so each entity/association must have a concrete
+    realization per model:
+
+    - {b relational}: entity → relation; association → relation holding
+      both keys plus attributes (Figure 3.1a).
+    - {b network}: entity → record type with a CALC key and a
+      SYSTEM-owned singular set (the Maryland ALL-DIV device);
+      attribute-free 1:N association → owner-coupled set (selection BY
+      VALUE of the owner key); association with attributes or M:N →
+      link record owned through two sets (Figure 3.1b's
+      COURSE'S-OFFERING / SEMESTER'S-OFFERING shape).
+    - {b hierarchical}: a total attribute-free 1:N association →
+      physical parent-child; every other association → a link segment
+      under the left entity carrying the right key and the attributes.
+
+    Restrictions (checked, [Invalid_argument] otherwise): network and
+    hierarchical realizations need single-field entity keys. *)
+
+open Ccv_model
+module Rschema = Ccv_relational.Rschema
+module Rdb = Ccv_relational.Rdb
+module Nschema = Ccv_network.Nschema
+module Ndb = Ccv_network.Ndb
+module Hschema = Ccv_hier.Hschema
+module Hdb = Ccv_hier.Hdb
+
+type target_model = Rel | Net | Hier
+
+type assoc_real =
+  | Assoc_relation of string
+  | Assoc_set of { set : string; member_fields : string list }
+      (** [member_fields]: the member-side fields (stored or virtual)
+          carrying the owner key, aligned with the owner's key fields;
+          used for BY VALUE selection *)
+  | Assoc_link_record of { record : string; left_set : string; right_set : string }
+  | Assoc_parent_child
+  | Assoc_link_segment of string
+
+type t = {
+  model : target_model;
+  semantic : Semantic.t;
+  assoc_reals : (string * assoc_real) list;
+}
+
+val assoc_real : t -> string -> assoc_real
+
+(** [None] when the name is not an association (e.g. an entity). *)
+val assoc_real_opt : t -> string -> assoc_real option
+
+(** Singular-set name for an entity in the network realization. *)
+val singular_set : string -> string
+
+val pp_model : Format.formatter -> target_model -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Schema derivation. *)
+
+val derive_relational : Semantic.t -> t * Rschema.t
+val derive_network : Semantic.t -> t * Nschema.t
+val derive_hier : Semantic.t -> t * Hschema.t
+
+(** Entities in an order where every total-association owner precedes
+    its members (load order). *)
+val load_order : Semantic.t -> Semantic.entity list
+
+(** Data loaders (semantic instance → concrete instance). *)
+
+val load_relational : Rschema.t -> Sdb.t -> Rdb.t
+val load_network : t -> Nschema.t -> Sdb.t -> Ndb.t
+val load_hier : t -> Hschema.t -> Sdb.t -> Hdb.t
+
+(** Extractors (concrete instance → semantic instance); with the
+    loaders these give round-trip data translation between any two
+    models. *)
+
+val extract_relational : Semantic.t -> Rdb.t -> Sdb.t
+val extract_network : t -> Ndb.t -> Sdb.t
+val extract_hier : t -> Hdb.t -> Sdb.t

@@ -1,0 +1,468 @@
+open Ccv_common
+open Ccv_model
+
+type op =
+  | Rename_entity of { from_ : string; to_ : string }
+  | Rename_field of { entity : string; from_ : string; to_ : string }
+  | Rename_assoc of { from_ : string; to_ : string }
+  | Add_field of { entity : string; field : Field.t; default : Value.t }
+  | Drop_field of { entity : string; field : string }
+  | Add_constraint of Semantic.constraint_
+  | Drop_constraint of Semantic.constraint_
+  | Widen_cardinality of { assoc : string }
+  | Interpose of {
+      through : string;
+      new_entity : string;
+      group_by : string list;
+      left_assoc : string;
+      right_assoc : string;
+    }
+  | Collapse of {
+      left_assoc : string;
+      right_assoc : string;
+      removed_entity : string;
+      restored_assoc : string;
+    }
+  | Restrict_extension of { entity : string; qual : Cond.t }
+
+type change_class =
+  | Renaming
+  | Field_extension
+  | Field_deletion
+  | Constraint_change
+  | Cardinality_generalization
+  | Structural_split
+  | Structural_merge
+  | Extension_reduction
+
+let classify = function
+  | Rename_entity _ | Rename_field _ | Rename_assoc _ -> Renaming
+  | Add_field _ -> Field_extension
+  | Drop_field _ -> Field_deletion
+  | Add_constraint _ | Drop_constraint _ -> Constraint_change
+  | Widen_cardinality _ -> Cardinality_generalization
+  | Interpose _ -> Structural_split
+  | Collapse _ -> Structural_merge
+  | Restrict_extension _ -> Extension_reduction
+
+let ( let* ) r f = Result.bind r f
+
+let find_entity schema name =
+  match Semantic.find_entity schema name with
+  | Some e -> Ok e
+  | None -> Error (Fmt.str "unknown entity %s" name)
+
+let find_assoc schema name =
+  match Semantic.find_assoc schema name with
+  | Some a -> Ok a
+  | None -> Error (Fmt.str "unknown association %s" name)
+
+let replace_entity schema (e : Semantic.entity) =
+  { schema with
+    Semantic.entities =
+      List.map
+        (fun (e' : Semantic.entity) ->
+          if Field.name_equal e'.ename e.ename then e else e')
+        schema.Semantic.entities;
+  }
+
+let rename_in_constraints schema ~is_assoc ~from_ ~to_ =
+  { schema with
+    Semantic.constraints =
+      List.map
+        (fun c ->
+          match c with
+          | Semantic.Total_left a when is_assoc && Field.name_equal a from_ ->
+              Semantic.Total_left to_
+          | Semantic.Total_right a when is_assoc && Field.name_equal a from_ ->
+              Semantic.Total_right to_
+          | Semantic.Participation_limit { assoc; per_left_max }
+            when is_assoc && Field.name_equal assoc from_ ->
+              Semantic.Participation_limit { assoc = to_; per_left_max }
+          | Semantic.Field_not_null { entity; field }
+            when (not is_assoc) && Field.name_equal entity from_ ->
+              Semantic.Field_not_null { entity = to_; field }
+          | Semantic.Total_left _ | Semantic.Total_right _
+          | Semantic.Participation_limit _ | Semantic.Field_not_null _ -> c)
+        schema.Semantic.constraints;
+  }
+
+let interpose_entity_fields schema ~through ~group_by =
+  let a = Semantic.find_assoc_exn schema through in
+  let owner = Semantic.find_entity_exn schema a.left in
+  let member = Semantic.find_entity_exn schema a.right in
+  let owner_keys =
+    List.map
+      (fun k ->
+        match Field.find owner.fields k with
+        | Some f -> f
+        | None -> invalid_arg (Fmt.str "missing owner key field %s" k))
+      owner.key
+  in
+  let grouped =
+    List.map
+      (fun g ->
+        match Field.find member.fields g with
+        | Some f -> f
+        | None -> invalid_arg (Fmt.str "missing grouped field %s" g))
+      group_by
+  in
+  (owner_keys @ grouped, owner.key @ List.map Field.canon group_by)
+
+let apply schema op =
+  match op with
+  | Rename_entity { from_; to_ } ->
+      let* e = find_entity schema from_ in
+      if Semantic.find_entity schema to_ <> None then
+        Error (Fmt.str "entity %s already exists" to_)
+      else
+        let to_ = Field.canon to_ in
+        let entities =
+          List.map
+            (fun (e' : Semantic.entity) ->
+              let e' =
+                if Field.name_equal e'.ename e.ename then
+                  { e' with Semantic.ename = to_ }
+                else e'
+              in
+              match e'.kind with
+              | Semantic.Characterizing owner when Field.name_equal owner from_
+                -> { e' with kind = Semantic.Characterizing to_ }
+              | Semantic.Characterizing _ | Semantic.Defined -> e')
+            schema.Semantic.entities
+        in
+        let assocs =
+          List.map
+            (fun (a : Semantic.assoc) ->
+              { a with
+                left = (if Field.name_equal a.left from_ then to_ else a.left);
+                right = (if Field.name_equal a.right from_ then to_ else a.right);
+              })
+            schema.Semantic.assocs
+        in
+        Ok (rename_in_constraints { schema with entities; assocs }
+              ~is_assoc:false ~from_ ~to_)
+  | Rename_field { entity; from_; to_ } ->
+      let* e = find_entity schema entity in
+      (match Field.find e.fields from_ with
+      | None -> Error (Fmt.str "%s has no field %s" entity from_)
+      | Some f ->
+          if Field.mem e.fields to_ then
+            Error (Fmt.str "%s already has field %s" entity to_)
+          else
+            let to_ = Field.canon to_ in
+            let fields =
+              List.map
+                (fun (g : Field.t) ->
+                  if Field.name_equal g.name from_ then { f with Field.name = to_ }
+                  else g)
+                e.fields
+            in
+            let key =
+              List.map
+                (fun k -> if Field.name_equal k from_ then to_ else k)
+                e.key
+            in
+            let schema =
+              replace_entity schema { e with Semantic.fields; key }
+            in
+            let constraints =
+              List.map
+                (fun c ->
+                  match c with
+                  | Semantic.Field_not_null { entity = en; field }
+                    when Field.name_equal en entity
+                         && Field.name_equal field from_ ->
+                      Semantic.Field_not_null { entity = en; field = to_ }
+                  | Semantic.Field_not_null _ | Semantic.Total_left _
+                  | Semantic.Total_right _ | Semantic.Participation_limit _ ->
+                      c)
+                schema.Semantic.constraints
+            in
+            Ok { schema with Semantic.constraints })
+  | Rename_assoc { from_; to_ } ->
+      let* a = find_assoc schema from_ in
+      if Semantic.find_assoc schema to_ <> None then
+        Error (Fmt.str "association %s already exists" to_)
+      else
+        let to_ = Field.canon to_ in
+        let assocs =
+          List.map
+            (fun (a' : Semantic.assoc) ->
+              if Field.name_equal a'.aname a.aname then
+                { a' with Semantic.aname = to_ }
+              else a')
+            schema.Semantic.assocs
+        in
+        Ok (rename_in_constraints { schema with Semantic.assocs }
+              ~is_assoc:true ~from_ ~to_)
+  | Add_field { entity; field; default = _ } ->
+      let* e = find_entity schema entity in
+      if Field.mem e.fields field.Field.name then
+        Error (Fmt.str "%s already has field %s" entity field.Field.name)
+      else
+        Ok (replace_entity schema { e with Semantic.fields = e.fields @ [ field ] })
+  | Drop_field { entity; field } ->
+      let* e = find_entity schema entity in
+      if not (Field.mem e.fields field) then
+        Error (Fmt.str "%s has no field %s" entity field)
+      else if List.exists (Field.name_equal field) e.key then
+        Error (Fmt.str "cannot drop key field %s.%s" entity field)
+      else
+        let fields =
+          List.filter
+            (fun (f : Field.t) -> not (Field.name_equal f.name field))
+            e.fields
+        in
+        let constraints =
+          List.filter
+            (fun c ->
+              match c with
+              | Semantic.Field_not_null { entity = en; field = f } ->
+                  not (Field.name_equal en entity && Field.name_equal f field)
+              | Semantic.Total_left _ | Semantic.Total_right _
+              | Semantic.Participation_limit _ -> true)
+            schema.Semantic.constraints
+        in
+        Ok { (replace_entity schema { e with Semantic.fields })
+             with Semantic.constraints }
+  | Add_constraint c ->
+      if List.mem c schema.Semantic.constraints then
+        Error "constraint already present"
+      else
+        (* Re-validate through the smart constructor. *)
+        (try
+           Ok
+             (Semantic.make
+                ~constraints:(schema.Semantic.constraints @ [ c ])
+                schema.Semantic.entities schema.Semantic.assocs)
+         with Invalid_argument msg -> Error msg)
+  | Drop_constraint c ->
+      if not (List.mem c schema.Semantic.constraints) then
+        Error "constraint not present"
+      else
+        Ok
+          { schema with
+            Semantic.constraints =
+              List.filter (fun c' -> c' <> c) schema.Semantic.constraints;
+          }
+  | Widen_cardinality { assoc } ->
+      let* a = find_assoc schema assoc in
+      if a.card = Semantic.Many_to_many then
+        Error (Fmt.str "%s is already many-to-many" assoc)
+      else
+        Ok
+          { schema with
+            Semantic.assocs =
+              List.map
+                (fun (a' : Semantic.assoc) ->
+                  if Field.name_equal a'.aname a.aname then
+                    { a' with Semantic.card = Semantic.Many_to_many }
+                  else a')
+                schema.Semantic.assocs;
+          }
+  | Interpose { through; new_entity; group_by; left_assoc; right_assoc } -> (
+      let* a = find_assoc schema through in
+      if a.card <> Semantic.One_to_many || a.fields <> [] then
+        Error "INTERPOSE needs a simple (attribute-free, 1:N) association"
+      else if Semantic.find_entity schema new_entity <> None then
+        Error (Fmt.str "entity %s already exists" new_entity)
+      else
+        let* member = find_entity schema a.right in
+        let missing =
+          List.filter (fun g -> not (Field.mem member.fields g)) group_by
+        in
+        if missing <> [] then
+          Error
+            (Fmt.str "%s lacks grouped fields %s" a.right
+               (String.concat ", " missing))
+        else if
+          List.exists
+            (fun g -> List.exists (Field.name_equal g) member.key)
+            group_by
+        then Error "cannot group a key field into the interposed entity"
+        else
+          try
+            let nfields, nkey =
+              interpose_entity_fields schema ~through ~group_by
+            in
+            let n = Semantic.entity new_entity nfields ~key:nkey in
+            let member' =
+              { member with
+                Semantic.fields =
+                  List.filter
+                    (fun (f : Field.t) ->
+                      not (List.exists (Field.name_equal f.name) group_by))
+                    member.fields;
+              }
+            in
+            let la =
+              Semantic.assoc left_assoc ~left:a.left ~right:new_entity ()
+            in
+            let ra =
+              Semantic.assoc right_assoc ~left:new_entity ~right:a.right ()
+            in
+            let entities =
+              List.map
+                (fun (e : Semantic.entity) ->
+                  if Field.name_equal e.ename member.ename then member' else e)
+                schema.Semantic.entities
+              @ [ n ]
+            in
+            let assocs =
+              List.filter
+                (fun (a' : Semantic.assoc) ->
+                  not (Field.name_equal a'.aname through))
+                schema.Semantic.assocs
+              @ [ la; ra ]
+            in
+            (* Totality of the old association becomes totality of both
+               halves; other constraints on it are dropped (an issue the
+               supervisor reports). *)
+            let constraints =
+              List.concat_map
+                (fun c ->
+                  match c with
+                  | Semantic.Total_right x when Field.name_equal x through ->
+                      [ Semantic.Total_right left_assoc;
+                        Semantic.Total_right right_assoc;
+                      ]
+                  | Semantic.Total_left x when Field.name_equal x through -> []
+                  | Semantic.Participation_limit { assoc; _ }
+                    when Field.name_equal assoc through -> []
+                  | Semantic.Total_left _ | Semantic.Total_right _
+                  | Semantic.Participation_limit _ | Semantic.Field_not_null _
+                    -> [ c ])
+                schema.Semantic.constraints
+            in
+            Ok (Semantic.make ~constraints entities assocs)
+          with Invalid_argument msg -> Error msg)
+  | Restrict_extension { entity; qual } ->
+      let* e = find_entity schema entity in
+      let unknown =
+        List.filter (fun f -> not (Field.mem e.fields f)) (Cond.fields qual)
+      in
+      if unknown <> [] then
+        Error
+          (Fmt.str "%s has no field(s) %s" entity (String.concat ", " unknown))
+      else Ok schema
+  | Collapse { left_assoc; right_assoc; removed_entity; restored_assoc } -> (
+      let* la = find_assoc schema left_assoc in
+      let* ra = find_assoc schema right_assoc in
+      let* n = find_entity schema removed_entity in
+      if not (Field.name_equal la.right n.ename && Field.name_equal ra.left n.ename)
+      then Error "COLLAPSE: associations do not meet at the removed entity"
+      else if Semantic.find_assoc schema restored_assoc <> None then
+        Error (Fmt.str "association %s already exists" restored_assoc)
+      else
+        let* owner = find_entity schema la.left in
+        let* member = find_entity schema ra.right in
+        (* N's own (non-owner-key) fields return to the member. *)
+        let own_fields =
+          List.filter
+            (fun (f : Field.t) ->
+              not (List.exists (Field.name_equal f.name) owner.key))
+            n.fields
+        in
+        let member' =
+          { member with Semantic.fields = member.fields @ own_fields }
+        in
+        let restored =
+          Semantic.assoc restored_assoc ~left:owner.ename ~right:member.ename ()
+        in
+        let entities =
+          List.filter_map
+            (fun (e : Semantic.entity) ->
+              if Field.name_equal e.ename n.ename then None
+              else if Field.name_equal e.ename member.ename then Some member'
+              else Some e)
+            schema.Semantic.entities
+        in
+        let assocs =
+          List.filter
+            (fun (a : Semantic.assoc) ->
+              not
+                (Field.name_equal a.aname left_assoc
+                || Field.name_equal a.aname right_assoc))
+            schema.Semantic.assocs
+          @ [ restored ]
+        in
+        let was_total name =
+          List.exists
+            (function
+              | Semantic.Total_right x -> Field.name_equal x name
+              | Semantic.Total_left _ | Semantic.Participation_limit _
+              | Semantic.Field_not_null _ -> false)
+            schema.Semantic.constraints
+        in
+        let constraints =
+          List.filter
+            (fun c ->
+              match c with
+              | Semantic.Total_left x | Semantic.Total_right x ->
+                  not
+                    (Field.name_equal x left_assoc
+                    || Field.name_equal x right_assoc)
+              | Semantic.Participation_limit { assoc; _ } ->
+                  not
+                    (Field.name_equal assoc left_assoc
+                    || Field.name_equal assoc right_assoc)
+              | Semantic.Field_not_null { entity; _ } ->
+                  not (Field.name_equal entity n.ename))
+            schema.Semantic.constraints
+          @
+          if was_total left_assoc && was_total right_assoc then
+            [ Semantic.Total_right restored_assoc ]
+          else []
+        in
+        try Ok (Semantic.make ~constraints entities assocs)
+        with Invalid_argument msg -> Error msg)
+
+let apply_exn schema op =
+  match apply schema op with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Schema_change.apply_exn: " ^ msg)
+
+let apply_all schema ops =
+  List.fold_left
+    (fun acc op -> Result.bind acc (fun s -> apply s op))
+    (Ok schema) ops
+
+let pp_op ppf = function
+  | Rename_entity { from_; to_ } -> Fmt.pf ppf "RENAME ENTITY %s TO %s" from_ to_
+  | Rename_field { entity; from_; to_ } ->
+      Fmt.pf ppf "RENAME FIELD %s.%s TO %s" entity from_ to_
+  | Rename_assoc { from_; to_ } -> Fmt.pf ppf "RENAME ASSOC %s TO %s" from_ to_
+  | Add_field { entity; field; default } ->
+      Fmt.pf ppf "ADD FIELD %s.%a DEFAULT %a" entity Field.pp field Value.pp
+        default
+  | Drop_field { entity; field } -> Fmt.pf ppf "DROP FIELD %s.%s" entity field
+  | Add_constraint c -> Fmt.pf ppf "ADD CONSTRAINT %a" Semantic.pp_constraint c
+  | Drop_constraint c ->
+      Fmt.pf ppf "DROP CONSTRAINT %a" Semantic.pp_constraint c
+  | Widen_cardinality { assoc } -> Fmt.pf ppf "WIDEN %s TO M:N" assoc
+  | Interpose { through; new_entity; group_by; left_assoc; right_assoc } ->
+      Fmt.pf ppf "INTERPOSE %s INTO %s GROUPING (%s) AS %s,%s" new_entity
+        through
+        (String.concat ", " group_by)
+        left_assoc right_assoc
+  | Collapse { left_assoc; right_assoc; removed_entity; restored_assoc } ->
+      Fmt.pf ppf "COLLAPSE %s THROUGH %s,%s RESTORING %s" removed_entity
+        left_assoc right_assoc restored_assoc
+  | Restrict_extension { entity; qual } ->
+      Fmt.pf ppf "RESTRICT %s DROPPING %a" entity Cond.pp qual
+
+let pp_class ppf c =
+  Fmt.string ppf
+    (match c with
+    | Renaming -> "renaming"
+    | Field_extension -> "field-extension"
+    | Field_deletion -> "field-deletion"
+    | Constraint_change -> "constraint-change"
+    | Cardinality_generalization -> "cardinality-generalization"
+    | Structural_split -> "structural-split"
+    | Structural_merge -> "structural-merge"
+    | Extension_reduction -> "extension-reduction")
+
+let show_op op = Fmt.str "%a" pp_op op
+let show_class c = Fmt.str "%a" pp_class c

@@ -1,0 +1,73 @@
+(** Schema restructuring operators and their classification — the
+    paper's "definition of a restructuring to some new (logical) form"
+    (problem statement, §1.1) made concrete.  The Conversion Analyzer
+    of Figure 4.1 "classif[ies] the types of changes that have been
+    made"; {!classify} is that classifier, and the Program Converter
+    keys its transformation rules on the {!change_class}. *)
+
+open Ccv_common
+open Ccv_model
+
+type op =
+  | Rename_entity of { from_ : string; to_ : string }
+  | Rename_field of { entity : string; from_ : string; to_ : string }
+  | Rename_assoc of { from_ : string; to_ : string }
+  | Add_field of { entity : string; field : Field.t; default : Value.t }
+  | Drop_field of { entity : string; field : string }
+  | Add_constraint of Semantic.constraint_
+  | Drop_constraint of Semantic.constraint_
+  | Widen_cardinality of { assoc : string }  (** 1:N becomes M:N *)
+  | Interpose of {
+      through : string;  (** existing simple association O→E *)
+      new_entity : string;  (** N, keyed by O's key plus [group_by] *)
+      group_by : string list;  (** fields moved from E up into N *)
+      left_assoc : string;  (** new O→N association *)
+      right_assoc : string;  (** new N→E association *)
+    }
+      (** The Figure 4.2 → Figure 4.4 restructuring: promote a field
+          group of the member into an interposed entity. *)
+  | Collapse of {
+      left_assoc : string;
+      right_assoc : string;
+      removed_entity : string;
+      restored_assoc : string;
+    }  (** inverse of [Interpose]: fold N's own fields back into E *)
+  | Restrict_extension of { entity : string; qual : Ccv_common.Cond.t }
+      (** drop the instances satisfying [qual] during conversion — the
+          §5.2 example ("suppose employees who retired prior to 1950
+          are deleted during conversion"): programs convert with a
+          warning but are deliberately not strictly I/O equivalent *)
+
+type change_class =
+  | Renaming
+  | Field_extension
+  | Field_deletion  (** information loss: "a different and more
+                        difficult conversion problem" (§1.1) *)
+  | Constraint_change
+  | Cardinality_generalization
+  | Structural_split
+  | Structural_merge
+  | Extension_reduction
+      (** instances removed: a weaker §5.2 "level of successful
+          conversion" *)
+
+val classify : op -> change_class
+
+(** [apply schema op] — the restructured schema, or an error message
+    when the operator does not fit the schema. *)
+val apply : Semantic.t -> op -> (Semantic.t, string) result
+
+val apply_exn : Semantic.t -> op -> Semantic.t
+val apply_all : Semantic.t -> op list -> (Semantic.t, string) result
+
+(** Fields of the interposed entity [N]: the owner-key field
+    declarations followed by the grouped field declarations.  Exposed
+    for the data translator and the converter. *)
+val interpose_entity_fields :
+  Semantic.t -> through:string -> group_by:string list -> Field.t list * string list
+(** returns (field decls, key names) *)
+
+val pp_op : Format.formatter -> op -> unit
+val pp_class : Format.formatter -> change_class -> unit
+val show_op : op -> string
+val show_class : change_class -> string

@@ -1,0 +1,1 @@
+lib/workload/company.mli: Ccv_model Sdb Semantic

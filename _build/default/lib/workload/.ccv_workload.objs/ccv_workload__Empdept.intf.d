@@ -1,0 +1,1 @@
+lib/workload/empdept.mli: Ccv_model Sdb Semantic

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Apattern Aprog Ccv_abstract Ccv_common Ccv_model Ccv_network Cond Dml Field Fmt Host List Option Printf Prng Row Sdb Semantic Value

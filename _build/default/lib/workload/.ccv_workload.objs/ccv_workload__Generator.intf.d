@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Aprog Ccv_abstract Ccv_common Ccv_model Ccv_network Format Host Prng Sdb Semantic

@@ -1,0 +1,1 @@
+lib/workload/programs.ml: Apattern Aprog Ccv_abstract Ccv_common Company Cond Empdept Host School Value

@@ -1,0 +1,1 @@
+lib/workload/programs.mli: Aprog Ccv_abstract Ccv_model

@@ -1,0 +1,1 @@
+lib/workload/school.ml: Ccv_common Ccv_model Field List Printf Prng Row Sdb Semantic Value

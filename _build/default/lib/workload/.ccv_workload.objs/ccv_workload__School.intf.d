@@ -1,0 +1,1 @@
+lib/workload/school.mli: Ccv_model Sdb Semantic

@@ -1,0 +1,96 @@
+open Ccv_common
+open Ccv_model
+
+let div = "DIV"
+let emp = "EMP"
+let div_emp = "DIV-EMP"
+let dept = "DEPT"
+let div_dept = "DIV-DEPT"
+let dept_emp = "DEPT-EMP"
+
+let schema =
+  Semantic.make
+    ~constraints:[ Semantic.Total_right div_emp ]
+    [ Semantic.entity div
+        [ Field.make "DIV-NAME" Value.Tstr; Field.make "DIV-LOC" Value.Tstr ]
+        ~key:[ "DIV-NAME" ];
+      Semantic.entity emp
+        [ Field.make "EMP-NAME" Value.Tstr;
+          Field.make "DEPT-NAME" Value.Tstr;
+          Field.make "AGE" Value.Tint;
+        ]
+        ~key:[ "EMP-NAME" ];
+    ]
+    [ Semantic.assoc div_emp ~left:div ~right:emp () ]
+
+let divisions = [ ("MACHINERY", "DETROIT"); ("CHEMICALS", "HOUSTON") ]
+
+let employees =
+  [ ("ADAMS", "SALES", 34, "MACHINERY"); ("BAKER", "SALES", 28, "MACHINERY");
+    ("CLARK", "DESIGN", 45, "MACHINERY"); ("DAVIS", "SALES", 31, "CHEMICALS");
+    ("EVANS", "LABS", 52, "CHEMICALS"); ("FROST", "DESIGN", 29, "MACHINERY");
+    ("GREEN", "LABS", 38, "CHEMICALS");
+  ]
+
+let instance () =
+  let db = Sdb.create schema in
+  let db =
+    List.fold_left
+      (fun db (name, loc) ->
+        Sdb.insert_entity_exn db div
+          (Row.of_list
+             [ ("DIV-NAME", Value.Str name); ("DIV-LOC", Value.Str loc) ]))
+      db divisions
+  in
+  List.fold_left
+    (fun db (name, dept_name, age, division) ->
+      let db =
+        Sdb.insert_entity_exn db emp
+          (Row.of_list
+             [ ("EMP-NAME", Value.Str name);
+               ("DEPT-NAME", Value.Str dept_name);
+               ("AGE", Value.Int age);
+             ])
+      in
+      Sdb.link_exn db div_emp ~left:[ Value.Str division ]
+        ~right:[ Value.Str name ])
+    db employees
+
+let scaled ~seed ~n =
+  let rng = Prng.create ~seed in
+  let n_div = max 2 (n / 10) in
+  let depts = [ "SALES"; "DESIGN"; "LABS" ] in
+  let db = Sdb.create schema in
+  let db =
+    let rec go db i =
+      if i >= n_div then db
+      else
+        let row =
+          Row.of_list
+            [ ("DIV-NAME", Value.Str (Printf.sprintf "DIV%03d" i));
+              ("DIV-LOC", Value.Str (Prng.word rng 7));
+            ]
+        in
+        go (Sdb.insert_entity_exn db div row) (i + 1)
+    in
+    go db 0
+  in
+  let rec go db i =
+    if i >= n then db
+    else
+      let name = Printf.sprintf "E%05d" i in
+      let division = Printf.sprintf "DIV%03d" (Prng.int rng n_div) in
+      let db =
+        Sdb.insert_entity_exn db emp
+          (Row.of_list
+             [ ("EMP-NAME", Value.Str name);
+               ("DEPT-NAME", Value.Str (Prng.pick rng depts));
+               ("AGE", Value.Int (Prng.int_in rng 20 65));
+             ])
+      in
+      go
+        (Sdb.link_exn db div_emp ~left:[ Value.Str division ]
+           ~right:[ Value.Str name ])
+        (i + 1)
+  in
+  go db 0

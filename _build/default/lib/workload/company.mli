@@ -1,0 +1,24 @@
+(** The Maryland company database of Figure 4.2: DIV and EMP with the
+    DIV-EMP owner-coupled association (each employee belongs to exactly
+    one division).  EMP carries DEPT-NAME as a plain field — the field
+    the Figure 4.4 restructuring promotes into a DEPT record between
+    DIV and EMP. *)
+
+open Ccv_model
+
+val schema : Semantic.t
+val div : string
+val emp : string
+val div_emp : string
+
+(** Names used by the Figure 4.4 restructuring. *)
+val dept : string
+
+val div_dept : string
+val dept_emp : string
+
+val instance : unit -> Sdb.t
+
+(** [n] employees across [max 2 (n/10)] divisions, 3 departments per
+    division. *)
+val scaled : seed:int -> n:int -> Sdb.t

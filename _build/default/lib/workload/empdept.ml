@@ -1,0 +1,122 @@
+open Ccv_common
+open Ccv_model
+
+let emp = "EMP"
+let dept = "DEPT"
+let emp_dept = "EMP-DEPT"
+
+let schema =
+  Semantic.make
+    [ Semantic.entity emp
+        [ Field.make "E#" Value.Tstr;
+          Field.make "ENAME" Value.Tstr;
+          Field.make "AGE" Value.Tint;
+        ]
+        ~key:[ "E#" ];
+      Semantic.entity dept
+        [ Field.make "D#" Value.Tstr;
+          Field.make "DNAME" Value.Tstr;
+          Field.make "MGR" Value.Tstr;
+        ]
+        ~key:[ "D#" ];
+    ]
+    [ Semantic.assoc emp_dept ~left:emp ~right:dept
+        ~fields:[ Field.make "YEAR-OF-SERVICE" Value.Tint ]
+        ~card:Semantic.Many_to_many ();
+    ]
+
+let emps =
+  [ ("E1", "JONES", 42); ("E2", "BLAKE", 35); ("E3", "WARD", 28);
+    ("E4", "KING", 55); ("E5", "SCOTT", 47);
+  ]
+
+let depts =
+  [ ("D1", "ACCOUNTING", "SMITH"); ("D2", "RESEARCH", "SMITH");
+    ("D3", "SALES", "ALLEN");
+  ]
+
+let links =
+  [ ("E1", "D1", 12); ("E2", "D2", 3); ("E3", "D2", 11); ("E4", "D3", 20);
+    ("E5", "D1", 2); ("E5", "D3", 6);
+  ]
+
+let instance () =
+  let db = Sdb.create schema in
+  let db =
+    List.fold_left
+      (fun db (e, name, age) ->
+        Sdb.insert_entity_exn db emp
+          (Row.of_list
+             [ ("E#", Value.Str e); ("ENAME", Value.Str name);
+               ("AGE", Value.Int age);
+             ]))
+      db emps
+  in
+  let db =
+    List.fold_left
+      (fun db (d, name, mgr) ->
+        Sdb.insert_entity_exn db dept
+          (Row.of_list
+             [ ("D#", Value.Str d); ("DNAME", Value.Str name);
+               ("MGR", Value.Str mgr);
+             ]))
+      db depts
+  in
+  List.fold_left
+    (fun db (e, d, years) ->
+      Sdb.link_exn db emp_dept
+        ~attrs:(Row.of_list [ ("YEAR-OF-SERVICE", Value.Int years) ])
+        ~left:[ Value.Str e ] ~right:[ Value.Str d ])
+    db links
+
+let scaled ~seed ~n =
+  let rng = Prng.create ~seed in
+  let n_dept = max 3 (n / 8) in
+  let db = Sdb.create schema in
+  let db =
+    let rec go db i =
+      if i >= n_dept then db
+      else
+        let row =
+          Row.of_list
+            [ ("D#", Value.Str (Printf.sprintf "D%04d" i));
+              ("DNAME", Value.Str (Prng.word rng 8));
+              ("MGR", Value.Str (Prng.word rng 6));
+            ]
+        in
+        go (Sdb.insert_entity_exn db dept row) (i + 1)
+    in
+    go db 0
+  in
+  let rec go db i =
+    if i >= n then db
+    else
+      let e = Printf.sprintf "E%05d" i in
+      let db =
+        Sdb.insert_entity_exn db emp
+          (Row.of_list
+             [ ("E#", Value.Str e);
+               ("ENAME", Value.Str (Prng.word rng 6));
+               ("AGE", Value.Int (Prng.int_in rng 20 65));
+             ])
+      in
+      let n_links = 1 + Prng.int rng 2 in
+      let rec add db picked j =
+        if j >= n_links then db
+        else
+          let d = Prng.int rng n_dept in
+          if List.mem d picked then add db picked (j + 1)
+          else
+            let db =
+              Sdb.link_exn db emp_dept
+                ~attrs:
+                  (Row.of_list
+                     [ ("YEAR-OF-SERVICE", Value.Int (Prng.int_in rng 0 30)) ])
+                ~left:[ Value.Str e ]
+                ~right:[ Value.Str (Printf.sprintf "D%04d" d) ]
+            in
+            add db (d :: picked) (j + 1)
+      in
+      go (add db [] 0) (i + 1)
+  in
+  go db 0

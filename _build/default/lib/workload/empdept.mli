@@ -1,0 +1,13 @@
+(** The employee/department database of section 4.1, used for the Su
+    access-pattern examples: EMP(E#,ENAME,AGE), DEPT(D#,DNAME,MGR) and
+    the EMP-DEPT(E#,D#,YEAR-OF-SERVICE) association. *)
+
+open Ccv_model
+
+val schema : Semantic.t
+val emp : string
+val dept : string
+val emp_dept : string
+
+val instance : unit -> Sdb.t
+val scaled : seed:int -> n:int -> Sdb.t

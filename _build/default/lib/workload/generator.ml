@@ -1,0 +1,389 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+type family = Retrieval | Lookup | Insertion | Modification | Deletion
+
+let pp_family ppf f =
+  Fmt.string ppf
+    (match f with
+    | Retrieval -> "retrieval"
+    | Lookup -> "lookup"
+    | Insertion -> "insertion"
+    | Modification -> "modification"
+    | Deletion -> "deletion")
+
+let all_families = [ Retrieval; Lookup; Insertion; Modification; Deletion ]
+
+(* A value of the given entity field drawn from the sample. *)
+let sample_value rng sdb (e : Semantic.entity) field =
+  let rows = Sdb.rows_silent sdb e.ename in
+  match rows with
+  | [] -> Value.Str "NONE"
+  | _ ->
+      let row = Prng.pick rng rows in
+      Option.value (Row.get row field) ~default:Value.Null
+
+let sample_key rng sdb (e : Semantic.entity) =
+  List.map (fun k -> sample_value rng sdb e k) e.key
+
+let random_qual rng sdb (e : Semantic.entity) =
+  match Prng.int rng 3 with
+  | 0 -> Cond.True
+  | _ -> (
+      let f = Prng.pick rng e.fields in
+      let v = sample_value rng sdb e f.Field.name in
+      match v with
+      | Value.Int _ when Prng.bool rng ->
+          Cond.Cmp (Cond.Ge, Cond.Field f.Field.name, Cond.Const v)
+      | _ -> Cond.Cmp (Cond.Eq, Cond.Field f.Field.name, Cond.Const v))
+
+(* Build a random access chain starting at a random entity, optionally
+   hopping through associations (downward or upward). *)
+let random_chain rng schema sdb =
+  let entity = Prng.pick rng schema.Semantic.entities in
+  let first = Apattern.Self { target = entity.ename; qual = random_qual rng sdb entity } in
+  let rec extend current steps budget =
+    if budget = 0 then List.rev steps
+    else
+      let assocs = Semantic.assocs_of schema current in
+      let assocs =
+        (* avoid immediately bouncing back through the same assoc *)
+        match steps with
+        | Apattern.Via_assoc { assoc; _ } :: _ ->
+            List.filter
+              (fun (a : Semantic.assoc) ->
+                not (Field.name_equal a.aname assoc))
+              assocs
+        | _ -> assocs
+      in
+      match assocs with
+      | [] -> List.rev steps
+      | _ ->
+          if Prng.int rng 3 = 0 then List.rev steps
+          else
+            let a = Prng.pick rng assocs in
+            let going_down = Field.name_equal a.left current in
+            let target = if going_down then a.right else a.left in
+            let tgt = Semantic.find_entity_exn schema target in
+            let qual = random_qual rng sdb tgt in
+            extend target
+              (Apattern.Via_assoc { target; assoc = a.aname; qual }
+               :: Apattern.Assoc_via
+                    { assoc = a.aname; source = current; qual = Cond.True }
+               :: steps)
+              (budget - 1)
+  in
+  (entity, extend entity.ename [ first ] (Prng.int rng 3))
+
+let display_of rng schema query =
+  let candidates =
+    List.concat_map
+      (fun name ->
+        match Semantic.find_entity schema name with
+        | Some e ->
+            List.map
+              (fun (f : Field.t) -> Cond.Var (e.ename ^ "." ^ f.name))
+              e.fields
+        | None -> (
+            match Semantic.find_assoc schema name with
+            | Some a ->
+                List.map
+                  (fun (f : Field.t) ->
+                    Cond.Var (Field.canon a.aname ^ "." ^ f.name))
+                  a.fields
+            | None -> []))
+      (Apattern.names_of query)
+  in
+  match candidates with
+  | [] -> [ Cond.Const (Value.Str "ROW") ]
+  | _ ->
+      let n = 1 + Prng.int rng (min 3 (List.length candidates)) in
+      List.init n (fun _ -> Prng.pick rng candidates)
+
+let fresh_value i (f : Field.t) =
+  match f.ty with
+  | Value.Tstr -> Value.Str (Printf.sprintf "NEW%04d" i)
+  | Value.Tint -> Value.Int (10_000 + i)
+  | Value.Tfloat -> Value.Float (float_of_int i)
+  | Value.Tbool -> Value.Bool (i mod 2 = 0)
+
+let is_total schema (a : Semantic.assoc) =
+  List.exists
+    (function
+      | Semantic.Total_right x -> Field.name_equal x a.aname
+      | Semantic.Total_left _ | Semantic.Participation_limit _
+      | Semantic.Field_not_null _ -> false)
+    schema.Semantic.constraints
+  ||
+  match (Semantic.find_entity_exn schema a.right).kind with
+  | Semantic.Characterizing o -> Field.name_equal o a.left
+  | Semantic.Defined -> false
+
+let rec random_program rng schema ~sample ~family i =
+  match family with
+  | Retrieval ->
+      let _, query = random_chain rng schema sample in
+      { Aprog.name = Printf.sprintf "GEN-RET-%d" i;
+        body =
+          [ Aprog.For_each
+              { query; body = [ Aprog.Display (display_of rng schema query) ] }
+          ];
+      }
+  | Lookup ->
+      let e = Prng.pick rng schema.Semantic.entities in
+      let exists = Prng.bool rng in
+      let key =
+        if exists then sample_key rng sample e
+        else List.map (fun k -> fresh_value (900_000 + i) (Option.get (Field.find e.fields k))) e.key
+      in
+      let qual =
+        Cond.conj
+          (List.map2
+             (fun k v -> Cond.Cmp (Cond.Eq, Cond.Field k, Cond.Const v))
+             e.key key)
+      in
+      { Aprog.name = Printf.sprintf "GEN-LOOK-%d" i;
+        body =
+          [ Aprog.First
+              { query = [ Apattern.Self { target = e.ename; qual } ];
+                present =
+                  [ Aprog.Display
+                      (Cond.Const (Value.Str "FOUND")
+                      :: List.map
+                           (fun k -> Cond.Var (e.ename ^ "." ^ k))
+                           e.key);
+                  ];
+                absent = [ Aprog.Display [ Cond.Const (Value.Str "MISSING") ] ];
+              };
+          ];
+      }
+  | Insertion ->
+      (* Prefer entities whose total associations we can connect. *)
+      let e = Prng.pick rng schema.Semantic.entities in
+      let values =
+        List.map
+          (fun (f : Field.t) ->
+            if List.exists (Field.name_equal f.name) e.key then
+              (f.name, Cond.Const (fresh_value i f))
+            else
+              (f.name,
+               Cond.Const (sample_value rng sample e f.name)))
+          e.fields
+      in
+      let connects =
+        List.filter_map
+          (fun (a : Semantic.assoc) ->
+            if
+              Field.name_equal a.right e.ename
+              && a.card = Semantic.One_to_many && a.fields = []
+              && (is_total schema a || Prng.bool rng)
+              && not (Field.name_equal a.left e.ename)
+            then
+              let le = Semantic.find_entity_exn schema a.left in
+              Some
+                (a.aname,
+                 List.map (fun v -> Cond.Const v) (sample_key rng sample le))
+            else None)
+          (Semantic.assocs_of schema e.ename)
+      in
+      let key_qual =
+        Cond.conj
+          (List.filter_map
+             (fun k ->
+               List.find_map
+                 (fun (f, v) ->
+                   if Field.name_equal f k then
+                     Some (Cond.Cmp (Cond.Eq, Cond.Field k, v))
+                   else None)
+                 values)
+             e.key)
+      in
+      { Aprog.name = Printf.sprintf "GEN-INS-%d" i;
+        body =
+          [ Aprog.First
+              { query = [ Apattern.Self { target = e.ename; qual = key_qual } ];
+                present = [ Aprog.Display [ Cond.Const (Value.Str "EXISTS") ] ];
+                absent =
+                  [ Aprog.Insert { entity = e.ename; values; connects };
+                    Aprog.Display [ Cond.Const (Value.Str "INSERTED") ];
+                  ];
+              };
+          ];
+      }
+  | Modification ->
+      let e = Prng.pick rng schema.Semantic.entities in
+      let non_key =
+        List.filter
+          (fun (f : Field.t) ->
+            not (List.exists (Field.name_equal f.name) e.key))
+          e.fields
+      in
+      (match non_key with
+      | [] ->
+          (* fall back to a retrieval when nothing is updatable *)
+          random_program rng schema ~sample ~family:Retrieval i
+      | _ ->
+          let f = Prng.pick rng non_key in
+          let assign =
+            match f.ty with
+            | Value.Tint ->
+                ( f.Field.name,
+                  Cond.Add
+                    ( Cond.Var (e.ename ^ "." ^ f.Field.name),
+                      Cond.Const (Value.Int 1) ) )
+            | Value.Tstr | Value.Tfloat | Value.Tbool ->
+                (f.Field.name, Cond.Const (sample_value rng sample e f.Field.name))
+          in
+          { Aprog.name = Printf.sprintf "GEN-MOD-%d" i;
+            body =
+              [ Aprog.Update
+                  { query =
+                      [ Apattern.Self
+                          { target = e.ename; qual = random_qual rng sample e }
+                      ];
+                    assigns = [ assign ];
+                  };
+                Aprog.Display [ Cond.Const (Value.Str "UPDATED") ];
+              ];
+          })
+  | Deletion ->
+      let e = Prng.pick rng schema.Semantic.entities in
+      let key = sample_key rng sample e in
+      let qual =
+        Cond.conj
+          (List.map2
+             (fun k v -> Cond.Cmp (Cond.Eq, Cond.Field k, Cond.Const v))
+             e.key key)
+      in
+      { Aprog.name = Printf.sprintf "GEN-DEL-%d" i;
+        body =
+          [ Aprog.Delete
+              { query = [ Apattern.Self { target = e.ename; qual } ];
+                cascade = true;
+              };
+            Aprog.Display [ Cond.Const (Value.Str "DELETED") ];
+          ];
+      }
+
+let batch ~seed schema ~sample ~n
+    ?(mix =
+      [ (4, Retrieval); (2, Lookup); (2, Insertion); (1, Modification);
+        (1, Deletion);
+      ]) () =
+  let rng = Prng.create ~seed in
+  List.init n (fun i ->
+      let family = Prng.pick_weighted rng mix in
+      (family, random_program rng schema ~sample ~family i))
+
+(* Hand-built network programs for analyzer coverage (E7). *)
+let non_template_variants _schema =
+  let open Ccv_network in
+  let find_any r = Host.Dml (Dml.Find (Dml.Any (r, Cond.True))) in
+  let find_dup r = Host.Dml (Dml.Find (Dml.Duplicate (r, Cond.True))) in
+  let scan_loop =
+    { Host.name = "TPL-SCAN";
+      body =
+        [ find_any "EMP";
+          Host.While
+            ( Host.status_ok,
+              [ Host.Dml (Dml.Get "EMP");
+                Host.Display [ Host.v "EMP.EMP-NAME" ];
+                find_dup "EMP";
+              ] );
+        ];
+    }
+  in
+  let set_loop =
+    { Host.name = "TPL-SET";
+      body =
+        [ find_any "DIV";
+          Host.While
+            ( Host.status_ok,
+              [ Host.Dml (Dml.Get "DIV");
+                Host.Dml (Dml.Find (Dml.First_within ("EMP", "DIV-EMP", Cond.True)));
+                Host.While
+                  ( Host.status_ok,
+                    [ Host.Dml (Dml.Get "EMP");
+                      Host.Display [ Host.v "EMP.EMP-NAME" ];
+                      Host.Dml
+                        (Dml.Find (Dml.Next_within ("EMP", "DIV-EMP", Cond.True)));
+                    ] );
+                find_dup "DIV";
+              ] );
+        ];
+    }
+  in
+  let status_code =
+    { Host.name = "HAZ-STATUS";
+      body =
+        [ find_any "EMP";
+          Host.If
+            ( Cond.Cmp
+                ( Cond.Eq,
+                  Cond.Var Host.status_var,
+                  Cond.Const (Value.Str "0307") ),
+              [ Host.Display [ Host.str "EOS" ] ],
+              [] );
+        ];
+    }
+  in
+  let process_first =
+    { Host.name = "HAZ-FIRST";
+      body =
+        [ find_any "DIV";
+          Host.While
+            ( Host.status_ok,
+              [ Host.Dml (Dml.Get "DIV");
+                Host.Dml
+                  (Dml.Find (Dml.First_within ("EMP", "DIV-EMP", Cond.True)));
+                Host.If
+                  ( Host.status_ok,
+                    [ Host.Dml (Dml.Get "EMP");
+                      Host.Display [ Host.v "EMP.EMP-NAME" ];
+                    ],
+                    [] );
+                find_dup "DIV";
+              ] );
+        ];
+    }
+  in
+  let missing_get =
+    { Host.name = "NT-NO-GET";
+      body =
+        [ find_any "EMP";
+          Host.While
+            (Host.status_ok, [ Host.Display [ Host.str "HIT" ]; find_dup "EMP" ]);
+        ];
+    }
+  in
+  let flag_loop =
+    { Host.name = "NT-FLAG";
+      body =
+        [ Host.Move (Host.int 0, "DONE");
+          Host.While
+            ( Cond.Cmp (Cond.Eq, Cond.Var "DONE", Cond.Const (Value.Int 0)),
+              [ find_any "EMP"; Host.Move (Host.int 1, "DONE") ] );
+        ];
+    }
+  in
+  let mixed_currency =
+    { Host.name = "NT-CURRENCY";
+      body =
+        [ find_any "DIV";
+          Host.Dml (Dml.Find (Dml.First_within ("EMP", "DIV-EMP", Cond.True)));
+          Host.Dml (Dml.Get "EMP");
+          find_any "DIV";
+          Host.Dml (Dml.Find (Dml.Owner_within "DIV-EMP"));
+          Host.Display [ Host.str "?" ];
+        ];
+    }
+  in
+  [ ("canonical scan loop", scan_loop, true);
+    ("canonical set loop", set_loop, true);
+    ("raw status-code test", status_code, false);
+    ("process-first idiom", process_first, true);
+    ("scan loop without GET", missing_get, false);
+    ("flag-controlled loop", flag_loop, false);
+    ("free currency navigation", mixed_currency, false);
+  ]

@@ -1,0 +1,35 @@
+(** Seeded random program workloads over a semantic schema — the
+    synthetic stand-in for the "large classes of programs" §5.3 says a
+    conversion system must be tried against.  Constants in
+    qualifications are drawn from a sample instance so that
+    qualifications select non-trivially. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+type family =
+  | Retrieval  (** FOR EACH chains ending in DISPLAY *)
+  | Lookup  (** FIRST with present/absent branches *)
+  | Insertion  (** guarded insert with connections *)
+  | Modification  (** UPDATE over a selected set *)
+  | Deletion  (** DELETE with cascade *)
+
+val pp_family : Format.formatter -> family -> unit
+val all_families : family list
+
+(** [random_program rng schema ~sample ~family i] — [i] seeds fresh
+    key values for insertions. *)
+val random_program :
+  Prng.t -> Semantic.t -> sample:Sdb.t -> family:family -> int -> Aprog.t
+
+(** A batch across families with the given mix (weights). *)
+val batch :
+  seed:int -> Semantic.t -> sample:Sdb.t -> n:int ->
+  ?mix:(int * family) list -> unit -> (family * Aprog.t) list
+
+(** Hand-mutated network-program variants that fall outside the
+    template library or trip §3.2 hazards, for the analyzer-coverage
+    experiment: (description, program, expected-to-analyze). *)
+val non_template_variants :
+  Semantic.t -> (string * Ccv_network.Dml.t Host.program * bool) list

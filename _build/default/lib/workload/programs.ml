@@ -1,0 +1,208 @@
+open Ccv_common
+open Ccv_abstract
+
+let v = Host.v
+let str = Host.str
+let int = Host.int
+
+let eq f s = Cond.Cmp (Cond.Eq, Cond.Field f, Cond.Const (Value.Str s))
+let gt f n = Cond.Cmp (Cond.Gt, Cond.Field f, Cond.Const (Value.Int n))
+
+let su_manager_query =
+  { Aprog.name = "SU-MANAGER-SMITH";
+    body =
+      [ Aprog.For_each
+          { query =
+              [ Apattern.Self { target = Empdept.dept; qual = eq "MGR" "SMITH" };
+                Apattern.Assoc_via
+                  { assoc = Empdept.emp_dept;
+                    source = Empdept.dept;
+                    qual = gt "YEAR-OF-SERVICE" 10;
+                  };
+                Apattern.Via_assoc
+                  { target = Empdept.emp;
+                    assoc = Empdept.emp_dept;
+                    qual = Cond.True;
+                  };
+              ];
+            body = [ Aprog.Display [ v "EMP.ENAME" ] ];
+          }
+      ];
+  }
+
+let su_d2_query =
+  { Aprog.name = "SU-D2-THREE-YEARS";
+    body =
+      [ Aprog.For_each
+          { query =
+              [ Apattern.Self { target = Empdept.dept; qual = eq "D#" "D2" };
+                Apattern.Assoc_via
+                  { assoc = Empdept.emp_dept;
+                    source = Empdept.dept;
+                    qual =
+                      Cond.Cmp
+                        ( Cond.Eq,
+                          Cond.Field "YEAR-OF-SERVICE",
+                          Cond.Const (Value.Int 3) );
+                  };
+                Apattern.Via_assoc
+                  { target = Empdept.emp;
+                    assoc = Empdept.emp_dept;
+                    qual = Cond.True;
+                  };
+              ];
+            body = [ Aprog.Display [ v "EMP.ENAME" ] ];
+          }
+      ];
+  }
+
+let maryland_age_query =
+  { Aprog.name = "MD-AGE-OVER-30";
+    body =
+      [ Aprog.For_each
+          { query = [ Apattern.Self { target = Company.emp; qual = gt "AGE" 30 } ];
+            body = [ Aprog.Display [ v "EMP.EMP-NAME" ] ];
+          }
+      ];
+  }
+
+let maryland_sales_query =
+  { Aprog.name = "MD-MACHINERY-SALES";
+    body =
+      [ Aprog.For_each
+          { query =
+              [ Apattern.Self
+                  { target = Company.div; qual = eq "DIV-NAME" "MACHINERY" };
+                Apattern.Assoc_via
+                  { assoc = Company.div_emp;
+                    source = Company.div;
+                    qual = Cond.True;
+                  };
+                Apattern.Via_assoc
+                  { target = Company.emp;
+                    assoc = Company.div_emp;
+                    qual = eq "DEPT-NAME" "SALES";
+                  };
+              ];
+            body = [ Aprog.Display [ v "EMP.EMP-NAME" ] ];
+          }
+      ];
+  }
+
+let school_offerings_query =
+  { Aprog.name = "SCHOOL-OFFERINGS";
+    body =
+      [ Aprog.For_each
+          { query =
+              [ Apattern.Self { target = School.course; qual = Cond.True };
+                Apattern.Assoc_via
+                  { assoc = School.offering;
+                    source = School.course;
+                    qual = Cond.True;
+                  };
+                Apattern.Via_assoc
+                  { target = School.semester;
+                    assoc = School.offering;
+                    qual = Cond.True;
+                  };
+              ];
+            body =
+              [ Aprog.Display
+                  [ v "COURSE.CNO"; v "SEMESTER.S";
+                    v "COURSE-OFFERING.INSTRUCTOR";
+                  ];
+              ];
+          }
+      ];
+  }
+
+let company_hire ~name ~dept ~age ~division =
+  { Aprog.name = "COMPANY-HIRE";
+    body =
+      [ Aprog.First
+          { query =
+              [ Apattern.Self
+                  { target = Company.div;
+                    qual =
+                      Cond.Cmp
+                        ( Cond.Eq,
+                          Cond.Field "DIV-NAME",
+                          Cond.Const (Value.Str division) );
+                  };
+              ];
+            present =
+              [ Aprog.Insert
+                  { entity = Company.emp;
+                    values =
+                      [ ("EMP-NAME", str name);
+                        ("DEPT-NAME", str dept);
+                        ("AGE", int age);
+                      ];
+                    connects = [ (Company.div_emp, [ str division ]) ];
+                  };
+                Aprog.Display [ str "HIRED"; str name ];
+              ];
+            absent = [ Aprog.Display [ str "NO SUCH DIVISION"; str division ] ];
+          }
+      ];
+  }
+
+let company_birthday ~division =
+  { Aprog.name = "COMPANY-BIRTHDAY";
+    body =
+      [ Aprog.Update
+          { query =
+              [ Apattern.Self
+                  { target = Company.div;
+                    qual =
+                      Cond.Cmp
+                        ( Cond.Eq,
+                          Cond.Field "DIV-NAME",
+                          Cond.Const (Value.Str division) );
+                  };
+                Apattern.Assoc_via
+                  { assoc = Company.div_emp;
+                    source = Company.div;
+                    qual = Cond.True;
+                  };
+                Apattern.Via_assoc
+                  { target = Company.emp;
+                    assoc = Company.div_emp;
+                    qual = Cond.True;
+                  };
+              ];
+            assigns =
+              [ ("AGE", Cond.Add (Cond.Var "EMP.AGE", Cond.Const (Value.Int 1)))
+              ];
+          };
+        Aprog.Display [ str "AGES BUMPED IN"; str division ];
+      ];
+  }
+
+let company_close_division ~division =
+  { Aprog.name = "COMPANY-CLOSE-DIVISION";
+    body =
+      [ Aprog.Delete
+          { query =
+              [ Apattern.Self
+                  { target = Company.div;
+                    qual =
+                      Cond.Cmp
+                        ( Cond.Eq,
+                          Cond.Field "DIV-NAME",
+                          Cond.Const (Value.Str division) );
+                  };
+              ];
+            cascade = true;
+          };
+        Aprog.Display [ str "CLOSED"; str division ];
+      ];
+  }
+
+let retrievals =
+  [ ("su-manager", Empdept.schema, su_manager_query);
+    ("su-d2", Empdept.schema, su_d2_query);
+    ("md-age", Company.schema, maryland_age_query);
+    ("md-sales", Company.schema, maryland_sales_query);
+    ("school-offerings", School.schema, school_offerings_query);
+  ]

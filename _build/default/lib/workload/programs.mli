@@ -1,0 +1,40 @@
+(** The paper's worked example programs, as abstract programs over the
+    canonical schemas, plus small update/insert/delete programs used by
+    tests and experiments. *)
+
+open Ccv_abstract
+
+(** §4.1: "Find the names of employees who work for Manager Smith for
+    more than ten years" — the paper's four-step access-pattern
+    sequence (ACCESS DEPT via DEPT; ACCESS EMP-DEPT via DEPT; ACCESS
+    EMP via EMP-DEPT; RETRIEVE). *)
+val su_manager_query : Aprog.t
+
+(** §4.1: "Get the names of those employees who have worked for
+    department D2 for three years" — the SEQUEL/CODASYL template
+    example. *)
+val su_d2_query : Aprog.t
+
+(** §4.2 example 1: employees older than 30 (Figure 4.2 schema). *)
+val maryland_age_query : Aprog.t
+
+(** §4.2 example 2: employees in the SALES department of the MACHINERY
+    division. *)
+val maryland_sales_query : Aprog.t
+
+(** School: offerings of a course with instructors (Figure 3.1). *)
+val school_offerings_query : Aprog.t
+
+(** Company: guarded insert of an employee into a division (checks the
+    division exists first, then inserts connected). *)
+val company_hire : name:string -> dept:string -> age:int -> division:string -> Aprog.t
+
+(** Company: raise the recorded age of every employee of a division. *)
+val company_birthday : division:string -> Aprog.t
+
+(** Company: delete a division and everything in it (cascade). *)
+val company_close_division : division:string -> Aprog.t
+
+(** All retrieval programs with the schema they run against, for table
+    driving. *)
+val retrievals : (string * Ccv_model.Semantic.t * Aprog.t) list

@@ -1,0 +1,117 @@
+open Ccv_common
+open Ccv_model
+
+let course = "COURSE"
+let semester = "SEMESTER"
+let offering = "COURSE-OFFERING"
+
+let schema =
+  Semantic.make
+    ~constraints:
+      [ Semantic.Participation_limit { assoc = offering; per_left_max = 2 };
+        Semantic.Field_not_null { entity = course; field = "CNAME" };
+      ]
+    [ Semantic.entity course
+        [ Field.make "CNO" Value.Tstr; Field.make "CNAME" Value.Tstr ]
+        ~key:[ "CNO" ];
+      Semantic.entity semester
+        [ Field.make "S" Value.Tstr; Field.make "YEAR" Value.Tint ]
+        ~key:[ "S" ];
+    ]
+    [ Semantic.assoc offering ~left:course ~right:semester
+        ~fields:[ Field.make "INSTRUCTOR" Value.Tstr ]
+        ~card:Semantic.Many_to_many ();
+    ]
+
+let courses =
+  [ ("C101", "DATABASES"); ("C102", "COMPILERS"); ("C201", "NETWORKS");
+    ("C202", "GRAPHICS"); ("C301", "OPERATING-SYSTEMS");
+  ]
+
+let semesters = [ ("F78", 1978); ("S79", 1979); ("F79", 1979) ]
+
+let offerings =
+  [ ("C101", "F78", "TAYLOR"); ("C101", "S79", "FRY");
+    ("C102", "F78", "SHNEIDERMAN"); ("C201", "S79", "SMITH");
+    ("C202", "F79", "SU"); ("C301", "F79", "TAYLOR");
+  ]
+
+let instance () =
+  let db = Sdb.create schema in
+  let db =
+    List.fold_left
+      (fun db (cno, cname) ->
+        Sdb.insert_entity_exn db course
+          (Row.of_list [ ("CNO", Value.Str cno); ("CNAME", Value.Str cname) ]))
+      db courses
+  in
+  let db =
+    List.fold_left
+      (fun db (s, year) ->
+        Sdb.insert_entity_exn db semester
+          (Row.of_list [ ("S", Value.Str s); ("YEAR", Value.Int year) ]))
+      db semesters
+  in
+  List.fold_left
+    (fun db (cno, s, instructor) ->
+      Sdb.link_exn db offering
+        ~attrs:(Row.of_list [ ("INSTRUCTOR", Value.Str instructor) ])
+        ~left:[ Value.Str cno ] ~right:[ Value.Str s ])
+    db offerings
+
+let scaled ~seed ~n =
+  let rng = Prng.create ~seed in
+  let db = Sdb.create schema in
+  let n_sem = (n / 4) + 1 in
+  let db =
+    let rec go db i =
+      if i >= n then db
+      else
+        let row =
+          Row.of_list
+            [ ("CNO", Value.Str (Printf.sprintf "C%04d" i));
+              ("CNAME", Value.Str (Prng.word rng 8));
+            ]
+        in
+        go (Sdb.insert_entity_exn db course row) (i + 1)
+    in
+    go db 0
+  in
+  let db =
+    let rec go db i =
+      if i >= n_sem then db
+      else
+        let row =
+          Row.of_list
+            [ ("S", Value.Str (Printf.sprintf "S%03d" i));
+              ("YEAR", Value.Int (1970 + (i mod 10)));
+            ]
+        in
+        go (Sdb.insert_entity_exn db semester row) (i + 1)
+    in
+    go db 0
+  in
+  (* Up to two offerings per course, respecting the participation
+     limit by construction. *)
+  let rec offer db i =
+    if i >= n then db
+    else
+      let count = Prng.int rng 3 in
+      let rec add db picked j =
+        if j >= count then db
+        else
+          let s = Prng.int rng n_sem in
+          if List.mem s picked then add db picked (j + 1)
+          else
+            let db =
+              Sdb.link_exn db offering
+                ~attrs:
+                  (Row.of_list [ ("INSTRUCTOR", Value.Str (Prng.word rng 6)) ])
+                ~left:[ Value.Str (Printf.sprintf "C%04d" i) ]
+                ~right:[ Value.Str (Printf.sprintf "S%03d" s) ]
+            in
+            add db (s :: picked) (j + 1)
+      in
+      offer (add db [] 0) (i + 1)
+  in
+  offer db 0

@@ -1,0 +1,23 @@
+(** The school database of section 3.1 / Figures 3.1a-b: COURSE,
+    SEMESTER and the COURSE-OFFERING association between them (with
+    the INSTRUCTOR attribute whose null-ness the paper discusses).
+    Constraint: a course may not be offered more than twice per
+    semester pair — the paper's "numeric limits on relationship
+    participation" example is encoded as a participation limit. *)
+
+open Ccv_model
+
+val schema : Semantic.t
+
+(** Names, to avoid stringly-typed tests. *)
+val course : string
+
+val semester : string
+val offering : string
+
+(** The small instance used by examples and unit tests. *)
+val instance : unit -> Sdb.t
+
+(** A seeded scaled instance: [n] courses, [n/4 + 1] semesters, roughly
+    [2n] offerings. *)
+val scaled : seed:int -> n:int -> Sdb.t

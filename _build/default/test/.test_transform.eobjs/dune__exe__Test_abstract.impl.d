@@ -1,0 +1,1 @@
+test/test_abstract.ml: Ainterp Alcotest Apattern Aprog Ccv_abstract Ccv_common Ccv_model Ccv_workload Cond Host Io_trace List QCheck QCheck_alcotest Row Sdb Status Value

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Ainterp Alcotest Analyzer Aprog Ccv_abstract Ccv_common Ccv_convert Ccv_model Ccv_network Ccv_transform Ccv_workload Dml Equivalence Generator Host List Mapping Sdb String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Ccv_baselines Ccv_common Ccv_convert Ccv_transform Ccv_workload Data_translate Engines Generator List Mapping QCheck QCheck_alcotest Result Schema_change Supervisor

@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Ccv_common Cond Counters Field Io_trace List Prng QCheck QCheck_alcotest Row Status String Tablefmt Value

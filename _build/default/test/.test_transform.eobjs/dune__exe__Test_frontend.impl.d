@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ccv_abstract Ccv_common Ccv_frontend Ccv_model Ccv_network Ccv_workload Cond Ddl Dml_parse Lexer List Row Value

@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Ccv_abstract Ccv_convert Ccv_model Ccv_transform Ccv_workload Engines Equivalence Generator List Mapping QCheck QCheck_alcotest Sdb

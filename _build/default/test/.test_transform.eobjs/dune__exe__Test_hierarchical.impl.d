@@ -1,0 +1,1 @@
+test/test_hierarchical.ml: Alcotest Ccv_common Ccv_hier Cond Field Hdb Hdml Hinterp Hschema List Printf Prng QCheck QCheck_alcotest Row Status Value

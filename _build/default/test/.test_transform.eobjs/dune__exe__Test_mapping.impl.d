@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Ccv_common Ccv_hier Ccv_model Ccv_network Ccv_transform Ccv_workload Field List Mapping Sdb

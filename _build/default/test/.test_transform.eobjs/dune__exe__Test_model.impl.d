@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Ccv_common Ccv_model Field List Printf Prng QCheck QCheck_alcotest Row Sdb Semantic Status Value

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Ccv_common Ccv_network Cond Dml Field Interp List Ndb Nschema Printf Prng QCheck QCheck_alcotest Row Status Value

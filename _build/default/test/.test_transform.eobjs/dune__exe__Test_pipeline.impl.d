@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Ccv_abstract Ccv_common Ccv_convert Ccv_model Ccv_transform Ccv_workload Equivalence Fmt Generator List Mapping Schema_change Semantic Supervisor

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Ccv_common Ccv_relational Cond Counters Field List QCheck QCheck_alcotest Rdb Row Rschema Sql Status Value

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Ccv_common Ccv_model Ccv_transform Ccv_workload Cond Data_translate Field Inverse List QCheck QCheck_alcotest Row Schema_change Sdb Semantic Value

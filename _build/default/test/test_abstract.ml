@@ -1,0 +1,287 @@
+(* Abstract layer: the four §4.1 access patterns, query validation,
+   the reference interpreter (statuses, atomic insert-and-connect,
+   input scripting), and the generic host runtime. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+module W = Ccv_workload
+
+let check = Alcotest.(check bool)
+
+let sdb () = W.Empdept.instance ()
+
+let eval q = Apattern.eval (sdb ()) ~env:Cond.no_env q
+
+let pattern_tests =
+  [ Alcotest.test_case "Self selects by qualification" `Quick (fun () ->
+        let rows =
+          eval
+            [ Apattern.Self
+                { target = "EMP";
+                  qual = Cond.Cmp (Cond.Gt, Cond.Field "AGE", Cond.Const (Value.Int 40));
+                };
+            ]
+        in
+        (* E1 (42), E4 (55), E5 (47) *)
+        check "three" true (List.length rows = 3));
+    Alcotest.test_case "Assoc_via + Via_assoc chains (§4.1)" `Quick (fun () ->
+        let rows =
+          eval
+            [ Apattern.Self
+                { target = "DEPT"; qual = Cond.eq_field_const "D#" (Value.Str "D1") };
+              Apattern.Assoc_via
+                { assoc = "EMP-DEPT"; source = "DEPT"; qual = Cond.True };
+              Apattern.Via_assoc
+                { target = "EMP"; assoc = "EMP-DEPT"; qual = Cond.True };
+            ]
+        in
+        check "two emps in D1" true (List.length rows = 2);
+        check "context carries all names" true
+          (List.for_all
+             (fun r ->
+               Row.mem r "DEPT.DNAME" && Row.mem r "EMP-DEPT.YEAR-OF-SERVICE"
+               && Row.mem r "EMP.ENAME")
+             rows));
+    Alcotest.test_case "Through joins on comparable fields" `Quick (fun () ->
+        (* relate DEPT to EMP by comparing MGR with ENAME — contrived
+           but exactly the paper's 'mathematical relation of comparable
+           fields' *)
+        let rows =
+          eval
+            [ Apattern.Self { target = "EMP"; qual = Cond.True };
+              Apattern.Through
+                { target = "DEPT";
+                  source = "EMP";
+                  link = ("MGR", "ENAME");
+                  qual = Cond.True;
+                };
+            ]
+        in
+        (* SMITH manages D1 and D2 but is not an employee name; ALLEN
+           manages D3 and is not an employee; no matches *)
+        check "no accidental matches" true (rows = []));
+    Alcotest.test_case "qualification with host variables" `Quick (fun () ->
+        let env name =
+          if name = "WANTED" then Some (Value.Str "D2") else None
+        in
+        let rows =
+          Apattern.eval (sdb ()) ~env
+            [ Apattern.Self
+                { target = "DEPT";
+                  qual = Cond.Cmp (Cond.Eq, Cond.Field "D#", Cond.Var "WANTED");
+                };
+            ]
+        in
+        check "one dept" true (List.length rows = 1));
+    Alcotest.test_case "check flags bad sequences" `Quick (fun () ->
+        let bad =
+          [ Apattern.Assoc_via
+              { assoc = "EMP-DEPT"; source = "DEPT"; qual = Cond.True };
+          ]
+        in
+        check "unbound source" true
+          (Apattern.check W.Empdept.schema bad <> []);
+        check "bound by enclosing loop" true
+          (Apattern.check ~bound:[ "DEPT" ] W.Empdept.schema bad = []));
+  ]
+
+let run ?input p = Ainterp.run ?input (sdb ()) p
+
+let lines r = Io_trace.terminal_lines r.Ainterp.trace
+
+let v = Host.v
+let str = Host.str
+
+let ainterp_tests =
+  [ Alcotest.test_case "First sets status and binds" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.First
+                  { query =
+                      [ Apattern.Self
+                          { target = "EMP";
+                            qual = Cond.eq_field_const "E#" (Value.Str "E3");
+                          };
+                      ];
+                    present = [ Aprog.Display [ v "EMP.ENAME" ] ];
+                    absent = [ Aprog.Display [ str "NONE" ] ];
+                  };
+                Aprog.If
+                  (Host.status_ok, [ Aprog.Display [ str "OK" ] ], []);
+              ];
+          }
+        in
+        check "output" true (lines (run p) = [ "WARD"; "OK" ]));
+    Alcotest.test_case "insert-and-connect is atomic" `Quick (fun () ->
+        (* connecting to a missing DEPT must leave no EMP behind *)
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.Insert
+                  { entity = "EMP";
+                    values =
+                      [ ("E#", str "E9"); ("ENAME", str "GHOST");
+                        ("AGE", Host.int 20);
+                      ];
+                    connects = [ ("EMP-DEPT", [ str "E9" ]) ];
+                  };
+              ];
+          }
+        in
+        (* EMP-DEPT is left=EMP so connecting EMP as right fails on the
+           endpoint lookup; whatever the failure, atomicity holds *)
+        let r = run p in
+        check "no ghost"
+          true
+          (Sdb.find_entity r.Ainterp.db "EMP" [ Value.Str "E9" ] = None
+          || Sdb.links_silent r.Ainterp.db "EMP-DEPT"
+             |> List.exists (fun (l : Sdb.link) -> l.rkey = [ Value.Str "E9" ])));
+    Alcotest.test_case "Accept consumes the input script" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.Accept "X"; Aprog.Display [ v "X" ];
+                Aprog.Accept "Y"; Aprog.Display [ v "Y" ];
+              ];
+          }
+        in
+        let r = run ~input:[ "HELLO" ] p in
+        check "script then empty" true (lines r = [ "HELLO"; "" ]));
+    Alcotest.test_case "While loops over host variables" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.Move (Host.int 0, "I");
+                Aprog.While
+                  ( Cond.Cmp (Cond.Lt, Cond.Var "I", Cond.Const (Value.Int 3)),
+                    [ Aprog.Display [ v "I" ];
+                      Aprog.Move
+                        (Cond.Add (Cond.Var "I", Cond.Const (Value.Int 1)), "I");
+                    ] );
+              ];
+          }
+        in
+        check "three iterations" true (lines (run p) = [ "0"; "1"; "2" ]));
+    Alcotest.test_case "Delete of an association target unlinks" `Quick
+      (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.Delete
+                  { query =
+                      [ Apattern.Self
+                          { target = "EMP";
+                            qual = Cond.eq_field_const "E#" (Value.Str "E5");
+                          };
+                        Apattern.Assoc_via
+                          { assoc = "EMP-DEPT"; source = "EMP"; qual = Cond.True };
+                      ];
+                    cascade = false;
+                  };
+              ];
+          }
+        in
+        let r = run p in
+        check "E5's links gone" true
+          (not
+             (List.exists
+                (fun (l : Sdb.link) -> l.lkey = [ Value.Str "E5" ])
+                (Sdb.links_silent r.Ainterp.db "EMP-DEPT")));
+        check "E5 itself stays" true
+          (Sdb.find_entity r.Ainterp.db "EMP" [ Value.Str "E5" ] <> None));
+    Alcotest.test_case "step limit reported" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.While (Cond.True, [ Aprog.Move (Host.int 1, "X") ]) ];
+          }
+        in
+        let r = Ainterp.run ~max_steps:100 (sdb ()) p in
+        check "hit limit" true r.Ainterp.hit_limit);
+  ]
+
+(* Host runtime over a trivial engine. *)
+module Null_engine = struct
+  type db = int ref
+  type state = unit
+  type dml = Bump | Fail
+
+  let initial_state _ = ()
+
+  let exec db () ~env:_ = function
+    | Bump ->
+        incr db;
+        (db, (), [ ("COUNT", Value.Int !db) ], Status.Ok)
+    | Fail -> (db, (), [], Status.Not_found)
+end
+
+module Null_run = Host.Run (Null_engine)
+
+let host_tests =
+  [ Alcotest.test_case "DML updates env and status register" `Quick (fun () ->
+        let p =
+          { Host.name = "T";
+            body =
+              [ Host.Dml Null_engine.Bump;
+                Host.Display [ v "COUNT" ];
+                Host.Dml Null_engine.Fail;
+                Host.If
+                  ( Host.status_is Status.Not_found,
+                    [ Host.Display [ str "MISSING" ] ],
+                    [] );
+              ];
+          }
+        in
+        let r = Null_run.run (ref 0) p in
+        check "trace" true
+          (Io_trace.terminal_lines r.Null_run.trace = [ "1"; "MISSING" ]);
+        check "statuses recorded" true
+          (r.Null_run.statuses = [ Status.Ok; Status.Not_found ]));
+    Alcotest.test_case "write_file events captured" `Quick (fun () ->
+        let p =
+          { Host.name = "T";
+            body = [ Host.Write_file ("out.dat", [ str "LINE" ]) ];
+          }
+        in
+        let r = Null_run.run (ref 0) p in
+        check "file event" true
+          (r.Null_run.trace = [ Io_trace.File_write ("out.dat", "LINE") ]));
+    Alcotest.test_case "concat_map_dml expands statements" `Quick (fun () ->
+        let p =
+          { Host.name = "T"; body = [ Host.Dml 1; Host.If (Cond.True, [ Host.Dml 2 ], []) ] }
+        in
+        let p' =
+          Host.concat_map_dml (fun d -> [ Host.Dml (d * 10); Host.Dml (d * 10 + 1) ]) p
+        in
+        check "expanded" true (Host.dml_list p' = [ 10; 11; 20; 21 ]));
+  ]
+
+(* Property: Apattern.eval is deterministic and insensitive to counter
+   state (pure over the instance). *)
+let eval_prop =
+  QCheck.Test.make ~name:"Apattern.eval deterministic" ~count:50
+    QCheck.(int_range 1 100)
+    (fun n ->
+      let q =
+        [ Apattern.Self
+            { target = "EMP";
+              qual = Cond.Cmp (Cond.Ge, Cond.Field "AGE", Cond.Const (Value.Int n));
+            };
+          Apattern.Assoc_via
+            { assoc = "EMP-DEPT"; source = "EMP"; qual = Cond.True };
+        ]
+      in
+      let db = sdb () in
+      let a = Apattern.eval db ~env:Cond.no_env q in
+      let b = Apattern.eval db ~env:Cond.no_env q in
+      List.length a = List.length b && List.for_all2 Row.equal a b)
+
+let () =
+  Alcotest.run "abstract"
+    [ ("patterns", pattern_tests);
+      ("ainterp", ainterp_tests);
+      ("host", host_tests);
+      ("props", [ QCheck_alcotest.to_alcotest eval_prop ]);
+    ]

@@ -1,0 +1,135 @@
+(* Analyzer round-trips: for each canonical abstract program, generate
+   a concrete program per model, analyze it back, and check that the
+   recovered abstract program behaves identically (same I/O trace and
+   same final semantic contents) on the reference interpreter.  This is
+   the paper's decompilation/compilation cycle through the high-level
+   representation. *)
+
+open Ccv_model
+open Ccv_abstract
+open Ccv_convert
+open Ccv_transform
+module W = Ccv_workload
+
+let models = [ ("rel", Mapping.Rel); ("net", Mapping.Net); ("hier", Mapping.Hier) ]
+
+let mapping_for model schema =
+  match model with
+  | Mapping.Rel -> fst (Mapping.derive_relational schema)
+  | Mapping.Net -> fst (Mapping.derive_network schema)
+  | Mapping.Hier -> fst (Mapping.derive_hier schema)
+
+let instance_for schema =
+  if schema == W.Empdept.schema then W.Empdept.instance ()
+  else if schema == W.Company.schema then W.Company.instance ()
+  else W.School.instance ()
+
+let roundtrip_case (name, schema, prog) (mname, model) =
+  Alcotest.test_case (name ^ " via " ^ mname) `Quick (fun () ->
+      let mapping = mapping_for model schema in
+      match Generator.generate mapping prog with
+      | Error _ -> () (* generation refusals are covered elsewhere *)
+      | Ok { Generator.program; _ } -> (
+          match Analyzer.analyze mapping program with
+          | Error reason ->
+              Alcotest.failf "%s/%s: analysis failed: %s" name mname reason
+          | Ok { Analyzer.aprog; _ } ->
+              let sdb = instance_for schema in
+              let r1 = Ainterp.run sdb prog in
+              let r2 = Ainterp.run sdb aprog in
+              (match
+                 Equivalence.compare_traces r1.Ainterp.trace r2.Ainterp.trace
+               with
+              | Equivalence.Strict -> ()
+              | v ->
+                  Alcotest.failf "%s/%s: recovered program diverges: %a@.%a"
+                    name mname Equivalence.pp_verdict v Aprog.pp aprog);
+              Alcotest.(check bool)
+                (name ^ "/" ^ mname ^ " contents")
+                true
+                (Sdb.equal_contents r1.Ainterp.db r2.Ainterp.db)))
+
+let programs =
+  W.Programs.retrievals
+  @ [ ("hire", W.Company.schema,
+       W.Programs.company_hire ~name:"HUNT" ~dept:"SALES" ~age:30
+         ~division:"MACHINERY");
+      ("birthday", W.Company.schema,
+       W.Programs.company_birthday ~division:"CHEMICALS");
+      ("close-division", W.Company.schema,
+       W.Programs.company_close_division ~division:"MACHINERY");
+    ]
+
+let roundtrip_cases =
+  List.concat_map
+    (fun p -> List.map (roundtrip_case p) models)
+    programs
+
+(* Hazard detection: a hand-written program that tests a raw status
+   code must be rejected with the §3.2 status-dependence diagnosis. *)
+let hazard_cases =
+  [ Alcotest.test_case "status-code dependence rejected" `Quick (fun () ->
+        let open Ccv_network in
+        let mapping = mapping_for Mapping.Net W.Company.schema in
+        let bad : Dml.t Host.program =
+          { Host.name = "BAD-STATUS";
+            body =
+              [ Host.Dml (Dml.Find (Dml.Any ("EMP", Ccv_common.Cond.True)));
+                Host.If
+                  ( Ccv_common.Cond.Cmp
+                      ( Ccv_common.Cond.Eq,
+                        Ccv_common.Cond.Var Host.status_var,
+                        Ccv_common.Cond.Const (Ccv_common.Value.Str "0307") ),
+                    [ Host.Display [ Host.str "END" ] ],
+                    [] );
+              ];
+          }
+        in
+        match Analyzer.analyze_network mapping bad with
+        | Error reason ->
+            Alcotest.(check bool)
+              "mentions status dependence" true
+              (List.exists
+                 (fun w -> String.equal w "status-code")
+                 (String.split_on_char ' ' reason))
+        | Ok _ -> Alcotest.fail "expected the analyzer to reject");
+    Alcotest.test_case "process-first hazard flagged" `Quick (fun () ->
+        let open Ccv_network in
+        let mapping = mapping_for Mapping.Net W.Company.schema in
+        let prog : Dml.t Host.program =
+          { Host.name = "PROCESS-FIRST";
+            body =
+              [ Host.Dml (Dml.Find (Dml.Any ("DIV", Ccv_common.Cond.True)));
+                Host.While
+                  ( Host.status_ok,
+                    [ Host.Dml (Dml.Get "DIV");
+                      Host.Dml
+                        (Dml.Find
+                           (Dml.First_within ("EMP", "DIV-EMP", Ccv_common.Cond.True)));
+                      Host.If
+                        ( Host.status_ok,
+                          [ Host.Dml (Dml.Get "EMP");
+                            Host.Display [ Host.v "EMP.EMP-NAME" ];
+                          ],
+                          [] );
+                      Host.Dml (Dml.Find (Dml.Duplicate ("DIV", Ccv_common.Cond.True)));
+                    ] );
+              ];
+          }
+        in
+        match Analyzer.analyze_network mapping prog with
+        | Error reason -> Alcotest.failf "analysis failed: %s" reason
+        | Ok { Analyzer.hazards; _ } ->
+            Alcotest.(check bool)
+              "order-dependence hazard present" true
+              (List.exists
+                 (fun h ->
+                   List.exists
+                     (fun w -> w = "order")
+                     (String.split_on_char ' ' h))
+                 hazards));
+  ]
+
+let () =
+  Alcotest.run "analyzer"
+    [ ("roundtrips", roundtrip_cases); ("hazards", hazard_cases) ]

@@ -1,0 +1,188 @@
+(* The §2.1.2 baselines must preserve program behaviour while paying
+   more accesses than the rewritten (converted) program — the claim E1
+   quantifies.  Here we verify correctness and the overhead ordering
+   on the Figure 4.2→4.4 restructuring. *)
+
+open Ccv_convert
+open Ccv_transform
+module W = Ccv_workload
+module B = Ccv_baselines
+
+let interpose_op =
+  Schema_change.Interpose
+    { through = W.Company.div_emp;
+      new_entity = W.Company.dept;
+      group_by = [ "DEPT-NAME" ];
+      left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+    }
+
+let setup ?(n = 0) () =
+  let sdb = if n = 0 then W.Company.instance () else W.Company.scaled ~seed:5 ~n in
+  let source_mapping, source_nschema = Mapping.derive_network W.Company.schema in
+  let source_db = Mapping.load_network source_mapping source_nschema sdb in
+  let target_schema = Schema_change.apply_exn W.Company.schema interpose_op in
+  let sdb', _w =
+    match Data_translate.translate sdb interpose_op with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "translate: %s" e
+  in
+  let target_mapping, target_nschema = Mapping.derive_network target_schema in
+  let target_db = Mapping.load_network target_mapping target_nschema sdb' in
+  (source_mapping, source_db, target_mapping, target_db)
+
+let source_net prog =
+  let mapping, _ = Mapping.derive_network W.Company.schema in
+  match Generator.to_network mapping prog with
+  | Ok (p, _) -> p
+  | Error e -> Alcotest.failf "source gen: %s" e
+
+let baseline_preserves name prog =
+  Alcotest.test_case name `Quick (fun () ->
+      let _sm, source_db, target_mapping, target_db = setup () in
+      let reference =
+        Engines.run (Engines.Net_db source_db)
+          (Engines.Net_program (source_net prog))
+      in
+      let emu =
+        B.Emulation.create ~source_schema:W.Company.schema ~op:interpose_op
+          target_mapping
+      in
+      let emu_trace, _ = B.Emulation.run emu target_db (source_net prog) in
+      Alcotest.(check bool)
+        (name ^ ": emulation trace") true
+        (Ccv_common.Io_trace.equal reference.Engines.trace emu_trace);
+      let bridge =
+        B.Bridge.create ~source_schema:W.Company.schema ~ops:[ interpose_op ]
+          target_mapping
+      in
+      let bridge_trace, _ = B.Bridge.run bridge target_db (source_net prog) in
+      Alcotest.(check bool)
+        (name ^ ": bridge trace") true
+        (Ccv_common.Io_trace.equal reference.Engines.trace bridge_trace))
+
+let overhead_case =
+  Alcotest.test_case "baselines cost more accesses than conversion" `Quick
+    (fun () ->
+      let _sm, _source_db, target_mapping, target_db = setup ~n:80 () in
+      let prog = W.Programs.maryland_sales_query in
+      (* converted program on the target *)
+      let req =
+        { Supervisor.source_schema = W.Company.schema;
+          source_model = Mapping.Net;
+          ops = [ interpose_op ];
+          target_model = Mapping.Net;
+        }
+      in
+      let report =
+        match
+          Supervisor.convert_program req (Engines.Net_program (source_net prog))
+        with
+        | Ok r -> r
+        | Error (stage, e) -> Alcotest.failf "%s: %s" stage e
+      in
+      let converted =
+        Engines.run (Engines.Net_db target_db) report.Supervisor.target_program
+      in
+      let emu =
+        B.Emulation.create ~source_schema:W.Company.schema ~op:interpose_op
+          target_mapping
+      in
+      let _, emu_accesses = B.Emulation.run emu target_db (source_net prog) in
+      let bridge =
+        B.Bridge.create ~source_schema:W.Company.schema ~ops:[ interpose_op ]
+          target_mapping
+      in
+      let _, bridge_accesses = B.Bridge.run bridge target_db (source_net prog) in
+      Alcotest.(check bool)
+        "emulation >= converted" true
+        (emu_accesses >= converted.Engines.accesses);
+      Alcotest.(check bool)
+        "bridge >= converted" true
+        (bridge_accesses >= converted.Engines.accesses))
+
+let retrieval_only =
+  Alcotest.test_case "baselines refuse updates" `Quick (fun () ->
+      let _sm, _sdb, target_mapping, target_db = setup () in
+      let prog =
+        source_net
+          (W.Programs.company_hire ~name:"X" ~dept:"SALES" ~age:20
+             ~division:"MACHINERY")
+      in
+      let emu =
+        B.Emulation.create ~source_schema:W.Company.schema ~op:interpose_op
+          target_mapping
+      in
+      let r =
+        B.Emulation.Run.run (emu, target_db) prog
+      in
+      Alcotest.(check bool)
+        "an update statement reported invalid" true
+        (List.exists
+           (function Ccv_common.Status.Invalid_request _ -> true | _ -> false)
+           r.B.Emulation.Run.statuses))
+
+(* Property: on random scaled instances, emulation reproduces the
+   source behaviour exactly while never being cheaper than the
+   converted program. *)
+let emulation_prop =
+  QCheck.Test.make ~name:"emulation is faithful and never cheaper" ~count:15
+    QCheck.(pair (int_range 1 500) (int_range 10 60))
+    (fun (seed, n) ->
+      let sdb = W.Company.scaled ~seed ~n in
+      let sm, sns = Mapping.derive_network W.Company.schema in
+      let source_db = Mapping.load_network sm sns sdb in
+      let sdb', _ = Result.get_ok (Data_translate.translate sdb interpose_op) in
+      let target_schema =
+        Schema_change.apply_exn W.Company.schema interpose_op
+      in
+      let tm, tns = Mapping.derive_network target_schema in
+      let target_db = Mapping.load_network tm tns sdb' in
+      let prog = source_net W.Programs.maryland_age_query in
+      let reference =
+        Engines.run (Engines.Net_db source_db) (Engines.Net_program prog)
+      in
+      let emu =
+        B.Emulation.create ~source_schema:W.Company.schema ~op:interpose_op tm
+      in
+      let trace, accesses = B.Emulation.run emu target_db prog in
+      Ccv_common.Io_trace.equal reference.Engines.trace trace
+      && accesses >= reference.Engines.accesses)
+
+let bridge_prop =
+  QCheck.Test.make ~name:"bridge is faithful" ~count:10
+    QCheck.(pair (int_range 1 500) (int_range 10 40))
+    (fun (seed, n) ->
+      let sdb = W.Company.scaled ~seed ~n in
+      let sm, sns = Mapping.derive_network W.Company.schema in
+      let source_db = Mapping.load_network sm sns sdb in
+      let sdb', _ = Result.get_ok (Data_translate.translate sdb interpose_op) in
+      let target_schema =
+        Schema_change.apply_exn W.Company.schema interpose_op
+      in
+      let tm, tns = Mapping.derive_network target_schema in
+      let target_db = Mapping.load_network tm tns sdb' in
+      let prog = source_net W.Programs.maryland_sales_query in
+      let reference =
+        Engines.run (Engines.Net_db source_db) (Engines.Net_program prog)
+      in
+      let bridge =
+        B.Bridge.create ~source_schema:W.Company.schema ~ops:[ interpose_op ]
+          tm
+      in
+      let trace, _ = B.Bridge.run bridge target_db prog in
+      Ccv_common.Io_trace.equal reference.Engines.trace trace)
+
+let () =
+  Alcotest.run "baselines"
+    [ ("behaviour",
+       [ baseline_preserves "md-age" W.Programs.maryland_age_query;
+         baseline_preserves "md-sales" W.Programs.maryland_sales_query;
+       ]);
+      ("overhead", [ overhead_case ]);
+      ("retrieval-only", [ retrieval_only ]);
+      ("props",
+       [ QCheck_alcotest.to_alcotest emulation_prop;
+         QCheck_alcotest.to_alcotest bridge_prop;
+       ]);
+    ]

@@ -1,0 +1,270 @@
+(* Unit and property tests for the common substrate: values, rows,
+   conditions, traces, the deterministic PRNG and counters. *)
+
+open Ccv_common
+
+let check = Alcotest.(check bool)
+
+(* ---------------- Value ---------------- *)
+
+let value_tests =
+  [ Alcotest.test_case "null sorts first" `Quick (fun () ->
+        check "null < int" true (Value.compare Value.Null (Value.Int 0) < 0);
+        check "null < str" true (Value.compare Value.Null (Value.Str "") < 0);
+        check "null = null" true (Value.compare Value.Null Value.Null = 0));
+    Alcotest.test_case "cross-numeric comparison" `Quick (fun () ->
+        check "2 = 2.0" true (Value.compare (Value.Int 2) (Value.Float 2.0) = 0);
+        check "2 < 2.5" true (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+        check "3.5 > 3" true (Value.compare (Value.Float 3.5) (Value.Int 3) > 0));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        check "int add" true (Value.add (Value.Int 2) (Value.Int 3) = Value.Int 5);
+        check "mixed add" true
+          (Value.add (Value.Int 2) (Value.Float 0.5) = Value.Float 2.5);
+        check "concat" true
+          (Value.concat (Value.Str "A") (Value.Str "B") = Value.Str "AB");
+        (try
+           ignore (Value.add (Value.Str "X") (Value.Int 1));
+           Alcotest.fail "expected Invalid_argument"
+         with Invalid_argument _ -> ()));
+    Alcotest.test_case "of_literal" `Quick (fun () ->
+        check "string" true (Value.of_literal "'HELLO'" = Some (Value.Str "HELLO"));
+        check "int" true (Value.of_literal "42" = Some (Value.Int 42));
+        check "float" true (Value.of_literal "4.5" = Some (Value.Float 4.5));
+        check "null" true (Value.of_literal "NULL" = Some Value.Null);
+        check "bool" true (Value.of_literal "true" = Some (Value.Bool true));
+        check "garbage" true (Value.of_literal "12x" = None));
+    Alcotest.test_case "conforms and defaults" `Quick (fun () ->
+        check "null conforms to any" true (Value.conforms Value.Null Value.Tint);
+        check "int conforms" true (Value.conforms (Value.Int 1) Value.Tint);
+        check "str does not conform to int" false
+          (Value.conforms (Value.Str "x") Value.Tint);
+        check "default int" true (Value.default Value.Tint = Value.Int 0));
+  ]
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [ return Value.Null;
+        map (fun i -> Value.Int i) (int_range (-50) 50);
+        map (fun f -> Value.Float (float_of_int f /. 4.)) (int_range (-40) 40);
+        map (fun s -> Value.Str s) (string_size ~gen:(char_range 'A' 'E') (int_bound 4));
+        map (fun b -> Value.Bool b) bool;
+      ])
+
+let value_arb = QCheck.make ~print:Value.show value_gen
+
+let value_props =
+  [ QCheck.Test.make ~name:"Value.compare is antisymmetric" ~count:300
+      (QCheck.pair value_arb value_arb) (fun (a, b) ->
+        let c1 = Value.compare a b and c2 = Value.compare b a in
+        (c1 = 0 && c2 = 0) || (c1 > 0 && c2 < 0) || (c1 < 0 && c2 > 0));
+    QCheck.Test.make ~name:"Value.compare is transitive" ~count:300
+      (QCheck.triple value_arb value_arb value_arb) (fun (a, b, c) ->
+        let ( <= ) x y = Value.compare x y <= 0 in
+        if a <= b && b <= c then a <= c else true);
+    QCheck.Test.make ~name:"Value.equal agrees with compare = 0 (same type)"
+      ~count:300 (QCheck.pair value_arb value_arb) (fun (a, b) ->
+        match Value.ty_of a, Value.ty_of b with
+        | Some ta, Some tb when Value.equal_ty ta tb ->
+            Value.equal a b = (Value.compare a b = 0)
+        | _ -> true);
+    QCheck.Test.make ~name:"hash respects equal" ~count:300
+      (QCheck.pair value_arb value_arb) (fun (a, b) ->
+        if Value.equal a b then Value.hash a = Value.hash b else true);
+  ]
+
+(* ---------------- Row ---------------- *)
+
+let row_tests =
+  [ Alcotest.test_case "of_list canonicalises and dedups" `Quick (fun () ->
+        let r = Row.of_list [ ("a", Value.Int 1); ("A", Value.Int 2) ] in
+        check "one field" true (List.length (Row.to_list r) = 1);
+        check "first wins" true (Row.get r "A" = Some (Value.Int 1)));
+    Alcotest.test_case "set appends or replaces" `Quick (fun () ->
+        let r = Row.of_list [ ("A", Value.Int 1) ] in
+        let r = Row.set r "B" (Value.Int 2) in
+        let r = Row.set r "a" (Value.Int 9) in
+        check "order" true (Row.fields r = [ "A"; "B" ]);
+        check "replaced" true (Row.get r "A" = Some (Value.Int 9)));
+    Alcotest.test_case "project pads with null, keeps requested order" `Quick
+      (fun () ->
+        let r = Row.of_list [ ("A", Value.Int 1); ("B", Value.Int 2) ] in
+        let p = Row.project r [ "B"; "C" ] in
+        check "order" true (Row.fields p = [ "B"; "C" ]);
+        check "pad" true (Row.get p "C" = Some Value.Null));
+    Alcotest.test_case "union is left-biased" `Quick (fun () ->
+        let a = Row.of_list [ ("X", Value.Int 1) ] in
+        let b = Row.of_list [ ("X", Value.Int 2); ("Y", Value.Int 3) ] in
+        let u = Row.union a b in
+        check "left wins" true (Row.get u "X" = Some (Value.Int 1));
+        check "right added" true (Row.get u "Y" = Some (Value.Int 3)));
+    Alcotest.test_case "coerce reorders to declaration" `Quick (fun () ->
+        let decls = [ Field.make "A" Value.Tint; Field.make "B" Value.Tstr ] in
+        let r =
+          Row.of_list
+            [ ("B", Value.Str "x"); ("A", Value.Int 1); ("Z", Value.Int 9) ]
+        in
+        let c = Row.coerce r decls in
+        check "fields" true (Row.fields c = [ "A"; "B" ]);
+        check "conforms" true (Row.conforms c decls));
+    Alcotest.test_case "equal_unordered" `Quick (fun () ->
+        let a = Row.of_list [ ("A", Value.Int 1); ("B", Value.Int 2) ] in
+        let b = Row.of_list [ ("B", Value.Int 2); ("A", Value.Int 1) ] in
+        check "unordered equal" true (Row.equal_unordered a b);
+        check "ordered not equal" false (Row.equal a b));
+  ]
+
+(* ---------------- Cond ---------------- *)
+
+let cond_tests =
+  let row = Row.of_list [ ("AGE", Value.Int 30); ("NAME", Value.Str "X") ] in
+  let env v = if v = "LIMIT" then Some (Value.Int 25) else None in
+  [ Alcotest.test_case "eval with fields and vars" `Quick (fun () ->
+        let c = Cond.Cmp (Cond.Gt, Cond.Field "AGE", Cond.Var "LIMIT") in
+        check "30 > :25" true (Cond.eval ~env row c));
+    Alcotest.test_case "null comparisons are false except eq-null" `Quick
+      (fun () ->
+        let r = Row.of_list [ ("A", Value.Null) ] in
+        check "null < 1 is false" false
+          (Cond.eval ~env:Cond.no_env r
+             (Cond.Cmp (Cond.Lt, Cond.Field "A", Cond.Const (Value.Int 1))));
+        check "null = null" true
+          (Cond.eval ~env:Cond.no_env r
+             (Cond.Cmp (Cond.Eq, Cond.Field "A", Cond.Const Value.Null)));
+        check "is_null" true
+          (Cond.eval ~env:Cond.no_env r (Cond.Is_null (Cond.Field "A"))));
+    Alcotest.test_case "split/conj round-trip" `Quick (fun () ->
+        let a = Cond.eq_field_const "A" (Value.Int 1) in
+        let b = Cond.eq_field_const "B" (Value.Int 2) in
+        let c = Cond.And (a, Cond.And (b, Cond.True)) in
+        check "two conjuncts" true (List.length (Cond.split_conjuncts c) = 2);
+        check "true yields none" true (Cond.split_conjuncts Cond.True = []);
+        check "conj [] = True" true (Cond.conj [] = Cond.True));
+    Alcotest.test_case "cand drops True" `Quick (fun () ->
+        let a = Cond.eq_field_const "A" (Value.Int 1) in
+        check "left" true (Cond.cand Cond.True a = a);
+        check "right" true (Cond.cand a Cond.True = a));
+    Alcotest.test_case "fields_to_vars" `Quick (fun () ->
+        let c = Cond.Cmp (Cond.Eq, Cond.Field "AGE", Cond.Const (Value.Int 1)) in
+        let c' = Cond.fields_to_vars (fun f -> "EMP." ^ f) c in
+        check "no fields left" true (Cond.fields c' = []);
+        check "var introduced" true (Cond.vars c' = [ "EMP.AGE" ]));
+    Alcotest.test_case "subst_vars folds constants" `Quick (fun () ->
+        let c = Cond.Cmp (Cond.Gt, Cond.Field "AGE", Cond.Var "LIMIT") in
+        let c' = Cond.subst_vars env c in
+        check "no vars left" true (Cond.vars c' = []));
+    Alcotest.test_case "unbound raises" `Quick (fun () ->
+        try
+          ignore
+            (Cond.eval ~env:Cond.no_env row
+               (Cond.Cmp (Cond.Eq, Cond.Var "NOPE", Cond.Const Value.Null)));
+          Alcotest.fail "expected Unbound"
+        with Cond.Unbound _ -> ());
+  ]
+
+(* ---------------- Io_trace ---------------- *)
+
+let trace_tests =
+  [ Alcotest.test_case "divergence position" `Quick (fun () ->
+        let a = [ Io_trace.Terminal_out "X"; Io_trace.Terminal_out "Y" ] in
+        let b = [ Io_trace.Terminal_out "X"; Io_trace.Terminal_out "Z" ] in
+        match Io_trace.first_divergence a b with
+        | Some (1, Some _, Some _) -> ()
+        | _ -> Alcotest.fail "expected divergence at 1");
+    Alcotest.test_case "builder preserves order" `Quick (fun () ->
+        let b = Io_trace.Builder.create () in
+        Io_trace.Builder.emit b (Io_trace.Terminal_out "1");
+        Io_trace.Builder.emit b (Io_trace.File_write ("f", "2"));
+        check "order" true
+          (Io_trace.Builder.contents b
+          = [ Io_trace.Terminal_out "1"; Io_trace.File_write ("f", "2") ]));
+    Alcotest.test_case "terminal_lines filters" `Quick (fun () ->
+        let t =
+          [ Io_trace.Terminal_out "A"; Io_trace.Terminal_in "B";
+            Io_trace.File_write ("f", "C"); Io_trace.Terminal_out "D";
+          ]
+        in
+        check "lines" true (Io_trace.terminal_lines t = [ "A"; "D" ]));
+  ]
+
+(* ---------------- Prng ---------------- *)
+
+let prng_tests =
+  [ Alcotest.test_case "deterministic given a seed" `Quick (fun () ->
+        let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+        check "same stream" true
+          (List.init 20 (fun _ -> Prng.int a 1000)
+          = List.init 20 (fun _ -> Prng.int b 1000)));
+    Alcotest.test_case "shuffle permutes" `Quick (fun () ->
+        let rng = Prng.create ~seed:3 in
+        let l = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        let s = Prng.shuffle rng l in
+        check "same multiset" true (List.sort compare s = List.sort compare l));
+    Alcotest.test_case "pick_weighted single bucket" `Quick (fun () ->
+        let rng = Prng.create ~seed:1 in
+        let all_b =
+          List.init 50 (fun _ -> Prng.pick_weighted rng [ (1, "b") ])
+        in
+        check "only b" true (List.for_all (String.equal "b") all_b));
+  ]
+
+let prng_props =
+  [ QCheck.Test.make ~name:"Prng.int within bounds" ~count:500
+      QCheck.(pair (int_range 1 10_000) (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Prng.create ~seed in
+        let v = Prng.int rng bound in
+        v >= 0 && v < bound);
+    QCheck.Test.make ~name:"Prng.int_in within range" ~count:500
+      QCheck.(
+        triple (int_range 1 10_000) (int_range (-50) 50) (int_range 0 100))
+      (fun (seed, lo, span) ->
+        let rng = Prng.create ~seed in
+        let v = Prng.int_in rng lo (lo + span) in
+        v >= lo && v <= lo + span);
+  ]
+
+(* ---------------- Counters / Tablefmt / Status ---------------- *)
+
+let misc_tests =
+  [ Alcotest.test_case "counters accumulate and reset" `Quick (fun () ->
+        let c = Counters.create () in
+        Counters.record_read c;
+        Counters.record_reads c 4;
+        Counters.record_write c;
+        check "reads" true (Counters.reads c = 5);
+        check "writes" true (Counters.writes c = 1);
+        check "total" true (Counters.total c = 6);
+        Counters.reset c;
+        check "reset" true (Counters.total c = 0));
+    Alcotest.test_case "table renders all cells" `Quick (fun () ->
+        let t = Tablefmt.render [ "a"; "b" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+        check "has 333" true
+          (List.exists
+             (fun line -> String.length line > 0 && String.contains line '3')
+             (String.split_on_char '\n' t)));
+    Alcotest.test_case "status codes are stable and distinct" `Quick (fun () ->
+        let codes =
+          List.map Status.code
+            [ Status.Ok; Status.Not_found; Status.End_of_set;
+              Status.No_currency; Status.Duplicate_key "x";
+              Status.Constraint_violation "y"; Status.Invalid_request "z";
+            ]
+        in
+        check "distinct" true
+          (List.length (List.sort_uniq compare codes) = List.length codes));
+  ]
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "common"
+    [ ("value", value_tests);
+      qsuite "value-props" value_props;
+      ("row", row_tests);
+      ("cond", cond_tests);
+      ("trace", trace_tests);
+      ("prng", prng_tests);
+      qsuite "prng-props" prng_props;
+      ("misc", misc_tests);
+    ]

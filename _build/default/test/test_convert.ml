@@ -1,0 +1,366 @@
+(* Convert layer units: transformation rules, optimizer rewrites, the
+   equivalence judge, and a conversion-preservation property over
+   random generated programs (a property-test distillation of E2). *)
+
+open Ccv_common
+open Ccv_abstract
+open Ccv_transform
+open Ccv_convert
+module W = Ccv_workload
+
+let check = Alcotest.(check bool)
+
+let interpose_op =
+  Schema_change.Interpose
+    { through = W.Company.div_emp;
+      new_entity = W.Company.dept;
+      group_by = [ "DEPT-NAME" ];
+      left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+    }
+
+let convert op p = Rules.convert W.Company.schema op p
+
+let rules_tests =
+  [ Alcotest.test_case "rename rewrites steps, vars and inserts" `Quick
+      (fun () ->
+        let p =
+          W.Programs.company_hire ~name:"N" ~dept:"SALES" ~age:30
+            ~division:"MACHINERY"
+        in
+        match
+          convert (Schema_change.Rename_entity { from_ = "EMP"; to_ = "STAFF" }) p
+        with
+        | Ok (p', _) ->
+            let names = List.concat_map Apattern.names_of (Aprog.queries p') in
+            check "no EMP step left" false
+              (List.exists (Field.name_equal "EMP") names);
+            check "no EMP vars left" true
+              (List.for_all
+                 (fun v -> not (String.length v > 4 && String.sub v 0 4 = "EMP."))
+                 (Rules.qualified_vars p'))
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "drop of a displayed field refused" `Quick (fun () ->
+        match
+          convert
+            (Schema_change.Drop_field { entity = "EMP"; field = "EMP-NAME" })
+            W.Programs.maryland_age_query
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected refusal");
+    Alcotest.test_case "interpose refuses grouped-field updates (§4.3)"
+      `Quick (fun () ->
+        let p =
+          { Aprog.name = "U";
+            body =
+              [ Aprog.Update
+                  { query = [ Apattern.Self { target = "EMP"; qual = Cond.True } ];
+                    assigns = [ ("DEPT-NAME", Host.str "X") ];
+                  };
+              ];
+          }
+        in
+        match convert interpose_op p with
+        | Error reason ->
+            check "mentions ambiguity" true
+              (List.mem "ambiguous"
+                 (String.split_on_char ' ' reason))
+        | Ok _ -> Alcotest.fail "expected refusal");
+    Alcotest.test_case "interpose turns inserts into guarded creations"
+      `Quick (fun () ->
+        let p =
+          W.Programs.company_hire ~name:"N" ~dept:"LABS" ~division:"CHEMICALS"
+            ~age:25
+        in
+        match convert interpose_op p with
+        | Ok (p', issues) ->
+            check "issue notes the guarded insert" true (issues <> []);
+            (* the rewritten program must create DEPT on demand *)
+            let inserts = ref [] in
+            let rec walk = function
+              | Aprog.Insert { entity; _ } -> inserts := entity :: !inserts
+              | Aprog.First { present; absent; _ } ->
+                  List.iter walk present;
+                  List.iter walk absent
+              | Aprog.For_each { body; _ } | Aprog.While (_, body) ->
+                  List.iter walk body
+              | Aprog.If (_, a, b) ->
+                  List.iter walk a;
+                  List.iter walk b
+              | _ -> ()
+            in
+            List.iter walk p'.Aprog.body;
+            check "inserts DEPT and EMP" true
+              (List.mem "DEPT" !inserts && List.mem "EMP" !inserts)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "widen rewrites connects into explicit links" `Quick
+      (fun () ->
+        let p =
+          W.Programs.company_hire ~name:"N" ~dept:"LABS" ~division:"CHEMICALS"
+            ~age:25
+        in
+        match convert (Schema_change.Widen_cardinality { assoc = W.Company.div_emp }) p with
+        | Ok (p', _) ->
+            let has_link = ref false in
+            let rec walk = function
+              | Aprog.Link { assoc; _ }
+                when Field.name_equal assoc W.Company.div_emp ->
+                  has_link := true
+              | Aprog.First { present; absent; _ } ->
+                  List.iter walk present;
+                  List.iter walk absent
+              | Aprog.For_each { body; _ } | Aprog.While (_, body) ->
+                  List.iter walk body
+              | Aprog.If (_, a, b) ->
+                  List.iter walk a;
+                  List.iter walk b
+              | _ -> ()
+            in
+            List.iter walk p'.Aprog.body;
+            check "explicit LINK" true !has_link
+        | Error e -> Alcotest.fail e);
+  ]
+
+let optimizer_tests =
+  [ Alcotest.test_case "dead moves eliminated" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.Move (Host.int 1, "X"); Aprog.Move (Host.int 2, "X");
+                Aprog.Display [ Host.v "X" ];
+              ];
+          }
+        in
+        let p', log = Optimizer.optimize W.Company.schema p in
+        check "one move left" true (Aprog.size p' = 2);
+        check "logged" true (log <> []));
+    Alcotest.test_case "redundant partner hop removed" `Quick (fun () ->
+        (* the hop a Collapse conversion leaves behind: EMP -> DIV with
+           nothing reading DIV *)
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.For_each
+                  { query =
+                      [ Apattern.Self { target = "EMP"; qual = Cond.True };
+                        Apattern.Assoc_via
+                          { assoc = W.Company.div_emp; source = "EMP";
+                            qual = Cond.True };
+                        Apattern.Via_assoc
+                          { target = "DIV"; assoc = W.Company.div_emp;
+                            qual = Cond.True };
+                      ];
+                    body = [ Aprog.Display [ Host.v "EMP.EMP-NAME" ] ];
+                  };
+              ];
+          }
+        in
+        let p', _ = Optimizer.optimize W.Company.schema p in
+        check "one step left" true (Aprog.path_length p' = 1);
+        (* behaviour unchanged *)
+        let sdb = W.Company.instance () in
+        let r1 = Ainterp.run sdb p and r2 = Ainterp.run sdb p' in
+        check "same trace" true (Io_trace.equal r1.Ainterp.trace r2.Ainterp.trace));
+    Alcotest.test_case "hop kept when its bindings are read" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.For_each
+                  { query =
+                      [ Apattern.Self { target = "EMP"; qual = Cond.True };
+                        Apattern.Assoc_via
+                          { assoc = W.Company.div_emp; source = "EMP";
+                            qual = Cond.True };
+                        Apattern.Via_assoc
+                          { target = "DIV"; assoc = W.Company.div_emp;
+                            qual = Cond.True };
+                      ];
+                    body = [ Aprog.Display [ Host.v "DIV.DIV-LOC" ] ];
+                  };
+              ];
+          }
+        in
+        let p', _ = Optimizer.optimize W.Company.schema p in
+        check "three steps kept" true (Aprog.path_length p' = 3));
+    Alcotest.test_case "guard folding preserves behaviour" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.For_each
+                  { query = [ Apattern.Self { target = "EMP"; qual = Cond.True } ];
+                    body =
+                      [ Aprog.If
+                          ( Cond.Cmp
+                              ( Cond.Gt,
+                                Cond.Var "EMP.AGE",
+                                Cond.Const (Value.Int 35) ),
+                            [ Aprog.Display [ Host.v "EMP.EMP-NAME" ] ],
+                            [] );
+                      ];
+                  };
+              ];
+          }
+        in
+        let p', log = Optimizer.optimize W.Company.schema p in
+        check "folded" true (log <> []);
+        let sdb = W.Company.instance () in
+        let r1 = Ainterp.run sdb p and r2 = Ainterp.run sdb p' in
+        check "same trace" true (Io_trace.equal r1.Ainterp.trace r2.Ainterp.trace));
+  ]
+
+let equivalence_tests =
+  [ Alcotest.test_case "verdict levels" `Quick (fun () ->
+        let a = [ Io_trace.Terminal_out "X"; Io_trace.Terminal_out "Y" ] in
+        let b = [ Io_trace.Terminal_out "Y"; Io_trace.Terminal_out "X" ] in
+        let c = [ Io_trace.Terminal_out "X" ] in
+        check "strict" true (Equivalence.compare_traces a a = Equivalence.Strict);
+        check "modulo order" true
+          (Equivalence.compare_traces a b = Equivalence.Modulo_order);
+        (match Equivalence.compare_traces a c with
+        | Equivalence.Divergent _ -> ()
+        | _ -> Alcotest.fail "expected divergent"));
+    Alcotest.test_case "verdict_at_least ordering" `Quick (fun () ->
+        check "strict >= strict" true
+          (Equivalence.verdict_at_least Equivalence.Strict Equivalence.Strict);
+        check "strict !>= modulo" false
+          (Equivalence.verdict_at_least Equivalence.Strict
+             Equivalence.Modulo_order);
+        check "modulo >= strict" true
+          (Equivalence.verdict_at_least Equivalence.Modulo_order
+             Equivalence.Strict));
+  ]
+
+(* Property: any generated program that the network model hosts
+   converts under a rename with a strict verdict (mini-E2). *)
+let rename_preservation_prop =
+  QCheck.Test.make ~name:"rename conversion preserves behaviour" ~count:30
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let sample = W.Company.instance () in
+      let progs = W.Generator.batch ~seed W.Company.schema ~sample ~n:3 () in
+      let mapping, _ = Mapping.derive_network W.Company.schema in
+      let req =
+        { Supervisor.source_schema = W.Company.schema;
+          source_model = Mapping.Net;
+          ops =
+            [ Schema_change.Rename_entity { from_ = "EMP"; to_ = "WORKER" };
+              Schema_change.Rename_assoc
+                { from_ = W.Company.div_emp; to_ = "DIV-WORKER" };
+            ];
+          target_model = Mapping.Net;
+        }
+      in
+      List.for_all
+        (fun (_fam, prog) ->
+          match Generator.to_network mapping prog with
+          | Error _ -> true (* not hostable: out of population *)
+          | Ok (source, _) -> (
+              match
+                Supervisor.convert_and_verify req (Engines.Net_program source)
+                  (W.Company.instance ())
+              with
+              | Error _ -> true (* refusal routed to the analyst is legal *)
+              | Ok o -> o.Supervisor.verdict = Equivalence.Strict))
+        progs)
+
+let advisor_tests =
+  let review p = Advisor.review W.Empdept.schema p in
+  [ Alcotest.test_case "THROUGH over an existing association advised" `Quick
+      (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.For_each
+                  { query =
+                      [ Apattern.Self { target = "EMP"; qual = Cond.True };
+                        Apattern.Through
+                          { target = "DEPT";
+                            source = "EMP";
+                            link = ("D#", "E#");
+                            qual = Cond.True;
+                          };
+                      ];
+                    body = [ Aprog.Display [ Host.v "DEPT.DNAME" ] ];
+                  };
+              ];
+          }
+        in
+        check "advice given" true
+          (List.exists
+             (fun s -> s.Advisor.severity = `Advice)
+             (review p)));
+    Alcotest.test_case "FIRST over a non-key qualification suspected" `Quick
+      (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.First
+                  { query =
+                      [ Apattern.Self
+                          { target = "EMP";
+                            qual =
+                              Cond.Cmp
+                                ( Cond.Gt,
+                                  Cond.Field "AGE",
+                                  Cond.Const (Value.Int 30) );
+                          };
+                      ];
+                    present = [];
+                    absent = [];
+                  };
+              ];
+          }
+        in
+        check "suspicion raised" true
+          (List.exists (fun s -> s.Advisor.severity = `Suspicion) (review p)));
+    Alcotest.test_case "key lookup raises nothing" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.First
+                  { query =
+                      [ Apattern.Self
+                          { target = "EMP";
+                            qual = Cond.eq_field_const "E#" (Value.Str "E1");
+                          };
+                      ];
+                    present = [ Aprog.Display [ Host.v "EMP.ENAME" ] ];
+                    absent = [];
+                  };
+              ];
+          }
+        in
+        check "clean" true (review p = []));
+    Alcotest.test_case "unused trailing navigation advised" `Quick (fun () ->
+        let p =
+          { Aprog.name = "T";
+            body =
+              [ Aprog.For_each
+                  { query =
+                      [ Apattern.Self { target = "DEPT"; qual = Cond.True };
+                        Apattern.Assoc_via
+                          { assoc = "EMP-DEPT"; source = "DEPT"; qual = Cond.True };
+                        Apattern.Via_assoc
+                          { target = "EMP"; assoc = "EMP-DEPT"; qual = Cond.True };
+                      ];
+                    body = [ Aprog.Display [ Host.v "DEPT.DNAME" ] ];
+                  };
+              ];
+          }
+        in
+        check "overshoot advice" true
+          (List.exists
+             (fun s ->
+               s.Advisor.severity = `Advice
+               && String.length s.Advisor.message > 0)
+             (review p)));
+  ]
+
+let () =
+  Alcotest.run "convert"
+    [ ("rules", rules_tests);
+      ("optimizer", optimizer_tests);
+      ("equivalence", equivalence_tests);
+      ("advisor", advisor_tests);
+      ("props", [ QCheck_alcotest.to_alcotest rename_preservation_prop ]);
+    ]

@@ -1,0 +1,210 @@
+(* Figure 4.3 DDL round-trip and §4.2 FIND parsing. *)
+
+open Ccv_common
+open Ccv_frontend
+
+let fig43 =
+  {|SCHEMA NAME IS COMPANY-NAME
+RECORD SECTION;
+
+  RECORD NAME IS DIV.
+  FIELDS ARE.
+    DIV-NAME PIC X(20).
+    DIV-LOC PIC X(10).
+  END RECORD.
+
+  RECORD NAME IS EMP.
+  FIELDS ARE.
+    EMP-NAME PIC X(25).
+    DEPT-NAME PIC X(5).
+    AGE PIC 9(2).
+    DIV-NAME VIRTUAL
+      VIA DIV-EMP
+      USING DIV-NAME.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+
+  SET NAME IS ALL-DIV.
+  OWNER IS SYSTEM.
+  MEMBER IS DIV.
+  SET KEYS ARE (DIV-NAME).
+  END SET.
+
+  SET NAME IS DIV-EMP.
+  OWNER IS DIV.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+
+  SET NAME IS ALL-EMP.
+  OWNER IS SYSTEM.
+  MEMBER IS EMP.
+  SET KEYS ARE (EMP-NAME).
+  END SET.
+END SET SECTION.
+
+END SCHEMA.|}
+
+let parse_case =
+  Alcotest.test_case "fig 4.3 parses" `Quick (fun () ->
+      let ddl = Ddl.parse fig43 in
+      Alcotest.(check string) "schema name" "COMPANY-NAME" ddl.Ddl.schema_name;
+      Alcotest.(check int) "records" 2 (List.length ddl.Ddl.records);
+      Alcotest.(check int) "sets" 3 (List.length ddl.Ddl.sets))
+
+let roundtrip_case =
+  Alcotest.test_case "fig 4.3 print/parse round-trip" `Quick (fun () ->
+      let ddl = Ddl.parse fig43 in
+      let printed = Ddl.to_string ddl in
+      let again = Ddl.parse printed in
+      Alcotest.(check bool) "round-trip" true (ddl = again))
+
+let network_case =
+  Alcotest.test_case "fig 4.3 network schema" `Quick (fun () ->
+      let ddl = Ddl.parse fig43 in
+      let n = Ddl.to_network ddl in
+      let emp = Ccv_network.Nschema.find_record_exn n "EMP" in
+      Alcotest.(check int) "EMP virtuals" 1 (List.length emp.virtuals);
+      let s = Ccv_network.Nschema.find_set_exn n "DIV-EMP" in
+      Alcotest.(check bool) "BY VALUE selection" true
+        (match s.selection with
+        | Ccv_network.Nschema.By_value [ ("DIV-NAME", "DIV-NAME") ] -> true
+        | _ -> false))
+
+let semantic_case =
+  Alcotest.test_case "fig 4.3 semantic schema" `Quick (fun () ->
+      let ddl = Ddl.parse fig43 in
+      let s = Ddl.to_semantic ddl in
+      Alcotest.(check int) "entities" 2
+        (List.length s.Ccv_model.Semantic.entities);
+      Alcotest.(check int) "assocs" 1 (List.length s.Ccv_model.Semantic.assocs))
+
+let find_case =
+  Alcotest.test_case "§4.2 FIND parses to access patterns" `Quick (fun () ->
+      let ddl = Ddl.parse fig43 in
+      let f =
+        Dml_parse.parse_find ddl
+          "FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'), DIV-EMP, \
+           EMP(DEPT-NAME = 'SALES'))"
+      in
+      match f.Dml_parse.query with
+      | [ Ccv_abstract.Apattern.Self { target = "DIV"; _ };
+          Ccv_abstract.Apattern.Assoc_via { assoc = "DIV-EMP"; _ };
+          Ccv_abstract.Apattern.Via_assoc { target = "EMP"; qual; _ };
+        ] ->
+          Alcotest.(check bool) "EMP qual" true
+            (Cond.equal qual
+               (Cond.Cmp
+                  ( Cond.Eq,
+                    Cond.Field "DEPT-NAME",
+                    Cond.Const (Value.Str "SALES") )))
+      | q ->
+          Alcotest.failf "unexpected query: %a" Ccv_abstract.Apattern.pp q)
+
+let sort_case =
+  Alcotest.test_case "SORT wrapper" `Quick (fun () ->
+      let ddl = Ddl.parse fig43 in
+      let f =
+        Dml_parse.parse_find ddl
+          "SORT(FIND(EMP: SYSTEM, ALL-EMP, EMP(AGE > 30))) ON (EMP-NAME)"
+      in
+      Alcotest.(check (list string)) "sort fields" [ "EMP-NAME" ]
+        f.Dml_parse.sort_on)
+
+let program_case =
+  Alcotest.test_case "program parse and run" `Quick (fun () ->
+      let ddl = Ddl.parse fig43 in
+      let prog, _notes =
+        Dml_parse.parse_program ddl
+          {|PROGRAM LIST-SALES.
+            FOR EACH FIND(EMP: SYSTEM, ALL-DIV, DIV(DIV-NAME = 'MACHINERY'),
+                          DIV-EMP, EMP(DEPT-NAME = 'SALES'))
+              DISPLAY EMP.EMP-NAME, 'IN SALES'.
+            END.
+            DISPLAY 'DONE'.|}
+      in
+      (* The parsed schema is structurally the company schema: run the
+         program against the canonical instance. *)
+      let sdb0 = Ccv_workload.Company.instance () in
+      (* rebuild under the parsed semantic schema *)
+      let sem = Ddl.to_semantic ddl in
+      let sdb =
+        List.fold_left
+          (fun db row ->
+            Ccv_model.Sdb.insert_entity_exn db "DIV"
+              (Row.project row [ "DIV-NAME"; "DIV-LOC" ]))
+          (Ccv_model.Sdb.create sem)
+          (Ccv_model.Sdb.rows_silent sdb0 "DIV")
+      in
+      let sdb =
+        List.fold_left
+          (fun db row -> Ccv_model.Sdb.insert_entity_exn db "EMP" row)
+          sdb
+          (Ccv_model.Sdb.rows_silent sdb0 "EMP")
+      in
+      let sdb =
+        List.fold_left
+          (fun db (l : Ccv_model.Sdb.link) ->
+            Ccv_model.Sdb.link_exn db "DIV-EMP" ~left:l.lkey ~right:l.rkey)
+          sdb
+          (Ccv_model.Sdb.links_silent sdb0 "DIV-EMP")
+      in
+      let r = Ccv_abstract.Ainterp.run sdb prog in
+      Alcotest.(check (list string))
+        "output"
+        [ "ADAMS IN SALES"; "BAKER IN SALES"; "DONE" ]
+        (Ccv_common.Io_trace.terminal_lines r.Ccv_abstract.Ainterp.trace))
+
+let error_cases =
+  [ Alcotest.test_case "DDL: virtual via unknown set" `Quick (fun () ->
+        let bad =
+          {|SCHEMA NAME IS S
+RECORD SECTION;
+  RECORD NAME IS R.
+  FIELDS ARE.
+    A PIC X(5).
+    B VIRTUAL VIA NOPE USING A.
+  END RECORD.
+END RECORD SECTION.
+SET SECTION.
+END SET SECTION.
+END SCHEMA.|}
+        in
+        let ddl = Ddl.parse bad in
+        try
+          ignore (Ddl.to_network ddl);
+          Alcotest.fail "expected a parse/derivation error"
+        with Ddl.Parse_error _ -> ());
+    Alcotest.test_case "DDL: truncated input" `Quick (fun () ->
+        try
+          ignore (Ddl.parse "SCHEMA NAME IS X RECORD SECTION");
+          Alcotest.fail "expected failure"
+        with Ddl.Parse_error _ -> ());
+    Alcotest.test_case "FIND: set before its owner" `Quick (fun () ->
+        let ddl = Ddl.parse fig43 in
+        try
+          ignore
+            (Dml_parse.parse_find ddl
+               "FIND(EMP: SYSTEM, DIV-EMP, EMP, ALL-DIV, DIV)");
+          Alcotest.fail "expected failure"
+        with Dml_parse.Parse_error _ -> ());
+    Alcotest.test_case "FIND: path target mismatch" `Quick (fun () ->
+        let ddl = Ddl.parse fig43 in
+        try
+          ignore (Dml_parse.parse_find ddl "FIND(EMP: SYSTEM, ALL-DIV, DIV)");
+          Alcotest.fail "expected failure"
+        with Dml_parse.Parse_error _ -> ());
+    Alcotest.test_case "lexer: unterminated string" `Quick (fun () ->
+        try
+          ignore (Lexer.tokenize "DISPLAY 'OOPS");
+          Alcotest.fail "expected failure"
+        with Lexer.Error _ -> ());
+  ]
+
+let () =
+  Alcotest.run "frontend"
+    [ ("ddl", [ parse_case; roundtrip_case; network_case; semantic_case ]);
+      ("dml", [ find_case; sort_case; program_case ]);
+      ("errors", error_cases);
+    ]

@@ -1,0 +1,237 @@
+(* Hierarchical substrate: schema validation, occurrence trees,
+   hierarchic sequence, and the DL/I calls with SSAs. *)
+
+open Ccv_common
+open Ccv_hier
+
+let check = Alcotest.(check bool)
+
+let schema =
+  Hschema.make
+    [ Hschema.seg_decl "DIV" [ Field.make "DIV-NAME" Value.Tstr ];
+      Hschema.seg_decl ~parent:"DIV" "DEPT" [ Field.make "DEPT-NAME" Value.Tstr ];
+      Hschema.seg_decl ~parent:"DEPT" ~seq_field:"EMP-NAME" "EMP"
+        [ Field.make "EMP-NAME" Value.Tstr; Field.make "AGE" Value.Tint ];
+    ]
+
+let seg1 name = Row.of_list [ ("DIV-NAME", Value.Str name) ]
+let dept name = Row.of_list [ ("DEPT-NAME", Value.Str name) ]
+
+let empr name age =
+  Row.of_list [ ("EMP-NAME", Value.Str name); ("AGE", Value.Int age) ]
+
+(* div A (dept S (emps X Z), dept T (emp Y)), div B (dept U) *)
+let sample () =
+  let db = Hdb.create schema in
+  let db, a = Hdb.insert_exn db ~parent:None "DIV" (seg1 "A") in
+  let db, s = Hdb.insert_exn db ~parent:(Some a) "DEPT" (dept "S") in
+  let db, x = Hdb.insert_exn db ~parent:(Some s) "EMP" (empr "X" 30) in
+  let db, z = Hdb.insert_exn db ~parent:(Some s) "EMP" (empr "Z" 50) in
+  let db, t = Hdb.insert_exn db ~parent:(Some a) "DEPT" (dept "T") in
+  let db, y = Hdb.insert_exn db ~parent:(Some t) "EMP" (empr "Y" 40) in
+  let db, b = Hdb.insert_exn db ~parent:None "DIV" (seg1 "B") in
+  let db, u = Hdb.insert_exn db ~parent:(Some b) "DEPT" (dept "U") in
+  (db, a, s, x, z, t, y, b, u)
+
+let schema_tests =
+  [ Alcotest.test_case "cycles rejected" `Quick (fun () ->
+        try
+          ignore
+            (Hschema.make
+               [ Hschema.seg_decl ~parent:"B" "A" [ Field.make "X" Value.Tint ];
+                 Hschema.seg_decl ~parent:"A" "B" [ Field.make "Y" Value.Tint ];
+               ]);
+          Alcotest.fail "expected failure"
+        with Invalid_argument _ -> ());
+    Alcotest.test_case "path_to walks the hierarchy" `Quick (fun () ->
+        let path = List.map (fun s -> s.Hschema.sname) (Hschema.path_to schema "EMP") in
+        check "path" true (path = [ "DIV"; "DEPT"; "EMP" ]));
+  ]
+
+let hdb_tests =
+  [ Alcotest.test_case "hierarchic sequence is preorder" `Quick (fun () ->
+        let db, a, s, x, z, t, y, b, u = sample () in
+        check "preorder" true
+          (Hdb.hierarchic_sequence_silent db = [ a; s; x; z; t; y; b; u ]));
+    Alcotest.test_case "seq field orders twins" `Quick (fun () ->
+        let db, _, s, x, z, _, _, _, _ = sample () in
+        (* EMP-NAME is the sequence field: M sorts before X and Z. *)
+        let db, w = Hdb.insert_exn db ~parent:(Some s) "EMP" (empr "M" 20) in
+        check "M first" true (Hdb.children_of db s = [ w; x; z ]);
+        let db, y = Hdb.insert_exn db ~parent:(Some s) "EMP" (empr "Y" 20) in
+        check "Y between X and Z" true (Hdb.children_of db s = [ w; x; y; z ]));
+    Alcotest.test_case "delete removes the subtree" `Quick (fun () ->
+        let db, a, _, _, _, _, _, _, _ = sample () in
+        match Hdb.delete db a with
+        | Ok db' ->
+            check "five segments gone" true (Hdb.total_segments db' = 2);
+            check "root list updated" true (List.length (Hdb.root_keys db') = 1)
+        | Error st -> Alcotest.failf "delete: %s" (Status.show st));
+    Alcotest.test_case "child under wrong parent type rejected" `Quick
+      (fun () ->
+        let db, a, _, _, _, _, _, _, _ = sample () in
+        match Hdb.insert db ~parent:(Some a) "EMP" (empr "Q" 1) with
+        | Error (Status.Invalid_request _) -> ()
+        | _ -> Alcotest.fail "expected refusal");
+    Alcotest.test_case "replace updates fields" `Quick (fun () ->
+        let db, _, _, x, _, _, _, _, _ = sample () in
+        match Hdb.replace db x [ ("AGE", Value.Int 77) ] with
+        | Ok db' -> (
+            match Hdb.get_silent db' x with
+            | Some (_, row) -> check "age" true (Row.get row "AGE" = Some (Value.Int 77))
+            | None -> Alcotest.fail "missing")
+        | Error st -> Alcotest.failf "replace: %s" (Status.show st));
+  ]
+
+let exec db pos stmt =
+  let o = Hinterp.exec db pos ~env:Cond.no_env stmt in
+  (o.Hinterp.db, o.Hinterp.pos, o.Hinterp.status)
+
+let ssa = Hdml.ssa
+
+let dml_tests =
+  [ Alcotest.test_case "GU finds the first match with a qualified path"
+      `Quick (fun () ->
+        let db, _, _, _, z, _, _, _, _ = sample () in
+        let pos = Hinterp.initial_position in
+        let _, pos, s =
+          exec db pos
+            (Hdml.Gu
+               [ ssa ~qual:(Cond.eq_field_const "DIV-NAME" (Value.Str "A")) "DIV";
+                 ssa ~qual:(Cond.eq_field_const "DEPT-NAME" (Value.Str "S")) "DEPT";
+                 ssa ~qual:(Cond.eq_field_const "EMP-NAME" (Value.Str "Z")) "EMP";
+               ])
+        in
+        check "found Z" true (s = Status.Ok && Hinterp.current_key pos = Some z));
+    Alcotest.test_case "GN sweeps all EMPs forward" `Quick (fun () ->
+        let db, _, _, x, z, _, y, _, _ = sample () in
+        let rec sweep db pos acc =
+          let db, pos, s = exec db pos (Hdml.Gn [ ssa "EMP" ]) in
+          if s = Status.Ok then
+            match Hinterp.current_key pos with
+            | Some k -> sweep db pos (k :: acc)
+            | None -> List.rev acc
+          else List.rev acc
+        in
+        let seen = sweep db Hinterp.initial_position [] in
+        check "hierarchic order" true (seen = [ x; z; y ]));
+    Alcotest.test_case "GN with ancestor pins stays in the subtree" `Quick
+      (fun () ->
+        let db, _, _, x, z, _, _, _, _ = sample () in
+        let pins =
+          [ ssa ~qual:(Cond.eq_field_const "DIV-NAME" (Value.Str "A")) "DIV";
+            ssa ~qual:(Cond.eq_field_const "DEPT-NAME" (Value.Str "S")) "DEPT";
+            ssa "EMP";
+          ]
+        in
+        let rec sweep db pos acc =
+          let db, pos, s = exec db pos (Hdml.Gn pins) in
+          if s = Status.Ok then
+            match Hinterp.current_key pos with
+            | Some k -> sweep db pos (k :: acc)
+            | None -> List.rev acc
+          else List.rev acc
+        in
+        check "only dept S emps" true
+          (sweep db Hinterp.initial_position [] = [ x; z ]));
+    Alcotest.test_case "GNP iterates within parentage" `Quick (fun () ->
+        let db, _, _, x, z, _, _, _, _ = sample () in
+        let pos = Hinterp.initial_position in
+        let db, pos, _ =
+          exec db pos
+            (Hdml.Gu
+               [ ssa ~qual:(Cond.eq_field_const "DEPT-NAME" (Value.Str "S")) "DEPT" ])
+        in
+        let db, pos, s1 = exec db pos (Hdml.Gnp [ ssa "EMP" ]) in
+        check "first child" true
+          (s1 = Status.Ok && Hinterp.current_key pos = Some x);
+        let db, pos, _ = exec db pos (Hdml.Gnp [ ssa "EMP" ]) in
+        check "second child" true (Hinterp.current_key pos = Some z);
+        let _, _, s3 = exec db pos (Hdml.Gnp [ ssa "EMP" ]) in
+        check "end" true (s3 = Status.End_of_set));
+    Alcotest.test_case "ISRT under a located parent; DLET; REPL" `Quick
+      (fun () ->
+        let db, _, _, _, _, _, _, _, _ = sample () in
+        let pos = Hinterp.initial_position in
+        let env name =
+          List.assoc_opt name
+            [ ("EMP.EMP-NAME", Value.Str "NEW"); ("EMP.AGE", Value.Int 22) ]
+        in
+        let o =
+          Hinterp.exec db pos ~env
+            (Hdml.Isrt
+               ( "EMP",
+                 [ ssa ~qual:(Cond.eq_field_const "DEPT-NAME" (Value.Str "U")) "DEPT" ]
+               ))
+        in
+        check "inserted" true (o.Hinterp.status = Status.Ok);
+        let db = o.Hinterp.db in
+        let o2 =
+          Hinterp.exec db o.Hinterp.pos
+            ~env:(fun n -> List.assoc_opt n [ ("EMP.AGE", Value.Int 23) ])
+            (Hdml.Repl [ "AGE" ])
+        in
+        check "replaced" true (o2.Hinterp.status = Status.Ok);
+        let o3 =
+          Hinterp.exec o2.Hinterp.db o2.Hinterp.pos ~env:Cond.no_env Hdml.Dlet
+        in
+        check "deleted" true (o3.Hinterp.status = Status.Ok);
+        check "back to baseline" true (Hdb.total_segments o3.Hinterp.db = 8));
+    Alcotest.test_case "GU miss reports not-found and keeps position" `Quick
+      (fun () ->
+        let db, _, _, x, _, _, _, _, _ = sample () in
+        let pos = Hinterp.initial_position in
+        let db, pos, _ = exec db pos (Hdml.Gn [ ssa "EMP" ]) in
+        let _, pos', s =
+          exec db pos
+            (Hdml.Gu [ ssa ~qual:(Cond.eq_field_const "DIV-NAME" (Value.Str "Q")) "DIV" ])
+        in
+        check "not found" true (s = Status.Not_found);
+        check "position kept" true (Hinterp.current_key pos' = Some x));
+  ]
+
+(* Property: the hierarchic sequence visits every segment exactly once
+   (preorder is a permutation of the arena). *)
+let seq_prop =
+  QCheck.Test.make ~name:"hierarchic sequence is a permutation" ~count:50
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let db = ref (Hdb.create schema) in
+      let divs = ref [] in
+      let depts = ref [] in
+      for i = 0 to 2 + Prng.int rng 3 do
+        let db', d =
+          Hdb.insert_exn !db ~parent:None "DIV" (seg1 (Printf.sprintf "D%d" i))
+        in
+        db := db';
+        divs := d :: !divs
+      done;
+      for i = 0 to 3 + Prng.int rng 5 do
+        let parent = Prng.pick rng !divs in
+        let db', d =
+          Hdb.insert_exn !db ~parent:(Some parent) "DEPT"
+            (dept (Printf.sprintf "T%d" i))
+        in
+        db := db';
+        depts := d :: !depts
+      done;
+      for i = 0 to 5 + Prng.int rng 8 do
+        let parent = Prng.pick rng !depts in
+        let db', _ =
+          Hdb.insert_exn !db ~parent:(Some parent) "EMP"
+            (empr (Printf.sprintf "E%d" i) (20 + i))
+        in
+        db := db'
+      done;
+      let seq = Hdb.hierarchic_sequence_silent !db in
+      List.length seq = Hdb.total_segments !db
+      && List.length (List.sort_uniq compare seq) = List.length seq)
+
+let () =
+  Alcotest.run "hierarchical"
+    [ ("schema", schema_tests);
+      ("hdb", hdb_tests);
+      ("dml", dml_tests);
+      ("props", [ QCheck_alcotest.to_alcotest seq_prop ]);
+    ]

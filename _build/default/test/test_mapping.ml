@@ -1,0 +1,120 @@
+(* Round-trip tests for the semantic <-> concrete mappings: for each
+   canonical workload and each target model, extract (load db) must
+   reproduce the semantic instance.  These round-trips are the data
+   translator of the framework, so they anchor everything above. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_transform
+module School = Ccv_workload.School
+module Company = Ccv_workload.Company
+module Empdept = Ccv_workload.Empdept
+
+let check = Alcotest.(check bool)
+
+let workloads =
+  [ ("school", School.schema, School.instance);
+    ("company", Company.schema, Company.instance);
+    ("empdept", Empdept.schema, Empdept.instance);
+  ]
+
+let relational_roundtrip (name, schema, instance) =
+  Alcotest.test_case ("relational roundtrip " ^ name) `Quick (fun () ->
+      let sdb = instance () in
+      let _mapping, rschema = Mapping.derive_relational schema in
+      let rdb = Mapping.load_relational rschema sdb in
+      let back = Mapping.extract_relational schema rdb in
+      check "roundtrip preserves contents" true (Sdb.equal_contents sdb back))
+
+let network_roundtrip (name, schema, instance) =
+  Alcotest.test_case ("network roundtrip " ^ name) `Quick (fun () ->
+      let sdb = instance () in
+      let mapping, nschema = Mapping.derive_network schema in
+      let ndb = Mapping.load_network mapping nschema sdb in
+      let back = Mapping.extract_network mapping ndb in
+      check "roundtrip preserves contents" true (Sdb.equal_contents sdb back))
+
+let hier_roundtrip (name, schema, instance) =
+  Alcotest.test_case ("hierarchical roundtrip " ^ name) `Quick (fun () ->
+      let sdb = instance () in
+      let mapping, hschema = Mapping.derive_hier schema in
+      let hdb = Mapping.load_hier mapping hschema sdb in
+      let back = Mapping.extract_hier mapping hdb in
+      check "roundtrip preserves contents" true (Sdb.equal_contents sdb back))
+
+let scaled_roundtrips =
+  [ Alcotest.test_case "network roundtrip scaled company" `Quick (fun () ->
+        let sdb = Company.scaled ~seed:7 ~n:60 in
+        let mapping, nschema = Mapping.derive_network Company.schema in
+        let ndb = Mapping.load_network mapping nschema sdb in
+        let back = Mapping.extract_network mapping ndb in
+        check "roundtrip" true (Sdb.equal_contents sdb back));
+    Alcotest.test_case "hier roundtrip scaled empdept" `Quick (fun () ->
+        let sdb = Empdept.scaled ~seed:11 ~n:40 in
+        let mapping, hschema = Mapping.derive_hier Empdept.schema in
+        let hdb = Mapping.load_hier mapping hschema sdb in
+        let back = Mapping.extract_hier mapping hdb in
+        check "roundtrip" true (Sdb.equal_contents sdb back));
+    Alcotest.test_case "relational roundtrip scaled school" `Quick (fun () ->
+        let sdb = School.scaled ~seed:3 ~n:50 in
+        let _mapping, rschema = Mapping.derive_relational School.schema in
+        let rdb = Mapping.load_relational rschema sdb in
+        let back = Mapping.extract_relational School.schema rdb in
+        check "roundtrip" true (Sdb.equal_contents sdb back));
+  ]
+
+let cross_model =
+  [ Alcotest.test_case "network -> hier translation (company)" `Quick
+      (fun () ->
+        let sdb = Company.instance () in
+        let nmap, nschema = Mapping.derive_network Company.schema in
+        let ndb = Mapping.load_network nmap nschema sdb in
+        let via = Mapping.extract_network nmap ndb in
+        let hmap, hschema = Mapping.derive_hier Company.schema in
+        let hdb = Mapping.load_hier hmap hschema via in
+        let back = Mapping.extract_hier hmap hdb in
+        check "cross-model translation" true (Sdb.equal_contents sdb back));
+  ]
+
+let schema_shape =
+  [ Alcotest.test_case "network schema of company has DIV-EMP set" `Quick
+      (fun () ->
+        let _mapping, nschema = Mapping.derive_network Company.schema in
+        let s = Ccv_network.Nschema.find_set_exn nschema "DIV-EMP" in
+        check "owner" true (s.owner = Ccv_network.Nschema.Owner_record "DIV");
+        check "member" true (Field.name_equal s.member "EMP");
+        check "automatic" true (s.insertion = Ccv_network.Nschema.Automatic));
+    Alcotest.test_case "network schema of school uses a link record" `Quick
+      (fun () ->
+        let mapping, nschema = Mapping.derive_network School.schema in
+        (match Mapping.assoc_real mapping School.offering with
+        | Mapping.Assoc_link_record { record; left_set; right_set } ->
+            check "record exists" true
+              (Ccv_network.Nschema.find_record nschema record <> None);
+            check "left set exists" true
+              (Ccv_network.Nschema.find_set nschema left_set <> None);
+            check "right set exists" true
+              (Ccv_network.Nschema.find_set nschema right_set <> None)
+        | _ -> Alcotest.fail "expected link record realization"));
+    Alcotest.test_case "hier schema of company: EMP child of DIV" `Quick
+      (fun () ->
+        let _mapping, hschema = Mapping.derive_hier Company.schema in
+        let e = Ccv_hier.Hschema.find_exn hschema "EMP" in
+        check "parent" true (e.parent = Some "DIV"));
+    Alcotest.test_case "hier schema of empdept uses link segment" `Quick
+      (fun () ->
+        let mapping, _ = Mapping.derive_hier Empdept.schema in
+        match Mapping.assoc_real mapping Empdept.emp_dept with
+        | Mapping.Assoc_link_segment _ -> ()
+        | _ -> Alcotest.fail "expected link segment");
+  ]
+
+let () =
+  Alcotest.run "mapping"
+    [ ("relational-roundtrip", List.map relational_roundtrip workloads);
+      ("network-roundtrip", List.map network_roundtrip workloads);
+      ("hier-roundtrip", List.map hier_roundtrip workloads);
+      ("scaled", scaled_roundtrips);
+      ("cross-model", cross_model);
+      ("schema-shape", schema_shape);
+    ]

@@ -1,0 +1,304 @@
+(* CODASYL substrate: schema validation, record/set mechanics
+   (AUTOMATIC/MANUAL, OPTIONAL/MANDATORY/FIXED), virtual fields,
+   BY VALUE selection, ERASE semantics, and the currency model of the
+   DML interpreter — the behaviours §3.2 says a converter must
+   reproduce exactly. *)
+
+open Ccv_common
+open Ccv_network
+
+let check = Alcotest.(check bool)
+
+(* A small hand-built schema: DIV owns EMP through DIV-EMP (AUTOMATIC,
+   MANDATORY, BY VALUE on DIV-NAME); PROJ is an OPTIONAL MANUAL member
+   of EMP's EMP-PROJ set. *)
+let schema =
+  Nschema.make
+    [ Nschema.record_decl ~calc_key:[ "DIV-NAME" ] "DIV"
+        [ Field.make "DIV-NAME" Value.Tstr ];
+      Nschema.record_decl ~calc_key:[ "EMP-NAME" ]
+        ~virtuals:
+          [ { Nschema.vname = "DIV-NAME";
+              vty = Value.Tstr;
+              via_set = "DIV-EMP";
+              source_field = "DIV-NAME";
+            };
+          ]
+        "EMP"
+        [ Field.make "EMP-NAME" Value.Tstr; Field.make "AGE" Value.Tint ];
+      Nschema.record_decl ~calc_key:[ "P#" ] "PROJ"
+        [ Field.make "P#" Value.Tstr ];
+    ]
+    [ Nschema.set_decl ~insertion:Nschema.Automatic ~retention:Nschema.Mandatory
+        ~selection:(Nschema.By_value [ ("DIV-NAME", "DIV-NAME") ])
+        ~name:"DIV-EMP" ~owner:(Nschema.Owner_record "DIV") ~member:"EMP" ();
+      Nschema.set_decl ~insertion:Nschema.Manual ~retention:Nschema.Optional
+        ~name:"EMP-PROJ" ~owner:(Nschema.Owner_record "EMP") ~member:"PROJ" ();
+      Nschema.set_decl ~insertion:Nschema.Automatic ~retention:Nschema.Fixed
+        ~name:"ALL-EMP" ~owner:Nschema.System ~member:"EMP" ();
+    ]
+
+let store_exn db rtype row =
+  match Ndb.store db rtype row with
+  | Ok (db, k) -> (db, k)
+  | Error s -> Alcotest.failf "store %s: %s" rtype (Status.show s)
+
+let div name = Row.of_list [ ("DIV-NAME", Value.Str name) ]
+
+let emp name age d =
+  Row.of_list
+    [ ("EMP-NAME", Value.Str name); ("AGE", Value.Int age);
+      ("DIV-NAME", Value.Str d);
+    ]
+
+let sample () =
+  let db = Ndb.create schema in
+  let db, d1 = store_exn db "DIV" (div "A") in
+  let db, d2 = store_exn db "DIV" (div "B") in
+  let db, e1 = store_exn db "EMP" (emp "X" 30 "A") in
+  let db, e2 = store_exn db "EMP" (emp "Y" 40 "A") in
+  let db, e3 = store_exn db "EMP" (emp "Z" 50 "B") in
+  (db, d1, d2, e1, e2, e3)
+
+let schema_tests =
+  [ Alcotest.test_case "virtual cannot shadow a stored field" `Quick (fun () ->
+        try
+          ignore
+            (Nschema.record_decl
+               ~virtuals:
+                 [ { Nschema.vname = "A"; vty = Value.Tint; via_set = "S";
+                     source_field = "A" } ]
+               "R"
+               [ Field.make "A" Value.Tint ]);
+          Alcotest.fail "expected failure"
+        with Invalid_argument _ -> ());
+    Alcotest.test_case "selection field must exist in owner" `Quick (fun () ->
+        try
+          ignore
+            (Nschema.make
+               [ Nschema.record_decl "O" [ Field.make "K" Value.Tstr ];
+                 Nschema.record_decl "M" [ Field.make "K" Value.Tstr ];
+               ]
+               [ Nschema.set_decl
+                   ~selection:(Nschema.By_value [ ("NOPE", "K") ])
+                   ~name:"S" ~owner:(Nschema.Owner_record "O") ~member:"M" ();
+               ]);
+          Alcotest.fail "expected failure"
+        with Invalid_argument _ -> ());
+  ]
+
+let ndb_tests =
+  [ Alcotest.test_case "automatic BY VALUE connection" `Quick (fun () ->
+        let db, d1, d2, e1, e2, e3 = sample () in
+        check "A's members" true (Ndb.members_silent db ~set:"DIV-EMP" ~owner:d1 = [ e1; e2 ]);
+        check "B's members" true (Ndb.members_silent db ~set:"DIV-EMP" ~owner:d2 = [ e3 ]);
+        check "owner_of" true (Ndb.owner_of db ~set:"DIV-EMP" ~member:e1 = Some d1));
+    Alcotest.test_case "store fails without an owner (§3.1)" `Quick (fun () ->
+        let db, _, _, _, _, _ = sample () in
+        match Ndb.store db "EMP" (emp "W" 20 "NOWHERE") with
+        | Error (Status.Constraint_violation _) -> ()
+        | _ -> Alcotest.fail "expected constraint violation");
+    Alcotest.test_case "CALC duplicates rejected" `Quick (fun () ->
+        let db, _, _, _, _, _ = sample () in
+        match Ndb.store db "EMP" (emp "X" 99 "B") with
+        | Error (Status.Duplicate_key _) -> ()
+        | _ -> Alcotest.fail "expected duplicate key");
+    Alcotest.test_case "virtual field resolves through the set" `Quick
+      (fun () ->
+        let db, _, _, e1, _, _ = sample () in
+        match Ndb.view_silent db e1 with
+        | Some row -> check "DIV-NAME derived" true (Row.get row "DIV-NAME" = Some (Value.Str "A"))
+        | None -> Alcotest.fail "no view");
+    Alcotest.test_case "manual set: connect then disconnect" `Quick (fun () ->
+        let db, _, _, e1, _, _ = sample () in
+        let db, p = store_exn db "PROJ" (Row.of_list [ ("P#", Value.Str "P1") ]) in
+        check "not connected yet" true
+          (Ndb.owner_of db ~set:"EMP-PROJ" ~member:p = None);
+        let db =
+          match Ndb.connect db ~set:"EMP-PROJ" ~member:p ~owner:e1 with
+          | Ok db -> db
+          | Error s -> Alcotest.failf "connect: %s" (Status.show s)
+        in
+        check "connected" true (Ndb.owner_of db ~set:"EMP-PROJ" ~member:p = Some e1);
+        (match Ndb.disconnect db ~set:"EMP-PROJ" ~member:p with
+        | Ok db' ->
+            check "disconnected" true
+              (Ndb.owner_of db' ~set:"EMP-PROJ" ~member:p = None)
+        | Error s -> Alcotest.failf "disconnect: %s" (Status.show s)));
+    Alcotest.test_case "disconnect from MANDATORY set refused" `Quick (fun () ->
+        let db, _, _, e1, _, _ = sample () in
+        match Ndb.disconnect db ~set:"DIV-EMP" ~member:e1 with
+        | Error (Status.Constraint_violation _) -> ()
+        | _ -> Alcotest.fail "expected refusal");
+    Alcotest.test_case "plain ERASE refuses a non-empty owner" `Quick
+      (fun () ->
+        let db, d1, _, _, _, _ = sample () in
+        match Ndb.erase db Ndb.Erase d1 with
+        | Error (Status.Constraint_violation _) -> ()
+        | _ -> Alcotest.fail "expected refusal");
+    Alcotest.test_case "ERASE ALL cascades into MANDATORY members" `Quick
+      (fun () ->
+        let db, d1, _, _, _, _ = sample () in
+        match Ndb.erase db Ndb.Erase_all d1 with
+        | Ok db' ->
+            check "emps gone" true
+              (List.length (Ndb.all_keys_silent db' "EMP") = 1)
+        | Error s -> Alcotest.failf "erase: %s" (Status.show s));
+    Alcotest.test_case "modify updates fields" `Quick (fun () ->
+        let db, _, _, e1, _, _ = sample () in
+        match Ndb.modify db e1 [ ("AGE", Value.Int 99) ] with
+        | Ok db' -> (
+            match Ndb.view_silent db' e1 with
+            | Some row -> check "age" true (Row.get row "AGE" = Some (Value.Int 99))
+            | None -> Alcotest.fail "gone")
+        | Error s -> Alcotest.failf "modify: %s" (Status.show s));
+  ]
+
+(* ------------- currency / DML interpreter ------------- *)
+
+let env_of bindings name = List.assoc_opt name bindings
+
+let exec db cur stmt =
+  let o = Interp.exec db cur ~env:Cond.no_env stmt in
+  (o.Interp.db, o.Interp.cur, o.Interp.status)
+
+let interp_tests =
+  [ Alcotest.test_case "FIND ANY / DUPLICATE enumerate in key order" `Quick
+      (fun () ->
+        let db, _, _, e1, e2, e3 = sample () in
+        let cur = Interp.initial_currency in
+        let db, cur, s1 = exec db cur (Dml.Find (Dml.Any ("EMP", Cond.True))) in
+        check "first" true
+          (s1 = Status.Ok && Interp.current_of_run_unit cur = Some e1);
+        let db, cur, _ = exec db cur (Dml.Find (Dml.Duplicate ("EMP", Cond.True))) in
+        check "second" true (Interp.current_of_run_unit cur = Some e2);
+        let db, cur, _ = exec db cur (Dml.Find (Dml.Duplicate ("EMP", Cond.True))) in
+        check "third" true (Interp.current_of_run_unit cur = Some e3);
+        let _, _, s4 = exec db cur (Dml.Find (Dml.Duplicate ("EMP", Cond.True))) in
+        check "exhausted" true (s4 = Status.Not_found));
+    Alcotest.test_case "set sweep: FIRST/NEXT WITHIN uses owner currency"
+      `Quick (fun () ->
+        let db, _, _, e1, e2, _ = sample () in
+        let cur = Interp.initial_currency in
+        let q = Cond.eq_field_const "DIV-NAME" (Value.Str "A") in
+        let db, cur, _ = exec db cur (Dml.Find (Dml.Any ("DIV", q))) in
+        let db, cur, s =
+          exec db cur (Dml.Find (Dml.First_within ("EMP", "DIV-EMP", Cond.True)))
+        in
+        check "first member" true
+          (s = Status.Ok && Interp.current_of_run_unit cur = Some e1);
+        let db, cur, _ =
+          exec db cur (Dml.Find (Dml.Next_within ("EMP", "DIV-EMP", Cond.True)))
+        in
+        check "second member" true (Interp.current_of_run_unit cur = Some e2);
+        let _, _, s3 =
+          exec db cur (Dml.Find (Dml.Next_within ("EMP", "DIV-EMP", Cond.True)))
+        in
+        check "end of set" true (s3 = Status.End_of_set));
+    Alcotest.test_case "FIND OWNER resolves the member's occurrence" `Quick
+      (fun () ->
+        let db, _, d2, _, _, _ = sample () in
+        let cur = Interp.initial_currency in
+        let q = Cond.eq_field_const "EMP-NAME" (Value.Str "Z") in
+        let db, cur, _ = exec db cur (Dml.Find (Dml.Any ("EMP", q))) in
+        let _, cur, s = exec db cur (Dml.Find (Dml.Owner_within "DIV-EMP")) in
+        check "owner found" true
+          (s = Status.Ok && Interp.current_of_run_unit cur = Some d2));
+    Alcotest.test_case "navigation without currency fails" `Quick (fun () ->
+        let db, _, _, _, _, _ = sample () in
+        let cur = Interp.initial_currency in
+        let _, _, s =
+          exec db cur (Dml.Find (Dml.Next_within ("EMP", "DIV-EMP", Cond.True)))
+        in
+        check "no currency" true (s = Status.No_currency));
+    Alcotest.test_case "GET binds UWA variables from the view" `Quick (fun () ->
+        let db, _, _, _, _, _ = sample () in
+        let cur = Interp.initial_currency in
+        let q = Cond.eq_field_const "EMP-NAME" (Value.Str "X") in
+        let o1 = Interp.exec db cur ~env:Cond.no_env (Dml.Find (Dml.Any ("EMP", q))) in
+        let o2 = Interp.exec o1.Interp.db o1.Interp.cur ~env:Cond.no_env (Dml.Get "EMP") in
+        check "uwa emp-name" true
+          (List.assoc_opt "EMP.EMP-NAME" o2.Interp.updates = Some (Value.Str "X"));
+        check "uwa derived div" true
+          (List.assoc_opt "EMP.DIV-NAME" o2.Interp.updates = Some (Value.Str "A")));
+    Alcotest.test_case "STORE from UWA variables" `Quick (fun () ->
+        let db, _, _, _, _, _ = sample () in
+        let cur = Interp.initial_currency in
+        let env =
+          env_of
+            [ ("EMP.EMP-NAME", Value.Str "NEW"); ("EMP.AGE", Value.Int 20);
+              ("EMP.DIV-NAME", Value.Str "B");
+            ]
+        in
+        let o = Interp.exec db cur ~env (Dml.Store "EMP") in
+        check "stored" true (o.Interp.status = Status.Ok);
+        check "4 emps" true
+          (List.length (Ndb.all_keys_silent o.Interp.db "EMP") = 4));
+    Alcotest.test_case "FIND CURRENT re-establishes set currency" `Quick
+      (fun () ->
+        let db, d1, _, _, _, _ = sample () in
+        let cur = Interp.initial_currency in
+        let q = Cond.eq_field_const "DIV-NAME" (Value.Str "A") in
+        let db, cur, _ = exec db cur (Dml.Find (Dml.Any ("DIV", q))) in
+        (* disturb the set currency via another record *)
+        let db, cur, _ = exec db cur (Dml.Find (Dml.Any ("PROJ", Cond.True))) in
+        ignore d1;
+        let _, cur, s = exec db cur (Dml.Find (Dml.Current "DIV")) in
+        check "ok" true (s = Status.Ok);
+        check "occurrence back" true
+          (Interp.current_occurrence_owner db cur "DIV-EMP" = Some d1));
+  ]
+
+(* Property: FIND FIRST/NEXT WITHIN enumerates exactly the member list
+   of the current occurrence, in order. *)
+let sweep_prop =
+  QCheck.Test.make ~name:"set sweep equals member list" ~count:50
+    QCheck.(int_range 1 500)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let db = ref (Ndb.create schema) in
+      let divs = [ "A"; "B"; "C" ] in
+      List.iter
+        (fun d ->
+          let db', _ = store_exn !db "DIV" (div d) in
+          db := db')
+        divs;
+      let n = 3 + Prng.int rng 10 in
+      for i = 0 to n - 1 do
+        let d = Prng.pick rng divs in
+        let db', _ =
+          store_exn !db "EMP" (emp (Printf.sprintf "E%d" i) (20 + i) d)
+        in
+        db := db'
+      done;
+      let target = Prng.pick rng divs in
+      let q = Cond.eq_field_const "DIV-NAME" (Value.Str target) in
+      let cur = Interp.initial_currency in
+      let dbv = !db in
+      let dbv, cur, _ = exec dbv cur (Dml.Find (Dml.Any ("DIV", q))) in
+      let dkey =
+        match Interp.current_of_run_unit cur with Some k -> k | None -> -1
+      in
+      let expected = Ndb.members_silent dbv ~set:"DIV-EMP" ~owner:dkey in
+      let rec sweep db cur acc stmt =
+        let db, cur, s = exec db cur stmt in
+        if s = Status.Ok then
+          match Interp.current_of_run_unit cur with
+          | Some k ->
+              sweep db cur (k :: acc)
+                (Dml.Find (Dml.Next_within ("EMP", "DIV-EMP", Cond.True)))
+          | None -> List.rev acc
+        else List.rev acc
+      in
+      let seen =
+        sweep dbv cur [] (Dml.Find (Dml.First_within ("EMP", "DIV-EMP", Cond.True)))
+      in
+      seen = expected)
+
+let () =
+  Alcotest.run "network"
+    [ ("schema", schema_tests);
+      ("ndb", ndb_tests);
+      ("interp", interp_tests);
+      ("props", [ QCheck_alcotest.to_alcotest sweep_prop ]);
+    ]

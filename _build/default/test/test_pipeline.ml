@@ -1,0 +1,246 @@
+(* End-to-end conversion pipeline tests: source concrete program →
+   analyze → convert under a restructuring → optimize → generate →
+   run against the translated database → §1.1 equivalence judgment.
+
+   The centerpiece is the paper's own Figure 4.2 → Figure 4.4
+   restructuring: a DEPT entity interposed between DIV and EMP, with
+   both §4.2 FIND examples converted and verified. *)
+
+open Ccv_model
+open Ccv_convert
+open Ccv_transform
+module W = Ccv_workload
+
+let fig44_ops =
+  [ Schema_change.Interpose
+      { through = W.Company.div_emp;
+        new_entity = W.Company.dept;
+        group_by = [ "DEPT-NAME" ];
+        left_assoc = W.Company.div_dept;
+        right_assoc = W.Company.dept_emp;
+      };
+  ]
+
+let request source_model target_model ops =
+  { Supervisor.source_schema = W.Company.schema;
+    source_model;
+    ops;
+    target_model;
+  }
+
+let source_program model prog =
+  let mapping = Supervisor.mapping_for model W.Company.schema in
+  match Generator.generate mapping prog with
+  | Ok { Generator.program; _ } -> program
+  | Error e -> Alcotest.failf "cannot build source program: %s" e
+
+let expect_verdict ?(input = []) ~allow_order name req prog =
+  let sdb = W.Company.instance () in
+  let source = source_program req.Supervisor.source_model prog in
+  match Supervisor.convert_and_verify ~input req source sdb with
+  | Error (stage, reason) ->
+      Alcotest.failf "%s: %s failed: %s" name stage reason
+  | Ok outcome -> (
+      match outcome.Supervisor.verdict with
+      | Equivalence.Strict -> ()
+      | Equivalence.Modulo_order when allow_order -> ()
+      | v ->
+          Alcotest.failf "%s: verdict %a" name Equivalence.pp_verdict v)
+
+let models =
+  [ ("rel", Mapping.Rel); ("net", Mapping.Net); ("hier", Mapping.Hier) ]
+
+(* Figure 4.4 conversions, same model on both sides. *)
+let fig44_cases =
+  let progs =
+    [ ("md-age", W.Programs.maryland_age_query, false);
+      ("md-sales", W.Programs.maryland_sales_query, false);
+      ("hire", W.Programs.company_hire ~name:"HUNT" ~dept:"SALES" ~age:30
+         ~division:"MACHINERY", false);
+      ("close-division",
+       W.Programs.company_close_division ~division:"CHEMICALS", false);
+    ]
+  in
+  List.concat_map
+    (fun (pname, prog, needs_order) ->
+      List.filter_map
+        (fun (mname, model) ->
+          (* the hierarchical source for close-division regenerates;
+             all combinations must at least not crash *)
+          Some
+            (Alcotest.test_case
+               (Fmt.str "fig4.4 %s on %s" pname mname)
+               `Quick
+               (fun () ->
+                 expect_verdict ~allow_order:(needs_order || model = Mapping.Hier)
+                   (pname ^ "/" ^ mname)
+                   (request model model fig44_ops)
+                   prog)))
+        models)
+    progs
+
+(* Cross-model conversions (no schema change): network source program
+   converted to run on a relational database — §4.1's "conversion from
+   one DBMS to another to account for some schema changes is
+   possible". *)
+let cross_model_cases =
+  [ Alcotest.test_case "net -> rel (md-sales)" `Quick (fun () ->
+        expect_verdict ~allow_order:false "net->rel"
+          (request Mapping.Net Mapping.Rel [])
+          W.Programs.maryland_sales_query);
+    Alcotest.test_case "rel -> net (md-age)" `Quick (fun () ->
+        expect_verdict ~allow_order:false "rel->net"
+          (request Mapping.Rel Mapping.Net [])
+          W.Programs.maryland_age_query);
+    Alcotest.test_case "net -> hier (md-sales)" `Quick (fun () ->
+        expect_verdict ~allow_order:true "net->hier"
+          (request Mapping.Net Mapping.Hier [])
+          W.Programs.maryland_sales_query);
+    Alcotest.test_case "hier -> rel (hire)" `Quick (fun () ->
+        expect_verdict ~allow_order:false "hier->rel"
+          (request Mapping.Hier Mapping.Rel [])
+          (W.Programs.company_hire ~name:"NEW" ~dept:"LABS" ~age:25
+             ~division:"CHEMICALS"));
+  ]
+
+(* Rename / field ops through the pipeline. *)
+let rename_cases =
+  let ops_rename =
+    [ Schema_change.Rename_entity { from_ = "EMP"; to_ = "EMPLOYEE" };
+      Schema_change.Rename_field
+        { entity = "EMPLOYEE"; from_ = "AGE"; to_ = "EMP-AGE" };
+      Schema_change.Rename_assoc { from_ = "DIV-EMP"; to_ = "STAFF" };
+    ]
+  in
+  [ Alcotest.test_case "renames (md-sales on net)" `Quick (fun () ->
+        expect_verdict ~allow_order:false "renames"
+          (request Mapping.Net Mapping.Net ops_rename)
+          W.Programs.maryland_sales_query);
+    Alcotest.test_case "renames (birthday on rel)" `Quick (fun () ->
+        expect_verdict ~allow_order:false "renames-upd"
+          (request Mapping.Rel Mapping.Rel ops_rename)
+          (W.Programs.company_birthday ~division:"CHEMICALS"));
+    Alcotest.test_case "add field is transparent" `Quick (fun () ->
+        expect_verdict ~allow_order:false "add-field"
+          (request Mapping.Net Mapping.Net
+             [ Schema_change.Add_field
+                 { entity = "EMP";
+                   field = Ccv_common.Field.make "SALARY" Ccv_common.Value.Tint;
+                   default = Ccv_common.Value.Int 0;
+                 };
+             ])
+          W.Programs.maryland_age_query);
+    Alcotest.test_case "drop of a read field refuses" `Quick (fun () ->
+        let req =
+          request Mapping.Net Mapping.Net
+            [ Schema_change.Drop_field { entity = "EMP"; field = "AGE" } ]
+        in
+        let source = source_program Mapping.Net W.Programs.maryland_age_query in
+        match Supervisor.convert_program req source with
+        | Error ("program-converter", _) -> ()
+        | Error (stage, reason) ->
+            Alcotest.failf "wrong stage %s: %s" stage reason
+        | Ok _ -> Alcotest.fail "expected the converter to refuse");
+  ]
+
+(* Widening DIV-EMP to M:N turns the set into a link record; retrieval
+   programs must survive unchanged in behaviour. *)
+let widen_cases =
+  [ Alcotest.test_case "widen cardinality (md-sales on net)" `Quick (fun () ->
+        expect_verdict ~allow_order:false "widen"
+          (request Mapping.Net Mapping.Net
+             [ Schema_change.Drop_constraint
+                 (Semantic.Total_right W.Company.div_emp);
+               Schema_change.Widen_cardinality { assoc = W.Company.div_emp };
+             ])
+          W.Programs.maryland_sales_query);
+  ]
+
+(* The Maryland example text: the converted md-sales program must walk
+   DIV -> DIV-DEPT -> DEPT(SALES) -> DEPT-EMP -> EMP, i.e. mention the
+   new associations. *)
+let structure_cases =
+  [ Alcotest.test_case "fig4.4 rewrite walks through DEPT" `Quick (fun () ->
+        let req = request Mapping.Net Mapping.Net fig44_ops in
+        let source = source_program Mapping.Net W.Programs.maryland_sales_query in
+        match Supervisor.convert_program req source with
+        | Error (stage, reason) -> Alcotest.failf "%s: %s" stage reason
+        | Ok report ->
+            let names =
+              List.concat_map Ccv_abstract.Apattern.names_of
+                (Ccv_abstract.Aprog.queries report.Supervisor.optimized)
+            in
+            let has n = List.exists (Ccv_common.Field.name_equal n) names in
+            Alcotest.(check bool) "mentions DEPT" true (has W.Company.dept);
+            Alcotest.(check bool) "mentions DIV-DEPT" true (has W.Company.div_dept);
+            Alcotest.(check bool) "mentions DEPT-EMP" true (has W.Company.dept_emp);
+            Alcotest.(check bool) "drops DIV-EMP" false (has W.Company.div_emp));
+  ]
+
+(* §5.2: restricting the extension converts the program with a warning
+   and yields a deliberately weaker level of equivalence. *)
+let restrict_cases =
+  [ Alcotest.test_case "§5.2 extension restriction warns, diverges" `Quick
+      (fun () ->
+        let req =
+          request Mapping.Net Mapping.Net
+            [ Schema_change.Restrict_extension
+                { entity = "EMP";
+                  qual =
+                    Ccv_common.Cond.Cmp
+                      ( Ccv_common.Cond.Ge,
+                        Ccv_common.Cond.Field "AGE",
+                        Ccv_common.Cond.Const (Ccv_common.Value.Int 50) );
+                };
+            ]
+        in
+        let source = source_program Mapping.Net W.Programs.maryland_age_query in
+        let sdb = W.Company.instance () in
+        match Supervisor.convert_and_verify req source sdb with
+        | Error (stage, e) -> Alcotest.failf "%s: %s" stage e
+        | Ok outcome ->
+            Alcotest.(check bool)
+              "converter warned" true
+              (List.exists
+                 (fun i -> i.Supervisor.stage = "program-converter")
+                 outcome.Supervisor.report.Supervisor.issues);
+            (match outcome.Supervisor.verdict with
+            | Equivalence.Divergent _ -> ()
+            | v ->
+                Alcotest.failf
+                  "expected divergence from the removed instances, got %a"
+                  Equivalence.pp_verdict v));
+    Alcotest.test_case "restriction not touching the program is silent" `Quick
+      (fun () ->
+        let req =
+          request Mapping.Net Mapping.Net
+            [ Schema_change.Restrict_extension
+                { entity = "DIV";
+                  qual =
+                    Ccv_common.Cond.Cmp
+                      ( Ccv_common.Cond.Eq,
+                        Ccv_common.Cond.Field "DIV-LOC",
+                        Ccv_common.Cond.Const (Ccv_common.Value.Str "NOWHERE")
+                      );
+                };
+            ]
+        in
+        let source = source_program Mapping.Net W.Programs.maryland_age_query in
+        let sdb = W.Company.instance () in
+        match Supervisor.convert_and_verify req source sdb with
+        | Error (stage, e) -> Alcotest.failf "%s: %s" stage e
+        | Ok outcome -> (
+            match outcome.Supervisor.verdict with
+            | Equivalence.Strict -> ()
+            | v -> Alcotest.failf "expected strict, got %a" Equivalence.pp_verdict v));
+  ]
+
+let () =
+  Alcotest.run "pipeline"
+    [ ("fig4.4", fig44_cases);
+      ("levels-of-conversion", restrict_cases);
+      ("cross-model", cross_model_cases);
+      ("renames", rename_cases);
+      ("widen", widen_cases);
+      ("structure", structure_cases);
+    ]

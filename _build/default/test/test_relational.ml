@@ -1,0 +1,299 @@
+(* Relational substrate: schema validation, instance operations,
+   algebra evaluation, optimizer laws (property-checked), and the
+   SEQUEL layer. *)
+
+open Ccv_common
+open Ccv_relational
+
+let check = Alcotest.(check bool)
+
+let emp_decl =
+  Rschema.rel_decl "EMP"
+    [ Field.make "E#" Value.Tstr; Field.make "ENAME" Value.Tstr;
+      Field.make "AGE" Value.Tint;
+    ]
+    ~key:[ "E#" ]
+
+let dept_decl =
+  Rschema.rel_decl "DEPT"
+    [ Field.make "D#" Value.Tstr; Field.make "DNAME" Value.Tstr ]
+    ~key:[ "D#" ]
+
+let ed_decl =
+  Rschema.rel_decl "ED"
+    [ Field.make "E#" Value.Tstr; Field.make "D#" Value.Tstr;
+      Field.make "YRS" Value.Tint;
+    ]
+    ~key:[ "E#"; "D#" ]
+
+let schema = Rschema.make [ emp_decl; dept_decl; ed_decl ]
+
+let emp e n a =
+  Row.of_list [ ("E#", Value.Str e); ("ENAME", Value.Str n); ("AGE", Value.Int a) ]
+
+let dept d n = Row.of_list [ ("D#", Value.Str d); ("DNAME", Value.Str n) ]
+
+let ed e d y =
+  Row.of_list [ ("E#", Value.Str e); ("D#", Value.Str d); ("YRS", Value.Int y) ]
+
+let sample () =
+  let db = Rdb.create schema in
+  let db =
+    Rdb.load db "EMP"
+      [ emp "E1" "JONES" 40; emp "E2" "BLAKE" 30; emp "E3" "WARD" 50 ]
+  in
+  let db = Rdb.load db "DEPT" [ dept "D1" "SALES"; dept "D2" "LABS" ] in
+  Rdb.load db "ED" [ ed "E1" "D1" 5; ed "E2" "D2" 3; ed "E3" "D1" 9 ]
+
+let schema_tests =
+  [ Alcotest.test_case "duplicate relation rejected" `Quick (fun () ->
+        try
+          ignore (Rschema.make [ emp_decl; emp_decl ]);
+          Alcotest.fail "expected failure"
+        with Invalid_argument _ -> ());
+    Alcotest.test_case "key must exist" `Quick (fun () ->
+        try
+          ignore (Rschema.rel_decl "X" [ Field.make "A" Value.Tint ] ~key:[ "B" ]);
+          Alcotest.fail "expected failure"
+        with Invalid_argument _ -> ());
+    Alcotest.test_case "add/remove/replace" `Quick (fun () ->
+        let s = Rschema.remove schema "ED" in
+        check "removed" false (Rschema.mem s "ED");
+        let s = Rschema.add s ed_decl in
+        check "back" true (Rschema.mem s "ED"));
+  ]
+
+let rdb_tests =
+  [ Alcotest.test_case "duplicate key rejected" `Quick (fun () ->
+        let db = sample () in
+        match Rdb.insert db "EMP" (emp "E1" "X" 1) with
+        | Error (Status.Duplicate_key _) -> ()
+        | _ -> Alcotest.fail "expected duplicate key");
+    Alcotest.test_case "type mismatch rejected" `Quick (fun () ->
+        let db = sample () in
+        match
+          Rdb.insert db "EMP"
+            (Row.of_list
+               [ ("E#", Value.Str "E9"); ("ENAME", Value.Str "N");
+                 ("AGE", Value.Str "old");
+               ])
+        with
+        | Error (Status.Invalid_request _) -> ()
+        | _ -> Alcotest.fail "expected invalid");
+    Alcotest.test_case "delete_where counts" `Quick (fun () ->
+        let db = sample () in
+        let _, n =
+          Rdb.delete_where db "EMP"
+            (Cond.Cmp (Cond.Gt, Cond.Field "AGE", Cond.Const (Value.Int 35)))
+            ~env:Cond.no_env
+        in
+        check "two deleted" true (n = 2));
+    Alcotest.test_case "update_where applies expressions" `Quick (fun () ->
+        let db = sample () in
+        match
+          Rdb.update_where db "EMP" Cond.True ~env:Cond.no_env
+            [ ("AGE", Cond.Add (Cond.Field "AGE", Cond.Const (Value.Int 1))) ]
+        with
+        | Ok (db', 3) ->
+            let ages =
+              List.map (fun r -> Row.get_exn r "AGE") (Rdb.rows_silent db' "EMP")
+            in
+            check "bumped" true
+              (ages = [ Value.Int 41; Value.Int 31; Value.Int 51 ])
+        | _ -> Alcotest.fail "expected 3 updates");
+    Alcotest.test_case "counters charge reads" `Quick (fun () ->
+        let db = sample () in
+        Counters.reset (Rdb.counters db);
+        ignore (Rdb.rows db "EMP");
+        check "3 reads" true (Counters.reads (Rdb.counters db) = 3));
+  ]
+
+let algebra_tests =
+  let env = Cond.no_env in
+  [ Alcotest.test_case "select + project" `Quick (fun () ->
+        let db = sample () in
+        let rows =
+          Algebra.eval ~env db
+            (Algebra.Project
+               ( [ "ENAME" ],
+                 Algebra.Select
+                   ( Cond.Cmp
+                       (Cond.Ge, Cond.Field "AGE", Cond.Const (Value.Int 40)),
+                     Algebra.Rel "EMP" ) ))
+        in
+        check "two rows" true (List.length rows = 2);
+        check "only ename" true
+          (List.for_all (fun r -> Row.fields r = [ "ENAME" ]) rows));
+    Alcotest.test_case "natural join" `Quick (fun () ->
+        let db = sample () in
+        let rows =
+          Algebra.eval ~env db
+            (Algebra.Natural_join (Algebra.Rel "EMP", Algebra.Rel "ED"))
+        in
+        check "3 joined" true (List.length rows = 3);
+        check "has D#" true (List.for_all (fun r -> Row.mem r "D#") rows));
+    Alcotest.test_case "semijoin is the IN shape" `Quick (fun () ->
+        let db = sample () in
+        let rows =
+          Algebra.eval ~env db
+            (Algebra.Semijoin
+               ( ("E#", "E#"),
+                 Algebra.Rel "EMP",
+                 Algebra.Select
+                   ( Cond.Cmp
+                       (Cond.Eq, Cond.Field "D#", Cond.Const (Value.Str "D1")),
+                     Algebra.Rel "ED" ) ))
+        in
+        check "2 emps in D1" true (List.length rows = 2));
+    Alcotest.test_case "union, diff, distinct, sort" `Quick (fun () ->
+        let db = sample () in
+        let all = Algebra.Rel "EMP" in
+        let u = Algebra.eval ~env db (Algebra.Union (all, all)) in
+        check "union doubles" true (List.length u = 6);
+        let d =
+          Algebra.eval ~env db (Algebra.Distinct (Algebra.Union (all, all)))
+        in
+        check "distinct collapses" true (List.length d = 3);
+        let empty = Algebra.eval ~env db (Algebra.Diff (all, all)) in
+        check "diff empty" true (empty = []);
+        let sorted = Algebra.eval ~env db (Algebra.Sort ([ "AGE" ], all)) in
+        check "sorted" true
+          (List.map (fun r -> Row.get_exn r "AGE") sorted
+          = [ Value.Int 30; Value.Int 40; Value.Int 50 ]));
+    Alcotest.test_case "rename" `Quick (fun () ->
+        let db = sample () in
+        let rows =
+          Algebra.eval ~env db
+            (Algebra.Rename ([ ("ENAME", "NAME") ], Algebra.Rel "EMP"))
+        in
+        check "renamed" true (List.for_all (fun r -> Row.mem r "NAME") rows));
+  ]
+
+(* Random shallow algebra expressions for the optimizer law. *)
+let algebra_gen =
+  let open QCheck.Gen in
+  let cond_gen =
+    oneof
+      [ return Cond.True;
+        map
+          (fun n ->
+            Cond.Cmp (Cond.Gt, Cond.Field "AGE", Cond.Const (Value.Int n)))
+          (int_range 25 45);
+        map
+          (fun d ->
+            Cond.Cmp (Cond.Eq, Cond.Field "D#", Cond.Const (Value.Str d)))
+          (oneofl [ "D1"; "D2" ]);
+      ]
+  in
+  let base =
+    oneofl [ Algebra.Rel "EMP"; Algebra.Rel "ED"; Algebra.Rel "DEPT" ]
+  in
+  let rec expr n =
+    if n = 0 then base
+    else
+      frequency
+        [ (2, base);
+          (3, map2 (fun c e -> Algebra.Select (c, e)) cond_gen (expr (n - 1)));
+          (2, map2 (fun a b -> Algebra.Product (a, b)) base (expr (n - 1)));
+          (2, map2 (fun a b -> Algebra.Natural_join (a, b)) base (expr (n - 1)));
+          (1, map (fun e -> Algebra.Distinct e) (expr (n - 1)));
+          (1, map (fun e -> Algebra.Sort ([ "AGE" ], e)) (expr (n - 1)));
+        ]
+  in
+  expr 3
+
+let algebra_arb = QCheck.make ~print:Algebra.show algebra_gen
+let multiset_eq a b = List.sort Row.compare a = List.sort Row.compare b
+
+(* Random expressions can be ill-typed (a condition naming a field the
+   operand lacks); both sides must then fail identically. *)
+let try_eval db e =
+  try Ok (Algebra.eval ~env:Cond.no_env db e) with Cond.Unbound f -> Error f
+
+let algebra_props =
+  [ QCheck.Test.make ~name:"optimize preserves evaluation" ~count:200
+      algebra_arb (fun e ->
+        let db = sample () in
+        match try_eval db e, try_eval db (Algebra.optimize schema e) with
+        | Ok before, Ok after -> multiset_eq before after
+        | Error _, Error _ -> true
+        | Ok _, Error _ | Error _, Ok _ -> false);
+    QCheck.Test.make ~name:"optimize never grows the plan" ~count:200
+      algebra_arb (fun e ->
+        Algebra.size (Algebra.optimize schema e) <= Algebra.size e);
+    QCheck.Test.make ~name:"optimize is idempotent" ~count:200 algebra_arb
+      (fun e ->
+        let once = Algebra.optimize schema e in
+        Algebra.equal once (Algebra.optimize schema once));
+  ]
+
+let sql_tests =
+  [ Alcotest.test_case "nested IN compiles to semijoin" `Quick (fun () ->
+        let db = sample () in
+        let q =
+          Sql.query ~select:[ "ENAME" ]
+            ~where_in:
+              [ ( "E#",
+                  Sql.query ~select:[ "E#" ]
+                    ~where_:
+                      (Cond.Cmp
+                         (Cond.Eq, Cond.Field "D#", Cond.Const (Value.Str "D2")))
+                    "ED" );
+              ]
+            "EMP"
+        in
+        let rows = Sql.run_query ~env:Cond.no_env db q in
+        check "one emp" true
+          (List.map (fun r -> Row.get_exn r "ENAME") rows
+          = [ Value.Str "BLAKE" ]));
+    Alcotest.test_case "insert/delete/update statements" `Quick (fun () ->
+        let db = sample () in
+        let exec db s =
+          match Sql.exec ~env:Cond.no_env db s with
+          | Ok (db, _) -> db
+          | Error st -> Alcotest.failf "exec: %s" (Status.show st)
+        in
+        let db =
+          exec db
+            (Sql.Insert
+               ( "DEPT",
+                 [ ("D#", Cond.Const (Value.Str "D3"));
+                   ("DNAME", Cond.Const (Value.Str "OPS"));
+                 ] ))
+        in
+        check "3 depts" true (Rdb.cardinality db "DEPT" = 3);
+        let db =
+          exec db
+            (Sql.Update
+               ( "DEPT",
+                 [ ("DNAME", Cond.Const (Value.Str "OPS2")) ],
+                 Cond.Cmp (Cond.Eq, Cond.Field "D#", Cond.Const (Value.Str "D3"))
+               ))
+        in
+        let db =
+          exec db
+            (Sql.Delete
+               ( "DEPT",
+                 Cond.Cmp (Cond.Eq, Cond.Field "D#", Cond.Const (Value.Str "D1"))
+               ))
+        in
+        check "2 depts" true (Rdb.cardinality db "DEPT" = 2));
+    Alcotest.test_case "order by" `Quick (fun () ->
+        let db = sample () in
+        let q = Sql.query ~order_by:[ "AGE" ] "EMP" in
+        let rows = Sql.run_query ~env:Cond.no_env db q in
+        check "ascending" true
+          (List.map (fun r -> Row.get_exn r "AGE") rows
+          = [ Value.Int 30; Value.Int 40; Value.Int 50 ]));
+  ]
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "relational"
+    [ ("schema", schema_tests);
+      ("rdb", rdb_tests);
+      ("algebra", algebra_tests);
+      qsuite "algebra-props" algebra_props;
+      ("sql", sql_tests);
+    ]

@@ -1,0 +1,250 @@
+(* Transform layer: restructuring operators on schemas, the data
+   translator, change classification, and inverse analysis. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_transform
+module W = Ccv_workload
+
+let check = Alcotest.(check bool)
+
+let interpose_op =
+  Schema_change.Interpose
+    { through = W.Company.div_emp;
+      new_entity = W.Company.dept;
+      group_by = [ "DEPT-NAME" ];
+      left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+    }
+
+let apply op = Schema_change.apply W.Company.schema op
+
+let schema_change_tests =
+  [ Alcotest.test_case "rename entity updates associations and constraints"
+      `Quick (fun () ->
+        match apply (Schema_change.Rename_entity { from_ = "EMP"; to_ = "STAFF" }) with
+        | Ok s ->
+            check "entity renamed" true (Semantic.find_entity s "STAFF" <> None);
+            let a = Semantic.find_assoc_exn s W.Company.div_emp in
+            check "assoc right side" true (Field.name_equal a.right "STAFF")
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "rename field keeps key membership" `Quick (fun () ->
+        match
+          apply
+            (Schema_change.Rename_field
+               { entity = "EMP"; from_ = "EMP-NAME"; to_ = "FULL-NAME" })
+        with
+        | Ok s ->
+            let e = Semantic.find_entity_exn s "EMP" in
+            check "key follows" true (e.key = [ "FULL-NAME" ])
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "dropping a key field refused" `Quick (fun () ->
+        match apply (Schema_change.Drop_field { entity = "EMP"; field = "EMP-NAME" }) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected refusal");
+    Alcotest.test_case "interpose reshapes schema" `Quick (fun () ->
+        match apply interpose_op with
+        | Ok s ->
+            let dept = Semantic.find_entity_exn s "DEPT" in
+            check "dept keyed by owner key + group" true
+              (dept.key = [ "DIV-NAME"; "DEPT-NAME" ]);
+            let emp = Semantic.find_entity_exn s "EMP" in
+            check "emp lost DEPT-NAME" false (Field.mem emp.fields "DEPT-NAME");
+            check "old assoc gone" true
+              (Semantic.find_assoc s W.Company.div_emp = None);
+            check "totality split" true
+              (List.mem (Semantic.Total_right W.Company.dept_emp)
+                 s.Semantic.constraints)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "interpose cannot group a key field" `Quick (fun () ->
+        match
+          apply
+            (Schema_change.Interpose
+               { through = W.Company.div_emp;
+                 new_entity = "X";
+                 group_by = [ "EMP-NAME" ];
+                 left_assoc = "A1";
+                 right_assoc = "A2";
+               })
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected refusal");
+    Alcotest.test_case "collapse undoes interpose on the schema" `Quick
+      (fun () ->
+        let s1 = Schema_change.apply_exn W.Company.schema interpose_op in
+        match
+          Schema_change.apply s1
+            (Schema_change.Collapse
+               { left_assoc = W.Company.div_dept;
+                 right_assoc = W.Company.dept_emp;
+                 removed_entity = W.Company.dept;
+                 restored_assoc = W.Company.div_emp;
+               })
+        with
+        | Ok s2 ->
+            let emp = Semantic.find_entity_exn s2 "EMP" in
+            check "emp regained DEPT-NAME" true (Field.mem emp.fields "DEPT-NAME");
+            check "assoc restored" true
+              (Semantic.find_assoc s2 W.Company.div_emp <> None)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "classification covers all operators" `Quick (fun () ->
+        check "interpose is structural" true
+          (Schema_change.classify interpose_op = Schema_change.Structural_split);
+        check "rename class" true
+          (Schema_change.classify
+             (Schema_change.Rename_entity { from_ = "A"; to_ = "B" })
+          = Schema_change.Renaming));
+  ]
+
+let translate op db = Data_translate.translate db op
+
+let data_tests =
+  [ Alcotest.test_case "add_field fills the default everywhere" `Quick
+      (fun () ->
+        let db = W.Company.instance () in
+        match
+          translate
+            (Schema_change.Add_field
+               { entity = "EMP";
+                 field = Field.make "SALARY" Value.Tint;
+                 default = Value.Int 100;
+               })
+            db
+        with
+        | Ok (db', _) ->
+            check "all filled" true
+              (List.for_all
+                 (fun r -> Row.get r "SALARY" = Some (Value.Int 100))
+                 (Sdb.rows_silent db' "EMP"))
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "interpose groups distinct (division, dept) pairs"
+      `Quick (fun () ->
+        let db = W.Company.instance () in
+        match translate interpose_op db with
+        | Ok (db', _) ->
+            (* MACHINERY: SALES+DESIGN; CHEMICALS: SALES+LABS -> 4 depts *)
+            check "4 depts" true (List.length (Sdb.rows_silent db' "DEPT") = 4);
+            check "emp count preserved" true
+              (List.length (Sdb.rows_silent db' "EMP")
+              = List.length (Sdb.rows_silent db "EMP"));
+            check "dept-emp links = old div-emp links" true
+              (List.length (Sdb.links_silent db' W.Company.dept_emp)
+              = List.length (Sdb.links_silent db W.Company.div_emp));
+            check "consistent" true (Sdb.validate db' = [])
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "drop_field warns about information loss" `Quick
+      (fun () ->
+        let db = W.Company.instance () in
+        match
+          translate (Schema_change.Drop_field { entity = "EMP"; field = "AGE" }) db
+        with
+        | Ok (_, warnings) -> check "warned" true (warnings <> [])
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "add_constraint reports violating data" `Quick
+      (fun () ->
+        let db = W.School.instance () in
+        (* every course is offered at most twice already; a limit of 1
+           makes existing data violate *)
+        match
+          translate
+            (Schema_change.Add_constraint
+               (Semantic.Participation_limit
+                  { assoc = W.School.offering; per_left_max = 1 }))
+            db
+        with
+        | Ok (_, warnings) -> check "violations surfaced" true (warnings <> [])
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "restrict drops instances and their links" `Quick
+      (fun () ->
+        let db = W.Company.instance () in
+        let op =
+          Schema_change.Restrict_extension
+            { entity = "EMP";
+              qual =
+                Cond.Cmp
+                  (Cond.Ge, Cond.Field "AGE", Cond.Const (Value.Int 45));
+            }
+        in
+        match translate op db with
+        | Ok (db', warnings) ->
+            check "instances removed" true
+              (List.length (Sdb.rows_silent db' "EMP")
+              < List.length (Sdb.rows_silent db "EMP"));
+            check "their links dropped" true
+              (List.length (Sdb.links_silent db' W.Company.div_emp)
+              = List.length (Sdb.rows_silent db' "EMP"));
+            check "warned" true (warnings <> [])
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "renames preserve contents modulo names" `Quick
+      (fun () ->
+        let db = W.Company.instance () in
+        match
+          translate (Schema_change.Rename_entity { from_ = "EMP"; to_ = "STAFF" }) db
+        with
+        | Ok (db', _) ->
+            check "same volume" true
+              (Sdb.total_instances db' = Sdb.total_instances db);
+            check "rows moved" true
+              (List.length (Sdb.rows_silent db' "STAFF")
+              = List.length (Sdb.rows_silent db "EMP"))
+        | Error e -> Alcotest.fail e);
+  ]
+
+let inverse_tests =
+  [ Alcotest.test_case "verdicts per operator" `Quick (fun () ->
+        let v op = Inverse.invert W.Company.schema op in
+        (match v (Schema_change.Rename_entity { from_ = "EMP"; to_ = "X" }) with
+        | Inverse.Invertible _ -> ()
+        | _ -> Alcotest.fail "rename should invert");
+        (match v (Schema_change.Drop_field { entity = "EMP"; field = "AGE" }) with
+        | Inverse.Lossy _ -> ()
+        | _ -> Alcotest.fail "drop should be lossy");
+        match
+          v (Schema_change.Drop_constraint (Semantic.Total_right W.Company.div_emp))
+        with
+        | Inverse.Conditional _ -> ()
+        | _ -> Alcotest.fail "drop-constraint should be conditional");
+    Alcotest.test_case "interpose/collapse round-trips instances" `Quick
+      (fun () ->
+        match Inverse.roundtrip (W.Company.instance ()) interpose_op with
+        | Some true -> ()
+        | Some false -> Alcotest.fail "contents not restored"
+        | None -> Alcotest.fail "expected an inverse");
+  ]
+
+(* Property: on random scaled instances, the interpose translation
+   preserves member rows, produces consistent instances and keeps one
+   right-assoc link per original link. *)
+let interpose_prop =
+  QCheck.Test.make ~name:"interpose translation invariants" ~count:40
+    QCheck.(pair (int_range 1 1000) (int_range 5 60))
+    (fun (seed, n) ->
+      let db = W.Company.scaled ~seed ~n in
+      match Data_translate.translate db interpose_op with
+      | Error _ -> false
+      | Ok (db', _) ->
+          List.length (Sdb.rows_silent db' "EMP") = n
+          && List.length (Sdb.links_silent db' W.Company.dept_emp)
+             = List.length (Sdb.links_silent db W.Company.div_emp)
+          && Sdb.validate db' = [])
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"rename round-trip on random instances" ~count:40
+    QCheck.(pair (int_range 1 1000) (int_range 5 40))
+    (fun (seed, n) ->
+      let db = W.Company.scaled ~seed ~n in
+      Inverse.roundtrip db
+        (Schema_change.Rename_field
+           { entity = "EMP"; from_ = "AGE"; to_ = "YEARS" })
+      = Some true)
+
+let () =
+  Alcotest.run "transform"
+    [ ("schema-change", schema_change_tests);
+      ("data-translate", data_tests);
+      ("inverse", inverse_tests);
+      ("props",
+       [ QCheck_alcotest.to_alcotest interpose_prop;
+         QCheck_alcotest.to_alcotest roundtrip_prop;
+       ]);
+    ]
