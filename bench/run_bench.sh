@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verify plus machine-readable bench emission in one command:
+# build, run the full test suite, then run the micro-index experiment
+# and write BENCH_PR1.json at the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- micro-index --json

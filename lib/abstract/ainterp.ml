@@ -50,11 +50,35 @@ let ctx_key schema ctx name =
       Option.value (Row.get ctx (e.ename ^ "." ^ k)) ~default:Value.Null)
     e.key
 
+(* Build any missing equality indexes the query's access paths can
+   exploit — eq-qualified SELF steps and THROUGH link fields.  The
+   rebuilt db is kept on the runtime, so the cost is paid once. *)
+let ensure_query_indexes rt query =
+  let index_step db step =
+    match step with
+    | Apattern.Self { target; qual } ->
+        List.fold_left
+          (fun db c ->
+            match c with
+            | Cond.Cmp (Cond.Eq, Cond.Field f, _)
+            | Cond.Cmp (Cond.Eq, _, Cond.Field f) ->
+                Sdb.ensure_index db target f
+            | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
+            | Cond.Is_null _ | Cond.Is_not_null _ -> db)
+          db
+          (Cond.split_conjuncts qual)
+    | Apattern.Through { target; link = tf, _; _ } ->
+        Sdb.ensure_index db target tf
+    | Apattern.Assoc_via _ | Apattern.Via_assoc _ -> db
+  in
+  rt.rdb <- List.fold_left index_step rt.rdb query
+
 let rec exec_stmt rt stmt =
   let schema = Sdb.schema rt.rdb in
   match stmt with
   | Aprog.For_each { query; body } ->
       tick rt;
+      ensure_query_indexes rt query;
       let ctxs = Apattern.eval rt.rdb ~env:(lookup rt) query in
       List.iter
         (fun ctx ->
@@ -66,6 +90,7 @@ let rec exec_stmt rt stmt =
       set_status rt Status.Ok
   | Aprog.First { query; present; absent } -> (
       tick rt;
+      ensure_query_indexes rt query;
       match Apattern.eval rt.rdb ~env:(lookup rt) query with
       | ctx :: _ ->
           bind_context rt ctx;
@@ -132,6 +157,7 @@ let rec exec_stmt rt stmt =
       | Error s -> set_status rt s)
   | Aprog.Update { query; assigns } ->
       tick rt;
+      ensure_query_indexes rt query;
       let target = Apattern.result_of query in
       let ctxs = Apattern.eval rt.rdb ~env:(lookup rt) query in
       let status = ref Status.Ok in
@@ -147,6 +173,7 @@ let rec exec_stmt rt stmt =
       set_status rt !status
   | Aprog.Delete { query; cascade } ->
       tick rt;
+      ensure_query_indexes rt query;
       let target = Apattern.result_of query in
       let ctxs = Apattern.eval rt.rdb ~env:(lookup rt) query in
       let status = ref Status.Ok in

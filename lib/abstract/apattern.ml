@@ -97,14 +97,39 @@ let ctx_value ~env ctx name field =
    row, variables in the caller's environment. *)
 let qual_holds ~env row qual = Cond.eval ~env row qual
 
+(* Route a [FIELD = const] conjunct (constants may arrive through host
+   variables) through an equality index when one exists.  The bucket
+   preserves extent order and is filtered with the full qualification,
+   so the answer is exactly the scan's. *)
+let eq_probe db ~env ename qual =
+  List.find_map
+    (fun c ->
+      match c with
+      | Cond.Cmp (Cond.Eq, Cond.Field f, e)
+      | Cond.Cmp (Cond.Eq, e, Cond.Field f) ->
+          let v =
+            match e with
+            | Cond.Const v -> Some v
+            | Cond.Var x -> env x
+            | Cond.Field _ | Cond.Add _ | Cond.Sub _ | Cond.Mul _
+            | Cond.Concat _ -> None
+          in
+          Option.bind v (fun v -> Sdb.rows_eq db ename f v)
+      | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
+      | Cond.Is_null _ | Cond.Is_not_null _ -> None)
+    (Cond.split_conjuncts qual)
+
 let eval db ~env seq =
   let schema = Sdb.schema db in
   let extend ctxs step =
     match step with
     | Self { target; qual } ->
-        let rows =
-          List.filter (fun r -> qual_holds ~env r qual) (Sdb.rows db target)
+        let pool =
+          match eq_probe db ~env target qual with
+          | Some rows -> rows
+          | None -> Sdb.rows db target
         in
+        let rows = List.filter (fun r -> qual_holds ~env r qual) pool in
         List.concat_map
           (fun ctx -> List.map (fun r -> Row.union ctx (qualify target r)) rows)
           ctxs
@@ -112,7 +137,12 @@ let eval db ~env seq =
         List.concat_map
           (fun ctx ->
             let wanted = ctx_value ~env ctx source sf in
-            Sdb.rows db target
+            let pool =
+              match Sdb.rows_eq db target tf wanted with
+              | Some rows -> rows
+              | None -> Sdb.rows db target
+            in
+            pool
             |> List.filter (fun r ->
                    (match Row.get r tf with
                    | Some v -> Value.equal v wanted

@@ -110,6 +110,42 @@ let drop_redundant_hop schema query ~used =
 
 let is_pure_cond c = not (List.exists (String.equal Host.status_var) (Cond.vars c))
 
+(* Access-path cost awareness: the evaluator opens a SELF step with an
+   equality-index probe on the first [field = const] conjunct it finds.
+   Hoist index-eligible equality conjuncts (declared stored fields
+   compared to a constant or host variable) to the front of the
+   qualification so the probe sees them before residual predicates.
+   The partition is stable and the rewrite idempotent, so the
+   optimizer's fixpoint terminates. *)
+let hoist_eq_conjuncts schema log query =
+  let eligible target c =
+    match c with
+    | Cond.Cmp (Cond.Eq, Cond.Field f, (Cond.Const _ | Cond.Var _))
+    | Cond.Cmp (Cond.Eq, (Cond.Const _ | Cond.Var _), Cond.Field f) -> (
+        match Semantic.find_entity schema target with
+        | Some e -> Field.mem e.fields f
+        | None -> false)
+    | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
+    | Cond.Is_null _ | Cond.Is_not_null _ -> false
+  in
+  List.map
+    (fun step ->
+      match step with
+      | Apattern.Self { target; qual } ->
+          let eqs, rest = List.partition (eligible target) (Cond.split_conjuncts qual) in
+          let hoisted = Cond.conj (eqs @ rest) in
+          if eqs <> [] && not (Cond.equal hoisted qual) then begin
+            log :=
+              Fmt.str "equality predicate hoisted for indexed access on %s"
+                target
+              :: !log;
+            Apattern.Self { target; qual = hoisted }
+          end
+          else step
+      | Apattern.Through _ | Apattern.Assoc_via _ | Apattern.Via_assoc _ ->
+          step)
+    query
+
 let rec opt_body schema log body =
   let body = List.concat_map (opt_stmt schema log) body in
   (* dead move elimination *)
@@ -142,6 +178,7 @@ and opt_stmt schema log (s : Aprog.astmt) : Aprog.astmt list =
             | None -> (query, body))
         | _ -> (query, body)
       in
+      let query = hoist_eq_conjuncts schema log query in
       let used = vars_read body in
       match drop_redundant_hop schema query ~used with
       | Some query' ->
@@ -150,7 +187,7 @@ and opt_stmt schema log (s : Aprog.astmt) : Aprog.astmt list =
       | None -> [ Aprog.For_each { query; body } ])
   | Aprog.First { query; present; absent } ->
       [ Aprog.First
-          { query;
+          { query = hoist_eq_conjuncts schema log query;
             present = opt_body schema log present;
             absent = opt_body schema log absent;
           };
@@ -161,9 +198,12 @@ and opt_stmt schema log (s : Aprog.astmt) : Aprog.astmt list =
   | Aprog.If (c, a, b) ->
       [ Aprog.If (c, opt_body schema log a, opt_body schema log b) ]
   | Aprog.While (c, body) -> [ Aprog.While (c, opt_body schema log body) ]
-  | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ | Aprog.Update _
-  | Aprog.Delete _ | Aprog.Display _ | Aprog.Accept _ | Aprog.Write_file _
-  | Aprog.Move _ -> [ s ]
+  | Aprog.Update { query; assigns } ->
+      [ Aprog.Update { query = hoist_eq_conjuncts schema log query; assigns } ]
+  | Aprog.Delete { query; cascade } ->
+      [ Aprog.Delete { query = hoist_eq_conjuncts schema log query; cascade } ]
+  | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ | Aprog.Display _
+  | Aprog.Accept _ | Aprog.Write_file _ | Aprog.Move _ -> [ s ]
 
 let optimize schema (p : Aprog.t) =
   let log = ref [] in

@@ -1,4 +1,6 @@
 open Ccv_common
+module Smap = Map.Make (String)
+module Vmap = Map.Make (Value)
 
 type link = { lkey : Value.t list; rkey : Value.t list; attrs : Row.t }
 
@@ -6,13 +8,40 @@ type t = {
   schema : Semantic.t;
   extents : (string * Row.t list) list;
   link_sets : (string * link list) list;
+  indexes : Row.t list Vmap.t Smap.t Smap.t;
+      (* entity -> field -> value -> rows holding that value, in extent
+         order so indexed answers read exactly like scan answers. *)
   counters : Counters.t;
 }
 
+(* Buckets are rebuilt whole on write: extent mutation is already O(n)
+   list surgery, so reindexing adds only a log factor. *)
+let build_index field rows =
+  Vmap.map List.rev
+    (List.fold_left
+       (fun m row ->
+         let v = Option.value (Row.get row field) ~default:Value.Null in
+         Vmap.update v (fun b -> Some (row :: Option.value b ~default:[])) m)
+       Vmap.empty rows)
+
 let create schema =
+  (* Singleton entity keys get an equality index up front — they back
+     [find_entity], the hottest probe in the constraint checks. *)
+  let indexes =
+    List.fold_left
+      (fun acc (e : Semantic.entity) ->
+        let fields =
+          match e.key with
+          | [ k ] -> Smap.singleton (Field.canon k) Vmap.empty
+          | [] | _ :: _ -> Smap.empty
+        in
+        Smap.add (Field.canon e.ename) fields acc)
+      Smap.empty schema.Semantic.entities
+  in
   { schema;
     extents = List.map (fun (e : Semantic.entity) -> (e.ename, [])) schema.Semantic.entities;
     link_sets = List.map (fun (a : Semantic.assoc) -> (a.aname, [])) schema.Semantic.assocs;
+    indexes;
     counters = Counters.create ();
   }
 
@@ -48,13 +77,60 @@ let key_of (e : Semantic.entity) row =
 
 let keys_equal = fun a b -> List.compare Value.compare a b = 0
 
+(* Silent index probe: [None] when the field carries no index; [Some
+   bucket] (possibly empty) when it does. *)
+let bucket_opt t ename field v =
+  match Smap.find_opt (Field.canon ename) t.indexes with
+  | None -> None
+  | Some fields -> (
+      match Smap.find_opt (Field.canon field) fields with
+      | None -> None
+      | Some vm -> Some (Option.value (Vmap.find_opt v vm) ~default:[]))
+
+let has_index t ename field = bucket_opt t ename field Value.Null <> None
+
+let ensure_index t ename field =
+  let en = Field.canon ename and fn = Field.canon field in
+  match Semantic.find_entity t.schema ename with
+  | None -> t
+  | Some decl ->
+      if not (Field.mem decl.fields field) || has_index t en fn then t
+      else
+        let fields =
+          Smap.add fn
+            (build_index fn (extent t en))
+            (Option.value (Smap.find_opt en t.indexes) ~default:Smap.empty)
+        in
+        { t with indexes = Smap.add en fields t.indexes }
+
+let rows_eq_silent t ename field v = bucket_opt t ename field v
+
+let rows_eq t ename field v =
+  match bucket_opt t ename field v with
+  | None -> None
+  | Some bucket ->
+      (* One read for the probe, then the rows actually delivered —
+         versus [rows], which charges the whole extent. *)
+      Counters.record_reads t.counters (1 + List.length bucket);
+      Some bucket
+
 let find_entity t ename key =
   let decl = Semantic.find_entity_exn t.schema ename in
+  let pool =
+    match (decl.key, key) with
+    | [ kf ], [ kv ] -> (
+        match bucket_opt t decl.ename kf kv with
+        | Some bucket ->
+            Counters.record_read t.counters;
+            bucket
+        | None -> extent t decl.ename)
+    | _ -> extent t decl.ename
+  in
   List.find_opt
     (fun row ->
       Counters.record_read t.counters;
       keys_equal (key_of decl row) key)
-    (extent t decl.ename)
+    pool
 
 let link_row schema (a : Semantic.assoc) l =
   let le = Semantic.find_entity_exn schema a.left in
@@ -65,11 +141,20 @@ let link_row schema (a : Semantic.assoc) l =
 
 let set_extent t ename rows =
   let ename = Field.canon ename in
+  let indexes =
+    match Smap.find_opt ename t.indexes with
+    | None -> t.indexes
+    | Some fields ->
+        Smap.add ename
+          (Smap.mapi (fun f _ -> build_index f rows) fields)
+          t.indexes
+  in
   { t with
     extents =
       List.map
         (fun (n, r) -> if String.equal n ename then (n, rows) else (n, r))
         t.extents;
+    indexes;
   }
 
 let set_links t aname ls =
@@ -107,12 +192,7 @@ let insert_entity t ename row =
         Error (Status.Constraint_violation (Fmt.str "%s.%s is null" decl.ename f))
     | None ->
         let key = key_of decl row in
-        if
-          List.exists
-            (fun r ->
-              Counters.record_read t.counters;
-              keys_equal (key_of decl r) key)
-            (extent t decl.ename)
+        if find_entity t decl.ename key <> None
         then Error (Status.Duplicate_key decl.ename)
         else begin
           Counters.record_write t.counters;

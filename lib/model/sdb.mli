@@ -23,8 +23,32 @@ val rows_silent : t -> string -> Row.t list
 val links : t -> string -> link list
 val links_silent : t -> string -> link list
 
-(** [find_entity db ename key] — the instance with that key. *)
+(** [find_entity db ename key] — the instance with that key.  When the
+    entity has a singleton key backed by an equality index (built
+    automatically at {!create}), this is an index probe instead of an
+    extent scan. *)
 val find_entity : t -> string -> Value.t list -> Row.t option
+
+(** {2 Equality indexes}
+
+    Opt-in per-(entity, field) indexes: [value -> rows], buckets kept
+    in extent order so indexed reads deliver exactly what a scan
+    would.  Singleton entity key fields are indexed automatically;
+    anything else via [ensure_index].  Indexes are rebuilt whenever the
+    entity's extent changes, so every write path maintains them. *)
+
+(** Silently returns [db] unchanged for unknown entities or
+    undeclared fields, so callers may request indexes speculatively. *)
+val ensure_index : t -> string -> string -> t
+
+val has_index : t -> string -> string -> bool
+
+(** [rows_eq db ename field v] — rows whose [field] equals [v], in
+    extent order; [None] when no index exists (fall back to a scan).
+    Charges one read for the probe plus one per row delivered. *)
+val rows_eq : t -> string -> string -> Value.t -> Row.t list option
+
+val rows_eq_silent : t -> string -> string -> Value.t -> Row.t list option
 
 val key_of : Semantic.entity -> Row.t -> Value.t list
 

@@ -75,17 +75,73 @@ let matches db ~env key cond =
 let find_in_order db ~env keys cond =
   List.find_opt (fun k -> matches db ~env k cond) keys
 
+let find_in_seq db ~env keys cond =
+  Seq.fold_left
+    (fun acc k ->
+      match acc with Some _ -> acc | None -> if matches db ~env k cond then Some k else None)
+    None keys
+
+(* Equality routing: a [FIELD = const] conjunct (constants may arrive
+   through host variables) whose field carries an equality index turns
+   a scan into an index probe.  The probe yields a candidate superset
+   in ascending key order, so filtering with the full qualification
+   returns exactly what the scan would. *)
+let const_operand ~env = function
+  | Cond.Const v -> Some v
+  | Cond.Var x -> env x
+  | Cond.Field _ | Cond.Add _ | Cond.Sub _ | Cond.Mul _ | Cond.Concat _ -> None
+
+let eq_conjuncts ~env cond =
+  List.filter_map
+    (fun c ->
+      match c with
+      | Cond.Cmp (Cond.Eq, Cond.Field f, e) | Cond.Cmp (Cond.Eq, e, Cond.Field f)
+        ->
+          Option.map (fun v -> (Field.canon f, v)) (const_operand ~env e)
+      | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
+      | Cond.Is_null _ | Cond.Is_not_null _ -> None)
+    (Cond.split_conjuncts cond)
+
+(* Create missing indexes on demand — the updated db travels out
+   through the outcome, so the build cost is paid once per field. *)
+let ensure_eq_indexes db rtype ~env cond =
+  List.fold_left
+    (fun db (f, _) -> Ndb.ensure_index db ~rtype ~field:f)
+    db (eq_conjuncts ~env cond)
+
+let eq_probe db rtype ~env cond =
+  List.find_map
+    (fun (f, v) -> Ndb.lookup_eq db ~rtype ~field:f v)
+    (eq_conjuncts ~env cond)
+
 let exec_find db cur ~env = function
   | Dml.Any (rtype, cond) -> (
-      match find_in_order db ~env (Ndb.all_keys db rtype) cond with
+      let db = ensure_eq_indexes db rtype ~env cond in
+      let keys =
+        match eq_probe db rtype ~env cond with
+        | Some candidates -> candidates
+        | None -> Ndb.all_keys_silent db rtype
+      in
+      match find_in_order db ~env keys cond with
       | Some key -> ok db (make_current db cur key)
       | None -> fail db cur Status.Not_found)
   | Dml.Duplicate (rtype, cond) -> (
       match current_of_record cur rtype with
       | None -> fail db cur Status.No_currency
       | Some current -> (
-          let after = List.filter (fun k -> k > current) (Ndb.all_keys db rtype) in
-          match find_in_order db ~env after cond with
+          let db = ensure_eq_indexes db rtype ~env cond in
+          let found =
+            match eq_probe db rtype ~env cond with
+            | Some candidates ->
+                find_in_order db ~env
+                  (List.filter (fun k -> k > current) candidates)
+                  cond
+            | None ->
+                (* Cursor over the per-type index: reposition after the
+                   current of record type in log time, then walk. *)
+                find_in_seq db ~env (Ndb.keys_after db rtype current) cond
+          in
+          match found with
           | Some key -> ok db (make_current db cur key)
           | None -> fail db cur Status.Not_found))
   | Dml.First_within (rtype, set, cond) -> (

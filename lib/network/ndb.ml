@@ -1,6 +1,8 @@
 open Ccv_common
 module Imap = Map.Make (Int)
 module Smap = Map.Make (String)
+module Iset = Set.Make (Int)
+module Vmap = Map.Make (Value)
 
 type entry = { rtype : string; row : Row.t }
 
@@ -9,11 +11,21 @@ type t = {
   records : entry Imap.t;
   sets : int list Imap.t Smap.t;  (** set name -> owner key -> members *)
   member_of : int Smap.t Imap.t;  (** member key -> set name -> owner key *)
+  by_type : Iset.t Smap.t;  (** record type -> keys of that type *)
+  eq_indexes : Iset.t Vmap.t Smap.t;
+      (** "RTYPE.FIELD" -> stored value -> keys; only stored fields,
+          so CONNECT/DISCONNECT cannot invalidate an entry *)
   next_key : int;
   counters : Counters.t;
 }
 
 let system_key = 0
+
+let index_name rtype field = Field.canon rtype ^ "." ^ Field.canon field
+let stored_value row f = Option.value (Row.get row f) ~default:Value.Null
+
+let type_keys t rtype =
+  Option.value (Smap.find_opt (Field.canon rtype) t.by_type) ~default:Iset.empty
 
 let create schema =
   { schema;
@@ -29,8 +41,57 @@ let create schema =
           Smap.add s.sname initial acc)
         Smap.empty schema.Nschema.sets;
     member_of = Imap.empty;
+    by_type = Smap.empty;
+    (* CALC keys behave like primary keys: index them from the start so
+       duplicate checks stop scanning the extent. *)
+    eq_indexes =
+      List.fold_left
+        (fun acc (r : Nschema.record_decl) ->
+          List.fold_left
+            (fun acc f -> Smap.add (index_name r.rname f) Vmap.empty acc)
+            acc r.calc_key)
+        Smap.empty schema.Nschema.records;
     next_key = 1;
     counters = Counters.create ();
+  }
+
+(* Indexed fields of a record type, as (field, index name) pairs. *)
+let indexed_fields_of t rtype =
+  let decl = Nschema.find_record_exn t.schema rtype in
+  List.filter_map
+    (fun (f : Field.t) ->
+      let iname = index_name rtype f.name in
+      if Smap.mem iname t.eq_indexes then Some (f.name, iname) else None)
+    decl.fields
+
+let eq_index_update op t rtype row key =
+  List.fold_left
+    (fun acc (fname, iname) ->
+      let vmap = Smap.find iname acc in
+      let v = stored_value row fname in
+      let ks = Option.value (Vmap.find_opt v vmap) ~default:Iset.empty in
+      let ks = op key ks in
+      let vmap =
+        if Iset.is_empty ks then Vmap.remove v vmap else Vmap.add v ks vmap
+      in
+      Smap.add iname vmap acc)
+    t.eq_indexes
+    (indexed_fields_of t rtype)
+
+let index_add t rtype row key =
+  { t with
+    by_type =
+      Smap.add (Field.canon rtype) (Iset.add key (type_keys t rtype)) t.by_type;
+    eq_indexes = eq_index_update Iset.add t rtype row key;
+  }
+
+let index_remove t rtype row key =
+  { t with
+    by_type =
+      Smap.add (Field.canon rtype)
+        (Iset.remove key (type_keys t rtype))
+        t.by_type;
+    eq_indexes = eq_index_update Iset.remove t rtype row key;
   }
 
 let schema t = t.schema
@@ -79,19 +140,74 @@ let view t key = view_gen ~charge:true t key
 let view_silent t key = view_gen ~charge:false t key
 
 let all_keys_gen ~charge t rtype =
-  let rtype = Field.canon rtype in
-  Imap.fold
-    (fun key e acc ->
-      if String.equal e.rtype rtype then begin
-        if charge then Counters.record_read t.counters;
-        key :: acc
-      end
-      else acc)
-    t.records []
-  |> List.rev
+  let ks = Iset.elements (type_keys t rtype) in
+  if charge then Counters.record_reads t.counters (List.length ks);
+  ks
 
 let all_keys t rtype = all_keys_gen ~charge:true t rtype
 let all_keys_silent t rtype = all_keys_gen ~charge:false t rtype
+
+(* Cursor support: keys of a type strictly after [key], lazily — the
+   persistent FIND NEXT position is just the current database key, and
+   repositioning is a log-time descent instead of a full rescan. *)
+let keys_after t rtype key = Iset.to_seq_from (key + 1) (type_keys t rtype)
+
+let first_key t rtype = Iset.min_elt_opt (type_keys t rtype)
+
+let has_index t ~rtype ~field = Smap.mem (index_name rtype field) t.eq_indexes
+
+let indexed_fields t rtype =
+  match Nschema.find_record t.schema rtype with
+  | None -> []
+  | Some _ -> List.map fst (indexed_fields_of t rtype)
+
+(* Build (or keep) an equality index over a stored field.  Virtual or
+   unknown fields are refused silently so callers can request indexes
+   speculatively from qualification conjuncts. *)
+let ensure_index t ~rtype ~field =
+  match Nschema.find_record t.schema rtype with
+  | None -> t
+  | Some decl ->
+      if not (Field.mem decl.fields field) then t
+      else
+        let iname = index_name rtype field in
+        if Smap.mem iname t.eq_indexes then t
+        else
+          let vmap =
+            Iset.fold
+              (fun key vmap ->
+                match Imap.find_opt key t.records with
+                | None -> vmap
+                | Some e ->
+                    let v = stored_value e.row field in
+                    let ks =
+                      Option.value (Vmap.find_opt v vmap) ~default:Iset.empty
+                    in
+                    Vmap.add v (Iset.add key ks) vmap)
+              (type_keys t rtype) Vmap.empty
+          in
+          { t with eq_indexes = Smap.add iname vmap t.eq_indexes }
+
+(* [lookup_eq] is the index probe: one read for the descent, the
+   matching records themselves are charged by whoever views them. *)
+let lookup_eq t ~rtype ~field v =
+  match Smap.find_opt (index_name rtype field) t.eq_indexes with
+  | None -> None
+  | Some vmap ->
+      Counters.record_read t.counters;
+      Some
+        (match Vmap.find_opt v vmap with
+        | None -> []
+        | Some ks -> Iset.elements ks)
+
+let lookup_eq_silent t ~rtype ~field v =
+  match Smap.find_opt (index_name rtype field) t.eq_indexes with
+  | None -> None
+  | Some vmap ->
+      Some
+        (match Vmap.find_opt v vmap with
+        | None -> []
+        | Some ks -> Iset.elements ks)
 
 let members_gen ~charge t ~set ~owner =
   let set = Field.canon set in
@@ -99,7 +215,9 @@ let members_gen ~charge t ~set ~owner =
   | None -> invalid_arg (Fmt.str "Ndb: unknown set %s" set)
   | Some occs ->
       let ms = Option.value (Imap.find_opt owner occs) ~default:[] in
-      if charge then Counters.record_reads t.counters (List.length ms);
+      (* One read fetches the occurrence's member chain; the records
+         themselves are charged when a consumer actually views them. *)
+      if charge then Counters.record_read t.counters;
       ms
 
 let members t ~set ~owner = members_gen ~charge:true t ~set ~owner
@@ -230,6 +348,42 @@ let select_owner t (decl : Nschema.set_decl) ~resolve_current ~seed =
           | Some k -> Ok k
           | None -> Error Status.No_currency))
 
+(* DUPLICATES NOT ALLOWED for the CALC key: probe the per-field
+   equality indexes (auto-created for CALC keys) and intersect, one
+   read per probe — instead of scanning every record of the type. *)
+let calc_duplicate t (decl : Nschema.record_decl) stored =
+  let all_indexed =
+    List.for_all
+      (fun f -> Smap.mem (index_name decl.rname f) t.eq_indexes)
+      decl.calc_key
+  in
+  if all_indexed then
+    let hits =
+      List.map
+        (fun f ->
+          Counters.record_read t.counters;
+          let vmap = Smap.find (index_name decl.rname f) t.eq_indexes in
+          Option.value
+            (Vmap.find_opt (stored_value stored f) vmap)
+            ~default:Iset.empty)
+        decl.calc_key
+    in
+    match hits with
+    | [] -> false
+    | h :: rest -> not (Iset.is_empty (List.fold_left Iset.inter h rest))
+  else
+    List.exists
+      (fun k ->
+        Counters.record_read t.counters;
+        match Imap.find_opt k t.records with
+        | Some e ->
+            List.for_all
+              (fun f ->
+                Value.equal (stored_value e.row f) (stored_value stored f))
+              decl.calc_key
+        | None -> false)
+      (all_keys_gen ~charge:false t decl.rname)
+
 let store ?(resolve_current = fun _ -> None) t rtype row =
   let rtype = Field.canon rtype in
   let decl = Nschema.find_record_exn t.schema rtype in
@@ -237,24 +391,7 @@ let store ?(resolve_current = fun _ -> None) t rtype row =
   let stored = Row.coerce row decl.fields in
   if not (Row.conforms stored decl.fields) then
     Error (Status.Invalid_request (Fmt.str "bad record for %s" rtype))
-  else if
-    (* DUPLICATES NOT ALLOWED for the CALC key, as for relational
-       primary keys — keeps duplicate-insert behaviour aligned across
-       the engines a conversion moves between. *)
-    decl.calc_key <> []
-    && List.exists
-         (fun k ->
-           Counters.record_read t.counters;
-           match Imap.find_opt k t.records with
-           | Some e ->
-               List.for_all
-                 (fun f ->
-                   Value.equal
-                     (Option.value (Row.get e.row f) ~default:Value.Null)
-                     (Option.value (Row.get stored f) ~default:Value.Null))
-                 decl.calc_key
-           | None -> false)
-         (all_keys_gen ~charge:false t rtype)
+  else if decl.calc_key <> [] && calc_duplicate t decl stored
   then Error (Status.Duplicate_key rtype)
   else
     let key = t.next_key in
@@ -287,6 +424,7 @@ let store ?(resolve_current = fun _ -> None) t rtype row =
             next_key = key + 1;
           }
         in
+        let t = index_add t rtype stored key in
         let rec connect_all t = function
           | [] -> Ok t
           | (s, owner) :: rest -> (
@@ -350,6 +488,15 @@ let modify t key assigns =
             List.fold_left (fun row (f, v) -> Row.set row f v) e.row assigns
           in
           let t = { t with records = Imap.add key { e with row } t.records } in
+          (* Keep equality indexes consistent with the new field values. *)
+          let t =
+            { t with
+              eq_indexes = eq_index_update Iset.remove t e.rtype e.row key;
+            }
+          in
+          let t =
+            { t with eq_indexes = eq_index_update Iset.add t e.rtype row key }
+          in
           (* Re-place the record in sorted occurrences it belongs to. *)
           let t =
             List.fold_left
@@ -426,6 +573,12 @@ let rec erase t mode key =
                   (Nschema.sets_with_member t.schema e.rtype)
               in
               Counters.record_write t.counters;
+              (* Re-fetch: a cascade cycle may already have removed it. *)
+              let t =
+                match Imap.find_opt key t.records with
+                | None -> t
+                | Some e -> index_remove t e.rtype e.row key
+              in
               Ok { t with records = Imap.remove key t.records }))
 
 type dump = {
@@ -486,6 +639,75 @@ let equal_contents a b =
   && List.for_all2 eq_pairs da.set_contents db.set_contents
 
 let total_records t = Imap.cardinal t.records
+
+(* Audit every index against a raw fold over the record arena — the
+   reference scan path the indexes replace.  Empty list = consistent. *)
+let verify_indexes t =
+  let problems = ref [] in
+  let note fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  (* by_type: exactly the keys of each type, no strays. *)
+  let expected_by_type =
+    Imap.fold
+      (fun key e acc ->
+        let ks = Option.value (Smap.find_opt e.rtype acc) ~default:Iset.empty in
+        Smap.add e.rtype (Iset.add key ks) acc)
+      t.records Smap.empty
+  in
+  Smap.iter
+    (fun rtype ks ->
+      let want =
+        Option.value (Smap.find_opt rtype expected_by_type) ~default:Iset.empty
+      in
+      if not (Iset.equal ks want) then
+        note "by_type[%s]: index {%s} vs scan {%s}" rtype
+          (String.concat "," (List.map string_of_int (Iset.elements ks)))
+          (String.concat "," (List.map string_of_int (Iset.elements want))))
+    t.by_type;
+  Smap.iter
+    (fun rtype ks ->
+      if not (Smap.mem rtype t.by_type) && not (Iset.is_empty ks) then
+        note "by_type[%s]: %d keys missing from index" rtype (Iset.cardinal ks))
+    expected_by_type;
+  (* equality indexes: every entry points at a live record carrying the
+     value, and every record appears under its value. *)
+  Smap.iter
+    (fun iname vmap ->
+      match String.index_opt iname '.' with
+      | None -> note "eq_index %s: malformed name" iname
+      | Some i ->
+          let rtype = String.sub iname 0 i in
+          let field =
+            String.sub iname (i + 1) (String.length iname - i - 1)
+          in
+          Vmap.iter
+            (fun v ks ->
+              Iset.iter
+                (fun key ->
+                  match Imap.find_opt key t.records with
+                  | None -> note "eq_index %s: dangling key #%d" iname key
+                  | Some e ->
+                      if not (String.equal e.rtype rtype) then
+                        note "eq_index %s: #%d is a %s" iname key e.rtype
+                      else if not (Value.equal (stored_value e.row field) v)
+                      then
+                        note "eq_index %s: #%d maps %a but stores %a" iname key
+                          Value.pp v Value.pp (stored_value e.row field))
+                ks)
+            vmap;
+          Imap.iter
+            (fun key e ->
+              if String.equal e.rtype rtype then
+                let v = stored_value e.row field in
+                let present =
+                  match Vmap.find_opt v vmap with
+                  | Some ks -> Iset.mem key ks
+                  | None -> false
+                in
+                if not present then
+                  note "eq_index %s: #%d (%a) not indexed" iname key Value.pp v)
+            t.records)
+    t.eq_indexes;
+  List.rev !problems
 
 let pp ppf t =
   Imap.iter

@@ -30,7 +30,8 @@ val view : t -> int -> Row.t option
 
 val rtype_of : t -> int -> string option
 
-(** Keys of all records of a type, ascending; charges one read each. *)
+(** Keys of all records of a type, ascending, from the per-type key
+    index (no arena fold); charges one read each. *)
 val all_keys : t -> string -> int list
 
 (** Silent variants for assertions and printing. *)
@@ -38,7 +39,50 @@ val all_keys_silent : t -> string -> int list
 
 val view_silent : t -> int -> Row.t option
 
-(** [members db ~set ~owner] — ordered member keys; charges reads. *)
+(** Cursor support: keys of a type strictly greater than [key], lazily
+    and ascending.  FIND NEXT repositions through this instead of
+    rescanning the whole type; silent — touched records are charged by
+    [view]/[get]. *)
+val keys_after : t -> string -> int -> int Seq.t
+
+(** Smallest key of a type, if any; silent. *)
+val first_key : t -> string -> int option
+
+(** {2 Equality indexes}
+
+    Opt-in hash-style indexes over stored fields of one record type:
+    [(rtype, field) -> value -> keys].  CALC-key fields are indexed
+    automatically at [create]; anything else can be added on demand
+    with [ensure_index].  Indexes cover stored fields only (never
+    virtuals), so set membership changes cannot invalidate them; they
+    are maintained through [store]/[modify]/[erase]. *)
+
+(** [ensure_index db ~rtype ~field] builds the index if missing.
+    Silently returns [db] unchanged for virtual or unknown fields, so
+    callers may request indexes speculatively. *)
+val ensure_index : t -> rtype:string -> field:string -> t
+
+val has_index : t -> rtype:string -> field:string -> bool
+
+(** Indexed stored fields of a record type. *)
+val indexed_fields : t -> string -> string list
+
+(** [lookup_eq db ~rtype ~field v] — keys whose stored [field] equals
+    [v], ascending; [None] when no index exists (fall back to a scan).
+    Charges one read for the probe; the records themselves are charged
+    when viewed. *)
+val lookup_eq : t -> rtype:string -> field:string -> Value.t -> int list option
+
+val lookup_eq_silent :
+  t -> rtype:string -> field:string -> Value.t -> int list option
+
+(** Audit all indexes against a raw fold over the record arena;
+    returns human-readable inconsistencies (empty = consistent). *)
+val verify_indexes : t -> string list
+
+(** [members db ~set ~owner] — ordered member keys; charges one read
+    for the occurrence fetch.  Members are charged at consumption
+    point (when viewed), not en bloc. *)
 val members : t -> set:string -> owner:int -> int list
 
 val members_silent : t -> set:string -> owner:int -> int list
