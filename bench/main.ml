@@ -19,8 +19,12 @@ let time_ms f =
   (r, (Unix.gettimeofday () -. t0) *. 1000.)
 
 (* Machine-readable results, collected by any experiment that calls
-   [emit_json] and written to BENCH_PR1.json under [--json]. *)
+   [emit_json] and written to the [--out] file (default
+   BENCH_PR1.json) under [--json].  Experiments may add fields to
+   [meta_extra]; they land in the leading "meta" row that stamps the
+   output with the git commit and domain counts for reproducibility. *)
 let bench_json : string list ref = ref []
+let meta_extra : (string * string) list ref = ref []
 
 let emit_json fields =
   bench_json :=
@@ -30,6 +34,14 @@ let emit_json fields =
 
 let json_str s = Printf.sprintf "%S" s
 let json_float f = Printf.sprintf "%.3f" f
+
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> "unknown"
 
 (* ------------------------------------------------------------------ *)
 (* Shared setup for the Figure 4.2 -> 4.4 restructuring                *)
@@ -965,17 +977,135 @@ let micro_index () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
+(* SERVE: phased-coexistence service — shadow throughput per domain
+   count, and the cost of shadowing vs straight target execution.      *)
+
+let serve () =
+  section
+    "SERVE  Phased-coexistence service: shadow throughput by domain \
+     count, shadow overhead vs straight target execution";
+  let module S = Ccv_serve in
+  let seed = 515 in
+  let n = 240 in
+  let domain_counts = [ 1; 2; 4 ] in
+  (* A scaled instance so each request does real engine work — the
+     domain-spawn cost per tick has to be amortized against it. *)
+  let sample = W.Company.scaled ~seed:42 ~n:120 in
+  let reqs = S.Request.stream ~seed W.Company.schema ~sample ~n () in
+  let req =
+    { Supervisor.source_schema = W.Company.schema;
+      source_model = Mapping.Net;
+      ops = [ interpose_op ];
+      target_model = Mapping.Net;
+    }
+  in
+  (* Pinned phases: promote_after/max_divergence_rate keep the
+     controller where it starts, so every request is measured under
+     one regime. *)
+  let pinned initial =
+    { S.Cutover.canary_fraction = 0.25;
+      window = 32;
+      min_observations = 8;
+      max_divergence_rate = 2.0;
+      promote_after = max_int;
+      initial;
+    }
+  in
+  let run ~domains ~initial =
+    let config =
+      { S.Pool.default_config with domains; shards = 8; batch = 24;
+        canary_seed = seed }
+    in
+    match S.Pool.run ~config ~cutover:(pinned initial) req sample reqs with
+    | Ok r -> r
+    | Error e -> failwith ("serve bench: " ^ e)
+  in
+  let rows = ref [] in
+  let wall_1 = ref 0. in
+  List.iter
+    (fun d ->
+      let r = run ~domains:d ~initial:S.Cutover.Shadow in
+      if d = 1 then wall_1 := r.S.Pool.wall_s;
+      let thr = float r.S.Pool.served /. r.S.Pool.wall_s in
+      emit_json
+        [ ("experiment", json_str "serve");
+          ("variant", json_str "shadow");
+          ("domains", string_of_int d);
+          ("served", string_of_int r.S.Pool.served);
+          ("divergent", string_of_int (S.Metrics.total_divergent r.S.Pool.metrics));
+          ("wall_s", json_float r.S.Pool.wall_s);
+          ("req_per_s", json_float thr);
+          ("speedup_vs_1", json_float (!wall_1 /. r.S.Pool.wall_s));
+        ];
+      rows :=
+        [ "shadow"; string_of_int d; string_of_int r.S.Pool.served;
+          Tablefmt.float_cell (r.S.Pool.wall_s *. 1000.);
+          Tablefmt.float_cell thr;
+          Tablefmt.float_cell (!wall_1 /. r.S.Pool.wall_s);
+        ]
+        :: !rows)
+    domain_counts;
+  let straight = run ~domains:1 ~initial:S.Cutover.Cutover in
+  let thr = float straight.S.Pool.served /. straight.S.Pool.wall_s in
+  let overhead = !wall_1 /. straight.S.Pool.wall_s in
+  emit_json
+    [ ("experiment", json_str "serve");
+      ("variant", json_str "straight-target");
+      ("domains", string_of_int 1);
+      ("served", string_of_int straight.S.Pool.served);
+      ("wall_s", json_float straight.S.Pool.wall_s);
+      ("req_per_s", json_float thr);
+      ("shadow_overhead_x", json_float overhead);
+    ];
+  rows :=
+    [ "straight-target"; "1"; string_of_int straight.S.Pool.served;
+      Tablefmt.float_cell (straight.S.Pool.wall_s *. 1000.);
+      Tablefmt.float_cell thr; "-";
+    ]
+    :: !rows;
+  List.iter emit_json (S.Metrics.json_rows straight.S.Pool.metrics);
+  meta_extra :=
+    !meta_extra
+    @ [ ("serve_seed", string_of_int seed);
+        ("serve_requests", string_of_int n);
+        ("serve_domain_counts",
+         "[" ^ String.concat ", " (List.map string_of_int domain_counts) ^ "]");
+      ];
+  Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "service throughput (shadow runs source AND target per request; \
+          this machine recommends %d domain(s), so cross-domain speedup \
+          is bounded by the hardware)"
+         (Domain.recommended_domain_count ()))
+    ~aligns:
+      [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right; Tablefmt.Right;
+      ]
+    [ "variant"; "domains"; "served"; "wall ms"; "req/s"; "speedup vs 1" ]
+    (List.rev !rows);
+  Printf.printf
+    "\nshadow overhead at 1 domain: %.2fx the straight target run\n" overhead
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("fig31", fig31); ("fig43", fig43);
-    ("micro", micro); ("micro-index", micro_index);
+    ("micro", micro); ("micro-index", micro_index); ("serve", serve);
   ]
 
 let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
+  let rec extract_out acc = function
+    | "--out" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | x :: rest -> extract_out (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let out, args = extract_out [] args in
+  let out = Option.value out ~default:"BENCH_PR1.json" in
   let json = List.mem "--json" args in
   let ids = List.filter (fun a -> a <> "--json") args in
   let requested = if ids = [] then List.map fst all else ids in
@@ -988,10 +1118,23 @@ let () =
             (String.concat ", " (List.map fst all)))
     requested;
   if json then begin
-    let oc = open_out "BENCH_PR1.json" in
+    let meta =
+      "{"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%S: %s" k v)
+             ([ ("kind", json_str "meta");
+                ("git_commit", json_str (git_commit ()));
+                ("experiments", json_str (String.concat " " requested));
+                ("recommended_domain_count",
+                 string_of_int (Domain.recommended_domain_count ()));
+              ]
+             @ !meta_extra))
+      ^ "}"
+    in
+    let oc = open_out out in
     output_string oc
-      ("[\n  " ^ String.concat ",\n  " (List.rev !bench_json) ^ "\n]\n");
+      ("[\n  " ^ String.concat ",\n  " (meta :: List.rev !bench_json) ^ "\n]\n");
     close_out oc;
-    Printf.printf "\nwrote BENCH_PR1.json (%d rows)\n"
-      (List.length !bench_json)
+    Printf.printf "\nwrote %s (%d rows)\n" out (1 + List.length !bench_json)
   end

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Tier-1 verify plus machine-readable bench emission in one command:
-# build, run the full test suite, then run the micro-index experiment
-# and write BENCH_PR1.json at the repository root.
+# build, run the full test suite, then write BENCH_PR1.json (index
+# micro-bench) and BENCH_PR2.json (phased-coexistence service) at the
+# repository root.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
 dune exec bench/main.exe -- micro-index --json
+dune exec bench/main.exe -- serve --json --out BENCH_PR2.json

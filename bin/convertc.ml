@@ -126,6 +126,55 @@ let run schema_path program_path ops_raw verbose =
         List.iter (Printf.printf "%s\n") report.Supervisor.optimizer_log
       end
 
+(* ------------------------------------------------------------------ *)
+(* serve: drive a workload through the phased-coexistence service      *)
+
+let serve_run ops_raw requests domains shards batch seed canary window
+    min_obs threshold promote strict =
+  let module S = Ccv_serve in
+  let module W = Ccv_workload in
+  let ops =
+    List.map
+      (fun s ->
+        match parse_op s with Ok op -> op | Error e -> failwith e)
+      ops_raw
+  in
+  let sample = W.Company.instance () in
+  let reqs =
+    S.Request.stream ~seed W.Company.schema ~sample ~n:requests ()
+  in
+  let req =
+    { Supervisor.source_schema = W.Company.schema;
+      source_model = Mapping.Net;
+      ops;
+      target_model = Mapping.Net;
+    }
+  in
+  let cutover =
+    { S.Cutover.canary_fraction = canary;
+      window;
+      min_observations = min_obs;
+      max_divergence_rate = threshold;
+      promote_after = promote;
+      initial = S.Cutover.Shadow;
+    }
+  in
+  let config =
+    { S.Pool.domains;
+      shards;
+      batch;
+      canary_seed = seed;
+      tolerate_reordering = not strict;
+    }
+  in
+  match S.Pool.run ~config ~cutover req sample reqs with
+  | Error e ->
+      Printf.printf "service failed to start: %s\n" e;
+      exit 1
+  | Ok r ->
+      print_string (S.Pool.render r);
+      if r.S.Pool.status = S.Cutover.Aborted then exit 2
+
 let schema_arg =
   Arg.(
     required
@@ -146,13 +195,82 @@ let ops_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print intermediate forms")
 
+let convert_term =
+  Term.(const run $ schema_arg $ program_arg $ ops_arg $ verbose_arg)
+
+let convert_cmd =
+  let doc = "convert a program against a restructuring (default command)" in
+  Cmd.v (Cmd.info "convert" ~doc) convert_term
+
+let serve_cmd =
+  let doc =
+    "run the built-in company workload through the phased-coexistence \
+     service: every request shadows on the converted system, divergence \
+     is watched online, and the cutover ladder \
+     (shadow -> canary -> cutover) promotes or rolls back automatically"
+  in
+  let requests =
+    Arg.(value & opt int 96 & info [ "requests" ] ~docv:"N" ~doc:"workload size")
+  in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc:"worker domains")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"S" ~doc:"replica shards")
+  in
+  let batch =
+    Arg.(value & opt int 16 & info [ "batch" ] ~docv:"B" ~doc:"requests per tick")
+  in
+  let seed =
+    Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+  in
+  let canary =
+    Arg.(
+      value & opt float 0.25
+      & info [ "canary" ] ~docv:"FRAC" ~doc:"canary traffic fraction")
+  in
+  let window =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"W" ~doc:"divergence sliding-window size")
+  in
+  let min_obs =
+    Arg.(
+      value & opt int 8
+      & info [ "min-observations" ] ~docv:"M"
+          ~doc:"observations before the window can trigger rollback")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.05
+      & info [ "threshold" ] ~docv:"RATE"
+          ~doc:"max divergence rate before rollback")
+  in
+  let promote =
+    Arg.(
+      value & opt int 24
+      & info [ "promote-after" ] ~docv:"K"
+          ~doc:"consecutive clean shadows before promotion")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"demand strict trace equality (reject order-only equivalence)")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ ops_arg $ requests $ domains $ shards $ batch $ seed
+      $ canary $ window $ min_obs $ threshold $ promote $ strict)
+
 let cmd =
   let doc =
     "convert a database program to match a schema restructuring (CODASYL \
      Database Program Conversion framework, 1979)"
   in
-  Cmd.v
+  Cmd.group ~default:convert_term
     (Cmd.info "convertc" ~version:"1.0" ~doc)
-    Term.(const run $ schema_arg $ program_arg $ ops_arg $ verbose_arg)
+    [ convert_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

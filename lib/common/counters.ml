@@ -1,15 +1,15 @@
-type t = { mutable reads : int; mutable writes : int }
+type t = { reads : int Atomic.t; writes : int Atomic.t }
 
-let create () = { reads = 0; writes = 0 }
-let record_read t = t.reads <- t.reads + 1
-let record_write t = t.writes <- t.writes + 1
-let record_reads t n = t.reads <- t.reads + n
-let reads t = t.reads
-let writes t = t.writes
-let total t = t.reads + t.writes
+let create () = { reads = Atomic.make 0; writes = Atomic.make 0 }
+let record_read t = Atomic.incr t.reads
+let record_write t = Atomic.incr t.writes
+let record_reads t n = ignore (Atomic.fetch_and_add t.reads n)
+let reads t = Atomic.get t.reads
+let writes t = Atomic.get t.writes
+let total t = Atomic.get t.reads + Atomic.get t.writes
 
 let reset t =
-  t.reads <- 0;
-  t.writes <- 0
+  Atomic.set t.reads 0;
+  Atomic.set t.writes 0
 
-let snapshot t = (t.reads, t.writes)
+let snapshot t = (Atomic.get t.reads, Atomic.get t.writes)

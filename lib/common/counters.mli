@@ -1,6 +1,11 @@
 (** Low-level access accounting.  Every engine charges its record
     touches here so that experiment E1 can compare the access cost of
-    converted programs against the emulation and bridge baselines. *)
+    converted programs against the emulation and bridge baselines.
+
+    Counters are domain-safe: the fields are [Atomic.t], so shard
+    workers running on separate domains (see [Ccv_serve]) can charge a
+    shared per-phase counter without races.  [snapshot] reads the two
+    fields independently — it is not an atomic pair read. *)
 
 type t
 

@@ -17,6 +17,22 @@ let equal_event a b =
 
 let equal a b = List.length a = List.length b && List.for_all2 equal_event a b
 
+let compare_event a b =
+  let tag = function
+    | Terminal_out _ -> 0
+    | Terminal_in _ -> 1
+    | File_write _ -> 2
+    | File_read _ -> 3
+  in
+  match a, b with
+  | Terminal_out x, Terminal_out y | Terminal_in x, Terminal_in y ->
+      String.compare x y
+  | File_write (f1, l1), File_write (f2, l2)
+  | File_read (f1, l1), File_read (f2, l2) -> (
+      match String.compare f1 f2 with 0 -> String.compare l1 l2 | c -> c)
+  | (Terminal_out _ | Terminal_in _ | File_write _ | File_read _), _ ->
+      Int.compare (tag a) (tag b)
+
 let pp_event ppf = function
   | Terminal_out s -> Fmt.pf ppf "OUT  %s" s
   | Terminal_in s -> Fmt.pf ppf "IN   %s" s

@@ -16,6 +16,10 @@ type t = event list
 
 val equal_event : event -> event -> bool
 val equal : t -> t -> bool
+
+(** Total order on events (tag, then payload), so traces can be
+    sorted and compared as multisets in O(n log n). *)
+val compare_event : event -> event -> int
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 val show : t -> string

@@ -5,12 +5,15 @@ open Ccv_transform
 
 type verdict = Strict | Modulo_order | Divergent of string
 
+(* Multiset comparison by sorting both traces under the total event
+   order — O(n log n) event comparisons, no string rendering.  The
+   previous implementation formatted every event through [Fmt] before
+   sorting, which dominated long-trace judgments. *)
 let multiset_equal a b =
-  let sort t =
-    List.sort String.compare
-      (List.map (fun e -> Fmt.str "%a" Io_trace.pp_event e) t)
-  in
-  List.length a = List.length b && sort a = sort b
+  List.length a = List.length b
+  && List.equal Io_trace.equal_event
+       (List.sort Io_trace.compare_event a)
+       (List.sort Io_trace.compare_event b)
 
 let compare_traces reference observed =
   if Io_trace.equal reference observed then Strict

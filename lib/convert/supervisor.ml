@@ -114,6 +114,53 @@ let translate_database req sdb =
       let _, db = realize req.target_model sdb' in
       Ok (db, sdb', warnings)
 
+type servable = {
+  serve_request : request;
+  source_mapping : Mapping.t;
+  source_db : Engines.database;
+  target_db : Engines.database;
+  translated : Sdb.t;
+  warnings : string list;
+}
+
+let prepare_serving req sdb =
+  let source_mapping = mapping_for req.source_model req.source_schema in
+  let _, source_db = realize req.source_model sdb in
+  match translate_database req sdb with
+  | Error e -> Error ("data-translator", e)
+  | Ok (target_db, translated, warnings) ->
+      Ok
+        { serve_request = req;
+          source_mapping;
+          source_db;
+          target_db;
+          translated;
+          warnings;
+        }
+
+type served_pair = {
+  source_program : Engines.program;
+  target_program : (Engines.program, string * string) result;
+  pair_issues : issue list;
+}
+
+let serve_pair sv aprog =
+  match Generator.generate sv.source_mapping aprog with
+  | Error e -> Error ("source-generator", e)
+  | Ok { Generator.program = source_program; issues = src_issues } -> (
+      let src_issues =
+        List.map (fun m -> { stage = "source-generator"; message = m }) src_issues
+      in
+      match convert_program sv.serve_request source_program with
+      | Error err ->
+          Ok { source_program; target_program = Error err; pair_issues = src_issues }
+      | Ok report ->
+          Ok
+            { source_program;
+              target_program = Ok report.target_program;
+              pair_issues = src_issues @ report.issues;
+            })
+
 type outcome = {
   report : report;
   verdict : Equivalence.verdict;

@@ -48,6 +48,40 @@ val convert_program :
 val translate_database :
   request -> Sdb.t -> (Engines.database * Sdb.t * string list, string) result
 
+(** {2 Serving hook}
+
+    The phased-coexistence service ({!Ccv_serve}) keeps the source and
+    the converted database side by side while requests keep flowing.
+    [prepare_serving] does the one-off work for a replica pair: realize
+    the source instance, translate the data, and load the target
+    realization.  [serve_pair] then produces, per incoming abstract
+    request, the servable (source program, converted target program)
+    pair — the paper's coexistence strategies (§2.1.2) made
+    operational. *)
+
+type servable = {
+  serve_request : request;
+  source_mapping : Mapping.t;
+  source_db : Engines.database;
+  target_db : Engines.database;
+  translated : Sdb.t;  (** the semantic instance after the ops *)
+  warnings : string list;  (** data-translation warnings *)
+}
+
+val prepare_serving : request -> Sdb.t -> (servable, string * string) result
+
+type served_pair = {
+  source_program : Engines.program;
+  target_program : (Engines.program, string * string) result;
+      (** [Error (stage, reason)] when conversion refuses: the service
+          falls back to the source side and counts the refusal *)
+  pair_issues : issue list;
+}
+
+(** [Error _] only when the request cannot even be generated against
+    the source model (nothing to serve at all). *)
+val serve_pair : servable -> Aprog.t -> (served_pair, string * string) result
+
 (** End-to-end: convert the program, translate the data, run both
     sides, and judge equivalence per §1.1/§5.2. *)
 type outcome = {

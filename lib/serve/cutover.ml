@@ -1,0 +1,147 @@
+type phase = Shadow | Canary of float | Cutover
+
+let phase_name = function
+  | Shadow -> "shadow"
+  | Canary f -> Printf.sprintf "canary-%.0f%%" (100. *. f)
+  | Cutover -> "cutover"
+
+let equal_phase a b =
+  match a, b with
+  | Shadow, Shadow | Cutover, Cutover -> true
+  | Canary f, Canary g -> Float.equal f g
+  | (Shadow | Canary _ | Cutover), _ -> false
+
+let pp_phase ppf p = Fmt.string ppf (phase_name p)
+
+type config = {
+  canary_fraction : float;
+  window : int;
+  min_observations : int;
+  max_divergence_rate : float;
+  promote_after : int;
+  initial : phase;
+}
+
+let default_config =
+  { canary_fraction = 0.25;
+    window = 32;
+    min_observations = 8;
+    max_divergence_rate = 0.05;
+    promote_after = 24;
+    initial = Shadow;
+  }
+
+type transition = {
+  at_request : int;
+  from_ : phase;
+  to_ : phase;
+  reason : string;
+}
+
+let pp_transition ppf t =
+  Fmt.pf ppf "request %d: %s -> %s (%s)" t.at_request (phase_name t.from_)
+    (phase_name t.to_) t.reason
+
+type status = Serving | Aborted
+
+type t = {
+  config : config;
+  (* circular buffer of the last [window] shadow verdicts *)
+  ring : bool array;
+  mutable ring_len : int;
+  mutable ring_pos : int;
+  mutable divergent_in_window : int;
+  mutable clean_streak : int;
+  mutable phase : phase;
+  mutable status : status;
+  mutable transitions_rev : transition list;
+  mutable observations : int;
+}
+
+let create config =
+  if config.window <= 0 then invalid_arg "Cutover.create: window must be > 0";
+  { config;
+    ring = Array.make config.window false;
+    ring_len = 0;
+    ring_pos = 0;
+    divergent_in_window = 0;
+    clean_streak = 0;
+    phase = config.initial;
+    status = Serving;
+    transitions_rev = [];
+    observations = 0;
+  }
+
+let phase t = t.phase
+let status t = t.status
+let transitions t = List.rev t.transitions_rev
+let observations t = t.observations
+
+let next_phase t = function
+  | Shadow -> Some (Canary t.config.canary_fraction)
+  | Canary _ -> Some Cutover
+  | Cutover -> None
+
+let prev_phase = function
+  | Cutover -> Some Shadow
+      (* unreachable in practice: Cutover yields no observations *)
+  | Canary _ -> Some Shadow
+  | Shadow -> None
+
+let reset_window t =
+  Array.fill t.ring 0 t.config.window false;
+  t.ring_len <- 0;
+  t.ring_pos <- 0;
+  t.divergent_in_window <- 0;
+  t.clean_streak <- 0
+
+let move t ~at ~to_ ~reason =
+  t.transitions_rev <-
+    { at_request = at; from_ = t.phase; to_ = to_; reason } :: t.transitions_rev;
+  t.phase <- to_;
+  reset_window t
+
+let observe t ~request_id ~divergent =
+  match t.status with
+  | Aborted -> ()
+  | Serving ->
+      t.observations <- t.observations + 1;
+      (* slide the window *)
+      if t.ring_len = t.config.window then begin
+        if t.ring.(t.ring_pos) then
+          t.divergent_in_window <- t.divergent_in_window - 1
+      end
+      else t.ring_len <- t.ring_len + 1;
+      t.ring.(t.ring_pos) <- divergent;
+      if divergent then t.divergent_in_window <- t.divergent_in_window + 1;
+      t.ring_pos <- (t.ring_pos + 1) mod t.config.window;
+      t.clean_streak <- (if divergent then 0 else t.clean_streak + 1);
+      let rate = float t.divergent_in_window /. float (max 1 t.ring_len) in
+      if
+        t.ring_len >= t.config.min_observations
+        && rate > t.config.max_divergence_rate
+      then begin
+        let reason =
+          Printf.sprintf "rollback: divergence rate %.2f over last %d > %.2f"
+            rate t.ring_len t.config.max_divergence_rate
+        in
+        match prev_phase t.phase with
+        | Some to_ -> move t ~at:request_id ~to_ ~reason
+        | None ->
+            t.transitions_rev <-
+              { at_request = request_id;
+                from_ = t.phase;
+                to_ = t.phase;
+                reason = reason ^ "; no phase below shadow: conversion aborted";
+              }
+              :: t.transitions_rev;
+            t.status <- Aborted
+      end
+      else if t.clean_streak >= t.config.promote_after then
+        match next_phase t t.phase with
+        | Some to_ ->
+            move t ~at:request_id ~to_
+              ~reason:
+                (Printf.sprintf "promoted: %d consecutive clean shadow runs"
+                   t.clean_streak)
+        | None -> ()

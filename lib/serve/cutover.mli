@@ -1,0 +1,71 @@
+(** The phased-cutover state machine: the online half of a conversion
+    that the paper's coexistence strategies (§2.1.2) presuppose.
+
+    {v Shadow --> Canary p --> Cutover v}
+
+    In [Shadow] every request is served by the source engine while the
+    converted program also runs on the translated database and the two
+    traces are compared.  In [Canary f] a deterministic fraction [f] of
+    requests is served by the target (shadowing continues on every
+    request).  In [Cutover] the target serves alone — no shadow runs,
+    no observations, no further transitions.
+
+    Promotion and rollback are driven by the divergence verdicts of
+    shadowed requests, observed in request-id order: when the
+    divergence rate over a sliding window exceeds the threshold the
+    controller rolls back one phase ([Canary] to [Shadow], [Cutover]
+    cannot roll back because it produces no observations — it is
+    reached only through a clean canary); a rollback in [Shadow]
+    aborts the conversion ([Aborted]) — the paper's "cannot be handled
+    automatically" outcome, deferred to the conversion analyst.  The
+    divergence thresholds are the operational reading of §5.2's
+    "levels of successful conversion": a window that tolerates
+    reordering accepts the [Modulo_order] level, a zero threshold
+    demands strict equivalence. *)
+
+type phase =
+  | Shadow
+  | Canary of float  (** fraction in [0, 1] served by the target *)
+  | Cutover
+
+val phase_name : phase -> string
+val equal_phase : phase -> phase -> bool
+val pp_phase : Format.formatter -> phase -> unit
+
+type config = {
+  canary_fraction : float;  (** target share during [Canary] *)
+  window : int;  (** sliding window length, in shadowed requests *)
+  min_observations : int;  (** rate is not judged on fewer *)
+  max_divergence_rate : float;  (** rollback above this, in [0, 1] *)
+  promote_after : int;
+      (** consecutive clean shadowed requests that promote a phase *)
+  initial : phase;
+}
+
+val default_config : config
+
+type transition = {
+  at_request : int;  (** id of the request whose verdict triggered it *)
+  from_ : phase;
+  to_ : phase;
+  reason : string;
+}
+
+val pp_transition : Format.formatter -> transition -> unit
+
+type status = Serving | Aborted
+
+type t
+
+val create : config -> t
+val phase : t -> phase
+val status : t -> status
+
+(** Feed the shadow verdict of one request.  Callers must observe in
+    request-id order for runs to be reproducible. *)
+val observe : t -> request_id:int -> divergent:bool -> unit
+
+(** Transitions so far, oldest first. *)
+val transitions : t -> transition list
+
+val observations : t -> int

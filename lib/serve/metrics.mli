@@ -1,0 +1,73 @@
+(** Observability for the conversion service: per-phase/per-shard
+    request counts, engine access totals, a fixed-bucket latency
+    histogram, and the divergence log — rendered through
+    {!Ccv_common.Tablefmt} and exportable as JSON rows.
+
+    Aggregation happens on the coordinating thread (outcomes are
+    merged tick by tick), but each phase also carries a {e live}
+    {!Ccv_common.Counters.t} that shard workers charge concurrently
+    from their domains while requests execute — reads accumulate
+    engine record accesses, writes count served requests.  Those
+    counters are the domain-safe ground truth that the merged view is
+    checked against in the tests. *)
+
+open Ccv_common
+
+(** {2 Latency histograms} *)
+
+type hist
+
+val hist_create : unit -> hist
+val hist_add : hist -> float -> unit
+(** [hist_add h us] files one latency observation, in microseconds. *)
+
+val hist_count : hist -> int
+
+(** Upper bucket bound (µs) under which the given fraction of
+    observations falls; [infinity] when the top bucket is hit. *)
+val hist_quantile : hist -> float -> float
+
+(** {2 The metrics store} *)
+
+type t
+
+val create : unit -> t
+
+(** The shared per-phase counter, created on first use.  Safe to call
+    from any domain once the phase has been entered by the
+    coordinator. *)
+val live : t -> phase:string -> Counters.t
+
+(** Merge one outcome (coordinator thread only). *)
+val record : t -> Shadow.outcome -> unit
+
+val total_requests : t -> int
+val total_divergent : t -> int
+val total_refused : t -> int
+
+(** [(phase, shard) ] cells seen so far, in first-seen order. *)
+val phases : t -> string list
+
+(** Per-phase totals: requests, by-source, by-target, shadowed,
+    divergent, refused, source accesses, target accesses. *)
+type phase_totals = {
+  requests : int;
+  by_source : int;
+  by_target : int;
+  shadowed : int;
+  divergent : int;
+  refused : int;
+  source_accesses : int;
+  target_accesses : int;
+  latency : hist;
+}
+
+val phase_totals : t -> phase:string -> phase_totals
+
+(** Boxed tables: one per-phase summary and one per-phase/per-shard
+    breakdown. *)
+val render : t -> string
+
+(** One JSON row per (phase, shard) cell plus one per phase, as
+    (key, rendered value) pairs ready for the bench writer. *)
+val json_rows : t -> (string * string) list list

@@ -1,0 +1,187 @@
+type config = {
+  domains : int;
+  shards : int;
+  batch : int;
+  canary_seed : int;
+  tolerate_reordering : bool;
+}
+
+let default_config =
+  { domains = 1;
+    shards = 4;
+    batch = 16;
+    canary_seed = 0xC0FFEE;
+    tolerate_reordering = true;
+  }
+
+type divergence = {
+  div_request : int;
+  div_program : string;
+  div_phase : string;
+  div_shard : int;
+  detail : string;
+}
+
+type report = {
+  outcomes : Shadow.outcome list;
+  transitions : Cutover.transition list;
+  divergences : divergence list;
+  final_phase : Cutover.phase;
+  status : Cutover.status;
+  metrics : Metrics.t;
+  served : int;
+  unserved : int;
+  wall_s : float;
+}
+
+let take n l =
+  let rec go acc n l =
+    match n, l with
+    | 0, _ | _, [] -> (List.rev acc, l)
+    | n, x :: rest -> go (x :: acc) (n - 1) rest
+  in
+  go [] n l
+
+let clock () = Unix.gettimeofday ()
+
+let create_shards req sdb nshards =
+  let rec go acc i =
+    if i >= nshards then Ok (List.rev acc)
+    else
+      match Shard.create ~id:i req sdb with
+      | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+      | Ok s -> go (s :: acc) (i + 1)
+  in
+  Result.map Array.of_list (go [] 0)
+
+let run ?(config = default_config) ~cutover req sdb requests =
+  let nshards = max 1 config.shards in
+  let ndomains = max 1 (min config.domains nshards) in
+  match create_shards req sdb nshards with
+  | Error e -> Error e
+  | Ok shards ->
+      let ctl = Cutover.create cutover in
+      let metrics = Metrics.create () in
+      let t0 = clock () in
+      let rec ticks remaining outcomes_rev div_rev =
+        match remaining, Cutover.status ctl with
+        | [], _ | _, Cutover.Aborted ->
+            (List.rev outcomes_rev, List.rev div_rev, List.length remaining)
+        | _, Cutover.Serving ->
+            let batch, rest = take config.batch remaining in
+            let phase = Cutover.phase ctl in
+            let live = Metrics.live metrics ~phase:(Cutover.phase_name phase) in
+            (* shard slices, id order within each slice *)
+            let per_shard = Array.make nshards [] in
+            List.iter
+              (fun r ->
+                let s = Request.shard_of r ~nshards in
+                per_shard.(s) <- r :: per_shard.(s))
+              (List.rev batch);
+            let process_shard s =
+              List.map
+                (Shard.exec shards.(s) ~phase
+                   ~tolerate_reordering:config.tolerate_reordering
+                   ~canary_seed:config.canary_seed ~live ~clock)
+                per_shard.(s)
+            in
+            let shard_ids_of worker =
+              List.filter
+                (fun s -> s mod ndomains = worker && per_shard.(s) <> [])
+                (List.init nshards Fun.id)
+            in
+            let outcomes =
+              if ndomains = 1 then
+                List.concat_map process_shard
+                  (List.filter
+                     (fun s -> per_shard.(s) <> [])
+                     (List.init nshards Fun.id))
+              else
+                List.init ndomains shard_ids_of
+                |> List.filter_map (fun ids ->
+                       if ids = [] then None
+                       else
+                         Some
+                           (Domain.spawn (fun () ->
+                                List.concat_map process_shard ids)))
+                |> List.concat_map Domain.join
+            in
+            let outcomes =
+              List.sort
+                (fun (a : Shadow.outcome) b ->
+                  Int.compare a.Shadow.request.Request.id
+                    b.Shadow.request.Request.id)
+                outcomes
+            in
+            let div_rev =
+              List.fold_left
+                (fun acc (o : Shadow.outcome) ->
+                  Metrics.record metrics o;
+                  if o.Shadow.shadowed then
+                    Cutover.observe ctl
+                      ~request_id:o.Shadow.request.Request.id
+                      ~divergent:o.Shadow.divergent;
+                  match Shadow.divergence_detail o with
+                  | None -> acc
+                  | Some detail ->
+                      { div_request = o.Shadow.request.Request.id;
+                        div_program =
+                          o.Shadow.request.Request.aprog
+                            .Ccv_abstract.Aprog.name;
+                        div_phase = o.Shadow.phase;
+                        div_shard = o.Shadow.shard;
+                        detail;
+                      }
+                      :: acc)
+                div_rev outcomes
+            in
+            ticks rest (List.rev_append outcomes outcomes_rev) div_rev
+      in
+      let outcomes, divergences, unserved = ticks requests [] [] in
+      Ok
+        { outcomes;
+          transitions = Cutover.transitions ctl;
+          divergences;
+          final_phase = Cutover.phase ctl;
+          status = Cutover.status ctl;
+          metrics;
+          served = List.length outcomes;
+          unserved;
+          wall_s = clock () -. t0;
+        }
+
+let render r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "served %d request(s) in %.2fs; final phase %s (%s)\n"
+       r.served r.wall_s
+       (Cutover.phase_name r.final_phase)
+       (match r.status with
+       | Cutover.Serving -> "serving"
+       | Cutover.Aborted ->
+           Printf.sprintf "ABORTED, %d request(s) unserved" r.unserved));
+  if r.transitions <> [] then begin
+    Buffer.add_string b "\nphase transitions:\n";
+    List.iter
+      (fun t ->
+        Buffer.add_string b
+          (Printf.sprintf "  %s\n" (Fmt.str "%a" Cutover.pp_transition t)))
+      r.transitions
+  end;
+  (match r.divergences with
+  | [] -> Buffer.add_string b "\nno divergences detected\n"
+  | ds ->
+      Buffer.add_string b
+        (Printf.sprintf "\ndivergence log (%d total, first %d shown):\n"
+           (List.length ds)
+           (min 5 (List.length ds)));
+      List.iteri
+        (fun i d ->
+          if i < 5 then
+            Buffer.add_string b
+              (Printf.sprintf "  request %d (%s, %s, shard %d): %s\n"
+                 d.div_request d.div_program d.div_phase d.div_shard d.detail))
+        ds);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Metrics.render r.metrics);
+  Buffer.contents b

@@ -1,0 +1,63 @@
+(** The serving loop: an OCaml 5 [Domain]-based worker pool over
+    shards, driven tick by tick through the {!Cutover} state machine.
+
+    Each tick takes the next [batch] requests in id order, routes them
+    to their shards ([Request.shard_of]), executes every shard's slice
+    on one of [domains] workers, then joins and feeds the shadow
+    verdicts to the controller in request-id order.  Phase decisions
+    therefore depend only on the request stream, the seed and the
+    shard count — never on the domain count or scheduling — which is
+    what makes runs reproducible: the same stream under 1 domain and
+    under 8 yields the same transitions, divergence counts and served
+    output. *)
+
+open Ccv_model
+open Ccv_convert
+
+type config = {
+  domains : int;  (** worker domains; 1 = run inline *)
+  shards : int;  (** replica pairs; fixes routing, so keep it stable *)
+  batch : int;  (** requests per tick (phase decisions happen between) *)
+  canary_seed : int;  (** seed for deterministic canary routing *)
+  tolerate_reordering : bool;
+      (** accept [Modulo_order] (§5.2's weaker level); [false] demands
+          strict trace equality *)
+}
+
+val default_config : config
+
+type divergence = {
+  div_request : int;  (** request id *)
+  div_program : string;
+  div_phase : string;
+  div_shard : int;
+  detail : string;  (** names the first differing event *)
+}
+
+type report = {
+  outcomes : Shadow.outcome list;  (** all served requests, id order *)
+  transitions : Cutover.transition list;
+  divergences : divergence list;
+  final_phase : Cutover.phase;
+  status : Cutover.status;
+  metrics : Metrics.t;
+  served : int;
+  unserved : int;  (** requests dropped by an abort *)
+  wall_s : float;
+}
+
+(** [run ~config ~cutover req sdb requests] — [req] describes the
+    conversion (source schema/model, restructuring ops, target model);
+    [sdb] is the semantic instance every shard replicates.  [Error _]
+    when a shard's replica pair cannot be prepared. *)
+val run :
+  ?config:config ->
+  cutover:Cutover.config ->
+  Supervisor.request ->
+  Sdb.t ->
+  Request.t list ->
+  (report, string) result
+
+(** Transition log, divergence head and metrics tables as one
+    printable block. *)
+val render : report -> string

@@ -1,0 +1,21 @@
+open Ccv_common
+module G = Ccv_workload.Generator
+
+type t = { id : int; family : G.family; aprog : Ccv_abstract.Aprog.t }
+
+let stream ~seed schema ~sample ~n ?mix () =
+  let batch =
+    match mix with
+    | Some mix -> G.batch ~seed schema ~sample ~n ~mix ()
+    | None -> G.batch ~seed schema ~sample ~n ()
+  in
+  List.mapi (fun id (family, aprog) -> { id; family; aprog }) batch
+
+let shard_of t ~nshards = t.id mod max 1 nshards
+
+let canary_draw ~seed t =
+  let rng = Prng.create ~seed:(seed + ((t.id + 1) * 0x2545F4914F6CDD1D)) in
+  Prng.float rng 1.0
+
+let pp ppf t =
+  Fmt.pf ppf "#%d %a %s" t.id G.pp_family t.family t.aprog.Ccv_abstract.Aprog.name

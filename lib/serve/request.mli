@@ -1,0 +1,30 @@
+(** A request is one workload program arriving at the conversion
+    service: the unit of serving, routing and shadow comparison.  Ids
+    are dense and totally ordered — routing ([shard_of]) and canary
+    placement ([canary_draw]) are pure functions of the id, never of
+    the domain layout, which is what makes shard-parallel runs
+    deterministic. *)
+
+open Ccv_model
+open Ccv_abstract
+
+type t = {
+  id : int;
+  family : Ccv_workload.Generator.family;
+  aprog : Aprog.t;  (** the request body, in access-pattern form *)
+}
+
+(** [stream ~seed schema ~sample ~n ()] — [n] requests drawn from
+    {!Ccv_workload.Generator.batch} with ids [0..n-1]. *)
+val stream :
+  seed:int -> Semantic.t -> sample:Sdb.t -> n:int ->
+  ?mix:(int * Ccv_workload.Generator.family) list -> unit -> t list
+
+(** The shard that owns this request. *)
+val shard_of : t -> nshards:int -> int
+
+(** Deterministic uniform draw in [0, 1) for canary routing; depends
+    only on [seed] and the request id. *)
+val canary_draw : seed:int -> t -> float
+
+val pp : Format.formatter -> t -> unit

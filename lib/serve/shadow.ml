@@ -1,0 +1,39 @@
+open Ccv_common
+open Ccv_convert
+
+type decision = Serve_source | Serve_target
+
+let decision_name = function
+  | Serve_source -> "source"
+  | Serve_target -> "target"
+
+type outcome = {
+  request : Request.t;
+  shard : int;
+  phase : string;
+  decision : decision;
+  shadowed : bool;
+  verdict : Equivalence.verdict option;
+  divergent : bool;
+  refused : bool;
+  served_trace : Io_trace.t;
+  latency_us : float;
+  source_accesses : int;
+  target_accesses : int;
+}
+
+let judge ~tolerate_reordering reference observed =
+  let verdict = Equivalence.compare_traces reference observed in
+  let tolerance =
+    if tolerate_reordering then Equivalence.Modulo_order else Equivalence.Strict
+  in
+  (verdict, not (Equivalence.verdict_at_least tolerance verdict))
+
+let divergence_detail o =
+  if not o.divergent then None
+  else
+    match o.verdict with
+    | Some (Equivalence.Divergent why) -> Some why
+    | Some Equivalence.Modulo_order ->
+        Some "same events, different interleaving (strict tolerance)"
+    | Some Equivalence.Strict | None -> None

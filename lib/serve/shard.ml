@@ -1,0 +1,100 @@
+open Ccv_common
+open Ccv_convert
+
+type t = {
+  shard_id : int;
+  servable : Supervisor.servable;
+  mutable source_db : Engines.database;
+  mutable target_db : Engines.database;
+}
+
+let id t = t.shard_id
+let warnings t = t.servable.Supervisor.warnings
+
+let create ~id req sdb =
+  match Supervisor.prepare_serving req sdb with
+  | Error (stage, reason) -> Error (stage ^ ": " ^ reason)
+  | Ok servable ->
+      Ok
+        { shard_id = id;
+          servable;
+          source_db = servable.Supervisor.source_db;
+          target_db = servable.Supervisor.target_db;
+        }
+
+let run_source t program input =
+  let r = Engines.run ~input t.source_db program in
+  t.source_db <- r.Engines.final_db;
+  r
+
+let run_target t program input =
+  let r = Engines.run ~input t.target_db program in
+  t.target_db <- r.Engines.final_db;
+  r
+
+let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock request =
+  let t0 = clock () in
+  let phase_name = Cutover.phase_name phase in
+  let finish ~decision ~shadowed ~verdict ~divergent ~refused ~served_trace
+      ~source_accesses ~target_accesses =
+    Counters.record_reads live (source_accesses + target_accesses);
+    Counters.record_write live;
+    { Shadow.request;
+      shard = t.shard_id;
+      phase = phase_name;
+      decision;
+      shadowed;
+      verdict;
+      divergent;
+      refused;
+      served_trace;
+      latency_us = (clock () -. t0) *. 1e6;
+      source_accesses;
+      target_accesses;
+    }
+  in
+  match Supervisor.serve_pair t.servable request.Request.aprog with
+  | Error _ ->
+      (* Not even a source program: nothing to run, count the refusal. *)
+      finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
+        ~divergent:false ~refused:true ~served_trace:[] ~source_accesses:0
+        ~target_accesses:0
+  | Ok { Supervisor.source_program; target_program; pair_issues = _ } -> (
+      match target_program with
+      | Error _ ->
+          (* Conversion refused: fall back to the source engine in any
+             phase (during cutover this is the residual legacy path). *)
+          let r = run_source t source_program [] in
+          finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
+            ~divergent:false ~refused:true ~served_trace:r.Engines.trace
+            ~source_accesses:r.Engines.accesses ~target_accesses:0
+      | Ok target_program -> (
+          match phase with
+          | Cutover ->
+              let r = run_target t target_program [] in
+              finish ~decision:Shadow.Serve_target ~shadowed:false ~verdict:None
+                ~divergent:false ~refused:false ~served_trace:r.Engines.trace
+                ~source_accesses:0 ~target_accesses:r.Engines.accesses
+          | Shadow | Canary _ ->
+              let decision =
+                match phase with
+                | Canary f
+                  when Request.canary_draw ~seed:canary_seed request < f ->
+                    Shadow.Serve_target
+                | Shadow | Canary _ | Cutover -> Shadow.Serve_source
+              in
+              let sr = run_source t source_program [] in
+              let tr = run_target t target_program [] in
+              let verdict, divergent =
+                Shadow.judge ~tolerate_reordering sr.Engines.trace
+                  tr.Engines.trace
+              in
+              let served_trace =
+                match decision with
+                | Shadow.Serve_source -> sr.Engines.trace
+                | Shadow.Serve_target -> tr.Engines.trace
+              in
+              finish ~decision ~shadowed:true ~verdict:(Some verdict)
+                ~divergent ~refused:false ~served_trace
+                ~source_accesses:sr.Engines.accesses
+                ~target_accesses:tr.Engines.accesses))

@@ -1,0 +1,35 @@
+(** A shard owns one source/target database replica pair and serves
+    its partition of the request stream sequentially, so each engine
+    stays single-threaded: parallelism comes from running many shards
+    on many domains, never from sharing an engine.  Database updates a
+    request makes are retained in the shard's replicas for subsequent
+    requests of the same shard. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_convert
+
+type t
+
+val id : t -> int
+
+(** [create ~id req sdb] realizes the shard's own replica pair from
+    the semantic instance via {!Supervisor.prepare_serving}. *)
+val create : id:int -> Supervisor.request -> Sdb.t -> (t, string) result
+
+(** Data-translation warnings from replica preparation. *)
+val warnings : t -> string list
+
+(** Execute one request under the given phase.  [live] is the shared
+    per-phase counter charged while the request runs (engine accesses
+    as reads, one write per served request); [clock] supplies seconds
+    for latency measurement. *)
+val exec :
+  t ->
+  phase:Cutover.phase ->
+  tolerate_reordering:bool ->
+  canary_seed:int ->
+  live:Counters.t ->
+  clock:(unit -> float) ->
+  Request.t ->
+  Shadow.outcome

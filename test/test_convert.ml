@@ -228,6 +228,25 @@ let equivalence_tests =
         check "modulo >= strict" true
           (Equivalence.verdict_at_least Equivalence.Modulo_order
              Equivalence.Strict));
+    (* Regression for the sort-based multiset comparison: long
+       reordered traces must judge as Modulo_order (and fast — the
+       shadow service judges every request online). *)
+    Alcotest.test_case "long traces compare modulo order" `Quick (fun () ->
+        let n = 30_000 in
+        let a =
+          List.init n (fun i ->
+              if i mod 7 = 0 then Io_trace.File_write ("F", string_of_int i)
+              else Io_trace.Terminal_out (string_of_int i))
+        in
+        let b = List.rev a in
+        check "reversal is modulo order" true
+          (Equivalence.compare_traces a b = Equivalence.Modulo_order);
+        let c = Io_trace.Terminal_out "EXTRA" :: List.tl b in
+        (match Equivalence.compare_traces a c with
+        | Equivalence.Divergent _ -> ()
+        | _ -> Alcotest.fail "expected divergent");
+        check "identical long traces are strict" true
+          (Equivalence.compare_traces a a = Equivalence.Strict));
   ]
 
 (* Property: any generated program that the network model hosts

@@ -16,7 +16,7 @@ let check = Alcotest.(check bool)
 (* The hand-built DIV/EMP/PROJ schema from test_network, with an
    OPTIONAL MANUAL set so sequences can exercise connect/disconnect. *)
 
-let schema =
+let schema_with ~proj_order =
   Nschema.make
     [ Nschema.record_decl ~calc_key:[ "DIV-NAME" ] "DIV"
         [ Field.make "DIV-NAME" Value.Tstr ];
@@ -37,8 +37,12 @@ let schema =
         ~selection:(Nschema.By_value [ ("DIV-NAME", "DIV-NAME") ])
         ~name:"DIV-EMP" ~owner:(Nschema.Owner_record "DIV") ~member:"EMP" ();
       Nschema.set_decl ~insertion:Nschema.Manual ~retention:Nschema.Optional
-        ~name:"EMP-PROJ" ~owner:(Nschema.Owner_record "EMP") ~member:"PROJ" ();
+        ~order:proj_order ~name:"EMP-PROJ"
+        ~owner:(Nschema.Owner_record "EMP") ~member:"PROJ" ();
     ]
+
+let schema = schema_with ~proj_order:Nschema.Chronological
+let sorted_schema = schema_with ~proj_order:(Nschema.Sorted [ "P#" ])
 
 type op =
   | Store_div of int
@@ -108,7 +112,7 @@ let apply_op db op =
       | Some p -> keep (Ndb.disconnect db ~set:"EMP-PROJ" ~member:p)
       | None -> db)
 
-let run_ops ops =
+let run_ops ?(schema = schema) ops =
   (* AGE indexed on demand on top of the automatic CALC-key indexes,
      so modify sequences exercise non-key index maintenance too. *)
   let db = Ndb.ensure_index (Ndb.create schema) ~rtype:"EMP" ~field:"AGE" in
@@ -150,6 +154,19 @@ let prop_sequences =
     arb_ops
     (fun ops ->
       let db = run_ops ops in
+      (match Ndb.verify_indexes db with
+      | [] -> ()
+      | problems -> QCheck.Test.fail_reportf "%s" (String.concat "; " problems));
+      indexes_agree db)
+
+(* Same churn, but EMP-PROJ is ORDER IS SORTED on P# — connect must
+   splice into sort position and disconnect must not disturb it, and
+   the indexes must survive the extra reshuffling. *)
+let prop_sorted_sequences =
+  QCheck.Test.make ~count:150
+    ~name:"indexes survive connect/disconnect churn on sorted sets" arb_ops
+    (fun ops ->
+      let db = run_ops ~schema:sorted_schema ops in
       (match Ndb.verify_indexes db with
       | [] -> ()
       | problems -> QCheck.Test.fail_reportf "%s" (String.concat "; " problems));
@@ -285,6 +302,7 @@ let () =
   Alcotest.run "index"
     [ ( "ndb",
         [ QCheck_alcotest.to_alcotest prop_sequences;
+          QCheck_alcotest.to_alcotest prop_sorted_sequences;
           workload_case "company workload: index = scan" company
             W.Company.schema
             [ ("EMP", "EMP-NAME"); ("EMP", "DEPT-NAME"); ("DIV", "DIV-NAME") ];

@@ -1,0 +1,200 @@
+(* The phased-coexistence service: a clean conversion must walk
+   Shadow -> Canary -> Cutover with zero divergences and
+   domain-count-independent output; an injected extension restriction
+   (the §5.2 example) must trip the divergence detector and roll the
+   canary back; and everything must be reproducible from the seed. *)
+
+open Ccv_common
+open Ccv_transform
+open Ccv_convert
+open Ccv_serve
+module W = Ccv_workload
+
+let check = Alcotest.(check bool)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let interpose_op =
+  Schema_change.Interpose
+    { through = W.Company.div_emp;
+      new_entity = W.Company.dept;
+      group_by = [ "DEPT-NAME" ];
+      left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+    }
+
+let restrict_op =
+  (* §5.2: instances dropped during conversion — CLARK (45) and
+     EVANS (52) disappear from the target, so programs that touch them
+     diverge while the conversion itself succeeds with a warning. *)
+  Schema_change.Restrict_extension
+    { entity = W.Company.emp;
+      qual = Cond.Cmp (Cond.Ge, Cond.Field "AGE", Cond.Const (Value.Int 45));
+    }
+
+let net_req ops =
+  { Supervisor.source_schema = W.Company.schema;
+    source_model = Mapping.Net;
+    ops;
+    target_model = Mapping.Net;
+  }
+
+let requests ~seed ~n =
+  Request.stream ~seed W.Company.schema ~sample:(W.Company.instance ()) ~n ()
+
+let run_service ?(domains = 1) ?(shards = 4) ?(batch = 8) ~cutover ops reqs =
+  let config =
+    { Pool.default_config with domains; shards; batch; canary_seed = 7 }
+  in
+  match Pool.run ~config ~cutover (net_req ops) (W.Company.instance ()) reqs with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "service failed to start: %s" e
+
+let terminal_output (r : Pool.report) =
+  List.map
+    (fun (o : Shadow.outcome) ->
+      (o.Shadow.request.Request.id, Io_trace.terminal_lines o.Shadow.served_trace))
+    r.Pool.outcomes
+
+let promoting_cutover =
+  { Cutover.canary_fraction = 0.3;
+    window = 16;
+    min_observations = 6;
+    max_divergence_rate = 0.2;
+    promote_after = 10;
+    initial = Cutover.Shadow;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* (a) clean conversion reaches Cutover, identically under 1 and 4
+   domains                                                             *)
+
+let clean_cutover () =
+  let reqs = requests ~seed:101 ~n:48 in
+  let r1 = run_service ~domains:1 ~cutover:promoting_cutover [ interpose_op ] reqs in
+  let r4 = run_service ~domains:4 ~cutover:promoting_cutover [ interpose_op ] reqs in
+  List.iter
+    (fun (label, (r : Pool.report)) ->
+      check (label ^ ": reached cutover") true
+        (Cutover.equal_phase r.Pool.final_phase Cutover.Cutover);
+      check (label ^ ": still serving") true (r.Pool.status = Cutover.Serving);
+      check (label ^ ": zero divergences") true
+        (Metrics.total_divergent r.Pool.metrics = 0
+        && r.Pool.divergences = []);
+      check (label ^ ": everything served") true
+        (r.Pool.served = 48 && r.Pool.unserved = 0))
+    [ ("1 domain", r1); ("4 domains", r4) ];
+  check "identical terminal output under 1 and 4 domains" true
+    (terminal_output r1 = terminal_output r4);
+  check "identical transitions under 1 and 4 domains" true
+    (r1.Pool.transitions = r4.Pool.transitions);
+  (* walked the whole ladder: Shadow -> Canary -> Cutover *)
+  check "two promotions" true
+    (List.length r1.Pool.transitions = 2
+    && List.for_all
+         (fun (t : Cutover.transition) ->
+           contains ~affix:"promoted" t.Cutover.reason)
+         r1.Pool.transitions)
+
+(* The shared per-phase live counters (charged concurrently by the
+   shard workers) must agree with the per-outcome sums — the
+   domain-safety check for the Atomic counters. *)
+let live_counters_consistent () =
+  let reqs = requests ~seed:202 ~n:32 in
+  let r = run_service ~domains:4 ~cutover:promoting_cutover [ interpose_op ] reqs in
+  let by_phase =
+    List.fold_left
+      (fun acc (o : Shadow.outcome) ->
+        let key = o.Shadow.phase in
+        let reads, writes =
+          Option.value (List.assoc_opt key acc) ~default:(0, 0)
+        in
+        (key,
+         (reads + o.Shadow.source_accesses + o.Shadow.target_accesses,
+          writes + 1))
+        :: List.remove_assoc key acc)
+      [] r.Pool.outcomes
+  in
+  List.iter
+    (fun (phase, (reads, writes)) ->
+      let live = Metrics.live r.Pool.metrics ~phase in
+      check (phase ^ ": live reads = summed accesses") true
+        (Counters.reads live = reads);
+      check (phase ^ ": live writes = served requests") true
+        (Counters.writes live = writes))
+    by_phase
+
+(* ------------------------------------------------------------------ *)
+(* (b) injected divergence rolls the canary back                       *)
+
+let rollback_cutover =
+  { Cutover.canary_fraction = 0.3;
+    window = 8;
+    min_observations = 4;
+    max_divergence_rate = 0.25;
+    promote_after = 1000;
+    initial = Cutover.Canary 0.3;
+  }
+
+let injected_divergence_rolls_back () =
+  let reqs = requests ~seed:303 ~n:64 in
+  let r = run_service ~domains:2 ~cutover:rollback_cutover [ restrict_op ] reqs in
+  check "divergences detected" true (r.Pool.divergences <> []);
+  let rollback =
+    List.find_opt
+      (fun (t : Cutover.transition) ->
+        (match t.Cutover.from_ with Cutover.Canary _ -> true | _ -> false)
+        && Cutover.equal_phase t.Cutover.to_ Cutover.Shadow)
+      r.Pool.transitions
+  in
+  check "rolled back from canary to shadow" true (rollback <> None);
+  (match rollback with
+  | Some t ->
+      check "rollback reason names the rate" true
+        (contains ~affix:"rollback" t.Cutover.reason)
+  | None -> ());
+  (* the log names the first differing event of the §5.2 restriction *)
+  let d = List.hd r.Pool.divergences in
+  check "divergence names the first differing event" true
+    (contains ~affix:"expected" d.Pool.detail
+    && contains ~affix:"event" d.Pool.detail)
+
+(* ------------------------------------------------------------------ *)
+(* (c) seeded determinism across repeats and domain counts             *)
+
+let deterministic_across_repeats () =
+  let go domains =
+    let reqs = requests ~seed:404 ~n:56 in
+    run_service ~domains ~shards:5 ~cutover:rollback_cutover [ restrict_op ]
+      reqs
+  in
+  let a = go 1 and b = go 4 and c = go 4 in
+  let fingerprint (r : Pool.report) =
+    ( r.Pool.transitions,
+      List.length r.Pool.divergences,
+      r.Pool.served,
+      Cutover.phase_name r.Pool.final_phase,
+      terminal_output r )
+  in
+  check "repeat with same seed is identical" true (fingerprint b = fingerprint c);
+  check "domain count does not change behaviour" true
+    (fingerprint a = fingerprint b)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "phases",
+        [ Alcotest.test_case "clean conversion reaches cutover" `Quick
+            clean_cutover;
+          Alcotest.test_case "live counters are domain-safe" `Quick
+            live_counters_consistent;
+          Alcotest.test_case "injected divergence rolls back the canary" `Quick
+            injected_divergence_rolls_back;
+          Alcotest.test_case "deterministic given the seed" `Quick
+            deterministic_across_repeats;
+        ] );
+    ]
