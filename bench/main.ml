@@ -1088,11 +1088,194 @@ let serve () =
     "\nshadow overhead at 1 domain: %.2fx the straight target run\n" overhead
 
 (* ------------------------------------------------------------------ *)
+(* PLAN: compiled query plans — the abstract interpreter vs the
+   compile-once-run-many closures, and the serving loop with the
+   per-shard plan cache on vs off (steady-state stream: a fixed set of
+   distinct programs cycled over many requests).                       *)
+
+let plan () =
+  section
+    "PLAN  Compiled plans: interpreter vs compiled closures; plan-cache \
+     hit rate and serve throughput with the cache on/off";
+  let module P = Ccv_plan in
+  let module G = Ccv_workload.Generator in
+  let rows = ref [] in
+  (* -- abstract programs: interpret per run vs compile once ---------- *)
+  let bench_progs variant ~mk_db ~progs ~reps =
+    let interp_db = mk_db () and compiled_db = mk_db () in
+    List.iter (fun p -> ignore (Ainterp.run interp_db p)) progs;
+    let (), interp_ms =
+      time_ms (fun () ->
+          for _ = 1 to reps do
+            List.iter (fun p -> ignore (Ainterp.run interp_db p)) progs
+          done)
+    in
+    let compiled, compile_ms =
+      time_ms (fun () ->
+          List.map (fun p -> P.Compile.compile W.Company.schema p) progs)
+    in
+    List.iter (fun c -> ignore (P.Compile.run compiled_db c)) compiled;
+    let (), run_ms =
+      time_ms (fun () ->
+          for _ = 1 to reps do
+            List.iter (fun c -> ignore (P.Compile.run compiled_db c)) compiled
+          done)
+    in
+    let runs = reps * List.length progs in
+    let speedup = interp_ms /. run_ms in
+    emit_json
+      [ ("experiment", json_str "plan");
+        ("variant", json_str variant);
+        ("programs", string_of_int (List.length progs));
+        ("runs", string_of_int runs);
+        ("interp_ms", json_float interp_ms);
+        ("compile_ms", json_float compile_ms);
+        ("compiled_run_ms", json_float run_ms);
+        ("speedup", json_float speedup);
+      ];
+    rows :=
+      [ variant; string_of_int runs; Tablefmt.float_cell interp_ms;
+        Tablefmt.float_cell compile_ms; Tablefmt.float_cell run_ms;
+        Tablefmt.float_cell speedup;
+      ]
+      :: !rows
+  in
+  let instance () = W.Company.instance () in
+  let scaled () = W.Company.scaled ~seed:42 ~n:400 in
+  let mixed =
+    List.map snd
+      (G.batch ~seed:808 W.Company.schema ~sample:(instance ()) ~n:24 ())
+  in
+  bench_progs "abstract-mixed" ~mk_db:instance ~progs:mixed ~reps:100;
+  let lookup_family =
+    List.find
+      (fun f -> Fmt.str "%a" G.pp_family f = "lookup")
+      G.all_families
+  in
+  let lookups =
+    List.map snd
+      (G.batch ~seed:809 W.Company.schema ~sample:(scaled ()) ~n:12
+         ~mix:[ (1, lookup_family) ] ())
+  in
+  bench_progs "eq-lookup-scaled" ~mk_db:scaled ~progs:lookups ~reps:500;
+  Tablefmt.print
+    ~title:
+      "abstract execution: interpreter vs compiled closures (compile \
+       once, run many; eq lookups probe the hoisted index)"
+    ~aligns:
+      [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right; Tablefmt.Right;
+      ]
+    [ "variant"; "runs"; "interp ms"; "compile ms"; "compiled ms"; "speedup" ]
+    (List.rev !rows);
+  (* -- serving: per-shard plan cache on vs off ----------------------- *)
+  let module S = Ccv_serve in
+  let seed = 616 in
+  let n = 480 in
+  let distinct = 12 in
+  let nshards = 8 in
+  (* the base instance: requests are cheap to execute, so the
+     per-request conversion pipeline — what the cache removes — is the
+     dominant cost, as in a steady-state service of small queries *)
+  let sample = W.Company.instance () in
+  let reqs =
+    S.Request.stream ~seed W.Company.schema ~sample ~n ~distinct ()
+  in
+  let req =
+    { Supervisor.source_schema = W.Company.schema;
+      source_model = Mapping.Net;
+      ops = [ interpose_op ];
+      target_model = Mapping.Net;
+    }
+  in
+  let pinned =
+    { S.Cutover.canary_fraction = 0.25;
+      window = 32;
+      min_observations = 8;
+      max_divergence_rate = 2.0;
+      promote_after = max_int;
+      initial = S.Cutover.Shadow;
+    }
+  in
+  let run_serve ~domains ~use_plan_cache =
+    let config =
+      { S.Pool.default_config with
+        domains; shards = nshards; batch = 24; canary_seed = seed;
+        use_plan_cache;
+      }
+    in
+    match S.Pool.run ~config ~cutover:pinned req sample reqs with
+    | Ok r -> r
+    | Error e -> failwith ("plan bench: " ^ e)
+  in
+  let srows = ref [] in
+  let stats = ref P.Plan_cache.zero_stats in
+  List.iter
+    (fun d ->
+      let off = run_serve ~domains:d ~use_plan_cache:false in
+      let on_ = run_serve ~domains:d ~use_plan_cache:true in
+      if d = 1 then stats := on_.S.Pool.plan_stats;
+      let thr (r : S.Pool.report) = float r.S.Pool.served /. r.S.Pool.wall_s in
+      let speedup = off.S.Pool.wall_s /. on_.S.Pool.wall_s in
+      List.iter
+        (fun (variant, (r : S.Pool.report)) ->
+          emit_json
+            [ ("experiment", json_str "plan");
+              ("variant", json_str variant);
+              ("domains", string_of_int d);
+              ("served", string_of_int r.S.Pool.served);
+              ("divergent",
+               string_of_int (S.Metrics.total_divergent r.S.Pool.metrics));
+              ("wall_s", json_float r.S.Pool.wall_s);
+              ("req_per_s", json_float (thr r));
+              ("plan_hits", string_of_int r.S.Pool.plan_stats.P.Plan_cache.hits);
+              ("plan_misses",
+               string_of_int r.S.Pool.plan_stats.P.Plan_cache.misses);
+            ])
+        [ ("serve-interpreted", off); ("serve-cached", on_) ];
+      srows :=
+        [ string_of_int d; string_of_int on_.S.Pool.served;
+          Tablefmt.float_cell (thr off); Tablefmt.float_cell (thr on_);
+          Tablefmt.float_cell speedup;
+          Printf.sprintf "%.1f%%"
+            (100. *. P.Plan_cache.hit_rate on_.S.Pool.plan_stats);
+        ]
+        :: !srows)
+    [ 1; 2; 4 ];
+  let s = !stats in
+  meta_extra :=
+    !meta_extra
+    @ [ ("plan_serve_requests", string_of_int n);
+        ("plan_serve_distinct", string_of_int distinct);
+        ("plan_cache_hits", string_of_int s.P.Plan_cache.hits);
+        ("plan_cache_misses", string_of_int s.P.Plan_cache.misses);
+        ("plan_cache_hit_rate", json_float (P.Plan_cache.hit_rate s));
+      ];
+  Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "steady-state serving (%d requests cycling %d programs, %d \
+          shards): re-convert per request vs per-shard compiled plan cache"
+         n distinct nshards)
+    ~aligns:
+      [ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right; Tablefmt.Right;
+      ]
+    [ "domains"; "served"; "interp req/s"; "cached req/s"; "speedup";
+      "hit rate" ]
+    (List.rev !srows);
+  Printf.printf
+    "\nplan cache steady state: %d hit(s), %d miss(es), %.1f%% hit rate\n"
+    s.P.Plan_cache.hits s.P.Plan_cache.misses
+    (100. *. P.Plan_cache.hit_rate s)
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("fig31", fig31); ("fig43", fig43);
     ("micro", micro); ("micro-index", micro_index); ("serve", serve);
+    ("plan", plan);
   ]
 
 let () =

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Tier-1 verify plus machine-readable bench emission in one command:
-# build, run the full test suite, then write BENCH_PR1.json (index
-# micro-bench) and BENCH_PR2.json (phased-coexistence service) at the
-# repository root.
+# build, run the full test suite (including the compiled-vs-interpreted
+# differential property suite), then write BENCH_PR1.json (index
+# micro-bench), BENCH_PR2.json (phased-coexistence service) and
+# BENCH_PR4.json (compiled plans + plan cache) at the repository root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,3 +11,4 @@ dune build
 dune runtest
 dune exec bench/main.exe -- micro-index --json
 dune exec bench/main.exe -- serve --json --out BENCH_PR2.json
+dune exec bench/main.exe -- plan --json --out BENCH_PR4.json

@@ -130,7 +130,7 @@ let run schema_path program_path ops_raw verbose =
 (* serve: drive a workload through the phased-coexistence service      *)
 
 let serve_run ops_raw requests domains shards batch seed canary window
-    min_obs threshold promote strict =
+    min_obs threshold promote strict no_plan_cache =
   let module S = Ccv_serve in
   let module W = Ccv_workload in
   let ops =
@@ -165,6 +165,7 @@ let serve_run ops_raw requests domains shards batch seed canary window
       batch;
       canary_seed = seed;
       tolerate_reordering = not strict;
+      use_plan_cache = not no_plan_cache;
     }
   in
   match S.Pool.run ~config ~cutover req sample reqs with
@@ -258,11 +259,19 @@ let serve_cmd =
       & info [ "strict" ]
           ~doc:"demand strict trace equality (reject order-only equivalence)")
   in
+  let no_plan_cache =
+    Arg.(
+      value & flag
+      & info [ "no-plan-cache" ]
+          ~doc:"disable the per-shard compiled plan cache (re-convert and \
+                re-interpret every request)")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ ops_arg $ requests $ domains $ shards $ batch $ seed
-      $ canary $ window $ min_obs $ threshold $ promote $ strict)
+      $ canary $ window $ min_obs $ threshold $ promote $ strict
+      $ no_plan_cache)
 
 let cmd =
   let doc =

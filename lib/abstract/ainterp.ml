@@ -13,7 +13,9 @@ exception Step_limit
 
 type rt = {
   mutable rdb : Sdb.t;
-  mutable renv : (string * Value.t) list;
+  (* hash-keyed register file: assignment is O(1) amortized instead of
+     the old prepend + full-list filter per write *)
+  renv : (string, Value.t) Hashtbl.t;
   mutable rsteps : int;
   mutable rinput : string list;
   builder : Io_trace.Builder.t;
@@ -21,10 +23,9 @@ type rt = {
 }
 
 let lookup rt name =
-  Some (Option.value (List.assoc_opt name rt.renv) ~default:Value.Null)
+  Some (Option.value (Hashtbl.find_opt rt.renv name) ~default:Value.Null)
 
-let assign rt name value =
-  rt.renv <- (name, value) :: List.filter (fun (n, _) -> n <> name) rt.renv
+let assign rt name value = Hashtbl.replace rt.renv name value
 
 let set_status rt status =
   assign rt Host.status_var (Value.Str (Status.code status))
@@ -242,9 +243,11 @@ let rec exec_stmt rt stmt =
 and exec_body rt body = List.iter (exec_stmt rt) body
 
 let run ?(input = []) ?(max_steps = 200_000) db (p : Aprog.t) =
+  let renv = Hashtbl.create 64 in
+  Hashtbl.replace renv Host.status_var (Value.Str "0000");
   let rt =
     { rdb = db;
-      renv = [ (Host.status_var, Value.Str "0000") ];
+      renv;
       rsteps = 0;
       rinput = input;
       builder = Io_trace.Builder.create ();
@@ -259,7 +262,7 @@ let run ?(input = []) ?(max_steps = 200_000) db (p : Aprog.t) =
   in
   { db = rt.rdb;
     trace = Io_trace.Builder.contents rt.builder;
-    env = rt.renv;
+    env = Hashtbl.fold (fun n v acc -> (n, v) :: acc) rt.renv [];
     steps = rt.rsteps;
     hit_limit;
   }

@@ -140,7 +140,9 @@ module Run (E : ENGINE) = struct
   type rt = {
     mutable rdb : E.db;
     mutable rstate : E.state;
-    mutable renv : (string * Value.t) list;
+    (* hash-keyed register file: O(1) amortized assignment instead of
+       prepend + full-list filter per write *)
+    renv : (string, Value.t) Hashtbl.t;
     mutable rstatuses : Status.t list;
     mutable rsteps : int;
     mutable rinput : string list;
@@ -149,11 +151,9 @@ module Run (E : ENGINE) = struct
   }
 
   let lookup rt name =
-    Some (Option.value (List.assoc_opt name rt.renv) ~default:Value.Null)
+    Some (Option.value (Hashtbl.find_opt rt.renv name) ~default:Value.Null)
 
-  let assign rt name value =
-    rt.renv <-
-      (name, value) :: List.filter (fun (n, _) -> n <> name) rt.renv
+  let assign rt name value = Hashtbl.replace rt.renv name value
 
   let eval_expr rt e = Cond.eval_expr ~env:(lookup rt) Row.empty e
   let eval_cond rt c = Cond.eval ~env:(lookup rt) Row.empty c
@@ -210,10 +210,12 @@ module Run (E : ENGINE) = struct
   and exec_body rt body = List.iter (exec_stmt rt) body
 
   let run ?(input = []) ?(max_steps = 200_000) db program =
+    let renv = Hashtbl.create 64 in
+    Hashtbl.replace renv status_var (Value.Str "0000");
     let rt =
       { rdb = db;
         rstate = E.initial_state db;
-        renv = [ (status_var, Value.Str "0000") ];
+        renv;
         rstatuses = [];
         rsteps = 0;
         rinput = input;
@@ -229,7 +231,7 @@ module Run (E : ENGINE) = struct
     in
     { db = rt.rdb;
       trace = Io_trace.Builder.contents rt.builder;
-      env = rt.renv;
+      env = Hashtbl.fold (fun n v acc -> (n, v) :: acc) rt.renv [];
       statuses = List.rev rt.rstatuses;
       steps = rt.rsteps;
       hit_limit;

@@ -35,6 +35,11 @@ exception Unbound of string
 val eval_expr : env:env -> Row.t -> expr -> Value.t
 val eval : env:env -> Row.t -> t -> bool
 
+(** The comparison kernel [eval] uses (1979 three-valued logic: any
+    comparison involving NULL is false except [Eq NULL NULL]), exposed
+    so compiled predicates share exactly these semantics. *)
+val apply_cmp : cmp -> Value.t -> Value.t -> bool
+
 (** Structural traversals used by the analyzer and converter. *)
 
 val fields_of_expr : expr -> string list

@@ -15,7 +15,15 @@ let equal_event a b =
       String.equal f1 f2 && String.equal l1 l2
   | (Terminal_out _ | Terminal_in _ | File_write _ | File_read _), _ -> false
 
-let equal a b = List.length a = List.length b && List.for_all2 equal_event a b
+(* single fused walk: length check and event comparison in one pass,
+   short-circuiting at the first mismatch *)
+let rec equal a b =
+  match a, b with
+  | [], [] -> true
+  | x :: a', y :: b' -> equal_event x y && equal a' b'
+  | _ :: _, [] | [], _ :: _ -> false
+
+let length = List.length
 
 let compare_event a b =
   let tag = function

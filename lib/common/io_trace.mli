@@ -15,7 +15,13 @@ type t = event list
 (** In chronological order. *)
 
 val equal_event : event -> event -> bool
+
+(** Structural equality in a single walk over both traces,
+    short-circuiting at the first mismatch. *)
 val equal : t -> t -> bool
+
+(** Number of events in the trace. *)
+val length : t -> int
 
 (** Total order on events (tag, then payload), so traces can be
     sorted and compared as multisets in O(n log n). *)

@@ -1,0 +1,40 @@
+(* Global intern table.  Interning happens at plan-compile time, which
+   is rare and may run from several domains at once (the serve pool
+   compiles inside shard workers), so the table is mutex-protected;
+   [name] reads an immutable cell once published and takes the lock
+   only to stay racefree with a concurrent growth of the array. *)
+
+type t = int
+
+let mutex = Mutex.create ()
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : string array ref = ref (Array.make 256 "")
+let next = ref 0
+
+let intern raw =
+  let s = Field.canon raw in
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt table s with
+      | Some id -> id
+      | None ->
+          let id = !next in
+          incr next;
+          if id >= Array.length !names then begin
+            let bigger = Array.make (2 * Array.length !names) "" in
+            Array.blit !names 0 bigger 0 (Array.length !names);
+            names := bigger
+          end;
+          !names.(id) <- s;
+          Hashtbl.add table s id;
+          id)
+
+let name id =
+  Mutex.protect mutex (fun () ->
+      if id < 0 || id >= !next then invalid_arg "Symbol.name: unknown symbol"
+      else !names.(id))
+
+let count () = Mutex.protect mutex (fun () -> !next)
+
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf id = Fmt.string ppf (name id)

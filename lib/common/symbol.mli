@@ -1,0 +1,22 @@
+(** Interned names: field and variable identifiers resolved once — at
+    plan-compile time — to dense integer ids, so compiled plans compare
+    and index names as machine integers instead of re-canonicalizing
+    strings on every access.  Interning canonicalizes through
+    {!Field.canon}, so ["emp-name"] and ["EMP-NAME"] intern to the same
+    symbol.  The table is global, append-only and thread-safe. *)
+
+type t = private int
+
+(** [intern s] — the unique id of [Field.canon s]. *)
+val intern : string -> t
+
+(** The canonical spelling; raises [Invalid_argument] on an id that was
+    never interned. *)
+val name : t -> string
+
+(** Number of symbols interned so far (monotone). *)
+val count : unit -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -91,6 +91,10 @@ module Net_run = Host.Run (Net_engine)
 module Rel_run = Host.Run (Rel_engine)
 module Hier_run = Host.Run (Hier_engine)
 
+module Net_compile = Ccv_plan.Host_compiler.Make (Net_engine)
+module Rel_compile = Ccv_plan.Host_compiler.Make (Rel_engine)
+module Hier_compile = Ccv_plan.Host_compiler.Make (Hier_engine)
+
 type program =
   | Net_program of Ccv_network.Dml.t Host.program
   | Rel_program of Rel_dml.t Host.program
@@ -143,6 +147,51 @@ let run ?input ?max_steps db program =
       }
   | (Net_db _ | Rel_db _ | Hier_db _), _ ->
       invalid_arg "Engines.run: database and program models differ"
+
+type compiled_program =
+  | Net_compiled of Net_compile.t
+  | Rel_compiled of Rel_compile.t
+  | Hier_compiled of Hier_compile.t
+
+let compile = function
+  | Net_program p -> Net_compiled (Net_compile.compile p)
+  | Rel_program p -> Rel_compiled (Rel_compile.compile p)
+  | Hier_program p -> Hier_compiled (Hier_compile.compile p)
+
+let run_compiled ?input ?max_steps db program =
+  match db, program with
+  | Net_db db, Net_compiled c ->
+      let counters = Ndb.counters db in
+      let before = Counters.total counters in
+      let r = Net_compile.run ?input ?max_steps db c in
+      { trace = r.Net_compile.trace;
+        steps = r.Net_compile.steps;
+        hit_limit = r.Net_compile.hit_limit;
+        accesses = Counters.total counters - before;
+        final_db = Net_db r.Net_compile.db;
+      }
+  | Rel_db db, Rel_compiled c ->
+      let counters = Rdb.counters db in
+      let before = Counters.total counters in
+      let r = Rel_compile.run ?input ?max_steps db c in
+      { trace = r.Rel_compile.trace;
+        steps = r.Rel_compile.steps;
+        hit_limit = r.Rel_compile.hit_limit;
+        accesses = Counters.total counters - before;
+        final_db = Rel_db r.Rel_compile.db;
+      }
+  | Hier_db db, Hier_compiled c ->
+      let counters = Hdb.counters db in
+      let before = Counters.total counters in
+      let r = Hier_compile.run ?input ?max_steps db c in
+      { trace = r.Hier_compile.trace;
+        steps = r.Hier_compile.steps;
+        hit_limit = r.Hier_compile.hit_limit;
+        accesses = Counters.total counters - before;
+        final_db = Hier_db r.Hier_compile.db;
+      }
+  | (Net_db _ | Rel_db _ | Hier_db _), _ ->
+      invalid_arg "Engines.run_compiled: database and program models differ"
 
 let program_size = function
   | Net_program p -> Host.size p

@@ -73,5 +73,18 @@ type run_result = {
 val run :
   ?input:string list -> ?max_steps:int -> database -> program -> run_result
 
+(** A host program lowered to closures once
+    ({!Ccv_plan.Host_compiler}), in whichever model it targets. *)
+type compiled_program
+
+val compile : program -> compiled_program
+
+(** Like {!run}, but executing the compiled form — behaviourally
+    identical, without per-request re-interpretation of the host
+    statement tree. *)
+val run_compiled :
+  ?input:string list -> ?max_steps:int -> database -> compiled_program ->
+  run_result
+
 val program_size : program -> int
 val pp_program : Format.formatter -> program -> unit

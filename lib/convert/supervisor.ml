@@ -123,6 +123,20 @@ type servable = {
   warnings : string list;
 }
 
+(* Everything a compiled serving plan depends on: the source schema,
+   the restructuring definition and both models.  When any of these
+   change, previously compiled pairs are stale and the plan caches must
+   flush — the digest is their generation tag. *)
+let serving_fingerprint req =
+  let model = function Mapping.Rel -> "rel" | Mapping.Net -> "net" | Mapping.Hier -> "hier" in
+  let rendered =
+    Fmt.str "%a|%s|%s|%s" Semantic.pp req.source_schema
+      (model req.source_model)
+      (String.concat ";" (List.map Schema_change.show_op req.ops))
+      (model req.target_model)
+  in
+  Digest.to_hex (Digest.string rendered)
+
 let prepare_serving req sdb =
   let source_mapping = mapping_for req.source_model req.source_schema in
   let _, source_db = realize req.source_model sdb in

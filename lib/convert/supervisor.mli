@@ -70,6 +70,13 @@ type servable = {
 
 val prepare_serving : request -> Sdb.t -> (servable, string * string) result
 
+(** Digest of everything a compiled serving plan depends on — source
+    schema, restructuring ops, source and target models.  Plan caches
+    keyed per program use this as their generation tag: a changed
+    fingerprint (the Supervisor restructured the schema) invalidates
+    every cached compilation. *)
+val serving_fingerprint : request -> string
+
 type served_pair = {
   source_program : Engines.program;
   target_program : (Engines.program, string * string) result;

@@ -1,0 +1,613 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+(* The compiled form of an abstract program: every statement, query
+   step, expression and condition lowered to an OCaml closure exactly
+   once, with names resolved to integer register slots at compile time.
+   Runtime behaviour mirrors Ainterp statement for statement — the
+   differential suite in test/test_plan.ml holds the two to the same
+   Io_trace — but none of the per-evaluation work the interpreter
+   repeats (pattern dispatch, conjunct splitting, Field.canon,
+   List.assoc environments, index building) survives to run time. *)
+
+exception Step_limit
+
+type cstate = {
+  mutable db : Sdb.t;
+  env : Value.t array;  (* registers, indexed by compile-time slot *)
+  mutable steps : int;
+  mutable input : string list;
+  builder : Io_trace.Builder.t;
+  max_steps : int;
+}
+
+type t = {
+  program_name : string;
+  schema : Semantic.t;
+  plans : Plan.t list;
+  indexes : (string * string) list;
+  slots : (string, int) Hashtbl.t;
+  slot_names : string array;
+  status_slot : int;
+  nslots : int;
+  entry : cstate -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compile-time state: the slot table grows as names are discovered.   *)
+
+type ctab = {
+  cschema : Semantic.t;
+  ctslots : (string, int) Hashtbl.t;
+  mutable ctnslots : int;
+  mutable ctnames_rev : string list;
+  mutable ctplans_rev : Plan.t list;
+  mutable ctindexes_rev : (string * string) list;
+}
+
+let slot_of tb name =
+  match Hashtbl.find_opt tb.ctslots name with
+  | Some i -> i
+  | None ->
+      let i = tb.ctnslots in
+      tb.ctnslots <- i + 1;
+      Hashtbl.add tb.ctslots name i;
+      tb.ctnames_rev <- name :: tb.ctnames_rev;
+      i
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then raise Step_limit
+
+(* ------------------------------------------------------------------ *)
+(* Expressions and conditions compile to closures over the runtime
+   state and the candidate row's bindings (canonical names; [] at
+   statement level, where the interpreter evaluates against
+   Row.empty).  Field names are canonicalized here, once.             *)
+
+let rec compile_expr tb (e : Cond.expr) : cstate -> (string * Value.t) list -> Value.t =
+  match e with
+  | Cond.Const v -> fun _ _ -> v
+  | Cond.Field name ->
+      let cname = Field.canon name in
+      fun _ row -> (
+        match List.assoc_opt cname row with
+        | Some v -> v
+        | None -> raise (Cond.Unbound ("field " ^ name)))
+  | Cond.Var name ->
+      let i = slot_of tb name in
+      fun st _ -> st.env.(i)
+  | Cond.Add (a, b) ->
+      let ca = compile_expr tb a and cb = compile_expr tb b in
+      fun st row -> Value.add (ca st row) (cb st row)
+  | Cond.Sub (a, b) ->
+      let ca = compile_expr tb a and cb = compile_expr tb b in
+      fun st row -> Value.sub (ca st row) (cb st row)
+  | Cond.Mul (a, b) ->
+      let ca = compile_expr tb a and cb = compile_expr tb b in
+      fun st row -> Value.mul (ca st row) (cb st row)
+  | Cond.Concat (a, b) ->
+      let ca = compile_expr tb a and cb = compile_expr tb b in
+      fun st row -> Value.concat (ca st row) (cb st row)
+
+let rec compile_cond tb (c : Cond.t) : cstate -> (string * Value.t) list -> bool =
+  match c with
+  | Cond.True -> fun _ _ -> true
+  | Cond.Cmp (op, a, b) ->
+      let ca = compile_expr tb a and cb = compile_expr tb b in
+      fun st row -> Cond.apply_cmp op (ca st row) (cb st row)
+  | Cond.And (a, b) ->
+      let ca = compile_cond tb a and cb = compile_cond tb b in
+      fun st row -> ca st row && cb st row
+  | Cond.Or (a, b) ->
+      let ca = compile_cond tb a and cb = compile_cond tb b in
+      fun st row -> ca st row || cb st row
+  | Cond.Not a ->
+      let ca = compile_cond tb a in
+      fun st row -> not (ca st row)
+  | Cond.Is_null e ->
+      let ce = compile_expr tb e in
+      fun st row -> Value.is_null (ce st row)
+  | Cond.Is_not_null e ->
+      let ce = compile_expr tb e in
+      fun st row -> not (Value.is_null (ce st row))
+
+(* Conjunction of pre-split conjuncts, short-circuiting in order. *)
+let compile_conjuncts tb cs =
+  let fns = List.map (compile_cond tb) cs in
+  fun st row -> List.for_all (fun f -> f st row) fns
+
+(* A context binding resolved at run time: the named field of an
+   earlier step's target, from the context row or — for queries nested
+   under an enclosing FOR EACH — from the register the outer loop
+   bound.  The qualified name and its slot are fixed here. *)
+let compile_ctx_value tb name field =
+  let qname = Field.canon name ^ "." ^ Field.canon field in
+  let i = slot_of tb qname in
+  fun st ctx ->
+    match List.assoc_opt qname ctx with Some v -> v | None -> st.env.(i)
+
+(* Per-step row qualifier: prefixes field names with the canonical
+   target name, memoized so each distinct raw field name is rendered
+   once per compiled step rather than once per row per evaluation. *)
+let make_qualifier target =
+  let prefix = Field.canon target ^ "." in
+  let memo : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let qname f =
+    match Hashtbl.find_opt memo f with
+    | Some q -> q
+    | None ->
+        let q = prefix ^ f in
+        Hashtbl.add memo f q;
+        q
+  in
+  fun r -> Row.of_list (List.map (fun (f, v) -> (qname f, v)) (Row.to_list r))
+
+(* Reserve registers for every qualified name a step's target can bind,
+   so bind_ctx finds a slot for each binding it must publish. *)
+let reserve_entity_slots tb name (e : Semantic.entity) =
+  List.iter
+    (fun (f : Field.t) -> ignore (slot_of tb (Field.canon name ^ "." ^ Field.canon f.name)))
+    e.fields
+
+let reserve_assoc_slots tb (a : Semantic.assoc) =
+  let prefix k = Field.canon a.aname ^ "." ^ Field.canon k in
+  (match Semantic.find_entity tb.cschema a.left with
+  | Some le -> List.iter (fun k -> ignore (slot_of tb (prefix k))) le.key
+  | None -> ());
+  (match Semantic.find_entity tb.cschema a.right with
+  | Some re -> List.iter (fun k -> ignore (slot_of tb (prefix k))) re.key
+  | None -> ());
+  List.iter (fun (f : Field.t) -> ignore (slot_of tb (prefix f.name))) a.fields
+
+(* ------------------------------------------------------------------ *)
+(* Query steps: one closure each, [cstate -> Row.t list -> Row.t list],
+   mirroring Apattern.eval's extend.                                   *)
+
+let compile_step tb (ps : Plan.step) : cstate -> Row.t list -> Row.t list =
+  let schema = tb.cschema in
+  match ps.Plan.pattern with
+  | Apattern.Self { target; qual = _ } ->
+      (match Semantic.find_entity schema target with
+      | Some e -> reserve_entity_slots tb target e
+      | None -> ());
+      let cq = compile_conjuncts tb ps.Plan.conjuncts in
+      let qualify = make_qualifier target in
+      let probe =
+        match ps.Plan.access with
+        | Plan.Indexed_probe { field; operand } ->
+            let fname = Symbol.name field in
+            let get =
+              match operand with
+              | Plan.Oconst v -> fun _ -> v
+              | Plan.Ovar x ->
+                  let i = slot_of tb x in
+                  fun st -> st.env.(i)
+            in
+            Some (fname, get)
+        | Plan.Link_traverse _ | Plan.Assoc_scan _ | Plan.Key_lookup
+        | Plan.Extent_scan -> None
+      in
+      fun st ctxs ->
+        let pool =
+          match probe with
+          | Some (fname, get) -> (
+              match Sdb.rows_eq st.db target fname (get st) with
+              | Some rows -> rows
+              | None -> Sdb.rows st.db target)
+          | None -> Sdb.rows st.db target
+        in
+        let qrows =
+          List.filter_map
+            (fun r -> if cq st (Row.to_list r) then Some (qualify r) else None)
+            pool
+        in
+        List.concat_map
+          (fun ctx -> List.map (fun qr -> Row.union ctx qr) qrows)
+          ctxs
+  | Apattern.Through { target; source; link = tf, sf; qual = _ } ->
+      (match Semantic.find_entity schema target with
+      | Some e -> reserve_entity_slots tb target e
+      | None -> ());
+      let cq = compile_conjuncts tb ps.Plan.conjuncts in
+      let qualify = make_qualifier target in
+      let cv = compile_ctx_value tb source sf in
+      let ctf = Field.canon tf in
+      fun st ctxs ->
+        List.concat_map
+          (fun ctx ->
+            let cb = Row.to_list ctx in
+            let wanted = cv st cb in
+            let pool =
+              match Sdb.rows_eq st.db target tf wanted with
+              | Some rows -> rows
+              | None -> Sdb.rows st.db target
+            in
+            List.filter_map
+              (fun r ->
+                let rb = Row.to_list r in
+                if
+                  (match List.assoc_opt ctf rb with
+                  | Some v -> Value.equal v wanted
+                  | None -> false)
+                  && cq st rb
+                then Some (Row.union ctx (qualify r))
+                else None)
+              pool)
+          ctxs
+  | Apattern.Assoc_via { assoc; source; qual = _ } ->
+      let a = Semantic.find_assoc_exn schema assoc in
+      reserve_assoc_slots tb a;
+      let source_is_left = Field.name_equal a.left source in
+      let src_entity =
+        Semantic.find_entity_exn schema (if source_is_left then a.left else a.right)
+      in
+      let cvs =
+        List.map (fun k -> compile_ctx_value tb source k) src_entity.key
+      in
+      let cq = compile_conjuncts tb ps.Plan.conjuncts in
+      let qualify = make_qualifier assoc in
+      fun st ctxs ->
+        List.concat_map
+          (fun ctx ->
+            let cb = Row.to_list ctx in
+            let src_key = List.map (fun cv -> cv st cb) cvs in
+            Sdb.links st.db assoc
+            |> List.filter (fun (l : Sdb.link) ->
+                   let side = if source_is_left then l.lkey else l.rkey in
+                   List.compare Value.compare side src_key = 0)
+            |> List.filter_map (fun l ->
+                   let lrow = Sdb.link_row schema a l in
+                   if cq st (Row.to_list lrow) then
+                     Some (Row.union ctx (qualify lrow))
+                   else None))
+          ctxs
+  | Apattern.Via_assoc { target; assoc; qual = _ } ->
+      let a = Semantic.find_assoc_exn schema assoc in
+      let target_is_left = Field.name_equal a.left target in
+      let tgt_entity =
+        Semantic.find_entity_exn schema (if target_is_left then a.left else a.right)
+      in
+      reserve_entity_slots tb target tgt_entity;
+      let cvs =
+        List.map (fun k -> compile_ctx_value tb assoc k) tgt_entity.key
+      in
+      let cq = compile_conjuncts tb ps.Plan.conjuncts in
+      let qualify = make_qualifier target in
+      fun st ctxs ->
+        List.concat_map
+          (fun ctx ->
+            let cb = Row.to_list ctx in
+            let key = List.map (fun cv -> cv st cb) cvs in
+            match Sdb.find_entity st.db tgt_entity.ename key with
+            | Some r when cq st (Row.to_list r) ->
+                [ Row.union ctx (qualify r) ]
+            | Some _ | None -> [])
+          ctxs
+
+let compile_query tb (q : Apattern.t) : cstate -> Row.t list =
+  let plan = Plan.of_query tb.cschema q in
+  tb.ctplans_rev <- plan :: tb.ctplans_rev;
+  tb.ctindexes_rev <-
+    List.rev_append (Plan.required_indexes plan) tb.ctindexes_rev;
+  let step_fns = List.map (compile_step tb) plan.Plan.steps in
+  fun st -> List.fold_left (fun ctxs f -> f st ctxs) [ Row.empty ] step_fns
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                        *)
+
+let compile_program tb (p : Aprog.t) : cstate -> unit =
+  let schema = tb.cschema in
+  let status_slot = slot_of tb Host.status_var in
+  let set_status st status =
+    st.env.(status_slot) <- Value.Str (Status.code status)
+  in
+  (* Publish a context's bindings into the registers, as the
+     interpreter's bind_context does.  A binding with no slot was never
+     allocated one precisely because no compiled site reads it. *)
+  let slots = tb.ctslots in
+  let bind_ctx st ctx =
+    List.iter
+      (fun (n, v) ->
+        match Hashtbl.find_opt slots n with
+        | Some i -> st.env.(i) <- v
+        | None -> ())
+      (Row.to_list ctx)
+  in
+  let eval0 ce st = ce st [] in
+  let render ces st =
+    String.concat " " (List.map (fun ce -> Value.to_display (eval0 ce st)) ces)
+  in
+  (* Key of the instance a context holds for a given entity. *)
+  let ctx_keys (e : Semantic.entity) =
+    List.map (fun k -> Field.canon (e.ename ^ "." ^ k)) e.key
+  in
+  let pick_key qnames cb =
+    List.map
+      (fun qn -> Option.value (List.assoc_opt qn cb) ~default:Value.Null)
+      qnames
+  in
+  let rec compile_stmt (s : Aprog.astmt) : cstate -> unit =
+    match s with
+    | Aprog.For_each { query; body } ->
+        let qf = compile_query tb query in
+        let bf = compile_body body in
+        fun st ->
+          tick st;
+          let ctxs = qf st in
+          List.iter
+            (fun ctx ->
+              bind_ctx st ctx;
+              bf st)
+            ctxs;
+          set_status st Status.Ok
+    | Aprog.First { query; present; absent } -> (
+        let qf = compile_query tb query in
+        let pf = compile_body present in
+        let af = compile_body absent in
+        fun st ->
+          tick st;
+          match qf st with
+          | ctx :: _ ->
+              bind_ctx st ctx;
+              set_status st Status.Ok;
+              pf st
+          | [] ->
+              set_status st Status.Not_found;
+              af st)
+    | Aprog.Insert { entity; values; connects } ->
+        let e = Semantic.find_entity_exn schema entity in
+        let cvalues =
+          List.map (fun (f, ex) -> (f, compile_expr tb ex)) values
+        in
+        let cconnects =
+          List.map
+            (fun (assoc, kexprs) ->
+              (assoc, List.map (compile_expr tb) kexprs))
+            connects
+        in
+        fun st ->
+          tick st;
+          let row =
+            Row.of_list (List.map (fun (f, ce) -> (f, eval0 ce st)) cvalues)
+          in
+          let right = Sdb.key_of e row in
+          (* atomic insert-and-connect, as in the interpreter *)
+          (match Sdb.insert_entity st.db entity row with
+          | Error s -> set_status st s
+          | Ok db ->
+              let rec go db = function
+                | [] ->
+                    st.db <- db;
+                    set_status st Status.Ok
+                | (assoc, kces) :: rest -> (
+                    let left = List.map (fun ce -> eval0 ce st) kces in
+                    match Sdb.link db assoc ~left ~right with
+                    | Ok db -> go db rest
+                    | Error s -> set_status st s)
+              in
+              go db cconnects)
+    | Aprog.Link { assoc; left_key; right_key; attrs } ->
+        let cl = List.map (compile_expr tb) left_key in
+        let cr = List.map (compile_expr tb) right_key in
+        let cattrs =
+          List.map (fun (f, ex) -> (f, compile_expr tb ex)) attrs
+        in
+        fun st ->
+          tick st;
+          let left = List.map (fun ce -> eval0 ce st) cl in
+          let right = List.map (fun ce -> eval0 ce st) cr in
+          let attrs =
+            Row.of_list (List.map (fun (f, ce) -> (f, eval0 ce st)) cattrs)
+          in
+          (match Sdb.link ~attrs st.db assoc ~left ~right with
+          | Ok db ->
+              st.db <- db;
+              set_status st Status.Ok
+          | Error s -> set_status st s)
+    | Aprog.Unlink { assoc; left_key; right_key } ->
+        let cl = List.map (compile_expr tb) left_key in
+        let cr = List.map (compile_expr tb) right_key in
+        let disconnect = left_key = [] in
+        fun st ->
+          tick st;
+          let right = List.map (fun ce -> eval0 ce st) cr in
+          let left =
+            if disconnect then
+              (* DISCONNECT semantics: find the partner *)
+              let found =
+                List.find_opt
+                  (fun (l : Sdb.link) ->
+                    List.compare Value.compare l.rkey right = 0)
+                  (Sdb.links_silent st.db assoc)
+              in
+              match found with Some l -> l.lkey | None -> [ Value.Null ]
+            else List.map (fun ce -> eval0 ce st) cl
+          in
+          (match Sdb.unlink st.db assoc ~left ~right with
+          | Ok db ->
+              st.db <- db;
+              set_status st Status.Ok
+          | Error s -> set_status st s)
+    | Aprog.Update { query; assigns } ->
+        let qf = compile_query tb query in
+        let target = Apattern.result_of query in
+        let e = Semantic.find_entity_exn schema target in
+        let qkeys = ctx_keys e in
+        let cassigns =
+          List.map (fun (f, ex) -> (f, compile_expr tb ex)) assigns
+        in
+        fun st ->
+          tick st;
+          let ctxs = qf st in
+          let status = ref Status.Ok in
+          List.iter
+            (fun ctx ->
+              bind_ctx st ctx;
+              let key = pick_key qkeys (Row.to_list ctx) in
+              let values =
+                List.map (fun (f, ce) -> (f, eval0 ce st)) cassigns
+              in
+              match Sdb.update_entity st.db target key values with
+              | Ok db -> st.db <- db
+              | Error s -> status := s)
+            ctxs;
+          set_status st !status
+    | Aprog.Delete { query; cascade } -> (
+        let qf = compile_query tb query in
+        let target = Apattern.result_of query in
+        (* entity targets are deleted; association targets unlinked —
+           decided here, once *)
+        match Semantic.find_assoc schema target with
+        | Some a ->
+            let le = Semantic.find_entity_exn schema a.left in
+            let re = Semantic.find_entity_exn schema a.right in
+            let lkeys = List.map (fun k -> Field.canon (target ^ "." ^ k)) le.key in
+            let rkeys = List.map (fun k -> Field.canon (target ^ "." ^ k)) re.key in
+            fun st ->
+              tick st;
+              let ctxs = qf st in
+              let status = ref Status.Ok in
+              List.iter
+                (fun ctx ->
+                  let cb = Row.to_list ctx in
+                  match
+                    Sdb.unlink st.db target ~left:(pick_key lkeys cb)
+                      ~right:(pick_key rkeys cb)
+                  with
+                  | Ok db -> st.db <- db
+                  | Error Status.Not_found -> ()
+                  | Error s -> status := s)
+                ctxs;
+              set_status st !status
+        | None ->
+            let e = Semantic.find_entity_exn schema target in
+            let qkeys = ctx_keys e in
+            fun st ->
+              tick st;
+              let ctxs = qf st in
+              let status = ref Status.Ok in
+              List.iter
+                (fun ctx ->
+                  let key = pick_key qkeys (Row.to_list ctx) in
+                  match Sdb.delete_entity st.db target key ~cascade with
+                  | Ok db -> st.db <- db
+                  | Error Status.Not_found -> ()
+                  | Error s -> status := s)
+                ctxs;
+              set_status st !status)
+    | Aprog.Display es ->
+        let ces = List.map (compile_expr tb) es in
+        fun st ->
+          tick st;
+          Io_trace.Builder.emit st.builder (Io_trace.Terminal_out (render ces st))
+    | Aprog.Accept x ->
+        let i = slot_of tb x in
+        fun st ->
+          tick st;
+          let line, rest =
+            match st.input with [] -> ("", []) | l :: rest -> (l, rest)
+          in
+          st.input <- rest;
+          Io_trace.Builder.emit st.builder (Io_trace.Terminal_in line);
+          st.env.(i) <- Value.Str line
+    | Aprog.Write_file (file, es) ->
+        let ces = List.map (compile_expr tb) es in
+        fun st ->
+          tick st;
+          Io_trace.Builder.emit st.builder
+            (Io_trace.File_write (file, render ces st))
+    | Aprog.Move (e, x) ->
+        let ce = compile_expr tb e in
+        let i = slot_of tb x in
+        fun st ->
+          tick st;
+          st.env.(i) <- eval0 ce st
+    | Aprog.If (c, a, b) ->
+        let cc = compile_cond tb c in
+        let ca = compile_body a in
+        let cb = compile_body b in
+        fun st ->
+          tick st;
+          if cc st [] then ca st else cb st
+    | Aprog.While (c, body) ->
+        let cc = compile_cond tb c in
+        let cb = compile_body body in
+        fun st ->
+          tick st;
+          let rec loop () =
+            if cc st [] then begin
+              cb st;
+              tick st;
+              loop ()
+            end
+          in
+          loop ()
+  and compile_body body =
+    let fns = List.map compile_stmt body in
+    fun st -> List.iter (fun f -> f st) fns
+  in
+  compile_body p.body
+
+let compile schema (p : Aprog.t) =
+  let tb =
+    { cschema = schema;
+      ctslots = Hashtbl.create 64;
+      ctnslots = 0;
+      ctnames_rev = [];
+      ctplans_rev = [];
+      ctindexes_rev = [];
+    }
+  in
+  let entry = compile_program tb p in
+  let status_slot = Hashtbl.find tb.ctslots Host.status_var in
+  { program_name = p.name;
+    schema;
+    plans = List.rev tb.ctplans_rev;
+    indexes = List.rev tb.ctindexes_rev;
+    slots = tb.ctslots;
+    slot_names = Array.of_list (List.rev tb.ctnames_rev);
+    status_slot;
+    nslots = tb.ctnslots;
+    entry;
+  }
+
+let plans t = t.plans
+let name t = t.program_name
+let slot_count t = t.nslots
+
+let run ?(input = []) ?(max_steps = 200_000) db (c : t) =
+  (* physical equality first: in steady-state serving the database
+     carries the very schema value the plan was compiled against, and
+     the structural walk would cost more than a small compiled query *)
+  let dschema = Sdb.schema db in
+  if not (dschema == c.schema || Semantic.equal dschema c.schema) then
+    invalid_arg "Compile.run: database schema differs from the plan's";
+  let st =
+    { db;
+      env = Array.make (max c.nslots 1) Value.Null;
+      steps = 0;
+      input;
+      builder = Io_trace.Builder.create ();
+      max_steps;
+    }
+  in
+  st.env.(c.status_slot) <- Value.Str "0000";
+  (* index hoisting: everything ensure_query_indexes would build
+     per evaluation, built once up front *)
+  st.db <-
+    List.fold_left (fun db (e, f) -> Sdb.ensure_index db e f) st.db c.indexes;
+  let hit_limit =
+    try
+      c.entry st;
+      false
+    with Step_limit -> true
+  in
+  { Ainterp.db = st.db;
+    trace = Io_trace.Builder.contents st.builder;
+    env =
+      Array.to_list (Array.mapi (fun i v -> (c.slot_names.(i), v)) st.env);
+    steps = st.steps;
+    hit_limit;
+  }

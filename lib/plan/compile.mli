@@ -1,0 +1,34 @@
+(** The PROGRAM GENERATOR half of the plan layer: lowers an abstract
+    program to OCaml closures exactly once.  Statement dispatch,
+    conjunct splitting, access-path choice, field canonicalization and
+    index construction all happen at compile time; the run-time
+    residue is closure application over an integer-slot register file.
+
+    [run] mirrors {!Ccv_abstract.Ainterp.run} statement for statement
+    and returns the same result record — the differential property
+    suite holds the two to identical {!Ccv_common.Io_trace}s on every
+    generator workload. *)
+
+open Ccv_model
+open Ccv_abstract
+
+type t
+
+(** [compile schema p] — one-time lowering.  The schema must be the one
+    of every database later passed to {!run} (the plan bakes in access
+    paths, entity layouts and register slots derived from it). *)
+val compile : Semantic.t -> Aprog.t -> t
+
+(** One plan per query in the program, in source order. *)
+val plans : t -> Plan.t list
+
+val name : t -> string
+
+(** Number of registers the compiled program addresses. *)
+val slot_count : t -> int
+
+(** Execute against a database instance.  Raises [Invalid_argument]
+    when the database's schema differs from the one the program was
+    compiled against (a stale plan must be recompiled, not run). *)
+val run :
+  ?input:string list -> ?max_steps:int -> Sdb.t -> t -> Ainterp.result

@@ -1,0 +1,185 @@
+open Ccv_common
+open Ccv_abstract
+
+(* Host-program analogue of Compile: lower a ['dml Host.program] to
+   closures once, so the serve layer's shadow runs stop re-walking the
+   statement tree and the List.assoc environment per request.  DML
+   steps still execute through the engine (which carries its own
+   currency/cursor state); what is compiled away is the host-language
+   interpretation around them. *)
+
+module Make (E : Host.ENGINE) = struct
+  type result = {
+    db : E.db;
+    trace : Io_trace.t;
+    env : (string * Value.t) list;
+    statuses : Status.t list;
+    steps : int;
+    hit_limit : bool;
+  }
+
+  exception Step_limit
+
+  type rt = {
+    mutable rdb : E.db;
+    mutable rstate : E.state;
+    renv : (string, Value.t) Hashtbl.t;
+    mutable rstatuses : Status.t list;
+    mutable rsteps : int;
+    mutable rinput : string list;
+    builder : Io_trace.Builder.t;
+    max_steps : int;
+  }
+
+  type t = { name : string; entry : rt -> unit }
+
+  let lookup rt name =
+    Some (Option.value (Hashtbl.find_opt rt.renv name) ~default:Value.Null)
+
+  let tick rt =
+    rt.rsteps <- rt.rsteps + 1;
+    if rt.rsteps > rt.max_steps then raise Step_limit
+
+  let rec compile_expr (e : Cond.expr) : rt -> Value.t =
+    match e with
+    | Cond.Const v -> fun _ -> v
+    | Cond.Field name ->
+        (* statement-level evaluation runs against the empty row, as in
+           Host.Run — a bare field reference is unbound *)
+        fun _ -> raise (Cond.Unbound ("field " ^ name))
+    | Cond.Var name ->
+        fun rt ->
+          Option.value (Hashtbl.find_opt rt.renv name) ~default:Value.Null
+    | Cond.Add (a, b) ->
+        let ca = compile_expr a and cb = compile_expr b in
+        fun rt -> Value.add (ca rt) (cb rt)
+    | Cond.Sub (a, b) ->
+        let ca = compile_expr a and cb = compile_expr b in
+        fun rt -> Value.sub (ca rt) (cb rt)
+    | Cond.Mul (a, b) ->
+        let ca = compile_expr a and cb = compile_expr b in
+        fun rt -> Value.mul (ca rt) (cb rt)
+    | Cond.Concat (a, b) ->
+        let ca = compile_expr a and cb = compile_expr b in
+        fun rt -> Value.concat (ca rt) (cb rt)
+
+  let rec compile_cond (c : Cond.t) : rt -> bool =
+    match c with
+    | Cond.True -> fun _ -> true
+    | Cond.Cmp (op, a, b) ->
+        let ca = compile_expr a and cb = compile_expr b in
+        fun rt -> Cond.apply_cmp op (ca rt) (cb rt)
+    | Cond.And (a, b) ->
+        let ca = compile_cond a and cb = compile_cond b in
+        fun rt -> ca rt && cb rt
+    | Cond.Or (a, b) ->
+        let ca = compile_cond a and cb = compile_cond b in
+        fun rt -> ca rt || cb rt
+    | Cond.Not a ->
+        let ca = compile_cond a in
+        fun rt -> not (ca rt)
+    | Cond.Is_null e ->
+        let ce = compile_expr e in
+        fun rt -> Value.is_null (ce rt)
+    | Cond.Is_not_null e ->
+        let ce = compile_expr e in
+        fun rt -> not (Value.is_null (ce rt))
+
+  let render ces rt =
+    String.concat " " (List.map (fun ce -> Value.to_display (ce rt)) ces)
+
+  let rec compile_stmt (s : E.dml Host.stmt) : rt -> unit =
+    match s with
+    | Host.Dml d ->
+        fun rt ->
+          tick rt;
+          let db, state, updates, status =
+            E.exec rt.rdb rt.rstate ~env:(lookup rt) d
+          in
+          rt.rdb <- db;
+          rt.rstate <- state;
+          List.iter (fun (n, v) -> Hashtbl.replace rt.renv n v) updates;
+          Hashtbl.replace rt.renv Host.status_var
+            (Value.Str (Status.code status));
+          rt.rstatuses <- status :: rt.rstatuses
+    | Host.Move (e, x) ->
+        let ce = compile_expr e in
+        fun rt ->
+          tick rt;
+          Hashtbl.replace rt.renv x (ce rt)
+    | Host.Display es ->
+        let ces = List.map compile_expr es in
+        fun rt ->
+          tick rt;
+          Io_trace.Builder.emit rt.builder (Io_trace.Terminal_out (render ces rt))
+    | Host.Accept x ->
+        fun rt ->
+          tick rt;
+          let line, rest =
+            match rt.rinput with [] -> ("", []) | l :: rest -> (l, rest)
+          in
+          rt.rinput <- rest;
+          Io_trace.Builder.emit rt.builder (Io_trace.Terminal_in line);
+          Hashtbl.replace rt.renv x (Value.Str line)
+    | Host.Write_file (file, es) ->
+        let ces = List.map compile_expr es in
+        fun rt ->
+          tick rt;
+          Io_trace.Builder.emit rt.builder
+            (Io_trace.File_write (file, render ces rt))
+    | Host.If (c, a, b) ->
+        let cc = compile_cond c in
+        let ca = compile_body a in
+        let cb = compile_body b in
+        fun rt ->
+          tick rt;
+          if cc rt then ca rt else cb rt
+    | Host.While (c, body) ->
+        let cc = compile_cond c in
+        let cb = compile_body body in
+        fun rt ->
+          tick rt;
+          let rec loop () =
+            if cc rt then begin
+              cb rt;
+              tick rt;
+              loop ()
+            end
+          in
+          loop ()
+
+  and compile_body body =
+    let fns = List.map compile_stmt body in
+    fun rt -> List.iter (fun f -> f rt) fns
+
+  let compile (p : E.dml Host.program) =
+    { name = p.Host.name; entry = compile_body p.Host.body }
+
+  let run ?(input = []) ?(max_steps = 200_000) db (c : t) =
+    let renv = Hashtbl.create 64 in
+    Hashtbl.replace renv Host.status_var (Value.Str "0000");
+    let rt =
+      { rdb = db;
+        rstate = E.initial_state db;
+        renv;
+        rstatuses = [];
+        rsteps = 0;
+        rinput = input;
+        builder = Io_trace.Builder.create ();
+        max_steps;
+      }
+    in
+    let hit_limit =
+      try
+        c.entry rt;
+        false
+      with Step_limit -> true
+    in
+    { db = rt.rdb;
+      trace = Io_trace.Builder.contents rt.builder;
+      env = Hashtbl.fold (fun n v acc -> (n, v) :: acc) rt.renv [];
+      statuses = List.rev rt.rstatuses;
+      steps = rt.rsteps;
+      hit_limit;
+    }
+end

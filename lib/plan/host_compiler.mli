@@ -1,0 +1,25 @@
+(** One-time lowering of concrete host programs ([Host.program]) to
+    closures, parameterized over the executing engine.  The engine
+    still interprets individual DML steps (it owns the currency/cursor
+    state); the host-language statement tree, expressions and the
+    variable environment are compiled away. *)
+
+open Ccv_common
+open Ccv_abstract
+
+module Make (E : Host.ENGINE) : sig
+  (** Field-for-field the result of [Host.Run(E).run]. *)
+  type result = {
+    db : E.db;
+    trace : Io_trace.t;
+    env : (string * Value.t) list;
+    statuses : Status.t list;
+    steps : int;
+    hit_limit : bool;
+  }
+
+  type t
+
+  val compile : E.dml Host.program -> t
+  val run : ?input:string list -> ?max_steps:int -> E.db -> t -> result
+end

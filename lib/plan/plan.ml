@@ -1,0 +1,128 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+type operand = Oconst of Value.t | Ovar of string
+
+type access =
+  | Indexed_probe of { field : Symbol.t; operand : operand }
+  | Link_traverse of { link_field : Symbol.t; source_field : Symbol.t }
+  | Assoc_scan of { source_is_left : bool }
+  | Key_lookup
+  | Extent_scan
+
+type step = {
+  pattern : Apattern.step;
+  target : Symbol.t;
+  access : access;
+  conjuncts : Cond.t list;
+}
+
+type t = { steps : step list; indexes : (string * string) list }
+
+(* Mirror of the interpreter's effective probe choice: the first
+   equality conjunct over a declared stored field whose other operand is
+   a constant or a host variable.  Any probe is result-transparent
+   (index buckets are in extent order and re-filtered with the full
+   qualification), so this choice affects access counts, never
+   answers. *)
+let probe_access schema ename qual =
+  match Semantic.find_entity schema ename with
+  | None -> Extent_scan
+  | Some e -> (
+      let pick c =
+        match c with
+        | Cond.Cmp (Cond.Eq, Cond.Field f, rhs)
+        | Cond.Cmp (Cond.Eq, rhs, Cond.Field f) ->
+            if not (Field.mem e.Semantic.fields f) then None
+            else (
+              match rhs with
+              | Cond.Const v -> Some (f, Oconst v)
+              | Cond.Var x -> Some (f, Ovar x)
+              | Cond.Field _ | Cond.Add _ | Cond.Sub _ | Cond.Mul _
+              | Cond.Concat _ -> None)
+        | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
+        | Cond.Is_null _ | Cond.Is_not_null _ -> None
+      in
+      match List.find_map pick (Cond.split_conjuncts qual) with
+      | Some (f, op) -> Indexed_probe { field = Symbol.intern f; operand = op }
+      | None -> Extent_scan)
+
+(* The indexes the reference interpreter would build for this step
+   (ensure_query_indexes): every eq-conjunct field of a SELF step and
+   the link field of a THROUGH step.  [Sdb.ensure_index] silently
+   ignores undeclared fields, so no filtering is needed here. *)
+let step_indexes = function
+  | Apattern.Self { target; qual } ->
+      List.filter_map
+        (function
+          | Cond.Cmp (Cond.Eq, Cond.Field f, _)
+          | Cond.Cmp (Cond.Eq, _, Cond.Field f) -> Some (target, f)
+          | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
+          | Cond.Is_null _ | Cond.Is_not_null _ -> None)
+        (Cond.split_conjuncts qual)
+  | Apattern.Through { target; link = tf, _; _ } -> [ (target, tf) ]
+  | Apattern.Assoc_via _ | Apattern.Via_assoc _ -> []
+
+let of_step schema p =
+  let access =
+    match p with
+    | Apattern.Self { target; qual } -> probe_access schema target qual
+    | Apattern.Through { link = tf, sf; _ } ->
+        Link_traverse
+          { link_field = Symbol.intern tf; source_field = Symbol.intern sf }
+    | Apattern.Assoc_via { assoc; source; _ } -> (
+        match Semantic.find_assoc schema assoc with
+        | Some a ->
+            Assoc_scan { source_is_left = Field.name_equal a.Semantic.left source }
+        | None -> Assoc_scan { source_is_left = true })
+    | Apattern.Via_assoc _ -> Key_lookup
+  in
+  { pattern = p;
+    target = Symbol.intern (Apattern.target_of p);
+    access;
+    conjuncts = Cond.split_conjuncts (Apattern.qual_of p);
+  }
+
+let dedup_pairs pairs =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | (e, f) :: rest ->
+        if
+          List.exists
+            (fun (e', f') -> Field.name_equal e e' && Field.name_equal f f')
+            seen
+        then go seen rest
+        else go ((e, f) :: seen) rest
+  in
+  go [] pairs
+
+let of_query schema q =
+  { steps = List.map (of_step schema) q;
+    indexes = dedup_pairs (List.concat_map step_indexes q);
+  }
+
+let required_indexes t = t.indexes
+
+let pp_operand ppf = function
+  | Oconst v -> Value.pp ppf v
+  | Ovar x -> Fmt.pf ppf ":%s" x
+
+let pp_access ppf = function
+  | Indexed_probe { field; operand } ->
+      Fmt.pf ppf "PROBE %a = %a" Symbol.pp field pp_operand operand
+  | Link_traverse { link_field; source_field } ->
+      Fmt.pf ppf "TRAVERSE (%a,%a)" Symbol.pp link_field Symbol.pp source_field
+  | Assoc_scan { source_is_left } ->
+      Fmt.pf ppf "LINKS from %s" (if source_is_left then "left" else "right")
+  | Key_lookup -> Fmt.string ppf "KEY LOOKUP"
+  | Extent_scan -> Fmt.string ppf "SCAN"
+
+let pp_step ppf s =
+  Fmt.pf ppf "%a [%a]%s" Symbol.pp s.target pp_access s.access
+    (match s.conjuncts with
+    | [] -> ""
+    | cs -> Fmt.str " WHERE %a" Fmt.(list ~sep:(any " AND ") Cond.pp) cs)
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_step) t.steps
+let explain t = Fmt.str "%a" pp t

@@ -1,0 +1,55 @@
+(** Query plans: each {!Ccv_abstract.Apattern} step resolved — once, at
+    compile time — to a concrete access path, with its qualification
+    pre-split into conjuncts and field names interned through
+    {!Ccv_common.Symbol}.  This is the OPTIMIZER box of the paper's
+    Figure 4.1 made explicit: the reference interpreter re-derives the
+    access decision on every evaluation; a plan records it.
+
+    Access-path choice is {e result-transparent}: index buckets are
+    kept in extent order and re-filtered with the full qualification,
+    so a plan always delivers exactly the rows a naive scan would —
+    only the access counts differ. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+(** The probe value of an indexed access: a literal, or a host variable
+    resolved from the environment at run time. *)
+type operand = Oconst of Value.t | Ovar of string
+
+type access =
+  | Indexed_probe of { field : Symbol.t; operand : operand }
+      (** SELF with an equality conjunct over a declared stored field:
+          probe the (entity, field) index via [Sdb.rows_eq]. *)
+  | Link_traverse of { link_field : Symbol.t; source_field : Symbol.t }
+      (** THROUGH: keyed traversal — probe the target's link-field
+          index with the source's field value. *)
+  | Assoc_scan of { source_is_left : bool }
+      (** ASSOC via an endpoint: walk the link set filtered on the
+          given side's key. *)
+  | Key_lookup  (** VIA_ASSOC: entity fetch by primary key. *)
+  | Extent_scan  (** residual full scan *)
+
+type step = {
+  pattern : Apattern.step;  (** the source-level step *)
+  target : Symbol.t;  (** interned canonical target name *)
+  access : access;
+  conjuncts : Cond.t list;  (** qualification, pre-split *)
+}
+
+type t = { steps : step list; indexes : (string * string) list }
+
+val of_query : Semantic.t -> Apattern.t -> t
+
+(** The (entity, field) equality indexes this plan wants in place —
+    exactly the set the reference interpreter's [ensure_query_indexes]
+    would build per evaluation, hoisted to compile time. *)
+val required_indexes : t -> (string * string) list
+
+val pp_access : Format.formatter -> access -> unit
+val pp_step : Format.formatter -> step -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Human-readable plan, one line per step. *)
+val explain : t -> string

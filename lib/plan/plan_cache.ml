@@ -1,0 +1,69 @@
+open Ccv_model
+
+(* Memoized compilation keyed by (schema fingerprint, program).  The
+   cache holds compiled artifacts for exactly one fingerprint at a
+   time: when the Supervisor restructures the schema the fingerprint
+   changes and the whole generation is flushed — a stale plan bakes in
+   access paths and register layouts that no longer exist, so partial
+   retention would be wrong, not just wasteful.
+
+   Not internally synchronized: intended for per-shard use, where one
+   domain owns the shard (and its cache) at any moment. *)
+
+type ('k, 'v) t = {
+  table : ('k, 'v) Hashtbl.t;
+  mutable fingerprint : string option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type stats = { hits : int; misses : int; invalidations : int; size : int }
+
+let create ?(size = 64) () =
+  { table = Hashtbl.create size;
+    fingerprint = None;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let find_or_compile t ~fingerprint key ~compile =
+  (match t.fingerprint with
+  | Some fp when String.equal fp fingerprint -> ()
+  | Some _ ->
+      Hashtbl.reset t.table;
+      t.invalidations <- t.invalidations + 1;
+      t.fingerprint <- Some fingerprint
+  | None -> t.fingerprint <- Some fingerprint);
+  match Hashtbl.find_opt t.table key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      let v = compile key in
+      Hashtbl.add t.table key v;
+      v
+
+let stats (t : ('k, 'v) t) =
+  { hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    size = Hashtbl.length t.table;
+  }
+
+let zero_stats = { hits = 0; misses = 0; invalidations = 0; size = 0 }
+
+let add_stats a b =
+  { hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    invalidations = a.invalidations + b.invalidations;
+    size = a.size + b.size;
+  }
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
+let schema_fingerprint schema = Digest.to_hex (Digest.string (Semantic.show schema))

@@ -1,0 +1,33 @@
+(** Memoized plan compilation keyed by [(schema fingerprint, program)]
+    with hit/miss accounting.  A fingerprint change — the Supervisor
+    restructured the schema — flushes the whole cache, since compiled
+    plans bake in access paths derived from the old schema.
+
+    Not internally synchronized: use one cache per shard (one domain
+    owns a shard at any moment). *)
+
+open Ccv_model
+
+type ('k, 'v) t
+
+type stats = { hits : int; misses : int; invalidations : int; size : int }
+
+val create : ?size:int -> unit -> ('k, 'v) t
+
+(** [find_or_compile t ~fingerprint key ~compile] — the cached value
+    for [key], compiling (and recording a miss) when absent.  When
+    [fingerprint] differs from the cache's current generation, the
+    cache is flushed first and an invalidation recorded. *)
+val find_or_compile :
+  ('k, 'v) t -> fingerprint:string -> 'k -> compile:('k -> 'v) -> 'v
+
+val stats : ('k, 'v) t -> stats
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+(** Hits / (hits + misses); 0 when no lookups happened. *)
+val hit_rate : stats -> float
+
+(** Stable digest of a schema's rendered form, for use as the
+    [~fingerprint] argument. *)
+val schema_fingerprint : Semantic.t -> string

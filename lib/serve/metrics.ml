@@ -56,6 +56,7 @@ type cell = {
   mutable refused : int;
   mutable source_accesses : int;
   mutable target_accesses : int;
+  mutable trace_events : int;
   cell_latency : hist;
 }
 
@@ -68,6 +69,7 @@ let cell_create () =
     refused = 0;
     source_accesses = 0;
     target_accesses = 0;
+    trace_events = 0;
     cell_latency = hist_create ();
   }
 
@@ -109,6 +111,7 @@ let record t (o : Shadow.outcome) =
   if o.Shadow.refused then c.refused <- c.refused + 1;
   c.source_accesses <- c.source_accesses + o.Shadow.source_accesses;
   c.target_accesses <- c.target_accesses + o.Shadow.target_accesses;
+  c.trace_events <- c.trace_events + Io_trace.length o.Shadow.served_trace;
   hist_add c.cell_latency o.Shadow.latency_us
 
 let phases t =
@@ -125,6 +128,7 @@ type phase_totals = {
   refused : int;
   source_accesses : int;
   target_accesses : int;
+  trace_events : int;
   latency : hist;
 }
 
@@ -143,6 +147,7 @@ let phase_totals t ~phase =
           refused = acc.refused + c.refused;
           source_accesses = acc.source_accesses + c.source_accesses;
           target_accesses = acc.target_accesses + c.target_accesses;
+          trace_events = acc.trace_events + c.trace_events;
         }
       end)
     { requests = 0;
@@ -153,6 +158,7 @@ let phase_totals t ~phase =
       refused = 0;
       source_accesses = 0;
       target_accesses = 0;
+      trace_events = 0;
       latency = hist_create ();
     }
     t.cells
@@ -255,6 +261,7 @@ let json_rows t =
           ("refused", string_of_int p.refused);
           ("source_accesses", string_of_int p.source_accesses);
           ("target_accesses", string_of_int p.target_accesses);
+          ("trace_events", string_of_int p.trace_events);
           ("latency_p50_us", json_us (hist_quantile p.latency 0.5));
           ("latency_p95_us", json_us (hist_quantile p.latency 0.95));
         ])

@@ -49,7 +49,9 @@ val total_refused : t -> int
 val phases : t -> string list
 
 (** Per-phase totals: requests, by-source, by-target, shadowed,
-    divergent, refused, source accesses, target accesses. *)
+    divergent, refused, source accesses, target accesses, served
+    trace events ({!Ccv_common.Io_trace.length} summed over served
+    traces). *)
 type phase_totals = {
   requests : int;
   by_source : int;
@@ -59,6 +61,7 @@ type phase_totals = {
   refused : int;
   source_accesses : int;
   target_accesses : int;
+  trace_events : int;
   latency : hist;
 }
 

@@ -4,6 +4,7 @@ type config = {
   batch : int;
   canary_seed : int;
   tolerate_reordering : bool;
+  use_plan_cache : bool;
 }
 
 let default_config =
@@ -12,6 +13,7 @@ let default_config =
     batch = 16;
     canary_seed = 0xC0FFEE;
     tolerate_reordering = true;
+    use_plan_cache = true;
   }
 
 type divergence = {
@@ -29,6 +31,7 @@ type report = {
   final_phase : Cutover.phase;
   status : Cutover.status;
   metrics : Metrics.t;
+  plan_stats : Ccv_plan.Plan_cache.stats;
   served : int;
   unserved : int;
   wall_s : float;
@@ -44,11 +47,11 @@ let take n l =
 
 let clock () = Unix.gettimeofday ()
 
-let create_shards req sdb nshards =
+let create_shards ~use_plan_cache req sdb nshards =
   let rec go acc i =
     if i >= nshards then Ok (List.rev acc)
     else
-      match Shard.create ~id:i req sdb with
+      match Shard.create ~id:i ~use_plan_cache req sdb with
       | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
       | Ok s -> go (s :: acc) (i + 1)
   in
@@ -57,7 +60,7 @@ let create_shards req sdb nshards =
 let run ?(config = default_config) ~cutover req sdb requests =
   let nshards = max 1 config.shards in
   let ndomains = max 1 (min config.domains nshards) in
-  match create_shards req sdb nshards with
+  match create_shards ~use_plan_cache:config.use_plan_cache req sdb nshards with
   | Error e -> Error e
   | Ok shards ->
       let ctl = Cutover.create cutover in
@@ -138,6 +141,11 @@ let run ?(config = default_config) ~cutover req sdb requests =
             ticks rest (List.rev_append outcomes outcomes_rev) div_rev
       in
       let outcomes, divergences, unserved = ticks requests [] [] in
+      let plan_stats =
+        Array.fold_left
+          (fun acc s -> Ccv_plan.Plan_cache.add_stats acc (Shard.plan_stats s))
+          Ccv_plan.Plan_cache.zero_stats shards
+      in
       Ok
         { outcomes;
           transitions = Cutover.transitions ctl;
@@ -145,6 +153,7 @@ let run ?(config = default_config) ~cutover req sdb requests =
           final_phase = Cutover.phase ctl;
           status = Cutover.status ctl;
           metrics;
+          plan_stats;
           served = List.length outcomes;
           unserved;
           wall_s = clock () -. t0;
@@ -160,6 +169,14 @@ let render r =
        | Cutover.Serving -> "serving"
        | Cutover.Aborted ->
            Printf.sprintf "ABORTED, %d request(s) unserved" r.unserved));
+  let ps = r.plan_stats in
+  if ps.Ccv_plan.Plan_cache.hits + ps.Ccv_plan.Plan_cache.misses > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "plan cache: %d hit(s), %d miss(es), %d compiled pair(s), %.1f%% hit rate\n"
+         ps.Ccv_plan.Plan_cache.hits ps.Ccv_plan.Plan_cache.misses
+         ps.Ccv_plan.Plan_cache.size
+         (100. *. Ccv_plan.Plan_cache.hit_rate ps));
   if r.transitions <> [] then begin
     Buffer.add_string b "\nphase transitions:\n";
     List.iter

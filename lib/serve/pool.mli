@@ -22,6 +22,10 @@ type config = {
   tolerate_reordering : bool;
       (** accept [Modulo_order] (§5.2's weaker level); [false] demands
           strict trace equality *)
+  use_plan_cache : bool;
+      (** serve through per-shard compiled plan caches
+          ({!Shard.create}); [false] re-converts and re-interprets
+          every request, the pre-compilation behaviour *)
 }
 
 val default_config : config
@@ -41,6 +45,9 @@ type report = {
   final_phase : Cutover.phase;
   status : Cutover.status;
   metrics : Metrics.t;
+  plan_stats : Ccv_plan.Plan_cache.stats;
+      (** per-shard plan-cache counters summed over the pool; all zero
+          when [use_plan_cache] is off *)
   served : int;
   unserved : int;  (** requests dropped by an abort *)
   wall_s : float;

@@ -3,13 +3,22 @@ module G = Ccv_workload.Generator
 
 type t = { id : int; family : G.family; aprog : Ccv_abstract.Aprog.t }
 
-let stream ~seed schema ~sample ~n ?mix () =
-  let batch =
+let stream ~seed schema ~sample ~n ?mix ?distinct () =
+  let draw n =
     match mix with
     | Some mix -> G.batch ~seed schema ~sample ~n ~mix ()
     | None -> G.batch ~seed schema ~sample ~n ()
   in
-  List.mapi (fun id (family, aprog) -> { id; family; aprog }) batch
+  match distinct with
+  | None -> List.mapi (fun id (family, aprog) -> { id; family; aprog }) (draw n)
+  | Some d ->
+      (* steady-state workload: a fixed set of [d] programs cycled over
+         [n] requests, the regime where a plan cache pays off *)
+      let d = max 1 (min d n) in
+      let pool = Array.of_list (draw d) in
+      List.init n (fun id ->
+          let family, aprog = pool.(id mod d) in
+          { id; family; aprog })
 
 let shard_of t ~nshards = t.id mod max 1 nshards
 

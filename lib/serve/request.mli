@@ -15,10 +15,15 @@ type t = {
 }
 
 (** [stream ~seed schema ~sample ~n ()] — [n] requests drawn from
-    {!Ccv_workload.Generator.batch} with ids [0..n-1]. *)
+    {!Ccv_workload.Generator.batch} with ids [0..n-1].  With
+    [?distinct:d], only [d] distinct programs are generated and cycled
+    round-robin over the [n] ids — the steady-state regime of a real
+    service, where most requests repeat a known program and a plan
+    cache can serve them from compiled form. *)
 val stream :
   seed:int -> Semantic.t -> sample:Sdb.t -> n:int ->
-  ?mix:(int * Ccv_workload.Generator.family) list -> unit -> t list
+  ?mix:(int * Ccv_workload.Generator.family) list -> ?distinct:int ->
+  unit -> t list
 
 (** The shard that owns this request. *)
 val shard_of : t -> nshards:int -> int

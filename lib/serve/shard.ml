@@ -1,17 +1,31 @@
 open Ccv_common
 open Ccv_convert
+open Ccv_plan
+
+(* One compiled serving pair: the source program lowered to closures,
+   and either the converted target likewise compiled or the conversion
+   refusal (cached too — a program the Supervisor refuses once it will
+   refuse every time the fingerprint is unchanged). *)
+type entry = {
+  csrc : Engines.compiled_program;
+  ctgt : (Engines.compiled_program, string * string) result;
+}
 
 type t = {
   shard_id : int;
   servable : Supervisor.servable;
   mutable source_db : Engines.database;
   mutable target_db : Engines.database;
+  use_plan_cache : bool;
+  fingerprint : string;
+  cache : (Ccv_abstract.Aprog.t, (entry, string * string) result) Plan_cache.t;
 }
 
 let id t = t.shard_id
 let warnings t = t.servable.Supervisor.warnings
+let plan_stats t = Plan_cache.stats t.cache
 
-let create ~id req sdb =
+let create ~id ?(use_plan_cache = true) req sdb =
   match Supervisor.prepare_serving req sdb with
   | Error (stage, reason) -> Error (stage ^ ": " ^ reason)
   | Ok servable ->
@@ -20,6 +34,9 @@ let create ~id req sdb =
           servable;
           source_db = servable.Supervisor.source_db;
           target_db = servable.Supervisor.target_db;
+          use_plan_cache;
+          fingerprint = Supervisor.serving_fingerprint req;
+          cache = Plan_cache.create ();
         }
 
 let run_source t program input =
@@ -31,6 +48,57 @@ let run_target t program input =
   let r = Engines.run ~input t.target_db program in
   t.target_db <- r.Engines.final_db;
   r
+
+let run_source_compiled t cp input =
+  let r = Engines.run_compiled ~input t.source_db cp in
+  t.source_db <- r.Engines.final_db;
+  r
+
+let run_target_compiled t cp input =
+  let r = Engines.run_compiled ~input t.target_db cp in
+  t.target_db <- r.Engines.final_db;
+  r
+
+(* What the shard will actually execute for a request: nothing (the
+   request cannot even be generated), the source side alone (conversion
+   refused), or both sides.  The thunks close over the mutable replica
+   pair so execution order stays exactly as before. *)
+type resolved =
+  | Refused
+  | Fallback of (unit -> Engines.run_result)
+  | Pair of (unit -> Engines.run_result) * (unit -> Engines.run_result)
+
+let resolve t aprog =
+  if t.use_plan_cache then
+    let compiled =
+      Plan_cache.find_or_compile t.cache ~fingerprint:t.fingerprint aprog
+        ~compile:(fun aprog ->
+          match Supervisor.serve_pair t.servable aprog with
+          | Error e -> Error e
+          | Ok { Supervisor.source_program; target_program; pair_issues = _ }
+            ->
+              Ok
+                { csrc = Engines.compile source_program;
+                  ctgt = Result.map Engines.compile target_program;
+                })
+    in
+    match compiled with
+    | Error _ -> Refused
+    | Ok { csrc; ctgt = Error _ } ->
+        Fallback (fun () -> run_source_compiled t csrc [])
+    | Ok { csrc; ctgt = Ok ctgt } ->
+        Pair
+          ( (fun () -> run_source_compiled t csrc []),
+            fun () -> run_target_compiled t ctgt [] )
+  else
+    match Supervisor.serve_pair t.servable aprog with
+    | Error _ -> Refused
+    | Ok { Supervisor.source_program; target_program = Error _; _ } ->
+        Fallback (fun () -> run_source t source_program [])
+    | Ok { Supervisor.source_program; target_program = Ok tp; _ } ->
+        Pair
+          ( (fun () -> run_source t source_program []),
+            fun () -> run_target t tp [] )
 
 let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock request =
   let t0 = clock () in
@@ -53,48 +121,45 @@ let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock request =
       target_accesses;
     }
   in
-  match Supervisor.serve_pair t.servable request.Request.aprog with
-  | Error _ ->
+  match resolve t request.Request.aprog with
+  | Refused ->
       (* Not even a source program: nothing to run, count the refusal. *)
       finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
         ~divergent:false ~refused:true ~served_trace:[] ~source_accesses:0
         ~target_accesses:0
-  | Ok { Supervisor.source_program; target_program; pair_issues = _ } -> (
-      match target_program with
-      | Error _ ->
-          (* Conversion refused: fall back to the source engine in any
-             phase (during cutover this is the residual legacy path). *)
-          let r = run_source t source_program [] in
-          finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
-            ~divergent:false ~refused:true ~served_trace:r.Engines.trace
-            ~source_accesses:r.Engines.accesses ~target_accesses:0
-      | Ok target_program -> (
-          match phase with
-          | Cutover ->
-              let r = run_target t target_program [] in
-              finish ~decision:Shadow.Serve_target ~shadowed:false ~verdict:None
-                ~divergent:false ~refused:false ~served_trace:r.Engines.trace
-                ~source_accesses:0 ~target_accesses:r.Engines.accesses
-          | Shadow | Canary _ ->
-              let decision =
-                match phase with
-                | Canary f
-                  when Request.canary_draw ~seed:canary_seed request < f ->
-                    Shadow.Serve_target
-                | Shadow | Canary _ | Cutover -> Shadow.Serve_source
-              in
-              let sr = run_source t source_program [] in
-              let tr = run_target t target_program [] in
-              let verdict, divergent =
-                Shadow.judge ~tolerate_reordering sr.Engines.trace
-                  tr.Engines.trace
-              in
-              let served_trace =
-                match decision with
-                | Shadow.Serve_source -> sr.Engines.trace
-                | Shadow.Serve_target -> tr.Engines.trace
-              in
-              finish ~decision ~shadowed:true ~verdict:(Some verdict)
-                ~divergent ~refused:false ~served_trace
-                ~source_accesses:sr.Engines.accesses
-                ~target_accesses:tr.Engines.accesses))
+  | Fallback run_src ->
+      (* Conversion refused: fall back to the source engine in any
+         phase (during cutover this is the residual legacy path). *)
+      let r = run_src () in
+      finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
+        ~divergent:false ~refused:true ~served_trace:r.Engines.trace
+        ~source_accesses:r.Engines.accesses ~target_accesses:0
+  | Pair (run_src, run_tgt) -> (
+      match phase with
+      | Cutover ->
+          let r = run_tgt () in
+          finish ~decision:Shadow.Serve_target ~shadowed:false ~verdict:None
+            ~divergent:false ~refused:false ~served_trace:r.Engines.trace
+            ~source_accesses:0 ~target_accesses:r.Engines.accesses
+      | Shadow | Canary _ ->
+          let decision =
+            match phase with
+            | Canary f when Request.canary_draw ~seed:canary_seed request < f
+              ->
+                Shadow.Serve_target
+            | Shadow | Canary _ | Cutover -> Shadow.Serve_source
+          in
+          let sr = run_src () in
+          let tr = run_tgt () in
+          let verdict, divergent =
+            Shadow.judge ~tolerate_reordering sr.Engines.trace tr.Engines.trace
+          in
+          let served_trace =
+            match decision with
+            | Shadow.Serve_source -> sr.Engines.trace
+            | Shadow.Serve_target -> tr.Engines.trace
+          in
+          finish ~decision ~shadowed:true ~verdict:(Some verdict) ~divergent
+            ~refused:false ~served_trace
+            ~source_accesses:sr.Engines.accesses
+            ~target_accesses:tr.Engines.accesses)

@@ -14,11 +14,24 @@ type t
 val id : t -> int
 
 (** [create ~id req sdb] realizes the shard's own replica pair from
-    the semantic instance via {!Supervisor.prepare_serving}. *)
-val create : id:int -> Supervisor.request -> Sdb.t -> (t, string) result
+    the semantic instance via {!Supervisor.prepare_serving}.  With
+    [use_plan_cache] (the default), each distinct request program is
+    converted and compiled to closures once
+    ({!Ccv_convert.Engines.compile}) and memoized in a per-shard
+    {!Ccv_plan.Plan_cache} keyed by the serving fingerprint —
+    subsequent requests for the same program skip the whole
+    analyze/convert/generate/compile pipeline.  Conversion refusals
+    are cached too; the served behaviour is identical either way. *)
+val create :
+  id:int -> ?use_plan_cache:bool -> Supervisor.request -> Sdb.t ->
+  (t, string) result
 
 (** Data-translation warnings from replica preparation. *)
 val warnings : t -> string list
+
+(** Hit/miss/invalidation counters of this shard's plan cache (all
+    zero when the cache is disabled). *)
+val plan_stats : t -> Ccv_plan.Plan_cache.stats
 
 (** Execute one request under the given phase.  [live] is the shared
     per-phase counter charged while the request runs (engine accesses

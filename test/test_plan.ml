@@ -1,0 +1,266 @@
+(* Differential property suite for the plan compiler: compiled
+   execution must be observationally identical to the reference
+   interpreter — same Io_trace, same final database contents, same
+   step count — for every generator workload over both example
+   schemas, and must stay identical after a Schema_change
+   restructuring flushes the plan cache. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_plan
+open Ccv_transform
+open Ccv_convert
+module W = Ccv_workload
+module G = Ccv_workload.Generator
+
+let check = Alcotest.(check bool)
+
+let schemas =
+  [ ("company", W.Company.schema, fun () -> W.Company.instance ());
+    ("school", W.School.schema, fun () -> W.School.instance ());
+  ]
+
+let family_name f = Fmt.str "%a" G.pp_family f
+
+let assert_same_run label db aprog =
+  let reference = Ainterp.run db aprog in
+  let compiled = Compile.run db (Compile.compile (Sdb.schema db) aprog) in
+  if not (Io_trace.equal reference.Ainterp.trace compiled.Ainterp.trace) then begin
+    (match
+       Io_trace.first_divergence reference.Ainterp.trace compiled.Ainterp.trace
+     with
+    | Some (i, r, c) ->
+        Fmt.epr "%s: traces diverge at %d: %a vs %a@." label i
+          Fmt.(option Io_trace.pp_event) r
+          Fmt.(option Io_trace.pp_event) c
+    | None -> ());
+    Alcotest.failf "%s: compiled trace differs from interpreted" label
+  end;
+  check (label ^ ": same final contents") true
+    (Sdb.equal_contents reference.Ainterp.db compiled.Ainterp.db);
+  check (label ^ ": same step count") true
+    (reference.Ainterp.steps = compiled.Ainterp.steps);
+  check (label ^ ": same limit behaviour") true
+    (reference.Ainterp.hit_limit = compiled.Ainterp.hit_limit)
+
+(* every family, both schemas, several seeds *)
+let differential_cases =
+  List.concat_map
+    (fun (sname, schema, instance) ->
+      List.map
+        (fun family ->
+          Alcotest.test_case
+            (Fmt.str "%s/%s compiled = interpreted" sname (family_name family))
+            `Quick
+            (fun () ->
+              List.iter
+                (fun seed ->
+                  let sample = instance () in
+                  let batch =
+                    G.batch ~seed schema ~sample ~n:8 ~mix:[ (1, family) ] ()
+                  in
+                  List.iteri
+                    (fun i (_, aprog) ->
+                      assert_same_run
+                        (Fmt.str "%s/%s seed=%d #%d" sname
+                           (family_name family) seed i)
+                        (instance ()) aprog)
+                    batch)
+                [ 11; 42; 271 ]))
+        G.all_families)
+    schemas
+
+(* mixed batches, to exercise cross-family interleavings of state *)
+let mixed_case =
+  Alcotest.test_case "mixed batch compiled = interpreted" `Quick (fun () ->
+      List.iter
+        (fun (sname, schema, instance) ->
+          let batch =
+            G.batch ~seed:2026 schema ~sample:(instance ()) ~n:25 ()
+          in
+          List.iteri
+            (fun i (family, aprog) ->
+              assert_same_run
+                (Fmt.str "%s mixed #%d (%s)" sname i (family_name family))
+                (instance ()) aprog)
+            batch)
+        schemas)
+
+(* ------------------------------------------------------------------ *)
+(* Host-program compilation: the concrete engines driven through
+   compiled host closures must reproduce Host.Run exactly.             *)
+
+let host_compiled_case =
+  Alcotest.test_case "host programs compiled = interpreted" `Quick (fun () ->
+      List.iter
+        (fun (mname, model) ->
+          let schema = W.Company.schema in
+          let sdb = W.Company.instance () in
+          let mapping = Supervisor.mapping_for model schema in
+          let _, db = Supervisor.realize model sdb in
+          let batch =
+            G.batch ~seed:7 schema ~sample:sdb ~n:12 ()
+          in
+          List.iteri
+            (fun i (family, aprog) ->
+              match Generator.generate mapping aprog with
+              | Error _ -> () (* a generation refusal has nothing to compare *)
+              | Ok { Generator.program; _ } ->
+                  let label =
+                    Fmt.str "%s #%d (%s)" mname i (family_name family)
+                  in
+                  let r = Engines.run db program in
+                  let c = Engines.run_compiled db (Engines.compile program) in
+                  check (label ^ ": same trace") true
+                    (Io_trace.equal r.Engines.trace c.Engines.trace);
+                  check (label ^ ": same steps") true
+                    (r.Engines.steps = c.Engines.steps);
+                  check (label ^ ": same accesses") true
+                    (r.Engines.accesses = c.Engines.accesses))
+            batch)
+        [ ("net", Mapping.Net); ("rel", Mapping.Rel); ("hier", Mapping.Hier) ])
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache: steady-state hits, and a Schema_change restructuring
+   changes the fingerprint, flushes the cache, and the recompiled
+   plans are still trace-identical to the interpreter.                 *)
+
+let interpose_op =
+  Schema_change.Interpose
+    { through = W.Company.div_emp;
+      new_entity = W.Company.dept;
+      group_by = [ "DEPT-NAME" ];
+      left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+    }
+
+let cache_invalidation_case =
+  Alcotest.test_case "schema change invalidates the plan cache" `Quick
+    (fun () ->
+      let schema = W.Company.schema in
+      let sdb = W.Company.instance () in
+      let cache : (Aprog.t, Compile.t) Plan_cache.t = Plan_cache.create () in
+      let fp1 = Plan_cache.schema_fingerprint schema in
+      let progs =
+        List.map snd (G.batch ~seed:5 schema ~sample:sdb ~n:4 ())
+      in
+      let compile_with schema aprog = Compile.compile schema aprog in
+      (* first generation: all misses, then all hits *)
+      List.iter
+        (fun p ->
+          ignore
+            (Plan_cache.find_or_compile cache ~fingerprint:fp1 p
+               ~compile:(compile_with schema)))
+        progs;
+      List.iter
+        (fun p ->
+          ignore
+            (Plan_cache.find_or_compile cache ~fingerprint:fp1 p
+               ~compile:(compile_with schema)))
+        progs;
+      let s1 = Plan_cache.stats cache in
+      check "steady state hits" true (s1.Plan_cache.hits = List.length progs);
+      check "one miss per program" true
+        (s1.Plan_cache.misses = List.length progs);
+      check "no invalidation yet" true (s1.Plan_cache.invalidations = 0);
+      (* restructure: new fingerprint, flushed generation *)
+      let schema' = Schema_change.apply_exn schema interpose_op in
+      let fp2 = Plan_cache.schema_fingerprint schema' in
+      check "restructuring changes the fingerprint" true (fp1 <> fp2);
+      let sdb' =
+        match Data_translate.translate_all sdb [ interpose_op ] with
+        | Ok (sdb', _warnings) -> sdb'
+        | Error e -> Alcotest.failf "data translation failed: %s" e
+      in
+      let progs' =
+        List.map snd (G.batch ~seed:6 schema' ~sample:sdb' ~n:4 ())
+      in
+      List.iter
+        (fun p ->
+          let c =
+            Plan_cache.find_or_compile cache ~fingerprint:fp2 p
+              ~compile:(compile_with schema')
+          in
+          (* recompiled against the restructured schema: still the
+             reference semantics *)
+          let reference = Ainterp.run sdb' p in
+          let compiled = Compile.run sdb' c in
+          check "post-restructuring trace parity" true
+            (Io_trace.equal reference.Ainterp.trace compiled.Ainterp.trace))
+        progs';
+      let s2 = Plan_cache.stats cache in
+      check "restructuring invalidated the cache" true
+        (s2.Plan_cache.invalidations = 1);
+      check "stale plans were flushed" true
+        (s2.Plan_cache.size = List.length progs'))
+
+(* a stale plan must refuse to run rather than silently misread *)
+let stale_plan_case =
+  Alcotest.test_case "stale plan refuses a restructured instance" `Quick
+    (fun () ->
+      let schema = W.Company.schema in
+      let sdb = W.Company.instance () in
+      let aprog = snd (List.hd (G.batch ~seed:5 schema ~sample:sdb ~n:1 ())) in
+      let c = Compile.compile schema aprog in
+      let sdb' =
+        match Data_translate.translate_all sdb [ interpose_op ] with
+        | Ok (sdb', _) -> sdb'
+        | Error e -> Alcotest.failf "data translation failed: %s" e
+      in
+      match Compile.run sdb' c with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument on schema mismatch")
+
+(* ------------------------------------------------------------------ *)
+(* Plan IR: an equality-qualified SELF step resolves to an indexed
+   probe and requests exactly the interpreter's indexes.               *)
+
+let plan_ir_case =
+  Alcotest.test_case "plans resolve access paths" `Quick (fun () ->
+      let schema = W.Company.schema in
+      let q =
+        [ Apattern.Self
+            { target = W.Company.emp;
+              qual =
+                Cond.Cmp
+                  (Cond.Eq, Cond.Field "EMP-NAME", Cond.Const (Value.Str "SMITH"));
+            }
+        ]
+      in
+      let plan = Plan.of_query schema q in
+      (match (List.hd plan.Plan.steps).Plan.access with
+      | Plan.Indexed_probe _ -> ()
+      | a -> Alcotest.failf "expected an indexed probe, got %a" Plan.pp_access a);
+      check "probe field is required as an index" true
+        (List.exists
+           (fun (e, f) ->
+             Field.name_equal e W.Company.emp && Field.name_equal f "EMP-NAME")
+           (Plan.required_indexes plan));
+      let unqualified = [ Apattern.Self { target = W.Company.emp; qual = Cond.True } ] in
+      match (List.hd (Plan.of_query schema unqualified).Plan.steps).Plan.access with
+      | Plan.Extent_scan -> ()
+      | a -> Alcotest.failf "expected a scan, got %a" Plan.pp_access a)
+
+let io_trace_case =
+  Alcotest.test_case "Io_trace length and fused equal" `Quick (fun () ->
+      let t =
+        [ Io_trace.Terminal_out "a";
+          Io_trace.File_write ("f", "x");
+          Io_trace.Terminal_in "b";
+        ]
+      in
+      check "length" true (Io_trace.length t = 3);
+      check "equal" true (Io_trace.equal t t);
+      check "prefix not equal" true
+        (not (Io_trace.equal t [ Io_trace.Terminal_out "a" ]));
+      check "suffix not equal" true
+        (not (Io_trace.equal [ Io_trace.Terminal_out "a" ] t)))
+
+let () =
+  Alcotest.run "plan"
+    [ ("differential", differential_cases @ [ mixed_case ]);
+      ("host", [ host_compiled_case ]);
+      ("cache", [ cache_invalidation_case; stale_plan_case ]);
+      ("ir", [ plan_ir_case; io_trace_case ]);
+    ]

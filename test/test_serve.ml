@@ -45,9 +45,12 @@ let net_req ops =
 let requests ~seed ~n =
   Request.stream ~seed W.Company.schema ~sample:(W.Company.instance ()) ~n ()
 
-let run_service ?(domains = 1) ?(shards = 4) ?(batch = 8) ~cutover ops reqs =
+let run_service ?(domains = 1) ?(shards = 4) ?(batch = 8)
+    ?(use_plan_cache = true) ~cutover ops reqs =
   let config =
-    { Pool.default_config with domains; shards; batch; canary_seed = 7 }
+    { Pool.default_config with
+      domains; shards; batch; canary_seed = 7; use_plan_cache;
+    }
   in
   match Pool.run ~config ~cutover (net_req ops) (W.Company.instance ()) reqs with
   | Ok r -> r
@@ -184,6 +187,37 @@ let deterministic_across_repeats () =
     (fingerprint a = fingerprint b)
 
 (* ------------------------------------------------------------------ *)
+(* (d) the per-shard plan cache: same served behaviour with and
+   without it, and a steady-state stream (few distinct programs) is
+   served almost entirely from cache                                   *)
+
+let plan_cache_transparent () =
+  let sample = W.Company.instance () in
+  let reqs =
+    Request.stream ~seed:505 W.Company.schema ~sample ~n:96 ~distinct:12 ()
+  in
+  let cached =
+    run_service ~domains:2 ~shards:4 ~cutover:promoting_cutover
+      [ interpose_op ] reqs
+  in
+  let uncached =
+    run_service ~domains:2 ~shards:4 ~use_plan_cache:false
+      ~cutover:promoting_cutover [ interpose_op ] reqs
+  in
+  check "same served output with and without the cache" true
+    (terminal_output cached = terminal_output uncached);
+  check "same transitions with and without the cache" true
+    (cached.Pool.transitions = uncached.Pool.transitions);
+  let s = cached.Pool.plan_stats in
+  let module PC = Ccv_plan.Plan_cache in
+  (* 12 distinct programs x 4 shards: at most 48 compilations for 96
+     shadowed requests, everything else served from cache *)
+  check "every lookup beyond first-seen hits" true
+    (s.PC.hits + s.PC.misses = 96 && s.PC.misses <= 48);
+  check "steady state hit rate above one half" true (PC.hit_rate s > 0.5);
+  let z = uncached.Pool.plan_stats in
+  check "disabled cache reports zero stats" true
+    (z.PC.hits = 0 && z.PC.misses = 0)
 
 let () =
   Alcotest.run "serve"
@@ -196,5 +230,7 @@ let () =
             injected_divergence_rolls_back;
           Alcotest.test_case "deterministic given the seed" `Quick
             deterministic_across_repeats;
+          Alcotest.test_case "plan cache is behaviourally transparent" `Quick
+            plan_cache_transparent;
         ] );
     ]
