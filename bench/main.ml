@@ -1270,12 +1270,205 @@ let plan () =
     (100. *. P.Plan_cache.hit_rate s)
 
 (* ------------------------------------------------------------------ *)
+(* SCALING: the persistent worker pool — req/s per domain count with
+   the plan cache on and off, parallel replica preparation, and the
+   pool's park time.  [--smoke] mode (the scaling-smoke id) runs a
+   small batch at 2 domains on every CI push and fails loudly when the
+   pool regresses into negative scaling.                               *)
+
+(* Set by the scaling experiment: the measured throughput argmax.  The
+   meta row prefers it over [Domain.recommended_domain_count] so the
+   recommendation reflects this machine's serving behaviour, not just
+   its core count. *)
+let measured_recommended : int option ref = ref None
+
+let scaling ?(smoke = false) () =
+  section
+    (if smoke then
+       "SCALING-SMOKE  persistent pool regression check (2 domains, small \
+        batch)"
+     else
+       "SCALING  persistent worker pool: req/s by domain count, parallel \
+        replica prep, pool idle time");
+  let module S = Ccv_serve in
+  let seed = 717 in
+  let n = if smoke then 96 else 480 in
+  let distinct = 12 in
+  let nshards = 8 in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  Printf.printf "hardware: Domain.recommended_domain_count () = %d\n\n"
+    (Domain.recommended_domain_count ());
+  let sample = W.Company.instance () in
+  let reqs =
+    S.Request.stream ~seed W.Company.schema ~sample ~n ~distinct ()
+  in
+  let req =
+    { Supervisor.source_schema = W.Company.schema;
+      source_model = Mapping.Net;
+      ops = [ interpose_op ];
+      target_model = Mapping.Net;
+    }
+  in
+  let pinned =
+    { S.Cutover.canary_fraction = 0.25;
+      window = 32;
+      min_observations = 8;
+      max_divergence_rate = 2.0;
+      promote_after = max_int;
+      initial = S.Cutover.Shadow;
+    }
+  in
+  let run_serve ~domains ~use_plan_cache =
+    let config =
+      { S.Pool.default_config with
+        domains; shards = nshards; batch = 24; canary_seed = seed;
+        use_plan_cache;
+      }
+    in
+    match S.Pool.run ~config ~cutover:pinned req sample reqs with
+    | Ok r -> r
+    | Error e -> failwith ("scaling bench: " ^ e)
+  in
+  let rows = ref [] in
+  let cached_thr = ref [] and interp_thr = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (variant, use_plan_cache) ->
+          let r = run_serve ~domains:d ~use_plan_cache in
+          let thr = float r.S.Pool.served /. r.S.Pool.wall_s in
+          let acc = if use_plan_cache then cached_thr else interp_thr in
+          acc := (d, thr) :: !acc;
+          let base =
+            match List.assoc_opt 1 !acc with Some t -> t | None -> thr
+          in
+          emit_json
+            [ ("experiment", json_str "scaling");
+              ("variant", json_str variant);
+              ("domains", string_of_int d);
+              ("served", string_of_int r.S.Pool.served);
+              ("divergent",
+               string_of_int (S.Metrics.total_divergent r.S.Pool.metrics));
+              ("wall_s", json_float r.S.Pool.wall_s);
+              ("req_per_s", json_float thr);
+              ("speedup_vs_1", json_float (thr /. base));
+              ("pool_idle_s", json_float r.S.Pool.pool_idle_s);
+            ];
+          rows :=
+            [ variant; string_of_int d; string_of_int r.S.Pool.served;
+              Tablefmt.float_cell (r.S.Pool.wall_s *. 1000.);
+              Tablefmt.float_cell thr;
+              Tablefmt.float_cell (thr /. base);
+              Tablefmt.float_cell r.S.Pool.pool_idle_s;
+            ]
+            :: !rows)
+        [ ("cached", true); ("interpreted", false) ])
+    domain_counts;
+  Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "persistent pool serving (%d requests, %d shards; speedup is per \
+          variant vs its own 1-domain run)"
+         n nshards)
+    ~aligns:
+      [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+      ]
+    [ "variant"; "domains"; "served"; "wall ms"; "req/s"; "speedup vs 1";
+      "pool idle s" ]
+    (List.rev !rows);
+  (* -- parallel replica preparation: the same pool chunks the bulk
+        data translation ([Supervisor.prepare_serving ?pool]) -------- *)
+  let big = W.Company.scaled ~seed:42 ~n:(if smoke then 120 else 400) in
+  let prep_ms k =
+    let once pool =
+      let r, ms =
+        time_ms (fun () -> Supervisor.prepare_serving ?pool req big)
+      in
+      (match r with
+      | Ok _ -> ()
+      | Error (stage, e) -> failwith ("scaling prep: " ^ stage ^ ": " ^ e));
+      ms
+    in
+    if k = 1 then once None
+    else Workpool.with_pool k (fun pool -> once (Some pool))
+  in
+  let prep_1 = prep_ms 1 in
+  let prows =
+    List.map
+      (fun k ->
+        let ms = if k = 1 then prep_1 else prep_ms k in
+        emit_json
+          [ ("experiment", json_str "scaling");
+            ("variant", json_str "prepare");
+            ("domains", string_of_int k);
+            ("wall_ms", json_float ms);
+            ("speedup_vs_1", json_float (prep_1 /. ms));
+          ];
+        [ string_of_int k; Tablefmt.float_cell ms;
+          Tablefmt.float_cell (prep_1 /. ms);
+        ])
+      domain_counts
+  in
+  print_newline ();
+  Tablefmt.print
+    ~title:
+      "replica preparation (translate + load a scaled instance) on the pool"
+    ~aligns:[ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+    [ "domains"; "prep ms"; "speedup vs 1" ]
+    prows;
+  (* -- recommendation from measurement ------------------------------- *)
+  let best =
+    List.fold_left
+      (fun (bd, bt) (d, t) -> if t > bt then (d, t) else (bd, bt))
+      (1, 0.) !cached_thr
+  in
+  measured_recommended := Some (fst best);
+  meta_extra :=
+    !meta_extra
+    @ [ ("scaling_seed", string_of_int seed);
+        ("scaling_requests", string_of_int n);
+        ("scaling_domain_counts",
+         "[" ^ String.concat ", " (List.map string_of_int domain_counts) ^ "]");
+        ("scaling_best_cached_req_per_s", json_float (snd best));
+      ];
+  Printf.printf
+    "\nmeasured recommendation: %d domain(s) (best cached req/s); hardware \
+     reports %d core(s)\n"
+    (fst best)
+    (Domain.recommended_domain_count ());
+  (* -- smoke gate: fail loudly on negative scaling ------------------- *)
+  if smoke then begin
+    let thr_at acc d = List.assoc d acc in
+    List.iter
+      (fun (variant, acc) ->
+        let t1 = thr_at acc 1 and t2 = thr_at acc 2 in
+        let ratio = t2 /. t1 in
+        Printf.printf "smoke %-12s 1 domain %8.0f req/s, 2 domains %8.0f \
+                       req/s (%.2fx)\n"
+          variant t1 t2 ratio;
+        (* The spawn-per-tick loop this pool replaced collapsed to
+           ~0.3x at 2 domains even on one core; parked workers must
+           stay well clear of that cliff. *)
+        if ratio < 0.4 then begin
+          Printf.eprintf
+            "SCALING REGRESSION: %s throughput at 2 domains is %.2fx the \
+             1-domain run (threshold 0.40x)\n"
+            variant ratio;
+          exit 1
+        end)
+      [ ("cached", !cached_thr); ("interpreted", !interp_thr) ];
+    Printf.printf "smoke: no negative-scaling regression\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("fig31", fig31); ("fig43", fig43);
     ("micro", micro); ("micro-index", micro_index); ("serve", serve);
-    ("plan", plan);
+    ("plan", plan); ("scaling", (fun () -> scaling ()));
+    ("scaling-smoke", (fun () -> scaling ~smoke:true ()));
   ]
 
 let () =
@@ -1309,7 +1502,13 @@ let () =
              ([ ("kind", json_str "meta");
                 ("git_commit", json_str (git_commit ()));
                 ("experiments", json_str (String.concat " " requested));
+                (* measured by the scaling experiment when it ran;
+                   the hardware count is only the fallback *)
                 ("recommended_domain_count",
+                 string_of_int
+                   (Option.value !measured_recommended
+                      ~default:(Domain.recommended_domain_count ())));
+                ("hardware_domain_count",
                  string_of_int (Domain.recommended_domain_count ()));
               ]
              @ !meta_extra))

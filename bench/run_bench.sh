@@ -2,8 +2,9 @@
 # Tier-1 verify plus machine-readable bench emission in one command:
 # build, run the full test suite (including the compiled-vs-interpreted
 # differential property suite), then write BENCH_PR1.json (index
-# micro-bench), BENCH_PR2.json (phased-coexistence service) and
-# BENCH_PR4.json (compiled plans + plan cache) at the repository root.
+# micro-bench), BENCH_PR2.json (phased-coexistence service),
+# BENCH_PR4.json (compiled plans + plan cache) and BENCH_PR5.json
+# (persistent worker-pool scaling) at the repository root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,3 +13,4 @@ dune runtest
 dune exec bench/main.exe -- micro-index --json
 dune exec bench/main.exe -- serve --json --out BENCH_PR2.json
 dune exec bench/main.exe -- plan --json --out BENCH_PR4.json
+dune exec bench/main.exe -- scaling --json --out BENCH_PR5.json

@@ -130,7 +130,7 @@ let run schema_path program_path ops_raw verbose =
 (* serve: drive a workload through the phased-coexistence service      *)
 
 let serve_run ops_raw requests domains shards batch seed canary window
-    min_obs threshold promote strict no_plan_cache =
+    min_obs threshold promote strict no_plan_cache fail_request =
   let module S = Ccv_serve in
   let module W = Ccv_workload in
   let ops =
@@ -166,6 +166,7 @@ let serve_run ops_raw requests domains shards batch seed canary window
       canary_seed = seed;
       tolerate_reordering = not strict;
       use_plan_cache = not no_plan_cache;
+      fail_request;
     }
   in
   match S.Pool.run ~config ~cutover req sample reqs with
@@ -266,12 +267,19 @@ let serve_cmd =
           ~doc:"disable the per-shard compiled plan cache (re-convert and \
                 re-interpret every request)")
   in
+  let fail_request =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fail-request" ] ~docv:"ID"
+          ~doc:"fault injection: crash the worker serving this request id \
+                (exercises worker-failure propagation)")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ ops_arg $ requests $ domains $ shards $ batch $ seed
       $ canary $ window $ min_obs $ threshold $ promote $ strict
-      $ no_plan_cache)
+      $ no_plan_cache $ fail_request)
 
 let cmd =
   let doc =

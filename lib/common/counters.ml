@@ -4,6 +4,7 @@ let create () = { reads = Atomic.make 0; writes = Atomic.make 0 }
 let record_read t = Atomic.incr t.reads
 let record_write t = Atomic.incr t.writes
 let record_reads t n = ignore (Atomic.fetch_and_add t.reads n)
+let record_writes t n = ignore (Atomic.fetch_and_add t.writes n)
 let reads t = Atomic.get t.reads
 let writes t = Atomic.get t.writes
 let total t = Atomic.get t.reads + Atomic.get t.writes
@@ -13,3 +14,21 @@ let reset t =
   Atomic.set t.writes 0
 
 let snapshot t = (Atomic.get t.reads, Atomic.get t.writes)
+
+(* Single-writer staging buffer: plain fields, no atomics, so a worker
+   domain charging per request touches no shared cache line until the
+   flush.  Safe publication is the caller's job — flush either on the
+   owning worker, or on the coordinator after a barrier that ordered
+   the worker's writes before the coordinator's reads. *)
+type local = { mutable lreads : int; mutable lwrites : int }
+
+let local_create () = { lreads = 0; lwrites = 0 }
+let local_record_reads l n = l.lreads <- l.lreads + n
+let local_record_write l = l.lwrites <- l.lwrites + 1
+let local_snapshot l = (l.lreads, l.lwrites)
+
+let flush_local t l =
+  if l.lreads > 0 then record_reads t l.lreads;
+  if l.lwrites > 0 then record_writes t l.lwrites;
+  l.lreads <- 0;
+  l.lwrites <- 0

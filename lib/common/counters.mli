@@ -5,7 +5,16 @@
     Counters are domain-safe: the fields are [Atomic.t], so shard
     workers running on separate domains (see [Ccv_serve]) can charge a
     shared per-phase counter without races.  [snapshot] reads the two
-    fields independently — it is not an atomic pair read. *)
+    fields independently — it is not an atomic pair read.
+
+    Atomic increments from many domains contend on the counter's cache
+    line, so hot loops should not charge shared counters per event.
+    {!local} is the staging half of that bargain: a plain, unshared
+    buffer each worker charges for the duration of a tick, folded into
+    the shared counter once at the barrier with {!flush_local}.  The
+    totals are the same as charging the shared counter directly (the
+    property test in [test_common] pins this); only the number of
+    atomic operations changes. *)
 
 type t
 
@@ -17,6 +26,9 @@ val record_write : t -> unit
 (** Charge [n] reads at once (bulk scans). *)
 val record_reads : t -> int -> unit
 
+(** Charge [n] writes at once (per-tick flushes, bulk loads). *)
+val record_writes : t -> int -> unit
+
 val reads : t -> int
 val writes : t -> int
 val total : t -> int
@@ -24,3 +36,21 @@ val reset : t -> unit
 
 (** [diff after before] as (reads, writes) — [snapshot]-style use. *)
 val snapshot : t -> int * int
+
+(** {2 Single-writer staging buffers} *)
+
+(** Plain mutable fields, no atomics — must only ever be written by
+    one domain at a time. *)
+type local
+
+val local_create : unit -> local
+val local_record_reads : local -> int -> unit
+val local_record_write : local -> unit
+
+(** Staged (reads, writes) not yet flushed. *)
+val local_snapshot : local -> int * int
+
+(** Fold the staged charges into the shared counter and zero the
+    buffer.  Call on the buffer's owning domain, or after a barrier
+    ordering the owner's writes before this read. *)
+val flush_local : t -> local -> unit

@@ -1,0 +1,58 @@
+(** A persistent pool of worker domains driven through a barrier-step
+    protocol.
+
+    [Domain.spawn] costs tens to hundreds of microseconds — paid per
+    batch, it dominates any serving tick short enough to keep shadow
+    verdicts flowing (the throughput collapse BENCH_PR4.json recorded
+    as domains were added).  A pool spawns its workers once; between
+    steps they park on a condition variable, and one step costs a
+    broadcast plus a barrier wait.
+
+    One domain — the one that called {!create} — is the {e
+    coordinator}.  Only it can drive the barrier; a {!step} or
+    {!map_list} issued from any other domain (nested use from inside a
+    task) or re-entrantly while a step is in flight runs the work
+    inline on the caller instead, so composing pooled code cannot
+    deadlock, it only loses parallelism. *)
+
+type t
+
+(** Raised by {!step}/{!map_list} on the coordinator when a task
+    raised; [worker] is the slot whose task failed (0 = the
+    coordinator's own slice).  The barrier still completes first —
+    other workers finish their tasks and return to their parking loop,
+    so the pool remains usable. *)
+exception Worker_error of { worker : int; error : exn }
+
+(** [create n] spawns [n - 1] worker domains (clamped to at least one
+    slot; [n = 1] is a degenerate pool that runs everything inline).
+    [clock] (default [Unix.gettimeofday]) feeds the park-time
+    accounting read back by {!idle_time}. *)
+val create : ?clock:(unit -> float) -> int -> t
+
+(** Worker slots, including the coordinator's slot 0. *)
+val size : t -> int
+
+(** [step t f] runs [f i] for every slot [i] in [0 .. size-1] — slot 0
+    inline on the caller, the rest on the parked workers — and returns
+    the results indexed by slot once all have finished.  The result is
+    therefore deterministic in [f] regardless of scheduling. *)
+val step : t -> (int -> 'a) -> 'a array
+
+(** [map_list t f xs] = [List.map f xs], computed on the pool in
+    strided static slices (element [j] on slot [j mod size]).  Order
+    and content of the result never depend on the pool size. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Total seconds workers have spent parked between steps (excludes
+    the coordinator).  A serving loop whose workers idle most of the
+    wall clock is starved for work per tick, not for domains. *)
+val idle_time : t -> float
+
+(** Stop and join every worker.  Idempotent; the pool must not be
+    stepped afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool n f] = [f (create n)] with a guaranteed {!shutdown},
+    also on exceptions. *)
+val with_pool : ?clock:(unit -> float) -> int -> (t -> 'a) -> 'a

@@ -107,8 +107,8 @@ let convert_program req program =
       optimizer_log;
     }
 
-let translate_database req sdb =
-  match Data_translate.translate_all sdb req.ops with
+let translate_database ?pool req sdb =
+  match Data_translate.translate_all ?pool sdb req.ops with
   | Error e -> Error e
   | Ok (sdb', warnings) ->
       let _, db = realize req.target_model sdb' in
@@ -137,10 +137,10 @@ let serving_fingerprint req =
   in
   Digest.to_hex (Digest.string rendered)
 
-let prepare_serving req sdb =
+let prepare_serving ?pool req sdb =
   let source_mapping = mapping_for req.source_model req.source_schema in
   let _, source_db = realize req.source_model sdb in
-  match translate_database req sdb with
+  match translate_database ?pool req sdb with
   | Error e -> Error ("data-translator", e)
   | Ok (target_db, translated, warnings) ->
       Ok

@@ -44,8 +44,11 @@ val convert_program :
 
 (** Translate a semantic instance along the request's ops and realize
     it in the target model (the data-translation leg of a conversion).
-    Returns the loaded database plus translation warnings. *)
+    Returns the loaded database plus translation warnings.  [pool]
+    parallelizes the bulk translation
+    ({!Ccv_transform.Data_translate}). *)
 val translate_database :
+  ?pool:Ccv_common.Workpool.t ->
   request -> Sdb.t -> (Engines.database * Sdb.t * string list, string) result
 
 (** {2 Serving hook}
@@ -68,7 +71,9 @@ type servable = {
   warnings : string list;  (** data-translation warnings *)
 }
 
-val prepare_serving : request -> Sdb.t -> (servable, string * string) result
+val prepare_serving :
+  ?pool:Ccv_common.Workpool.t ->
+  request -> Sdb.t -> (servable, string * string) result
 
 (** Digest of everything a compiled serving plan depends on — source
     schema, restructuring ops, source and target models.  Plan caches

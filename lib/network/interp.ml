@@ -67,19 +67,38 @@ type outcome = {
 let ok db cur = { db; cur; updates = []; status = Status.Ok }
 let fail db cur status = { db; cur; updates = []; status }
 
-let matches db ~env key cond =
-  match Ndb.view db key with
-  | Some row -> Cond.eval ~env row cond
+(* Qualification scans batch their access charges: every candidate's
+   view cost accumulates in a plain local counter and is paid with a
+   single [record_reads] when the scan finishes — the charge totals
+   are identical to per-record charging, but the serving hot loop does
+   one atomic update per FIND instead of one per record touched. *)
+let matches_costed db ~env ~spent key cond =
+  match Ndb.view_costed db key with
+  | Some (row, cost) ->
+      spent := !spent + cost;
+      Cond.eval ~env row cond
   | None -> false
 
 let find_in_order db ~env keys cond =
-  List.find_opt (fun k -> matches db ~env k cond) keys
+  let spent = ref 0 in
+  let found =
+    List.find_opt (fun k -> matches_costed db ~env ~spent k cond) keys
+  in
+  if !spent > 0 then Counters.record_reads (Ndb.counters db) !spent;
+  found
 
 let find_in_seq db ~env keys cond =
-  Seq.fold_left
-    (fun acc k ->
-      match acc with Some _ -> acc | None -> if matches db ~env k cond then Some k else None)
-    None keys
+  let spent = ref 0 in
+  let found =
+    Seq.fold_left
+      (fun acc k ->
+        match acc with
+        | Some _ -> acc
+        | None -> if matches_costed db ~env ~spent k cond then Some k else None)
+      None keys
+  in
+  if !spent > 0 then Counters.record_reads (Ndb.counters db) !spent;
+  found
 
 (* Equality routing: a [FIELD = const] conjunct (constants may arrive
    through host variables) whose field carries an equality index turns

@@ -111,11 +111,17 @@ let owner_of t ~set ~member =
   | Some m -> Smap.find_opt (Field.canon set) m
   | None -> None
 
-let view_gen ~charge t key =
+(* Resolve a record's full view (stored fields plus virtuals pulled
+   from set owners) together with the access charge it represents: one
+   read for the record plus one per owner actually fetched.  The
+   caller decides when to pay — [view] pays immediately, the network
+   interpreter accumulates a whole scan's charges and pays once per
+   statement, trading per-record atomic increments for a single one. *)
+let view_costed t key =
   match Imap.find_opt key t.records with
   | None -> None
   | Some e ->
-      if charge then Counters.record_read t.counters;
+      let cost = ref 1 in
       let decl = Nschema.find_record_exn t.schema e.rtype in
       let row =
         List.fold_left
@@ -127,17 +133,23 @@ let view_gen ~charge t key =
                   match Imap.find_opt owner t.records with
                   | None -> Value.Null
                   | Some oe ->
-                      if charge then Counters.record_read t.counters;
+                      incr cost;
                       Option.value (Row.get oe.row v.source_field)
                         ~default:Value.Null)
             in
             Row.set row v.vname value)
           e.row decl.virtuals
       in
+      Some (row, !cost)
+
+let view t key =
+  match view_costed t key with
+  | None -> None
+  | Some (row, cost) ->
+      Counters.record_reads t.counters cost;
       Some row
 
-let view t key = view_gen ~charge:true t key
-let view_silent t key = view_gen ~charge:false t key
+let view_silent t key = Option.map fst (view_costed t key)
 
 let all_keys_gen ~charge t rtype =
   let ks = Iset.elements (type_keys t rtype) in

@@ -28,6 +28,13 @@ val get : t -> int -> (string * Row.t) option
     charges one read plus one per resolved virtual. *)
 val view : t -> int -> Row.t option
 
+(** [view_costed db key] — same resolution as [view], but returns the
+    access charge ([1] + one per owner fetched) instead of paying it.
+    Scan loops (see {!Interp}) accumulate these and charge once per
+    statement, so the totals match [view] while the hot path performs
+    one atomic counter update instead of one per record. *)
+val view_costed : t -> int -> (Row.t * int) option
+
 val rtype_of : t -> int -> string option
 
 (** Keys of all records of a type, ascending, from the per-type key

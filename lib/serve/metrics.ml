@@ -75,22 +75,23 @@ let cell_create () =
 
 type t = {
   (* (phase, shard) cells and live per-phase counters, in first-seen
-     order; the coordinator is the only writer of the assoc structure *)
+     order; the coordinator is the only writer of the assoc structure.
+     Workers never call [live] — they charge Counters.local staging
+     buffers that the pool flushes into these counters at the tick
+     barrier, so no mutex guards the assoc lookup any more. *)
   mutable cells : ((string * int) * cell) list;
   mutable live_counters : (string * Counters.t) list;
-  live_mutex : Mutex.t;
 }
 
-let create () = { cells = []; live_counters = []; live_mutex = Mutex.create () }
+let create () = { cells = []; live_counters = [] }
 
 let live t ~phase =
-  Mutex.protect t.live_mutex (fun () ->
-      match List.assoc_opt phase t.live_counters with
-      | Some c -> c
-      | None ->
-          let c = Counters.create () in
-          t.live_counters <- t.live_counters @ [ (phase, c) ];
-          c)
+  match List.assoc_opt phase t.live_counters with
+  | Some c -> c
+  | None ->
+      let c = Counters.create () in
+      t.live_counters <- t.live_counters @ [ (phase, c) ];
+      c
 
 let cell t ~phase ~shard =
   match List.assoc_opt (phase, shard) t.cells with

@@ -4,12 +4,15 @@
     {!Ccv_common.Tablefmt} and exportable as JSON rows.
 
     Aggregation happens on the coordinating thread (outcomes are
-    merged tick by tick), but each phase also carries a {e live}
-    {!Ccv_common.Counters.t} that shard workers charge concurrently
-    from their domains while requests execute — reads accumulate
-    engine record accesses, writes count served requests.  Those
-    counters are the domain-safe ground truth that the merged view is
-    checked against in the tests. *)
+    merged tick by tick), and each phase also carries a {e live}
+    {!Ccv_common.Counters.t} — reads accumulate engine record
+    accesses, writes count served requests.  Shard workers no longer
+    charge it per request from their domains: they stage into
+    per-worker {!Ccv_common.Counters.local} buffers that the pool
+    flushes into the phase counter at every tick barrier, so the hot
+    path touches no shared cache line.  The flushed totals are the
+    ground truth that the merged per-outcome view is checked against
+    in the tests. *)
 
 open Ccv_common
 
@@ -33,9 +36,9 @@ type t
 
 val create : unit -> t
 
-(** The shared per-phase counter, created on first use.  Safe to call
-    from any domain once the phase has been entered by the
-    coordinator. *)
+(** The shared per-phase counter, created on first use.  Coordinator
+    (and post-run reader) only — workers stage into
+    {!Ccv_common.Counters.local} buffers instead. *)
 val live : t -> phase:string -> Counters.t
 
 (** Merge one outcome (coordinator thread only). *)

@@ -1,3 +1,5 @@
+open Ccv_common
+
 type config = {
   domains : int;
   shards : int;
@@ -5,6 +7,7 @@ type config = {
   canary_seed : int;
   tolerate_reordering : bool;
   use_plan_cache : bool;
+  fail_request : int option;
 }
 
 let default_config =
@@ -14,6 +17,7 @@ let default_config =
     canary_seed = 0xC0FFEE;
     tolerate_reordering = true;
     use_plan_cache = true;
+    fail_request = None;
   }
 
 type divergence = {
@@ -34,8 +38,16 @@ type report = {
   plan_stats : Ccv_plan.Plan_cache.stats;
   served : int;
   unserved : int;
+  domains : int;
+  pool_idle_s : float;
   wall_s : float;
 }
+
+(* A worker domain never lets an exception escape into the pool — it
+   would otherwise strand the coordinator at the tick barrier.  The
+   fault is caught next to the failing request and carried back as a
+   value; [run] surfaces it as [Error] naming the shard and request. *)
+type fault = { at_shard : int; at_request : int; fault_detail : string }
 
 let take n l =
   let rec go acc n l =
@@ -47,30 +59,57 @@ let take n l =
 
 let clock () = Unix.gettimeofday ()
 
-let create_shards ~use_plan_cache req sdb nshards =
-  let rec go acc i =
-    if i >= nshards then Ok (List.rev acc)
-    else
-      match Shard.create ~id:i ~use_plan_cache req sdb with
-      | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
-      | Ok s -> go (s :: acc) (i + 1)
+(* Replica preparation is embarrassingly parallel across shards: each
+   shard translates and loads its own source/target pair from the same
+   (persistent) semantic instance.  Shards are assigned to workers the
+   same way ticks assign them (id mod domains); a lone shard instead
+   hands the pool down so the bulk data translation itself chunks
+   across the workers. *)
+let create_shards ~pool ~use_plan_cache req sdb nshards =
+  let ndomains = Workpool.size pool in
+  let mk s =
+    try Shard.create ~id:s ~pool ~use_plan_cache req sdb
+    with e -> Error (Printexc.to_string e)
   in
-  Result.map Array.of_list (go [] 0)
+  let created =
+    if ndomains = 1 || nshards = 1 then
+      List.init nshards (fun s -> (s, mk s))
+    else
+      Workpool.step pool (fun w ->
+          List.filter_map
+            (fun s -> if s mod ndomains = w then Some (s, mk s) else None)
+            (List.init nshards Fun.id))
+      |> Array.to_list |> List.concat
+  in
+  let rec collect acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | (_, Ok s) :: rest -> collect (s :: acc) rest
+    | (i, Error e) :: _ -> Error (Printf.sprintf "shard %d: %s" i e)
+  in
+  collect []
+    (List.sort (fun (a, _) (b, _) -> Int.compare a b) created)
 
 let run ?(config = default_config) ~cutover req sdb requests =
   let nshards = max 1 config.shards in
   let ndomains = max 1 (min config.domains nshards) in
-  match create_shards ~use_plan_cache:config.use_plan_cache req sdb nshards with
+  Workpool.with_pool ~clock ndomains @@ fun pool ->
+  match create_shards ~pool ~use_plan_cache:config.use_plan_cache req sdb
+          nshards
+  with
   | Error e -> Error e
   | Ok shards ->
       let ctl = Cutover.create cutover in
       let metrics = Metrics.create () in
+      let shard_ids = List.init nshards Fun.id in
+      (* per-worker staging buffers, reused across ticks; worker w is
+         the only writer between barriers *)
+      let locals = Array.init ndomains (fun _ -> Counters.local_create ()) in
       let t0 = clock () in
       let rec ticks remaining outcomes_rev div_rev =
         match remaining, Cutover.status ctl with
         | [], _ | _, Cutover.Aborted ->
-            (List.rev outcomes_rev, List.rev div_rev, List.length remaining)
-        | _, Cutover.Serving ->
+            Ok (List.rev outcomes_rev, List.rev div_rev, List.length remaining)
+        | _, Cutover.Serving -> (
             let batch, rest = take config.batch remaining in
             let phase = Cutover.phase ctl in
             let live = Metrics.live metrics ~phase:(Cutover.phase_name phase) in
@@ -81,83 +120,113 @@ let run ?(config = default_config) ~cutover req sdb requests =
                 let s = Request.shard_of r ~nshards in
                 per_shard.(s) <- r :: per_shard.(s))
               (List.rev batch);
-            let process_shard s =
-              List.map
-                (Shard.exec shards.(s) ~phase
-                   ~tolerate_reordering:config.tolerate_reordering
-                   ~canary_seed:config.canary_seed ~live ~clock)
-                per_shard.(s)
-            in
-            let shard_ids_of worker =
-              List.filter
-                (fun s -> s mod ndomains = worker && per_shard.(s) <> [])
-                (List.init nshards Fun.id)
-            in
-            let outcomes =
-              if ndomains = 1 then
-                List.concat_map process_shard
-                  (List.filter
-                     (fun s -> per_shard.(s) <> [])
-                     (List.init nshards Fun.id))
+            let exec_one local s (r : Request.t) =
+              if config.fail_request = Some r.Request.id then
+                failwith "injected worker fault"
               else
-                List.init ndomains shard_ids_of
-                |> List.filter_map (fun ids ->
-                       if ids = [] then None
-                       else
-                         Some
-                           (Domain.spawn (fun () ->
-                                List.concat_map process_shard ids)))
-                |> List.concat_map Domain.join
+                Shard.exec shards.(s) ~phase
+                  ~tolerate_reordering:config.tolerate_reordering
+                  ~canary_seed:config.canary_seed ~live:local ~clock r
             in
-            let outcomes =
-              List.sort
-                (fun (a : Shadow.outcome) b ->
-                  Int.compare a.Shadow.request.Request.id
-                    b.Shadow.request.Request.id)
-                outcomes
+            let job w =
+              let local = locals.(w) in
+              let out = ref [] and fault = ref None in
+              List.iter
+                (fun s ->
+                  if s mod ndomains = w && !fault = None then
+                    List.iter
+                      (fun r ->
+                        if !fault = None then
+                          match exec_one local s r with
+                          | o -> out := o :: !out
+                          | exception e ->
+                              fault :=
+                                Some
+                                  { at_shard = s;
+                                    at_request = r.Request.id;
+                                    fault_detail = Printexc.to_string e;
+                                  })
+                      per_shard.(s))
+                shard_ids;
+              match !fault with Some f -> Error f | None -> Ok (List.rev !out)
             in
-            let div_rev =
-              List.fold_left
-                (fun acc (o : Shadow.outcome) ->
-                  Metrics.record metrics o;
-                  if o.Shadow.shadowed then
-                    Cutover.observe ctl
-                      ~request_id:o.Shadow.request.Request.id
-                      ~divergent:o.Shadow.divergent;
-                  match Shadow.divergence_detail o with
-                  | None -> acc
-                  | Some detail ->
-                      { div_request = o.Shadow.request.Request.id;
-                        div_program =
-                          o.Shadow.request.Request.aprog
-                            .Ccv_abstract.Aprog.name;
-                        div_phase = o.Shadow.phase;
-                        div_shard = o.Shadow.shard;
-                        detail;
-                      }
-                      :: acc)
-                div_rev outcomes
+            let results = Array.to_list (Workpool.step pool job) in
+            (* tick barrier: fold every worker's staged charges into
+               this tick's phase counter (coordinator is the only
+               Atomic writer now, one flush per worker per tick) *)
+            Array.iter (fun l -> Counters.flush_local live l) locals;
+            let faults =
+              List.filter_map
+                (function Error f -> Some f | Ok _ -> None)
+                results
             in
-            ticks rest (List.rev_append outcomes outcomes_rev) div_rev
+            match faults with
+            | f0 :: _ ->
+                (* earliest request id, so the report does not depend
+                   on which worker slot observed its fault first *)
+                Error
+                  (List.fold_left
+                     (fun a b -> if b.at_request < a.at_request then b else a)
+                     f0 faults)
+            | [] ->
+                let outcomes =
+                  List.concat_map
+                    (function Ok os -> os | Error _ -> [])
+                    results
+                  |> List.sort (fun (a : Shadow.outcome) b ->
+                         Int.compare a.Shadow.request.Request.id
+                           b.Shadow.request.Request.id)
+                in
+                let div_rev =
+                  List.fold_left
+                    (fun acc (o : Shadow.outcome) ->
+                      Metrics.record metrics o;
+                      if o.Shadow.shadowed then
+                        Cutover.observe ctl
+                          ~request_id:o.Shadow.request.Request.id
+                          ~divergent:o.Shadow.divergent;
+                      match Shadow.divergence_detail o with
+                      | None -> acc
+                      | Some detail ->
+                          { div_request = o.Shadow.request.Request.id;
+                            div_program =
+                              o.Shadow.request.Request.aprog
+                                .Ccv_abstract.Aprog.name;
+                            div_phase = o.Shadow.phase;
+                            div_shard = o.Shadow.shard;
+                            detail;
+                          }
+                          :: acc)
+                    div_rev outcomes
+                in
+                ticks rest (List.rev_append outcomes outcomes_rev) div_rev)
       in
-      let outcomes, divergences, unserved = ticks requests [] [] in
-      let plan_stats =
-        Array.fold_left
-          (fun acc s -> Ccv_plan.Plan_cache.add_stats acc (Shard.plan_stats s))
-          Ccv_plan.Plan_cache.zero_stats shards
-      in
-      Ok
-        { outcomes;
-          transitions = Cutover.transitions ctl;
-          divergences;
-          final_phase = Cutover.phase ctl;
-          status = Cutover.status ctl;
-          metrics;
-          plan_stats;
-          served = List.length outcomes;
-          unserved;
-          wall_s = clock () -. t0;
-        }
+      (match ticks requests [] [] with
+      | Error { at_shard; at_request; fault_detail } ->
+          Error
+            (Printf.sprintf "worker failure at shard %d, request %d: %s"
+               at_shard at_request fault_detail)
+      | Ok (outcomes, divergences, unserved) ->
+          let plan_stats =
+            Array.fold_left
+              (fun acc s ->
+                Ccv_plan.Plan_cache.add_stats acc (Shard.plan_stats s))
+              Ccv_plan.Plan_cache.zero_stats shards
+          in
+          Ok
+            { outcomes;
+              transitions = Cutover.transitions ctl;
+              divergences;
+              final_phase = Cutover.phase ctl;
+              status = Cutover.status ctl;
+              metrics;
+              plan_stats;
+              served = List.length outcomes;
+              unserved;
+              domains = ndomains;
+              pool_idle_s = Workpool.idle_time pool;
+              wall_s = clock () -. t0;
+            })
 
 let render r =
   let b = Buffer.create 1024 in
@@ -169,6 +238,9 @@ let render r =
        | Cutover.Serving -> "serving"
        | Cutover.Aborted ->
            Printf.sprintf "ABORTED, %d request(s) unserved" r.unserved));
+  Buffer.add_string b
+    (Printf.sprintf "pool: %d worker domain(s), %.3fs parked between ticks\n"
+       r.domains r.pool_idle_s);
   let ps = r.plan_stats in
   if ps.Ccv_plan.Plan_cache.hits + ps.Ccv_plan.Plan_cache.misses > 0 then
     Buffer.add_string b

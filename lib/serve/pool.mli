@@ -1,21 +1,37 @@
-(** The serving loop: an OCaml 5 [Domain]-based worker pool over
+(** The serving loop: a persistent OCaml 5 [Domain] worker pool over
     shards, driven tick by tick through the {!Cutover} state machine.
 
-    Each tick takes the next [batch] requests in id order, routes them
-    to their shards ([Request.shard_of]), executes every shard's slice
-    on one of [domains] workers, then joins and feeds the shadow
-    verdicts to the controller in request-id order.  Phase decisions
-    therefore depend only on the request stream, the seed and the
-    shard count — never on the domain count or scheduling — which is
-    what makes runs reproducible: the same stream under 1 domain and
+    The pool ({!Ccv_common.Workpool}) is spawned once per {!run} —
+    [domains - 1] long-lived worker domains plus the caller — and the
+    same workers serve every tick, prepare the shard replicas and chunk
+    the bulk data translation; nothing is spawned per tick.  Each tick
+    takes the next [batch] requests in id order, routes them to their
+    shards ([Request.shard_of]), executes shard [s]'s slice on worker
+    [s mod domains], parks the workers at the tick barrier, then feeds
+    the shadow verdicts to the controller in request-id order.  Phase
+    decisions therefore depend only on the request stream, the seed and
+    the shard count — never on the domain count or scheduling — which
+    is what makes runs reproducible: the same stream under 1 domain and
     under 8 yields the same transitions, divergence counts and served
-    output. *)
+    output.
+
+    Workers stage their access charges in per-worker
+    {!Ccv_common.Counters.local} buffers (plain mutable ints, no
+    atomics); the coordinator folds them into the phase's live counter
+    at the tick barrier, so the request hot path shares no counter
+    cache line between domains.
+
+    A worker never lets an exception escape into the pool.  Faults are
+    caught next to the failing request and surfaced as [Error] from
+    {!run}, naming the shard and the smallest failing request id —
+    deterministic regardless of which worker slot hit its fault
+    first. *)
 
 open Ccv_model
 open Ccv_convert
 
 type config = {
-  domains : int;  (** worker domains; 1 = run inline *)
+  domains : int;  (** worker domains in the pool; capped at [shards] *)
   shards : int;  (** replica pairs; fixes routing, so keep it stable *)
   batch : int;  (** requests per tick (phase decisions happen between) *)
   canary_seed : int;  (** seed for deterministic canary routing *)
@@ -26,6 +42,10 @@ type config = {
       (** serve through per-shard compiled plan caches
           ({!Shard.create}); [false] re-converts and re-interprets
           every request, the pre-compilation behaviour *)
+  fail_request : int option;
+      (** fault injection: the worker executing this request id raises
+          instead, exercising the crash-propagation path ([Error] from
+          {!run}).  [None] (the default) in production *)
 }
 
 val default_config : config
@@ -50,13 +70,18 @@ type report = {
           when [use_plan_cache] is off *)
   served : int;
   unserved : int;  (** requests dropped by an abort *)
+  domains : int;  (** worker slots actually used (after the shard cap) *)
+  pool_idle_s : float;
+      (** cumulative seconds workers spent parked at the tick barrier —
+          the load-imbalance signal the bench reports *)
   wall_s : float;
 }
 
 (** [run ~config ~cutover req sdb requests] — [req] describes the
     conversion (source schema/model, restructuring ops, target model);
     [sdb] is the semantic instance every shard replicates.  [Error _]
-    when a shard's replica pair cannot be prepared. *)
+    when a shard's replica pair cannot be prepared, or when a worker
+    fault (see [fail_request]) interrupts serving. *)
 val run :
   ?config:config ->
   cutover:Cutover.config ->

@@ -25,8 +25,8 @@ let id t = t.shard_id
 let warnings t = t.servable.Supervisor.warnings
 let plan_stats t = Plan_cache.stats t.cache
 
-let create ~id ?(use_plan_cache = true) req sdb =
-  match Supervisor.prepare_serving req sdb with
+let create ~id ?pool ?(use_plan_cache = true) req sdb =
+  match Supervisor.prepare_serving ?pool req sdb with
   | Error (stage, reason) -> Error (stage ^ ": " ^ reason)
   | Ok servable ->
       Ok
@@ -105,8 +105,8 @@ let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock request =
   let phase_name = Cutover.phase_name phase in
   let finish ~decision ~shadowed ~verdict ~divergent ~refused ~served_trace
       ~source_accesses ~target_accesses =
-    Counters.record_reads live (source_accesses + target_accesses);
-    Counters.record_write live;
+    Counters.local_record_reads live (source_accesses + target_accesses);
+    Counters.local_record_write live;
     { Shadow.request;
       shard = t.shard_id;
       phase = phase_name;

@@ -21,9 +21,13 @@ val id : t -> int
     {!Ccv_plan.Plan_cache} keyed by the serving fingerprint —
     subsequent requests for the same program skip the whole
     analyze/convert/generate/compile pipeline.  Conversion refusals
-    are cached too; the served behaviour is identical either way. *)
+    are cached too; the served behaviour is identical either way.
+    [pool] parallelizes the bulk data translation of replica
+    preparation (no-op when creation itself already runs on a pool
+    worker). *)
 val create :
-  id:int -> ?use_plan_cache:bool -> Supervisor.request -> Sdb.t ->
+  id:int -> ?pool:Ccv_common.Workpool.t -> ?use_plan_cache:bool ->
+  Supervisor.request -> Sdb.t ->
   (t, string) result
 
 (** Data-translation warnings from replica preparation. *)
@@ -33,16 +37,17 @@ val warnings : t -> string list
     zero when the cache is disabled). *)
 val plan_stats : t -> Ccv_plan.Plan_cache.stats
 
-(** Execute one request under the given phase.  [live] is the shared
-    per-phase counter charged while the request runs (engine accesses
-    as reads, one write per served request); [clock] supplies seconds
-    for latency measurement. *)
+(** Execute one request under the given phase.  [live] is the calling
+    worker's staging buffer, charged while the request runs (engine
+    accesses as reads, one write per served request) and flushed into
+    the shared per-phase counter at the tick barrier; [clock] supplies
+    seconds for latency measurement. *)
 val exec :
   t ->
   phase:Cutover.phase ->
   tolerate_reordering:bool ->
   canary_seed:int ->
-  live:Counters.t ->
+  live:Counters.local ->
   clock:(unit -> float) ->
   Request.t ->
   Shadow.outcome

@@ -1,16 +1,40 @@
 open Ccv_common
 open Ccv_model
 
+(* Chunked parallel map: stage bulk row/link rewriting on a worker
+   pool when one is supplied (replica preparation for a many-shard
+   service hands the serving pool down here).  [Workpool.map_list]
+   preserves input order and falls back to inline execution when the
+   caller is itself a pool worker, so translation behaves identically
+   with and without the pool — only the wall clock changes. *)
+let pmap ?pool f xs =
+  match pool with
+  | Some p when Workpool.size p > 1 -> Workpool.map_list p f xs
+  | Some _ | None -> List.map f xs
+
 (* Rebuild an instance under a new schema through a per-entity row
-   rewriter and a per-assoc link rewriter.  Elements the new schema's
+   rewriter and a per-assoc link rewriter.  Row and link computation is
+   staged per entity/assoc (in parallel under [pool]); the
+   constraint-checked inserts stay sequential because every insert
+   threads the persistent instance.  Elements the new schema's
    declarative constraints reject are dropped with a warning — the
    paper's "conversion when not all information is preserved" caveat
    surfaces here instead of crashing the translation. *)
-let rebuild ~old_db ~new_schema ~entity_rows ~assoc_links =
+let rebuild ?pool ~old_db ~new_schema ~entity_rows ~assoc_links () =
+  let staged_rows =
+    pmap ?pool
+      (fun (e : Semantic.entity) -> (e, entity_rows e))
+      new_schema.Semantic.entities
+  in
+  let staged_links =
+    pmap ?pool
+      (fun (a : Semantic.assoc) -> (a, assoc_links a))
+      new_schema.Semantic.assocs
+  in
   let db = ref (Sdb.create new_schema) in
   let dropped = ref [] in
   List.iter
-    (fun (e : Semantic.entity) ->
+    (fun ((e : Semantic.entity), rows) ->
       List.iter
         (fun row ->
           match Sdb.insert_entity !db e.ename row with
@@ -19,10 +43,10 @@ let rebuild ~old_db ~new_schema ~entity_rows ~assoc_links =
               dropped :=
                 Fmt.str "%s %a dropped: %a" e.ename Row.pp row Status.pp s
                 :: !dropped)
-        (entity_rows e))
-    new_schema.Semantic.entities;
+        rows)
+    staged_rows;
   List.iter
-    (fun (a : Semantic.assoc) ->
+    (fun ((a : Semantic.assoc), links) ->
       List.iter
         (fun ((left, right, attrs) : Value.t list * Value.t list * Row.t) ->
           match Sdb.link ~attrs !db a.aname ~left ~right with
@@ -30,8 +54,8 @@ let rebuild ~old_db ~new_schema ~entity_rows ~assoc_links =
           | Error s ->
               dropped :=
                 Fmt.str "%s link dropped: %a" a.aname Status.pp s :: !dropped)
-        (assoc_links a))
-    new_schema.Semantic.assocs;
+        links)
+    staged_links;
   ignore old_db;
   (!db, List.rev !dropped)
 
@@ -40,7 +64,7 @@ let same_links old_db (a : Semantic.assoc) =
     (fun (l : Sdb.link) -> (l.lkey, l.rkey, l.attrs))
     (Sdb.links_silent old_db a.aname)
 
-let translate db op =
+let translate ?pool db op =
   let old_schema = Sdb.schema db in
   match Schema_change.apply old_schema op with
   | Error msg -> Error msg
@@ -50,22 +74,22 @@ let translate db op =
       match op with
       | Schema_change.Add_constraint _ ->
           let db', dropped =
-            rebuild ~old_db:db ~new_schema ~entity_rows:keep_rows
-              ~assoc_links:keep_links
+            rebuild ?pool ~old_db:db ~new_schema ~entity_rows:keep_rows
+              ~assoc_links:keep_links ()
           in
           Ok (db', dropped @ Sdb.validate db')
       | Schema_change.Drop_constraint _ | Schema_change.Widen_cardinality _ ->
           Ok
-            (rebuild ~old_db:db ~new_schema ~entity_rows:keep_rows
-               ~assoc_links:keep_links)
+            (rebuild ?pool ~old_db:db ~new_schema ~entity_rows:keep_rows
+               ~assoc_links:keep_links ())
       | Schema_change.Rename_entity { from_; to_ } ->
           let entity_rows (e : Semantic.entity) =
             let source = if Field.name_equal e.ename to_ then from_ else e.ename in
             Sdb.rows_silent db source
           in
           Ok
-            (rebuild ~old_db:db ~new_schema ~entity_rows
-               ~assoc_links:keep_links)
+            (rebuild ?pool ~old_db:db ~new_schema ~entity_rows
+               ~assoc_links:keep_links ())
       | Schema_change.Rename_field { entity; from_; to_ } ->
           let entity_rows (e : Semantic.entity) =
             let rows = Sdb.rows_silent db e.ename in
@@ -74,8 +98,8 @@ let translate db op =
             else rows
           in
           Ok
-            (rebuild ~old_db:db ~new_schema ~entity_rows
-               ~assoc_links:keep_links)
+            (rebuild ?pool ~old_db:db ~new_schema ~entity_rows
+               ~assoc_links:keep_links ())
       | Schema_change.Rename_assoc { from_; to_ } ->
           let assoc_links (a : Semantic.assoc) =
             let source = if Field.name_equal a.aname to_ then from_ else a.aname in
@@ -84,7 +108,8 @@ let translate db op =
               (Sdb.links_silent db source)
           in
           Ok
-            (rebuild ~old_db:db ~new_schema ~entity_rows:keep_rows ~assoc_links)
+            (rebuild ?pool ~old_db:db ~new_schema ~entity_rows:keep_rows
+               ~assoc_links ())
       | Schema_change.Add_field { entity; field; default } ->
           let entity_rows (e : Semantic.entity) =
             let rows = Sdb.rows_silent db e.ename in
@@ -93,8 +118,8 @@ let translate db op =
             else rows
           in
           Ok
-            (rebuild ~old_db:db ~new_schema ~entity_rows
-               ~assoc_links:keep_links)
+            (rebuild ?pool ~old_db:db ~new_schema ~entity_rows
+               ~assoc_links:keep_links ())
       | Schema_change.Drop_field { entity; field } ->
           let entity_rows (e : Semantic.entity) =
             let rows = Sdb.rows_silent db e.ename in
@@ -103,7 +128,8 @@ let translate db op =
             else rows
           in
           let db', dropped =
-            rebuild ~old_db:db ~new_schema ~entity_rows ~assoc_links:keep_links
+            rebuild ?pool ~old_db:db ~new_schema ~entity_rows
+              ~assoc_links:keep_links ()
           in
           Ok
             ( db',
@@ -125,7 +151,8 @@ let translate db op =
           (* Links touching dropped instances fail the endpoint check
              in [rebuild] and are reported as dropped. *)
           let db', dropped =
-            rebuild ~old_db:db ~new_schema ~entity_rows ~assoc_links:keep_links
+            rebuild ?pool ~old_db:db ~new_schema ~entity_rows
+              ~assoc_links:keep_links ()
           in
           Ok
             ( db',
@@ -151,13 +178,16 @@ let translate db op =
                         Option.value (Row.get mrow g) ~default:Value.Null)
                       group_by )
           in
+          (* the per-link owner/group lookups are the bulk of the
+             interposition; stage them chunked on the pool, then dedup
+             sequentially in link order *)
+          let keyed_links = pmap ?pool n_key_of links in
           let n_instances =
             List.fold_left
-              (fun acc l ->
-                match n_key_of l with
+              (fun acc -> function
                 | Some pair when not (List.mem pair acc) -> acc @ [ pair ]
                 | Some _ | None -> acc)
-              [] links
+              [] keyed_links
           in
           let nfields, _ =
             Schema_change.interpose_entity_fields old_schema ~through ~group_by
@@ -208,7 +238,7 @@ let translate db op =
             else same_links db a'
           in
           let db', dropped =
-            rebuild ~old_db:db ~new_schema ~entity_rows ~assoc_links
+            rebuild ?pool ~old_db:db ~new_schema ~entity_rows ~assoc_links ()
           in
           Ok (db', List.rev !warnings @ dropped)
       | Schema_change.Collapse
@@ -272,18 +302,18 @@ let translate db op =
                 right_links
             else same_links db a'
           in
-          Ok (rebuild ~old_db:db ~new_schema ~entity_rows ~assoc_links))
+          Ok (rebuild ?pool ~old_db:db ~new_schema ~entity_rows ~assoc_links ()))
 
 let translate_exn db op =
   match translate db op with
   | Ok (db, _) -> db
   | Error msg -> invalid_arg ("Data_translate.translate_exn: " ^ msg)
 
-let translate_all db ops =
+let translate_all ?pool db ops =
   List.fold_left
     (fun acc op ->
       Result.bind acc (fun (db, warnings) ->
           Result.map
             (fun (db', w) -> (db', warnings @ w))
-            (translate db op)))
+            (translate ?pool db op)))
     (Ok (db, [])) ops

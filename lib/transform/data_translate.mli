@@ -5,14 +5,22 @@
 
     Translation can emit warnings (e.g. grouped fields of instances
     with no association partner are lost; a newly added constraint is
-    violated by existing data). *)
+    violated by existing data).
+
+    [pool] parallelizes the bulk row/link staging (per-entity,
+    per-assoc and per-link chunks on a {!Ccv_common.Workpool}); the
+    constraint-checked rebuild of the instance stays sequential, so
+    the translated database and the warning list are identical with
+    and without a pool. *)
 
 open Ccv_model
 
 val translate :
+  ?pool:Ccv_common.Workpool.t ->
   Sdb.t -> Schema_change.op -> (Sdb.t * string list, string) result
 
 val translate_exn : Sdb.t -> Schema_change.op -> Sdb.t
 
 val translate_all :
+  ?pool:Ccv_common.Workpool.t ->
   Sdb.t -> Schema_change.op list -> (Sdb.t * string list, string) result

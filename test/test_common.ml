@@ -255,6 +255,102 @@ let misc_tests =
           (List.length (List.sort_uniq compare codes) = List.length codes));
   ]
 
+(* ---------------- Workpool ---------------- *)
+
+let workpool_tests =
+  [ Alcotest.test_case "step runs one task per slot" `Quick (fun () ->
+        Workpool.with_pool 4 (fun p ->
+            check "size" true (Workpool.size p = 4);
+            let r = Workpool.step p (fun w -> w * 10) in
+            check "results land by slot" true
+              (Array.to_list r = [ 0; 10; 20; 30 ])));
+    Alcotest.test_case "workers persist across many steps" `Quick (fun () ->
+        Workpool.with_pool 3 (fun p ->
+            for i = 1 to 50 do
+              let r = Workpool.step p (fun w -> w + i) in
+              check "tick results" true (Array.to_list r = [ i; i + 1; i + 2 ])
+            done));
+    Alcotest.test_case "nested step falls back inline (no deadlock)" `Quick
+      (fun () ->
+        Workpool.with_pool 2 (fun p ->
+            let r =
+              Workpool.step p (fun w ->
+                  Array.to_list (Workpool.step p (fun v -> (w, v))))
+            in
+            check "outer width" true (Array.length r = 2);
+            Array.iteri
+              (fun w inner ->
+                check "inner ran inline" true (inner = [ (w, 0); (w, 1) ]))
+              r));
+    Alcotest.test_case "worker exception surfaces as Worker_error" `Quick
+      (fun () ->
+        Workpool.with_pool 4 (fun p ->
+            (try
+               ignore
+                 (Workpool.step p (fun w ->
+                      if w = 2 then failwith "boom" else w));
+               Alcotest.fail "expected Worker_error"
+             with Workpool.Worker_error { worker = 2; _ } -> ());
+            (* the failed step must not poison the pool *)
+            let r = Workpool.step p (fun w -> w) in
+            check "pool still serves" true (Array.to_list r = [ 0; 1; 2; 3 ])));
+    Alcotest.test_case "map_list preserves input order" `Quick (fun () ->
+        Workpool.with_pool 3 (fun p ->
+            let xs = List.init 23 Fun.id in
+            check "order" true
+              (Workpool.map_list p (fun x -> x * x) xs
+              = List.map (fun x -> x * x) xs)));
+    Alcotest.test_case "shutdown is idempotent" `Quick (fun () ->
+        let p = Workpool.create 3 in
+        ignore (Workpool.step p (fun w -> w));
+        Workpool.shutdown p;
+        Workpool.shutdown p);
+  ]
+
+(* ---------------- Counters.local staging ---------------- *)
+
+let local_counter_tests =
+  [ Alcotest.test_case "flush_local drains the buffer" `Quick (fun () ->
+        let t = Counters.create () in
+        let l = Counters.local_create () in
+        Counters.local_record_reads l 3;
+        Counters.local_record_write l;
+        check "snapshot" true (Counters.local_snapshot l = (3, 1));
+        Counters.flush_local t l;
+        Counters.flush_local t l;
+        (* second flush adds nothing *)
+        check "reads" true (Counters.reads t = 3);
+        check "writes" true (Counters.writes t = 1);
+        check "drained" true (Counters.local_snapshot l = (0, 0)));
+  ]
+
+let local_counter_props =
+  [ QCheck.Test.make
+      ~name:"partitioned local flushes equal direct atomic totals" ~count:200
+      QCheck.(pair (int_range 1 8) (small_list (pair (int_range 0 20) bool)))
+      (fun (k, events) ->
+        (* the same event stream charged directly into the shared
+           counter vs staged across k per-worker buffers and flushed at
+           a barrier — the serving pool's metrics path *)
+        let direct = Counters.create () in
+        List.iter
+          (fun (n, is_write) ->
+            if is_write then Counters.record_write direct
+            else Counters.record_reads direct n)
+          events;
+        let staged = Counters.create () in
+        let locals = Array.init k (fun _ -> Counters.local_create ()) in
+        List.iteri
+          (fun i (n, is_write) ->
+            let l = locals.(i mod k) in
+            if is_write then Counters.local_record_write l
+            else Counters.local_record_reads l n)
+          events;
+        Array.iter (Counters.flush_local staged) locals;
+        Counters.reads staged = Counters.reads direct
+        && Counters.writes staged = Counters.writes direct);
+  ]
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -267,4 +363,7 @@ let () =
       ("prng", prng_tests);
       qsuite "prng-props" prng_props;
       ("misc", misc_tests);
+      ("workpool", workpool_tests);
+      ("counters-local", local_counter_tests);
+      qsuite "counters-local-props" local_counter_props;
     ]

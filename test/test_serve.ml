@@ -186,6 +186,61 @@ let deterministic_across_repeats () =
   check "domain count does not change behaviour" true
     (fingerprint a = fingerprint b)
 
+(* The persistent pool's invariant, checked on the full report: the
+   same stream under 1, 2 and 8 domains produces identical outcomes,
+   transitions and divergence logs, field for field. *)
+let deterministic_across_domain_counts () =
+  let go domains =
+    let reqs = requests ~seed:707 ~n:64 in
+    run_service ~domains ~shards:8 ~cutover:rollback_cutover [ restrict_op ]
+      reqs
+  in
+  let a = go 1 and b = go 2 and c = go 8 in
+  let outcome_fp (o : Shadow.outcome) =
+    ( o.Shadow.request.Request.id,
+      o.Shadow.phase,
+      o.Shadow.shard,
+      o.Shadow.shadowed,
+      o.Shadow.divergent,
+      Io_trace.terminal_lines o.Shadow.served_trace )
+  in
+  let fp (r : Pool.report) =
+    ( List.map outcome_fp r.Pool.outcomes,
+      r.Pool.transitions,
+      r.Pool.divergences )
+  in
+  check "1 domain = 2 domains" true (fp a = fp b);
+  check "1 domain = 8 domains" true (fp a = fp c);
+  check "report records the domain count used" true
+    (a.Pool.domains = 1 && b.Pool.domains = 2 && c.Pool.domains = 8)
+
+(* ------------------------------------------------------------------ *)
+(* (e) worker crashes surface as Error, not a hang or a corrupt report *)
+
+let worker_fault_propagates () =
+  let reqs = requests ~seed:606 ~n:40 in
+  List.iter
+    (fun domains ->
+      let config =
+        { Pool.default_config with
+          domains; shards = 4; batch = 8; canary_seed = 7;
+          fail_request = Some 17;
+        }
+      in
+      match
+        Pool.run ~config ~cutover:promoting_cutover (net_req [ interpose_op ])
+          (W.Company.instance ()) reqs
+      with
+      | Ok _ ->
+          Alcotest.failf "%d domains: injected fault did not surface" domains
+      | Error e ->
+          let label = Printf.sprintf "%d domains" domains in
+          check (label ^ ": error names the worker failure") true
+            (contains ~affix:"worker failure" e);
+          check (label ^ ": error names the failing request") true
+            (contains ~affix:"request 17" e))
+    [ 1; 2; 4 ]
+
 (* ------------------------------------------------------------------ *)
 (* (d) the per-shard plan cache: same served behaviour with and
    without it, and a steady-state stream (few distinct programs) is
@@ -230,6 +285,10 @@ let () =
             injected_divergence_rolls_back;
           Alcotest.test_case "deterministic given the seed" `Quick
             deterministic_across_repeats;
+          Alcotest.test_case "identical reports under 1, 2 and 8 domains"
+            `Quick deterministic_across_domain_counts;
+          Alcotest.test_case "worker fault propagates as Error" `Quick
+            worker_fault_propagates;
           Alcotest.test_case "plan cache is behaviourally transparent" `Quick
             plan_cache_transparent;
         ] );
