@@ -1318,65 +1318,111 @@ let scaling ?(smoke = false) () =
       initial = S.Cutover.Shadow;
     }
   in
-  let run_serve ~domains ~use_plan_cache =
+  let run_serve ~domains ~use_plan_cache ~epoch_serving =
     let config =
       { S.Pool.default_config with
         domains; shards = nshards; batch = 24; canary_seed = seed;
-        use_plan_cache;
+        use_plan_cache; epoch_serving;
       }
     in
-    match S.Pool.run ~config ~cutover:pinned req sample reqs with
-    | Ok r -> r
-    | Error e -> failwith ("scaling bench: " ^ e)
+    let once () =
+      match S.Pool.run ~config ~cutover:pinned req sample reqs with
+      | Ok r -> r
+      | Error e -> failwith ("scaling bench: " ^ e)
+    in
+    (* served traffic is deterministic per config, so the trials differ
+       only in timing: keep the fastest to damp scheduler noise on
+       millisecond-scale runs *)
+    let r0 = once () in
+    List.fold_left
+      (fun best _ ->
+        let r = once () in
+        if r.S.Pool.wall_s < best.S.Pool.wall_s then r else best)
+      r0 [ (); () ]
   in
   let rows = ref [] in
-  let cached_thr = ref [] and interp_thr = ref [] in
+  (* throughput per (variant, mode), for baselines and the smoke gate *)
+  let thr_acc : ((string * string) * (int * float) list ref) list =
+    List.concat_map
+      (fun v -> List.map (fun m -> ((v, m), ref [])) [ "epoch"; "barrier" ])
+      [ "cached"; "interpreted" ]
+  in
+  let idle_acc : ((string * string * int) * float) list ref = ref [] in
   List.iter
     (fun d ->
       List.iter
         (fun (variant, use_plan_cache) ->
-          let r = run_serve ~domains:d ~use_plan_cache in
-          let thr = float r.S.Pool.served /. r.S.Pool.wall_s in
-          let acc = if use_plan_cache then cached_thr else interp_thr in
-          acc := (d, thr) :: !acc;
-          let base =
-            match List.assoc_opt 1 !acc with Some t -> t | None -> thr
-          in
-          emit_json
-            [ ("experiment", json_str "scaling");
-              ("variant", json_str variant);
-              ("domains", string_of_int d);
-              ("served", string_of_int r.S.Pool.served);
-              ("divergent",
-               string_of_int (S.Metrics.total_divergent r.S.Pool.metrics));
-              ("wall_s", json_float r.S.Pool.wall_s);
-              ("req_per_s", json_float thr);
-              ("speedup_vs_1", json_float (thr /. base));
-              ("pool_idle_s", json_float r.S.Pool.pool_idle_s);
-            ];
-          rows :=
-            [ variant; string_of_int d; string_of_int r.S.Pool.served;
-              Tablefmt.float_cell (r.S.Pool.wall_s *. 1000.);
-              Tablefmt.float_cell thr;
-              Tablefmt.float_cell (thr /. base);
-              Tablefmt.float_cell r.S.Pool.pool_idle_s;
-            ]
-            :: !rows)
+          List.iter
+            (fun (mode, epoch_serving) ->
+              let r = run_serve ~domains:d ~use_plan_cache ~epoch_serving in
+              let thr = float r.S.Pool.served /. r.S.Pool.wall_s in
+              let acc = List.assoc (variant, mode) thr_acc in
+              acc := (d, thr) :: !acc;
+              idle_acc :=
+                ((variant, mode, d), r.S.Pool.pool_idle_s) :: !idle_acc;
+              let base =
+                match List.assoc_opt 1 !acc with Some t -> t | None -> thr
+              in
+              emit_json
+                [ ("experiment", json_str "scaling");
+                  ("variant", json_str variant);
+                  ("mode", json_str mode);
+                  ("domains", string_of_int d);
+                  ("served", string_of_int r.S.Pool.served);
+                  ("divergent",
+                   string_of_int (S.Metrics.total_divergent r.S.Pool.metrics));
+                  ("wall_s", json_float r.S.Pool.wall_s);
+                  ("req_per_s", json_float thr);
+                  ("speedup_vs_1", json_float (thr /. base));
+                  ("pool_idle_s", json_float r.S.Pool.pool_idle_s);
+                  ("worker_idle_s",
+                   "["
+                   ^ String.concat ", "
+                       (List.map json_float r.S.Pool.worker_idle_s)
+                   ^ "]");
+                ];
+              rows :=
+                [ variant; mode; string_of_int d;
+                  string_of_int r.S.Pool.served;
+                  Tablefmt.float_cell (r.S.Pool.wall_s *. 1000.);
+                  Tablefmt.float_cell thr;
+                  Tablefmt.float_cell (thr /. base);
+                  Tablefmt.float_cell r.S.Pool.pool_idle_s;
+                ]
+                :: !rows)
+            [ ("epoch", true); ("barrier", false) ])
         [ ("cached", true); ("interpreted", false) ])
     domain_counts;
+  let cached_thr = !(List.assoc ("cached", "epoch") thr_acc) in
   Tablefmt.print
     ~title:
       (Printf.sprintf
-         "persistent pool serving (%d requests, %d shards; speedup is per \
-          variant vs its own 1-domain run)"
+         "pool serving, epoch snapshots vs tick barrier (%d requests, %d \
+          shards; speedup is per variant+mode vs its own 1-domain run)"
          n nshards)
     ~aligns:
-      [ Tablefmt.Left; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
-        Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+      [ Tablefmt.Left; Tablefmt.Left; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
       ]
-    [ "variant"; "domains"; "served"; "wall ms"; "req/s"; "speedup vs 1";
-      "pool idle s" ]
+    [ "variant"; "mode"; "domains"; "served"; "wall ms"; "req/s";
+      "speedup vs 1"; "idle s" ]
     (List.rev !rows);
+  (* idle-time head-to-head: the coordination overhead the epoch
+     pipeline removes *)
+  print_newline ();
+  Tablefmt.print
+    ~title:"coordination idle seconds, barrier vs epoch (cached variant)"
+    ~aligns:
+      [ Tablefmt.Right; Tablefmt.Right; Tablefmt.Right ]
+    [ "domains"; "barrier idle s"; "epoch idle s" ]
+    (List.map
+       (fun d ->
+         [ string_of_int d;
+           Tablefmt.float_cell
+             (List.assoc ("cached", "barrier", d) !idle_acc);
+           Tablefmt.float_cell (List.assoc ("cached", "epoch", d) !idle_acc);
+         ])
+       domain_counts);
   (* -- parallel replica preparation: the same pool chunks the bulk
         data translation ([Supervisor.prepare_serving ?pool]) -------- *)
   let big = W.Company.scaled ~seed:42 ~n:(if smoke then 120 else 400) in
@@ -1421,7 +1467,7 @@ let scaling ?(smoke = false) () =
   let best =
     List.fold_left
       (fun (bd, bt) (d, t) -> if t > bt then (d, t) else (bd, bt))
-      (1, 0.) !cached_thr
+      (1, 0.) cached_thr
   in
   measured_recommended := Some (fst best);
   meta_extra :=
@@ -1431,6 +1477,9 @@ let scaling ?(smoke = false) () =
         ("scaling_domain_counts",
          "[" ^ String.concat ", " (List.map string_of_int domain_counts) ^ "]");
         ("scaling_best_cached_req_per_s", json_float (snd best));
+        ("epoch_batch",
+         string_of_int S.Pool.default_config.S.Pool.epoch_batch);
+        ("epoch_lag", string_of_int S.Pool.default_config.S.Pool.epoch_lag);
       ];
   Printf.printf
     "\nmeasured recommendation: %d domain(s) (best cached req/s); hardware \
@@ -1439,26 +1488,47 @@ let scaling ?(smoke = false) () =
     (Domain.recommended_domain_count ());
   (* -- smoke gate: fail loudly on negative scaling ------------------- *)
   if smoke then begin
-    let thr_at acc d = List.assoc d acc in
+    let thr_of variant mode =
+      let acc = !(List.assoc (variant, mode) thr_acc) in
+      let t1 = List.assoc 1 acc and t2 = List.assoc 2 acc in
+      Printf.printf "smoke %-12s %-8s 1 domain %8.0f req/s, 2 domains \
+                     %8.0f req/s (%.2fx)\n"
+        variant mode t1 t2 (t2 /. t1);
+      (t1, t2)
+    in
     List.iter
-      (fun (variant, acc) ->
-        let t1 = thr_at acc 1 and t2 = thr_at acc 2 in
-        let ratio = t2 /. t1 in
-        Printf.printf "smoke %-12s 1 domain %8.0f req/s, 2 domains %8.0f \
-                       req/s (%.2fx)\n"
-          variant t1 t2 ratio;
-        (* The spawn-per-tick loop this pool replaced collapsed to
-           ~0.3x at 2 domains even on one core; parked workers must
-           stay well clear of that cliff. *)
-        if ratio < 0.4 then begin
+      (fun variant ->
+        (* The spawn-per-tick loop the pool replaced collapsed to ~0.3x
+           at 2 domains even on one core; both serving modes must stay
+           well clear of that cliff. *)
+        let b1, b2 = thr_of variant "barrier" in
+        let e1, e2 = thr_of variant "epoch" in
+        List.iter
+          (fun (mode, t1, t2) ->
+            if t2 /. t1 < 0.4 then begin
+              Printf.eprintf
+                "SCALING REGRESSION: %s/%s throughput at 2 domains is \
+                 %.2fx the 1-domain run (threshold 0.40x)\n"
+                variant mode (t2 /. t1);
+              exit 1
+            end)
+          [ ("barrier", b1, b2); ("epoch", e1, e2) ];
+        (* Barrier-free serving exists to beat the barrier.  Absolute
+           2-domain throughput, not ratio-of-ratios: epoch mode's
+           faster 1-domain baseline would otherwise make an equal
+           2-domain run look like a regression.  0.85 slack for
+           scheduler noise on millisecond-scale runs. *)
+        if e2 < b2 *. 0.85 then begin
           Printf.eprintf
-            "SCALING REGRESSION: %s throughput at 2 domains is %.2fx the \
-             1-domain run (threshold 0.40x)\n"
-            variant ratio;
+            "SCALING REGRESSION: %s epoch-mode 2-domain throughput \
+             (%.0f req/s) fell below barrier mode (%.0f req/s) beyond \
+             the 0.85 slack\n"
+            variant e2 b2;
           exit 1
         end)
-      [ ("cached", !cached_thr); ("interpreted", !interp_thr) ];
-    Printf.printf "smoke: no negative-scaling regression\n"
+      [ "cached"; "interpreted" ];
+    Printf.printf
+      "smoke: no negative-scaling regression in either serving mode\n"
   end
 
 (* ------------------------------------------------------------------ *)

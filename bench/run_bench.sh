@@ -3,8 +3,9 @@
 # build, run the full test suite (including the compiled-vs-interpreted
 # differential property suite), then write BENCH_PR1.json (index
 # micro-bench), BENCH_PR2.json (phased-coexistence service),
-# BENCH_PR4.json (compiled plans + plan cache) and BENCH_PR5.json
-# (persistent worker-pool scaling) at the repository root.
+# BENCH_PR4.json (compiled plans + plan cache) and BENCH_PR6.json
+# (worker-pool scaling, epoch snapshots vs tick barrier) at the
+# repository root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,4 +14,4 @@ dune runtest
 dune exec bench/main.exe -- micro-index --json
 dune exec bench/main.exe -- serve --json --out BENCH_PR2.json
 dune exec bench/main.exe -- plan --json --out BENCH_PR4.json
-dune exec bench/main.exe -- scaling --json --out BENCH_PR5.json
+dune exec bench/main.exe -- scaling --json --out BENCH_PR6.json

@@ -130,7 +130,8 @@ let run schema_path program_path ops_raw verbose =
 (* serve: drive a workload through the phased-coexistence service      *)
 
 let serve_run ops_raw requests domains shards batch seed canary window
-    min_obs threshold promote strict no_plan_cache fail_request =
+    min_obs threshold promote strict no_plan_cache fail_request epoch_serving
+    epoch_batch epoch_lag =
   let module S = Ccv_serve in
   let module W = Ccv_workload in
   let ops =
@@ -167,6 +168,9 @@ let serve_run ops_raw requests domains shards batch seed canary window
       tolerate_reordering = not strict;
       use_plan_cache = not no_plan_cache;
       fail_request;
+      epoch_serving;
+      epoch_batch;
+      epoch_lag;
     }
   in
   match S.Pool.run ~config ~cutover req sample reqs with
@@ -274,12 +278,33 @@ let serve_cmd =
           ~doc:"fault injection: crash the worker serving this request id \
                 (exercises worker-failure propagation)")
   in
+  let epoch_serving =
+    Arg.(
+      value & opt bool true
+      & info [ "epoch-serving" ] ~docv:"BOOL"
+          ~doc:"barrier-free snapshot serving (default); $(b,false) falls \
+                back to the tick-barrier loop")
+  in
+  let epoch_batch =
+    Arg.(
+      value & opt int 16
+      & info [ "epoch-batch" ] ~docv:"B"
+          ~doc:"requests per shard per epoch row (epoch serving)")
+  in
+  let epoch_lag =
+    Arg.(
+      value & opt int 2
+      & info [ "epoch-lag" ] ~docv:"L"
+          ~doc:"rows the phase plan is published ahead of the controller \
+                (epoch-serving pipeline depth)")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ ops_arg $ requests $ domains $ shards $ batch $ seed
       $ canary $ window $ min_obs $ threshold $ promote $ strict
-      $ no_plan_cache $ fail_request)
+      $ no_plan_cache $ fail_request $ epoch_serving $ epoch_batch
+      $ epoch_lag)
 
 let cmd =
   let doc =

@@ -1,0 +1,25 @@
+(* Atomic publication cells.  OCaml [Atomic.t] operations are
+   sequentially consistent, so a value fully constructed before
+   [publish]/[post] is safely visible to the domain that later [read]s
+   or [take_all]s it — the same release/acquire pairing the barrier
+   pool got from its mutex, without the mutex. *)
+
+type 'a t = 'a Atomic.t
+
+let cell v = Atomic.make v
+let read = Atomic.get
+let publish t v = Atomic.set t v
+
+(* The mailbox is a Treiber stack drained whole: the single producer
+   pushes with CAS (retrying only against the consumer's exchange), the
+   consumer swaps the list for [] and reverses once to recover posting
+   order. *)
+type 'a mailbox = 'a list Atomic.t
+
+let mailbox () = Atomic.make []
+
+let rec post mb v =
+  let cur = Atomic.get mb in
+  if not (Atomic.compare_and_set mb cur (v :: cur)) then post mb v
+
+let take_all mb = List.rev (Atomic.exchange mb [])

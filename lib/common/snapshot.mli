@@ -1,0 +1,38 @@
+(** Atomic publication cells — the MVCC-lite primitive of epoch
+    serving.
+
+    A {!t} is a single-writer publication slot: the writer installs a
+    new immutable value with one atomic pointer swap, readers take the
+    latest published value with one atomic load.  No mutex, no
+    condition variable, no reader/writer coordination on the hot path;
+    a reader never observes a partially built value because the value
+    is fully constructed before the swap.
+
+    A {!mailbox} is the multi-shot variant: a single producer posts a
+    stream of values (lock-free CAS push), a single consumer drains
+    everything posted so far with one atomic exchange.  The serving
+    loop gives every shard one mailbox — workers post per-epoch
+    snapshots as they finish them and never block on the consumer. *)
+
+type 'a t
+
+(** [cell v] — a publication slot initially holding [v]. *)
+val cell : 'a -> 'a t
+
+(** Latest published value, one atomic load. *)
+val read : 'a t -> 'a
+
+(** Install a new value with an atomic pointer swap. *)
+val publish : 'a t -> 'a -> unit
+
+(** Single-producer single-consumer stream of publications. *)
+type 'a mailbox
+
+val mailbox : unit -> 'a mailbox
+
+(** Producer side: append one value (lock-free). *)
+val post : 'a mailbox -> 'a -> unit
+
+(** Consumer side: remove and return everything posted so far, oldest
+    first.  Values are returned exactly once across calls. *)
+val take_all : 'a mailbox -> 'a list

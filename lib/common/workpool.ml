@@ -39,6 +39,7 @@ type t = {
   mutable stop : bool;
   mutable busy : bool;  (* a step is in flight (owner-domain only) *)
   idle_s : float array;  (* per-worker park time, written by that worker *)
+  async_failures : exn option array;  (* stashed by submit jobs, raised at drain *)
   clock : unit -> float;
   owner : Domain.id;
   mutable workers : unit Domain.t array;
@@ -86,6 +87,7 @@ let create ?(clock = Unix.gettimeofday) n =
       stop = false;
       busy = false;
       idle_s = Array.make n 0.;
+      async_failures = Array.make n None;
       clock;
       owner = Domain.self ();
       workers = [||];
@@ -107,6 +109,7 @@ let shutdown t =
   end
 
 let idle_time t = Array.fold_left ( +. ) 0. t.idle_s
+let idle_times t = Array.copy t.idle_s
 
 (* Inline fallback: pools are barrier-stepped from exactly one
    coordinating domain.  A step issued from anywhere else — a worker
@@ -150,23 +153,85 @@ let with_pool ?clock n f =
   let t = create ?clock n in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let map_list t f xs =
+(* Non-barrier mode: one long-running job per spawned worker, no
+   completion wait on submission.  The caller keeps slot 0 for itself
+   (typically a coordinator loop that consumes what the jobs publish)
+   and joins the jobs with [drain].  When the pool cannot be driven —
+   one slot, nested use, or a step already in flight — the jobs run
+   synchronously on the caller before [submit] returns, so jobs that
+   rendezvous with the submitting domain must only be submitted to a
+   freshly created, self-owned pool. *)
+let submit t f =
+  let task i () =
+    try f i with e -> t.async_failures.(i) <- Some e
+  in
+  if not (can_drive t) then
+    for i = 1 to t.n - 1 do
+      task i ()
+    done
+  else begin
+    Mutex.lock t.mutex;
+    t.busy <- true;
+    t.tasks <- Array.init t.n (fun i -> if i = 0 then nothing else task i);
+    t.pending <- t.n - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.ready;
+    Mutex.unlock t.mutex
+  end
+
+let quiescent t =
+  if not t.busy then true
+  else begin
+    Mutex.lock t.mutex;
+    let q = t.pending = 0 in
+    Mutex.unlock t.mutex;
+    q
+  end
+
+let drain t =
+  if t.busy then begin
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.done_ t.mutex
+    done;
+    t.busy <- false;
+    Mutex.unlock t.mutex
+  end;
+  Array.iteri
+    (fun worker -> function
+      | Some error ->
+          t.async_failures.(worker) <- None;
+          raise (Worker_error { worker; error })
+      | None -> ())
+    t.async_failures
+
+let map_list ?max_workers t f xs =
+  (* [max_workers] caps the number of slots that do work: on hosts
+     with fewer cores than pool slots, striding CPU-bound work across
+     every slot oversubscribes the machine and runs slower than
+     sequential (BENCH_PR5 measured data translation at 0.31x with 8
+     domains on one core).  Surplus slots return immediately. *)
+  let m =
+    match max_workers with None -> t.n | Some k -> max 1 (min k t.n)
+  in
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
-  | xs when not (can_drive t) -> List.map f xs
+  | xs when m = 1 || not (can_drive t) -> List.map f xs
   | xs ->
       let arr = Array.of_list xs in
       let len = Array.length arr in
       let out = Array.make len None in
-      (* strided static slices: element j belongs to worker (j mod n),
+      (* strided static slices: element j belongs to worker (j mod m),
          so the split is independent of list contents and the output
          order is exactly the input order *)
       ignore
         (step t (fun w ->
-             let j = ref w in
-             while !j < len do
-               out.(!j) <- Some (f arr.(!j));
-               j := !j + t.n
-             done));
+             if w < m then begin
+               let j = ref w in
+               while !j < len do
+                 out.(!j) <- Some (f arr.(!j));
+                 j := !j + m
+               done
+             end));
       Array.to_list (Array.map Option.get out)

@@ -40,14 +40,51 @@ val size : t -> int
 val step : t -> (int -> 'a) -> 'a array
 
 (** [map_list t f xs] = [List.map f xs], computed on the pool in
-    strided static slices (element [j] on slot [j mod size]).  Order
-    and content of the result never depend on the pool size. *)
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+    strided static slices (element [j] on slot [j mod m], where [m] is
+    the number of working slots).  Order and content of the result
+    never depend on the pool size.  [max_workers] caps [m] below the
+    pool size — use it to keep CPU-bound work from oversubscribing a
+    host with fewer cores than pool slots; surplus slots return
+    immediately. *)
+val map_list : ?max_workers:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** {2 Non-barrier mode}
+
+    [submit t f] starts [f i] on every spawned worker [i] in
+    [1 .. size-1] and returns immediately; slot 0 stays with the
+    caller, which typically runs a coordinator loop consuming what the
+    jobs publish (see {!Ccv_common.Snapshot}).  There is no barrier:
+    jobs run until they return, pacing themselves against whatever the
+    coordinator publishes.  [drain t] then blocks until every job has
+    returned and raises {!Worker_error} for the lowest-numbered worker
+    whose job raised.
+
+    Degenerate cases run the jobs synchronously on the caller before
+    [submit] returns: a one-slot pool, a nested submit from inside a
+    task, or a submit while a step is in flight.  Jobs that rendezvous
+    with the submitting domain must therefore only be submitted to a
+    freshly created, self-owned pool. *)
+
+val submit : t -> (int -> unit) -> unit
+
+(** Whether every submitted job has returned (vacuously true when
+    nothing is in flight).  Lets the coordinator distinguish "workers
+    still publishing" from "workers exited without publishing" —
+    the latter means a job died and {!drain} will raise. *)
+val quiescent : t -> bool
+
+(** Join all submitted jobs; raises {!Worker_error} if any failed. *)
+val drain : t -> unit
 
 (** Total seconds workers have spent parked between steps (excludes
     the coordinator).  A serving loop whose workers idle most of the
     wall clock is starved for work per tick, not for domains. *)
 val idle_time : t -> float
+
+(** Per-slot park seconds (slot 0, the coordinator, is always 0) —
+    the skew between slots is the load-imbalance signal the bench
+    reports per worker. *)
+val idle_times : t -> float array
 
 (** Stop and join every worker.  Idempotent; the pool must not be
     stepped afterwards. *)

@@ -158,12 +158,23 @@ type served_pair = {
   pair_issues : issue list;
 }
 
-let serve_pair sv aprog =
+let serve_pair ?at_epoch sv aprog =
   match Generator.generate sv.source_mapping aprog with
   | Error e -> Error ("source-generator", e)
   | Ok { Generator.program = source_program; issues = src_issues } -> (
       let src_issues =
         List.map (fun m -> { stage = "source-generator"; message = m }) src_issues
+      in
+      let src_issues =
+        (* provenance: under epoch serving the snapshot a pair was
+           compiled against matters for reproducing a divergence *)
+        match at_epoch with
+        | None -> src_issues
+        | Some e ->
+            { stage = "serving";
+              message = Printf.sprintf "pair compiled at epoch %d" e;
+            }
+            :: src_issues
       in
       match convert_program sv.serve_request source_program with
       | Error err ->

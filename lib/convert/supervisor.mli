@@ -91,8 +91,11 @@ type served_pair = {
 }
 
 (** [Error _] only when the request cannot even be generated against
-    the source model (nothing to serve at all). *)
-val serve_pair : servable -> Aprog.t -> (served_pair, string * string) result
+    the source model (nothing to serve at all).  [at_epoch] stamps the
+    pair's issue list with the snapshot epoch it was compiled under —
+    provenance for reproducing a divergence seen in epoch serving. *)
+val serve_pair :
+  ?at_epoch:int -> servable -> Aprog.t -> (served_pair, string * string) result
 
 (** End-to-end: convert the program, translate the data, run both
     sides, and judge equivalence per §1.1/§5.2. *)

@@ -33,14 +33,15 @@ let default_config =
 
 type transition = {
   at_request : int;
+  at_epoch : int;
   from_ : phase;
   to_ : phase;
   reason : string;
 }
 
 let pp_transition ppf t =
-  Fmt.pf ppf "request %d: %s -> %s (%s)" t.at_request (phase_name t.from_)
-    (phase_name t.to_) t.reason
+  Fmt.pf ppf "request %d (epoch %d): %s -> %s (%s)" t.at_request t.at_epoch
+    (phase_name t.from_) (phase_name t.to_) t.reason
 
 type status = Serving | Aborted
 
@@ -95,13 +96,14 @@ let reset_window t =
   t.divergent_in_window <- 0;
   t.clean_streak <- 0
 
-let move t ~at ~to_ ~reason =
+let move t ~at ~epoch ~to_ ~reason =
   t.transitions_rev <-
-    { at_request = at; from_ = t.phase; to_ = to_; reason } :: t.transitions_rev;
+    { at_request = at; at_epoch = epoch; from_ = t.phase; to_ = to_; reason }
+    :: t.transitions_rev;
   t.phase <- to_;
   reset_window t
 
-let observe t ~request_id ~divergent =
+let observe t ~request_id ~epoch ~divergent =
   match t.status with
   | Aborted -> ()
   | Serving ->
@@ -126,10 +128,11 @@ let observe t ~request_id ~divergent =
             rate t.ring_len t.config.max_divergence_rate
         in
         match prev_phase t.phase with
-        | Some to_ -> move t ~at:request_id ~to_ ~reason
+        | Some to_ -> move t ~at:request_id ~epoch ~to_ ~reason
         | None ->
             t.transitions_rev <-
               { at_request = request_id;
+                at_epoch = epoch;
                 from_ = t.phase;
                 to_ = t.phase;
                 reason = reason ^ "; no phase below shadow: conversion aborted";
@@ -140,7 +143,7 @@ let observe t ~request_id ~divergent =
       else if t.clean_streak >= t.config.promote_after then
         match next_phase t t.phase with
         | Some to_ ->
-            move t ~at:request_id ~to_
+            move t ~at:request_id ~epoch ~to_
               ~reason:
                 (Printf.sprintf "promoted: %d consecutive clean shadow runs"
                    t.clean_streak)

@@ -46,6 +46,9 @@ val default_config : config
 
 type transition = {
   at_request : int;  (** id of the request whose verdict triggered it *)
+  at_epoch : int;
+      (** logical epoch of that request — tick index in barrier mode,
+          snapshot epoch in epoch mode *)
   from_ : phase;
   to_ : phase;
   reason : string;
@@ -62,8 +65,9 @@ val phase : t -> phase
 val status : t -> status
 
 (** Feed the shadow verdict of one request.  Callers must observe in
-    request-id order for runs to be reproducible. *)
-val observe : t -> request_id:int -> divergent:bool -> unit
+    logical [(epoch, shard, seq)] order for runs to be reproducible;
+    [epoch] stamps any transition this verdict triggers. *)
+val observe : t -> request_id:int -> epoch:int -> divergent:bool -> unit
 
 (** Transitions so far, oldest first. *)
 val transitions : t -> transition list

@@ -57,6 +57,8 @@ type cell = {
   mutable source_accesses : int;
   mutable target_accesses : int;
   mutable trace_events : int;
+  mutable epochs : int;  (* distinct logical epochs seen by this cell *)
+  mutable last_epoch : int;
   cell_latency : hist;
 }
 
@@ -70,6 +72,8 @@ let cell_create () =
     source_accesses = 0;
     target_accesses = 0;
     trace_events = 0;
+    epochs = 0;
+    last_epoch = -1;
     cell_latency = hist_create ();
   }
 
@@ -113,6 +117,13 @@ let record t (o : Shadow.outcome) =
   c.source_accesses <- c.source_accesses + o.Shadow.source_accesses;
   c.target_accesses <- c.target_accesses + o.Shadow.target_accesses;
   c.trace_events <- c.trace_events + Io_trace.length o.Shadow.served_trace;
+  (* outcomes reach the coordinator in canonical (epoch, shard, seq)
+     order, so within one cell the epoch is non-decreasing and a
+     change marks one more distinct epoch served under this phase *)
+  if o.Shadow.epoch <> c.last_epoch then begin
+    c.epochs <- c.epochs + 1;
+    c.last_epoch <- o.Shadow.epoch
+  end;
   hist_add c.cell_latency o.Shadow.latency_us
 
 let phases t =
@@ -245,6 +256,7 @@ let json_rows t =
           ("refused", string_of_int c.refused);
           ("source_accesses", string_of_int c.source_accesses);
           ("target_accesses", string_of_int c.target_accesses);
+          ("epochs", string_of_int c.epochs);
         ])
       t.cells
   in

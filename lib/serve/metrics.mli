@@ -9,10 +9,12 @@
     accesses, writes count served requests.  Shard workers no longer
     charge it per request from their domains: they stage into
     per-worker {!Ccv_common.Counters.local} buffers that the pool
-    flushes into the phase counter at every tick barrier, so the hot
-    path touches no shared cache line.  The flushed totals are the
-    ground truth that the merged per-outcome view is checked against
-    in the tests. *)
+    flushes into the phase counter at every tick barrier — or, under
+    epoch serving, the coordinator charges it per consumed outcome —
+    so the hot path touches no shared cache line.  The charged totals
+    are the ground truth that the merged per-outcome view is checked
+    against in the tests.  Each (phase, shard) cell also counts the
+    distinct logical epochs it served, exported in the JSON rows. *)
 
 open Ccv_common
 

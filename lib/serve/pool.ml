@@ -8,6 +8,9 @@ type config = {
   tolerate_reordering : bool;
   use_plan_cache : bool;
   fail_request : int option;
+  epoch_serving : bool;
+  epoch_batch : int;
+  epoch_lag : int;
 }
 
 let default_config =
@@ -18,6 +21,9 @@ let default_config =
     tolerate_reordering = true;
     use_plan_cache = true;
     fail_request = None;
+    epoch_serving = true;
+    epoch_batch = 16;
+    epoch_lag = 2;
   }
 
 type divergence = {
@@ -25,6 +31,8 @@ type divergence = {
   div_program : string;
   div_phase : string;
   div_shard : int;
+  div_epoch : int;
+  div_seq : int;
   detail : string;
 }
 
@@ -39,14 +47,16 @@ type report = {
   served : int;
   unserved : int;
   domains : int;
+  epoch_serving : bool;
   pool_idle_s : float;
+  worker_idle_s : float list;
   wall_s : float;
 }
 
 (* A worker domain never lets an exception escape into the pool — it
-   would otherwise strand the coordinator at the tick barrier.  The
-   fault is caught next to the failing request and carried back as a
-   value; [run] surfaces it as [Error] naming the shard and request. *)
+   would otherwise strand the coordinator.  The fault is caught next to
+   the failing request and carried back as a value; [run] surfaces it
+   as [Error] naming the shard and request. *)
 type fault = { at_shard : int; at_request : int; fault_detail : string }
 
 let take n l =
@@ -57,28 +67,43 @@ let take n l =
   in
   go [] n l
 
+let chunks n l =
+  let rec go acc l =
+    match l with
+    | [] -> List.rev acc
+    | _ ->
+        let c, rest = take n l in
+        go (c :: acc) rest
+  in
+  go [] l
+
 let clock () = Unix.gettimeofday ()
 
 (* Replica preparation is embarrassingly parallel across shards: each
    shard translates and loads its own source/target pair from the same
-   (persistent) semantic instance.  Shards are assigned to workers the
-   same way ticks assign them (id mod domains); a lone shard instead
+   (persistent) semantic instance.  Shards are distributed over at
+   most [recommended_domain_count] workers — replica preparation is
+   CPU-bound, and striding it over more slots than the host has cores
+   oversubscribes the machine (the prepare regression BENCH_PR5.json
+   recorded at 8 domains on a smaller host).  A lone shard instead
    hands the pool down so the bulk data translation itself chunks
    across the workers. *)
 let create_shards ~pool ~use_plan_cache req sdb nshards =
   let ndomains = Workpool.size pool in
+  let eff = max 1 (min ndomains (Domain.recommended_domain_count ())) in
   let mk s =
     try Shard.create ~id:s ~pool ~use_plan_cache req sdb
     with e -> Error (Printexc.to_string e)
   in
   let created =
-    if ndomains = 1 || nshards = 1 then
-      List.init nshards (fun s -> (s, mk s))
+    if eff = 1 || nshards = 1 then List.init nshards (fun s -> (s, mk s))
     else
       Workpool.step pool (fun w ->
-          List.filter_map
-            (fun s -> if s mod ndomains = w then Some (s, mk s) else None)
-            (List.init nshards Fun.id))
+          if w >= eff then []
+          else
+            List.filter_map
+              (fun s -> if s mod eff = w then Some (s, mk s) else None)
+              (List.init nshards Fun.id))
       |> Array.to_list |> List.concat
   in
   let rec collect acc = function
@@ -88,6 +113,375 @@ let create_shards ~pool ~use_plan_cache req sdb nshards =
   in
   collect []
     (List.sort (fun (a, _) (b, _) -> Int.compare a b) created)
+
+(* Route the stream to shard slices, preserving id order per shard. *)
+let route ~nshards requests =
+  let per_shard = Array.make nshards [] in
+  List.iter
+    (fun r ->
+      let s = Request.shard_of r ~nshards in
+      per_shard.(s) <- r :: per_shard.(s))
+    (List.rev requests);
+  per_shard
+
+let exec_request ~config ~shards ~phase ~live s ~epoch ~seq (r : Request.t) =
+  if config.fail_request = Some r.Request.id then
+    failwith "injected worker fault"
+  else
+    Shard.exec shards.(s) ~phase
+      ~tolerate_reordering:config.tolerate_reordering
+      ~canary_seed:config.canary_seed ~live ~clock ~epoch ~seq r
+
+let divergence_of ~epoch (o : Shadow.outcome) detail =
+  { div_request = o.Shadow.request.Request.id;
+    div_program = o.Shadow.request.Request.aprog.Ccv_abstract.Aprog.name;
+    div_phase = o.Shadow.phase;
+    div_shard = o.Shadow.shard;
+    div_epoch = epoch;
+    div_seq = o.Shadow.seq;
+    detail;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Barrier mode: the pre-epoch serving loop, kept as the baseline the
+   bench compares against.  Each tick is one Workpool barrier step;
+   the tick index doubles as the outcome's logical epoch. *)
+
+let serve_ticks ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains requests
+    =
+  let shard_ids = List.init nshards Fun.id in
+  (* per-worker staging buffers, reused across ticks; worker w is the
+     only writer between barriers *)
+  let locals = Array.init ndomains (fun _ -> Counters.local_create ()) in
+  let rec ticks tick remaining outcomes_rev div_rev =
+    match remaining, Cutover.status ctl with
+    | [], _ | _, Cutover.Aborted ->
+        Ok (List.rev outcomes_rev, List.rev div_rev, List.length remaining)
+    | _, Cutover.Serving -> (
+        let batch, rest = take config.batch remaining in
+        let phase = Cutover.phase ctl in
+        let live = Metrics.live metrics ~phase:(Cutover.phase_name phase) in
+        let per_shard = route ~nshards batch in
+        let job w =
+          let local = locals.(w) in
+          let out = ref [] and fault = ref None in
+          List.iter
+            (fun s ->
+              if s mod ndomains = w && !fault = None then
+                List.iteri
+                  (fun seq r ->
+                    if !fault = None then
+                      match
+                        exec_request ~config ~shards ~phase ~live:local s
+                          ~epoch:tick ~seq r
+                      with
+                      | o -> out := o :: !out
+                      | exception e ->
+                          fault :=
+                            Some
+                              { at_shard = s;
+                                at_request = r.Request.id;
+                                fault_detail = Printexc.to_string e;
+                              })
+                  per_shard.(s))
+            shard_ids;
+          match !fault with Some f -> Error f | None -> Ok (List.rev !out)
+        in
+        let results = Array.to_list (Workpool.step pool job) in
+        (* tick barrier: fold every worker's staged charges into this
+           tick's phase counter (coordinator is the only Atomic writer
+           now, one flush per worker per tick) *)
+        Array.iter (fun l -> Counters.flush_local live l) locals;
+        let faults =
+          List.filter_map (function Error f -> Some f | Ok _ -> None) results
+        in
+        match faults with
+        | f0 :: _ ->
+            (* earliest request id, so the report does not depend on
+               which worker slot observed its fault first *)
+            Error
+              (List.fold_left
+                 (fun a b -> if b.at_request < a.at_request then b else a)
+                 f0 faults)
+        | [] ->
+            let outcomes =
+              List.concat_map (function Ok os -> os | Error _ -> []) results
+              |> List.sort (fun (a : Shadow.outcome) b ->
+                     Int.compare a.Shadow.request.Request.id
+                       b.Shadow.request.Request.id)
+            in
+            let div_rev =
+              List.fold_left
+                (fun acc (o : Shadow.outcome) ->
+                  Metrics.record metrics o;
+                  if o.Shadow.shadowed then
+                    Cutover.observe ctl ~request_id:o.Shadow.request.Request.id
+                      ~epoch:tick ~divergent:o.Shadow.divergent;
+                  match Shadow.divergence_detail o with
+                  | None -> acc
+                  | Some detail -> divergence_of ~epoch:tick o detail :: acc)
+                div_rev outcomes
+            in
+            ticks (tick + 1) rest (List.rev_append outcomes outcomes_rev)
+              div_rev)
+  in
+  ticks 0 requests [] []
+
+(* ------------------------------------------------------------------ *)
+(* Epoch mode: barrier-free serving over published snapshots.
+
+   Each shard's slice of the stream is chunked into epoch rows of
+   [epoch_batch] requests.  The worker owning a shard executes its
+   rows strictly in epoch order (so the replica pair evolves exactly
+   as it would sequentially) and publishes each finished row into a
+   per-shard single-producer mailbox; nobody waits at any barrier.
+   The coordinator drains the mailboxes into an {!Ccv_common.Epoch}
+   reorder buffer and consumes complete rows in canonical
+   [(epoch, shard, seq)] order — the same total order no matter how
+   the physical arrivals interleave, which is what keeps the report
+   deterministic across domain counts.
+
+   The phase a row executes under is pre-committed: [plan.(e)] is an
+   atomic cell the coordinator publishes once it has consumed row
+   [e - lag] (rows [0 .. lag-1] carry the initial phase).  Workers
+   therefore run up to [lag] epochs ahead of the controller — a
+   pipeline, not a race: the plan is part of the deterministic order,
+   so the same stream yields the same phases at any domain count.
+
+   [halt_at] stops the pipeline early (abort or fault): workers skip
+   rows at or beyond it, and the wait-for-phase loops exit instead of
+   spinning on a cell that will never be published. *)
+
+type epoch_payload = Done of Shadow.outcome list | Failed of fault
+
+let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
+    ~wait_idle requests =
+  let ebatch = max 1 config.epoch_batch in
+  let lag = max 1 config.epoch_lag in
+  let shard_rows =
+    Array.map
+      (fun slice -> Array.of_list (chunks ebatch slice))
+      (route ~nshards requests)
+  in
+  let rows = Array.map Array.length shard_rows in
+  let buf = Epoch.create ~rows in
+  let total = Epoch.total_rows buf in
+  let plan = Array.init total (fun _ -> Snapshot.cell None) in
+  for e = 0 to min lag total - 1 do
+    Snapshot.publish plan.(e) (Some (Cutover.phase ctl))
+  done;
+  let halt_at = Atomic.make max_int in
+  let mailboxes = Array.init nshards (fun _ -> Snapshot.mailbox ()) in
+  let locals = Array.init ndomains (fun _ -> Counters.local_create ()) in
+  let idle_wait w f =
+    (* bounded pause off the hot path; charged to this slot's idle *)
+    let t0 = clock () in
+    f ();
+    wait_idle.(w) <- wait_idle.(w) +. (clock () -. t0)
+  in
+  let exec_chunk ~live ~phase s e =
+    let out = ref [] and fault = ref None in
+    List.iteri
+      (fun seq r ->
+        if !fault = None then
+          match exec_request ~config ~shards ~phase ~live s ~epoch:e ~seq r
+          with
+          | o -> out := o :: !out
+          | exception ex ->
+              fault :=
+                Some
+                  { at_shard = s;
+                    at_request = r.Request.id;
+                    fault_detail = Printexc.to_string ex;
+                  })
+      shard_rows.(s).(e);
+    match !fault with Some f -> Failed f | None -> Done (List.rev !out)
+  in
+  (* Advance one owned shard if its next row is ready; [publish] posts
+     the finished row (workers go through their mailbox, the
+     coordinator writes the reorder buffer directly).  On a fault the
+     shard's remaining rows are filled with the same fault so the
+     reorder buffer still completes — rows behind a dead shard must
+     not stall the canonical order. *)
+  let advance ~live ~next ~publish s =
+    let e = next.(s) in
+    if e >= rows.(s) then false
+    else if Atomic.get halt_at <= e then begin
+      next.(s) <- rows.(s);
+      true
+    end
+    else
+      match Snapshot.read plan.(e) with
+      | None -> false
+      | Some phase ->
+          (match exec_chunk ~live ~phase s e with
+          | Failed f as p ->
+              publish s e p;
+              for e' = e + 1 to rows.(s) - 1 do
+                publish s e' (Failed f)
+              done;
+              next.(s) <- rows.(s)
+          | Done _ as p ->
+              publish s e p;
+              next.(s) <- e + 1);
+          true
+  in
+  (* Shard ownership strides over the [eff] engaged slots only: an
+     epoch worker that cannot get a core to itself spins against the
+     coordinator instead of helping it (the same oversubscription
+     cliff BENCH_PR5 measured for translation), so surplus slots stay
+     dark.  The reorder buffer makes the served trace independent of
+     which slot ran which shard, so clamping changes wall clock
+     only. *)
+  let owned w = List.filter (fun s -> s mod eff = w) (List.init nshards Fun.id) in
+  let worker_job w =
+    let live = locals.(w) in
+    let my = owned w in
+    let next = Array.make nshards 0 in
+    let publish s e p = Snapshot.post mailboxes.(s) (e, p) in
+    let spins = ref 0 in
+    while List.exists (fun s -> next.(s) < rows.(s)) my do
+      let progress =
+        List.fold_left (fun p s -> advance ~live ~next ~publish s || p) false my
+      in
+      if progress then spins := 0
+      else if !spins < 200 then begin
+        incr spins;
+        Domain.cpu_relax ()
+      end
+      else idle_wait w (fun () -> Unix.sleepf 50e-6)
+    done
+  in
+  if eff > 1 then Workpool.submit pool worker_job;
+  (* Coordinator: interleaves executing its own shards, draining the
+     mailboxes, and consuming complete rows in canonical order. *)
+  let outcomes_rev = ref [] and div_rev = ref [] in
+  let error = ref None in
+  let consume r cells =
+    let faults =
+      List.filter_map
+        (fun (_, p) -> match p with Failed f -> Some f | Done _ -> None)
+        cells
+    in
+    match faults with
+    | f0 :: rest ->
+        (* earliest request id within the first faulty row, so the
+           report does not depend on arrival interleaving *)
+        error :=
+          Some
+            (List.fold_left
+               (fun a b -> if b.at_request < a.at_request then b else a)
+               f0 rest);
+        Atomic.set halt_at (r + 1)
+    | [] ->
+        List.iter
+          (fun (_, p) ->
+            match p with
+            | Failed _ -> ()
+            | Done os ->
+                List.iter
+                  (fun (o : Shadow.outcome) ->
+                    Metrics.record metrics o;
+                    (* no barrier to flush staged charges at: the
+                       coordinator charges the phase's live counter
+                       per consumed outcome instead *)
+                    let live = Metrics.live metrics ~phase:o.Shadow.phase in
+                    Counters.record_reads live
+                      (o.Shadow.source_accesses + o.Shadow.target_accesses);
+                    Counters.record_write live;
+                    if o.Shadow.shadowed then
+                      Cutover.observe ctl
+                        ~request_id:o.Shadow.request.Request.id ~epoch:r
+                        ~divergent:o.Shadow.divergent;
+                    (match Shadow.divergence_detail o with
+                    | None -> ()
+                    | Some detail ->
+                        div_rev := divergence_of ~epoch:r o detail :: !div_rev);
+                    outcomes_rev := o :: !outcomes_rev)
+                  os)
+          cells;
+        if Cutover.status ctl = Cutover.Aborted then
+          Atomic.set halt_at (r + 1)
+        else begin
+          let e' = r + lag in
+          if e' < total then
+            Snapshot.publish plan.(e') (Some (Cutover.phase ctl))
+        end
+  in
+  let my = owned 0 in
+  let next = Array.make nshards 0 in
+  let publish s e p = Epoch.publish buf ~shard:s ~epoch:e p in
+  let drain_mailboxes () =
+    let got = ref false in
+    Array.iteri
+      (fun s mb ->
+        match Snapshot.take_all mb with
+        | [] -> ()
+        | posts ->
+            got := true;
+            List.iter (fun (e, p) -> Epoch.publish buf ~shard:s ~epoch:e p)
+              posts)
+      mailboxes;
+    !got
+  in
+  let pop_rows () =
+    let got = ref false in
+    let continue_ = ref true in
+    while !continue_ do
+      if
+        !error <> None
+        || Atomic.get halt_at <= Epoch.frontier buf
+      then continue_ := false
+      else
+        match Epoch.pop_row buf with
+        | None -> continue_ := false
+        | Some (r, cells) ->
+            got := true;
+            consume r cells
+    done;
+    !got
+  in
+  let finished () =
+    !error <> None || Epoch.frontier buf >= total
+    || Atomic.get halt_at <= Epoch.frontier buf
+  in
+  let spins = ref 0 in
+  let running = ref true in
+  while !running do
+    let progress =
+      List.fold_left
+        (fun p s -> advance ~live:locals.(0) ~next ~publish s || p)
+        false my
+    in
+    let progress = drain_mailboxes () || progress in
+    let progress = pop_rows () || progress in
+    if finished () then running := false
+    else if progress then spins := 0
+    else if eff > 1 && Workpool.quiescent pool then begin
+      (* workers exited; whatever they posted is final — one last
+         sweep, then anything still missing means a job died *)
+      Workpool.drain pool;
+      ignore (drain_mailboxes ());
+      ignore (pop_rows ());
+      if not (finished ()) then
+        failwith "epoch serving: workers exited without completing their rows";
+      running := false
+    end
+    else if !spins < 200 then begin
+      incr spins;
+      Domain.cpu_relax ()
+    end
+    else idle_wait 0 (fun () -> Unix.sleepf 50e-6)
+  done;
+  if eff > 1 then Workpool.drain pool;
+  match !error with
+  | Some f -> Error f
+  | None ->
+      let outcomes = List.rev !outcomes_rev in
+      let served = List.length outcomes in
+      Ok (outcomes, List.rev !div_rev, List.length requests - served)
+
+(* ------------------------------------------------------------------ *)
 
 let run ?(config = default_config) ~cutover req sdb requests =
   let nshards = max 1 config.shards in
@@ -100,108 +494,27 @@ let run ?(config = default_config) ~cutover req sdb requests =
   | Ok shards ->
       let ctl = Cutover.create cutover in
       let metrics = Metrics.create () in
-      let shard_ids = List.init nshards Fun.id in
-      (* per-worker staging buffers, reused across ticks; worker w is
-         the only writer between barriers *)
-      let locals = Array.init ndomains (fun _ -> Counters.local_create ()) in
-      let t0 = clock () in
-      let rec ticks remaining outcomes_rev div_rev =
-        match remaining, Cutover.status ctl with
-        | [], _ | _, Cutover.Aborted ->
-            Ok (List.rev outcomes_rev, List.rev div_rev, List.length remaining)
-        | _, Cutover.Serving -> (
-            let batch, rest = take config.batch remaining in
-            let phase = Cutover.phase ctl in
-            let live = Metrics.live metrics ~phase:(Cutover.phase_name phase) in
-            (* shard slices, id order within each slice *)
-            let per_shard = Array.make nshards [] in
-            List.iter
-              (fun r ->
-                let s = Request.shard_of r ~nshards in
-                per_shard.(s) <- r :: per_shard.(s))
-              (List.rev batch);
-            let exec_one local s (r : Request.t) =
-              if config.fail_request = Some r.Request.id then
-                failwith "injected worker fault"
-              else
-                Shard.exec shards.(s) ~phase
-                  ~tolerate_reordering:config.tolerate_reordering
-                  ~canary_seed:config.canary_seed ~live:local ~clock r
-            in
-            let job w =
-              let local = locals.(w) in
-              let out = ref [] and fault = ref None in
-              List.iter
-                (fun s ->
-                  if s mod ndomains = w && !fault = None then
-                    List.iter
-                      (fun r ->
-                        if !fault = None then
-                          match exec_one local s r with
-                          | o -> out := o :: !out
-                          | exception e ->
-                              fault :=
-                                Some
-                                  { at_shard = s;
-                                    at_request = r.Request.id;
-                                    fault_detail = Printexc.to_string e;
-                                  })
-                      per_shard.(s))
-                shard_ids;
-              match !fault with Some f -> Error f | None -> Ok (List.rev !out)
-            in
-            let results = Array.to_list (Workpool.step pool job) in
-            (* tick barrier: fold every worker's staged charges into
-               this tick's phase counter (coordinator is the only
-               Atomic writer now, one flush per worker per tick) *)
-            Array.iter (fun l -> Counters.flush_local live l) locals;
-            let faults =
-              List.filter_map
-                (function Error f -> Some f | Ok _ -> None)
-                results
-            in
-            match faults with
-            | f0 :: _ ->
-                (* earliest request id, so the report does not depend
-                   on which worker slot observed its fault first *)
-                Error
-                  (List.fold_left
-                     (fun a b -> if b.at_request < a.at_request then b else a)
-                     f0 faults)
-            | [] ->
-                let outcomes =
-                  List.concat_map
-                    (function Ok os -> os | Error _ -> [])
-                    results
-                  |> List.sort (fun (a : Shadow.outcome) b ->
-                         Int.compare a.Shadow.request.Request.id
-                           b.Shadow.request.Request.id)
-                in
-                let div_rev =
-                  List.fold_left
-                    (fun acc (o : Shadow.outcome) ->
-                      Metrics.record metrics o;
-                      if o.Shadow.shadowed then
-                        Cutover.observe ctl
-                          ~request_id:o.Shadow.request.Request.id
-                          ~divergent:o.Shadow.divergent;
-                      match Shadow.divergence_detail o with
-                      | None -> acc
-                      | Some detail ->
-                          { div_request = o.Shadow.request.Request.id;
-                            div_program =
-                              o.Shadow.request.Request.aprog
-                                .Ccv_abstract.Aprog.name;
-                            div_phase = o.Shadow.phase;
-                            div_shard = o.Shadow.shard;
-                            detail;
-                          }
-                          :: acc)
-                    div_rev outcomes
-                in
-                ticks rest (List.rev_append outcomes outcomes_rev) div_rev)
+      (* epoch-mode frontier waits, per slot; stays zero in barrier
+         mode where the pool's park time is the only idle *)
+      let wait_idle = Array.make ndomains 0. in
+      (* slots the epoch scheduler actually engages: past the hardware
+         domain count a slot competes with the coordinator for cores
+         instead of helping it *)
+      let eff =
+        if config.epoch_serving then
+          max 1 (min ndomains (Domain.recommended_domain_count ()))
+        else ndomains
       in
-      (match ticks requests [] [] with
+      let t0 = clock () in
+      let result =
+        if config.epoch_serving then
+          serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains
+            ~eff ~wait_idle requests
+        else
+          serve_ticks ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains
+            requests
+      in
+      (match result with
       | Error { at_shard; at_request; fault_detail } ->
           Error
             (Printf.sprintf "worker failure at shard %d, request %d: %s"
@@ -212,6 +525,14 @@ let run ?(config = default_config) ~cutover req sdb requests =
               (fun acc s ->
                 Ccv_plan.Plan_cache.add_stats acc (Shard.plan_stats s))
               Ccv_plan.Plan_cache.zero_stats shards
+          in
+          let park = Workpool.idle_times pool in
+          (* slots the epoch scheduler left dark report 0: they were
+             never asked to serve, so their park time is not
+             coordination overhead *)
+          let worker_idle_s =
+            List.init ndomains (fun i ->
+                if i < eff then park.(i) +. wait_idle.(i) else 0.)
           in
           Ok
             { outcomes;
@@ -224,7 +545,9 @@ let run ?(config = default_config) ~cutover req sdb requests =
               served = List.length outcomes;
               unserved;
               domains = ndomains;
-              pool_idle_s = Workpool.idle_time pool;
+              epoch_serving = config.epoch_serving;
+              pool_idle_s = List.fold_left ( +. ) 0. worker_idle_s;
+              worker_idle_s;
               wall_s = clock () -. t0;
             })
 
@@ -239,8 +562,12 @@ let render r =
        | Cutover.Aborted ->
            Printf.sprintf "ABORTED, %d request(s) unserved" r.unserved));
   Buffer.add_string b
-    (Printf.sprintf "pool: %d worker domain(s), %.3fs parked between ticks\n"
-       r.domains r.pool_idle_s);
+    (Printf.sprintf "pool: %d worker domain(s), %s, %.3fs idle (%s)\n"
+       r.domains
+       (if r.epoch_serving then "epoch serving" else "tick barrier")
+       r.pool_idle_s
+       (String.concat ", "
+          (List.map (Printf.sprintf "%.3f") r.worker_idle_s)));
   let ps = r.plan_stats in
   if ps.Ccv_plan.Plan_cache.hits + ps.Ccv_plan.Plan_cache.misses > 0 then
     Buffer.add_string b
@@ -268,8 +595,10 @@ let render r =
         (fun i d ->
           if i < 5 then
             Buffer.add_string b
-              (Printf.sprintf "  request %d (%s, %s, shard %d): %s\n"
-                 d.div_request d.div_program d.div_phase d.div_shard d.detail))
+              (Printf.sprintf
+                 "  request %d (%s, %s, shard %d, epoch %d): %s\n"
+                 d.div_request d.div_program d.div_phase d.div_shard
+                 d.div_epoch d.detail))
         ds);
   Buffer.add_char b '\n';
   Buffer.add_string b (Metrics.render r.metrics);

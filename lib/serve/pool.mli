@@ -1,31 +1,45 @@
 (** The serving loop: a persistent OCaml 5 [Domain] worker pool over
-    shards, driven tick by tick through the {!Cutover} state machine.
+    shards, in one of two synchronization modes.
 
-    The pool ({!Ccv_common.Workpool}) is spawned once per {!run} —
-    [domains - 1] long-lived worker domains plus the caller — and the
-    same workers serve every tick, prepare the shard replicas and chunk
-    the bulk data translation; nothing is spawned per tick.  Each tick
-    takes the next [batch] requests in id order, routes them to their
-    shards ([Request.shard_of]), executes shard [s]'s slice on worker
+    {b Tick barrier} ([epoch_serving = false]): each tick takes the
+    next [batch] requests in id order, routes them to their shards
+    ([Request.shard_of]), executes shard [s]'s slice on worker
     [s mod domains], parks the workers at the tick barrier, then feeds
-    the shadow verdicts to the controller in request-id order.  Phase
-    decisions therefore depend only on the request stream, the seed and
-    the shard count — never on the domain count or scheduling — which
-    is what makes runs reproducible: the same stream under 1 domain and
-    under 8 yields the same transitions, divergence counts and served
-    output.
+    the shadow verdicts to the controller in request-id order.
+
+    {b Epoch serving} ([epoch_serving = true], the default): no
+    barrier at all.  Each shard's slice of the stream is chunked into
+    {e epoch rows} of [epoch_batch] requests; the worker owning a
+    shard executes its rows strictly in epoch order and publishes each
+    finished row through a per-shard single-producer mailbox
+    ({!Ccv_common.Snapshot}).  The coordinator reassembles the rows in
+    an {!Ccv_common.Epoch} reorder buffer and consumes them in
+    canonical [(epoch, shard, seq)] order; the phase a row executes
+    under is pre-committed through published atomic cells, [epoch_lag]
+    rows ahead of the controller.  Workers never block on each other —
+    a fast shard runs ahead of a slow one instead of parking at a
+    barrier, which is where the idle seconds the bench measures go.
+
+    Either way, phase decisions depend only on the request stream, the
+    seed, and the shard count — never on the domain count or physical
+    scheduling — so the same stream under 1 domain and under 8 yields
+    the same transitions, divergence log and served output.  Epoch
+    mode trades the per-tick controller cadence for a per-row one, so
+    the two modes may transition at different request ids; within a
+    mode, runs are bit-for-bit reproducible.
 
     Workers stage their access charges in per-worker
     {!Ccv_common.Counters.local} buffers (plain mutable ints, no
-    atomics); the coordinator folds them into the phase's live counter
-    at the tick barrier, so the request hot path shares no counter
-    cache line between domains.
+    atomics).  At a tick barrier the coordinator folds them into the
+    phase's live counter; under epoch serving it charges the live
+    counter per consumed outcome instead.  Either way the request hot
+    path shares no counter cache line between domains.
 
     A worker never lets an exception escape into the pool.  Faults are
     caught next to the failing request and surfaced as [Error] from
-    {!run}, naming the shard and the smallest failing request id —
-    deterministic regardless of which worker slot hit its fault
-    first. *)
+    {!run}, naming the shard and the smallest failing request id of
+    the earliest faulty row — deterministic regardless of which worker
+    slot hit its fault first. *)
 
 open Ccv_model
 open Ccv_convert
@@ -33,7 +47,7 @@ open Ccv_convert
 type config = {
   domains : int;  (** worker domains in the pool; capped at [shards] *)
   shards : int;  (** replica pairs; fixes routing, so keep it stable *)
-  batch : int;  (** requests per tick (phase decisions happen between) *)
+  batch : int;  (** requests per tick (barrier mode only) *)
   canary_seed : int;  (** seed for deterministic canary routing *)
   tolerate_reordering : bool;
       (** accept [Modulo_order] (§5.2's weaker level); [false] demands
@@ -46,6 +60,12 @@ type config = {
       (** fault injection: the worker executing this request id raises
           instead, exercising the crash-propagation path ([Error] from
           {!run}).  [None] (the default) in production *)
+  epoch_serving : bool;  (** barrier-free snapshot serving (default) *)
+  epoch_batch : int;
+      (** requests per shard per epoch row (epoch mode only) *)
+  epoch_lag : int;
+      (** how many rows ahead of the controller the phase plan is
+          published — the pipeline depth; clamped to at least 1 *)
 }
 
 val default_config : config
@@ -55,11 +75,16 @@ type divergence = {
   div_program : string;
   div_phase : string;
   div_shard : int;
+  div_epoch : int;  (** logical epoch (tick index in barrier mode) *)
+  div_seq : int;  (** rank within the shard's slice of that epoch *)
   detail : string;  (** names the first differing event *)
 }
 
 type report = {
-  outcomes : Shadow.outcome list;  (** all served requests, id order *)
+  outcomes : Shadow.outcome list;
+      (** all served requests, in consumption order: request-id order
+          per tick (barrier mode) or canonical [(epoch, shard, seq)]
+          order (epoch mode) *)
   transitions : Cutover.transition list;
   divergences : divergence list;
   final_phase : Cutover.phase;
@@ -71,9 +96,17 @@ type report = {
   served : int;
   unserved : int;  (** requests dropped by an abort *)
   domains : int;  (** worker slots actually used (after the shard cap) *)
+  epoch_serving : bool;  (** which mode produced this report *)
   pool_idle_s : float;
-      (** cumulative seconds workers spent parked at the tick barrier —
-          the load-imbalance signal the bench reports *)
+      (** cumulative seconds workers spent not serving — parked at the
+          tick barrier, or (epoch mode) sleeping on an unpublished
+          phase cell.  The coordination-overhead signal the bench
+          compares across the two modes. *)
+  worker_idle_s : float list;
+      (** the same, per worker slot (slot 0 is the coordinator) — the
+          skew between slots is the load-imbalance signal.  Slots the
+          epoch scheduler left dark (beyond the hardware domain count)
+          report 0. *)
   wall_s : float;
 }
 

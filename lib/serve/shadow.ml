@@ -10,6 +10,8 @@ let decision_name = function
 type outcome = {
   request : Request.t;
   shard : int;
+  epoch : int;
+  seq : int;
   phase : string;
   decision : decision;
   shadowed : bool;

@@ -14,6 +14,10 @@ val decision_name : decision -> string
 type outcome = {
   request : Request.t;
   shard : int;
+  epoch : int;
+      (** logical epoch the request executed under: the tick index in
+          barrier mode, the shard's snapshot epoch in epoch mode *)
+  seq : int;  (** position within the shard's slice of that epoch *)
   phase : string;  (** {!Cutover.phase_name} at execution time *)
   decision : decision;
   shadowed : bool;  (** both sides ran and were compared *)

@@ -68,12 +68,12 @@ type resolved =
   | Fallback of (unit -> Engines.run_result)
   | Pair of (unit -> Engines.run_result) * (unit -> Engines.run_result)
 
-let resolve t aprog =
+let resolve t ~epoch aprog =
   if t.use_plan_cache then
     let compiled =
       Plan_cache.find_or_compile t.cache ~fingerprint:t.fingerprint aprog
         ~compile:(fun aprog ->
-          match Supervisor.serve_pair t.servable aprog with
+          match Supervisor.serve_pair ~at_epoch:epoch t.servable aprog with
           | Error e -> Error e
           | Ok { Supervisor.source_program; target_program; pair_issues = _ }
             ->
@@ -91,7 +91,7 @@ let resolve t aprog =
           ( (fun () -> run_source_compiled t csrc []),
             fun () -> run_target_compiled t ctgt [] )
   else
-    match Supervisor.serve_pair t.servable aprog with
+    match Supervisor.serve_pair ~at_epoch:epoch t.servable aprog with
     | Error _ -> Refused
     | Ok { Supervisor.source_program; target_program = Error _; _ } ->
         Fallback (fun () -> run_source t source_program [])
@@ -100,7 +100,8 @@ let resolve t aprog =
           ( (fun () -> run_source t source_program []),
             fun () -> run_target t tp [] )
 
-let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock request =
+let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock ~epoch ~seq
+    request =
   let t0 = clock () in
   let phase_name = Cutover.phase_name phase in
   let finish ~decision ~shadowed ~verdict ~divergent ~refused ~served_trace
@@ -109,6 +110,8 @@ let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock request =
     Counters.local_record_write live;
     { Shadow.request;
       shard = t.shard_id;
+      epoch;
+      seq;
       phase = phase_name;
       decision;
       shadowed;
@@ -121,7 +124,7 @@ let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock request =
       target_accesses;
     }
   in
-  match resolve t request.Request.aprog with
+  match resolve t ~epoch request.Request.aprog with
   | Refused ->
       (* Not even a source program: nothing to run, count the refusal. *)
       finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None

@@ -39,9 +39,13 @@ val plan_stats : t -> Ccv_plan.Plan_cache.stats
 
 (** Execute one request under the given phase.  [live] is the calling
     worker's staging buffer, charged while the request runs (engine
-    accesses as reads, one write per served request) and flushed into
-    the shared per-phase counter at the tick barrier; [clock] supplies
-    seconds for latency measurement. *)
+    accesses as reads, one write per served request); the pool flushes
+    it into the shared per-phase counter (tick barrier) or charges per
+    consumed outcome (epoch serving).  [epoch]/[seq] stamp the outcome
+    with its logical position — the tick index or snapshot epoch, and
+    the request's rank within the shard's slice of it — and [epoch]
+    also tags plan-cache compilations done on this request's behalf.
+    [clock] supplies seconds for latency measurement. *)
 val exec :
   t ->
   phase:Cutover.phase ->
@@ -49,5 +53,7 @@ val exec :
   canary_seed:int ->
   live:Counters.local ->
   clock:(unit -> float) ->
+  epoch:int ->
+  seq:int ->
   Request.t ->
   Shadow.outcome

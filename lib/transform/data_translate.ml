@@ -6,10 +6,16 @@ open Ccv_model
    service hands the serving pool down here).  [Workpool.map_list]
    preserves input order and falls back to inline execution when the
    caller is itself a pool worker, so translation behaves identically
-   with and without the pool — only the wall clock changes. *)
+   with and without the pool — only the wall clock changes.  The
+   working slots are capped at the hardware domain count: translation
+   is pure CPU, and striding it over more slots than the host has
+   cores runs slower than sequential (BENCH_PR5 measured 0.31x with 8
+   pool slots on a smaller host). *)
 let pmap ?pool f xs =
   match pool with
-  | Some p when Workpool.size p > 1 -> Workpool.map_list p f xs
+  | Some p when Workpool.size p > 1 ->
+      Workpool.map_list ~max_workers:(Domain.recommended_domain_count ()) p f
+        xs
   | Some _ | None -> List.map f xs
 
 (* Rebuild an instance under a new schema through a per-entity row

@@ -300,11 +300,182 @@ let workpool_tests =
             check "order" true
               (Workpool.map_list p (fun x -> x * x) xs
               = List.map (fun x -> x * x) xs)));
+    Alcotest.test_case "map_list respects max_workers" `Quick (fun () ->
+        Workpool.with_pool 4 (fun p ->
+            let xs = List.init 37 Fun.id in
+            let expect = List.map (fun x -> x + 1) xs in
+            (* capped below, at, and above the pool size — all the
+               same list, same order *)
+            List.iter
+              (fun cap ->
+                check
+                  (Printf.sprintf "cap %d" cap)
+                  true
+                  (Workpool.map_list ~max_workers:cap p (fun x -> x + 1) xs
+                  = expect))
+              [ 1; 2; 4; 16 ]));
+    Alcotest.test_case "submit/drain joins async jobs" `Quick (fun () ->
+        Workpool.with_pool 4 (fun p ->
+            let out = Array.make 4 0 in
+            check "quiescent before submit" true (Workpool.quiescent p);
+            Workpool.submit p (fun w -> out.(w) <- w * 11);
+            Workpool.drain p;
+            check "quiescent after drain" true (Workpool.quiescent p);
+            (* slot 0 stays with the caller *)
+            check "jobs ran on workers" true
+              (Array.to_list out = [ 0; 11; 22; 33 ]);
+            (* the pool still barrier-steps afterwards *)
+            let r = Workpool.step p (fun w -> w) in
+            check "pool still serves" true (Array.to_list r = [ 0; 1; 2; 3 ])));
+    Alcotest.test_case "submit failure surfaces at drain" `Quick (fun () ->
+        Workpool.with_pool 3 (fun p ->
+            Workpool.submit p (fun w -> if w = 2 then failwith "boom");
+            (try
+               Workpool.drain p;
+               Alcotest.fail "expected Worker_error"
+             with Workpool.Worker_error { worker = 2; _ } -> ());
+            (* the failure is consumed; the pool is reusable *)
+            Workpool.submit p (fun _ -> ());
+            Workpool.drain p));
+    Alcotest.test_case "idle_times is per slot, slot 0 zero" `Quick (fun () ->
+        Workpool.with_pool 3 (fun p ->
+            ignore (Workpool.step p (fun w -> w));
+            let per = Workpool.idle_times p in
+            check "one entry per slot" true (Array.length per = 3);
+            check "coordinator never parks" true (per.(0) = 0.);
+            check "sum matches idle_time" true
+              (Float.abs (Array.fold_left ( +. ) 0. per -. Workpool.idle_time p)
+              < 1e-9)));
     Alcotest.test_case "shutdown is idempotent" `Quick (fun () ->
         let p = Workpool.create 3 in
         ignore (Workpool.step p (fun w -> w));
         Workpool.shutdown p;
         Workpool.shutdown p);
+  ]
+
+(* ---------------- Snapshot cells and mailboxes ---------------- *)
+
+let snapshot_tests =
+  [ Alcotest.test_case "cell publish/read" `Quick (fun () ->
+        let c = Snapshot.cell 0 in
+        check "initial" true (Snapshot.read c = 0);
+        Snapshot.publish c 42;
+        check "published" true (Snapshot.read c = 42));
+    Alcotest.test_case "mailbox preserves post order" `Quick (fun () ->
+        let mb = Snapshot.mailbox () in
+        check "empty" true (Snapshot.take_all mb = []);
+        List.iter (Snapshot.post mb) [ 1; 2; 3 ];
+        check "fifo" true (Snapshot.take_all mb = [ 1; 2; 3 ]);
+        check "drained" true (Snapshot.take_all mb = []);
+        Snapshot.post mb 4;
+        check "reusable" true (Snapshot.take_all mb = [ 4 ]));
+    Alcotest.test_case "mailbox survives cross-domain posting" `Quick
+      (fun () ->
+        (* one producer domain, one consumer: everything posted is
+           taken exactly once, in order *)
+        let mb = Snapshot.mailbox () in
+        let n = 1000 in
+        let producer =
+          Domain.spawn (fun () ->
+              for i = 0 to n - 1 do
+                Snapshot.post mb i
+              done)
+        in
+        let got = ref [] in
+        while List.length !got < n do
+          got := !got @ Snapshot.take_all mb
+        done;
+        Domain.join producer;
+        check "all posts, in order" true (!got = List.init n Fun.id));
+  ]
+
+(* ---------------- Epoch reorder buffer ---------------- *)
+
+let epoch_tests =
+  [ Alcotest.test_case "key order is (epoch, shard, seq)" `Quick (fun () ->
+        let k e s q = { Epoch.epoch = e; shard = s; seq = q } in
+        check "epoch first" true (Epoch.compare_key (k 0 9 9) (k 1 0 0) < 0);
+        check "then shard" true (Epoch.compare_key (k 1 0 9) (k 1 1 0) < 0);
+        check "then seq" true (Epoch.compare_key (k 1 1 0) (k 1 1 1) < 0);
+        check "equal" true (Epoch.compare_key (k 2 3 4) (k 2 3 4) = 0));
+    Alcotest.test_case "rows release only when complete" `Quick (fun () ->
+        let b = Epoch.create ~rows:[| 2; 1; 2 |] in
+        check "two rows total" true (Epoch.total_rows b = 2);
+        Epoch.publish b ~shard:0 ~epoch:0 "a0";
+        Epoch.publish b ~shard:2 ~epoch:0 "c0";
+        check "row 0 incomplete" true (Epoch.pop_row b = None);
+        Epoch.publish b ~shard:1 ~epoch:0 "b0";
+        check "row 0 pops in shard order" true
+          (Epoch.pop_row b = Some (0, [ (0, "a0"); (1, "b0"); (2, "c0") ]));
+        (* shard 1 has no row 1: the row completes without it *)
+        Epoch.publish b ~shard:2 ~epoch:1 "c1";
+        Epoch.publish b ~shard:0 ~epoch:1 "a1";
+        check "row 1 skips the short shard" true
+          (Epoch.pop_row b = Some (1, [ (0, "a1"); (2, "c1") ]));
+        check "exhausted" true
+          (Epoch.pop_row b = None && Epoch.frontier b = 2));
+    Alcotest.test_case "publish rejects double and out-of-range" `Quick
+      (fun () ->
+        let b = Epoch.create ~rows:[| 1 |] in
+        Epoch.publish b ~shard:0 ~epoch:0 "x";
+        (try
+           Epoch.publish b ~shard:0 ~epoch:0 "y";
+           Alcotest.fail "double publish accepted"
+         with Invalid_argument _ -> ());
+        try
+          Epoch.publish b ~shard:0 ~epoch:1 "z";
+          Alcotest.fail "out-of-range publish accepted"
+        with Invalid_argument _ -> ());
+  ]
+
+let epoch_props =
+  [ QCheck.Test.make
+      ~name:"any publish interleaving drains in canonical order" ~count:200
+      QCheck.(
+        pair (int_range 1 1000)
+          (list_of_size Gen.(int_range 1 6) (int_range 0 4)))
+      (fun (seed, rows_l) ->
+        (* rows_l.(s) epoch rows for shard s; publish them in a
+           seed-shuffled physical order and check the drain is the
+           canonical epoch-major, shard-minor sequence regardless *)
+        let rows = Array.of_list rows_l in
+        let all =
+          Array.to_list rows
+          |> List.mapi (fun s n -> List.init n (fun e -> (s, e)))
+          |> List.concat
+        in
+        let rng = Prng.create ~seed in
+        let shuffled = Prng.shuffle rng all in
+        let b = Epoch.create ~rows in
+        let drained = ref [] in
+        let drain () =
+          let continue_ = ref true in
+          while !continue_ do
+            match Epoch.pop_row b with
+            | None -> continue_ := false
+            | Some (e, cells) ->
+                drained :=
+                  List.rev_append
+                    (List.map (fun (s, ()) -> (e, s)) cells)
+                    !drained
+          done
+        in
+        (* interleave draining with publishing, as the coordinator
+           does, instead of draining only at the end *)
+        List.iter
+          (fun (s, e) ->
+            Epoch.publish b ~shard:s ~epoch:e ();
+            drain ())
+          shuffled;
+        drain ();
+        let canonical =
+          List.concat
+            (List.init (Epoch.total_rows b) (fun e ->
+                 List.filter_map
+                   (fun s -> if rows.(s) > e then Some (e, s) else None)
+                   (List.init (Array.length rows) Fun.id)))
+        in
+        List.rev !drained = canonical);
   ]
 
 (* ---------------- Counters.local staging ---------------- *)
@@ -364,6 +535,9 @@ let () =
       qsuite "prng-props" prng_props;
       ("misc", misc_tests);
       ("workpool", workpool_tests);
+      ("snapshot", snapshot_tests);
+      ("epoch", epoch_tests);
+      qsuite "epoch-props" epoch_props;
       ("counters-local", local_counter_tests);
       qsuite "counters-local-props" local_counter_props;
     ]

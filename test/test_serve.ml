@@ -46,10 +46,12 @@ let requests ~seed ~n =
   Request.stream ~seed W.Company.schema ~sample:(W.Company.instance ()) ~n ()
 
 let run_service ?(domains = 1) ?(shards = 4) ?(batch = 8)
-    ?(use_plan_cache = true) ~cutover ops reqs =
+    ?(use_plan_cache = true) ?(epoch_serving = true) ?(epoch_batch = 8)
+    ~cutover ops reqs =
   let config =
     { Pool.default_config with
       domains; shards; batch; canary_seed = 7; use_plan_cache;
+      epoch_serving; epoch_batch;
     }
   in
   match Pool.run ~config ~cutover (net_req ops) (W.Company.instance ()) reqs with
@@ -212,7 +214,120 @@ let deterministic_across_domain_counts () =
   check "1 domain = 2 domains" true (fp a = fp b);
   check "1 domain = 8 domains" true (fp a = fp c);
   check "report records the domain count used" true
-    (a.Pool.domains = 1 && b.Pool.domains = 2 && c.Pool.domains = 8)
+    (a.Pool.domains = 1 && b.Pool.domains = 2 && c.Pool.domains = 8);
+  check "per-worker idle is reported per slot" true
+    (List.for_all
+       (fun (r : Pool.report) ->
+         List.length r.Pool.worker_idle_s = r.Pool.domains
+         && Float.abs
+              (List.fold_left ( +. ) 0. r.Pool.worker_idle_s
+              -. r.Pool.pool_idle_s)
+            < 1e-9)
+       [ a; b; c ])
+
+(* The same invariant must keep holding for the tick-barrier loop the
+   epoch mode replaced — it stays around as the bench baseline. *)
+let deterministic_across_domain_counts_barrier () =
+  let go domains =
+    let reqs = requests ~seed:707 ~n:64 in
+    run_service ~domains ~shards:8 ~epoch_serving:false
+      ~cutover:rollback_cutover [ restrict_op ] reqs
+  in
+  let a = go 1 and b = go 8 in
+  check "barrier mode: 1 domain = 8 domains" true
+    ( terminal_output a = terminal_output b
+    && a.Pool.transitions = b.Pool.transitions
+    && a.Pool.divergences = b.Pool.divergences );
+  check "barrier mode flagged in the report" true
+    ((not a.Pool.epoch_serving) && not b.Pool.epoch_serving)
+
+(* Epoch mode's determinism mechanism is the canonical consumption
+   order: outcomes and the divergence log must come out sorted by
+   (epoch, shard, seq), whatever the physical arrival interleaving
+   was. *)
+let epoch_log_in_canonical_order () =
+  let reqs = requests ~seed:303 ~n:64 in
+  let r =
+    run_service ~domains:4 ~shards:8 ~epoch_batch:4
+      ~cutover:rollback_cutover [ restrict_op ] reqs
+  in
+  check "epoch mode flagged in the report" true r.Pool.epoch_serving;
+  let okey (o : Shadow.outcome) = (o.Shadow.epoch, o.Shadow.shard, o.Shadow.seq) in
+  let keys = List.map okey r.Pool.outcomes in
+  check "outcomes in (epoch, shard, seq) order" true
+    (keys = List.sort compare keys);
+  check "divergences detected" true (r.Pool.divergences <> []);
+  let dkeys =
+    List.map
+      (fun (d : Pool.divergence) ->
+        (d.Pool.div_epoch, d.Pool.div_shard, d.Pool.div_seq))
+      r.Pool.divergences
+  in
+  check "divergence log in (epoch, shard, seq) order" true
+    (dkeys = List.sort compare dkeys);
+  (* the log's keys agree with the outcomes they were cut from *)
+  check "divergence keys exist among divergent outcomes" true
+    (List.for_all
+       (fun k ->
+         List.exists
+           (fun (o : Shadow.outcome) -> o.Shadow.divergent && okey o = k)
+           r.Pool.outcomes)
+       dkeys)
+
+(* With the phase pinned, the two modes must serve request-for-request
+   identical traffic: each shard executes its slice in the same order
+   under the same phase, so only the report's consumption order may
+   differ. *)
+let pinned_phase_modes_agree () =
+  let pinned =
+    { Cutover.default_config with
+      promote_after = max_int;
+      initial = Cutover.Shadow;
+      max_divergence_rate = 2.0;
+    }
+  in
+  let reqs = requests ~seed:909 ~n:72 in
+  let go epoch_serving =
+    run_service ~domains:4 ~shards:8 ~epoch_serving ~cutover:pinned
+      [ restrict_op ] reqs
+  in
+  let by_id r =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) (terminal_output r)
+  in
+  let epoch = go true and barrier = go false in
+  check "pinned phase: same served traffic in both modes" true
+    (by_id epoch = by_id barrier);
+  check "pinned phase: no transitions either way" true
+    (epoch.Pool.transitions = [] && barrier.Pool.transitions = []);
+  check "same divergent request ids" true
+    (List.sort compare
+       (List.map (fun (d : Pool.divergence) -> d.Pool.div_request)
+          epoch.Pool.divergences)
+    = List.sort compare
+        (List.map (fun (d : Pool.divergence) -> d.Pool.div_request)
+           barrier.Pool.divergences))
+
+(* qcheck over the workload seed: whatever stream the generator deals,
+   epoch serving is domain-count independent. *)
+let epoch_determinism_prop =
+  QCheck.Test.make ~name:"epoch serving deterministic across domain counts"
+    ~count:8
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let go domains =
+        let reqs = requests ~seed ~n:32 in
+        run_service ~domains ~shards:5 ~epoch_batch:4
+          ~cutover:rollback_cutover [ restrict_op ] reqs
+      in
+      let fp (r : Pool.report) =
+        ( terminal_output r,
+          r.Pool.transitions,
+          r.Pool.divergences,
+          r.Pool.served,
+          Cutover.phase_name r.Pool.final_phase )
+      in
+      let a = fp (go 1) and b = fp (go 2) and c = fp (go 8) in
+      a = b && a = c)
 
 (* ------------------------------------------------------------------ *)
 (* (e) worker crashes surface as Error, not a hang or a corrupt report *)
@@ -220,11 +335,11 @@ let deterministic_across_domain_counts () =
 let worker_fault_propagates () =
   let reqs = requests ~seed:606 ~n:40 in
   List.iter
-    (fun domains ->
+    (fun (epoch_serving, domains) ->
       let config =
         { Pool.default_config with
           domains; shards = 4; batch = 8; canary_seed = 7;
-          fail_request = Some 17;
+          fail_request = Some 17; epoch_serving;
         }
       in
       match
@@ -232,14 +347,20 @@ let worker_fault_propagates () =
           (W.Company.instance ()) reqs
       with
       | Ok _ ->
-          Alcotest.failf "%d domains: injected fault did not surface" domains
+          Alcotest.failf "%s, %d domains: injected fault did not surface"
+            (if epoch_serving then "epoch" else "barrier")
+            domains
       | Error e ->
-          let label = Printf.sprintf "%d domains" domains in
+          let label =
+            Printf.sprintf "%s, %d domains"
+              (if epoch_serving then "epoch" else "barrier")
+              domains
+          in
           check (label ^ ": error names the worker failure") true
             (contains ~affix:"worker failure" e);
           check (label ^ ": error names the failing request") true
             (contains ~affix:"request 17" e))
-    [ 1; 2; 4 ]
+    [ (true, 1); (true, 2); (true, 4); (false, 1); (false, 2); (false, 4) ]
 
 (* ------------------------------------------------------------------ *)
 (* (d) the per-shard plan cache: same served behaviour with and
@@ -287,9 +408,17 @@ let () =
             deterministic_across_repeats;
           Alcotest.test_case "identical reports under 1, 2 and 8 domains"
             `Quick deterministic_across_domain_counts;
+          Alcotest.test_case "barrier mode stays domain-count independent"
+            `Quick deterministic_across_domain_counts_barrier;
+          Alcotest.test_case "epoch log in canonical order" `Quick
+            epoch_log_in_canonical_order;
+          Alcotest.test_case "pinned phase: modes serve identical traffic"
+            `Quick pinned_phase_modes_agree;
           Alcotest.test_case "worker fault propagates as Error" `Quick
             worker_fault_propagates;
           Alcotest.test_case "plan cache is behaviourally transparent" `Quick
             plan_cache_transparent;
         ] );
+      ( "epoch-props",
+        [ QCheck_alcotest.to_alcotest epoch_determinism_prop ] );
     ]
