@@ -1532,6 +1532,189 @@ let scaling ?(smoke = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* migration: live cutover (lazy translation + backfill + dual-apply)
+   vs stop-the-world bulk preparation                                  *)
+
+let percentile_us p lats =
+  match List.sort Float.compare lats with
+  | [] -> 0.
+  | sorted ->
+      let n = List.length sorted in
+      let idx = max 0 (min (n - 1) (int_of_float (ceil (p *. float n)) - 1)) in
+      List.nth sorted idx
+
+let migration ?(smoke = false) () =
+  section
+    (if smoke then
+       "MIGRATION-SMOKE  live first response must beat bulk preparation"
+     else
+       "MIGRATION  live (lazy + backfill + dual-apply) vs stop-the-world: \
+        time to first response, req/s and p95 during migration");
+  let module S = Ccv_serve in
+  let module M = Ccv_migrate.Migrate in
+  let seed = 929 in
+  let nshards = 4 in
+  let n = if smoke then 96 else 128 in
+  (* the volume sweep rides the epoch flagship at 2 domains; the
+     domain sweep (1/2/8, both modes) runs at the middle volume so the
+     bench finishes in CI time *)
+  let volumes = if smoke then [ 1000 ] else [ 250; 1000; 3000 ] in
+  let sweep_volume = 1000 in
+  let domain_counts = if smoke then [ 2 ] else [ 1; 2; 8 ] in
+  let req =
+    { Supervisor.source_schema = W.Company.schema;
+      source_model = Mapping.Net;
+      ops = [ interpose_op ];
+      target_model = Mapping.Net;
+    }
+  in
+  (* pinned in Shadow: every request is measured mid-migration, under
+     the dual-run regime, never after a promotion *)
+  let pinned =
+    { S.Cutover.canary_fraction = 0.25;
+      window = 32;
+      min_observations = 8;
+      max_divergence_rate = 2.0;
+      promote_after = max_int;
+      initial = S.Cutover.Shadow;
+    }
+  in
+  let run_one ~sample ~reqs ~domains ~epoch_serving ~live =
+    let config =
+      { S.Pool.default_config with
+        domains; shards = nshards; batch = 24; canary_seed = seed;
+        epoch_serving; live_migration = live; backfill_batch = 48;
+        backfill_lag = 1;
+      }
+    in
+    match S.Pool.run ~config ~cutover:pinned req sample reqs with
+    | Error e -> failwith ("migration bench: " ^ e)
+    | Ok r ->
+        let lats =
+          List.map
+            (fun (o : S.Shadow.outcome) -> o.S.Shadow.latency_us)
+            r.S.Pool.outcomes
+        in
+        let first =
+          match r.S.Pool.outcomes with
+          | o :: _ -> o.S.Shadow.latency_us /. 1e6
+          | [] -> 0.
+        in
+        (r, r.S.Pool.prepare_s +. first, percentile_us 0.95 lats)
+  in
+  let rows = ref [] in
+  (* (volume, style, mode, domains) -> (prepare_s, first_response_s) *)
+  let results = ref [] in
+  List.iter
+    (fun vol ->
+      let sample = W.Company.scaled ~seed:42 ~n:vol in
+      let reqs =
+        S.Request.stream ~seed W.Company.schema ~sample ~n ~distinct:12
+          ~skew:1.1 ()
+      in
+      let ds = if vol = sweep_volume then domain_counts else [ 2 ] in
+      let modes =
+        if vol = sweep_volume then [ ("epoch", true); ("barrier", false) ]
+        else [ ("epoch", true) ]
+      in
+      List.iter
+        (fun d ->
+          List.iter
+            (fun (mode, epoch_serving) ->
+              List.iter
+                (fun (style, live) ->
+                  let r, first_resp, p95 =
+                    run_one ~sample ~reqs ~domains:d ~epoch_serving ~live
+                  in
+                  let thr = float r.S.Pool.served /. r.S.Pool.wall_s in
+                  results :=
+                    ((vol, style, mode, d), (r.S.Pool.prepare_s, first_resp))
+                    :: !results;
+                  let faulted, backfilled =
+                    match r.S.Pool.migration with
+                    | Some m -> (m.M.faulted, m.M.backfilled)
+                    | None -> (0, 0)
+                  in
+                  emit_json
+                    [ ("experiment", json_str "migration");
+                      ("style", json_str style);
+                      ("mode", json_str mode);
+                      ("volume", string_of_int vol);
+                      ("domains", string_of_int d);
+                      ("served", string_of_int r.S.Pool.served);
+                      ("prepare_s", json_float r.S.Pool.prepare_s);
+                      ("first_response_s", json_float first_resp);
+                      ("wall_s", json_float r.S.Pool.wall_s);
+                      ("req_per_s", json_float thr);
+                      ("p95_us", json_float p95);
+                      ("faulted", string_of_int faulted);
+                      ("backfilled", string_of_int backfilled);
+                    ];
+                  rows :=
+                    [ string_of_int vol; style; mode; string_of_int d;
+                      Tablefmt.float_cell (r.S.Pool.prepare_s *. 1000.);
+                      Tablefmt.float_cell (first_resp *. 1000.);
+                      Tablefmt.float_cell thr;
+                      Tablefmt.float_cell p95;
+                      string_of_int faulted; string_of_int backfilled;
+                    ]
+                    :: !rows)
+                [ ("stop-the-world", false); ("live", true) ])
+            modes)
+        ds)
+    volumes;
+  Tablefmt.print
+    ~title:
+      (Printf.sprintf
+         "serving during migration, %d requests, %d shards (first response \
+          = prepare + first request latency)"
+         n nshards)
+    ~aligns:
+      [ Tablefmt.Right; Tablefmt.Left; Tablefmt.Left; Tablefmt.Right;
+        Tablefmt.Right; Tablefmt.Right; Tablefmt.Right; Tablefmt.Right;
+        Tablefmt.Right; Tablefmt.Right;
+      ]
+    [ "volume"; "style"; "mode"; "domains"; "prep ms"; "first resp ms";
+      "req/s"; "p95 us"; "faulted"; "backfilled" ]
+    (List.rev !rows);
+  meta_extra :=
+    !meta_extra
+    @ [ ("migration_seed", string_of_int seed);
+        ("migration_requests", string_of_int n);
+        ("migration_volumes",
+         "[" ^ String.concat ", " (List.map string_of_int volumes) ^ "]");
+        ("migration_backfill_batch", "48");
+        ("migration_backfill_lag", "1");
+      ];
+  (* The point of the subsystem, stated as a gate: at the largest
+     dataset, live migration answers its first request before the
+     stop-the-world run has even finished preparing its replicas. *)
+  let top = List.fold_left max 0 volumes in
+  List.iter
+    (fun mode ->
+      match
+        ( List.assoc_opt (top, "stop-the-world", mode, 2) !results,
+          List.assoc_opt (top, "live", mode, 2) !results )
+      with
+      | Some (stw_prep, _), Some (_, live_first) ->
+          Printf.printf
+            "%s, %d records: live first response %.3fs vs stop-the-world \
+             prepare %.3fs (%.1fx)\n"
+            mode top live_first stw_prep (stw_prep /. live_first);
+          if smoke && live_first >= stw_prep then begin
+            Printf.eprintf
+              "MIGRATION REGRESSION: %s-mode live first response (%.3fs) \
+               does not beat bulk preparation (%.3fs) at %d records\n"
+              mode live_first stw_prep top;
+            exit 1
+          end
+      | _ -> ())
+    (if smoke then [ "epoch"; "barrier" ] else [ "epoch" ]);
+  if smoke then
+    Printf.printf
+      "smoke: live migration serves before bulk preparation completes\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
@@ -1539,6 +1722,8 @@ let all =
     ("micro", micro); ("micro-index", micro_index); ("serve", serve);
     ("plan", plan); ("scaling", (fun () -> scaling ()));
     ("scaling-smoke", (fun () -> scaling ~smoke:true ()));
+    ("migration", (fun () -> migration ()));
+    ("migration-smoke", (fun () -> migration ~smoke:true ()));
   ]
 
 let () =

@@ -131,7 +131,7 @@ let run schema_path program_path ops_raw verbose =
 
 let serve_run ops_raw requests domains shards batch seed canary window
     min_obs threshold promote strict no_plan_cache fail_request epoch_serving
-    epoch_batch epoch_lag =
+    epoch_batch epoch_lag live_migration backfill_batch backfill_lag skew =
   let module S = Ccv_serve in
   let module W = Ccv_workload in
   let ops =
@@ -142,7 +142,7 @@ let serve_run ops_raw requests domains shards batch seed canary window
   in
   let sample = W.Company.instance () in
   let reqs =
-    S.Request.stream ~seed W.Company.schema ~sample ~n:requests ()
+    S.Request.stream ~seed W.Company.schema ~sample ~n:requests ~skew ()
   in
   let req =
     { Supervisor.source_schema = W.Company.schema;
@@ -171,6 +171,11 @@ let serve_run ops_raw requests domains shards batch seed canary window
       epoch_serving;
       epoch_batch;
       epoch_lag;
+      live_migration;
+      backfill_batch;
+      backfill_lag;
+      fail_backfill = None;
+      fingerprint_replicas = false;
     }
   in
   match S.Pool.run ~config ~cutover req sample reqs with
@@ -298,13 +303,44 @@ let serve_cmd =
           ~doc:"rows the phase plan is published ahead of the controller \
                 (epoch-serving pipeline depth)")
   in
+  let live_migration =
+    Arg.(
+      value & flag
+      & info [ "live-migration" ]
+          ~doc:"serve while migrating: start with empty target replicas and \
+                fill them online by per-request fault-in, background \
+                backfill and dual-applied writes, instead of bulk data \
+                translation up front.  The first request is served \
+                immediately; promotion to canary/cutover waits for the \
+                backfill convergence gate")
+  in
+  let backfill_batch =
+    Arg.(
+      value & opt int 64
+      & info [ "backfill-batch" ] ~docv:"N"
+          ~doc:"live migration: pending records drained per shard per \
+                logical row")
+  in
+  let backfill_lag =
+    Arg.(
+      value & opt int 1
+      & info [ "backfill-lag" ] ~docv:"L"
+          ~doc:"live migration: logical rows served before backfill starts")
+  in
+  let skew =
+    Arg.(
+      value & opt float 0.
+      & info [ "skew" ] ~docv:"THETA"
+          ~doc:"Zipf exponent for key popularity in the generated workload \
+                (0 = uniform)")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ ops_arg $ requests $ domains $ shards $ batch $ seed
       $ canary $ window $ min_obs $ threshold $ promote $ strict
       $ no_plan_cache $ fail_request $ epoch_serving $ epoch_batch
-      $ epoch_lag)
+      $ epoch_lag $ live_migration $ backfill_batch $ backfill_lag $ skew)
 
 let cmd =
   let doc =

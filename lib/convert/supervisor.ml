@@ -152,6 +152,29 @@ let prepare_serving ?pool req sdb =
           warnings;
         }
 
+(* Live-migration entry: realize the source replica only.  The target
+   starts as an empty instance of the target schema and is populated
+   record by record by the migration subsystem (fault-in + backfill),
+   so the first request is served without waiting on bulk
+   translation. *)
+let prepare_live req sdb =
+  match Schema_change.apply_all req.source_schema req.ops with
+  | Error e -> Error ("conversion-analyzer", e)
+  | Ok target_schema ->
+      let source_mapping = mapping_for req.source_model req.source_schema in
+      let _, source_db = realize req.source_model sdb in
+      let empty = Sdb.create target_schema in
+      let _, target_db = realize req.target_model empty in
+      Ok
+        ( { serve_request = req;
+            source_mapping;
+            source_db;
+            target_db;
+            translated = empty;
+            warnings = [];
+          },
+          target_schema )
+
 type served_pair = {
   source_program : Engines.program;
   target_program : (Engines.program, string * string) result;

@@ -75,6 +75,14 @@ val prepare_serving :
   ?pool:Ccv_common.Workpool.t ->
   request -> Sdb.t -> (servable, string * string) result
 
+(** Live-migration variant of {!prepare_serving}: realize the source
+    replica only and hand back a servable whose target is an {e empty}
+    instance of the target schema (also returned), to be populated
+    record by record by {!Ccv_migrate} fault-in and backfill.  [Error]
+    only when the ops do not apply to the source schema. *)
+val prepare_live :
+  request -> Sdb.t -> (servable * Ccv_model.Semantic.t, string * string) result
+
 (** Digest of everything a compiled serving plan depends on — source
     schema, restructuring ops, source and target models.  Plan caches
     keyed per program use this as their generation tag: a changed

@@ -1,0 +1,13 @@
+(* The deterministic backfill schedule.  Progress is a pure function
+   of logical time, shared by the workers (to know how far to drain
+   before executing a row) and the coordinator (to decide convergence
+   analytically) — no channel, no physical clock, no scheduling
+   dependence. *)
+
+let watermark_target ~total ~batch ~lag ~rows e =
+  if rows <= 0 then total
+  else if e >= rows - 1 then total
+  else min total (batch * max 0 (e + 1 - lag))
+
+let converged ~total ~batch ~lag ~rows e =
+  watermark_target ~total ~batch ~lag ~rows e >= total

@@ -1,0 +1,16 @@
+(** The deterministic backfill schedule.
+
+    [watermark_target ~total ~batch ~lag ~rows e] is the slot index a
+    shard's backfill must have drained before executing logical row
+    [e] of [rows] total rows: [0] for the first [lag] rows (serving
+    starts instantly), then [batch] more slots per row, and the full
+    [total] at the shard's last row — a run always ends fully
+    migrated.  Monotone in [e]; a pure function of logical time, so
+    workers drain and the coordinator gates convergence from the same
+    arithmetic without exchanging watermarks. *)
+
+val watermark_target : total:int -> batch:int -> lag:int -> rows:int -> int -> int
+
+(** [converged ... e] — the schedule covers the whole keyspace at row
+    [e]. *)
+val converged : total:int -> batch:int -> lag:int -> rows:int -> int -> bool

@@ -1,0 +1,585 @@
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+open Ccv_convert
+
+type config = {
+  batch : int;
+  lag : int;
+  fail_at_slot : (int * int) option;
+}
+
+let default_config = { batch = 64; lag = 1; fail_at_slot = None }
+
+type t = {
+  shard_id : int;
+  config : config;
+  snapshot : Sdb.t;
+  ops : Schema_change.op list;
+  target_schema : Semantic.t;
+  target_model : Mapping.target_model;
+  loader : Mapping.loader;
+  slots : (string * Row.t) array;
+  slot_of : (string * string, int) Hashtbl.t;
+  done_ : bool array;
+  mutable n_done : int;
+  mutable n_faulted : int;  (* slots drained by request fault-in *)
+  mutable n_backfilled : int;  (* slots drained by the backfill driver *)
+  mutable watermark : int;  (* slots [0, watermark) scanned by backfill *)
+  mutable failed : string option;
+  mutable warnings : string list;
+  merged : (string * string, unit) Hashtbl.t;
+      (* target rows already appended to the replica *)
+  seen_links : (string, unit) Hashtbl.t;
+  mutable partner_index :
+    (string * string, (string * Value.t list) list) Hashtbl.t option;
+      (* record -> link partners over the immutable snapshot, built on
+         first use so [start] stays cheap *)
+}
+
+type summary = {
+  total_slots : int;
+  faulted : int;
+  backfilled : int;
+  mig_warnings : string list;
+  mig_failed : string option;
+}
+
+let key_repr key = String.concat "|" (List.map Value.show key)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let make_loader target_model target_schema =
+  match target_model with
+  | Mapping.Rel ->
+      let _, rschema = Mapping.derive_relational target_schema in
+      Mapping.loader_relational target_schema rschema
+  | Mapping.Net ->
+      let map, nschema = Mapping.derive_network target_schema in
+      Mapping.loader_network map nschema
+  | Mapping.Hier ->
+      let map, hschema = Mapping.derive_hier target_schema in
+      Mapping.loader_hier map hschema
+
+let start ?(config = default_config) ~shard_id (req : Supervisor.request) sdb =
+  match Supervisor.prepare_live req sdb with
+  | Error e -> Error e
+  | Ok (servable, target_schema) ->
+      let schema = Sdb.schema sdb in
+      let slots =
+        Array.of_list
+          (List.concat_map
+             (fun (e : Semantic.entity) ->
+               List.map (fun row -> (e.ename, row)) (Sdb.rows_silent sdb e.ename))
+             (Mapping.load_order schema))
+      in
+      let slot_of = Hashtbl.create (Array.length slots * 2) in
+      Array.iteri
+        (fun i (ename, row) ->
+          let e = Semantic.find_entity_exn schema ename in
+          Hashtbl.replace slot_of
+            (Field.canon ename, key_repr (Sdb.key_of e row))
+            i)
+        slots;
+      let t =
+        { shard_id;
+          config;
+          snapshot = sdb;
+          ops = req.Supervisor.ops;
+          target_schema;
+          target_model = req.Supervisor.target_model;
+          loader = make_loader req.Supervisor.target_model target_schema;
+          slots;
+          slot_of;
+          done_ = Array.make (Array.length slots) false;
+          n_done = 0;
+          n_faulted = 0;
+          n_backfilled = 0;
+          watermark = 0;
+          failed = None;
+          warnings = [];
+          merged = Hashtbl.create 256;
+          seen_links = Hashtbl.create 256;
+          partner_index = None;
+        }
+      in
+      Ok (t, servable)
+
+let total t = Array.length t.slots
+let n_done t = t.n_done
+let failed t = t.failed
+let mark_failed t msg = if t.failed = None then t.failed <- Some msg
+
+let summary t =
+  { total_slots = total t;
+    faulted = t.n_faulted;
+    backfilled = t.n_backfilled;
+    mig_warnings = List.rev t.warnings;
+    mig_failed = t.failed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Engine replica sync.  Dual-applied writes advance the shard's
+   target database outside the loader; push the current replica in
+   before a merge and read it back after, so merges append to the
+   served state. *)
+
+let engine_db t : Engines.database =
+  match t.target_model with
+  | Mapping.Rel -> Engines.Rel_db (Mapping.loader_rdb t.loader)
+  | Mapping.Net -> Engines.Net_db (Mapping.loader_ndb t.loader)
+  | Mapping.Hier -> Engines.Hier_db (Mapping.loader_hdb t.loader)
+
+let sync_engine_db t (db : Engines.database) =
+  match (t.target_model, db) with
+  | Mapping.Rel, Engines.Rel_db rdb -> Mapping.loader_set_rdb t.loader rdb
+  | Mapping.Net, Engines.Net_db ndb -> Mapping.loader_set_ndb t.loader ndb
+  | Mapping.Hier, Engines.Hier_db hdb -> Mapping.loader_set_hdb t.loader hdb
+  | _ -> invalid_arg "Migrate.sync_engine_db: model mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* How a source entity appears in the target schema (identity through
+   most ops, renamed by [Rename_entity], gone after [Collapse]). *)
+
+let entity_image ops ename =
+  List.fold_left
+    (fun acc op ->
+      match acc with
+      | None -> None
+      | Some name -> (
+          match op with
+          | Schema_change.Rename_entity { from_; to_ }
+            when Field.name_equal from_ name -> Some to_
+          | Schema_change.Collapse { removed_entity; _ }
+            when Field.name_equal removed_entity name -> None
+          | _ -> Some name))
+    (Some ename) ops
+
+(* Target entities that are no source entity's image (e.g. an
+   Interpose's new entity): their translated rows exist only as a
+   function of the slice, so every one the slice produces merges. *)
+let derived_entities t =
+  let source_images =
+    List.filter_map
+      (fun (e : Semantic.entity) -> entity_image t.ops e.ename)
+      (Sdb.schema t.snapshot).Semantic.entities
+  in
+  List.filter
+    (fun (e : Semantic.entity) ->
+      not (List.exists (Field.name_equal e.ename) source_images))
+    t.target_schema.Semantic.entities
+
+(* ------------------------------------------------------------------ *)
+(* Slice closure and merge.
+
+   A batch [B] of source records is translated together with its link
+   partners (hop 1) and their partners (hop 2), so ops that compute
+   across links (Interpose groupings, Collapse field pulls) see the
+   same context they would in a bulk translation.  Rows merged into
+   the replica: images of B and hop 1 plus all derived-entity rows —
+   hop 2 is context only.  Covering two hops makes every hop-1 row's
+   own link neighbourhood complete; schemas whose ops reach deeper
+   than two associations are out of scope (ours have at most two). *)
+
+(* One pass over the snapshot's links, memoized: the snapshot never
+   changes, and per-record link scans would make an entity drain
+   quadratic in the instance size. *)
+let partner_index t =
+  match t.partner_index with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 1024 in
+      let add ename key partner =
+        let k = (Field.canon ename, key_repr key) in
+        Hashtbl.replace idx k
+          (partner :: Option.value (Hashtbl.find_opt idx k) ~default:[])
+      in
+      let schema = Sdb.schema t.snapshot in
+      List.iter
+        (fun (a : Semantic.assoc) ->
+          List.iter
+            (fun (l : Sdb.link) ->
+              add a.left l.lkey (Field.canon a.right, l.rkey);
+              add a.right l.rkey (Field.canon a.left, l.lkey))
+            (Sdb.links_silent t.snapshot a.aname))
+        schema.Semantic.assocs;
+      t.partner_index <- Some idx;
+      idx
+
+let partners_of t (ename, key) =
+  Option.value
+    (Hashtbl.find_opt (partner_index t) (Field.canon ename, key_repr key))
+    ~default:[]
+
+let merge_batch t ~via (batch : int list) =
+  if batch = [] then ()
+  else begin
+    let schema = Sdb.schema t.snapshot in
+    let seen : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let frontier = ref [] in
+    let add (ename, key) =
+      let ck = (Field.canon ename, key_repr key) in
+      if not (Hashtbl.mem seen ck) then begin
+        Hashtbl.replace seen ck ();
+        frontier := (ename, key) :: !frontier
+      end
+    in
+    let b_records =
+      List.map
+        (fun slot ->
+          let ename, row = t.slots.(slot) in
+          let e = Semantic.find_entity_exn schema ename in
+          (ename, Sdb.key_of e row))
+        batch
+    in
+    List.iter add b_records;
+    let hop1 = ref [] in
+    let expand collect =
+      let prev = !frontier in
+      frontier := [];
+      List.iter
+        (fun r ->
+          List.iter
+            (fun p ->
+              let ck = (fst p, key_repr (snd p)) in
+              if not (Hashtbl.mem seen ck) then begin
+                Hashtbl.replace seen ck ();
+                frontier := p :: !frontier;
+                if collect then hop1 := p :: !hop1
+              end)
+            (partners_of t r))
+        prev
+    in
+    expand true;
+    expand false;
+    (* Assemble the slice: rows for every seen record, links with both
+       endpoints inside. *)
+    let slice_rows =
+      List.map
+        (fun (e : Semantic.entity) ->
+          ( e.ename,
+            List.filter
+              (fun row ->
+                Hashtbl.mem seen
+                  (Field.canon e.ename, key_repr (Sdb.key_of e row)))
+              (Sdb.rows_silent t.snapshot e.ename) ))
+        schema.Semantic.entities
+    in
+    let slice_links =
+      List.map
+        (fun (a : Semantic.assoc) ->
+          ( a.aname,
+            List.filter
+              (fun (l : Sdb.link) ->
+                Hashtbl.mem seen (Field.canon a.left, key_repr l.lkey)
+                && Hashtbl.mem seen (Field.canon a.right, key_repr l.rkey))
+              (Sdb.links_silent t.snapshot a.aname) ))
+        schema.Semantic.assocs
+    in
+    (match
+       Data_translate.translate_slice ~snapshot:t.snapshot ~ops:t.ops
+         ~rows:slice_rows ~links:slice_links
+     with
+    | Error msg -> mark_failed t msg
+    | Ok (tslice, _slice_warnings) ->
+        (* Accept the images of B and hop 1 (insert-if-absent). *)
+        let accept = b_records @ List.rev !hop1 in
+        let accepted_rows : (string, Row.t list) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        let push tbl k v =
+          Hashtbl.replace tbl k (v :: (try Hashtbl.find tbl k with Not_found -> []))
+        in
+        List.iter
+          (fun (ename, key) ->
+            match entity_image t.ops ename with
+            | None -> ()
+            | Some tname -> (
+                let ck = (Field.canon tname, key_repr key) in
+                if not (Hashtbl.mem t.merged ck) then
+                  match Sdb.find_entity tslice tname key with
+                  | Some trow ->
+                      Hashtbl.replace t.merged ck ();
+                      push accepted_rows (Field.canon tname) trow
+                  | None ->
+                      (* legitimately absent: e.g. filtered out by a
+                         Restrict_extension *)
+                      ()))
+          accept;
+        List.iter
+          (fun (e : Semantic.entity) ->
+            List.iter
+              (fun trow ->
+                let ck =
+                  (Field.canon e.ename, key_repr (Sdb.key_of e trow))
+                in
+                if not (Hashtbl.mem t.merged ck) then begin
+                  Hashtbl.replace t.merged ck ();
+                  push accepted_rows (Field.canon e.ename) trow
+                end)
+              (Sdb.rows_silent tslice e.ename))
+          (derived_entities t);
+        (* Links: both endpoints merged, not seen before. *)
+        let accepted_links : (string, Sdb.link list) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        List.iter
+          (fun (a : Semantic.assoc) ->
+            List.iter
+              (fun (l : Sdb.link) ->
+                let lk =
+                  Fmt.str "%s|%s->%s" (Field.canon a.aname) (key_repr l.lkey)
+                    (key_repr l.rkey)
+                in
+                if
+                  (not (Hashtbl.mem t.seen_links lk))
+                  && Hashtbl.mem t.merged
+                       (Field.canon a.left, key_repr l.lkey)
+                  && Hashtbl.mem t.merged
+                       (Field.canon a.right, key_repr l.rkey)
+                then begin
+                  Hashtbl.replace t.seen_links lk ();
+                  push accepted_links (Field.canon a.aname) l
+                end)
+              (Sdb.links_silent tslice a.aname))
+          t.target_schema.Semantic.assocs;
+        let to_list tbl = Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl [] in
+        let ws =
+          Mapping.loader_add t.loader ~rows:(to_list accepted_rows)
+            ~links:(to_list accepted_links)
+        in
+        t.warnings <- List.rev_append ws t.warnings);
+    (* B is drained either way — a failed migration serves source-only
+       from here on, it does not retry the slice. *)
+    List.iter
+      (fun slot ->
+        if not t.done_.(slot) then begin
+          t.done_.(slot) <- true;
+          t.n_done <- t.n_done + 1;
+          match via with
+          | `Fault -> t.n_faulted <- t.n_faulted + 1
+          | `Backfill -> t.n_backfilled <- t.n_backfilled + 1
+        end)
+      batch
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request touch sets: which pending records a request may read or
+   write on the target side.  Key-equality lookups demand just that
+   record; anything else (scans, traversals, non-key qualifications)
+   demands the whole entity, so a request is always fully faulted in
+   before it is dual-run — no partial extents behind a shadowed
+   request. *)
+
+type demand = Key of string * Value.t list | All of string
+
+let demand_of_qual schema target qual =
+  match Semantic.find_entity schema target with
+  | None -> []
+  | Some e -> (
+      let conjs = List.filter_map Cond.as_field_eq_const (Cond.split_conjuncts qual) in
+      let key_vals =
+        List.map
+          (fun k ->
+            List.find_map
+              (fun (f, v) -> if Field.name_equal f k then Some v else None)
+              conjs)
+          e.key
+      in
+      if List.for_all Option.is_some key_vals then
+        [ Key (e.ename, List.map Option.get key_vals) ]
+      else [ All e.ename ])
+
+let demands_of_step schema = function
+  | Apattern.Self { target; qual } -> demand_of_qual schema target qual
+  | Apattern.Through { target; _ } -> [ All target ]
+  | Apattern.Assoc_via { assoc; _ } | Apattern.Via_assoc { assoc; _ } -> (
+      match Semantic.find_assoc schema assoc with
+      | Some a -> [ All a.left; All a.right ]
+      | None -> [])
+
+let demands_of_query schema q = List.concat_map (demands_of_step schema) q
+
+let const_exprs exprs =
+  let vals =
+    List.map (function Cond.Const v -> Some v | _ -> None) exprs
+  in
+  if vals <> [] && List.for_all Option.is_some vals then
+    Some (List.map Option.get vals)
+  else None
+
+let rec demands_of_stmt schema = function
+  | Aprog.For_each { query; body } ->
+      demands_of_query schema query @ List.concat_map (demands_of_stmt schema) body
+  | Aprog.First { query; present; absent } ->
+      demands_of_query schema query
+      @ List.concat_map (demands_of_stmt schema) present
+      @ List.concat_map (demands_of_stmt schema) absent
+  | Aprog.Insert { entity; values; connects } ->
+      let own =
+        match Semantic.find_entity schema entity with
+        | None -> []
+        | Some e -> (
+            let key_exprs =
+              List.map
+                (fun k ->
+                  List.find_map
+                    (fun (f, x) -> if Field.name_equal f k then Some x else None)
+                    values)
+                e.key
+            in
+            if List.for_all Option.is_some key_exprs then
+              match const_exprs (List.map Option.get key_exprs) with
+              | Some vals -> [ Key (e.ename, vals) ]
+              | None -> [ All e.ename ]
+            else [ All e.ename ])
+      in
+      own
+      @ List.concat_map
+          (fun (aname, exprs) ->
+            match Semantic.find_assoc schema aname with
+            | None -> []
+            | Some a -> (
+                match const_exprs exprs with
+                | Some vals -> [ Key (a.left, vals) ]
+                | None -> [ All a.left ]))
+          connects
+  | Aprog.Link { assoc; left_key; right_key; _ }
+  | Aprog.Unlink { assoc; left_key; right_key } ->
+      (match Semantic.find_assoc schema assoc with
+      | None -> []
+      | Some a ->
+          let side ename exprs =
+            match const_exprs exprs with
+            | Some vals -> [ Key (ename, vals) ]
+            | None -> [ All ename ]
+          in
+          side a.left left_key @ side a.right right_key)
+  | Aprog.Update { query; _ } | Aprog.Delete { query; _ } ->
+      demands_of_query schema query
+  | Aprog.If (_, yes, no) ->
+      List.concat_map (demands_of_stmt schema) yes
+      @ List.concat_map (demands_of_stmt schema) no
+  | Aprog.While (_, body) -> List.concat_map (demands_of_stmt schema) body
+  | Aprog.Display _ | Aprog.Accept _ | Aprog.Write_file _ | Aprog.Move _ -> []
+
+let demands_of_aprog schema (p : Aprog.t) =
+  List.concat_map (demands_of_stmt schema) p.Aprog.body
+
+let slots_of_demand t = function
+  | Key (ename, key) -> (
+      match Hashtbl.find_opt t.slot_of (Field.canon ename, key_repr key) with
+      | Some slot when not t.done_.(slot) -> [ slot ]
+      | Some _ | None -> [])
+  | All ename ->
+      let acc = ref [] in
+      Array.iteri
+        (fun i (en, _) ->
+          if (not t.done_.(i)) && Field.name_equal en ename then acc := i :: !acc)
+        t.slots;
+      List.rev !acc
+
+(* [prepare_request t aprog] — fault in everything the request may
+   touch; returns the number of records translated on demand. *)
+let prepare_request t aprog =
+  if t.failed <> None then 0
+  else begin
+    let schema = Sdb.schema t.snapshot in
+    let slots =
+      List.sort_uniq compare
+        (List.concat_map (slots_of_demand t) (demands_of_aprog schema aprog))
+    in
+    merge_batch t ~via:`Fault slots;
+    List.length slots
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Backfill: drain slots [watermark, to_) in batches.  The injected
+   fault fires when the scan crosses the configured slot — the crash
+   the rollback test recovers from. *)
+
+let backfill_to t ~to_ =
+  if t.failed <> None then ()
+  else begin
+    let to_ = min to_ (total t) in
+    if to_ > t.watermark then begin
+      (match t.config.fail_at_slot with
+      | Some (shard, slot)
+        when shard = t.shard_id && slot >= t.watermark && slot < to_ ->
+          mark_failed t
+            (Fmt.str "injected backfill fault at shard %d slot %d" t.shard_id
+               slot)
+      | Some _ | None ->
+          let pending = ref [] in
+          for i = t.watermark to to_ - 1 do
+            if not t.done_.(i) then pending := i :: !pending
+          done;
+          merge_batch t ~via:`Backfill (List.rev !pending));
+      if t.failed = None then t.watermark <- to_
+    end
+  end
+
+let watermark t = t.watermark
+
+(* ------------------------------------------------------------------ *)
+(* Canonical fingerprint of a semantic instance: rows sorted per
+   entity, fields sorted per row, links sorted per association — the
+   physical insertion order an engine happens to use (eager bulk load
+   vs. record-at-a-time merges) does not show. *)
+
+let fingerprint_of_sdb sdb =
+  let schema = Sdb.schema sdb in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Semantic.entity) ->
+      Buffer.add_string buf ("E:" ^ Field.canon e.ename ^ "\n");
+      let rows =
+        List.sort compare
+          (List.map
+             (fun row ->
+               String.concat ";"
+                 (List.sort compare
+                    (List.map
+                       (fun (f, v) -> Field.canon f ^ "=" ^ Value.show v)
+                       (Row.to_list row))))
+             (Sdb.rows_silent sdb e.ename))
+      in
+      List.iter (fun r -> Buffer.add_string buf (r ^ "\n")) rows)
+    schema.Semantic.entities;
+  List.iter
+    (fun (a : Semantic.assoc) ->
+      Buffer.add_string buf ("A:" ^ Field.canon a.aname ^ "\n");
+      let links =
+        List.sort compare
+          (List.map
+             (fun (l : Sdb.link) ->
+               Fmt.str "%s->%s;%s" (key_repr l.lkey) (key_repr l.rkey)
+                 (String.concat ";"
+                    (List.sort compare
+                       (List.map
+                          (fun (f, v) -> Field.canon f ^ "=" ^ Value.show v)
+                          (Row.to_list l.attrs)))))
+             (Sdb.links_silent sdb a.aname))
+      in
+      List.iter (fun l -> Buffer.add_string buf (l ^ "\n")) links)
+    schema.Semantic.assocs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* Fingerprint of a target replica under [req]'s conversion, whether
+   it was bulk-prepared or merged record by record. *)
+let fingerprint_target (req : Supervisor.request) (db : Engines.database) =
+  match Schema_change.apply_all req.Supervisor.source_schema req.Supervisor.ops with
+  | Error e -> Error e
+  | Ok target_schema -> (
+      match (req.Supervisor.target_model, db) with
+      | Mapping.Rel, Engines.Rel_db rdb ->
+          Ok (fingerprint_of_sdb (Mapping.extract_relational target_schema rdb))
+      | Mapping.Net, Engines.Net_db ndb ->
+          let map = Supervisor.mapping_for Mapping.Net target_schema in
+          Ok (fingerprint_of_sdb (Mapping.extract_network map ndb))
+      | Mapping.Hier, Engines.Hier_db hdb ->
+          let map = Supervisor.mapping_for Mapping.Hier target_schema in
+          Ok (fingerprint_of_sdb (Mapping.extract_hier map hdb))
+      | _ -> Error "fingerprint_target: model/database mismatch")

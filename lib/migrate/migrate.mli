@@ -1,0 +1,103 @@
+(** Per-shard live-migration state: the paper's data translation run
+    {e concurrently} with serving instead of ahead of it.
+
+    A shard starts with its source replica and an {e empty} target
+    replica ({!Ccv_convert.Supervisor.prepare_live}), plus a
+    translated/pending flag per source record ({e slot}).  Records
+    reach the target three ways, all translated from the immutable
+    migration-start snapshot:
+
+    - {b fault-in}: {!prepare_request} translates everything a request
+      may touch before the request is dual-run, so no request ever
+      observes a partially-translated extent — key-equality lookups
+      drain one record, scans drain the whole entity;
+    - {b backfill}: {!backfill_to} drains the slots a deterministic
+      schedule ({!Backfill.watermark_target}) assigns to each logical
+      row, in batches, between serving rows;
+    - {b dual-apply}: mutating requests run on both replicas (the
+      serving layer's shadow pair), which is sound because their touch
+      set was faulted in first — a write always lands on
+      already-translated records, so backfill never races it.
+
+    Each drained record is translated as a {e closure}: the record,
+    its link partners, and their partners ride in one
+    {!Ccv_transform.Data_translate.translate_slice} call, so ops that
+    compute across links (Interpose groupings, Collapse field pulls)
+    see full context; the record and its hop-1 partners merge into the
+    replica (insert-if-absent, via {!Ccv_transform.Mapping.loader_add}
+    in lenient mode), hop 2 is context only.  Restructurings whose
+    data dependencies span more than two associations are out of
+    scope.  The final contents equal a bulk translation followed by
+    the same writes, because per-record snapshot translation commutes
+    with writes that always follow their records' fault-in.
+
+    All progress is keyed to logical time (epoch rows / ticks), never
+    physical scheduling, so migration preserves the serving layer's
+    domain-count determinism. *)
+
+open Ccv_model
+open Ccv_abstract
+open Ccv_convert
+
+type config = {
+  batch : int;  (** backfill slots drained per logical row *)
+  lag : int;  (** logical rows before backfill starts *)
+  fail_at_slot : (int * int) option;
+      (** fault injection: backfill on shard [fst] raises when its scan
+          crosses slot [snd]; [None] in production *)
+}
+
+val default_config : config
+
+type t
+
+type summary = {
+  total_slots : int;  (** source records subject to migration *)
+  faulted : int;  (** slots drained on demand by requests *)
+  backfilled : int;  (** slots drained by the backfill driver *)
+  mig_warnings : string list;
+      (** records/links the merge could not place (e.g. deleted by a
+          concurrent dual-applied cascade) *)
+  mig_failed : string option;  (** why migration stopped, if it did *)
+}
+
+(** [start ~shard_id req sdb] — snapshot [sdb], derive the target
+    schema, build the empty target replica and the pending set.
+    Cheap: no data is translated yet. *)
+val start :
+  ?config:config -> shard_id:int -> Supervisor.request -> Sdb.t ->
+  (t * Supervisor.servable, string * string) result
+
+val total : t -> int
+val n_done : t -> int
+val watermark : t -> int
+val failed : t -> string option
+val mark_failed : t -> string -> unit
+val summary : t -> summary
+
+(** The target replica as served.  Dual-applied writes advance the
+    shard's copy outside the loader: [sync_engine_db] pushes the
+    current served state in before a merge, [engine_db] reads the
+    merged state back. *)
+
+val engine_db : t -> Engines.database
+val sync_engine_db : t -> Engines.database -> unit
+
+(** Fault in the request's touch set; returns the number of records
+    translated on demand.  No-op once failed. *)
+val prepare_request : t -> Aprog.t -> int
+
+(** Advance the backfill watermark to [to_] (clamped to [total]),
+    draining every still-pending slot below it.  No-op once failed. *)
+val backfill_to : t -> to_:int -> unit
+
+(** Canonical content fingerprint of a semantic instance — rows,
+    fields and links sorted, so engine insertion order (bulk load
+    vs. record-at-a-time merge) does not show. *)
+val fingerprint_of_sdb : Sdb.t -> string
+
+(** Fingerprint of a target replica under [req]'s conversion
+    (extracted back to the semantic model, then
+    {!fingerprint_of_sdb}). *)
+val fingerprint_target :
+  Supervisor.request -> Engines.database -> (string, string) result

@@ -57,6 +57,7 @@ type t = {
   mutable status : status;
   mutable transitions_rev : transition list;
   mutable observations : int;
+  mutable gate_open : bool;
 }
 
 let create config =
@@ -71,12 +72,14 @@ let create config =
     status = Serving;
     transitions_rev = [];
     observations = 0;
+    gate_open = true;
   }
 
 let phase t = t.phase
 let status t = t.status
 let transitions t = List.rev t.transitions_rev
 let observations t = t.observations
+let set_gate t open_ = t.gate_open <- open_
 
 let next_phase t = function
   | Shadow -> Some (Canary t.config.canary_fraction)
@@ -140,7 +143,7 @@ let observe t ~request_id ~epoch ~divergent =
               :: t.transitions_rev;
             t.status <- Aborted
       end
-      else if t.clean_streak >= t.config.promote_after then
+      else if t.clean_streak >= t.config.promote_after && t.gate_open then
         match next_phase t t.phase with
         | Some to_ ->
             move t ~at:request_id ~epoch ~to_
@@ -148,3 +151,17 @@ let observe t ~request_id ~epoch ~divergent =
                 (Printf.sprintf "promoted: %d consecutive clean shadow runs"
                    t.clean_streak)
         | None -> ()
+
+let rollback_to_shadow t ~at ~epoch ~reason =
+  match t.status with
+  | Aborted -> ()
+  | Serving ->
+      if not (equal_phase t.phase Shadow) then
+        move t ~at ~epoch ~to_:Shadow ~reason
+      else begin
+        t.transitions_rev <-
+          { at_request = at; at_epoch = epoch; from_ = t.phase; to_ = Shadow;
+            reason }
+          :: t.transitions_rev;
+        reset_window t
+      end

@@ -73,3 +73,16 @@ val observe : t -> request_id:int -> epoch:int -> divergent:bool -> unit
 val transitions : t -> transition list
 
 val observations : t -> int
+
+(** The convergence gate.  While closed ([set_gate t false]) the
+    machine still observes, rolls back and counts clean streaks, but
+    never {e promotes} — live migration keeps it closed until every
+    shard's backfill watermark provably covers its keyspace, so a
+    partially-translated target can never serve.  Open by default. *)
+val set_gate : t -> bool -> unit
+
+(** Force a rollback to [Shadow] from any phase (recorded as a
+    transition even when already there), used when migration itself
+    fails — e.g. a backfill worker crash — and the target replicas can
+    no longer be trusted.  No-op when [Aborted]. *)
+val rollback_to_shadow : t -> at:int -> epoch:int -> reason:string -> unit

@@ -1,4 +1,5 @@
 open Ccv_common
+open Ccv_migrate
 
 type config = {
   domains : int;
@@ -11,6 +12,11 @@ type config = {
   epoch_serving : bool;
   epoch_batch : int;
   epoch_lag : int;
+  live_migration : bool;
+  backfill_batch : int;
+  backfill_lag : int;
+  fail_backfill : (int * int) option;
+  fingerprint_replicas : bool;
 }
 
 let default_config =
@@ -24,6 +30,11 @@ let default_config =
     epoch_serving = true;
     epoch_batch = 16;
     epoch_lag = 2;
+    live_migration = false;
+    backfill_batch = 64;
+    backfill_lag = 1;
+    fail_backfill = None;
+    fingerprint_replicas = false;
   }
 
 type divergence = {
@@ -50,7 +61,10 @@ type report = {
   epoch_serving : bool;
   pool_idle_s : float;
   worker_idle_s : float list;
+  prepare_s : float;
   wall_s : float;
+  migration : Migrate.summary option;
+  replica_fingerprint : string option;
 }
 
 (* A worker domain never lets an exception escape into the pool — it
@@ -88,11 +102,11 @@ let clock () = Unix.gettimeofday ()
    recorded at 8 domains on a smaller host).  A lone shard instead
    hands the pool down so the bulk data translation itself chunks
    across the workers. *)
-let create_shards ~pool ~use_plan_cache req sdb nshards =
+let create_shards ~pool ~use_plan_cache ?live req sdb nshards =
   let ndomains = Workpool.size pool in
   let eff = max 1 (min ndomains (Domain.recommended_domain_count ())) in
   let mk s =
-    try Shard.create ~id:s ~pool ~use_plan_cache req sdb
+    try Shard.create ~id:s ~pool ~use_plan_cache ?live req sdb
     with e -> Error (Printexc.to_string e)
   in
   let created =
@@ -124,13 +138,71 @@ let route ~nshards requests =
     (List.rev requests);
   per_shard
 
-let exec_request ~config ~shards ~phase ~live s ~epoch ~seq (r : Request.t) =
+let exec_request ~config ~shards ~phase ~migration_ok ~live s ~epoch ~seq
+    (r : Request.t) =
   if config.fail_request = Some r.Request.id then
     failwith "injected worker fault"
   else
     Shard.exec shards.(s) ~phase
       ~tolerate_reordering:config.tolerate_reordering
-      ~canary_seed:config.canary_seed ~live ~clock ~epoch ~seq r
+      ~canary_seed:config.canary_seed ~migration_ok ~live ~clock ~epoch ~seq r
+
+(* ------------------------------------------------------------------ *)
+(* Live migration rides the logical clock: before a shard executes
+   logical row [row] its backfill drains to the schedule's target for
+   that row, and the coordinator opens the promotion gate only when
+   the same schedule — a pure function of logical time — provably
+   covers every shard's keyspace.  No watermark is ever exchanged, so
+   migration adds nothing that could depend on physical scheduling. *)
+
+let backfill_shard ~config ~shards s ~rows ~row =
+  match Shard.migration shards.(s) with
+  | None -> ()
+  | Some m ->
+      Shard.backfill_to shards.(s)
+        ~to_:
+          (Backfill.watermark_target ~total:(Migrate.total m)
+             ~batch:config.backfill_batch ~lag:config.backfill_lag ~rows row)
+
+(* Has every shard's schedule covered its keyspace once the canonical
+   order has consumed logical row [r]?  A shard whose slice is shorter
+   ran its last row already — the schedule forces a full drain there —
+   and a shard with no rows at all was drained up front. *)
+let migration_converged ~config ~shards ~rows_of r =
+  Array.for_all
+    (fun sh ->
+      match Shard.migration sh with
+      | None -> true
+      | Some m ->
+          let rows_s = rows_of (Shard.id sh) in
+          rows_s = 0
+          || Backfill.converged ~total:(Migrate.total m)
+               ~batch:config.backfill_batch ~lag:config.backfill_lag
+               ~rows:rows_s
+               (min r (rows_s - 1)))
+    shards
+
+(* A shard the router never sends a request to would never reach a
+   logical row, so its backfill is drained before serving starts — it
+   serves nothing, so the early drain cannot show in any outcome. *)
+let drain_unrouted_shards ~shards ~rows_of =
+  Array.iter
+    (fun sh ->
+      match Shard.migration sh with
+      | Some _ when rows_of (Shard.id sh) = 0 ->
+          Shard.backfill_to sh ~to_:max_int
+      | Some _ | None -> ())
+    shards
+
+(* First shard (by id) whose migration just failed; [None] while all
+   replicas are still being maintained. *)
+let first_migration_failure shards =
+  Array.fold_left
+    (fun acc sh ->
+      match acc, Shard.migration_failed sh with
+      | None, Some msg -> Some (Shard.id sh, msg)
+      | acc, _ -> acc)
+    None shards
 
 let divergence_of ~epoch (o : Shadow.outcome) detail =
   { div_request = o.Shadow.request.Request.id;
@@ -150,6 +222,14 @@ let divergence_of ~epoch (o : Shadow.outcome) detail =
 let serve_ticks ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains requests
     =
   let shard_ids = List.init nshards Fun.id in
+  (* every shard backfills at every tick barrier, so the schedule's
+     row count is simply the number of ticks *)
+  let total_ticks =
+    (List.length requests + config.batch - 1) / max 1 config.batch
+  in
+  let mig_failed = ref false in
+  if config.live_migration then
+    drain_unrouted_shards ~shards ~rows_of:(fun _ -> total_ticks);
   (* per-worker staging buffers, reused across ticks; worker w is the
      only writer between barriers *)
   let locals = Array.init ndomains (fun _ -> Counters.local_create ()) in
@@ -162,18 +242,22 @@ let serve_ticks ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains requests
         let phase = Cutover.phase ctl in
         let live = Metrics.live metrics ~phase:(Cutover.phase_name phase) in
         let per_shard = route ~nshards batch in
+        let mok = not !mig_failed in
         let job w =
           let local = locals.(w) in
           let out = ref [] and fault = ref None in
           List.iter
             (fun s ->
-              if s mod ndomains = w && !fault = None then
+              if s mod ndomains = w && !fault = None then begin
+                if config.live_migration && mok then
+                  backfill_shard ~config ~shards s ~rows:total_ticks
+                    ~row:tick;
                 List.iteri
                   (fun seq r ->
                     if !fault = None then
                       match
-                        exec_request ~config ~shards ~phase ~live:local s
-                          ~epoch:tick ~seq r
+                        exec_request ~config ~shards ~phase ~migration_ok:mok
+                          ~live:local s ~epoch:tick ~seq r
                       with
                       | o -> out := o :: !out
                       | exception e ->
@@ -183,7 +267,8 @@ let serve_ticks ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains requests
                                 at_request = r.Request.id;
                                 fault_detail = Printexc.to_string e;
                               })
-                  per_shard.(s))
+                  per_shard.(s)
+              end)
             shard_ids;
           match !fault with Some f -> Error f | None -> Ok (List.rev !out)
         in
@@ -210,6 +295,33 @@ let serve_ticks ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains requests
                      Int.compare a.Shadow.request.Request.id
                        b.Shadow.request.Request.id)
             in
+            (* the barrier quiesces the workers, so the coordinator may
+               inspect the shards directly: a migration failure rolls
+               the controller back before this tick's verdicts land *)
+            (if config.live_migration && not !mig_failed then
+               match first_migration_failure shards with
+               | None -> ()
+               | Some (s, msg) ->
+                   mig_failed := true;
+                   let min_id ~of_shard =
+                     List.fold_left
+                       (fun acc (o : Shadow.outcome) ->
+                         if of_shard = None || of_shard = Some o.Shadow.shard
+                         then min acc o.Shadow.request.Request.id
+                         else acc)
+                       max_int outcomes
+                   in
+                   let at = min_id ~of_shard:(Some s) in
+                   let at = if at = max_int then min_id ~of_shard:None else at in
+                   let at = if at = max_int then -1 else at in
+                   Cutover.rollback_to_shadow ctl ~at ~epoch:tick
+                     ~reason:(Printf.sprintf "live migration failed: %s" msg));
+            if config.live_migration then
+              Cutover.set_gate ctl
+                ((not !mig_failed)
+                && migration_converged ~config ~shards
+                     ~rows_of:(fun _ -> total_ticks)
+                     tick);
             let div_rev =
               List.fold_left
                 (fun acc (o : Shadow.outcome) ->
@@ -252,7 +364,13 @@ let serve_ticks ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains requests
    rows at or beyond it, and the wait-for-phase loops exit instead of
    spinning on a cell that will never be published. *)
 
-type epoch_payload = Done of Shadow.outcome list | Failed of fault
+(* A finished row carries its outcomes plus the owning shard's
+   migration-failure message, if any: shard state belongs to the
+   owning worker, so failure travels to the coordinator with the row
+   instead of being read across domains. *)
+type epoch_payload =
+  | Done of Shadow.outcome list * string option
+  | Failed of fault
 
 let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
     ~wait_idle requests =
@@ -264,11 +382,13 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
       (route ~nshards requests)
   in
   let rows = Array.map Array.length shard_rows in
+  if config.live_migration then
+    drain_unrouted_shards ~shards ~rows_of:(fun s -> rows.(s));
   let buf = Epoch.create ~rows in
   let total = Epoch.total_rows buf in
   let plan = Array.init total (fun _ -> Snapshot.cell None) in
   for e = 0 to min lag total - 1 do
-    Snapshot.publish plan.(e) (Some (Cutover.phase ctl))
+    Snapshot.publish plan.(e) (Some (Cutover.phase ctl, true))
   done;
   let halt_at = Atomic.make max_int in
   let mailboxes = Array.init nshards (fun _ -> Snapshot.mailbox ()) in
@@ -279,12 +399,14 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
     f ();
     wait_idle.(w) <- wait_idle.(w) +. (clock () -. t0)
   in
-  let exec_chunk ~live ~phase s e =
+  let exec_chunk ~live ~phase ~migration_ok s e =
     let out = ref [] and fault = ref None in
     List.iteri
       (fun seq r ->
         if !fault = None then
-          match exec_request ~config ~shards ~phase ~live s ~epoch:e ~seq r
+          match
+            exec_request ~config ~shards ~phase ~migration_ok ~live s ~epoch:e
+              ~seq r
           with
           | o -> out := o :: !out
           | exception ex ->
@@ -295,7 +417,9 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
                     fault_detail = Printexc.to_string ex;
                   })
       shard_rows.(s).(e);
-    match !fault with Some f -> Failed f | None -> Done (List.rev !out)
+    match !fault with
+    | Some f -> Failed f
+    | None -> Done (List.rev !out, Shard.migration_failed shards.(s))
   in
   (* Advance one owned shard if its next row is ready; [publish] posts
      the finished row (workers go through their mailbox, the
@@ -313,8 +437,10 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
     else
       match Snapshot.read plan.(e) with
       | None -> false
-      | Some phase ->
-          (match exec_chunk ~live ~phase s e with
+      | Some (phase, mok) ->
+          if config.live_migration && mok then
+            backfill_shard ~config ~shards s ~rows:rows.(s) ~row:e;
+          (match exec_chunk ~live ~phase ~migration_ok:mok s e with
           | Failed f as p ->
               publish s e p;
               for e' = e + 1 to rows.(s) - 1 do
@@ -357,6 +483,7 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
      mailboxes, and consuming complete rows in canonical order. *)
   let outcomes_rev = ref [] and div_rev = ref [] in
   let error = ref None in
+  let mig_failed = ref false in
   let consume r cells =
     let faults =
       List.filter_map
@@ -374,11 +501,42 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
                f0 rest);
         Atomic.set halt_at (r + 1)
     | [] ->
+        (* a migration failure posted with this row rolls the
+           controller back before the row's verdicts are observed;
+           the canonical order picks the first failing shard, so the
+           transition is the same at any domain count *)
+        (if config.live_migration && not !mig_failed then
+           match
+             List.fold_left
+               (fun acc (_, p) ->
+                 match acc, p with
+                 | None, Done (os, Some msg) -> Some (os, msg)
+                 | acc, _ -> acc)
+               None cells
+           with
+           | None -> ()
+           | Some (os, msg) ->
+               mig_failed := true;
+               let at =
+                 List.fold_left
+                   (fun acc (o : Shadow.outcome) ->
+                     min acc o.Shadow.request.Request.id)
+                   max_int os
+               in
+               let at = if at = max_int then -1 else at in
+               Cutover.rollback_to_shadow ctl ~at ~epoch:r
+                 ~reason:(Printf.sprintf "live migration failed: %s" msg));
+        if config.live_migration then
+          Cutover.set_gate ctl
+            ((not !mig_failed)
+            && migration_converged ~config ~shards
+                 ~rows_of:(fun s -> rows.(s))
+                 r);
         List.iter
           (fun (_, p) ->
             match p with
             | Failed _ -> ()
-            | Done os ->
+            | Done (os, _) ->
                 List.iter
                   (fun (o : Shadow.outcome) ->
                     Metrics.record metrics o;
@@ -405,7 +563,8 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
         else begin
           let e' = r + lag in
           if e' < total then
-            Snapshot.publish plan.(e') (Some (Cutover.phase ctl))
+            Snapshot.publish plan.(e')
+              (Some (Cutover.phase ctl, not !mig_failed))
         end
   in
   let my = owned 0 in
@@ -484,14 +643,33 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
 (* ------------------------------------------------------------------ *)
 
 let run ?(config = default_config) ~cutover req sdb requests =
+  if
+    config.live_migration
+    && not (Cutover.equal_phase cutover.Cutover.initial Cutover.Shadow)
+  then
+    Error
+      "live migration must start serving in the shadow phase: the \
+       convergence gate has no say over a pre-promoted target"
+  else
   let nshards = max 1 config.shards in
   let ndomains = max 1 (min config.domains nshards) in
   Workpool.with_pool ~clock ndomains @@ fun pool ->
-  match create_shards ~pool ~use_plan_cache:config.use_plan_cache req sdb
-          nshards
+  let live =
+    if config.live_migration then
+      Some
+        { Migrate.batch = config.backfill_batch;
+          lag = config.backfill_lag;
+          fail_at_slot = config.fail_backfill;
+        }
+    else None
+  in
+  let t_prep = clock () in
+  match create_shards ~pool ~use_plan_cache:config.use_plan_cache ?live req
+          sdb nshards
   with
   | Error e -> Error e
   | Ok shards ->
+      let prepare_s = clock () -. t_prep in
       let ctl = Cutover.create cutover in
       let metrics = Metrics.create () in
       (* epoch-mode frontier waits, per slot; stays zero in barrier
@@ -534,6 +712,52 @@ let run ?(config = default_config) ~cutover req sdb requests =
             List.init ndomains (fun i ->
                 if i < eff then park.(i) +. wait_idle.(i) else 0.)
           in
+          let migration =
+            if not config.live_migration then None
+            else
+              Some
+                (Array.fold_left
+                   (fun acc sh ->
+                     match Shard.migration sh with
+                     | None -> acc
+                     | Some m ->
+                         let s = Migrate.summary m in
+                         { Migrate.total_slots =
+                             acc.Migrate.total_slots + s.Migrate.total_slots;
+                           faulted = acc.Migrate.faulted + s.Migrate.faulted;
+                           backfilled =
+                             acc.Migrate.backfilled + s.Migrate.backfilled;
+                           mig_warnings =
+                             acc.Migrate.mig_warnings @ s.Migrate.mig_warnings;
+                           mig_failed =
+                             (match acc.Migrate.mig_failed with
+                             | Some _ as f -> f
+                             | None -> s.Migrate.mig_failed);
+                         })
+                   { Migrate.total_slots = 0;
+                     faulted = 0;
+                     backfilled = 0;
+                     mig_warnings = [];
+                     mig_failed = None;
+                   }
+                   shards)
+          in
+          let replica_fingerprint =
+            if not config.fingerprint_replicas then None
+            else
+              (* per-shard canonical digests in shard order: each shard
+                 replica evolved under its own slice's writes, so the
+                 combined digest pins the whole pool's target state *)
+              Array.to_list shards
+              |> List.map (fun sh ->
+                     match
+                       Migrate.fingerprint_target req (Shard.target_database sh)
+                     with
+                     | Ok fp -> fp
+                     | Error e -> "error:" ^ e)
+              |> String.concat "|"
+              |> fun s -> Some (Digest.to_hex (Digest.string s))
+          in
           Ok
             { outcomes;
               transitions = Cutover.transitions ctl;
@@ -548,14 +772,19 @@ let run ?(config = default_config) ~cutover req sdb requests =
               epoch_serving = config.epoch_serving;
               pool_idle_s = List.fold_left ( +. ) 0. worker_idle_s;
               worker_idle_s;
+              prepare_s;
               wall_s = clock () -. t0;
+              migration;
+              replica_fingerprint;
             })
 
 let render r =
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "served %d request(s) in %.2fs; final phase %s (%s)\n"
-       r.served r.wall_s
+    (Printf.sprintf
+       "served %d request(s) in %.2fs (replicas prepared in %.3fs); final \
+        phase %s (%s)\n"
+       r.served r.wall_s r.prepare_s
        (Cutover.phase_name r.final_phase)
        (match r.status with
        | Cutover.Serving -> "serving"
@@ -568,6 +797,22 @@ let render r =
        r.pool_idle_s
        (String.concat ", "
           (List.map (Printf.sprintf "%.3f") r.worker_idle_s)));
+  (match r.migration with
+  | None -> ()
+  | Some m ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "live migration: %d slot(s) — %d faulted in, %d backfilled%s%s\n"
+           m.Migrate.total_slots m.Migrate.faulted m.Migrate.backfilled
+           (match m.Migrate.mig_warnings with
+           | [] -> ""
+           | ws -> Printf.sprintf ", %d merge warning(s)" (List.length ws))
+           (match m.Migrate.mig_failed with
+           | None -> ""
+           | Some msg -> Printf.sprintf "; FAILED: %s" msg)));
+  (match r.replica_fingerprint with
+  | None -> ()
+  | Some fp -> Buffer.add_string b (Printf.sprintf "target replicas: %s\n" fp));
   let ps = r.plan_stats in
   if ps.Ccv_plan.Plan_cache.hits + ps.Ccv_plan.Plan_cache.misses > 0 then
     Buffer.add_string b

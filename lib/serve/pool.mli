@@ -66,6 +66,30 @@ type config = {
   epoch_lag : int;
       (** how many rows ahead of the controller the phase plan is
           published — the pipeline depth; clamped to at least 1 *)
+  live_migration : bool;
+      (** serve while migrating: shards start with an {e empty} target
+          replica ({!Shard.create} [~live]) that fills by per-request
+          fault-in, deterministic backfill between logical rows, and
+          dual-applied writes ({!Ccv_migrate.Migrate}).  The first
+          request is served without waiting for any bulk translation;
+          the controller's promotion gate stays closed until every
+          shard's backfill schedule provably covers its keyspace.
+          Requires [cutover.initial = Shadow]. *)
+  backfill_batch : int;
+      (** pending records drained per shard per logical row (tick or
+          epoch row) during live migration *)
+  backfill_lag : int;
+      (** logical rows served before backfill starts — keeps the very
+          first responses free of drain work *)
+  fail_backfill : (int * int) option;
+      (** fault injection: backfill on shard [fst] fails when its scan
+          crosses slot [snd].  Unlike [fail_request] this does {e not}
+          error the run: the pool rolls the controller back to Shadow,
+          closes the gate, and serves the rest of the stream from the
+          source replicas alone.  [None] in production *)
+  fingerprint_replicas : bool;
+      (** compute {!report.replica_fingerprint} after serving (walks
+          every target replica — meant for tests, not production) *)
 }
 
 val default_config : config
@@ -107,7 +131,23 @@ type report = {
           skew between slots is the load-imbalance signal.  Slots the
           epoch scheduler left dark (beyond the hardware domain count)
           report 0. *)
+  prepare_s : float;
+      (** seconds from the start of [run] until the pool could serve
+          its first request — bulk replica preparation, or the (cheap)
+          live-migration setup.  Separate from [wall_s], which clocks
+          serving only: the stop-the-world cost live migration removes
+          is exactly this number. *)
   wall_s : float;
+  migration : Ccv_migrate.Migrate.summary option;
+      (** pool-wide live-migration tallies (slots, fault-ins,
+          backfills, merge warnings, first failure); [None] unless
+          [live_migration] *)
+  replica_fingerprint : string option;
+      (** digest over the per-shard canonical target-replica
+          fingerprints ({!Ccv_migrate.Migrate.fingerprint_target}), in
+          shard order — equal across serving modes, domain counts and
+          eager/lazy preparation for the same stream; [None] unless
+          [fingerprint_replicas] *)
 }
 
 (** [run ~config ~cutover req sdb requests] — [req] describes the

@@ -3,12 +3,8 @@ module G = Ccv_workload.Generator
 
 type t = { id : int; family : G.family; aprog : Ccv_abstract.Aprog.t }
 
-let stream ~seed schema ~sample ~n ?mix ?distinct () =
-  let draw n =
-    match mix with
-    | Some mix -> G.batch ~seed schema ~sample ~n ~mix ()
-    | None -> G.batch ~seed schema ~sample ~n ()
-  in
+let stream ~seed schema ~sample ~n ?mix ?skew ?distinct () =
+  let draw n = G.batch ~seed schema ~sample ~n ?mix ?skew () in
   match distinct with
   | None -> List.mapi (fun id (family, aprog) -> { id; family; aprog }) (draw n)
   | Some d ->

@@ -22,8 +22,8 @@ type t = {
     cache can serve them from compiled form. *)
 val stream :
   seed:int -> Semantic.t -> sample:Sdb.t -> n:int ->
-  ?mix:(int * Ccv_workload.Generator.family) list -> ?distinct:int ->
-  unit -> t list
+  ?mix:(int * Ccv_workload.Generator.family) list -> ?skew:float ->
+  ?distinct:int -> unit -> t list
 
 (** The shard that owns this request. *)
 val shard_of : t -> nshards:int -> int

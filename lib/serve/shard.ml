@@ -1,5 +1,6 @@
 open Ccv_common
 open Ccv_convert
+open Ccv_migrate
 open Ccv_plan
 
 (* One compiled serving pair: the source program lowered to closures,
@@ -19,25 +20,61 @@ type t = {
   use_plan_cache : bool;
   fingerprint : string;
   cache : (Ccv_abstract.Aprog.t, (entry, string * string) result) Plan_cache.t;
+  migration : Migrate.t option;
 }
 
 let id t = t.shard_id
 let warnings t = t.servable.Supervisor.warnings
 let plan_stats t = Plan_cache.stats t.cache
+let migration t = t.migration
+let target_database t = t.target_db
 
-let create ~id ?pool ?(use_plan_cache = true) req sdb =
-  match Supervisor.prepare_serving ?pool req sdb with
-  | Error (stage, reason) -> Error (stage ^ ": " ^ reason)
-  | Ok servable ->
-      Ok
-        { shard_id = id;
-          servable;
-          source_db = servable.Supervisor.source_db;
-          target_db = servable.Supervisor.target_db;
-          use_plan_cache;
-          fingerprint = Supervisor.serving_fingerprint req;
-          cache = Plan_cache.create ();
-        }
+let create ~id ?pool ?(use_plan_cache = true) ?live req sdb =
+  match live with
+  | None -> (
+      match Supervisor.prepare_serving ?pool req sdb with
+      | Error (stage, reason) -> Error (stage ^ ": " ^ reason)
+      | Ok servable ->
+          Ok
+            { shard_id = id;
+              servable;
+              source_db = servable.Supervisor.source_db;
+              target_db = servable.Supervisor.target_db;
+              use_plan_cache;
+              fingerprint = Supervisor.serving_fingerprint req;
+              cache = Plan_cache.create ();
+              migration = None;
+            })
+  | Some mconfig -> (
+      (* Live migration: source replica only; the target starts empty
+         and fills by fault-in and backfill — no bulk translation in
+         front of the first request. *)
+      match Migrate.start ~config:mconfig ~shard_id:id req sdb with
+      | Error (stage, reason) -> Error (stage ^ ": " ^ reason)
+      | Ok (m, servable) ->
+          Ok
+            { shard_id = id;
+              servable;
+              source_db = servable.Supervisor.source_db;
+              target_db = Migrate.engine_db m;
+              use_plan_cache;
+              fingerprint = Supervisor.serving_fingerprint req;
+              cache = Plan_cache.create ();
+              migration = Some m;
+            })
+
+(* Advance this shard's backfill watermark (no-op without live
+   migration or after a migration failure). *)
+let backfill_to t ~to_ =
+  match t.migration with
+  | None -> ()
+  | Some m ->
+      Migrate.sync_engine_db m t.target_db;
+      Migrate.backfill_to m ~to_;
+      t.target_db <- Migrate.engine_db m
+
+let migration_failed t =
+  match t.migration with None -> None | Some m -> Migrate.failed m
 
 let run_source t program input =
   let r = Engines.run ~input t.source_db program in
@@ -100,9 +137,29 @@ let resolve t ~epoch aprog =
           ( (fun () -> run_source t source_program []),
             fun () -> run_target t tp [] )
 
-let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock ~epoch ~seq
-    request =
+let exec t ~phase ~tolerate_reordering ~canary_seed ?(migration_ok = true)
+    ~live ~clock ~epoch ~seq request =
   let t0 = clock () in
+  (* Live migration: fault in everything the request may touch before
+     it runs, so the dual-run never sees a partially-translated
+     extent.  The fault-in time lands in this request's latency — the
+     cost the migration bench measures.  Once migration has failed
+     (here, on another row, or globally via [migration_ok = false]
+     from the coordinator's plan), the target replica is no longer
+     maintained and the shard serves source-only. *)
+  let mig_active =
+    match t.migration with
+    | None -> true
+    | Some m ->
+        if (not migration_ok) || Migrate.failed m <> None then false
+        else begin
+          Migrate.sync_engine_db m t.target_db;
+          (try ignore (Migrate.prepare_request m request.Request.aprog)
+           with e -> Migrate.mark_failed m (Printexc.to_string e));
+          t.target_db <- Migrate.engine_db m;
+          Migrate.failed m = None
+        end
+  in
   let phase_name = Cutover.phase_name phase in
   let finish ~decision ~shadowed ~verdict ~divergent ~refused ~served_trace
       ~source_accesses ~target_accesses =
@@ -136,6 +193,14 @@ let exec t ~phase ~tolerate_reordering ~canary_seed ~live ~clock ~epoch ~seq
       let r = run_src () in
       finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
         ~divergent:false ~refused:true ~served_trace:r.Engines.trace
+        ~source_accesses:r.Engines.accesses ~target_accesses:0
+  | Pair (run_src, run_tgt) when not mig_active ->
+      ignore run_tgt;
+      (* Migration rolled back: the target replica is stale, serve the
+         source engine alone without shadowing. *)
+      let r = run_src () in
+      finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
+        ~divergent:false ~refused:false ~served_trace:r.Engines.trace
         ~source_accesses:r.Engines.accesses ~target_accesses:0
   | Pair (run_src, run_tgt) -> (
       match phase with

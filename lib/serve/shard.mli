@@ -24,14 +24,35 @@ val id : t -> int
     are cached too; the served behaviour is identical either way.
     [pool] parallelizes the bulk data translation of replica
     preparation (no-op when creation itself already runs on a pool
-    worker). *)
+    worker).
+
+    With [live], the shard prepares for {e live migration} instead
+    ({!Ccv_convert.Supervisor.prepare_live} via
+    {!Ccv_migrate.Migrate.start}): the target replica starts empty and
+    fills on first touch and by backfill, so creation does no bulk
+    data translation at all. *)
 val create :
   id:int -> ?pool:Ccv_common.Workpool.t -> ?use_plan_cache:bool ->
+  ?live:Ccv_migrate.Migrate.config ->
   Supervisor.request -> Sdb.t ->
   (t, string) result
 
 (** Data-translation warnings from replica preparation. *)
 val warnings : t -> string list
+
+(** Live-migration state, when the shard was created [~live]. *)
+val migration : t -> Ccv_migrate.Migrate.t option
+
+(** Why this shard's migration stopped, if it did. *)
+val migration_failed : t -> string option
+
+(** The target replica as currently served (for fingerprinting). *)
+val target_database : t -> Engines.database
+
+(** Drain this shard's pending records up to slot [to_]
+    ({!Ccv_migrate.Migrate.backfill_to}); no-op without live migration
+    or after a failure. *)
+val backfill_to : t -> to_:int -> unit
 
 (** Hit/miss/invalidation counters of this shard's plan cache (all
     zero when the cache is disabled). *)
@@ -45,12 +66,19 @@ val plan_stats : t -> Ccv_plan.Plan_cache.stats
     with its logical position — the tick index or snapshot epoch, and
     the request's rank within the shard's slice of it — and [epoch]
     also tags plan-cache compilations done on this request's behalf.
-    [clock] supplies seconds for latency measurement. *)
+    [clock] supplies seconds for latency measurement.
+
+    Under live migration the request's touch set is faulted in first
+    (that time lands in the request's latency), and
+    [migration_ok = false] — the coordinator's signal that migration
+    failed somewhere in the pool — makes the shard serve the source
+    engine alone, unshadowed. *)
 val exec :
   t ->
   phase:Cutover.phase ->
   tolerate_reordering:bool ->
   canary_seed:int ->
+  ?migration_ok:bool ->
   live:Counters.local ->
   clock:(unit -> float) ->
   epoch:int ->

@@ -323,3 +323,42 @@ let translate_all ?pool db ops =
             (fun (db', w) -> (db', warnings @ w))
             (translate ?pool db op)))
     (Ok (db, [])) ops
+
+(* Record-granular translation for live migration: assemble just the
+   given rows and links of [snapshot] into a sub-instance on the same
+   schema and push it through the whole op pipeline.  The caller is
+   responsible for closure — a row's link partners must ride in the
+   same slice when an op computes across them (Interpose groupings,
+   Collapse field pulls), otherwise the per-record result can differ
+   from bulk translation.  Always sequential: slices are small and the
+   callers are themselves pool workers. *)
+let translate_slice ~snapshot ~ops ~rows ~links =
+  let schema = Sdb.schema snapshot in
+  let sub = ref (Sdb.create schema) in
+  let insert_err = ref None in
+  List.iter
+    (fun (ename, rs) ->
+      List.iter
+        (fun row ->
+          match Sdb.insert_entity !sub ename row with
+          | Ok db' -> sub := db'
+          | Error s ->
+              if !insert_err = None then
+                insert_err :=
+                  Some (Fmt.str "slice %s %a: %a" ename Row.pp row Status.pp s))
+        rs)
+    rows;
+  List.iter
+    (fun (aname, ls) ->
+      List.iter
+        (fun (l : Sdb.link) ->
+          match Sdb.link ~attrs:l.attrs !sub aname ~left:l.lkey ~right:l.rkey with
+          | Ok db' -> sub := db'
+          | Error s ->
+              if !insert_err = None then
+                insert_err := Some (Fmt.str "slice link %s: %a" aname Status.pp s))
+        ls)
+    links;
+  match !insert_err with
+  | Some msg -> Error ("Data_translate.translate_slice: " ^ msg)
+  | None -> translate_all !sub ops

@@ -24,3 +24,17 @@ val translate_exn : Sdb.t -> Schema_change.op -> Sdb.t
 val translate_all :
   ?pool:Ccv_common.Workpool.t ->
   Sdb.t -> Schema_change.op list -> (Sdb.t * string list, string) result
+
+(** [translate_slice ~snapshot ~ops ~rows ~links] — record-granular
+    translation for live migration: assemble just the given rows (by
+    entity) and links (by association) of [snapshot] into a
+    sub-instance on the same schema and run the whole [ops] pipeline
+    over it.  The caller must close the slice over link partners that
+    ops compute across (Interpose groupings, Collapse field pulls);
+    always sequential. *)
+val translate_slice :
+  snapshot:Sdb.t ->
+  ops:Schema_change.op list ->
+  rows:(string * Ccv_common.Row.t list) list ->
+  links:(string * Sdb.link list) list ->
+  (Sdb.t * string list, string) result

@@ -332,24 +332,332 @@ let load_order schema =
   go [] entities (List.length entities + 1)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental loading.
+
+   A [loader] keeps a host replica plus the semantic-key -> database-key
+   index the network and hierarchical models need across merges, so
+   records can be fed in batches (live migration's lazy fault-in and
+   backfill) instead of one bulk pass.  [loader_add] over every row and
+   link of an instance is exactly the bulk load; the [load_*] entry
+   points below are wrappers over it with [strict:true], which restores
+   their historical [invalid_arg] behaviour.  Lenient mode (the
+   default) instead skips a record or link it cannot place and reports
+   it as a warning — during a live migration an endpoint can legally be
+   gone by the time a link merges (a dual-applied cascade deleted
+   it). *)
+
+type loader =
+  | Lrel of { lsem : Semantic.t; mutable rdb : Rdb.t }
+  | Lnet of {
+      nmap : t;
+      mutable ndb : Ndb.t;
+      nindex : (string * string, int) Hashtbl.t;
+    }
+  | Lhier of {
+      hmap : t;
+      mutable hdb : Hdb.t;
+      hindex : (string * string, int) Hashtbl.t;
+    }
+
+let key_repr key = String.concat "|" (List.map Value.show key)
+
+let loader_relational schema rschema =
+  Lrel { lsem = schema; rdb = Rdb.create rschema }
+
+let loader_network map nschema =
+  Lnet { nmap = map; ndb = Ndb.create nschema; nindex = Hashtbl.create 64 }
+
+let loader_hier map hschema =
+  Lhier { hmap = map; hdb = Hdb.create hschema; hindex = Hashtbl.create 64 }
+
+let loader_rdb = function
+  | Lrel l -> l.rdb
+  | Lnet _ | Lhier _ -> invalid_arg "Mapping.loader_rdb: not relational"
+
+let loader_ndb = function
+  | Lnet l -> l.ndb
+  | Lrel _ | Lhier _ -> invalid_arg "Mapping.loader_ndb: not network"
+
+let loader_hdb = function
+  | Lhier l -> l.hdb
+  | Lrel _ | Lnet _ -> invalid_arg "Mapping.loader_hdb: not hierarchical"
+
+let loader_set_rdb loader db =
+  match loader with
+  | Lrel l -> l.rdb <- db
+  | Lnet _ | Lhier _ -> invalid_arg "Mapping.loader_set_rdb: not relational"
+
+let loader_set_ndb loader db =
+  match loader with
+  | Lnet l -> l.ndb <- db
+  | Lrel _ | Lhier _ -> invalid_arg "Mapping.loader_set_ndb: not network"
+
+let loader_set_hdb loader db =
+  match loader with
+  | Lhier l -> l.hdb <- db
+  | Lrel _ | Lnet _ -> invalid_arg "Mapping.loader_set_hdb: not hierarchical"
+
+let loader_add ?(strict = false) loader ~rows ~links =
+  let warnings = ref [] in
+  let warn fmt = Fmt.kstr (fun s -> warnings := s :: !warnings) fmt in
+  let rows_for (e : Semantic.entity) =
+    List.concat_map
+      (fun (en, rs) -> if Field.name_equal en e.ename then rs else [])
+      rows
+  in
+  let links_for (a : Semantic.assoc) =
+    List.concat_map
+      (fun (an, ls) -> if Field.name_equal an a.aname then ls else [])
+      links
+  in
+  (match loader with
+  | Lrel l ->
+      let schema = l.lsem in
+      List.iter
+        (fun (e : Semantic.entity) ->
+          match rows_for e with
+          | [] -> ()
+          | rs -> l.rdb <- Rdb.load l.rdb e.ename rs)
+        schema.Semantic.entities;
+      List.iter
+        (fun (a : Semantic.assoc) ->
+          match links_for a with
+          | [] -> ()
+          | ls ->
+              l.rdb <-
+                Rdb.load l.rdb a.aname
+                  (List.map (fun lk -> Sdb.link_row schema a lk) ls))
+        schema.Semantic.assocs
+  | Lnet l ->
+      let map = l.nmap in
+      let schema = map.semantic in
+      let store rtype row k =
+        match Ndb.store l.ndb rtype row with
+        | Ok (db, key) ->
+            l.ndb <- db;
+            k key
+        | Error s ->
+            if strict then
+              invalid_arg
+                (Fmt.str "Mapping.load_network %s: %a" rtype Status.pp s)
+            else warn "load_network %s: %a (skipped)" rtype Status.pp s
+      in
+      (* Seed rows of member entities with the owner-key value so that
+         AUTOMATIC BY VALUE selection finds the right occurrence; the
+         owner key comes from the links provided alongside the rows. *)
+      let seed_for (e : Semantic.entity) row =
+        List.fold_left
+          (fun row (a : Semantic.assoc) ->
+            match assoc_real map a.aname with
+            | Assoc_set { member_fields; _ }
+              when Field.name_equal a.right e.ename && is_total schema a ->
+                let rkey = Sdb.key_of e row in
+                let owner_key =
+                  List.fold_left
+                    (fun acc (lk : Sdb.link) ->
+                      if List.compare Value.compare lk.rkey rkey = 0 then
+                        Some lk.lkey
+                      else acc)
+                    None (links_for a)
+                in
+                (match owner_key with
+                | Some lkey ->
+                    List.fold_left2
+                      (fun row mfield v ->
+                        if Row.mem row mfield then row else Row.set row mfield v)
+                      row member_fields lkey
+                | None -> row)
+            | Assoc_set _ | Assoc_relation _ | Assoc_link_record _
+            | Assoc_parent_child | Assoc_link_segment _ -> row)
+          row
+          (Semantic.assocs_of schema e.ename)
+      in
+      List.iter
+        (fun (e : Semantic.entity) ->
+          List.iter
+            (fun row ->
+              store e.ename (seed_for e row) (fun key ->
+                  Hashtbl.replace l.nindex
+                    (Field.canon e.ename, key_repr (Sdb.key_of e row))
+                    key))
+            (rows_for e))
+        (load_order schema);
+      List.iter
+        (fun (a : Semantic.assoc) ->
+          match links_for a with
+          | [] -> ()
+          | ls -> (
+              match assoc_real map a.aname with
+              | Assoc_set { set; _ } when not (is_total schema a) ->
+                  (* MANUAL membership: CONNECT each link. *)
+                  List.iter
+                    (fun (lk : Sdb.link) ->
+                      let owner =
+                        Hashtbl.find_opt l.nindex
+                          (Field.canon a.left, key_repr lk.lkey)
+                      and member =
+                        Hashtbl.find_opt l.nindex
+                          (Field.canon a.right, key_repr lk.rkey)
+                      in
+                      match (owner, member) with
+                      | Some owner, Some member -> (
+                          match Ndb.connect l.ndb ~set ~member ~owner with
+                          | Ok db' -> l.ndb <- db'
+                          | Error s ->
+                              if strict then
+                                invalid_arg
+                                  (Fmt.str "Mapping.load_network connect %s: %a"
+                                     set Status.pp s)
+                              else
+                                warn "load_network connect %s: %a (skipped)" set
+                                  Status.pp s)
+                      | _ ->
+                          if strict then
+                            invalid_arg
+                              (Fmt.str
+                                 "Mapping.load_network connect %s: missing \
+                                  endpoint"
+                                 set)
+                          else
+                            warn "load_network connect %s: missing endpoint %s \
+                                  (skipped)"
+                              set
+                              (key_repr (lk.lkey @ lk.rkey)))
+                    ls
+              | Assoc_set _ -> ()
+              | Assoc_link_record { record; _ } ->
+                  List.iter
+                    (fun lk ->
+                      let row = Sdb.link_row schema a lk in
+                      store record row (fun _ -> ()))
+                    ls
+              | Assoc_relation _ | Assoc_parent_child | Assoc_link_segment _ ->
+                  invalid_arg "Mapping.load_network: non-network realization"))
+        schema.Semantic.assocs
+  | Lhier l ->
+      let map = l.hmap in
+      let schema = map.semantic in
+      let insert parent stype row k =
+        match Hdb.insert l.hdb ~parent stype row with
+        | Ok (db, key) ->
+            l.hdb <- db;
+            k key
+        | Error s ->
+            if strict then
+              invalid_arg
+                (Fmt.str "Mapping.load_hier %s: %a" stype Status.pp s)
+            else warn "load_hier %s: %a (skipped)" stype Status.pp s
+      in
+      List.iter
+        (fun (e : Semantic.entity) ->
+          let parent_assoc = hier_parent_assoc schema e in
+          List.iter
+            (fun row ->
+              let rkey = Sdb.key_of e row in
+              let parent =
+                match parent_assoc with
+                | None -> Some None
+                | Some a -> (
+                    let link =
+                      List.find_opt
+                        (fun (lk : Sdb.link) ->
+                          List.compare Value.compare lk.rkey rkey = 0)
+                        (links_for a)
+                    in
+                    match link with
+                    | Some lk -> (
+                        match
+                          Hashtbl.find_opt l.hindex
+                            (Field.canon a.left, key_repr lk.lkey)
+                        with
+                        | Some p -> Some (Some p)
+                        | None ->
+                            if strict then
+                              invalid_arg
+                                (Fmt.str
+                                   "Mapping.load_hier: %s instance has no \
+                                    parent"
+                                   e.ename)
+                            else begin
+                              warn "load_hier %s: parent %s not loaded \
+                                    (skipped)"
+                                e.ename (key_repr lk.lkey);
+                              None
+                            end)
+                    | None ->
+                        if strict then
+                          invalid_arg
+                            (Fmt.str
+                               "Mapping.load_hier: %s instance has no parent"
+                               e.ename)
+                        else begin
+                          warn "load_hier %s %s: no parent link (skipped)"
+                            e.ename (key_repr rkey);
+                          None
+                        end)
+              in
+              match parent with
+              | None -> ()
+              | Some parent ->
+                  insert parent e.ename row (fun key ->
+                      Hashtbl.replace l.hindex
+                        (Field.canon e.ename, key_repr rkey)
+                        key))
+            (rows_for e))
+        (load_order schema);
+      List.iter
+        (fun (a : Semantic.assoc) ->
+          match links_for a with
+          | [] -> ()
+          | ls -> (
+              match assoc_real map a.aname with
+              | Assoc_parent_child -> ()
+              | Assoc_link_segment seg ->
+                  let re = Semantic.find_entity_exn schema a.right in
+                  let rkey_field = single_key re in
+                  List.iter
+                    (fun (lk : Sdb.link) ->
+                      match
+                        Hashtbl.find_opt l.hindex
+                          (Field.canon a.left, key_repr lk.lkey)
+                      with
+                      | Some parent ->
+                          let row =
+                            Row.of_list
+                              ((rkey_field, List.hd lk.rkey)
+                              :: Row.to_list lk.attrs)
+                          in
+                          insert (Some parent) seg row (fun _ -> ())
+                      | None ->
+                          if strict then
+                            raise Not_found
+                          else
+                            warn "load_hier segment %s: parent %s not loaded \
+                                  (skipped)"
+                              seg (key_repr lk.lkey))
+                    ls
+              | Assoc_relation _ | Assoc_set _ | Assoc_link_record _ ->
+                  invalid_arg "Mapping.load_hier: non-hierarchical realization"))
+        schema.Semantic.assocs);
+  List.rev !warnings
+
+let all_rows_links sdb =
+  let schema = Sdb.schema sdb in
+  ( List.map
+      (fun (e : Semantic.entity) -> (e.ename, Sdb.rows_silent sdb e.ename))
+      schema.Semantic.entities,
+    List.map
+      (fun (a : Semantic.assoc) -> (a.aname, Sdb.links_silent sdb a.aname))
+      schema.Semantic.assocs )
+
+(* ------------------------------------------------------------------ *)
 (* Relational load / extract                                           *)
 
 let load_relational rschema sdb =
-  let schema = Sdb.schema sdb in
-  let db = Rdb.create rschema in
-  let db =
-    List.fold_left
-      (fun db (e : Semantic.entity) ->
-        Rdb.load db e.ename (Sdb.rows_silent sdb e.ename))
-      db schema.Semantic.entities
-  in
-  List.fold_left
-    (fun db (a : Semantic.assoc) ->
-      Rdb.load db a.aname
-        (List.map
-           (fun l -> Sdb.link_row schema a l)
-           (Sdb.links_silent sdb a.aname)))
-    db schema.Semantic.assocs
+  let loader = loader_relational (Sdb.schema sdb) rschema in
+  let rows, links = all_rows_links sdb in
+  ignore (loader_add ~strict:true loader ~rows ~links);
+  loader_rdb loader
 
 let extract_relational schema rdb =
   let sdb = Sdb.create schema in
@@ -379,85 +687,11 @@ let extract_relational schema rdb =
 (* ------------------------------------------------------------------ *)
 (* Network load / extract                                              *)
 
-let store_exn db rtype row =
-  match Ndb.store db rtype row with
-  | Ok (db, key) -> (db, key)
-  | Error s ->
-      invalid_arg (Fmt.str "Mapping.load_network %s: %a" rtype Status.pp s)
-
 let load_network mapping nschema sdb =
-  let schema = Sdb.schema sdb in
-  let db = ref (Ndb.create nschema) in
-  let index : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
-  let key_repr key = String.concat "|" (List.map Value.show key) in
-  (* Seed rows of member entities with the owner-key value so that
-     AUTOMATIC BY VALUE selection finds the right occurrence. *)
-  let seed_for (e : Semantic.entity) row =
-    List.fold_left
-      (fun row (a : Semantic.assoc) ->
-        match assoc_real mapping a.aname with
-        | Assoc_set { member_fields; _ }
-          when Field.name_equal a.right e.ename && is_total schema a ->
-            let rkey = Sdb.key_of e row in
-            let owner_key =
-              List.fold_left
-                (fun acc (l : Sdb.link) ->
-                  if List.compare Value.compare l.rkey rkey = 0 then Some l.lkey
-                  else acc)
-                None
-                (Sdb.links_silent sdb a.aname)
-            in
-            (match owner_key with
-            | Some lkey ->
-                List.fold_left2
-                  (fun row mfield v ->
-                    if Row.mem row mfield then row else Row.set row mfield v)
-                  row member_fields lkey
-            | None -> row)
-        | Assoc_set _ | Assoc_relation _ | Assoc_link_record _
-        | Assoc_parent_child | Assoc_link_segment _ -> row)
-      row
-      (Semantic.assocs_of schema e.ename)
-  in
-  List.iter
-    (fun (e : Semantic.entity) ->
-      List.iter
-        (fun row ->
-          let db', key = store_exn !db e.ename (seed_for e row) in
-          db := db';
-          Hashtbl.replace index (e.ename, key_repr (Sdb.key_of e row)) key)
-        (Sdb.rows_silent sdb e.ename))
-    (load_order schema);
-  List.iter
-    (fun (a : Semantic.assoc) ->
-      match assoc_real mapping a.aname with
-      | Assoc_set { set; _ } when not (is_total schema a) ->
-          (* MANUAL membership: CONNECT each link. *)
-          List.iter
-            (fun (l : Sdb.link) ->
-              let owner = Hashtbl.find index (Field.canon a.left, key_repr l.lkey) in
-              let member =
-                Hashtbl.find index (Field.canon a.right, key_repr l.rkey)
-              in
-              match Ndb.connect !db ~set ~member ~owner with
-              | Ok db' -> db := db'
-              | Error s ->
-                  invalid_arg
-                    (Fmt.str "Mapping.load_network connect %s: %a" set Status.pp
-                       s))
-            (Sdb.links_silent sdb a.aname)
-      | Assoc_set _ -> ()
-      | Assoc_link_record { record; _ } ->
-          List.iter
-            (fun l ->
-              let row = Sdb.link_row schema a l in
-              let db', _ = store_exn !db record row in
-              db := db')
-            (Sdb.links_silent sdb a.aname)
-      | Assoc_relation _ | Assoc_parent_child | Assoc_link_segment _ ->
-          invalid_arg "Mapping.load_network: non-network realization")
-    schema.Semantic.assocs;
-  !db
+  let loader = loader_network mapping nschema in
+  let rows, links = all_rows_links sdb in
+  ignore (loader_add ~strict:true loader ~rows ~links);
+  loader_ndb loader
 
 let extract_network mapping ndb =
   let schema = mapping.semantic in
@@ -517,65 +751,10 @@ let extract_network mapping ndb =
 (* Hierarchical load / extract                                         *)
 
 let load_hier mapping hschema sdb =
-  let schema = Sdb.schema sdb in
-  let db = ref (Hdb.create hschema) in
-  let index : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
-  let key_repr key = String.concat "|" (List.map Value.show key) in
-  let insert_exn parent stype row =
-    let db', key = Hdb.insert_exn !db ~parent stype row in
-    db := db';
-    key
-  in
-  List.iter
-    (fun (e : Semantic.entity) ->
-      let parent_assoc = hier_parent_assoc schema e in
-      List.iter
-        (fun row ->
-          let rkey = Sdb.key_of e row in
-          let parent =
-            match parent_assoc with
-            | None -> None
-            | Some a ->
-                let link =
-                  List.find_opt
-                    (fun (l : Sdb.link) ->
-                      List.compare Value.compare l.rkey rkey = 0)
-                    (Sdb.links_silent sdb a.aname)
-                in
-                (match link with
-                | Some l ->
-                    Some (Hashtbl.find index (Field.canon a.left, key_repr l.lkey))
-                | None ->
-                    invalid_arg
-                      (Fmt.str "Mapping.load_hier: %s instance has no parent"
-                         e.ename))
-          in
-          let key = insert_exn parent e.ename row in
-          Hashtbl.replace index (e.ename, key_repr rkey) key)
-        (Sdb.rows_silent sdb e.ename))
-    (load_order schema);
-  List.iter
-    (fun (a : Semantic.assoc) ->
-      match assoc_real mapping a.aname with
-      | Assoc_parent_child -> ()
-      | Assoc_link_segment seg ->
-          let re = Semantic.find_entity_exn schema a.right in
-          let rkey_field = single_key re in
-          List.iter
-            (fun (l : Sdb.link) ->
-              let parent =
-                Hashtbl.find index (Field.canon a.left, key_repr l.lkey)
-              in
-              let row =
-                Row.of_list
-                  ((rkey_field, List.hd l.rkey) :: Row.to_list l.attrs)
-              in
-              ignore (insert_exn (Some parent) seg row))
-            (Sdb.links_silent sdb a.aname)
-      | Assoc_relation _ | Assoc_set _ | Assoc_link_record _ ->
-          invalid_arg "Mapping.load_hier: non-hierarchical realization")
-    schema.Semantic.assocs;
-  !db
+  let loader = loader_hier mapping hschema in
+  let rows, links = all_rows_links sdb in
+  ignore (loader_add ~strict:true loader ~rows ~links);
+  loader_hdb loader
 
 let extract_hier mapping hdb =
   let schema = mapping.semantic in

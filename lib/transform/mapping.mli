@@ -22,6 +22,7 @@
     Restrictions (checked, [Invalid_argument] otherwise): network and
     hierarchical realizations need single-field entity keys. *)
 
+open Ccv_common
 open Ccv_model
 module Rschema = Ccv_relational.Rschema
 module Rdb = Ccv_relational.Rdb
@@ -74,6 +75,43 @@ val load_order : Semantic.t -> Semantic.entity list
 val load_relational : Rschema.t -> Sdb.t -> Rdb.t
 val load_network : t -> Nschema.t -> Sdb.t -> Ndb.t
 val load_hier : t -> Hschema.t -> Sdb.t -> Hdb.t
+
+(** Incremental loading for live migration: a [loader] keeps a host
+    replica plus the semantic-key → database-key index across merges,
+    so batches of records can be appended as they are translated
+    (fault-in and backfill) instead of bulk-loading the whole instance
+    up front.  The bulk loaders above are [loader_add ~strict:true]
+    over every row and link. *)
+
+type loader
+
+val loader_relational : Semantic.t -> Rschema.t -> loader
+val loader_network : t -> Nschema.t -> loader
+val loader_hier : t -> Hschema.t -> loader
+
+(** [loader_add loader ~rows ~links] merges the given rows (by entity)
+    and links (by association) into the replica, in {!load_order};
+    member rows are seeded for BY VALUE set selection from the links
+    provided in the same call, so a row's owning link must ride with
+    it.  Returns warnings for records or links it could not place
+    (e.g. an endpoint concurrently deleted); with [strict:true] those
+    raise [Invalid_argument] instead, the historical bulk behaviour. *)
+val loader_add :
+  ?strict:bool -> loader ->
+  rows:(string * Row.t list) list ->
+  links:(string * Sdb.link list) list -> string list
+
+(** The replica under the loader; [Invalid_argument] on a model
+    mismatch.  The setters push back a replica that advanced outside
+    the loader (dual-applied writes during serving) so later merges
+    append to the current state. *)
+
+val loader_rdb : loader -> Rdb.t
+val loader_ndb : loader -> Ndb.t
+val loader_hdb : loader -> Hdb.t
+val loader_set_rdb : loader -> Rdb.t -> unit
+val loader_set_ndb : loader -> Ndb.t -> unit
+val loader_set_hdb : loader -> Hdb.t -> unit
 
 (** Extractors (concrete instance → semantic instance); with the
     loaders these give round-trip data translation between any two

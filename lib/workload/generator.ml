@@ -15,24 +15,45 @@ let pp_family ppf f =
 
 let all_families = [ Retrieval; Lookup; Insertion; Modification; Deletion ]
 
+(* Zipf-ranked pick over extent order: the i-th row (rank i+1) weighs
+   1/(i+1)^skew, so early extent rows become the hot keys.  [skew = 0]
+   must stay byte-identical to the uniform path — same Prng consumption
+   — so every seeded workload generated before this option existed is
+   unchanged. *)
+let pick_ranked rng ~skew xs =
+  if skew <= 0. then Prng.pick rng xs
+  else begin
+    let w = Array.of_list (List.mapi (fun i x -> (float (i + 1) ** -.skew, x)) xs) in
+    let total = Array.fold_left (fun acc (wi, _) -> acc +. wi) 0. w in
+    let u = Prng.float rng total in
+    let n = Array.length w in
+    let rec go i acc =
+      if i >= n - 1 then snd w.(n - 1)
+      else
+        let acc = acc +. fst w.(i) in
+        if u < acc then snd w.(i) else go (i + 1) acc
+    in
+    go 0 0.
+  end
+
 (* A value of the given entity field drawn from the sample. *)
-let sample_value rng sdb (e : Semantic.entity) field =
+let sample_value rng ~skew sdb (e : Semantic.entity) field =
   let rows = Sdb.rows_silent sdb e.ename in
   match rows with
   | [] -> Value.Str "NONE"
   | _ ->
-      let row = Prng.pick rng rows in
+      let row = pick_ranked rng ~skew rows in
       Option.value (Row.get row field) ~default:Value.Null
 
-let sample_key rng sdb (e : Semantic.entity) =
-  List.map (fun k -> sample_value rng sdb e k) e.key
+let sample_key rng ~skew sdb (e : Semantic.entity) =
+  List.map (fun k -> sample_value rng ~skew sdb e k) e.key
 
-let random_qual rng sdb (e : Semantic.entity) =
+let random_qual rng ~skew sdb (e : Semantic.entity) =
   match Prng.int rng 3 with
   | 0 -> Cond.True
   | _ -> (
       let f = Prng.pick rng e.fields in
-      let v = sample_value rng sdb e f.Field.name in
+      let v = sample_value rng ~skew sdb e f.Field.name in
       match v with
       | Value.Int _ when Prng.bool rng ->
           Cond.Cmp (Cond.Ge, Cond.Field f.Field.name, Cond.Const v)
@@ -40,9 +61,11 @@ let random_qual rng sdb (e : Semantic.entity) =
 
 (* Build a random access chain starting at a random entity, optionally
    hopping through associations (downward or upward). *)
-let random_chain rng schema sdb =
+let random_chain rng ~skew schema sdb =
   let entity = Prng.pick rng schema.Semantic.entities in
-  let first = Apattern.Self { target = entity.ename; qual = random_qual rng sdb entity } in
+  let first =
+    Apattern.Self { target = entity.ename; qual = random_qual rng ~skew sdb entity }
+  in
   let rec extend current steps budget =
     if budget = 0 then List.rev steps
     else
@@ -66,7 +89,7 @@ let random_chain rng schema sdb =
             let going_down = Field.name_equal a.left current in
             let target = if going_down then a.right else a.left in
             let tgt = Semantic.find_entity_exn schema target in
-            let qual = random_qual rng sdb tgt in
+            let qual = random_qual rng ~skew sdb tgt in
             extend target
               (Apattern.Via_assoc { target; assoc = a.aname; qual }
                :: Apattern.Assoc_via
@@ -120,10 +143,10 @@ let is_total schema (a : Semantic.assoc) =
   | Semantic.Characterizing o -> Field.name_equal o a.left
   | Semantic.Defined -> false
 
-let rec random_program rng schema ~sample ~family i =
+let rec random_program rng ?(skew = 0.) schema ~sample ~family i =
   match family with
   | Retrieval ->
-      let _, query = random_chain rng schema sample in
+      let _, query = random_chain rng ~skew schema sample in
       { Aprog.name = Printf.sprintf "GEN-RET-%d" i;
         body =
           [ Aprog.For_each
@@ -134,7 +157,7 @@ let rec random_program rng schema ~sample ~family i =
       let e = Prng.pick rng schema.Semantic.entities in
       let exists = Prng.bool rng in
       let key =
-        if exists then sample_key rng sample e
+        if exists then sample_key rng ~skew sample e
         else List.map (fun k -> fresh_value (900_000 + i) (Option.get (Field.find e.fields k))) e.key
       in
       let qual =
@@ -168,7 +191,7 @@ let rec random_program rng schema ~sample ~family i =
               (f.name, Cond.Const (fresh_value i f))
             else
               (f.name,
-               Cond.Const (sample_value rng sample e f.name)))
+               Cond.Const (sample_value rng ~skew sample e f.name)))
           e.fields
       in
       let connects =
@@ -183,7 +206,7 @@ let rec random_program rng schema ~sample ~family i =
               let le = Semantic.find_entity_exn schema a.left in
               Some
                 (a.aname,
-                 List.map (fun v -> Cond.Const v) (sample_key rng sample le))
+                 List.map (fun v -> Cond.Const v) (sample_key rng ~skew sample le))
             else None)
           (Semantic.assocs_of schema e.ename)
       in
@@ -222,7 +245,7 @@ let rec random_program rng schema ~sample ~family i =
       (match non_key with
       | [] ->
           (* fall back to a retrieval when nothing is updatable *)
-          random_program rng schema ~sample ~family:Retrieval i
+          random_program rng ~skew schema ~sample ~family:Retrieval i
       | _ ->
           let f = Prng.pick rng non_key in
           let assign =
@@ -233,14 +256,14 @@ let rec random_program rng schema ~sample ~family i =
                     ( Cond.Var (e.ename ^ "." ^ f.Field.name),
                       Cond.Const (Value.Int 1) ) )
             | Value.Tstr | Value.Tfloat | Value.Tbool ->
-                (f.Field.name, Cond.Const (sample_value rng sample e f.Field.name))
+                (f.Field.name, Cond.Const (sample_value rng ~skew sample e f.Field.name))
           in
           { Aprog.name = Printf.sprintf "GEN-MOD-%d" i;
             body =
               [ Aprog.Update
                   { query =
                       [ Apattern.Self
-                          { target = e.ename; qual = random_qual rng sample e }
+                          { target = e.ename; qual = random_qual rng ~skew sample e }
                       ];
                     assigns = [ assign ];
                   };
@@ -249,7 +272,7 @@ let rec random_program rng schema ~sample ~family i =
           })
   | Deletion ->
       let e = Prng.pick rng schema.Semantic.entities in
-      let key = sample_key rng sample e in
+      let key = sample_key rng ~skew sample e in
       let qual =
         Cond.conj
           (List.map2
@@ -270,11 +293,11 @@ let batch ~seed schema ~sample ~n
     ?(mix =
       [ (4, Retrieval); (2, Lookup); (2, Insertion); (1, Modification);
         (1, Deletion);
-      ]) () =
+      ]) ?(skew = 0.) () =
   let rng = Prng.create ~seed in
   List.init n (fun i ->
       let family = Prng.pick_weighted rng mix in
-      (family, random_program rng schema ~sample ~family i))
+      (family, random_program rng ~skew schema ~sample ~family i))
 
 (* Hand-built network programs for analyzer coverage (E7). *)
 let non_template_variants _schema =

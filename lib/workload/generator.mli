@@ -19,14 +19,20 @@ val pp_family : Format.formatter -> family -> unit
 val all_families : family list
 
 (** [random_program rng schema ~sample ~family i] — [i] seeds fresh
-    key values for insertions. *)
+    key values for insertions.  [skew] (default [0.], uniform) biases
+    key and constant draws toward early sample rows with Zipf rank
+    weights [rank^-skew], producing hot-key traffic; [0.] consumes the
+    PRNG exactly like the unskewed generator, so existing seeded
+    workloads are unchanged. *)
 val random_program :
-  Prng.t -> Semantic.t -> sample:Sdb.t -> family:family -> int -> Aprog.t
+  Prng.t -> ?skew:float -> Semantic.t -> sample:Sdb.t -> family:family ->
+  int -> Aprog.t
 
-(** A batch across families with the given mix (weights). *)
+(** A batch across families with the given mix (weights) and key
+    popularity [skew] (see {!random_program}). *)
 val batch :
   seed:int -> Semantic.t -> sample:Sdb.t -> n:int ->
-  ?mix:(int * family) list -> unit -> (family * Aprog.t) list
+  ?mix:(int * family) list -> ?skew:float -> unit -> (family * Aprog.t) list
 
 (** Hand-mutated network-program variants that fall outside the
     template library or trip §3.2 hazards, for the analyzer-coverage

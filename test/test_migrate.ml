@@ -1,0 +1,314 @@
+(* Live migration: serving starts against an empty target replica that
+   fills online by fault-in, backfill and dual-applied writes.  The
+   lazy run must be observationally identical to the eager one — same
+   transitions, same served output, bit-identical final target
+   replicas — at any domain count and in both serving modes; the
+   backfill schedule must be monotone; and a backfill fault must roll
+   the controller back to source-only serving instead of erroring the
+   run. *)
+
+open Ccv_common
+open Ccv_transform
+open Ccv_convert
+open Ccv_migrate
+open Ccv_serve
+module W = Ccv_workload
+module G = Ccv_workload.Generator
+
+let check = Alcotest.(check bool)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let interpose_op =
+  Schema_change.Interpose
+    { through = W.Company.div_emp;
+      new_entity = W.Company.dept;
+      group_by = [ "DEPT-NAME" ];
+      left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+    }
+
+let net_req ops =
+  { Supervisor.source_schema = W.Company.schema;
+    source_model = Mapping.Net;
+    ops;
+    target_model = Mapping.Net;
+  }
+
+(* The convergence gate must be open before the eager run's first
+   promotion, or the gate itself would shift the transition log: with
+   72 slots over 8 shards (9 each) and batch 3 / lag 1, every shard's
+   schedule covers its keyspace by logical row 3, while 56 clean
+   observations cannot accumulate before row 3 at 16 requests per
+   row. *)
+let cutover_cfg =
+  { Cutover.canary_fraction = 0.25;
+    window = 16;
+    min_observations = 6;
+    max_divergence_rate = 0.2;
+    promote_after = 56;
+    initial = Cutover.Shadow;
+  }
+
+let requests ~n =
+  Request.stream ~seed:707 W.Company.schema ~sample:(W.Company.instance ())
+    ~n ()
+
+let run_service ?(domains = 1) ?(epoch_serving = true) ?(live = false)
+    ?fail_backfill ?(n = 128) () =
+  let config =
+    { Pool.default_config with
+      domains;
+      shards = 8;
+      batch = 8;
+      epoch_serving;
+      epoch_batch = 2;
+      canary_seed = 707;
+      live_migration = live;
+      backfill_batch = 3;
+      backfill_lag = 1;
+      fail_backfill;
+      fingerprint_replicas = true;
+    }
+  in
+  match
+    Pool.run ~config ~cutover:cutover_cfg (net_req [ interpose_op ])
+      (W.Company.instance ())
+      (requests ~n)
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "service failed to start: %s" e
+
+let terminal_output (r : Pool.report) =
+  List.map
+    (fun (o : Shadow.outcome) ->
+      ( o.Shadow.request.Request.id,
+        Io_trace.terminal_lines o.Shadow.served_trace ))
+    r.Pool.outcomes
+
+(* Output of the requests the {e source} engine served.  Target-served
+   output may legitimately reorder records between eager and lazy runs
+   — record-at-a-time merge gives the target replica a different
+   physical insertion order, the [Modulo_order] level of §5.2 — so
+   eager-vs-lazy equality is asserted on source-served output plus the
+   canonical replica fingerprint, while full output must be identical
+   across domain counts of the {e same} run. *)
+let source_output (r : Pool.report) =
+  List.filter_map
+    (fun (o : Shadow.outcome) ->
+      if o.Shadow.decision = Shadow.Serve_source then
+        Some
+          ( o.Shadow.request.Request.id,
+            Io_trace.terminal_lines o.Shadow.served_trace )
+      else None)
+    r.Pool.outcomes
+
+(* ------------------------------------------------------------------ *)
+(* (a) lazy serving converges to the eager run: same transitions, same
+   served output, bit-identical target replicas — across 1/2/8
+   domains and in both serving modes                                   *)
+
+let lazy_converges_to_eager () =
+  List.iter
+    (fun (mode_name, epoch_serving) ->
+      let eager = run_service ~epoch_serving () in
+      check (mode_name ^ ": eager baseline reaches cutover") true
+        (Cutover.equal_phase eager.Pool.final_phase Cutover.Cutover);
+      check (mode_name ^ ": eager baseline is clean") true
+        (eager.Pool.divergences = []);
+      let reference = ref None in
+      List.iter
+        (fun domains ->
+          let label = Printf.sprintf "%s, %d domain(s)" mode_name domains in
+          let live = run_service ~epoch_serving ~live:true ~domains () in
+          check (label ^ ": lazy run reaches cutover") true
+            (Cutover.equal_phase live.Pool.final_phase Cutover.Cutover);
+          check (label ^ ": no divergences") true
+            (live.Pool.divergences = []);
+          check (label ^ ": same transitions as eager") true
+            (live.Pool.transitions = eager.Pool.transitions);
+          check (label ^ ": same source-served output as eager") true
+            (source_output live = source_output eager);
+          check (label ^ ": target replicas bit-identical to eager") true
+            (live.Pool.replica_fingerprint <> None
+            && live.Pool.replica_fingerprint = eager.Pool.replica_fingerprint);
+          (match !reference with
+          | None -> reference := Some (terminal_output live)
+          | Some out ->
+              check (label ^ ": full output identical across domain counts")
+                true
+                (terminal_output live = out));
+          match live.Pool.migration with
+          | None -> Alcotest.failf "%s: no migration summary" label
+          | Some m ->
+              check (label ^ ": migration completed") true
+                (m.Migrate.mig_failed = None);
+              check (label ^ ": fault-in and backfill both ran") true
+                (m.Migrate.faulted > 0 && m.Migrate.backfilled > 0);
+              check (label ^ ": every slot drained") true
+                (m.Migrate.faulted + m.Migrate.backfilled
+                = m.Migrate.total_slots))
+        [ 1; 2; 8 ])
+    [ ("epoch", true); ("barrier", false) ]
+
+(* The two serving modes must agree on the final replica contents even
+   though their logical clocks (ticks vs epoch rows) pace backfill
+   differently. *)
+let modes_agree_on_replicas () =
+  let e = run_service ~epoch_serving:true ~live:true () in
+  let b = run_service ~epoch_serving:false ~live:true () in
+  check "epoch and barrier modes leave identical replicas" true
+    (e.Pool.replica_fingerprint = b.Pool.replica_fingerprint
+    && e.Pool.replica_fingerprint <> None)
+
+(* ------------------------------------------------------------------ *)
+(* (b) the backfill schedule is monotone, bounded and total            *)
+
+let watermark_props =
+  QCheck.Test.make ~count:500 ~name:"watermark schedule monotone and total"
+    QCheck.(
+      quad (int_range 0 500) (int_range 1 64) (int_range 0 8)
+        (int_range 1 64))
+    (fun (total, batch, lag, rows) ->
+      let wm e = Backfill.watermark_target ~total ~batch ~lag ~rows e in
+      let ok = ref true in
+      for e = 0 to rows - 1 do
+        let w = wm e in
+        if w < 0 || w > total then ok := false;
+        if e > 0 && w < wm (e - 1) then ok := false;
+        if
+          Backfill.converged ~total ~batch ~lag ~rows e <> (w >= total)
+        then ok := false
+      done;
+      (* a run always ends fully migrated *)
+      if wm (rows - 1) <> total then ok := false;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* (c) a backfill fault rolls the pool back to source-only serving     *)
+
+let backfill_fault_rolls_back () =
+  List.iter
+    (fun (mode_name, epoch_serving) ->
+      let go domains =
+        run_service ~epoch_serving ~live:true ~domains
+          ~fail_backfill:(2, 5) ()
+      in
+      let r = go 1 in
+      let label = mode_name in
+      check (label ^ ": run completes despite the fault") true
+        (r.Pool.status = Cutover.Serving);
+      check (label ^ ": never leaves shadow") true
+        (Cutover.equal_phase r.Pool.final_phase Cutover.Shadow);
+      check (label ^ ": everything served") true
+        (r.Pool.served = 128 && r.Pool.unserved = 0);
+      (match r.Pool.migration with
+      | None -> Alcotest.failf "%s: no migration summary" label
+      | Some m ->
+          check (label ^ ": failure recorded") true
+            (match m.Migrate.mig_failed with
+            | Some msg -> contains ~affix:"injected backfill fault" msg
+            | None -> false));
+      check (label ^ ": rollback transition recorded") true
+        (List.exists
+           (fun (t : Cutover.transition) ->
+             contains ~affix:"live migration failed" t.Cutover.reason
+             && Cutover.equal_phase t.Cutover.to_ Cutover.Shadow)
+           r.Pool.transitions);
+      (* after the rollback the stream is served from the source
+         replicas alone, unshadowed *)
+      let tail =
+        match
+          List.filteri
+            (fun i _ -> i >= r.Pool.served - 16)
+            r.Pool.outcomes
+        with
+        | [] -> Alcotest.failf "%s: empty tail" label
+        | os -> os
+      in
+      check (label ^ ": tail serves source-only, unshadowed") true
+        (List.for_all
+           (fun (o : Shadow.outcome) ->
+             o.Shadow.decision = Shadow.Serve_source
+             && not o.Shadow.shadowed)
+           tail);
+      (* the failure path is as deterministic as the happy one *)
+      let r2 = go 2 in
+      check (label ^ ": fault handling identical across domain counts")
+        true
+        (r.Pool.transitions = r2.Pool.transitions
+        && terminal_output r = terminal_output r2))
+    [ ("epoch", true); ("barrier", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* (d) Zipf-skewed workload generation                                 *)
+
+let show_batch b =
+  String.concat "\n---\n" (List.map (fun (_, p) -> Ccv_abstract.Aprog.show p) b)
+
+let zipf_skew () =
+  let sample = W.Company.instance () in
+  let mk ?skew () =
+    G.batch ~seed:11 W.Company.schema ~sample ~n:40 ?skew ()
+  in
+  check "skew 0 is the uniform generator, draw for draw" true
+    (show_batch (mk ()) = show_batch (mk ~skew:0. ()));
+  check "skewed generation is deterministic" true
+    (show_batch (mk ~skew:1.2 ()) = show_batch (mk ~skew:1.2 ()));
+  check "skew changes the workload" true
+    (show_batch (mk ~skew:1.2 ()) <> show_batch (mk ()));
+  (* rank-weighted popularity: under heavy skew the most popular
+     constant should cover a clearly larger share of the references
+     than under the uniform draw *)
+  let top_share progs =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (_, p) ->
+        let s = Ccv_abstract.Aprog.show p in
+        (* count value literals crudely: every quoted token *)
+        String.split_on_char '"' s
+        |> List.iteri (fun i tok ->
+               if i land 1 = 1 then
+                 Hashtbl.replace tbl tok
+                   (1 + Option.value (Hashtbl.find_opt tbl tok) ~default:0)))
+      progs;
+    let total = Hashtbl.fold (fun _ c a -> c + a) tbl 0 in
+    let best = Hashtbl.fold (fun _ c a -> max c a) tbl 0 in
+    if total = 0 then 0. else float best /. float total
+  in
+  check "heavy skew concentrates key popularity" true
+    (top_share (mk ~skew:2.5 ()) > top_share (mk ()))
+
+(* ------------------------------------------------------------------ *)
+(* (e) guard: live migration cannot start above shadow                 *)
+
+let live_requires_shadow () =
+  let config = { Pool.default_config with live_migration = true } in
+  let cutover = { cutover_cfg with Cutover.initial = Cutover.Canary 0.25 } in
+  match
+    Pool.run ~config ~cutover (net_req [ interpose_op ])
+      (W.Company.instance ())
+      (requests ~n:8)
+  with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> check "guard names the shadow phase" true
+      (contains ~affix:"shadow" e)
+
+let () =
+  Alcotest.run "migrate"
+    [ ( "live migration",
+        [ Alcotest.test_case "lazy converges to eager" `Slow
+            lazy_converges_to_eager;
+          Alcotest.test_case "modes agree on replicas" `Quick
+            modes_agree_on_replicas;
+          QCheck_alcotest.to_alcotest watermark_props;
+          Alcotest.test_case "backfill fault rolls back" `Slow
+            backfill_fault_rolls_back;
+          Alcotest.test_case "zipf skew" `Quick zipf_skew;
+          Alcotest.test_case "live requires shadow" `Quick
+            live_requires_shadow;
+        ] );
+    ]
