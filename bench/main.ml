@@ -292,6 +292,48 @@ let e2 () =
       "refused";
     ]
     rows;
+  (* Preflight static verdicts for the same abstract corpus: the
+     analyzer predicts each refusal without executing a rewrite, and
+     repeated diagnostic codes are deduplicated per class. *)
+  let a_conv = ref 0 and a_ref = ref 0 in
+  let analyze_rows =
+    List.map
+      (fun (cname, ops) ->
+        let conv = ref 0 and diags = ref [] in
+        List.iter
+          (fun (_fam, p) ->
+            match Ccv_analysis.Preflight.classify W.Company.schema ops p with
+            | Ccv_analysis.Preflight.Convertible -> incr conv
+            | Ccv_analysis.Preflight.Refused { diagnostic; _ } ->
+                diags := diagnostic :: !diags)
+          programs;
+        a_conv := !a_conv + !conv;
+        a_ref := !a_ref + List.length !diags;
+        let codes =
+          List.map
+            (fun (c, k) -> Printf.sprintf "%s x%d" c k)
+            (Diagnostic.count_codes (List.rev !diags))
+        in
+        [ cname;
+          string_of_int (List.length programs);
+          string_of_int !conv;
+          string_of_int (List.length !diags);
+          (if codes = [] then "-" else String.concat "  " codes);
+        ])
+      restructurings
+  in
+  print_newline ();
+  Tablefmt.print
+    ~title:
+      "preflight static verdicts for the abstract corpus (refusal codes \
+       deduplicated)"
+    [ "class"; "programs"; "convertible"; "refused"; "refusal codes" ]
+    analyze_rows;
+  meta_extra :=
+    !meta_extra
+    @ [ ("analyze_convertible", string_of_int !a_conv);
+        ("analyze_refused", string_of_int !a_ref);
+      ];
   (* Second table: pure model-to-model conversion of the same corpus
      (no schema change) — the §4.1 "conversion from one DBMS to
      another" coverage. *)

@@ -127,6 +127,201 @@ let run schema_path program_path ops_raw verbose =
       end
 
 (* ------------------------------------------------------------------ *)
+(* analyze: preflight static analysis — verdicts, depth, lints and
+   inferred constraints without executing any rewrite                  *)
+
+let analyze_file schema_path program_path ops_raw cap json =
+  let ddl = Ccv_frontend.Ddl.parse (read_file schema_path) in
+  let source_schema = Ccv_frontend.Ddl.to_semantic ddl in
+  let aprog, notes =
+    Ccv_frontend.Dml_parse.parse_program ddl (read_file program_path)
+  in
+  let ops =
+    List.map
+      (fun s -> match parse_op s with Ok op -> op | Error e -> failwith e)
+      ops_raw
+  in
+  let report = Ccv_analysis.Report.analyze ~cap ~ops source_schema aprog in
+  if json then print_endline (Ccv_analysis.Report.to_json report)
+  else begin
+    List.iter (Printf.printf "note: %s\n") notes;
+    Fmt.pr "%a@." Ccv_analysis.Report.pp report
+  end;
+  if
+    Ccv_analysis.Report.refused report
+    || Ccv_analysis.Report.errors report <> []
+  then exit 1
+
+(* Corpus mode: generated programs x restructuring chains over both
+   built-in schemas, checking the static verdict against the rewrite
+   engine's actual outcome on every (program, op) pair.  A false
+   accept (preflight says convertible, engine refuses) exits 2; a
+   false refusal exits 3.  This is the CI lint gate. *)
+
+let analyze_corpus n seed cap json =
+  let module W = Ccv_workload in
+  let module A = Ccv_analysis in
+  let interpose_op =
+    Schema_change.Interpose
+      { through = W.Company.div_emp;
+        new_entity = W.Company.dept;
+        group_by = [ "DEPT-NAME" ];
+        left_assoc = W.Company.div_dept;
+        right_assoc = W.Company.dept_emp;
+      }
+  in
+  let collapse_op =
+    Schema_change.Collapse
+      { left_assoc = W.Company.div_dept;
+        right_assoc = W.Company.dept_emp;
+        removed_entity = W.Company.dept;
+        restored_assoc = W.Company.div_emp;
+      }
+  in
+  let company_chains =
+    [ [ Schema_change.Rename_entity { from_ = "EMP"; to_ = "EMPLOYEE" } ];
+      [ Schema_change.Rename_field
+          { entity = "EMP"; from_ = "AGE"; to_ = "EMP-AGE" };
+      ];
+      [ Schema_change.Add_field
+          { entity = "EMP";
+            field = Field.make "SALARY" Value.Tint;
+            default = Value.Int 0;
+          };
+      ];
+      [ Schema_change.Drop_field { entity = "EMP"; field = "AGE" } ];
+      [ Schema_change.Drop_field { entity = "EMP"; field = "DEPT-NAME" } ];
+      [ Schema_change.Add_constraint
+          (Ccv_model.Semantic.Field_not_null { entity = "EMP"; field = "DEPT-NAME" });
+      ];
+      [ Schema_change.Drop_constraint (Ccv_model.Semantic.Total_right W.Company.div_emp);
+        Schema_change.Widen_cardinality { assoc = W.Company.div_emp };
+      ];
+      [ interpose_op ];
+      [ interpose_op; collapse_op ];
+      [ Schema_change.Restrict_extension
+          { entity = "EMP"; qual = Cond.eq_field_const "AGE" (Value.Int 30) };
+      ];
+    ]
+  in
+  let school_chains =
+    [ [ Schema_change.Rename_entity
+          { from_ = W.School.course; to_ = "KURS" };
+      ];
+      [ Schema_change.Rename_assoc
+          { from_ = W.School.offering; to_ = "TEACHING" };
+      ];
+      [ Schema_change.Drop_field
+          { entity = W.School.course; field = "CNAME" };
+      ];
+      [ Schema_change.Add_field
+          { entity = W.School.semester;
+            field = Field.make "TERM" Value.Tstr;
+            default = Value.Str "";
+          };
+      ];
+      [ Schema_change.Restrict_extension
+          { entity = W.School.semester;
+            qual = Cond.eq_field_const "YEAR" (Value.Int 1970);
+          };
+      ];
+    ]
+  in
+  let pairs = ref 0 and convertible = ref 0 and refused = ref 0 in
+  let false_accepts = ref 0 and false_refusals = ref 0 and deep = ref 0 in
+  let refusal_diags = ref [] and lint_diags = ref [] in
+  let run_schema name schema sample chains =
+    let programs = W.Generator.batch ~seed schema ~sample ~n () in
+    List.iter
+      (fun ((_fam : W.Generator.family), p) ->
+        (match A.Depth.check ~cap p with Ok () -> () | Error _ -> incr deep);
+        lint_diags := List.rev_append (A.Lint.all schema p) !lint_diags;
+        List.iter
+          (fun chain ->
+            let rec go schema p = function
+              | [] -> ()
+              | op :: rest -> (
+                  incr pairs;
+                  let predicted = Rules.preflight_op schema op p in
+                  let actual = Rules.convert_d schema op p in
+                  (match (predicted, actual) with
+                  | None, Ok _ -> incr convertible
+                  | Some d, Error _ ->
+                      incr refused;
+                      refusal_diags := d :: !refusal_diags
+                  | None, Error d ->
+                      incr false_accepts;
+                      Printf.eprintf
+                        "FALSE ACCEPT (%s, %s, %s): engine refused: %s\n" name
+                        p.Aprog.name (Schema_change.show_op op)
+                        (Diagnostic.to_string d)
+                  | Some d, Ok _ ->
+                      incr false_refusals;
+                      Printf.eprintf
+                        "FALSE REFUSAL (%s, %s, %s): predicted: %s\n" name
+                        p.Aprog.name (Schema_change.show_op op)
+                        (Diagnostic.to_string d));
+                  match actual with
+                  | Error _ -> ()
+                  | Ok (p', _) -> (
+                      match Schema_change.apply schema op with
+                      | Error _ -> ()
+                      | Ok schema' -> go schema' p' rest))
+            in
+            go schema p chain)
+          chains)
+      programs
+  in
+  run_schema "company" W.Company.schema (W.Company.instance ()) company_chains;
+  run_schema "school" W.School.schema (W.School.instance ()) school_chains;
+  let code_counts ds = Diagnostic.count_codes (List.rev ds) in
+  if json then begin
+    let counts_json cs =
+      String.concat ","
+        (List.map
+           (fun (c, k) -> Printf.sprintf "{\"code\":\"%s\",\"count\":%d}" c k)
+           cs)
+    in
+    Printf.printf
+      "{\"programs\":%d,\"pairs\":%d,\"convertible\":%d,\"refused\":%d,\"false_accepts\":%d,\"false_refusals\":%d,\"over_depth_cap\":%d,\"refusal_codes\":[%s],\"lint_codes\":[%s]}\n"
+      (2 * n) !pairs !convertible !refused !false_accepts !false_refusals !deep
+      (counts_json (code_counts !refusal_diags))
+      (counts_json (code_counts !lint_diags))
+  end
+  else begin
+    Printf.printf
+      "analyzed %d (program, op) pairs over %d generated programs\n" !pairs
+      (2 * n);
+    Printf.printf
+      "  convertible %d   refused %d   false-accepts %d   false-refusals %d\n"
+      !convertible !refused !false_accepts !false_refusals;
+    Printf.printf "  programs over the %d-hop migration cap: %d\n" cap !deep;
+    let print_counts label cs =
+      if cs <> [] then begin
+        Printf.printf "  %s:" label;
+        List.iter (fun (c, k) -> Printf.printf " %s x%d" c k) cs;
+        print_newline ()
+      end
+    in
+    print_counts "refusal codes" (code_counts !refusal_diags);
+    print_counts "lint codes" (code_counts !lint_diags)
+  end;
+  if !false_accepts > 0 then exit 2;
+  if !false_refusals > 0 then exit 3
+
+let analyze_run schema program ops_raw cap corpus seed json =
+  match corpus with
+  | Some n -> analyze_corpus n seed cap json
+  | None -> (
+      match (schema, program) with
+      | Some s, Some p -> analyze_file s p ops_raw cap json
+      | _ ->
+          prerr_endline
+            "analyze: --schema and --program are required unless --corpus N \
+             is given";
+          exit 64)
+
+(* ------------------------------------------------------------------ *)
 (* serve: drive a workload through the phased-coexistence service      *)
 
 let serve_run ops_raw requests domains shards batch seed canary window
@@ -205,6 +400,54 @@ let ops_arg =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print intermediate forms")
+
+let analyze_cmd =
+  let doc =
+    "static conversion-safety analysis: predict refusal verdicts, check \
+     navigation depth against the live-migration cap, lint access paths \
+     and infer implied constraints — without rewriting or executing the \
+     program"
+  in
+  let schema =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schema" ] ~docv:"FILE" ~doc:"Maryland DDL schema")
+  in
+  let program =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "program" ] ~docv:"FILE" ~doc:"program in FIND/DISPLAY syntax")
+  in
+  let cap =
+    Arg.(
+      value
+      & opt int Ccv_analysis.Depth.default_cap
+      & info [ "cap" ] ~docv:"N" ~doc:"navigation-depth admission cap (hops)")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "corpus" ] ~docv:"N"
+          ~doc:
+            "differential mode: N generated programs per built-in schema, \
+             every (program, op) static verdict checked against the rewrite \
+             engine (exit 2 on a false accept, 3 on a false refusal)")
+  in
+  let seed =
+    Arg.(
+      value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"corpus seed")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"machine-readable output")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      const analyze_run $ schema $ program $ ops_arg $ cap $ corpus $ seed
+      $ json)
 
 let convert_term =
   Term.(const run $ schema_arg $ program_arg $ ops_arg $ verbose_arg)
@@ -349,6 +592,6 @@ let cmd =
   in
   Cmd.group ~default:convert_term
     (Cmd.info "convertc" ~version:"1.0" ~doc)
-    [ convert_cmd; serve_cmd ]
+    [ convert_cmd; analyze_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,292 @@
+(* Functorized traversal kit over the abstract IR (ROADMAP item 4).
+
+   Every pass over [Aprog.t] used to hand-roll its own recursion —
+   rules.ml's rewriter, optimizer.ml's opt_body, advisor.ml's walk,
+   migrate.ml's demand collector.  This module factors the recursion
+   once, in the open-recursion style of the visitors idiom: a pass is
+   a record of hooks, each hook receives the full record ([self]) so
+   overrides compose with the structural defaults, and the whole thing
+   is parameterized over an environment that is extended with the
+   names each FOR EACH / FIRST query binds (exactly as [Aprog.check]
+   threads bound names).
+
+   Two engines are provided:
+
+   - [Fold (E)]: bottom-up accumulation.  The [stmt] hook may return
+     [Some acc] to claim a statement and skip the structural descent
+     into its children (used by passes that must ignore subtrees a
+     rewrite would drop).
+
+   - [Map (E)]: program rewriting.  The [stmt] hook runs top-down and
+     may replace a statement with a list that re-enters the pipeline
+     (the hook must not re-match its own output) — this subsumes the
+     conversion-rule rewriter.  [stmt_out] runs bottom-up after the
+     children have been rewritten and [body_out] post-processes each
+     statement list — these subsume the optimizer's shape. *)
+
+open Ccv_common
+
+module type ENV = sig
+  type t
+
+  val bind : t -> string list -> t
+  (** Extend the environment with the names a query binds for the
+      statements scoped under it. *)
+end
+
+module Unit_env : ENV with type t = unit = struct
+  type t = unit
+
+  let bind () _ = ()
+end
+
+module Names : ENV with type t = string list = struct
+  type t = string list
+
+  let bind env names = names @ env
+end
+
+(* ------------------------------------------------------------------ *)
+(* Plain expression/condition maps with a variable hook (previously
+   private to rules.ml; every client of Rules.map_expr routes here). *)
+
+let rec map_expr f = function
+  | Cond.Const v -> Cond.Const v
+  | Cond.Field x -> Cond.Field x
+  | Cond.Var x -> f x
+  | Cond.Add (a, b) -> Cond.Add (map_expr f a, map_expr f b)
+  | Cond.Sub (a, b) -> Cond.Sub (map_expr f a, map_expr f b)
+  | Cond.Mul (a, b) -> Cond.Mul (map_expr f a, map_expr f b)
+  | Cond.Concat (a, b) -> Cond.Concat (map_expr f a, map_expr f b)
+
+let rec map_cond f = function
+  | Cond.True -> Cond.True
+  | Cond.Cmp (op, a, b) -> Cond.Cmp (op, map_expr f a, map_expr f b)
+  | Cond.And (a, b) -> Cond.And (map_cond f a, map_cond f b)
+  | Cond.Or (a, b) -> Cond.Or (map_cond f a, map_cond f b)
+  | Cond.Not a -> Cond.Not (map_cond f a)
+  | Cond.Is_null e -> Cond.Is_null (map_expr f e)
+  | Cond.Is_not_null e -> Cond.Is_not_null (map_expr f e)
+
+(* ------------------------------------------------------------------ *)
+(* Fold                                                                *)
+
+module Fold (E : ENV) = struct
+  type 'a t = {
+    expr : 'a t -> E.t -> 'a -> Cond.expr -> 'a;
+    cond : 'a t -> E.t -> 'a -> Cond.t -> 'a;
+    step : 'a t -> E.t -> 'a -> Apattern.step -> 'a;
+    query : 'a t -> E.t -> 'a -> Apattern.t -> 'a;
+    varname : 'a t -> E.t -> 'a -> string -> 'a;
+    stmt : 'a t -> E.t -> 'a -> Aprog.astmt -> 'a option;
+        (* [Some acc] claims the statement: the structural descent into
+           its children is skipped.  [None] descends. *)
+  }
+
+  let default_expr self env acc e =
+    match e with
+    | Cond.Const _ | Cond.Field _ | Cond.Var _ -> acc
+    | Cond.Add (a, b) | Cond.Sub (a, b) | Cond.Mul (a, b) | Cond.Concat (a, b)
+      ->
+        self.expr self env (self.expr self env acc a) b
+
+  let default_cond self env acc c =
+    match c with
+    | Cond.True -> acc
+    | Cond.Cmp (_, a, b) -> self.expr self env (self.expr self env acc a) b
+    | Cond.And (a, b) | Cond.Or (a, b) ->
+        self.cond self env (self.cond self env acc a) b
+    | Cond.Not a -> self.cond self env acc a
+    | Cond.Is_null e | Cond.Is_not_null e -> self.expr self env acc e
+
+  let default_step self env acc s = self.cond self env acc (Apattern.qual_of s)
+
+  let default_query self env acc q =
+    List.fold_left (fun acc s -> self.step self env acc s) acc q
+
+  let default =
+    { expr = default_expr;
+      cond = default_cond;
+      step = default_step;
+      query = default_query;
+      varname = (fun _ _ acc _ -> acc);
+      stmt = (fun _ _ _ _ -> None);
+    }
+
+  let rec stmt self env acc s =
+    match self.stmt self env acc s with
+    | Some acc -> acc
+    | None -> children self env acc s
+
+  and body self env acc stmts = List.fold_left (stmt self env) acc stmts
+
+  (* Structural descent; exposed so a [stmt] hook can both contribute
+     to the accumulator and keep descending. *)
+  and children self env acc s =
+    let exprs acc es = List.fold_left (self.expr self env) acc es in
+    let fields acc fes = List.fold_left (fun acc (_, e) -> self.expr self env acc e) acc fes in
+    match s with
+    | Aprog.For_each { query; body = b } ->
+        let acc = self.query self env acc query in
+        body self (E.bind env (Apattern.names_of query)) acc b
+    | Aprog.First { query; present; absent } ->
+        let acc = self.query self env acc query in
+        let acc = body self (E.bind env (Apattern.names_of query)) acc present in
+        body self env acc absent
+    | Aprog.Insert { values; connects; _ } ->
+        List.fold_left (fun acc (_, ks) -> exprs acc ks) (fields acc values) connects
+    | Aprog.Link { left_key; right_key; attrs; _ } ->
+        fields (exprs (exprs acc left_key) right_key) attrs
+    | Aprog.Unlink { left_key; right_key; _ } ->
+        exprs (exprs acc left_key) right_key
+    | Aprog.Update { query; assigns } ->
+        fields (self.query self env acc query) assigns
+    | Aprog.Delete { query; _ } -> self.query self env acc query
+    | Aprog.Display es -> exprs acc es
+    | Aprog.Accept x -> self.varname self env acc x
+    | Aprog.Write_file (_, es) -> exprs acc es
+    | Aprog.Move (e, x) ->
+        self.varname self env (self.expr self env acc e) x
+    | Aprog.If (c, a, b) ->
+        body self env (body self env (self.cond self env acc c) a) b
+    | Aprog.While (c, b) -> body self env (self.cond self env acc c) b
+
+  let query self env acc q = self.query self env acc q
+  let program self env acc (p : Aprog.t) = body self env acc p.Aprog.body
+end
+
+(* ------------------------------------------------------------------ *)
+(* Map                                                                 *)
+
+module Map (E : ENV) = struct
+  type t = {
+    expr : t -> E.t -> Cond.expr -> Cond.expr;
+    cond : t -> E.t -> Cond.t -> Cond.t;
+    step : t -> E.t -> Apattern.step -> Apattern.step;
+    query : t -> E.t -> Apattern.t -> Apattern.t;
+    varname : t -> E.t -> string -> string;
+    stmt : t -> E.t -> Aprog.astmt -> Aprog.astmt list option;
+        (* top-down; [Some stmts] re-enters the pipeline (must not
+           re-match its own output), [None] falls through to the
+           structural rewrite *)
+    stmt_out : t -> E.t -> Aprog.astmt -> Aprog.astmt list;
+        (* bottom-up, after children were rewritten *)
+    body_out : t -> E.t -> Aprog.astmt list -> Aprog.astmt list;
+        (* post-pass over each rewritten statement list *)
+  }
+
+  let default_expr self env e =
+    match e with
+    | Cond.Const _ | Cond.Field _ | Cond.Var _ -> e
+    | Cond.Add (a, b) -> Cond.Add (self.expr self env a, self.expr self env b)
+    | Cond.Sub (a, b) -> Cond.Sub (self.expr self env a, self.expr self env b)
+    | Cond.Mul (a, b) -> Cond.Mul (self.expr self env a, self.expr self env b)
+    | Cond.Concat (a, b) ->
+        Cond.Concat (self.expr self env a, self.expr self env b)
+
+  let default_cond self env c =
+    match c with
+    | Cond.True -> Cond.True
+    | Cond.Cmp (op, a, b) ->
+        Cond.Cmp (op, self.expr self env a, self.expr self env b)
+    | Cond.And (a, b) -> Cond.And (self.cond self env a, self.cond self env b)
+    | Cond.Or (a, b) -> Cond.Or (self.cond self env a, self.cond self env b)
+    | Cond.Not a -> Cond.Not (self.cond self env a)
+    | Cond.Is_null e -> Cond.Is_null (self.expr self env e)
+    | Cond.Is_not_null e -> Cond.Is_not_null (self.expr self env e)
+
+  let default =
+    { expr = default_expr;
+      cond = default_cond;
+      step = (fun self env s -> Apattern.map_qual (self.cond self env) s);
+      query = (fun self env q -> List.map (self.step self env) q);
+      varname = (fun _ _ x -> x);
+      stmt = (fun _ _ _ -> None);
+      stmt_out = (fun _ _ s -> [ s ]);
+      body_out = (fun _ _ b -> b);
+    }
+
+  let rec body self env stmts =
+    self.body_out self env (List.concat_map (stmt_full self env) stmts)
+
+  and stmt_full self env s =
+    match self.stmt self env s with
+    | Some stmts -> List.concat_map (stmt_full self env) stmts
+    | None -> self.stmt_out self env (structural self env s)
+
+  (* The environment is extended with the names the *source* query
+     binds (rewrites may rename them; scoping follows the input). *)
+  and structural self env = function
+    | Aprog.For_each { query; body = b } ->
+        let inner = E.bind env (Apattern.names_of query) in
+        Aprog.For_each { query = self.query self env query; body = body self inner b }
+    | Aprog.First { query; present; absent } ->
+        let inner = E.bind env (Apattern.names_of query) in
+        Aprog.First
+          { query = self.query self env query;
+            present = body self inner present;
+            absent = body self env absent;
+          }
+    | Aprog.Insert { entity; values; connects } ->
+        Aprog.Insert
+          { entity;
+            values = List.map (fun (f, e) -> (f, self.expr self env e)) values;
+            connects =
+              List.map
+                (fun (a, ks) -> (a, List.map (self.expr self env) ks))
+                connects;
+          }
+    | Aprog.Link { assoc; left_key; right_key; attrs } ->
+        Aprog.Link
+          { assoc;
+            left_key = List.map (self.expr self env) left_key;
+            right_key = List.map (self.expr self env) right_key;
+            attrs = List.map (fun (f, e) -> (f, self.expr self env e)) attrs;
+          }
+    | Aprog.Unlink { assoc; left_key; right_key } ->
+        Aprog.Unlink
+          { assoc;
+            left_key = List.map (self.expr self env) left_key;
+            right_key = List.map (self.expr self env) right_key;
+          }
+    | Aprog.Update { query; assigns } ->
+        Aprog.Update
+          { query = self.query self env query;
+            assigns = List.map (fun (f, e) -> (f, self.expr self env e)) assigns;
+          }
+    | Aprog.Delete { query; cascade } ->
+        Aprog.Delete { query = self.query self env query; cascade }
+    | Aprog.Display es -> Aprog.Display (List.map (self.expr self env) es)
+    | Aprog.Accept x -> Aprog.Accept (self.varname self env x)
+    | Aprog.Write_file (f, es) ->
+        Aprog.Write_file (f, List.map (self.expr self env) es)
+    | Aprog.Move (e, x) ->
+        Aprog.Move (self.expr self env e, self.varname self env x)
+    | Aprog.If (c, a, b) ->
+        Aprog.If (self.cond self env c, body self env a, body self env b)
+    | Aprog.While (c, b) -> Aprog.While (self.cond self env c, body self env b)
+
+  let program self env (p : Aprog.t) =
+    { p with Aprog.body = body self env p.Aprog.body }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Unit-environment conveniences                                       *)
+
+module F = Fold (Unit_env)
+
+let fold_queries f acc p =
+  F.program { F.default with F.query = (fun _ () acc q -> f acc q) } () acc p
+
+let iter_queries f p = fold_queries (fun () q -> f q) () p
+
+let fold_stmts f acc p =
+  (* pre-order: visit the statement, then descend *)
+  let folder =
+    { F.default with
+      F.stmt = (fun self () acc s -> Some (F.children self () (f acc s) s));
+    }
+  in
+  F.program folder () acc p
+
+let iter_stmts f p = fold_stmts (fun () s -> f s) () p

@@ -1,0 +1,101 @@
+(** Functorized traversal kit over the abstract IR.
+
+    One open-recursion engine for every pass over [Aprog.t] /
+    [Apattern.t] terms (the conversion-rule rewriter, the optimizer,
+    the advisor, demand collection, and the static analyzer all build
+    on it).  A pass is a record of hooks; each hook receives the whole
+    record ([self]) so overrides compose with the structural defaults.
+    Both engines are parameterized over an environment extended with
+    the names each FOR EACH / FIRST query binds, mirroring
+    [Aprog.check]'s scoping. *)
+
+open Ccv_common
+
+module type ENV = sig
+  type t
+
+  val bind : t -> string list -> t
+  (** Extend the environment with the names a query binds for the
+      statements scoped under it. *)
+end
+
+module Unit_env : ENV with type t = unit
+
+module Names : ENV with type t = string list
+(** Threads the in-scope bound names, innermost first. *)
+
+val map_expr : (string -> Cond.expr) -> Cond.expr -> Cond.expr
+(** Structural map with a hook applied at every [Var] leaf. *)
+
+val map_cond : (string -> Cond.expr) -> Cond.t -> Cond.t
+
+(** Bottom-up accumulation over a program. *)
+module Fold (E : ENV) : sig
+  type 'a t = {
+    expr : 'a t -> E.t -> 'a -> Cond.expr -> 'a;
+    cond : 'a t -> E.t -> 'a -> Cond.t -> 'a;
+    step : 'a t -> E.t -> 'a -> Apattern.step -> 'a;
+    query : 'a t -> E.t -> 'a -> Apattern.t -> 'a;
+    varname : 'a t -> E.t -> 'a -> string -> 'a;
+    stmt : 'a t -> E.t -> 'a -> Aprog.astmt -> 'a option;
+        (** [Some acc] claims the statement and skips the structural
+            descent into its children; [None] descends. *)
+  }
+
+  val default : 'a t
+  (** Pure structural recursion: [query] folds its steps, [step] folds
+      its qualification, [cond]/[expr] fold sub-terms, [varname] and
+      leaf expressions contribute nothing, [stmt] always descends. *)
+
+  val children : 'a t -> E.t -> 'a -> Aprog.astmt -> 'a
+  (** Structural descent into one statement's children — call from a
+      [stmt] hook to both contribute and keep descending. *)
+
+  val stmt : 'a t -> E.t -> 'a -> Aprog.astmt -> 'a
+  val body : 'a t -> E.t -> 'a -> Aprog.astmt list -> 'a
+  val query : 'a t -> E.t -> 'a -> Apattern.t -> 'a
+  val program : 'a t -> E.t -> 'a -> Aprog.t -> 'a
+end
+
+(** Program rewriting.  Subsumes the conversion-rule rewriter
+    (top-down [stmt] with pipeline re-entry) and the optimizer
+    (bottom-up [stmt_out] / [body_out]). *)
+module Map (E : ENV) : sig
+  type t = {
+    expr : t -> E.t -> Cond.expr -> Cond.expr;
+    cond : t -> E.t -> Cond.t -> Cond.t;
+    step : t -> E.t -> Apattern.step -> Apattern.step;
+    query : t -> E.t -> Apattern.t -> Apattern.t;
+    varname : t -> E.t -> string -> string;
+        (** applied to MOVE/ACCEPT targets *)
+    stmt : t -> E.t -> Aprog.astmt -> Aprog.astmt list option;
+        (** top-down custom rewrite; [None] falls through to the
+            structural rewrite, [Some stmts] re-enters the pipeline
+            (the hook must not re-match its own output) *)
+    stmt_out : t -> E.t -> Aprog.astmt -> Aprog.astmt list;
+        (** bottom-up, after the statement's children were rewritten *)
+    body_out : t -> E.t -> Aprog.astmt list -> Aprog.astmt list;
+        (** post-pass over each fully rewritten statement list *)
+  }
+
+  val default : t
+  (** The identity rewrite. *)
+
+  val structural : t -> E.t -> Aprog.astmt -> Aprog.astmt
+  val stmt_full : t -> E.t -> Aprog.astmt -> Aprog.astmt list
+  val body : t -> E.t -> Aprog.astmt list -> Aprog.astmt list
+  val program : t -> E.t -> Aprog.t -> Aprog.t
+end
+
+(** {1 Unit-environment conveniences} *)
+
+val fold_queries : ('a -> Apattern.t -> 'a) -> 'a -> Aprog.t -> 'a
+(** Fold over every access-path query in the program, in statement
+    order. *)
+
+val iter_queries : (Apattern.t -> unit) -> Aprog.t -> unit
+
+val fold_stmts : ('a -> Aprog.astmt -> 'a) -> 'a -> Aprog.t -> 'a
+(** Pre-order fold over every statement, including nested ones. *)
+
+val iter_stmts : (Aprog.astmt -> unit) -> Aprog.t -> unit

@@ -1,0 +1,115 @@
+(* Constraint-inference pass: integrity constraints embedded in
+   program text, surfaced as Info diagnostics (the paper's §5.1 point
+   that "constraints embedded in programs" are the hard part of
+   conversion — here we at least extract the ones the program's shape
+   implies):
+
+     FA001  key-lookup uniqueness — a FIRST over one entity whose
+            qualification pins every key field assumes at most one
+            match (key uniqueness).
+     FA002  guarded creation — the FIRST/absent-INSERT idiom enforces
+            uniqueness of the inserted entity at creation time.
+     FA003  connectivity — association navigation assumes source
+            records are connected through the association.
+     FA004  required connection — an INSERT that always connects
+            through an association treats membership as total. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+module F = Traverse.Fold (Traverse.Unit_env)
+
+let key_pinned schema ename qual =
+  match Semantic.find_entity schema ename with
+  | None -> false
+  | Some e ->
+      e.key <> []
+      && List.for_all
+           (fun k ->
+             List.exists
+               (fun c ->
+                 match c with
+                 | Cond.Cmp (Cond.Eq, Cond.Field f, (Cond.Const _ | Cond.Var _))
+                 | Cond.Cmp (Cond.Eq, (Cond.Const _ | Cond.Var _), Cond.Field f)
+                   ->
+                     Field.name_equal f k
+                 | _ -> false)
+               (Cond.split_conjuncts qual))
+           e.key
+
+let dedupe ds =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | (d : Diagnostic.t) :: rest ->
+        if
+          List.exists
+            (fun (d' : Diagnostic.t) ->
+              String.equal d.code d'.code && String.equal d.message d'.message)
+            seen
+        then go seen rest
+        else go (d :: seen) rest
+  in
+  go [] ds
+
+let infer schema p =
+  let folder =
+    { F.default with
+      F.step =
+        (fun self () acc s ->
+          let acc =
+            match s with
+            | Apattern.Assoc_via { assoc; source; _ } ->
+                Diagnostic.inferf ~code:"FA003" ~entity:assoc
+                  "navigation from %s through %s assumes the records are \
+                   connected (connectivity)"
+                  source assoc
+                :: acc
+            | _ -> acc
+          in
+          F.default.F.step self () acc s);
+      F.stmt =
+        (fun self () acc s ->
+          match s with
+          | Aprog.First
+              { query = [ Apattern.Self { target; qual } ]; present = _; absent }
+            ->
+              let acc =
+                if
+                  List.exists
+                    (function Aprog.Insert { entity; _ } -> Field.name_equal entity target | _ -> false)
+                    absent
+                then
+                  Diagnostic.inferf ~code:"FA002" ~entity:target
+                    "the FIRST/absent-INSERT idiom enforces uniqueness of %s \
+                     at creation time (guarded creation)"
+                    target
+                  :: acc
+                else acc
+              in
+              let acc =
+                if key_pinned schema target qual then
+                  Diagnostic.inferf ~code:"FA001" ~entity:target
+                    "FIRST over %s pins its full key: the program assumes key \
+                     uniqueness"
+                    target
+                  :: acc
+                else acc
+              in
+              Some (F.children self () acc s)
+          | Aprog.Insert { entity; connects; _ } when connects <> [] ->
+              Some
+                (F.children self ()
+                   (List.fold_left
+                      (fun acc (an, _) ->
+                        Diagnostic.inferf ~code:"FA004" ~entity:an
+                          "INSERT %s always connects through %s: the program \
+                           treats membership as required (total association)"
+                          entity an
+                        :: acc)
+                      acc connects)
+                   s)
+          | _ -> None);
+    }
+  in
+  dedupe (List.rev (F.program folder () [] p))

@@ -1,0 +1,11 @@
+(** Constraint-inference pass: integrity constraints the program's
+    shape implies, as Info diagnostics — FA001 key-lookup uniqueness,
+    FA002 guarded creation, FA003 connectivity assumed by association
+    navigation, FA004 required connection on INSERT. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+val infer : Semantic.t -> Aprog.t -> Diagnostic.t list
+(** Deduplicated, in program order. *)

@@ -1,0 +1,92 @@
+(* Lint passes over abstract programs, emitted as structured
+   diagnostics with stable codes:
+
+     LN001  dead abstract step (warning) — a trailing partner hop
+            binds values the program never reads; the optimizer's
+            [drop_redundant_hop] predicate decides, so the lint flags
+            exactly the hops the optimizer would remove.
+     LN002  common subpattern (info) — an access-path prefix of two or
+            more steps evaluated by several queries.
+     LN003  index-eligible conjunct not reaching an index (warning) —
+            an equality conjunct on a step whose compiled access path
+            is still a scan. *)
+
+open Ccv_common
+open Ccv_abstract
+open Ccv_convert
+
+let dead_steps schema p =
+  let used = Rules.qualified_vars p in
+  List.rev
+    (Traverse.fold_queries
+       (fun acc q ->
+         match Optimizer.drop_redundant_hop schema q ~used with
+         | Some _ ->
+             Diagnostic.warnf ~code:"LN001" ~path:(Depth.render_path q)
+               ~entity:(Apattern.result_of q)
+               "trailing access to %s binds values the program never reads \
+                (dead abstract step)"
+               (Apattern.result_of q)
+             :: acc
+         | None -> acc)
+       [] p)
+
+let eq_prefix a b = Apattern.equal a b
+
+let common_subpatterns p =
+  let queries = List.rev (Traverse.fold_queries (fun acc q -> q :: acc) [] p) in
+  let prefixes =
+    List.filter_map
+      (function a :: b :: _ -> Some [ a; b ] | _ -> None)
+      queries
+  in
+  let rec distinct acc = function
+    | [] -> List.rev acc
+    | pfx :: rest ->
+        if List.exists (eq_prefix pfx) acc then distinct acc rest
+        else distinct (pfx :: acc) rest
+  in
+  List.filter_map
+    (fun pfx ->
+      let n = List.length (List.filter (eq_prefix pfx) prefixes) in
+      if n >= 2 then
+        Some
+          (Diagnostic.inferf ~code:"LN002" ~path:(Depth.render_path pfx)
+             "access-path prefix %s is evaluated %d times — a shared binding \
+              could evaluate it once"
+             (Depth.render_path pfx) n)
+      else None)
+    (distinct [] prefixes)
+
+let eq_conjunct_field c =
+  match c with
+  | Cond.Cmp (Cond.Eq, Cond.Field f, (Cond.Const _ | Cond.Var _))
+  | Cond.Cmp (Cond.Eq, (Cond.Const _ | Cond.Var _), Cond.Field f) -> Some f
+  | _ -> None
+
+let unindexed_eq schema p =
+  List.rev
+    (Traverse.fold_queries
+       (fun acc q ->
+         let plan = Ccv_plan.Plan.of_query schema q in
+         Ccv_plan.Plan.fold_steps
+           (fun acc (st : Ccv_plan.Plan.step) ->
+             match st.access with
+             | Ccv_plan.Plan.Indexed_probe _ | Ccv_plan.Plan.Link_traverse _
+             | Ccv_plan.Plan.Key_lookup -> acc
+             | Ccv_plan.Plan.Extent_scan | Ccv_plan.Plan.Assoc_scan _ -> (
+                 match List.find_map eq_conjunct_field st.conjuncts with
+                 | Some f ->
+                     let target = Symbol.name st.target in
+                     Diagnostic.warnf ~code:"LN003" ~entity:target ~field:f
+                       ~path:(Depth.render_path q)
+                       "equality on %s.%s does not reach an index — the \
+                        compiled access path is still a scan"
+                       target f
+                     :: acc
+                 | None -> acc))
+           acc plan)
+       [] p)
+
+let all schema p =
+  dead_steps schema p @ common_subpatterns p @ unindexed_eq schema p

@@ -1,0 +1,21 @@
+(** Lint passes: dead abstract steps (LN001, warning), common
+    subpatterns (LN002, info), index-eligible equality conjuncts not
+    reaching an index (LN003, warning). *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+val dead_steps : Semantic.t -> Aprog.t -> Diagnostic.t list
+(** Flags exactly the trailing hops [Optimizer.drop_redundant_hop]
+    would remove. *)
+
+val common_subpatterns : Aprog.t -> Diagnostic.t list
+(** Access-path prefixes (two or more steps) evaluated by at least two
+    queries. *)
+
+val unindexed_eq : Semantic.t -> Aprog.t -> Diagnostic.t list
+(** Equality conjuncts on steps whose compiled plan access is still a
+    scan. *)
+
+val all : Semantic.t -> Aprog.t -> Diagnostic.t list

@@ -1,0 +1,54 @@
+(* Refusal prediction: classify a (program, schema-change chain) pair
+   Convertible / Refused without executing the rewrites.
+
+   The per-op verdict is [Rules.preflight_op], which shares its
+   predicate functions with the rewrite engine itself, so the two
+   agree by construction (the differential test in test_analysis
+   enforces this over generated corpora: zero false-accepts, zero
+   false-refusals).
+
+   For a multi-op chain, later ops must be judged against the program
+   and schema as earlier ops leave them, so once an op's preflight
+   passes we advance through the engine — the chain verdict is still
+   delivered without ever *running* a rewrite that would refuse. *)
+
+open Ccv_common
+open Ccv_transform
+open Ccv_convert
+
+type verdict =
+  | Convertible
+  | Refused of { at : int; op : Schema_change.op; diagnostic : Diagnostic.t }
+
+let predict_op = Rules.preflight_op
+
+let classify schema ops p =
+  let rec go schema p i = function
+    | [] -> Convertible
+    | op :: rest -> (
+        match Rules.preflight_op schema op p with
+        | Some d -> Refused { at = i; op; diagnostic = d }
+        | None -> (
+            match Rules.convert_d schema op p with
+            | Error d ->
+                (* unreachable when the shared predicates are complete;
+                   kept so a predicate gap can never produce a
+                   false-accept *)
+                Refused { at = i; op; diagnostic = d }
+            | Ok (p', _) -> (
+                match Schema_change.apply schema op with
+                | Error e ->
+                    Refused
+                      { at = i;
+                        op;
+                        diagnostic = Diagnostic.errf ~code:"CV016" "%s" e;
+                      }
+                | Ok schema' -> go schema' p' (i + 1) rest)))
+  in
+  go schema p 0 ops
+
+let pp_verdict ppf = function
+  | Convertible -> Fmt.string ppf "convertible"
+  | Refused { at; op; diagnostic } ->
+      Fmt.pf ppf "refused at op %d (%a): %a" at Schema_change.pp_op op
+        Diagnostic.pp diagnostic

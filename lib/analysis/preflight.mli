@@ -1,0 +1,25 @@
+(** Refusal prediction without rewriting: classifies a
+    (program, schema-change chain) pair using the predicate functions
+    the conversion engine itself raises from. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_transform
+
+type verdict =
+  | Convertible
+  | Refused of { at : int; op : Schema_change.op; diagnostic : Diagnostic.t }
+      (** [at] is the 0-based index of the refusing op in the chain. *)
+
+val predict_op :
+  Semantic.t -> Schema_change.op -> Aprog.t -> Diagnostic.t option
+(** = [Rules.preflight_op]: the single-op static verdict.  [None] iff
+    [Rules.convert_d] succeeds on the pair. *)
+
+val classify : Semantic.t -> Schema_change.op list -> Aprog.t -> verdict
+(** Chain verdict.  Ops whose preflight passes advance the program and
+    schema through the engine so later ops are judged in context; a
+    rewrite that would refuse is never executed. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

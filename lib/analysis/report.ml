@@ -1,0 +1,68 @@
+(* One program's full static-analysis report: refusal-prediction
+   verdict for an optional schema-change chain, navigation depth vs.
+   the demand cap, lints, and inferred facts — renderable as text or
+   JSON (hand-rolled; the repo carries no JSON dependency). *)
+
+open Ccv_common
+open Ccv_abstract
+open Ccv_transform
+
+type t = {
+  program : string;
+  verdict : Preflight.verdict;
+  max_hops : int;
+  depth : Diagnostic.t option;  (** AD001 when over the cap *)
+  lints : Diagnostic.t list;
+  facts : Diagnostic.t list;
+}
+
+let analyze ?(cap = Depth.default_cap) ?(ops = []) schema (p : Aprog.t) =
+  { program = p.Aprog.name;
+    verdict = Preflight.classify schema ops p;
+    max_hops = Depth.max_hops p;
+    depth = (match Depth.check ~cap p with Ok () -> None | Error d -> Some d);
+    lints = Lint.all schema p;
+    facts = Facts.infer schema p;
+  }
+
+let diagnostics r =
+  (match r.verdict with
+  | Preflight.Convertible -> []
+  | Preflight.Refused { diagnostic; _ } -> [ diagnostic ])
+  @ (match r.depth with None -> [] | Some d -> [ d ])
+  @ r.lints @ r.facts
+
+let errors r =
+  List.filter
+    (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error)
+    (diagnostics r)
+
+let refused r =
+  match (r.verdict, r.depth) with
+  | Preflight.Refused _, _ | _, Some _ -> true
+  | Preflight.Convertible, None -> false
+
+let to_json r =
+  let verdict_json =
+    match r.verdict with
+    | Preflight.Convertible -> "\"convertible\""
+    | Preflight.Refused { at; op; diagnostic } ->
+        Printf.sprintf "{\"refused_at\":%d,\"op\":\"%s\",\"diagnostic\":%s}" at
+          (Diagnostic.json_escape (Fmt.str "%a" Schema_change.pp_op op))
+          (Diagnostic.to_json diagnostic)
+  in
+  let list ds = String.concat "," (List.map Diagnostic.to_json ds) in
+  Printf.sprintf
+    "{\"program\":\"%s\",\"verdict\":%s,\"max_hops\":%d,\"depth\":%s,\"lints\":[%s],\"facts\":[%s]}"
+    (Diagnostic.json_escape r.program)
+    verdict_json r.max_hops
+    (match r.depth with None -> "null" | Some d -> Diagnostic.to_json d)
+    (list r.lints) (list r.facts)
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>program %s: %a (max hops %d)" r.program Preflight.pp_verdict
+    r.verdict r.max_hops;
+  List.iter
+    (fun d -> Fmt.pf ppf "@,  %a" Diagnostic.pp d)
+    ((match r.depth with None -> [] | Some d -> [ d ]) @ r.lints @ r.facts);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,31 @@
+(** Assembled static-analysis report for one program. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+
+type t = {
+  program : string;
+  verdict : Preflight.verdict;
+  max_hops : int;
+  depth : Diagnostic.t option;
+  lints : Diagnostic.t list;
+  facts : Diagnostic.t list;
+}
+
+val analyze : ?cap:int -> ?ops:Ccv_transform.Schema_change.op list ->
+  Semantic.t -> Aprog.t -> t
+(** Runs every pass: refusal prediction over [ops] (default none),
+    depth vs. [cap] (default {!Depth.default_cap}), lints, facts. *)
+
+val diagnostics : t -> Diagnostic.t list
+(** All diagnostics, refusal first. *)
+
+val errors : t -> Diagnostic.t list
+(** Only the [Error]-severity ones. *)
+
+val refused : t -> bool
+(** A conversion refusal was predicted or the depth cap is exceeded. *)
+
+val to_json : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(* Structured diagnostics for the conversion pipeline and the static
+   analyzer.  Every refusal, lint, and inferred fact carries a stable
+   code so tooling can dedupe, gate, and trend them; the [message] is
+   the human-readable rendering the old [Refuse of string] payloads
+   carried, so existing string-typed callers lose nothing.
+
+   Code ranges (documented in DESIGN.md §13):
+     CV0xx  conversion refusals raised by lib/convert/rules.ml
+     AD0xx  admission-time refusals (navigation depth vs. demand cap)
+     LN0xx  lints (non-fatal unless escalated)
+     FA0xx  inferred program facts (constraint-inference pass)        *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  entity : string option;  (* offending entity or association, if any *)
+  field : string option;   (* offending field, if any *)
+  path : string option;    (* rendered access path, if any *)
+  message : string;
+}
+
+let v ~code ~severity ?entity ?field ?path message =
+  { code; severity; entity; field; path; message }
+
+let errf ~code ?entity ?field ?path fmt =
+  Fmt.kstr (fun message -> v ~code ~severity:Error ?entity ?field ?path message) fmt
+
+let warnf ~code ?entity ?field ?path fmt =
+  Fmt.kstr (fun message -> v ~code ~severity:Warning ?entity ?field ?path message) fmt
+
+let inferf ~code ?entity ?field ?path fmt =
+  Fmt.kstr (fun message -> v ~code ~severity:Info ?entity ?field ?path message) fmt
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Keep [to_string] equal to the raw message: pre-existing callers
+   (and tests) match on words of the old refusal strings. *)
+let to_string d = d.message
+
+let pp ppf d =
+  Fmt.pf ppf "[%s] %s: %s" d.code (severity_label d.severity) d.message
+
+let to_verbose_string d = Fmt.str "%a" pp d
+
+(* Hand-rolled JSON (the repo deliberately carries no JSON dependency;
+   see bench/main.ml for the same idiom). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  let opt k = function
+    | None -> ""
+    | Some v -> Printf.sprintf ",\"%s\":\"%s\"" k (json_escape v)
+  in
+  Printf.sprintf "{\"code\":\"%s\",\"severity\":\"%s\"%s%s%s,\"message\":\"%s\"}"
+    (json_escape d.code)
+    (severity_label d.severity)
+    (opt "entity" d.entity) (opt "field" d.field) (opt "path" d.path)
+    (json_escape d.message)
+
+(* Dedupe a diagnostic stream by stable code, preserving first-seen
+   order; used by E2 refusal reporting and the analyze CLI. *)
+let count_codes ds =
+  List.fold_left
+    (fun acc d ->
+      match List.assoc_opt d.code acc with
+      | Some _ ->
+          List.map (fun (c, n) -> if c = d.code then (c, n + 1) else (c, n)) acc
+      | None -> acc @ [ (d.code, 1) ])
+    [] ds

@@ -1,0 +1,54 @@
+(** Structured diagnostics with stable codes.
+
+    Replaces the free-form [Refuse of string] payloads: every refusal,
+    lint, and inferred fact carries a stable code ([CV0xx] conversion
+    refusals, [AD0xx] admission refusals, [LN0xx] lints, [FA0xx]
+    inferred facts), an optional offending entity/field/access-path,
+    and the human-readable message old callers relied on. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  entity : string option;
+  field : string option;
+  path : string option;
+  message : string;
+}
+
+val v :
+  code:string -> severity:severity ->
+  ?entity:string -> ?field:string -> ?path:string -> string -> t
+
+val errf :
+  code:string -> ?entity:string -> ?field:string -> ?path:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** [errf] builds an [Error]-severity diagnostic with a formatted message. *)
+
+val warnf :
+  code:string -> ?entity:string -> ?field:string -> ?path:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val inferf :
+  code:string -> ?entity:string -> ?field:string -> ?path:string ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_label : severity -> string
+
+val to_string : t -> string
+(** The bare human message — identical to the historical refusal
+    string, so callers that match on message words keep working. *)
+
+val to_verbose_string : t -> string
+(** ["[CODE] severity: message"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One JSON object; no external JSON dependency. *)
+
+val json_escape : string -> string
+
+val count_codes : t list -> (string * int) list
+(** Occurrences per stable code, first-seen order. *)

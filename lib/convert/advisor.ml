@@ -122,20 +122,21 @@ let overshoot_suggestions _schema p =
       | _ -> [])
     (Aprog.queries p)
 
+module F = Traverse.Fold (Traverse.Unit_env)
+
 let review schema (p : Aprog.t) =
-  let rec walk = function
-    | Aprog.For_each { query; body } ->
-        through_suggestions schema query @ List.concat_map walk body
-    | Aprog.First { query; present; absent } ->
-        first_suggestion schema query
-        @ through_suggestions schema query
-        @ List.concat_map walk present
-        @ List.concat_map walk absent
-    | Aprog.Update { query; _ } | Aprog.Delete { query; _ } ->
-        through_suggestions schema query
-    | Aprog.If (_, a, b) -> List.concat_map walk a @ List.concat_map walk b
-    | Aprog.While (_, body) -> List.concat_map walk body
-    | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ | Aprog.Display _
-    | Aprog.Accept _ | Aprog.Write_file _ | Aprog.Move _ -> []
+  (* Statement-order fold on the traversal kit: every query contributes
+     its THROUGH suggestions, a FIRST additionally contributes its
+     multiple-match suspicion before its query's. *)
+  let folder =
+    { F.default with
+      F.query = (fun _ () acc q -> acc @ through_suggestions schema q);
+      F.stmt =
+        (fun self () acc s ->
+          match s with
+          | Aprog.First { query; _ } ->
+              Some (F.children self () (acc @ first_suggestion schema query) s)
+          | _ -> None);
+    }
   in
-  List.concat_map walk p.Aprog.body @ overshoot_suggestions schema p
+  F.program folder () [] p @ overshoot_suggestions schema p

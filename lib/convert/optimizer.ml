@@ -146,71 +146,82 @@ let hoist_eq_conjuncts schema log query =
           step)
     query
 
-let rec opt_body schema log body =
-  let body = List.concat_map (opt_stmt schema log) body in
-  (* dead move elimination *)
-  let rec dme = function
-    | Aprog.Move (_, x) :: (Aprog.Move (_, y) :: _ as rest)
-      when String.equal x y ->
-        log := Fmt.str "dead MOVE to %s removed" x :: !log;
-        dme rest
-    | s :: rest -> s :: dme rest
-    | [] -> []
-  in
-  dme body
+(* One optimization sweep, expressed on the traversal kit's Map
+   engine: the top-down [stmt] hook prunes empty IFs before descending,
+   [stmt_out] applies the per-statement rewrites bottom-up (children
+   are already optimized when it fires, as the old recursion did), and
+   [body_out] runs dead-move elimination over each statement list. *)
+module M = Traverse.Map (Traverse.Unit_env)
 
-and opt_stmt schema log (s : Aprog.astmt) : Aprog.astmt list =
-  match s with
-  | Aprog.For_each { query; body } -> (
-      let body = opt_body schema log body in
-      (* qualification pushdown from a sole guarding IF *)
-      let query, body =
-        match body with
-        | [ Aprog.If (c, inner, []) ] when is_pure_cond c -> (
-            match fold_guard query c with
-            | Some (query', residual) ->
-                log :=
-                  Fmt.str "guard folded into access path (%a)" Cond.pp c
-                  :: !log;
-                ( query',
-                  if Cond.equal residual Cond.True then inner
-                  else [ Aprog.If (residual, inner, []) ] )
-            | None -> (query, body))
-        | _ -> (query, body)
-      in
-      let query = hoist_eq_conjuncts schema log query in
-      let used = vars_read body in
-      match drop_redundant_hop schema query ~used with
-      | Some query' ->
-          log := "redundant partner navigation removed" :: !log;
-          [ Aprog.For_each { query = query'; body } ]
-      | None -> [ Aprog.For_each { query; body } ])
-  | Aprog.First { query; present; absent } ->
-      [ Aprog.First
-          { query = hoist_eq_conjuncts schema log query;
-            present = opt_body schema log present;
-            absent = opt_body schema log absent;
-          };
-      ]
-  | Aprog.If (c, [], []) when is_pure_cond c ->
-      log := "empty IF removed" :: !log;
-      []
-  | Aprog.If (c, a, b) ->
-      [ Aprog.If (c, opt_body schema log a, opt_body schema log b) ]
-  | Aprog.While (c, body) -> [ Aprog.While (c, opt_body schema log body) ]
-  | Aprog.Update { query; assigns } ->
-      [ Aprog.Update { query = hoist_eq_conjuncts schema log query; assigns } ]
-  | Aprog.Delete { query; cascade } ->
-      [ Aprog.Delete { query = hoist_eq_conjuncts schema log query; cascade } ]
-  | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ | Aprog.Display _
-  | Aprog.Accept _ | Aprog.Write_file _ | Aprog.Move _ -> [ s ]
+let opt_mapper schema log =
+  { M.default with
+    M.stmt =
+      (fun _ () s ->
+        match s with
+        | Aprog.If (c, [], []) when is_pure_cond c ->
+            log := "empty IF removed" :: !log;
+            Some []
+        | _ -> None);
+    M.stmt_out =
+      (fun _ () s ->
+        match s with
+        | Aprog.For_each { query; body } -> (
+            (* qualification pushdown from a sole guarding IF *)
+            let query, body =
+              match body with
+              | [ Aprog.If (c, inner, []) ] when is_pure_cond c -> (
+                  match fold_guard query c with
+                  | Some (query', residual) ->
+                      log :=
+                        Fmt.str "guard folded into access path (%a)" Cond.pp c
+                        :: !log;
+                      ( query',
+                        if Cond.equal residual Cond.True then inner
+                        else [ Aprog.If (residual, inner, []) ] )
+                  | None -> (query, body))
+              | _ -> (query, body)
+            in
+            let query = hoist_eq_conjuncts schema log query in
+            let used = vars_read body in
+            match drop_redundant_hop schema query ~used with
+            | Some query' ->
+                log := "redundant partner navigation removed" :: !log;
+                [ Aprog.For_each { query = query'; body } ]
+            | None -> [ Aprog.For_each { query; body } ])
+        | Aprog.First { query; present; absent } ->
+            [ Aprog.First
+                { query = hoist_eq_conjuncts schema log query; present; absent }
+            ]
+        | Aprog.Update { query; assigns } ->
+            [ Aprog.Update
+                { query = hoist_eq_conjuncts schema log query; assigns };
+            ]
+        | Aprog.Delete { query; cascade } ->
+            [ Aprog.Delete
+                { query = hoist_eq_conjuncts schema log query; cascade };
+            ]
+        | s -> [ s ]);
+    M.body_out =
+      (fun _ () body ->
+        (* dead move elimination *)
+        let rec dme = function
+          | Aprog.Move (_, x) :: (Aprog.Move (_, y) :: _ as rest)
+            when String.equal x y ->
+              log := Fmt.str "dead MOVE to %s removed" x :: !log;
+              dme rest
+          | s :: rest -> s :: dme rest
+          | [] -> []
+        in
+        dme body);
+  }
 
 let optimize schema (p : Aprog.t) =
   let log = ref [] in
+  let m = opt_mapper schema log in
   let rec fix body n =
     if n = 0 then body
     else
-      let body' = opt_body schema log body in
+      let body' = M.body m () body in
       if
         Aprog.equal { p with Aprog.body = body } { p with Aprog.body = body' }
       then body

@@ -21,3 +21,14 @@ open Ccv_abstract
 open Ccv_model
 
 val optimize : Semantic.t -> Aprog.t -> Aprog.t * string list
+
+val drop_redundant_hop :
+  Semantic.t -> Apattern.t -> used:string list ->
+  Apattern.t option
+(** A trailing 1:N total-association partner hop whose bindings nobody
+    in [used] reads can be removed; [Some query'] is the query without
+    it.  Exposed for the analyzer's dead-step lint. *)
+
+val vars_read : Aprog.astmt list -> string list
+(** Variables read anywhere in a statement list (including query
+    qualifications). *)

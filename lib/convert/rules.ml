@@ -3,126 +3,55 @@ open Ccv_model
 open Ccv_abstract
 open Ccv_transform
 
-exception Refuse of string
-
-let refuse fmt = Fmt.kstr (fun s -> raise (Refuse s)) fmt
+(* Refusals carry a structured diagnostic (stable CV0xx code, offending
+   entity/field/path, human message).  [convert] still renders the
+   message for its string-typed callers. *)
+exception Refuse of Diagnostic.t
 
 (* ------------------------------------------------------------------ *)
-(* Generic traversals                                                  *)
+(* Traversals — all built on the Traverse kit                          *)
 
-let rec map_expr f = function
-  | Cond.Const v -> Cond.Const v
-  | Cond.Field x -> Cond.Field x
-  | Cond.Var x -> f x
-  | Cond.Add (a, b) -> Cond.Add (map_expr f a, map_expr f b)
-  | Cond.Sub (a, b) -> Cond.Sub (map_expr f a, map_expr f b)
-  | Cond.Mul (a, b) -> Cond.Mul (map_expr f a, map_expr f b)
-  | Cond.Concat (a, b) -> Cond.Concat (map_expr f a, map_expr f b)
+let map_expr = Traverse.map_expr
+let map_cond = Traverse.map_cond
 
-let rec map_cond f = function
-  | Cond.True -> Cond.True
-  | Cond.Cmp (op, a, b) -> Cond.Cmp (op, map_expr f a, map_expr f b)
-  | Cond.And (a, b) -> Cond.And (map_cond f a, map_cond f b)
-  | Cond.Or (a, b) -> Cond.Or (map_cond f a, map_cond f b)
-  | Cond.Not a -> Cond.Not (map_cond f a)
-  | Cond.Is_null e -> Cond.Is_null (map_expr f e)
-  | Cond.Is_not_null e -> Cond.Is_not_null (map_expr f e)
+module M = Traverse.Map (Traverse.Unit_env)
+module F = Traverse.Fold (Traverse.Unit_env)
 
-type rewriter = {
-  rw_query : Apattern.t -> Apattern.t;
-  rw_expr : Cond.expr -> Cond.expr;
-  rw_cond : Cond.t -> Cond.t;
-  rw_varname : string -> string;  (** applied to MOVE/ACCEPT targets *)
-  rw_stmt : rewriter -> Aprog.astmt -> Aprog.astmt list option;
-      (** custom statement rewrite; [None] falls through to the
-          structural rewrite, [Some stmts] re-enters the pipeline (the
-          rewriter must not re-match its own output) *)
-}
-
-let rec rw_body r body = List.concat_map (rw_stmt_full r) body
-
-and rw_stmt_full r s =
-  match r.rw_stmt r s with
-  | None -> [ rw_structural r s ]
-  | Some stmts -> List.concat_map (rw_stmt_full r) stmts
-
-and rw_structural r = function
-  | Aprog.For_each { query; body } ->
-      Aprog.For_each { query = r.rw_query query; body = rw_body r body }
-  | Aprog.First { query; present; absent } ->
-      Aprog.First
-        { query = r.rw_query query;
-          present = rw_body r present;
-          absent = rw_body r absent;
-        }
-  | Aprog.Insert { entity; values; connects } ->
-      Aprog.Insert
-        { entity;
-          values = List.map (fun (f, e) -> (f, r.rw_expr e)) values;
-          connects =
-            List.map (fun (a, ks) -> (a, List.map r.rw_expr ks)) connects;
-        }
-  | Aprog.Link { assoc; left_key; right_key; attrs } ->
-      Aprog.Link
-        { assoc;
-          left_key = List.map r.rw_expr left_key;
-          right_key = List.map r.rw_expr right_key;
-          attrs = List.map (fun (f, e) -> (f, r.rw_expr e)) attrs;
-        }
-  | Aprog.Unlink { assoc; left_key; right_key } ->
-      Aprog.Unlink
-        { assoc;
-          left_key = List.map r.rw_expr left_key;
-          right_key = List.map r.rw_expr right_key;
-        }
-  | Aprog.Update { query; assigns } ->
-      Aprog.Update
-        { query = r.rw_query query;
-          assigns = List.map (fun (f, e) -> (f, r.rw_expr e)) assigns;
-        }
-  | Aprog.Delete { query; cascade } ->
-      Aprog.Delete { query = r.rw_query query; cascade }
-  | Aprog.Display es -> Aprog.Display (List.map r.rw_expr es)
-  | Aprog.Accept x -> Aprog.Accept (r.rw_varname x)
-  | Aprog.Write_file (f, es) -> Aprog.Write_file (f, List.map r.rw_expr es)
-  | Aprog.Move (e, x) -> Aprog.Move (r.rw_expr e, r.rw_varname x)
-  | Aprog.If (c, a, b) -> Aprog.If (r.rw_cond c, rw_body r a, rw_body r b)
-  | Aprog.While (c, body) -> Aprog.While (r.rw_cond c, rw_body r body)
-
-let identity_rewriter =
-  { rw_query = Fun.id;
-    rw_expr = Fun.id;
-    rw_cond = Fun.id;
-    rw_varname = Fun.id;
-    rw_stmt = (fun _ _ -> None);
+(* A conversion rewrite: per-node hooks over the kit's Map engine.  The
+   [stmt] hook is top-down and its output re-enters the pipeline (the
+   hook must not re-match its own output). *)
+let mapper ?(query = Fun.id) ?(expr = Fun.id) ?(cond = Fun.id)
+    ?(varname = Fun.id) ?(stmt = fun _ -> None) () =
+  { M.default with
+    M.query = (fun _ () q -> query q);
+    M.expr = (fun _ () e -> expr e);
+    M.cond = (fun _ () c -> cond c);
+    M.varname = (fun _ () x -> varname x);
+    M.stmt = (fun _ () s -> stmt s);
   }
 
-let apply_rewriter r (p : Aprog.t) = { p with Aprog.body = rw_body r p.body }
+let apply m (p : Aprog.t) = M.program m () p
 
 let rename_vars f p =
   let rw_var x = Cond.Var (f x) in
-  apply_rewriter
-    { identity_rewriter with
-      rw_expr = map_expr rw_var;
-      rw_cond = map_cond rw_var;
-      rw_varname = f;
-      rw_query = List.map (Apattern.map_qual (map_cond rw_var));
-    }
+  apply
+    (mapper ~expr:(map_expr rw_var) ~cond:(map_cond rw_var) ~varname:f
+       ~query:(List.map (Apattern.map_qual (map_cond rw_var)))
+       ())
     p
 
 let qualified_vars p =
-  let acc = ref [] in
-  let note x = if String.contains x '.' && not (List.mem x !acc) then acc := x :: !acc in
-  let rw_var x = note x; Cond.Var x in
-  ignore
-    (apply_rewriter
-       { identity_rewriter with
-         rw_expr = map_expr rw_var;
-         rw_cond = map_cond rw_var;
-         rw_query = List.map (Apattern.map_qual (map_cond rw_var));
-       }
-       p);
-  List.rev !acc
+  let folder =
+    { F.default with
+      F.expr =
+        (fun self () acc e ->
+          match e with
+          | Cond.Var x when String.contains x '.' && not (List.mem x acc) ->
+              x :: acc
+          | _ -> F.default.F.expr self () acc e);
+    }
+  in
+  List.rev (F.program folder () [] p)
 
 (* Rename the "NAME." prefix of qualified variables. *)
 let rename_prefix ~from_ ~to_ =
@@ -169,11 +98,69 @@ type interpose_info = {
   member : Semantic.entity;
 }
 
+let mk_interpose_info schema ~through ~new_entity ~group_by ~left_assoc
+    ~right_assoc =
+  let a = Semantic.find_assoc_exn schema through in
+  { through = Field.canon through;
+    n = Field.canon new_entity;
+    group_by = List.map Field.canon group_by;
+    la = Field.canon left_assoc;
+    ra = Field.canon right_assoc;
+    owner = Semantic.find_entity_exn schema a.left;
+    member = Semantic.find_entity_exn schema a.right;
+  }
+
 let in_group info f = List.exists (Field.name_equal f) info.group_by
 
-(* Split a qualification into (conjuncts over grouped fields, rest);
-   mixed conjuncts refuse (cannot place them on one side). *)
+(* The refusal predicates below are shared verbatim between the rewrite
+   (which raises) and the preflight analyzer (which reports), so the
+   two verdicts agree by construction. *)
+
+(* A conjunct mixing grouped and ungrouped fields cannot be placed on
+   either side of the split. *)
+let split_group_check info qual =
+  List.find_map
+    (fun c ->
+      let fs = Cond.fields c in
+      if List.exists (in_group info) fs && not (List.for_all (in_group info) fs)
+      then
+        Some
+          (Diagnostic.errf ~code:"CV001" ~entity:info.member.ename
+             "qualification mixes grouped and ungrouped fields: %a" Cond.pp c)
+      else None)
+    (Cond.split_conjuncts qual)
+
+(* The association qualification (over the endpoint keys) must split
+   into owner-key conjuncts and member-key conjuncts. *)
+let assoc_split_partition info qual =
+  List.partition
+    (fun c ->
+      List.for_all
+        (fun f -> List.exists (Field.name_equal f) info.owner.key)
+        (Cond.fields c))
+    (Cond.split_conjuncts qual)
+
+let assoc_split_check info qual =
+  let _q1_n, q1_member = assoc_split_partition info qual in
+  List.find_map
+    (fun c ->
+      if
+        not
+          (List.for_all
+             (fun f -> List.exists (Field.name_equal f) info.member.key)
+             (Cond.fields c))
+      then
+        Some
+          (Diagnostic.errf ~code:"CV002" ~entity:info.through
+             "association qualification %a cannot be split" Cond.pp c)
+      else None)
+    q1_member
+
+let check_ok = function Some d -> raise (Refuse d) | None -> ()
+
+(* Split a qualification into (conjuncts over grouped fields, rest). *)
 let split_group info qual =
+  check_ok (split_group_check info qual);
   let grouped, rest =
     List.partition
       (fun c ->
@@ -181,12 +168,6 @@ let split_group info qual =
         fs <> [] && List.for_all (in_group info) fs)
       (Cond.split_conjuncts qual)
   in
-  List.iter
-    (fun c ->
-      let fs = Cond.fields c in
-      if List.exists (in_group info) fs && not (List.for_all (in_group info) fs)
-      then refuse "qualification mixes grouped and ungrouped fields: %a" Cond.pp c)
-    rest;
   (Cond.conj grouped, Cond.conj rest)
 
 (* Rewrite one access sequence under INTERPOSE. *)
@@ -200,28 +181,8 @@ let rec interpose_query info steps =
     ->
       let dir_down = Field.name_equal source info.owner.ename in
       let qg, qrest = split_group info q2 in
-      (* The association qualification (over the endpoint keys) splits
-         the same way: owner-key conjuncts live on N (which embeds the
-         owner key), member-key conjuncts join the member side. *)
-      let q1_n, q1_member =
-        List.partition
-          (fun c ->
-            List.for_all
-              (fun f -> List.exists (Field.name_equal f) info.owner.key)
-              (Cond.fields c))
-          (Cond.split_conjuncts qual)
-      in
-      List.iter
-        (fun c ->
-          if
-            not
-              (List.for_all
-                 (fun f ->
-                   List.exists (Field.name_equal f) info.member.key)
-                 (Cond.fields c))
-          then
-            refuse "association qualification %a cannot be split" Cond.pp c)
-        q1_member;
+      check_ok (assoc_split_check info qual);
+      let q1_n, q1_member = assoc_split_partition info qual in
       let qg = Cond.cand qg (Cond.conj q1_n) in
       let qrest = Cond.cand qrest (Cond.conj q1_member) in
       if dir_down then
@@ -275,6 +236,83 @@ let rec interpose_query info steps =
         :: interpose_query info rest
   | step :: rest -> step :: interpose_query info rest
 
+(* Preflight: first refusal [interpose_query] would raise on this
+   access sequence, without building the rewritten sequence. *)
+let rec interpose_query_check info steps =
+  match steps with
+  | [] -> None
+  | Apattern.Assoc_via { assoc; qual; _ }
+    :: Apattern.Via_assoc { assoc = a2; qual = q2; _ }
+    :: rest
+    when Field.name_equal assoc info.through && Field.name_equal a2 info.through
+    -> (
+      match split_group_check info q2 with
+      | Some d -> Some d
+      | None -> (
+          match assoc_split_check info qual with
+          | Some d -> Some d
+          | None -> interpose_query_check info rest))
+  | Apattern.Assoc_via { assoc; qual; _ } :: rest
+    when Field.name_equal assoc info.through -> (
+      match split_group_check info qual with
+      | Some d -> Some d
+      | None -> interpose_query_check info rest)
+  | Apattern.Self { target; qual } :: rest
+    when Field.name_equal target info.member.ename -> (
+      match split_group_check info qual with
+      | Some d -> Some d
+      | None -> interpose_query_check info rest)
+  | _ :: rest -> interpose_query_check info rest
+
+(* Statement-level refusals, shared by rewrite and preflight. *)
+let interpose_stmt_check info s =
+  match s with
+  | Aprog.Insert { entity; values; connects }
+    when Field.name_equal entity info.member.ename
+         && List.exists
+              (fun (an, _) -> Field.name_equal an info.through)
+              connects ->
+      let grouped_values, _ = List.partition (fun (f, _) -> in_group info f) values in
+      if List.length grouped_values <> List.length info.group_by then
+        Some
+          (Diagnostic.errf ~code:"CV003" ~entity
+             "INSERT %s does not set every grouped field" entity)
+      else if
+        not
+          (List.exists (fun (an, _) -> Field.name_equal an info.through) connects)
+      then
+        Some
+          (Diagnostic.errf ~code:"CV004" ~entity
+             "INSERT %s is not connected through %s" entity info.through)
+      else
+        List.find_map
+          (fun g ->
+            if
+              not
+                (List.exists (fun (f, _) -> Field.name_equal f g) grouped_values)
+            then
+              Some
+                (Diagnostic.errf ~code:"CV005" ~entity ~field:g
+                   "INSERT %s misses grouped field %s" entity g)
+            else None)
+          info.group_by
+  | Aprog.Update { query; assigns }
+    when Field.name_equal (Apattern.result_of query) info.member.ename
+         && List.exists (fun (f, _) -> in_group info f) assigns ->
+      (* §4.3: "under certain restructurings, updates may be
+         ambiguous ... similar to the well-known view update
+         problem." *)
+      Some
+        (Diagnostic.errf ~code:"CV006" ~entity:info.member.ename
+           "UPDATE of grouped field(s) of %s is ambiguous after the split"
+           info.member.ename)
+  | (Aprog.Link { assoc; _ } | Aprog.Unlink { assoc; _ })
+    when Field.name_equal assoc info.through ->
+      Some
+        (Diagnostic.errf ~code:"CV007" ~entity:info.through
+           "LINK/UNLINK through the replaced association %s" info.through)
+  | _ -> None
+
 (* Does the program reference any grouped field variable of the member? *)
 let uses_grouped_vars info p =
   List.exists
@@ -310,16 +348,9 @@ let interpose_rule schema ~through ~new_entity ~group_by ~left_assoc
     ~right_assoc (p : Aprog.t) =
   let issues = ref [] in
   let issue fmt = Fmt.kstr (fun s -> issues := s :: !issues) fmt in
-  let a = Semantic.find_assoc_exn schema through in
   let info =
-    { through = Field.canon through;
-      n = Field.canon new_entity;
-      group_by = List.map Field.canon group_by;
-      la = Field.canon left_assoc;
-      ra = Field.canon right_assoc;
-      owner = Semantic.find_entity_exn schema a.left;
-      member = Semantic.find_entity_exn schema a.right;
-    }
+    mk_interpose_info schema ~through ~new_entity ~group_by ~left_assoc
+      ~right_assoc
   in
   let needs_n = uses_grouped_vars info p in
   let rw_query q =
@@ -340,7 +371,8 @@ let interpose_rule schema ~through ~new_entity ~group_by ~left_assoc
     else x
   in
   let rw_var x = Cond.Var (rename_assoc_vars (rename_grouped x)) in
-  let rw_stmt _r s =
+  let rw_stmt s =
+    check_ok (interpose_stmt_check info s);
     match s with
     | Aprog.Insert { entity; values; connects }
       when Field.name_equal entity info.member.ename
@@ -350,17 +382,13 @@ let interpose_rule schema ~through ~new_entity ~group_by ~left_assoc
         let grouped_values, kept_values =
           List.partition (fun (f, _) -> in_group info f) values
         in
-        if List.length grouped_values <> List.length info.group_by then
-          refuse "INSERT %s does not set every grouped field" entity;
         let okey_exprs =
           match
             List.find_opt (fun (an, _) -> Field.name_equal an info.through)
               connects
           with
           | Some (_, ks) -> ks
-          | None ->
-              refuse "INSERT %s is not connected through %s" entity
-                info.through
+          | None -> assert false (* interpose_stmt_check passed *)
         in
         let group_exprs =
           List.map
@@ -370,7 +398,7 @@ let interpose_rule schema ~through ~new_entity ~group_by ~left_assoc
                   grouped_values
               with
               | Some (_, e) -> e
-              | None -> refuse "INSERT %s misses grouped field %s" entity g)
+              | None -> assert false (* interpose_stmt_check passed *))
             info.group_by
         in
         let nkey = okey_exprs @ group_exprs in
@@ -415,27 +443,13 @@ let interpose_rule schema ~through ~new_entity ~group_by ~left_assoc
                 connects = connects';
               };
           ]
-    | Aprog.Update { query; assigns }
-      when Field.name_equal (Apattern.result_of query) info.member.ename
-           && List.exists (fun (f, _) -> in_group info f) assigns ->
-        (* §4.3: "under certain restructurings, updates may be
-           ambiguous ... similar to the well-known view update
-           problem." *)
-        refuse "UPDATE of grouped field(s) of %s is ambiguous after the split"
-          info.member.ename
-    | Aprog.Link { assoc; _ } | Aprog.Unlink { assoc; _ }
-      when Field.name_equal assoc info.through ->
-        refuse "LINK/UNLINK through the replaced association %s" info.through
     | _ -> None
   in
   let p' =
-    apply_rewriter
-      { rw_query;
-        rw_expr = map_expr rw_var;
-        rw_cond = map_cond rw_var;
-        rw_varname = (fun x -> rename_assoc_vars (rename_grouped x));
-        rw_stmt;
-      }
+    apply
+      (mapper ~query:rw_query ~expr:(map_expr rw_var) ~cond:(map_cond rw_var)
+         ~varname:(fun x -> rename_assoc_vars (rename_grouped x))
+         ~stmt:rw_stmt ())
       p
   in
   (p', List.rev !issues)
@@ -443,8 +457,15 @@ let interpose_rule schema ~through ~new_entity ~group_by ~left_assoc
 (* ------------------------------------------------------------------ *)
 (* The COLLAPSE rule (inverse)                                         *)
 
-let collapse_rule schema ~left_assoc ~right_assoc ~removed_entity
-    ~restored_assoc (p : Aprog.t) =
+type collapse_info = {
+  c_left : string;   (** left (owner->N) association name *)
+  c_right : string;  (** right (N->member) association name *)
+  c_n : Semantic.entity;
+  c_member : Semantic.entity;
+  c_own_fields : string list;
+}
+
+let mk_collapse_info schema ~left_assoc ~right_assoc ~removed_entity =
   let la = Semantic.find_assoc_exn schema left_assoc in
   let ra = Semantic.find_assoc_exn schema right_assoc in
   let n = Semantic.find_entity_exn schema removed_entity in
@@ -457,6 +478,101 @@ let collapse_rule schema ~left_assoc ~right_assoc ~removed_entity
         else Some f.name)
       n.fields
   in
+  { c_left = left_assoc;
+    c_right = right_assoc;
+    c_n = n;
+    c_member = member;
+    c_own_fields = own_fields;
+  }
+
+(* Shared refusal predicates for the collapsed quad and for loose
+   steps. *)
+let collapse_quad_check ci ~q1 ~q2 ~qn =
+  if not (Cond.equal q1 Cond.True && Cond.equal q2 Cond.True) then
+    Some
+      (Diagnostic.errf ~code:"CV008" ~entity:ci.c_n.ename
+         "qualified association steps cannot be collapsed")
+  else
+    List.find_map
+      (fun c ->
+        let fs = Cond.fields c in
+        if
+          List.for_all
+            (fun f -> List.exists (Field.name_equal f) ci.c_own_fields)
+            fs
+        then None
+        else if fs = [] then None
+        else
+          Some
+            (Diagnostic.errf ~code:"CV009" ~entity:ci.c_n.ename
+               "condition on %s keys cannot move to %s" ci.c_n.ename
+               ci.c_member.ename))
+      (Cond.split_conjuncts qn)
+
+let collapse_step_check ci step =
+  let name = Apattern.target_of step in
+  if Field.name_equal name ci.c_n.ename then
+    Some
+      (Diagnostic.errf ~code:"CV010" ~entity:ci.c_n.ename
+         ~path:(Fmt.str "%a" Apattern.pp_step step)
+         "access to removed entity %s cannot be collapsed" ci.c_n.ename)
+  else if
+    Field.name_equal name ci.c_left || Field.name_equal name ci.c_right
+  then
+    Some
+      (Diagnostic.errf ~code:"CV011" ~entity:name
+         ~path:(Fmt.str "%a" Apattern.pp_step step)
+         "loose access through a collapsed association")
+  else None
+
+(* Preflight mirror of the collapse query rewrite. *)
+let rec collapse_query_check ci = function
+  | [] -> None
+  | Apattern.Assoc_via { assoc = a1; qual = q1; _ }
+    :: Apattern.Via_assoc { target = t1; assoc = a1'; qual = qn }
+    :: Apattern.Assoc_via { assoc = a2; source = s2; qual = q2 }
+    :: Apattern.Via_assoc { assoc = a2'; _ }
+    :: rest
+    when Field.name_equal a1 ci.c_left
+         && Field.name_equal a1' ci.c_left
+         && Field.name_equal a2 ci.c_right
+         && Field.name_equal a2' ci.c_right
+         && Field.name_equal t1 ci.c_n.ename
+         && Field.name_equal s2 ci.c_n.ename -> (
+      match collapse_quad_check ci ~q1 ~q2 ~qn with
+      | Some d -> Some d
+      | None -> collapse_query_check ci rest)
+  | step :: rest -> (
+      match collapse_step_check ci step with
+      | Some d -> Some d
+      | None -> collapse_query_check ci rest)
+
+(* Preflight mirror of the collapse statement rewrite: [`Skip] marks
+   subtrees the rewrite drops wholesale (their contents must not be
+   scanned — the engine never sees them either). *)
+let collapse_stmt_scan ci s =
+  match s with
+  | Aprog.Insert { entity; _ } when Field.name_equal entity ci.c_n.ename ->
+      `Skip
+  | Aprog.First { query = [ Apattern.Self { target; _ } ]; present; absent }
+    when Field.name_equal target ci.c_n.ename && present = [] ->
+      if
+        List.for_all
+          (function
+            | Aprog.Insert { entity; _ } -> Field.name_equal entity ci.c_n.ename
+            | _ -> false)
+          absent
+      then `Skip
+      else
+        `Refused
+          (Diagnostic.errf ~code:"CV012" ~entity:ci.c_n.ename
+             "FIRST over removed entity %s" ci.c_n.ename)
+  | _ -> `Continue
+
+let collapse_rule schema ~left_assoc ~right_assoc ~removed_entity
+    ~restored_assoc (p : Aprog.t) =
+  let ci = mk_collapse_info schema ~left_assoc ~right_assoc ~removed_entity in
+  let n = ci.c_n in
   let rec rw_query = function
     | [] -> []
     | Apattern.Assoc_via { assoc = a1; source; qual = q1 }
@@ -470,20 +586,9 @@ let collapse_rule schema ~left_assoc ~right_assoc ~removed_entity
            && Field.name_equal a2' right_assoc
            && Field.name_equal t1 n.ename
            && Field.name_equal s2 n.ename ->
-        if not (Cond.equal q1 Cond.True && Cond.equal q2 Cond.True) then
-          refuse "qualified association steps cannot be collapsed";
+        check_ok (collapse_quad_check ci ~q1 ~q2 ~qn);
         (* N's own-field conditions become member conditions. *)
-        let qn' =
-          Cond.conj
-            (List.map
-               (fun c ->
-                 let fs = Cond.fields c in
-                 if List.for_all (fun f -> List.exists (Field.name_equal f) own_fields) fs
-                 then c
-                 else if fs = [] then c
-                 else refuse "condition on %s keys cannot move to %s" n.ename member.ename)
-               (Cond.split_conjuncts qn))
-        in
+        let qn' = Cond.conj (Cond.split_conjuncts qn) in
         Apattern.Assoc_via
           { assoc = Field.canon restored_assoc; source; qual = Cond.True }
         :: Apattern.Via_assoc
@@ -493,13 +598,8 @@ let collapse_rule schema ~left_assoc ~right_assoc ~removed_entity
              }
         :: rw_query rest
     | step :: rest ->
-        let name = Apattern.target_of step in
-        if Field.name_equal name n.ename then
-          refuse "access to removed entity %s cannot be collapsed" n.ename
-        else if
-          Field.name_equal name left_assoc || Field.name_equal name right_assoc
-        then refuse "loose access through a collapsed association"
-        else step :: rw_query rest
+        check_ok (collapse_step_check ci step);
+        step :: rw_query rest
   in
   let rename x =
     (* N.g -> MEMBER.g for N's own fields. *)
@@ -507,47 +607,149 @@ let collapse_rule schema ~left_assoc ~right_assoc ~removed_entity
     let l = String.length pfx in
     if String.length x > l && Field.name_equal (String.sub x 0 l) pfx then begin
       let f = String.sub x l (String.length x - l) in
-      if List.exists (Field.name_equal f) own_fields then
-        Field.canon member.ename ^ "." ^ f
+      if List.exists (Field.name_equal f) ci.c_own_fields then
+        Field.canon ci.c_member.ename ^ "." ^ f
       else x
     end
     else x
   in
   let rw_var x = Cond.Var (rename x) in
-  let rw_stmt _r s =
-    match s with
-    | Aprog.Insert { entity; _ } when Field.name_equal entity n.ename ->
+  let rw_stmt s =
+    match collapse_stmt_scan ci s with
+    | `Skip ->
         (* Creation of the grouping entity disappears: its content is
-           now implied by member rows. *)
+           now implied by member rows (the guarded-creation idiom
+           becomes a no-op). *)
         Some []
-    | Aprog.First { query = [ Apattern.Self { target; _ } ]; present; absent }
-      when Field.name_equal target n.ename && present = [] ->
-        (* The guarded-creation idiom becomes a no-op. *)
-        if
-          List.for_all
-            (function
-              | Aprog.Insert { entity; _ } -> Field.name_equal entity n.ename
-              | _ -> false)
-            absent
-        then Some []
-        else refuse "FIRST over removed entity %s" n.ename
-    | _ -> None
+    | `Refused d -> raise (Refuse d)
+    | `Continue -> None
   in
   let p' =
-    apply_rewriter
-      { rw_query;
-        rw_expr = map_expr rw_var;
-        rw_cond = map_cond rw_var;
-        rw_varname = rename;
-        rw_stmt;
-      }
+    apply
+      (mapper ~query:rw_query ~expr:(map_expr rw_var) ~cond:(map_cond rw_var)
+         ~varname:rename ~stmt:rw_stmt ())
       p
   in
   (p', [])
 
 (* ------------------------------------------------------------------ *)
+(* Drop-field refusals (shared by convert and preflight)               *)
 
-let convert schema op p =
+let drop_field_check ~entity ~field p =
+  let qv = Field.canon entity ^ "." ^ Field.canon field in
+  if List.exists (Field.name_equal qv) (qualified_vars p) then
+    Some
+      (Diagnostic.errf ~code:"CV014" ~entity ~field
+         "program reads %s, whose values the restructuring does not preserve"
+         qv)
+  else
+    let touches_qual =
+      List.exists
+        (fun q ->
+          List.exists
+            (fun step ->
+              Field.name_equal (Apattern.target_of step) entity
+              && List.exists (Field.name_equal field)
+                   (Cond.fields (Apattern.qual_of step)))
+            q)
+        (Aprog.queries p)
+    in
+    if touches_qual then
+      Some
+        (Diagnostic.errf ~code:"CV015" ~entity ~field
+           "program qualifies on dropped field %s.%s" entity field)
+    else None
+
+(* Widen-cardinality INSERT refusal (shared by rewrite and preflight). *)
+let widen_insert_check ~assoc (re : Semantic.entity) s =
+  match s with
+  | Aprog.Insert i
+    when List.exists (fun (an, _) -> Field.name_equal an assoc) i.connects ->
+      List.find_map
+        (fun k ->
+          if
+            not (List.exists (fun (f, _) -> Field.name_equal f k) i.values)
+          then
+            Some
+              (Diagnostic.errf ~code:"CV013" ~entity:i.entity ~field:k
+                 "INSERT %s lacks key %s" i.entity k)
+          else None)
+        re.key
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Preflight: classify a (program, op) pair without rewriting          *)
+
+(* Walk the program in rewrite order, reporting the first refusal the
+   conversion engine would raise.  [on_stmt] may claim subtrees the
+   rewrite drops so their contents are not scanned. *)
+let scan ~on_query ~on_stmt p =
+  let folder =
+    { F.default with
+      F.query =
+        (fun _ () acc q ->
+          match acc with Some _ -> acc | None -> on_query q);
+      F.stmt =
+        (fun self () acc s ->
+          match acc with
+          | Some _ -> Some acc
+          | None -> (
+              match on_stmt s with
+              | `Refused d -> Some (Some d)
+              | `Skip -> Some acc
+              | `Continue ->
+                  Some (F.children self () acc s)));
+    }
+  in
+  F.program folder () None p
+
+let keep_query _ = None
+let keep_stmt _ = `Continue
+
+let preflight_op schema op p =
+  match op with
+  | Schema_change.Rename_entity _ | Schema_change.Rename_assoc _
+  | Schema_change.Rename_field _ | Schema_change.Add_field _
+  | Schema_change.Add_constraint _ | Schema_change.Drop_constraint _
+  | Schema_change.Restrict_extension _ ->
+      (* these rules never refuse *)
+      None
+  | Schema_change.Drop_field { entity; field } ->
+      drop_field_check ~entity ~field p
+  | Schema_change.Widen_cardinality { assoc } ->
+      let a = Semantic.find_assoc_exn schema assoc in
+      let re = Semantic.find_entity_exn schema a.right in
+      scan ~on_query:keep_query
+        ~on_stmt:(fun s ->
+          match widen_insert_check ~assoc re s with
+          | Some d -> `Refused d
+          | None -> keep_stmt s)
+        p
+  | Schema_change.Interpose
+      { through; new_entity; group_by; left_assoc; right_assoc } ->
+      let info =
+        mk_interpose_info schema ~through ~new_entity ~group_by ~left_assoc
+          ~right_assoc
+      in
+      scan
+        ~on_query:(interpose_query_check info)
+        ~on_stmt:(fun s ->
+          match interpose_stmt_check info s with
+          | Some d -> `Refused d
+          | None -> keep_stmt s)
+        p
+  | Schema_change.Collapse
+      { left_assoc; right_assoc; removed_entity; restored_assoc = _ } ->
+      let ci =
+        mk_collapse_info schema ~left_assoc ~right_assoc ~removed_entity
+      in
+      scan ~on_query:(collapse_query_check ci)
+        ~on_stmt:(collapse_stmt_scan ci)
+        p
+
+(* ------------------------------------------------------------------ *)
+
+let convert_d schema op p =
   try
     match op with
     | Schema_change.Rename_entity { from_; to_ } ->
@@ -558,12 +760,12 @@ let convert schema op p =
         in
         let rn = rename_prefix ~from_ ~to_ in
         let p = rename_vars rn p in
-        let rw_stmt _r = function
+        let rw_stmt = function
           | Aprog.Insert i when Field.name_equal i.entity from_ ->
               Some [ Aprog.Insert { i with entity = Field.canon to_ } ]
           | _ -> None
         in
-        Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+        Ok (apply (mapper ~stmt:rw_stmt ()) p, [])
     | Schema_change.Rename_assoc { from_; to_ } ->
         let p =
           Aprog.map_queries
@@ -573,7 +775,7 @@ let convert schema op p =
         let rn = rename_prefix ~from_ ~to_ in
         let p = rename_vars rn p in
         let rename_in an = if Field.name_equal an from_ then Field.canon to_ else an in
-        let rw_stmt _r = function
+        let rw_stmt = function
           | Aprog.Link l when Field.name_equal l.assoc from_ ->
               Some [ Aprog.Link { l with assoc = Field.canon to_ } ]
           | Aprog.Unlink u when Field.name_equal u.assoc from_ ->
@@ -591,7 +793,7 @@ let convert schema op p =
                 ]
           | _ -> None
         in
-        Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+        Ok (apply (mapper ~stmt:rw_stmt ()) p, [])
     | Schema_change.Rename_field { entity; from_; to_ } ->
         let rename_field_cond target qual =
           if Field.name_equal target entity then
@@ -625,7 +827,7 @@ let convert schema op p =
         let qv' = Field.canon entity ^ "." ^ Field.canon to_ in
         let p = Aprog.map_queries rw_query p in
         let p = rename_vars (rename_qvar ~from_:qv ~to_:qv') p in
-        let rw_stmt _r = function
+        let rw_stmt = function
           | Aprog.Insert i
             when Field.name_equal i.entity entity
                  && List.exists (fun (f, _) -> Field.name_equal f from_)
@@ -658,33 +860,13 @@ let convert schema op p =
                 ]
           | _ -> None
         in
-        Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+        Ok (apply (mapper ~stmt:rw_stmt ()) p, [])
     | Schema_change.Add_field _ -> Ok (p, [])
-    | Schema_change.Drop_field { entity; field } ->
-        let qv = Field.canon entity ^ "." ^ Field.canon field in
-        if List.exists (Field.name_equal qv) (qualified_vars p) then
-          Error
-            (Fmt.str
-               "program reads %s, whose values the restructuring does not \
-                preserve"
-               qv)
-        else
-          let touches_qual =
-            List.exists
-              (fun q ->
-                List.exists
-                  (fun step ->
-                    Field.name_equal (Apattern.target_of step) entity
-                    && List.exists (Field.name_equal field)
-                         (Cond.fields (Apattern.qual_of step)))
-                  q)
-              (Aprog.queries p)
-          in
-          if touches_qual then
-            Error
-              (Fmt.str "program qualifies on dropped field %s.%s" entity field)
-          else
-            let rw_stmt _r = function
+    | Schema_change.Drop_field { entity; field } -> (
+        match drop_field_check ~entity ~field p with
+        | Some d -> Error d
+        | None ->
+            let rw_stmt = function
               | Aprog.Insert i
                 when Field.name_equal i.entity entity
                      && List.exists (fun (f, _) -> Field.name_equal f field)
@@ -700,7 +882,7 @@ let convert schema op p =
                     ]
               | _ -> None
             in
-            Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+            Ok (apply (mapper ~stmt:rw_stmt ()) p, []))
     | Schema_change.Add_constraint c ->
         Ok
           ( p,
@@ -716,7 +898,9 @@ let convert schema op p =
            association is realized as a link record. *)
         let a = Semantic.find_assoc_exn schema assoc in
         let re = Semantic.find_entity_exn schema a.right in
-        let rw_stmt _r = function
+        let rw_stmt s =
+          check_ok (widen_insert_check ~assoc re s);
+          match s with
           | Aprog.Insert i
             when List.exists (fun (an, _) -> Field.name_equal an assoc) i.connects
             ->
@@ -732,7 +916,7 @@ let convert schema op p =
                       List.find_opt (fun (f, _) -> Field.name_equal f k) i.values
                     with
                     | Some (_, e) -> e
-                    | None -> refuse "INSERT %s lacks key %s" i.entity k)
+                    | None -> assert false (* widen_insert_check passed *))
                   re.key
               in
               Some
@@ -748,7 +932,7 @@ let convert schema op p =
                       this)
           | _ -> None
         in
-        Ok (apply_rewriter { identity_rewriter with rw_stmt } p, [])
+        Ok (apply (mapper ~stmt:rw_stmt ()) p, [])
     | Schema_change.Interpose
         { through; new_entity; group_by; left_assoc; right_assoc } ->
         Ok
@@ -780,18 +964,28 @@ let convert schema op p =
                   entity Cond.pp qual;
               ]
             else [] )
-  with Refuse reason -> Error reason
+  with Refuse d -> Error d
 
-let convert_all schema ops p =
+let convert schema op p =
+  Result.map_error Diagnostic.to_string (convert_d schema op p)
+
+(* Keep the rendered message identical to Schema_change.apply's error
+   string; the stable code is the only addition. *)
+let schema_change_error _op e = Diagnostic.errf ~code:"CV016" "%s" e
+
+let convert_all_d schema ops p =
   let rec go schema ops p issues =
     match ops with
     | [] -> Ok (p, issues)
     | op :: rest -> (
-        match convert schema op p with
-        | Error e -> Error e
+        match convert_d schema op p with
+        | Error d -> Error d
         | Ok (p', new_issues) -> (
             match Schema_change.apply schema op with
-            | Error e -> Error e
+            | Error e -> Error (schema_change_error op e)
             | Ok schema' -> go schema' rest p' (issues @ new_issues)))
   in
   go schema ops p []
+
+let convert_all schema ops p =
+  Result.map_error Diagnostic.to_string (convert_all_d schema ops p)

@@ -27,6 +27,28 @@ val convert_all :
   Semantic.t -> Schema_change.op list -> Aprog.t ->
   (Aprog.t * string list, string) result
 
+val convert_d :
+  Semantic.t -> Schema_change.op -> Aprog.t ->
+  (Aprog.t * string list, Ccv_common.Diagnostic.t) result
+(** Like {!convert} but refusals keep their structured diagnostic
+    (stable CV0xx code, offending entity/field/path).  [convert] is
+    this with the message rendered. *)
+
+val convert_all_d :
+  Semantic.t -> Schema_change.op list -> Aprog.t ->
+  (Aprog.t * string list, Ccv_common.Diagnostic.t) result
+(** Structured variant of {!convert_all}; a schema-level failure of
+    [Schema_change.apply] surfaces as code [CV016]. *)
+
+val preflight_op :
+  Semantic.t -> Schema_change.op -> Aprog.t -> Ccv_common.Diagnostic.t option
+(** Static refusal prediction: the first refusal {!convert_d} would
+    report for this (program, op) pair, computed without executing the
+    rewrite.  Shares its predicate functions with the rewrite itself,
+    so [preflight_op schema op p = None] iff
+    [convert_d schema op p = Ok _] (the differential property the test
+    suite enforces over generated corpora). *)
+
 (** Rename every host-variable reference through [f] (exposed for the
     optimizer and tests). *)
 val rename_vars : (string -> string) -> Aprog.t -> Aprog.t

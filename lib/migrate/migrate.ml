@@ -410,13 +410,9 @@ let const_exprs exprs =
     Some (List.map Option.get vals)
   else None
 
-let rec demands_of_stmt schema = function
-  | Aprog.For_each { query; body } ->
-      demands_of_query schema query @ List.concat_map (demands_of_stmt schema) body
-  | Aprog.First { query; present; absent } ->
-      demands_of_query schema query
-      @ List.concat_map (demands_of_stmt schema) present
-      @ List.concat_map (demands_of_stmt schema) absent
+(* Demands of the mutation statements (queries are handled by the
+   traversal kit's query hook below). *)
+let demands_of_mutation schema = function
   | Aprog.Insert { entity; values; connects } ->
       let own =
         match Semantic.find_entity schema entity with
@@ -447,8 +443,8 @@ let rec demands_of_stmt schema = function
                 | None -> [ All a.left ]))
           connects
   | Aprog.Link { assoc; left_key; right_key; _ }
-  | Aprog.Unlink { assoc; left_key; right_key } ->
-      (match Semantic.find_assoc schema assoc with
+  | Aprog.Unlink { assoc; left_key; right_key } -> (
+      match Semantic.find_assoc schema assoc with
       | None -> []
       | Some a ->
           let side ename exprs =
@@ -457,16 +453,23 @@ let rec demands_of_stmt schema = function
             | None -> [ All ename ]
           in
           side a.left left_key @ side a.right right_key)
-  | Aprog.Update { query; _ } | Aprog.Delete { query; _ } ->
-      demands_of_query schema query
-  | Aprog.If (_, yes, no) ->
-      List.concat_map (demands_of_stmt schema) yes
-      @ List.concat_map (demands_of_stmt schema) no
-  | Aprog.While (_, body) -> List.concat_map (demands_of_stmt schema) body
-  | Aprog.Display _ | Aprog.Accept _ | Aprog.Write_file _ | Aprog.Move _ -> []
+  | _ -> []
+
+module FT = Traverse.Fold (Traverse.Unit_env)
 
 let demands_of_aprog schema (p : Aprog.t) =
-  List.concat_map (demands_of_stmt schema) p.Aprog.body
+  let folder =
+    { FT.default with
+      FT.query = (fun _ () acc q -> acc @ demands_of_query schema q);
+      FT.stmt =
+        (fun _ () acc s ->
+          match s with
+          | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ ->
+              Some (acc @ demands_of_mutation schema s)
+          | _ -> None);
+    }
+  in
+  FT.program folder () [] p
 
 let slots_of_demand t = function
   | Key (ename, key) -> (
@@ -480,6 +483,22 @@ let slots_of_demand t = function
           if (not t.done_.(i)) && Field.name_equal en ename then acc := i :: !acc)
         t.slots;
       List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Admission.  The closure translated per drained record covers two
+   association hops (the record, its partners, their partners), so a
+   request navigating deeper could observe a partially-translated
+   neighbourhood.  The analyzer's depth pass decides statically;
+   refusing at admission names the offending access path instead of
+   surfacing a generic serving-time error mid-request. *)
+
+let hop_cap = Ccv_analysis.Depth.default_cap
+
+let admit aprog = Ccv_analysis.Depth.check ~cap:hop_cap aprog
+
+let note_refusal t (d : Diagnostic.t) =
+  let line = Fmt.str "admission refused [%s]: %s" d.code d.message in
+  if not (List.mem line t.warnings) then t.warnings <- line :: t.warnings
 
 (* [prepare_request t aprog] — fault in everything the request may
    touch; returns the number of records translated on demand. *)

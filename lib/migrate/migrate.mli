@@ -57,7 +57,8 @@ type summary = {
   backfilled : int;  (** slots drained by the backfill driver *)
   mig_warnings : string list;
       (** records/links the merge could not place (e.g. deleted by a
-          concurrent dual-applied cascade) *)
+          concurrent dual-applied cascade), plus admission refusals
+          recorded by {!note_refusal} *)
   mig_failed : string option;  (** why migration stopped, if it did *)
 }
 
@@ -82,6 +83,22 @@ val summary : t -> summary
 
 val engine_db : t -> Engines.database
 val sync_engine_db : t -> Engines.database -> unit
+
+(** Navigation-depth cap the per-record translation closure covers
+    (= {!Ccv_analysis.Depth.default_cap}): the drained record, its link
+    partners, and their partners. *)
+val hop_cap : int
+
+(** Static admission check: requests whose access paths navigate more
+    than {!hop_cap} association hops cannot be faulted in consistently
+    and must be refused {e before} the dual-run, with the offending
+    path named in the diagnostic. *)
+val admit : Aprog.t -> (unit, Ccv_common.Diagnostic.t) result
+
+(** Record an admission refusal in the shard's migration warnings
+    (deduplicated), so the pool report shows which access paths were
+    turned away. *)
+val note_refusal : t -> Ccv_common.Diagnostic.t -> unit
 
 (** Fault in the request's touch set; returns the number of records
     translated on demand.  No-op once failed. *)

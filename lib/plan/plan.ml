@@ -97,12 +97,25 @@ let dedup_pairs pairs =
   in
   go [] pairs
 
+module F = Traverse.Fold (Traverse.Unit_env)
+
 let of_query schema q =
-  { steps = List.map (of_step schema) q;
-    indexes = dedup_pairs (List.concat_map step_indexes q);
-  }
+  (* one kit pass resolves each step and collects its wanted indexes *)
+  let steps, indexes =
+    F.query
+      { F.default with
+        F.step =
+          (fun _ () (steps, idx) p ->
+            (of_step schema p :: steps, List.rev_append (step_indexes p) idx));
+      }
+      () ([], []) q
+  in
+  { steps = List.rev steps; indexes = dedup_pairs (List.rev indexes) }
 
 let required_indexes t = t.indexes
+
+let fold_steps f acc t = List.fold_left f acc t.steps
+let iter_steps f t = List.iter f t.steps
 
 let pp_operand ppf = function
   | Oconst v -> Value.pp ppf v

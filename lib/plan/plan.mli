@@ -47,6 +47,12 @@ val of_query : Semantic.t -> Apattern.t -> t
     would build per evaluation, hoisted to compile time. *)
 val required_indexes : t -> (string * string) list
 
+val fold_steps : ('a -> step -> 'a) -> 'a -> t -> 'a
+(** Fold over the plan's resolved steps in access order (the Plan-side
+    companion of the Traverse kit; used by the analyzer's lints). *)
+
+val iter_steps : (step -> unit) -> t -> unit
+
 val pp_access : Format.formatter -> access -> unit
 val pp_step : Format.formatter -> step -> unit
 val pp : Format.formatter -> t -> unit

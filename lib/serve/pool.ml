@@ -806,7 +806,7 @@ let render r =
            m.Migrate.total_slots m.Migrate.faulted m.Migrate.backfilled
            (match m.Migrate.mig_warnings with
            | [] -> ""
-           | ws -> Printf.sprintf ", %d merge warning(s)" (List.length ws))
+           | ws -> Printf.sprintf ", %d warning(s)" (List.length ws))
            (match m.Migrate.mig_failed with
            | None -> ""
            | Some msg -> Printf.sprintf "; FAILED: %s" msg)));

@@ -140,24 +140,34 @@ let resolve t ~epoch aprog =
 let exec t ~phase ~tolerate_reordering ~canary_seed ?(migration_ok = true)
     ~live ~clock ~epoch ~seq request =
   let t0 = clock () in
-  (* Live migration: fault in everything the request may touch before
-     it runs, so the dual-run never sees a partially-translated
-     extent.  The fault-in time lands in this request's latency — the
-     cost the migration bench measures.  Once migration has failed
-     (here, on another row, or globally via [migration_ok = false]
-     from the coordinator's plan), the target replica is no longer
-     maintained and the shard serves source-only. *)
-  let mig_active =
+  (* Live migration: admit, then fault in everything the request may
+     touch before it runs, so the dual-run never sees a
+     partially-translated extent.  Admission is the analyzer's static
+     depth check — a request navigating past the demand-closure hop
+     cap is refused up front (source-only, counted as refused, the
+     offending access path recorded in the migration warnings) instead
+     of failing mid-migration.  The fault-in time lands in this
+     request's latency — the cost the migration bench measures.  Once
+     migration has failed (here, on another row, or globally via
+     [migration_ok = false] from the coordinator's plan), the target
+     replica is no longer maintained and the shard serves
+     source-only. *)
+  let admission =
     match t.migration with
-    | None -> true
+    | None -> `Active
     | Some m ->
-        if (not migration_ok) || Migrate.failed m <> None then false
+        if (not migration_ok) || Migrate.failed m <> None then `Inactive
         else begin
-          Migrate.sync_engine_db m t.target_db;
-          (try ignore (Migrate.prepare_request m request.Request.aprog)
-           with e -> Migrate.mark_failed m (Printexc.to_string e));
-          t.target_db <- Migrate.engine_db m;
-          Migrate.failed m = None
+          match Migrate.admit request.Request.aprog with
+          | Error d ->
+              Migrate.note_refusal m d;
+              `Refused
+          | Ok () ->
+              Migrate.sync_engine_db m t.target_db;
+              (try ignore (Migrate.prepare_request m request.Request.aprog)
+               with e -> Migrate.mark_failed m (Printexc.to_string e));
+              t.target_db <- Migrate.engine_db m;
+              if Migrate.failed m = None then `Active else `Inactive
         end
   in
   let phase_name = Cutover.phase_name phase in
@@ -194,7 +204,16 @@ let exec t ~phase ~tolerate_reordering ~canary_seed ?(migration_ok = true)
       finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
         ~divergent:false ~refused:true ~served_trace:r.Engines.trace
         ~source_accesses:r.Engines.accesses ~target_accesses:0
-  | Pair (run_src, run_tgt) when not mig_active ->
+  | Pair (run_src, run_tgt) when admission = `Refused ->
+      ignore run_tgt;
+      (* Admission refused the request's navigation depth: serve the
+         source engine alone and count the refusal — the target
+         replica stays consistent because nothing was faulted in. *)
+      let r = run_src () in
+      finish ~decision:Shadow.Serve_source ~shadowed:false ~verdict:None
+        ~divergent:false ~refused:true ~served_trace:r.Engines.trace
+        ~source_accesses:r.Engines.accesses ~target_accesses:0
+  | Pair (run_src, run_tgt) when admission = `Inactive ->
       ignore run_tgt;
       (* Migration rolled back: the target replica is stale, serve the
          source engine alone without shadowing. *)

@@ -1,0 +1,447 @@
+(* The conversion-safety analyzer.
+
+   The load-bearing property is differential: the preflight verdict
+   must agree with the rewrite engine on every (program, schema-change)
+   pair — no false accepts (preflight convertible, engine refuses) and
+   no false refusals (preflight refuses, engine converts) — measured
+   over >= 10k generated pairs across both built-in schemas.  Around
+   it: unit suites for the depth pass, each lint, the inference pass,
+   and diagnostic rendering. *)
+
+open Ccv_common
+open Ccv_abstract
+open Ccv_transform
+open Ccv_convert
+module W = Ccv_workload
+module A = Ccv_analysis
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Restructuring chains per schema — every operator class, including
+   the multi-op widen and interpose-then-collapse chains              *)
+
+let interpose_op =
+  Schema_change.Interpose
+    { through = W.Company.div_emp;
+      new_entity = W.Company.dept;
+      group_by = [ "DEPT-NAME" ];
+      left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+    }
+
+let collapse_op =
+  Schema_change.Collapse
+    { left_assoc = W.Company.div_dept;
+      right_assoc = W.Company.dept_emp;
+      removed_entity = W.Company.dept;
+      restored_assoc = W.Company.div_emp;
+    }
+
+let company_chains =
+  [ [ Schema_change.Rename_entity { from_ = "EMP"; to_ = "EMPLOYEE" } ];
+    [ Schema_change.Rename_field
+        { entity = "EMP"; from_ = "AGE"; to_ = "EMP-AGE" };
+    ];
+    [ Schema_change.Add_field
+        { entity = "EMP";
+          field = Field.make "SALARY" Value.Tint;
+          default = Value.Int 0;
+        };
+    ];
+    [ Schema_change.Drop_field { entity = "EMP"; field = "AGE" } ];
+    [ Schema_change.Drop_field { entity = "EMP"; field = "DEPT-NAME" } ];
+    [ Schema_change.Add_constraint
+        (Ccv_model.Semantic.Field_not_null
+           { entity = "EMP"; field = "DEPT-NAME" });
+    ];
+    [ Schema_change.Drop_constraint
+        (Ccv_model.Semantic.Total_right W.Company.div_emp);
+      Schema_change.Widen_cardinality { assoc = W.Company.div_emp };
+    ];
+    [ interpose_op ];
+    [ interpose_op; collapse_op ];
+    [ Schema_change.Restrict_extension
+        { entity = "EMP"; qual = Cond.eq_field_const "AGE" (Value.Int 30) };
+    ];
+  ]
+
+let school_chains =
+  [ [ Schema_change.Rename_entity { from_ = W.School.course; to_ = "KURS" } ];
+    [ Schema_change.Rename_assoc
+        { from_ = W.School.offering; to_ = "TEACHING" };
+    ];
+    [ Schema_change.Drop_field { entity = W.School.course; field = "CNAME" } ];
+    [ Schema_change.Add_field
+        { entity = W.School.semester;
+          field = Field.make "TERM" Value.Tstr;
+          default = Value.Str "";
+        };
+    ];
+    [ Schema_change.Restrict_extension
+        { entity = W.School.semester;
+          qual = Cond.eq_field_const "YEAR" (Value.Int 1970);
+        };
+    ];
+  ]
+
+(* Run a corpus through every chain, comparing the static verdict with
+   the engine on each (program, op) pair. *)
+let differential ~seed ~n schema sample chains =
+  let pairs = ref 0 and false_accepts = ref 0 and false_refusals = ref 0 in
+  List.iter
+    (fun (_fam, p) ->
+      List.iter
+        (fun chain ->
+          let rec go schema p = function
+            | [] -> ()
+            | op :: rest -> (
+                incr pairs;
+                let predicted = Rules.preflight_op schema op p in
+                let actual = Rules.convert_d schema op p in
+                (match (predicted, actual) with
+                | None, Ok _ | Some _, Error _ -> ()
+                | None, Error d ->
+                    incr false_accepts;
+                    Printf.eprintf "false accept on %s / %s: %s\n"
+                      p.Aprog.name (Schema_change.show_op op)
+                      (Diagnostic.to_string d)
+                | Some d, Ok _ ->
+                    incr false_refusals;
+                    Printf.eprintf "false refusal on %s / %s: %s\n"
+                      p.Aprog.name (Schema_change.show_op op)
+                      (Diagnostic.to_string d));
+                match actual with
+                | Error _ -> ()
+                | Ok (p', _) -> (
+                    match Schema_change.apply schema op with
+                    | Error _ -> ()
+                    | Ok schema' -> go schema' p' rest))
+          in
+          go schema p chain)
+        chains)
+    (W.Generator.batch ~seed schema ~sample ~n ());
+  (!pairs, !false_accepts, !false_refusals)
+
+let differential_10k () =
+  let pc, fac, frc =
+    differential ~seed:2024 ~n:600 W.Company.schema (W.Company.instance ())
+      company_chains
+  in
+  let ps, fas, frs =
+    differential ~seed:2024 ~n:600 W.School.schema (W.School.instance ())
+      school_chains
+  in
+  check
+    (Printf.sprintf "corpus is large enough (%d pairs)" (pc + ps))
+    true
+    (pc + ps >= 10_000);
+  Alcotest.(check int) "no false accepts" 0 (fac + fas);
+  Alcotest.(check int) "no false refusals" 0 (frc + frs)
+
+(* The same agreement as a seeded property: fresh corpora per seed. *)
+let differential_prop =
+  QCheck.Test.make ~name:"preflight verdict = engine outcome" ~count:25
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let _, fac, frc =
+        differential ~seed ~n:12 W.Company.schema (W.Company.instance ())
+          company_chains
+      in
+      let _, fas, frs =
+        differential ~seed ~n:12 W.School.schema (W.School.instance ())
+          school_chains
+      in
+      fac + fas + frc + frs = 0)
+
+(* classify threads multi-op chains through the engine *)
+let classify_cases () =
+  let benign =
+    { Aprog.name = "BENIGN";
+      body =
+        [ Aprog.For_each
+            { query =
+                [ Apattern.Self { target = "EMP"; qual = Cond.True } ];
+              body = [ Aprog.Display [ Host.v "EMP.EMP-NAME" ] ];
+            };
+        ];
+    }
+  in
+  (match A.Preflight.classify W.Company.schema [ interpose_op; collapse_op ]
+           benign
+   with
+  | A.Preflight.Convertible -> ()
+  | A.Preflight.Refused { diagnostic; _ } ->
+      Alcotest.failf "unexpected refusal: %s" (Diagnostic.to_string diagnostic));
+  let reads_age =
+    { Aprog.name = "READS-AGE";
+      body =
+        [ Aprog.For_each
+            { query =
+                [ Apattern.Self
+                    { target = "EMP";
+                      qual =
+                        Cond.eq_field_const "AGE" (Value.Int 30);
+                    };
+                ];
+              body = [ Aprog.Display [ Host.v "EMP.EMP-NAME" ] ];
+            };
+        ];
+    }
+  in
+  match
+    A.Preflight.classify W.Company.schema
+      [ Schema_change.Drop_field { entity = "EMP"; field = "AGE" } ]
+      reads_age
+  with
+  | A.Preflight.Convertible -> Alcotest.fail "expected a refusal"
+  | A.Preflight.Refused { at; diagnostic; _ } ->
+      Alcotest.(check int) "refused at the first op" 0 at;
+      Alcotest.(check string) "stable code" "CV015" diagnostic.Diagnostic.code
+
+(* ------------------------------------------------------------------ *)
+(* Depth pass                                                          *)
+
+let av source =
+  Apattern.Assoc_via { assoc = W.Company.div_emp; source; qual = Cond.True }
+
+let va target =
+  Apattern.Via_assoc { target; assoc = W.Company.div_emp; qual = Cond.True }
+
+let ping_pong hops =
+  let rec build from n =
+    if n = 0 then []
+    else
+      let to_ = if from = W.Company.div then W.Company.emp else W.Company.div in
+      av from :: va to_ :: build to_ (n - 1)
+  in
+  { Aprog.name = Printf.sprintf "HOPS-%d" hops;
+    body =
+      [ Aprog.For_each
+          { query =
+              Apattern.Self { target = W.Company.div; qual = Cond.True }
+              :: build W.Company.div hops;
+            body = [ Aprog.Display [ Host.v "X" ] ];
+          };
+      ];
+  }
+
+let depth_cases () =
+  Alcotest.(check int) "two paired hops" 2 (A.Depth.max_hops (ping_pong 2));
+  Alcotest.(check int) "three paired hops" 3 (A.Depth.max_hops (ping_pong 3));
+  check "2 hops admitted" true (A.Depth.check (ping_pong 2) = Ok ());
+  (match A.Depth.check (ping_pong 3) with
+  | Ok () -> Alcotest.fail "3 hops must be refused at the default cap"
+  | Error d ->
+      Alcotest.(check string) "depth code" "AD001" d.Diagnostic.code;
+      check "severity is error" true (d.Diagnostic.severity = Diagnostic.Error);
+      check "diagnostic names the path" true (d.Diagnostic.path <> None));
+  check "cap is overridable" true
+    (A.Depth.check ~cap:3 (ping_pong 3) = Ok ());
+  (* unpaired association steps count too *)
+  let loose =
+    { Aprog.name = "LOOSE";
+      body =
+        [ Aprog.For_each
+            { query =
+                [ Apattern.Self { target = W.Company.div; qual = Cond.True };
+                  av W.Company.div;
+                ];
+              body = [];
+            };
+        ];
+    }
+  in
+  Alcotest.(check int) "unpaired assoc step is one hop" 1
+    (A.Depth.max_hops loose)
+
+(* ------------------------------------------------------------------ *)
+(* Lints                                                               *)
+
+let lint_codes ds = List.map (fun (d : Diagnostic.t) -> d.Diagnostic.code) ds
+
+let dead_step_case () =
+  (* trailing partner hop binding values the body never reads *)
+  let p =
+    { Aprog.name = "DEAD";
+      body =
+        [ Aprog.For_each
+            { query =
+                [ Apattern.Self { target = W.Company.emp; qual = Cond.True };
+                  av W.Company.emp; va W.Company.div;
+                ];
+              body = [ Aprog.Display [ Host.v "EMP.EMP-NAME" ] ];
+            };
+        ];
+    }
+  in
+  check "LN001 flags the dead hop" true
+    (List.mem "LN001" (lint_codes (A.Lint.dead_steps W.Company.schema p)));
+  (* reading the partner keeps the hop alive *)
+  let alive =
+    { p with
+      Aprog.body =
+        [ Aprog.For_each
+            { query =
+                [ Apattern.Self { target = W.Company.emp; qual = Cond.True };
+                  av W.Company.emp; va W.Company.div;
+                ];
+              body = [ Aprog.Display [ Host.v "DIV.DIV-NAME" ] ];
+            };
+        ];
+    }
+  in
+  Alcotest.(check (list string)) "no lint when the hop is read" []
+    (lint_codes (A.Lint.dead_steps W.Company.schema alive))
+
+let common_subpattern_case () =
+  let q tail =
+    [ Apattern.Self { target = W.Company.div; qual = Cond.True };
+      av W.Company.div; va W.Company.emp;
+    ]
+    @ tail
+  in
+  let loop query body = Aprog.For_each { query; body } in
+  let p =
+    { Aprog.name = "SHARED";
+      body =
+        [ loop (q []) [ Aprog.Display [ Host.v "A" ] ];
+          loop (q []) [ Aprog.Display [ Host.v "B" ] ];
+        ];
+    }
+  in
+  check "LN002 flags the shared prefix" true
+    (List.mem "LN002" (lint_codes (A.Lint.common_subpatterns p)));
+  let single =
+    { Aprog.name = "SINGLE"; body = [ loop (q []) [] ] }
+  in
+  Alcotest.(check (list string)) "one evaluation is fine" []
+    (lint_codes (A.Lint.common_subpatterns single))
+
+let unindexed_eq_case () =
+  (* equality on a field EMP does not store: the plan stays a scan *)
+  let p qual =
+    { Aprog.name = "EQ";
+      body =
+        [ Aprog.For_each
+            { query = [ Apattern.Self { target = W.Company.emp; qual } ];
+              body = [];
+            };
+        ];
+    }
+  in
+  check "LN003 flags an unindexable equality" true
+    (List.mem "LN003"
+       (lint_codes
+          (A.Lint.unindexed_eq W.Company.schema
+             (p (Cond.eq_field_const "DIV-NAME" (Value.Str "MACHINERY"))))));
+  Alcotest.(check (list string)) "stored-field equality probes an index" []
+    (lint_codes
+       (A.Lint.unindexed_eq W.Company.schema
+          (p (Cond.eq_field_const "EMP-NAME" (Value.Str "ADAMS")))))
+
+(* ------------------------------------------------------------------ *)
+(* Constraint inference                                                *)
+
+let facts_case () =
+  let guarded =
+    { Aprog.name = "GUARDED";
+      body =
+        [ Aprog.First
+            { query =
+                [ Apattern.Self
+                    { target = W.Company.emp;
+                      qual = Cond.eq_field_const "EMP-NAME" (Value.Str "X");
+                    };
+                ];
+              present = [];
+              absent =
+                [ Aprog.Insert
+                    { entity = W.Company.emp;
+                      values = [ ("EMP-NAME", Cond.Const (Value.Str "X")) ];
+                      connects =
+                        [ ( W.Company.div_emp,
+                            [ Cond.Const (Value.Str "MACHINERY") ] );
+                        ];
+                    };
+                ];
+            };
+        ];
+    }
+  in
+  let codes = lint_codes (A.Facts.infer W.Company.schema guarded) in
+  check "FA001 key uniqueness" true (List.mem "FA001" codes);
+  check "FA002 guarded creation" true (List.mem "FA002" codes);
+  check "FA004 required connection" true (List.mem "FA004" codes);
+  let nav =
+    { Aprog.name = "NAV";
+      body =
+        [ Aprog.For_each
+            { query =
+                [ Apattern.Self { target = W.Company.div; qual = Cond.True };
+                  av W.Company.div; va W.Company.emp;
+                ];
+              body = [];
+            };
+        ];
+    }
+  in
+  check "FA003 connectivity" true
+    (List.mem "FA003" (lint_codes (A.Facts.infer W.Company.schema nav)));
+  (* inference output is deduplicated *)
+  let doubled =
+    { nav with Aprog.body = nav.Aprog.body @ nav.Aprog.body }
+  in
+  Alcotest.(check int) "deduplicated facts" 1
+    (List.length (A.Facts.infer W.Company.schema doubled))
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic plumbing                                                 *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let diagnostic_case () =
+  let d =
+    Diagnostic.errf ~code:"CV999" ~entity:"EMP" ~field:"AGE" "boom %d" 7
+  in
+  Alcotest.(check string) "to_string is the bare message" "boom 7"
+    (Diagnostic.to_string d);
+  let j = Diagnostic.to_json d in
+  check "json carries the code" true (contains ~affix:"\"code\":\"CV999\"" j);
+  check "json carries the entity" true
+    (contains ~affix:"\"entity\":\"EMP\"" j);
+  Alcotest.(check (list (pair string int)))
+    "count_codes dedupes in first-seen order"
+    [ ("CV014", 2); ("CV001", 1) ]
+    (Diagnostic.count_codes
+       [ Diagnostic.errf ~code:"CV014" "a";
+         Diagnostic.errf ~code:"CV001" "b";
+         Diagnostic.errf ~code:"CV014" "c";
+       ])
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "differential",
+        [ Alcotest.test_case "10k pairs, zero mismatches" `Quick
+            differential_10k;
+          QCheck_alcotest.to_alcotest differential_prop;
+          Alcotest.test_case "classify chains" `Quick classify_cases;
+        ] );
+      ( "depth",
+        [ Alcotest.test_case "hop metric and admission" `Quick depth_cases ]
+      );
+      ( "lints",
+        [ Alcotest.test_case "LN001 dead step" `Quick dead_step_case;
+          Alcotest.test_case "LN002 common subpattern" `Quick
+            common_subpattern_case;
+          Alcotest.test_case "LN003 unindexed equality" `Quick
+            unindexed_eq_case;
+        ] );
+      ("facts", [ Alcotest.test_case "inference" `Quick facts_case ]);
+      ( "diagnostics",
+        [ Alcotest.test_case "rendering and counting" `Quick diagnostic_case ]
+      );
+    ]

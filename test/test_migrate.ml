@@ -297,6 +297,80 @@ let live_requires_shadow () =
   | Error e -> check "guard names the shadow phase" true
       (contains ~affix:"shadow" e)
 
+(* ------------------------------------------------------------------ *)
+(* (f) admission: navigation past the demand-closure cap is refused
+   before the dual-run — the migration survives, the warning names
+   the access path                                                     *)
+
+let deep_program =
+  let module Ab = Ccv_abstract in
+  let av source =
+    Ab.Apattern.Assoc_via
+      { assoc = W.Company.div_emp; source; qual = Cond.True }
+  in
+  let va target =
+    Ab.Apattern.Via_assoc
+      { target; assoc = W.Company.div_emp; qual = Cond.True }
+  in
+  { Ab.Aprog.name = "DEEP-NAV";
+    body =
+      [ Ab.Aprog.For_each
+          { query =
+              [ Ab.Apattern.Self { target = W.Company.div; qual = Cond.True };
+                av W.Company.div; va W.Company.emp;
+                av W.Company.emp; va W.Company.div;
+                av W.Company.div; va W.Company.emp;
+              ];
+            body = [ Ab.Aprog.Display [ Ab.Host.v "EMP.EMP-NAME" ] ];
+          };
+      ];
+  }
+
+let deep_navigation_refused_at_admission () =
+  let reqs =
+    List.map
+      (fun (r : Request.t) ->
+        if r.Request.id = 3 then { r with Request.aprog = deep_program }
+        else r)
+      (requests ~n:16)
+  in
+  let config =
+    { Pool.default_config with
+      shards = 8;
+      batch = 8;
+      canary_seed = 707;
+      epoch_batch = 2;
+      live_migration = true;
+      backfill_batch = 3;
+      backfill_lag = 1;
+    }
+  in
+  match
+    Pool.run ~config ~cutover:cutover_cfg (net_req [ interpose_op ])
+      (W.Company.instance ())
+      reqs
+  with
+  | Error e -> Alcotest.failf "service failed to start: %s" e
+  | Ok r -> (
+      let deep =
+        List.find
+          (fun (o : Shadow.outcome) -> o.Shadow.request.Request.id = 3)
+          r.Pool.outcomes
+      in
+      check "deep request is refused" true deep.Shadow.refused;
+      check "deep request is served by the source engine" true
+        (deep.Shadow.decision = Shadow.Serve_source);
+      match r.Pool.migration with
+      | None -> Alcotest.fail "expected a migration summary"
+      | Some m ->
+          check "migration did not fail" true (m.Migrate.mig_failed = None);
+          check "refusal warning carries the depth code" true
+            (List.exists
+               (contains ~affix:"admission refused [AD001]")
+               m.Migrate.mig_warnings);
+          check "refusal warning names the access path" true
+            (List.exists (contains ~affix:"DIV-EMP") m.Migrate.mig_warnings))
+
 let () =
   Alcotest.run "migrate"
     [ ( "live migration",
@@ -310,5 +384,7 @@ let () =
           Alcotest.test_case "zipf skew" `Quick zipf_skew;
           Alcotest.test_case "live requires shadow" `Quick
             live_requires_shadow;
+          Alcotest.test_case "deep navigation refused at admission" `Quick
+            deep_navigation_refused_at_admission;
         ] );
     ]

@@ -1,0 +1,124 @@
+(* The traversal kit: identity/fusion laws for the Map engine, size and
+   query agreement for the Fold engine, and environment threading —
+   checked over generated corpora on both built-in schemas, so the kit
+   provably subsumes the hand-rolled recursions it replaced. *)
+
+open Ccv_common
+open Ccv_abstract
+module W = Ccv_workload
+
+let corpus schema sample = Ccv_workload.Generator.batch ~seed:7 schema ~sample ~n:80 ()
+
+let corpora () =
+  List.map (fun (_fam, p) -> p)
+    (corpus W.Company.schema (W.Company.instance ())
+    @ corpus W.School.schema (W.School.instance ()))
+
+module M = Traverse.Map (Traverse.Unit_env)
+
+let identity_case =
+  Alcotest.test_case "default Map is the identity" `Quick (fun () ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Fmt.str "identity on %s" p.Aprog.name)
+            true
+            (Aprog.equal p (M.program M.default () p)))
+        (corpora ()))
+
+let fold_size_case =
+  Alcotest.test_case "fold_stmts counts like Aprog.size" `Quick (fun () ->
+      List.iter
+        (fun p ->
+          Alcotest.(check int)
+            (Fmt.str "size of %s" p.Aprog.name)
+            (Aprog.size p)
+            (Traverse.fold_stmts (fun n _ -> n + 1) 0 p))
+        (corpora ()))
+
+let fold_queries_case =
+  Alcotest.test_case "fold_queries agrees with Aprog.queries" `Quick (fun () ->
+      List.iter
+        (fun p ->
+          let collected =
+            List.rev (Traverse.fold_queries (fun acc q -> q :: acc) [] p)
+          in
+          let expected = Aprog.queries p in
+          Alcotest.(check int)
+            (Fmt.str "query count of %s" p.Aprog.name)
+            (List.length expected) (List.length collected);
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool)
+                (Fmt.str "query of %s" p.Aprog.name)
+                true (Apattern.equal a b))
+            expected collected)
+        (corpora ()))
+
+let fusion_case =
+  Alcotest.test_case "rename maps fuse" `Quick (fun () ->
+      let f v = v ^ "_F" and g v = v ^ "_G" in
+      List.iter
+        (fun p ->
+          let sequential = Ccv_convert.Rules.rename_vars f
+              (Ccv_convert.Rules.rename_vars g p)
+          in
+          let fused = Ccv_convert.Rules.rename_vars (fun v -> f (g v)) p in
+          Alcotest.(check bool)
+            (Fmt.str "fusion on %s" p.Aprog.name)
+            true
+            (Aprog.equal sequential fused))
+        (corpora ()))
+
+(* Environment threading mirrors Aprog.check: FOR EACH binds its
+   query's names over the body; FIRST binds them over the present
+   branch only. *)
+module FN = Traverse.Fold (Traverse.Names)
+
+let env_case =
+  Alcotest.test_case "Names env binds like Aprog.check" `Quick (fun () ->
+      let q target = [ Apattern.Self { target; qual = Cond.True } ] in
+      let display tag = Aprog.Display [ Ccv_abstract.Host.v tag ] in
+      let p =
+        { Aprog.name = "ENV";
+          body =
+            [ Aprog.For_each
+                { query = q "EMP";
+                  body =
+                    [ Aprog.First
+                        { query = q "DIV";
+                          present = [ display "P" ];
+                          absent = [ display "A" ];
+                        };
+                    ];
+                };
+            ];
+        }
+      in
+      let folder =
+        { FN.default with
+          FN.stmt =
+            (fun self env acc s ->
+              match s with
+              | Aprog.Display _ -> Some ((s, env) :: acc)
+              | _ -> ignore self; None);
+        }
+      in
+      let seen = List.rev (FN.program folder [] [] p) in
+      match seen with
+      | [ (Aprog.Display [ pe ], env_p); (Aprog.Display [ ae ], env_a) ] ->
+          ignore pe;
+          ignore ae;
+          Alcotest.(check (list string))
+            "present branch sees FIRST and FOR EACH names"
+            [ "DIV"; "EMP" ] env_p;
+          Alcotest.(check (list string))
+            "absent branch sees only FOR EACH names" [ "EMP" ] env_a
+      | _ -> Alcotest.fail "unexpected fold order")
+
+let () =
+  Alcotest.run "traverse"
+    [ ("laws",
+       [ identity_case; fold_size_case; fold_queries_case; fusion_case ]);
+      ("env", [ env_case ]);
+    ]
