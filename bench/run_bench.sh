@@ -4,8 +4,9 @@
 # differential property suite), then write BENCH_PR1.json (index
 # micro-bench), BENCH_PR2.json (phased-coexistence service),
 # BENCH_PR4.json (compiled plans + plan cache), BENCH_PR6.json
-# (worker-pool scaling, epoch snapshots vs tick barrier) and
-# BENCH_PR7.json (live migration vs stop-the-world preparation) at the
+# (worker-pool scaling, epoch snapshots vs tick barrier),
+# BENCH_PR7.json (live migration vs stop-the-world preparation) and
+# BENCH_PR9.json (cost-based plan selection + backfill drain) at the
 # repository root.
 set -eu
 cd "$(dirname "$0")/.."
@@ -17,3 +18,4 @@ dune exec bench/main.exe -- serve --json --out BENCH_PR2.json
 dune exec bench/main.exe -- plan --json --out BENCH_PR4.json
 dune exec bench/main.exe -- scaling --json --out BENCH_PR6.json
 dune exec bench/main.exe -- migration --json --out BENCH_PR7.json
+dune exec bench/main.exe -- cost drain --json --out BENCH_PR9.json

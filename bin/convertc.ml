@@ -130,7 +130,16 @@ let run schema_path program_path ops_raw verbose =
 (* analyze: preflight static analysis — verdicts, depth, lints and
    inferred constraints without executing any rewrite                  *)
 
-let analyze_file schema_path program_path ops_raw cap json =
+let explain_plans ?stats schema aprog =
+  List.iteri
+    (fun i q ->
+      let plan = Ccv_plan.Plan.of_query ?stats schema q in
+      Printf.printf "query %d: %s\n%s\n" (i + 1)
+        (Ccv_analysis.Depth.render_path q)
+        (Ccv_plan.Plan.explain_costs ?stats schema plan))
+    (Aprog.queries aprog)
+
+let analyze_file schema_path program_path ops_raw cap json explain =
   let ddl = Ccv_frontend.Ddl.parse (read_file schema_path) in
   let source_schema = Ccv_frontend.Ddl.to_semantic ddl in
   let aprog, notes =
@@ -145,7 +154,12 @@ let analyze_file schema_path program_path ops_raw cap json =
   if json then print_endline (Ccv_analysis.Report.to_json report)
   else begin
     List.iter (Printf.printf "note: %s\n") notes;
-    Fmt.pr "%a@." Ccv_analysis.Report.pp report
+    Fmt.pr "%a@." Ccv_analysis.Report.pp report;
+    if explain then begin
+      Printf.printf
+        "--- chosen plans (per-step cost estimates, nominal statistics) ---\n";
+      explain_plans source_schema aprog
+    end
   end;
   if
     Ccv_analysis.Report.refused report
@@ -309,12 +323,12 @@ let analyze_corpus n seed cap json =
   if !false_accepts > 0 then exit 2;
   if !false_refusals > 0 then exit 3
 
-let analyze_run schema program ops_raw cap corpus seed json =
+let analyze_run schema program ops_raw cap corpus seed json explain =
   match corpus with
   | Some n -> analyze_corpus n seed cap json
   | None -> (
       match (schema, program) with
-      | Some s, Some p -> analyze_file s p ops_raw cap json
+      | Some s, Some p -> analyze_file s p ops_raw cap json explain
       | _ ->
           prerr_endline
             "analyze: --schema and --program are required unless --corpus N \
@@ -326,7 +340,8 @@ let analyze_run schema program ops_raw cap corpus seed json =
 
 let serve_run ops_raw requests domains shards batch seed canary window
     min_obs threshold promote strict no_plan_cache fail_request epoch_serving
-    epoch_batch epoch_lag live_migration backfill_batch backfill_lag skew =
+    epoch_batch epoch_lag live_migration backfill_batch backfill_lag skew
+    cost_based stats_every drift_threshold explain =
   let module S = Ccv_serve in
   let module W = Ccv_workload in
   let ops =
@@ -346,6 +361,31 @@ let serve_run ops_raw requests domains shards batch seed canary window
       target_model = Mapping.Net;
     }
   in
+  if explain then begin
+    (* One plan per distinct program in the stream, costed under the
+       statistics of the instance the shards will serve — the same
+       snapshot a cost-based shard starts from. *)
+    let stats =
+      if cost_based then Some (Ccv_plan.Stats.of_sdb sample) else None
+    in
+    (match stats with
+    | Some st ->
+        Printf.printf "--- chosen plans (instance statistics %s) ---\n"
+          (Ccv_plan.Stats.fingerprint st)
+    | None ->
+        Printf.printf
+          "--- chosen plans (heuristic; nominal cost estimates) ---\n");
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (r : S.Request.t) ->
+        let name = r.S.Request.aprog.Aprog.name in
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.add seen name ();
+          Printf.printf "[%s]\n" name;
+          explain_plans ?stats W.Company.schema r.S.Request.aprog
+        end)
+      reqs
+  end;
   let cutover =
     { S.Cutover.canary_fraction = canary;
       window;
@@ -371,6 +411,9 @@ let serve_run ops_raw requests domains shards batch seed canary window
       backfill_lag;
       fail_backfill = None;
       fingerprint_replicas = false;
+      cost_based_plans = cost_based;
+      stats_every;
+      drift_threshold;
     }
   in
   match S.Pool.run ~config ~cutover req sample reqs with
@@ -443,11 +486,20 @@ let analyze_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"machine-readable output")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "print each query's chosen plan with per-step row and cost \
+             estimates (nominal statistics — no instance is available at \
+             analysis time)")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
       const analyze_run $ schema $ program $ ops_arg $ cap $ corpus $ seed
-      $ json)
+      $ json $ explain)
 
 let convert_term =
   Term.(const run $ schema_arg $ program_arg $ ops_arg $ verbose_arg)
@@ -577,13 +629,47 @@ let serve_cmd =
           ~doc:"Zipf exponent for key popularity in the generated workload \
                 (0 = uniform)")
   in
+  let cost_based =
+    Arg.(
+      value & flag
+      & info [ "cost-based" ]
+          ~doc:"cost-based plan selection: each shard snapshots the \
+                cardinality statistics of its replica and orders equality \
+                conjuncts by observed selectivity; cached plans carry the \
+                snapshot fingerprint")
+  in
+  let stats_every =
+    Arg.(
+      value & opt int 0
+      & info [ "stats-every" ] ~docv:"N"
+          ~doc:"with $(b,--cost-based), re-observe each shard's live target \
+                replica every N requests and flush its plan cache when \
+                counts drift past $(b,--drift-threshold) (0 = never)")
+  in
+  let drift_threshold =
+    Arg.(
+      value & opt float 0.5
+      & info [ "drift-threshold" ] ~docv:"FRAC"
+          ~doc:"largest tolerated relative cardinality change before cached \
+                plans are recosted")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "before serving, print each distinct workload program's chosen \
+             plan with per-step cost estimates (under the instance \
+             statistics when $(b,--cost-based) is set)")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ ops_arg $ requests $ domains $ shards $ batch $ seed
       $ canary $ window $ min_obs $ threshold $ promote $ strict
       $ no_plan_cache $ fail_request $ epoch_serving $ epoch_batch
-      $ epoch_lag $ live_migration $ backfill_batch $ backfill_lag $ skew)
+      $ epoch_lag $ live_migration $ backfill_batch $ backfill_lag $ skew
+      $ cost_based $ stats_every $ drift_threshold $ explain)
 
 let cmd =
   let doc =

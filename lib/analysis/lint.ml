@@ -81,8 +81,9 @@ let unindexed_eq schema p =
                      Diagnostic.warnf ~code:"LN003" ~entity:target ~field:f
                        ~path:(Depth.render_path q)
                        "equality on %s.%s does not reach an index — the \
-                        compiled access path is still a scan"
-                       target f
+                        compiled access path is still a scan (declare it: \
+                        Sdb.ensure_index db %S %S)"
+                       target f target f
                      :: acc
                  | None -> acc))
            acc plan)

@@ -97,6 +97,41 @@ let first_suggestion schema query =
         };
       ]
 
+(* Equality conjuncts whose compiled access path is still a scan:
+   advise the concrete index call.  Rides the plan layer, so the
+   advice names exactly the steps {!Ccv_plan.Compile} would execute as
+   scans — and agrees with the LN003 lint, which walks the same
+   plans. *)
+let eq_conjunct_field c =
+  match c with
+  | Cond.Cmp (Cond.Eq, Cond.Field f, (Cond.Const _ | Cond.Var _))
+  | Cond.Cmp (Cond.Eq, (Cond.Const _ | Cond.Var _), Cond.Field f) -> Some f
+  | _ -> None
+
+let index_suggestions schema query =
+  let plan = Ccv_plan.Plan.of_query schema query in
+  List.rev
+    (Ccv_plan.Plan.fold_steps
+       (fun acc (st : Ccv_plan.Plan.step) ->
+         match st.access with
+         | Ccv_plan.Plan.Indexed_probe _ | Ccv_plan.Plan.Link_traverse _
+         | Ccv_plan.Plan.Key_lookup -> acc
+         | Ccv_plan.Plan.Extent_scan | Ccv_plan.Plan.Assoc_scan _ -> (
+             match List.find_map eq_conjunct_field st.conjuncts with
+             | Some f ->
+                 let target = Symbol.name st.target in
+                 { severity = `Advice;
+                   message =
+                     Fmt.str
+                       "equality on %s.%s is served by a scan — declare the \
+                        index (Sdb.ensure_index db %S %S) and the access \
+                        becomes an indexed probe"
+                       target f target f;
+                 }
+                 :: acc
+             | None -> acc))
+       [] plan)
+
 (* Steps whose bindings the program never reads. *)
 let overshoot_suggestions _schema p =
   let used = Rules.qualified_vars p in
@@ -130,7 +165,9 @@ let review schema (p : Aprog.t) =
      multiple-match suspicion before its query's. *)
   let folder =
     { F.default with
-      F.query = (fun _ () acc q -> acc @ through_suggestions schema q);
+      F.query =
+        (fun _ () acc q ->
+          acc @ through_suggestions schema q @ index_suggestions schema q);
       F.stmt =
         (fun self () acc s ->
           match s with

@@ -13,6 +13,9 @@
       association already connects — use the association's access path;
     - a [Through] access over fields with no declared relationship at
       all — flag the §5.3 "not related in application terms" suspicion;
+    - an equality qualification the compiled plan still serves by a
+      scan — advise the concrete [Sdb.ensure_index] call that turns it
+      into an indexed probe;
     - a [First] over an access that can deliver many instances —
       the §3.2 "process the first" vs "process all" confusion;
     - query steps whose bindings the program never reads — wasted

@@ -193,6 +193,57 @@ let run_compiled ?input ?max_steps db program =
   | (Net_db _ | Rel_db _ | Hier_db _), _ ->
       invalid_arg "Engines.run_compiled: database and program models differ"
 
+(* Statistics snapshot of a host instance, shaped by the semantic
+   schema: entity counts by record type / relation (realizations keep
+   the semantic names), link counts where the association has a
+   standalone realization (relation or link record).  Set-realized
+   associations have no standalone occurrence to count, and the
+   hierarchical store keeps no per-segment count maps — those names
+   are simply absent, which the drift metric ignores for links.
+   Counter-silent throughout: observing statistics must not perturb
+   the access counts the benchmarks report. *)
+let observed_stats semantic db =
+  let module Semantic = Ccv_model.Semantic in
+  match db with
+  | Net_db db ->
+      let counts = Ndb.type_counts db in
+      let count_of name =
+        Option.value (List.assoc_opt (Field.canon name) counts) ~default:0
+      in
+      Ccv_plan.Stats.of_counts
+        ~entities:
+          (List.map
+             (fun (e : Semantic.entity) -> (e.ename, count_of e.ename))
+             semantic.Semantic.entities)
+        ~links:
+          (List.filter_map
+             (fun (a : Semantic.assoc) ->
+               Option.map
+                 (fun n -> (Field.canon a.aname, n))
+                 (List.assoc_opt (Field.canon a.aname) counts))
+             semantic.Semantic.assocs)
+  | Rel_db db ->
+      let cards = Rdb.cardinalities db in
+      let find name =
+        List.find_map
+          (fun (n, c) -> if Field.name_equal n name then Some c else None)
+          cards
+      in
+      Ccv_plan.Stats.of_counts
+        ~entities:
+          (List.map
+             (fun (e : Semantic.entity) ->
+               (e.ename, Option.value (find e.ename) ~default:0))
+             semantic.Semantic.entities)
+        ~links:
+          (List.filter_map
+             (fun (a : Semantic.assoc) ->
+               Option.map
+                 (fun n -> (Field.canon a.aname, n))
+                 (find a.aname))
+             semantic.Semantic.assocs)
+  | Hier_db _ -> Ccv_plan.Stats.empty
+
 let program_size = function
   | Net_program p -> Host.size p
   | Rel_program p -> Host.size p

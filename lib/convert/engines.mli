@@ -86,5 +86,13 @@ val run_compiled :
   ?input:string list -> ?max_steps:int -> database -> compiled_program ->
   run_result
 
+(** [observed_stats semantic db] — counter-silent statistics snapshot
+    of a host instance, shaped by the semantic schema (realizations
+    keep the semantic names).  Associations without a standalone
+    realization (owner-coupled sets, parent-child) are absent from the
+    link counts; the hierarchical store returns {!Ccv_plan.Stats.empty}
+    (no per-segment count maps), so drift checks are inert there. *)
+val observed_stats : Ccv_model.Semantic.t -> database -> Ccv_plan.Stats.t
+
 val program_size : program -> int
 val pp_program : Format.formatter -> program -> unit

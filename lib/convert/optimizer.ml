@@ -114,10 +114,14 @@ let is_pure_cond c = not (List.exists (String.equal Host.status_var) (Cond.vars 
    equality-index probe on the first [field = const] conjunct it finds.
    Hoist index-eligible equality conjuncts (declared stored fields
    compared to a constant or host variable) to the front of the
-   qualification so the probe sees them before residual predicates.
-   The partition is stable and the rewrite idempotent, so the
-   optimizer's fixpoint terminates. *)
-let hoist_eq_conjuncts schema log query =
+   qualification so the probe sees them before residual predicates —
+   and, when a statistics snapshot is available, order them most
+   selective first, so the probe the evaluator picks is the cheapest
+   one (hot-bucket exact, residual average otherwise).  Any eligible
+   probe is result-transparent, so the ordering affects access counts,
+   never answers.  The partition is stable and the rewrite idempotent
+   for a fixed snapshot, so the optimizer's fixpoint terminates. *)
+let hoist_eq_conjuncts ?stats schema log query =
   let eligible target c =
     match c with
     | Cond.Cmp (Cond.Eq, Cond.Field f, (Cond.Const _ | Cond.Var _))
@@ -128,11 +132,27 @@ let hoist_eq_conjuncts schema log query =
     | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
     | Cond.Is_null _ | Cond.Is_not_null _ -> false
   in
+  let eq_cost st target c =
+    match c with
+    | Cond.Cmp (Cond.Eq, Cond.Field f, rhs)
+    | Cond.Cmp (Cond.Eq, rhs, Cond.Field f) ->
+        let v = match rhs with Cond.Const v -> Some v | _ -> None in
+        Ccv_plan.Cost.eq_rows st target f v
+    | _ -> infinity
+  in
+  let order st target eqs =
+    List.stable_sort
+      (fun a b -> Float.compare (eq_cost st target a) (eq_cost st target b))
+      eqs
+  in
   List.map
     (fun step ->
       match step with
       | Apattern.Self { target; qual } ->
           let eqs, rest = List.partition (eligible target) (Cond.split_conjuncts qual) in
+          let eqs =
+            match stats with None -> eqs | Some st -> order st target eqs
+          in
           let hoisted = Cond.conj (eqs @ rest) in
           if eqs <> [] && not (Cond.equal hoisted qual) then begin
             log :=
@@ -146,6 +166,179 @@ let hoist_eq_conjuncts schema log query =
           step)
     query
 
+(* ------------------------------------------------------------------ *)
+(* Common-subpattern sharing: the rewrite behind the LN002 lint.  Two
+   consecutive loops that open with the same two access-pattern steps
+   re-evaluate that prefix twice; when the prefix provably yields at
+   most one context and the first loop cannot perturb the second's
+   view of it, the prefix is computed once:
+
+     FOR EACH [p1; p2; r1...] b1      FOR EACH [p1; p2]
+     FOR EACH [p1; p2; r2...] b2  =>    FOR EACH [r1...] b1
+                                        FOR EACH [r2...] b2
+
+   Soundness gates, checked in [try_share]:
+   - the prefix yields at most one context (step 1 pins every key
+     field of its target by equality; step 2 does the same or is a
+     keyed link traversal onto a single-field key), so the original
+     all-b1-then-all-b2 order equals the per-context order;
+   - the first loop performs no database mutation, so the second
+     loop's prefix evaluation would have seen the same instance;
+   - nothing the first loop writes (host variables, context bindings,
+     the status register) is read by the prefix qualifications;
+   - remainder targets are disjoint from prefix targets, so context
+     bindings resolve identically through the environment.
+
+   Inner queries resolve prefix-bound sources through the enclosing
+   loop's qualified bindings, exactly the nesting contract
+   [Apattern.eval] documents. *)
+
+let step_eq_conjuncts qual =
+  List.filter
+    (function
+      | Cond.Cmp (Cond.Eq, Cond.Field _, (Cond.Const _ | Cond.Var _))
+      | Cond.Cmp (Cond.Eq, (Cond.Const _ | Cond.Var _), Cond.Field _) -> true
+      | _ -> false)
+    (Cond.split_conjuncts qual)
+
+let pins_key schema target qual =
+  match Semantic.find_entity schema target with
+  | None -> false
+  | Some e ->
+      e.Semantic.key <> []
+      && List.for_all
+           (fun k ->
+             List.exists
+               (function
+                 | Cond.Cmp (Cond.Eq, Cond.Field f, _)
+                 | Cond.Cmp (Cond.Eq, _, Cond.Field f) -> Field.name_equal f k
+                 | _ -> false)
+               (step_eq_conjuncts qual))
+           e.Semantic.key
+
+(* At most one context out of the two-step prefix. *)
+let singleton_prefix schema = function
+  | [ Apattern.Self { target = t1; qual = q1 }; second ] -> (
+      pins_key schema t1 q1
+      &&
+      match second with
+      | Apattern.Self { target; qual } -> pins_key schema target qual
+      | Apattern.Through { target; link = tf, _; _ } -> (
+          match Semantic.find_entity schema target with
+          | Some e -> (
+              match e.Semantic.key with
+              | [ k ] -> Field.name_equal k tf
+              | _ -> false)
+          | None -> false)
+      | Apattern.Assoc_via _ | Apattern.Via_assoc _ -> false)
+  | _ -> false
+
+let rec body_mutates body =
+  List.exists
+    (function
+      | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ | Aprog.Update _
+      | Aprog.Delete _ -> true
+      | Aprog.For_each { body; _ } -> body_mutates body
+      | Aprog.First { present; absent; _ } ->
+          body_mutates present || body_mutates absent
+      | Aprog.If (_, t, e) -> body_mutates t || body_mutates e
+      | Aprog.While (_, b) -> body_mutates b
+      | Aprog.Display _ | Aprog.Accept _ | Aprog.Write_file _ | Aprog.Move _ ->
+          false)
+    body
+
+(* Host variables a loop writes (conservatively): MOVE/ACCEPT targets,
+   the status register, and every qualified binding of every query in
+   scope (its own and any nested one). *)
+let loop_writes query body =
+  let rec vars body =
+    List.concat_map
+      (function
+        | Aprog.Move (_, x) -> [ x ]
+        | Aprog.Accept x -> [ x ]
+        | Aprog.For_each { body; _ } -> vars body
+        | Aprog.First { present; absent; _ } -> vars present @ vars absent
+        | Aprog.If (_, t, e) -> vars t @ vars e
+        | Aprog.While (_, b) -> vars b
+        | Aprog.Insert _ | Aprog.Link _ | Aprog.Unlink _ | Aprog.Update _
+        | Aprog.Delete _ | Aprog.Display _ | Aprog.Write_file _ -> [])
+      body
+  in
+  let prefixes =
+    List.concat_map Apattern.names_of
+      (query :: Aprog.queries { Aprog.name = "_"; body })
+  in
+  (Host.status_var :: vars body, prefixes)
+
+let try_share schema q1 b1 q2 b2 =
+  match (q1, q2) with
+  | p1 :: p2 :: r1, p1' :: p2' :: r2
+    when Apattern.equal [ p1; p2 ] [ p1'; p2' ]
+         && singleton_prefix schema [ p1; p2 ] ->
+      let prefix = [ p1; p2 ] in
+      let prefix_targets = Apattern.names_of prefix in
+      let remainder_disjoint r =
+        List.for_all
+          (fun t ->
+            not (List.exists (Field.name_equal t) prefix_targets))
+          (Apattern.names_of r)
+      in
+      let prefix_reads =
+        List.concat_map (fun s -> Cond.vars (Apattern.qual_of s)) prefix
+      in
+      let written_vars, written_prefixes = loop_writes q1 b1 in
+      let no_conflict =
+        List.for_all
+          (fun v ->
+            (not (List.exists (String.equal v) written_vars))
+            &&
+            match prefix_of v with
+            | Some (p, _) ->
+                not (List.exists (Field.name_equal p) written_prefixes)
+            | None -> true)
+          prefix_reads
+      in
+      let status_free body =
+        not (List.exists (String.equal Host.status_var) (vars_read body))
+      in
+      let inner r b =
+        match r with [] -> Some b | _ -> Some [ Aprog.For_each { query = r; body = b } ]
+      in
+      if
+        (not (body_mutates b1))
+        && no_conflict && remainder_disjoint r1 && remainder_disjoint r2
+        (* with an empty first remainder the first body runs bare, so
+           its trailing status must be invisible to what follows *)
+        && (r1 <> []
+           || (status_free b2
+              && List.for_all
+                   (fun s -> is_pure_cond (Apattern.qual_of s))
+                   r2))
+      then
+        match (inner r1 b1, inner r2 b2) with
+        | Some i1, Some i2 ->
+            Some (Aprog.For_each { query = prefix; body = i1 @ i2 })
+        | _ -> None
+      else None
+  | _ -> None
+
+let share_common_prefixes schema log body =
+  let rec go = function
+    | (Aprog.For_each { query = q1; body = b1 } as s1)
+      :: (Aprog.For_each { query = q2; body = b2 } as s2)
+      :: rest -> (
+        match try_share schema q1 b1 q2 b2 with
+        | Some merged ->
+            log :=
+              Fmt.str "common access prefix shared between consecutive loops"
+              :: !log;
+            go (merged :: rest)
+        | None -> s1 :: go (s2 :: rest))
+    | s :: rest -> s :: go rest
+    | [] -> []
+  in
+  go body
+
 (* One optimization sweep, expressed on the traversal kit's Map
    engine: the top-down [stmt] hook prunes empty IFs before descending,
    [stmt_out] applies the per-statement rewrites bottom-up (children
@@ -153,7 +346,7 @@ let hoist_eq_conjuncts schema log query =
    [body_out] runs dead-move elimination over each statement list. *)
 module M = Traverse.Map (Traverse.Unit_env)
 
-let opt_mapper schema log =
+let opt_mapper ?stats schema log =
   { M.default with
     M.stmt =
       (fun _ () s ->
@@ -181,7 +374,7 @@ let opt_mapper schema log =
                   | None -> (query, body))
               | _ -> (query, body)
             in
-            let query = hoist_eq_conjuncts schema log query in
+            let query = hoist_eq_conjuncts ?stats schema log query in
             let used = vars_read body in
             match drop_redundant_hop schema query ~used with
             | Some query' ->
@@ -190,15 +383,18 @@ let opt_mapper schema log =
             | None -> [ Aprog.For_each { query; body } ])
         | Aprog.First { query; present; absent } ->
             [ Aprog.First
-                { query = hoist_eq_conjuncts schema log query; present; absent }
+                { query = hoist_eq_conjuncts ?stats schema log query;
+                  present;
+                  absent;
+                }
             ]
         | Aprog.Update { query; assigns } ->
             [ Aprog.Update
-                { query = hoist_eq_conjuncts schema log query; assigns };
+                { query = hoist_eq_conjuncts ?stats schema log query; assigns };
             ]
         | Aprog.Delete { query; cascade } ->
             [ Aprog.Delete
-                { query = hoist_eq_conjuncts schema log query; cascade };
+                { query = hoist_eq_conjuncts ?stats schema log query; cascade };
             ]
         | s -> [ s ]);
     M.body_out =
@@ -212,12 +408,12 @@ let opt_mapper schema log =
           | s :: rest -> s :: dme rest
           | [] -> []
         in
-        dme body);
+        share_common_prefixes schema log (dme body));
   }
 
-let optimize schema (p : Aprog.t) =
+let optimize ?stats schema (p : Aprog.t) =
   let log = ref [] in
-  let m = opt_mapper schema log in
+  let m = opt_mapper ?stats schema log in
   let rec fix body n =
     if n = 0 then body
     else

@@ -13,14 +13,24 @@
     - {b dead move elimination}: consecutive MOVEs to the same
       variable keep only the last;
     - {b empty-branch pruning}: an IF with two empty branches and a
-      pure condition disappears.
+      pure condition disappears;
+    - {b common-prefix sharing}: consecutive loops opening with the
+      same two access-pattern steps compute that prefix once, when the
+      prefix provably yields at most one context and the first loop
+      cannot perturb the second's view of it (the rewrite behind the
+      LN002 lint);
+    - {b selectivity ordering} (with [?stats]): hoisted equality
+      conjuncts are ordered most selective first under the statistics
+      snapshot, so the evaluator's probe convention (first eligible
+      conjunct) picks the cheapest index.
 
     Each rewrite is logged for the conversion report. *)
 
 open Ccv_abstract
 open Ccv_model
 
-val optimize : Semantic.t -> Aprog.t -> Aprog.t * string list
+val optimize :
+  ?stats:Ccv_plan.Stats.t -> Semantic.t -> Aprog.t -> Aprog.t * string list
 
 val drop_redundant_hop :
   Semantic.t -> Apattern.t -> used:string list ->

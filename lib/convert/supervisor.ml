@@ -56,7 +56,7 @@ let mapping_for model schema =
 
 let ( let* ) r f = Result.bind r f
 
-let convert_program req program =
+let convert_program ?stats req program =
   (* Conversion Analyzer: validate and classify the restructuring. *)
   let classification =
     List.map (fun op -> (op, Schema_change.classify op)) req.ops
@@ -77,8 +77,11 @@ let convert_program req program =
     Result.map_error (fun e -> ("program-converter", e))
       (Rules.convert_all req.source_schema req.ops abstract_source)
   in
-  (* Optimizer. *)
-  let optimized, optimizer_log = Optimizer.optimize target_schema abstract_target in
+  (* Optimizer — under the statistics snapshot when one is supplied,
+     so conjunct ordering reflects live cardinalities. *)
+  let optimized, optimizer_log =
+    Optimizer.optimize ?stats target_schema abstract_target
+  in
   (* Program Generator against the target mapping. *)
   let target_mapping = mapping_for req.target_model target_schema in
   let* { Generator.program = target_program; issues = gen_issues } =
@@ -181,7 +184,7 @@ type served_pair = {
   pair_issues : issue list;
 }
 
-let serve_pair ?at_epoch sv aprog =
+let serve_pair ?at_epoch ?stats sv aprog =
   match Generator.generate sv.source_mapping aprog with
   | Error e -> Error ("source-generator", e)
   | Ok { Generator.program = source_program; issues = src_issues } -> (
@@ -199,7 +202,7 @@ let serve_pair ?at_epoch sv aprog =
             }
             :: src_issues
       in
-      match convert_program sv.serve_request source_program with
+      match convert_program ?stats sv.serve_request source_program with
       | Error err ->
           Ok { source_program; target_program = Error err; pair_issues = src_issues }
       | Ok report ->

@@ -38,8 +38,11 @@ val pp_issue : Format.formatter -> issue -> unit
 val pp_report : Format.formatter -> report -> unit
 
 (** Convert one concrete program.  [Error (stage, reason)] when a stage
-    refuses — the paper's "cannot be handled automatically" outcome. *)
+    refuses — the paper's "cannot be handled automatically" outcome.
+    [?stats] hands the optimizer a cardinality snapshot, so equality
+    conjuncts are ordered by observed selectivity. *)
 val convert_program :
+  ?stats:Ccv_plan.Stats.t ->
   request -> Engines.program -> (report, string * string) result
 
 (** Translate a semantic instance along the request's ops and realize
@@ -101,9 +104,13 @@ type served_pair = {
 (** [Error _] only when the request cannot even be generated against
     the source model (nothing to serve at all).  [at_epoch] stamps the
     pair's issue list with the snapshot epoch it was compiled under —
-    provenance for reproducing a divergence seen in epoch serving. *)
+    provenance for reproducing a divergence seen in epoch serving.
+    [?stats] flows to the optimizer (see {!convert_program}); serving
+    shards pass the snapshot their plan cache's generation was costed
+    under. *)
 val serve_pair :
-  ?at_epoch:int -> servable -> Aprog.t -> (served_pair, string * string) result
+  ?at_epoch:int -> ?stats:Ccv_plan.Stats.t ->
+  servable -> Aprog.t -> (served_pair, string * string) result
 
 (** End-to-end: convert the program, translate the data, run both
     sides, and judge equivalence per §1.1/§5.2. *)

@@ -36,6 +36,13 @@ type t = {
     (string * string, (string * Value.t list) list) Hashtbl.t option;
       (* record -> link partners over the immutable snapshot, built on
          first use so [start] stays cheap *)
+  mutable row_index : (string * string, int * Row.t) Hashtbl.t option;
+      (* (entity, key) -> extent position and row over the snapshot;
+         lets a slice collect exactly its closure instead of filtering
+         every full extent per batch *)
+  mutable link_index : (string * string, (int * Sdb.link) list) Hashtbl.t option;
+      (* (assoc, left key) -> that endpoint's links with their
+         link-set positions, same purpose *)
 }
 
 type summary = {
@@ -103,6 +110,8 @@ let start ?(config = default_config) ~shard_id (req : Supervisor.request) sdb =
           merged = Hashtbl.create 256;
           seen_links = Hashtbl.create 256;
           partner_index = None;
+          row_index = None;
+          link_index = None;
         }
       in
       Ok (t, servable)
@@ -213,6 +222,51 @@ let partners_of t (ename, key) =
     (Hashtbl.find_opt (partner_index t) (Field.canon ename, key_repr key))
     ~default:[]
 
+(* Positional indexes over the immutable snapshot, memoized like
+   [partner_index]: slice assembly looks up exactly the closure's rows
+   and links instead of filtering every full extent and link set per
+   batch, which made a drain quadratic in the instance size.  The
+   recorded positions let a slice keep extent/link-set order, so the
+   assembled sub-instance is byte-identical to the filtering one. *)
+let row_index t =
+  match t.row_index with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 1024 in
+      let schema = Sdb.schema t.snapshot in
+      List.iter
+        (fun (e : Semantic.entity) ->
+          List.iteri
+            (fun i row ->
+              Hashtbl.replace idx
+                (Field.canon e.ename, key_repr (Sdb.key_of e row))
+                (i, row))
+            (Sdb.rows_silent t.snapshot e.ename))
+        schema.Semantic.entities;
+      t.row_index <- Some idx;
+      idx
+
+let link_index t =
+  match t.link_index with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 1024 in
+      let schema = Sdb.schema t.snapshot in
+      List.iter
+        (fun (a : Semantic.assoc) ->
+          List.iteri
+            (fun i (l : Sdb.link) ->
+              let k = (Field.canon a.aname, key_repr l.lkey) in
+              Hashtbl.replace idx k
+                ((i, l) :: Option.value (Hashtbl.find_opt idx k) ~default:[]))
+            (Sdb.links_silent t.snapshot a.aname))
+        schema.Semantic.assocs;
+      t.link_index <- Some idx;
+      idx
+
+let in_position_order xs =
+  List.map snd (List.sort (fun (i, _) (j, _) -> compare (i : int) j) xs)
+
 let merge_batch t ~via (batch : int list) =
   if batch = [] then ()
   else begin
@@ -255,27 +309,43 @@ let merge_batch t ~via (batch : int list) =
     expand true;
     expand false;
     (* Assemble the slice: rows for every seen record, links with both
-       endpoints inside. *)
+       endpoints inside — via the memoized snapshot indexes, so the
+       work is proportional to the closure, not the instance. *)
+    let seen_by_entity : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (en, kr) () ->
+        Hashtbl.replace seen_by_entity en
+          (kr :: Option.value (Hashtbl.find_opt seen_by_entity en) ~default:[]))
+      seen;
+    let seen_keys en =
+      Option.value (Hashtbl.find_opt seen_by_entity en) ~default:[]
+    in
+    let ridx = row_index t and lidx = link_index t in
     let slice_rows =
       List.map
         (fun (e : Semantic.entity) ->
+          let en = Field.canon e.ename in
           ( e.ename,
-            List.filter
-              (fun row ->
-                Hashtbl.mem seen
-                  (Field.canon e.ename, key_repr (Sdb.key_of e row)))
-              (Sdb.rows_silent t.snapshot e.ename) ))
+            in_position_order
+              (List.filter_map
+                 (fun kr -> Hashtbl.find_opt ridx (en, kr))
+                 (seen_keys en)) ))
         schema.Semantic.entities
     in
     let slice_links =
       List.map
         (fun (a : Semantic.assoc) ->
+          let an = Field.canon a.aname in
+          let right = Field.canon a.right in
           ( a.aname,
-            List.filter
-              (fun (l : Sdb.link) ->
-                Hashtbl.mem seen (Field.canon a.left, key_repr l.lkey)
-                && Hashtbl.mem seen (Field.canon a.right, key_repr l.rkey))
-              (Sdb.links_silent t.snapshot a.aname) ))
+            in_position_order
+              (List.concat_map
+                 (fun kr ->
+                   List.filter
+                     (fun (_, (l : Sdb.link)) ->
+                       Hashtbl.mem seen (right, key_repr l.rkey))
+                     (Option.value (Hashtbl.find_opt lidx (an, kr)) ~default:[]))
+                 (seen_keys (Field.canon a.left))) ))
         schema.Semantic.assocs
     in
     (match

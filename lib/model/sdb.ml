@@ -260,6 +260,143 @@ let link_exn ?attrs t aname ~left ~right =
   | Ok t -> t
   | Error s -> invalid_arg (Fmt.str "Sdb.link_exn %s: %a" aname Status.pp s)
 
+(* ------------------------------------------------------------------ *)
+(* Bulk loading.  Exactly the checks of [insert_entity]/[link], applied
+   in element order against the instance plus the batch's
+   already-accepted prefix — a bulk call accepts and rejects precisely
+   what the equivalent fold would — but with one extent/link-set
+   splice and one index rebuild per call, and map-based duplicate and
+   constraint probes.  The fold is O(batch * extent); this is
+   O((extent + batch) log).  Data translation lives on these. *)
+
+module Kmap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+end)
+
+let insert_all t ename rows =
+  let decl = Semantic.find_entity_exn t.schema ename in
+  let nn = not_null_fields t decl in
+  let existing = extent t decl.ename in
+  let keys =
+    ref
+      (List.fold_left
+         (fun m row -> Kmap.add (key_of decl row) () m)
+         Kmap.empty existing)
+  in
+  let accepted = ref [] and rejected = ref [] in
+  List.iter
+    (fun orig ->
+      let row = Row.coerce orig decl.fields in
+      if not (Row.conforms row decl.fields) then
+        rejected :=
+          ( orig,
+            Status.Invalid_request (Fmt.str "bad instance for %s" decl.ename) )
+          :: !rejected
+      else
+        match
+          List.find_opt
+            (fun f ->
+              Value.is_null (Option.value (Row.get row f) ~default:Value.Null))
+            nn
+        with
+        | Some f ->
+            rejected :=
+              ( orig,
+                Status.Constraint_violation
+                  (Fmt.str "%s.%s is null" decl.ename f) )
+              :: !rejected
+        | None ->
+            let key = key_of decl row in
+            Counters.record_read t.counters;
+            if Kmap.mem key !keys then
+              rejected := (orig, Status.Duplicate_key decl.ename) :: !rejected
+            else begin
+              Counters.record_write t.counters;
+              keys := Kmap.add key () !keys;
+              accepted := row :: !accepted
+            end)
+    rows;
+  let t =
+    match !accepted with
+    | [] -> t
+    | acc -> set_extent t decl.ename (existing @ List.rev acc)
+  in
+  (t, List.rev !rejected)
+
+let link_all t aname links =
+  let a = Semantic.find_assoc_exn t.schema aname in
+  let le = Semantic.find_entity_exn t.schema a.left in
+  let re = Semantic.find_entity_exn t.schema a.right in
+  let key_set decl =
+    List.fold_left
+      (fun m row -> Kmap.add (key_of decl row) () m)
+      Kmap.empty
+      (extent t decl.Semantic.ename)
+  in
+  let lkeys = key_set le and rkeys = key_set re in
+  let existing = link_set t a.aname in
+  let limit = limit_of t a.aname in
+  let one_many = a.card = Semantic.One_to_many in
+  let pairs = ref Kmap.empty
+  and rused = ref Kmap.empty
+  and lcount = ref Kmap.empty in
+  let note lkey rkey =
+    pairs := Kmap.add (lkey @ rkey) () !pairs;
+    rused := Kmap.add rkey () !rused;
+    lcount :=
+      Kmap.update lkey
+        (fun c -> Some (1 + Option.value c ~default:0))
+        !lcount
+  in
+  List.iter (fun l -> note l.lkey l.rkey) existing;
+  let accepted = ref [] and rejected = ref [] in
+  List.iter
+    (fun ((left, right, attrs) : Value.t list * Value.t list * Row.t) ->
+      Counters.record_read t.counters;
+      if not (Kmap.mem left lkeys) then
+        rejected :=
+          Status.Constraint_violation
+            (Fmt.str "%s: no %s instance for link" a.aname a.left)
+          :: !rejected
+      else if not (Kmap.mem right rkeys) then
+        rejected :=
+          Status.Constraint_violation
+            (Fmt.str "%s: no %s instance for link" a.aname a.right)
+          :: !rejected
+      else if Kmap.mem (left @ right) !pairs then
+        rejected := Status.Duplicate_key a.aname :: !rejected
+      else if one_many && Kmap.mem right !rused then
+        rejected :=
+          Status.Constraint_violation
+            (Fmt.str "%s: %s instance already has a %s partner" a.aname
+               a.right a.left)
+          :: !rejected
+      else if
+        match limit with
+        | None -> false
+        | Some n -> Option.value (Kmap.find_opt left !lcount) ~default:0 >= n
+      then
+        rejected :=
+          Status.Constraint_violation
+            (Fmt.str "%s: participation limit reached" a.aname)
+          :: !rejected
+      else begin
+        Counters.record_write t.counters;
+        note left right;
+        accepted :=
+          { lkey = left; rkey = right; attrs = Row.coerce attrs a.fields }
+          :: !accepted
+      end)
+    links;
+  let t =
+    match !accepted with
+    | [] -> t
+    | acc -> set_links t a.aname (existing @ List.rev acc)
+  in
+  (t, List.rev !rejected)
+
 let unlink t aname ~left ~right =
   let a = Semantic.find_assoc_exn t.schema aname in
   let existing = link_set t a.aname in

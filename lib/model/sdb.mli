@@ -71,6 +71,19 @@ val link : ?attrs:Row.t -> t -> string -> left:Value.t list ->
 val link_exn :
   ?attrs:Row.t -> t -> string -> left:Value.t list -> right:Value.t list -> t
 
+(** Bulk insert: the checks of {!insert_entity} applied in element
+    order (each against the instance plus the batch's accepted
+    prefix), with one extent splice and one index rebuild per call —
+    the fold equivalent is quadratic in the extent.  Returns the
+    rejected rows with their statuses, in input order. *)
+val insert_all : t -> string -> Row.t list -> t * (Row.t * Status.t) list
+
+(** Bulk link ([(left, right, attrs)] triples): same contract as
+    {!insert_all} relative to {!link}. *)
+val link_all :
+  t -> string -> (Value.t list * Value.t list * Row.t) list ->
+  t * Status.t list
+
 val unlink :
   t -> string -> left:Value.t list -> right:Value.t list -> (t, Status.t) result
 

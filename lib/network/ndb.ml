@@ -27,6 +27,23 @@ let stored_value row f = Option.value (Row.get row f) ~default:Value.Null
 let type_keys t rtype =
   Option.value (Smap.find_opt (Field.canon rtype) t.by_type) ~default:Iset.empty
 
+(* Per-type record counts and equality-index bucket profiles, served
+   from the maintained maps without touching the access counters —
+   statistics snapshots must not perturb the workload they observe. *)
+let type_counts t =
+  List.rev
+    (Smap.fold
+       (fun rtype ks acc -> (rtype, Iset.cardinal ks) :: acc)
+       t.by_type [])
+
+let index_bucket_counts t ~rtype ~field =
+  match Smap.find_opt (index_name rtype field) t.eq_indexes with
+  | None -> None
+  | Some vmap ->
+      Some
+        (List.rev
+           (Vmap.fold (fun v ks acc -> (v, Iset.cardinal ks) :: acc) vmap []))
+
 let create schema =
   { schema;
     records = Imap.empty;
@@ -327,20 +344,63 @@ let select_owner t (decl : Nschema.set_decl) ~resolve_current ~seed =
                    (Fmt.str "set %s: no selection value for %s" decl.sname
                       ofield))
           | None -> (
+              let matches k fields =
+                match Imap.find_opt k t.records with
+                | Some e ->
+                    List.for_all
+                      (fun (ofield, v) ->
+                        match Row.get e.row ofield with
+                        | Some v' -> Value.equal v' v
+                        | None -> false)
+                      fields
+                | None -> false
+              in
+              (* Probe the owner type's equality indexes where they
+                 cover a selection field (CALC keys always do) — a
+                 By-value selection against every stored member would
+                 otherwise rescan the whole owner extent, making bulk
+                 loads and migration drains quadratic.  Both paths
+                 visit keys in ascending order, so the chosen owner is
+                 the same either way. *)
+              let indexed, unindexed =
+                List.partition
+                  (fun (ofield, _) ->
+                    Smap.mem (index_name orty ofield) t.eq_indexes)
+                  wanted
+              in
               let candidate =
-                List.find_opt
-                  (fun k ->
-                    Counters.record_read t.counters;
-                    match Imap.find_opt k t.records with
-                    | Some e ->
-                        List.for_all
-                          (fun (ofield, v) ->
-                            match Row.get e.row ofield with
-                            | Some v' -> Value.equal v' v
-                            | None -> false)
-                          wanted
-                    | None -> false)
-                  (all_keys_silent t orty)
+                match indexed with
+                | [] ->
+                    List.find_opt
+                      (fun k ->
+                        Counters.record_read t.counters;
+                        matches k wanted)
+                      (all_keys_silent t orty)
+                | probes ->
+                    let hits =
+                      List.map
+                        (fun (ofield, v) ->
+                          Counters.record_read t.counters;
+                          let vmap =
+                            Smap.find (index_name orty ofield) t.eq_indexes
+                          in
+                          Option.value (Vmap.find_opt v vmap)
+                            ~default:Iset.empty)
+                        probes
+                    in
+                    let inter =
+                      match hits with
+                      | [] -> Iset.empty
+                      | h :: rest -> List.fold_left Iset.inter h rest
+                    in
+                    List.find_opt
+                      (fun k ->
+                        match unindexed with
+                        | [] -> Imap.mem k t.records
+                        | fields ->
+                            Counters.record_read t.counters;
+                            matches k fields)
+                      (Iset.elements inter)
               in
               match candidate with
               | Some k -> Ok k

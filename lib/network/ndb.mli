@@ -87,6 +87,20 @@ val lookup_eq_silent :
     returns human-readable inconsistencies (empty = consistent). *)
 val verify_indexes : t -> string list
 
+(** {2 Statistics}
+
+    Counts served from the maintained maps, access-counter-silent:
+    statistics snapshots must not perturb the workload they observe. *)
+
+(** Per-record-type counts, canonical names ascending; types with no
+    stored occurrence are absent. *)
+val type_counts : t -> (string * int) list
+
+(** Equality-index bucket sizes of [(rtype, field)], value-ascending;
+    [None] when no such index exists. *)
+val index_bucket_counts :
+  t -> rtype:string -> field:string -> (Ccv_common.Value.t * int) list option
+
 (** [members db ~set ~owner] — ordered member keys; charges one read
     for the occurrence fetch.  Members are charged at consumption
     point (when viewed), not en bloc. *)

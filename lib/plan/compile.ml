@@ -39,6 +39,7 @@ type t = {
 
 type ctab = {
   cschema : Semantic.t;
+  cstats : Stats.t option;  (** snapshot the plans are costed under *)
   ctslots : (string, int) Hashtbl.t;
   mutable ctnslots : int;
   mutable ctnames_rev : string list;
@@ -287,7 +288,7 @@ let compile_step tb (ps : Plan.step) : cstate -> Row.t list -> Row.t list =
           ctxs
 
 let compile_query tb (q : Apattern.t) : cstate -> Row.t list =
-  let plan = Plan.of_query tb.cschema q in
+  let plan = Plan.of_query ?stats:tb.cstats tb.cschema q in
   tb.ctplans_rev <- plan :: tb.ctplans_rev;
   tb.ctindexes_rev <-
     List.rev_append (Plan.required_indexes plan) tb.ctindexes_rev;
@@ -550,9 +551,10 @@ let compile_program tb (p : Aprog.t) : cstate -> unit =
   in
   compile_body p.body
 
-let compile schema (p : Aprog.t) =
+let compile ?stats schema (p : Aprog.t) =
   let tb =
     { cschema = schema;
+      cstats = stats;
       ctslots = Hashtbl.create 64;
       ctnslots = 0;
       ctnames_rev = [];

@@ -14,10 +14,12 @@ open Ccv_abstract
 
 type t
 
-(** [compile schema p] — one-time lowering.  The schema must be the one
-    of every database later passed to {!run} (the plan bakes in access
-    paths, entity layouts and register slots derived from it). *)
-val compile : Semantic.t -> Aprog.t -> t
+(** [compile ?stats schema p] — one-time lowering.  The schema must be
+    the one of every database later passed to {!run} (the plan bakes in
+    access paths, entity layouts and register slots derived from it).
+    With [?stats] every query plan is cost-chosen under the snapshot
+    (see {!Plan.of_query}); without it the fixed heuristic applies. *)
+val compile : ?stats:Stats.t -> Semantic.t -> Aprog.t -> t
 
 (** One plan per query in the program, in source order. *)
 val plans : t -> Plan.t list

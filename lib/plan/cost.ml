@@ -1,0 +1,67 @@
+(* Primitive cardinality estimators: price a candidate access path by
+   the rows it is expected to touch, given a statistics snapshot.
+   The Plan module composes these per step; keeping the estimators
+   free of Plan types keeps the dependency one-directional. *)
+
+(* Defaults when the snapshot carries nothing for a name: a nominal
+   extent and the classic 1-in-10 equality selectivity.  These only
+   matter for tie-breaking — with no statistics at all every candidate
+   prices the same and the heuristic (first-eligible) choice wins. *)
+let default_rows = 16.
+let default_selectivity = 0.1
+
+(* Fixed overhead charged per step execution, so a probe that matches
+   nothing still costs something and deeper plans are never free. *)
+let step_overhead = 1.
+
+let entity_rows stats ename =
+  match Stats.entity_count stats ename with
+  | Some c -> float_of_int c
+  | None -> default_rows
+
+let link_rows stats aname =
+  match Stats.link_count stats aname with
+  | Some c -> float_of_int c
+  | None -> default_rows
+
+(* Expected rows returned by an equality probe on [ename.fname].
+   [value = Some v] prices a constant operand exactly against the hot
+   list (residual average otherwise); [None] (operand bound at run
+   time) prices the average bucket. *)
+let eq_rows stats ename fname value =
+  let total = entity_rows stats ename in
+  match Stats.field_stat stats ename fname with
+  | Some fs when fs.Stats.distinct > 0 -> (
+      let distinct = float_of_int fs.Stats.distinct in
+      match value with
+      | None -> total /. distinct
+      | Some v -> (
+          match
+            List.find_opt
+              (fun (hv, _) -> Ccv_common.Value.compare hv v = 0)
+              fs.Stats.hot
+          with
+          | Some (_, n) -> float_of_int n
+          | None ->
+              let hot_sum =
+                List.fold_left (fun a (_, n) -> a + n) 0 fs.Stats.hot
+              in
+              let residual_rows = Float.max 0. (total -. float_of_int hot_sum) in
+              let residual_distinct =
+                Float.max 1. (distinct -. float_of_int (List.length fs.Stats.hot))
+              in
+              residual_rows /. residual_distinct))
+  | _ -> Float.max 1. (total *. default_selectivity)
+
+(* Selectivity of an equality conjunct: fraction of the extent kept. *)
+let eq_selectivity stats ename fname value =
+  let total = Float.max 1. (entity_rows stats ename) in
+  Float.min 1. (eq_rows stats ename fname value /. total)
+
+(* Average fanout of a link traversal from a bound source: links
+   divided by source extent.  At least the overhead of following the
+   set — a keyed traversal never touches the whole association. *)
+let link_fanout stats aname ~source =
+  let links = link_rows stats aname in
+  let sources = Float.max 1. (entity_rows stats source) in
+  Float.max 1. (links /. sources)

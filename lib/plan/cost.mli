@@ -1,0 +1,27 @@
+(** Primitive cardinality estimators for plan costing.
+
+    All estimators degrade gracefully when the snapshot has no data
+    for a name: nominal defaults keep every candidate priced the same,
+    so the heuristic choice survives the absence of statistics. *)
+
+open Ccv_common
+
+val default_rows : float
+val default_selectivity : float
+
+(** Fixed cost charged per step execution. *)
+val step_overhead : float
+
+val entity_rows : Stats.t -> string -> float
+val link_rows : Stats.t -> string -> float
+
+(** [eq_rows stats ename fname value] is the expected row count of an
+    equality probe; [value = Some v] uses the hot-bucket profile,
+    [None] (operand only bound at run time) the average bucket. *)
+val eq_rows : Stats.t -> string -> string -> Value.t option -> float
+
+(** Fraction of the extent an equality conjunct keeps, in [0, 1]. *)
+val eq_selectivity : Stats.t -> string -> string -> Value.t option -> float
+
+(** Average link fanout per bound source record. *)
+val link_fanout : Stats.t -> string -> source:string -> float

@@ -20,33 +20,87 @@ type step = {
 
 type t = { steps : step list; indexes : (string * string) list }
 
-(* Mirror of the interpreter's effective probe choice: the first
-   equality conjunct over a declared stored field whose other operand is
-   a constant or a host variable.  Any probe is result-transparent
-   (index buckets are in extent order and re-filtered with the full
-   qualification), so this choice affects access counts, never
-   answers. *)
-let probe_access schema ename qual =
+let operand_value = function Oconst v -> Some v | Ovar _ -> None
+
+(* The equality conjuncts a probe could use: [field = const] or
+   [field = var] (either orientation) over a declared stored field.
+   Any of them is result-transparent to probe (index buckets are in
+   extent order and re-filtered with the full qualification), so the
+   choice among them affects access counts, never answers. *)
+let eq_candidates fields conjuncts =
+  List.filter_map
+    (fun c ->
+      match c with
+      | Cond.Cmp (Cond.Eq, Cond.Field f, rhs)
+      | Cond.Cmp (Cond.Eq, rhs, Cond.Field f) ->
+          if not (Field.mem fields f) then None
+          else (
+            match rhs with
+            | Cond.Const v -> Some (c, f, Oconst v)
+            | Cond.Var x -> Some (c, f, Ovar x)
+            | Cond.Field _ | Cond.Add _ | Cond.Sub _ | Cond.Mul _
+            | Cond.Concat _ -> None)
+      | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
+      | Cond.Is_null _ | Cond.Is_not_null _ -> None)
+    conjuncts
+
+(* Probe choice over a pre-split conjunct list.  Without statistics
+   this mirrors the interpreter's convention (first eligible conjunct);
+   with statistics every candidate is priced by expected bucket size
+   and the cheapest wins, first-of-equals so a tie reproduces the
+   heuristic choice. *)
+let choose_probe ?stats fields ename conjuncts =
+  match eq_candidates fields conjuncts with
+  | [] -> Extent_scan
+  | (_, f, op) :: _ as cands -> (
+      match stats with
+      | None -> Indexed_probe { field = Symbol.intern f; operand = op }
+      | Some st ->
+          let _, best_f, best_op =
+            List.fold_left
+              (fun ((best_cost, _, _) as best) (_, f, op) ->
+                let cost = Cost.eq_rows st ename f (operand_value op) in
+                if cost < best_cost then (cost, f, op) else best)
+              (Cost.eq_rows st ename f (operand_value op), f, op)
+              (List.tl cands)
+          in
+          Indexed_probe { field = Symbol.intern best_f; operand = best_op })
+
+let probe_access ?stats schema ename qual =
   match Semantic.find_entity schema ename with
   | None -> Extent_scan
-  | Some e -> (
-      let pick c =
-        match c with
-        | Cond.Cmp (Cond.Eq, Cond.Field f, rhs)
-        | Cond.Cmp (Cond.Eq, rhs, Cond.Field f) ->
-            if not (Field.mem e.Semantic.fields f) then None
-            else (
-              match rhs with
-              | Cond.Const v -> Some (f, Oconst v)
-              | Cond.Var x -> Some (f, Ovar x)
-              | Cond.Field _ | Cond.Add _ | Cond.Sub _ | Cond.Mul _
-              | Cond.Concat _ -> None)
-        | Cond.True | Cond.Cmp _ | Cond.And _ | Cond.Or _ | Cond.Not _
-        | Cond.Is_null _ | Cond.Is_not_null _ -> None
-      in
-      match List.find_map pick (Cond.split_conjuncts qual) with
-      | Some (f, op) -> Indexed_probe { field = Symbol.intern f; operand = op }
-      | None -> Extent_scan)
+  | Some e ->
+      choose_probe ?stats e.Semantic.fields ename (Cond.split_conjuncts qual)
+
+(* With statistics, move the probe-eligible equality conjuncts to the
+   front ordered most-selective first, so compiled conjunct evaluation
+   short-circuits on the cheapest filter.  Only the eligible class is
+   reordered (total on declared fields — the same class the
+   optimizer's hoist rewrite already moves); everything else keeps its
+   original relative order. *)
+let order_conjuncts ?stats fields ename conjuncts =
+  match stats with
+  | None -> conjuncts
+  | Some st ->
+      let cands = eq_candidates fields conjuncts in
+      if cands = [] then conjuncts
+      else
+        let eligible = List.map (fun (c, _, _) -> c) cands in
+        let rest =
+          List.filter
+            (fun c -> not (List.memq c eligible))
+            conjuncts
+        in
+        let priced =
+          List.map
+            (fun (c, f, op) ->
+              (Cost.eq_rows st ename f (operand_value op), c))
+            cands
+        in
+        let sorted =
+          List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) priced
+        in
+        List.map snd sorted @ rest
 
 (* The indexes the reference interpreter would build for this step
    (ensure_query_indexes): every eq-conjunct field of a SELF step and
@@ -64,10 +118,19 @@ let step_indexes = function
   | Apattern.Through { target; link = tf, _; _ } -> [ (target, tf) ]
   | Apattern.Assoc_via _ | Apattern.Via_assoc _ -> []
 
-let of_step schema p =
+let fields_of schema name =
+  match Semantic.find_entity schema name with
+  | Some e -> e.Semantic.fields
+  | None -> (
+      match Semantic.find_assoc schema name with
+      | Some a -> a.Semantic.fields
+      | None -> [])
+
+let of_step ?stats schema p =
+  let target = Apattern.target_of p in
   let access =
     match p with
-    | Apattern.Self { target; qual } -> probe_access schema target qual
+    | Apattern.Self { target; qual } -> probe_access ?stats schema target qual
     | Apattern.Through { link = tf, sf; _ } ->
         Link_traverse
           { link_field = Symbol.intern tf; source_field = Symbol.intern sf }
@@ -79,9 +142,11 @@ let of_step schema p =
     | Apattern.Via_assoc _ -> Key_lookup
   in
   { pattern = p;
-    target = Symbol.intern (Apattern.target_of p);
+    target = Symbol.intern target;
     access;
-    conjuncts = Cond.split_conjuncts (Apattern.qual_of p);
+    conjuncts =
+      order_conjuncts ?stats (fields_of schema target) target
+        (Cond.split_conjuncts (Apattern.qual_of p));
   }
 
 let dedup_pairs pairs =
@@ -97,25 +162,147 @@ let dedup_pairs pairs =
   in
   go [] pairs
 
+(* Predicate pushdown through link traversals: a THROUGH step over
+   link [(tf, sf)] whose qualification pins [tf = const] can only match
+   source records with [sf = const] — any source with a different (or
+   null) [sf] yields nothing through the link.  Pushing [sf = const]
+   into the step that binds the source filters those records before
+   the traversal runs, and may upgrade that step's access to an
+   indexed probe.  Plan conjuncts are evaluated by compiled runs only,
+   so the reference interpreter stays the differential oracle. *)
+let push_down ?stats schema steps =
+  let arr = Array.of_list steps in
+  let extra = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s.pattern with
+      | Apattern.Through { source; link = tf, sf; _ } -> (
+          let binder =
+            let rec last_before j best =
+              if j >= i then best
+              else
+                last_before (j + 1)
+                  (if Field.name_equal (Symbol.name arr.(j).target) source then
+                     Some j
+                   else best)
+            in
+            last_before 0 None
+          in
+          let const =
+            List.find_map
+              (function
+                | Cond.Cmp (Cond.Eq, Cond.Field f, Cond.Const v)
+                | Cond.Cmp (Cond.Eq, Cond.Const v, Cond.Field f)
+                  when Field.name_equal f tf -> Some v
+                | _ -> None)
+              s.conjuncts
+          in
+          match (binder, const, Semantic.find_entity schema source) with
+          | Some j, Some v, Some e when Field.mem e.Semantic.fields sf ->
+              let pushed = Cond.Cmp (Cond.Eq, Cond.Field sf, Cond.Const v) in
+              let prev = arr.(j) in
+              if not (List.exists (Cond.equal pushed) prev.conjuncts) then (
+                let conjuncts = pushed :: prev.conjuncts in
+                let access =
+                  match prev.pattern with
+                  | Apattern.Self _ ->
+                      choose_probe ?stats e.Semantic.fields source conjuncts
+                  | _ -> prev.access
+                in
+                arr.(j) <- { prev with conjuncts; access };
+                extra := (source, sf) :: !extra)
+          | _ -> ())
+      | Apattern.Self _ | Apattern.Assoc_via _ | Apattern.Via_assoc _ -> ())
+    arr;
+  (Array.to_list arr, List.rev !extra)
+
 module F = Traverse.Fold (Traverse.Unit_env)
 
-let of_query schema q =
+let of_query ?stats schema q =
   (* one kit pass resolves each step and collects its wanted indexes *)
   let steps, indexes =
     F.query
       { F.default with
         F.step =
           (fun _ () (steps, idx) p ->
-            (of_step schema p :: steps, List.rev_append (step_indexes p) idx));
+            (of_step ?stats schema p :: steps,
+             List.rev_append (step_indexes p) idx));
       }
       () ([], []) q
   in
-  { steps = List.rev steps; indexes = dedup_pairs (List.rev indexes) }
+  let steps = List.rev steps in
+  let steps, pushed_indexes =
+    match stats with
+    | None -> (steps, [])
+    | Some _ -> push_down ?stats schema steps
+  in
+  { steps; indexes = dedup_pairs (List.rev indexes @ pushed_indexes) }
 
 let required_indexes t = t.indexes
 
 let fold_steps f acc t = List.fold_left f acc t.steps
 let iter_steps f t = List.iter f t.steps
+
+(* ------------------------------------------------------------------ *)
+(* Costing: estimated rows touched, composed step by step.  The
+   running cardinality is how many times the step executes (one run
+   per context produced so far); each execution touches the rows its
+   access path reaches and emits the fraction the qualification
+   keeps. *)
+
+let selectivity_product stats ename cands ~except =
+  List.fold_left
+    (fun acc (c, f, op) ->
+      if List.memq c except then acc
+      else acc *. Cost.eq_selectivity stats ename f (operand_value op))
+    1. cands
+
+let step_estimate stats schema s =
+  let ename = Symbol.name s.target in
+  let cands = eq_candidates (fields_of schema ename) s.conjuncts in
+  let touched, probed =
+    match (s.access, s.pattern) with
+    | Indexed_probe { field; operand }, _ ->
+        let f = Symbol.name field in
+        ( Cost.eq_rows stats ename f (operand_value operand),
+          List.filter_map
+            (fun (c, f', _) ->
+              if Field.name_equal f f' then Some c else None)
+            cands )
+    | Link_traverse { link_field; _ }, _ ->
+        (Cost.eq_rows stats ename (Symbol.name link_field) None, [])
+    | Assoc_scan _, Apattern.Assoc_via { assoc; source; _ } ->
+        (Cost.link_fanout stats assoc ~source, [])
+    | Assoc_scan _, _ -> (Cost.link_rows stats ename, [])
+    | Key_lookup, _ -> (1., [])
+    | Extent_scan, _ -> (Cost.entity_rows stats ename, [])
+  in
+  let out = touched *. selectivity_product stats ename cands ~except:probed in
+  (touched, Float.min touched out)
+
+type step_cost = {
+  cstep : step;
+  rows_touched : float;  (** per execution *)
+  rows_out : float;  (** per execution, after the qualification *)
+  cost : float;  (** executions x (overhead + rows touched) *)
+}
+
+let cost_steps ?(stats = Stats.empty) schema t =
+  let _, costs =
+    List.fold_left
+      (fun (card, acc) s ->
+        let touched, out = step_estimate stats schema s in
+        let cost = card *. (Cost.step_overhead +. touched) in
+        ( card *. out,
+          { cstep = s; rows_touched = touched; rows_out = out; cost } :: acc ))
+      (1., []) t.steps
+  in
+  List.rev costs
+
+let total_cost ?stats schema t =
+  List.fold_left (fun acc c -> acc +. c.cost) 0. (cost_steps ?stats schema t)
+
+(* ------------------------------------------------------------------ *)
 
 let pp_operand ppf = function
   | Oconst v -> Value.pp ppf v
@@ -139,3 +326,15 @@ let pp_step ppf s =
 
 let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_step) t.steps
 let explain t = Fmt.str "%a" pp t
+
+let explain_costs ?stats schema t =
+  let costs = cost_steps ?stats schema t in
+  let lines =
+    List.map
+      (fun c ->
+        Fmt.str "%a  ~%.1f row(s) touched, ~%.1f out, cost %.1f" pp_step
+          c.cstep c.rows_touched c.rows_out c.cost)
+      costs
+  in
+  let total = List.fold_left (fun acc c -> acc +. c.cost) 0. costs in
+  String.concat "\n" (lines @ [ Fmt.str "total estimated cost %.1f" total ])

@@ -40,7 +40,17 @@ type step = {
 
 type t = { steps : step list; indexes : (string * string) list }
 
-val of_query : Semantic.t -> Apattern.t -> t
+(** [of_query ?stats schema q] resolves every step of [q] to an access
+    path.  Without [?stats] the choice is the fixed heuristic (first
+    eligible equality conjunct, mirroring the interpreter).  With a
+    statistics snapshot the small candidate space is enumerated and the
+    cheapest picked: every eligible equality conjunct is priced as a
+    probe (hot-bucket exact, residual average otherwise), conjuncts are
+    reordered most-selective first, and [field = const] predicates are
+    pushed down through link traversals into the step binding the
+    source.  All choices are result-transparent — a cost-chosen plan
+    delivers exactly the rows the heuristic plan would. *)
+val of_query : ?stats:Stats.t -> Semantic.t -> Apattern.t -> t
 
 (** The (entity, field) equality indexes this plan wants in place —
     exactly the set the reference interpreter's [ensure_query_indexes]
@@ -53,9 +63,29 @@ val fold_steps : ('a -> step -> 'a) -> 'a -> t -> 'a
 
 val iter_steps : (step -> unit) -> t -> unit
 
+(** Per-step cost estimate under a statistics snapshot. *)
+type step_cost = {
+  cstep : step;
+  rows_touched : float;  (** per execution of the step *)
+  rows_out : float;  (** per execution, after the qualification *)
+  cost : float;  (** executions x (overhead + rows touched) *)
+}
+
+(** [cost_steps ?stats schema t] prices each step: the running
+    cardinality (contexts produced so far) times the rows the access
+    path touches per execution.  [?stats] defaults to {!Stats.empty},
+    under which every candidate prices by the nominal defaults. *)
+val cost_steps : ?stats:Stats.t -> Semantic.t -> t -> step_cost list
+
+val total_cost : ?stats:Stats.t -> Semantic.t -> t -> float
+
 val pp_access : Format.formatter -> access -> unit
 val pp_step : Format.formatter -> step -> unit
 val pp : Format.formatter -> t -> unit
 
 (** Human-readable plan, one line per step. *)
 val explain : t -> string
+
+(** Like {!explain}, with per-step row estimates and costs under the
+    given snapshot, plus a total line. *)
+val explain_costs : ?stats:Stats.t -> Semantic.t -> t -> string

@@ -16,9 +16,16 @@ type ('k, 'v) t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable drift_invalidations : int;
 }
 
-type stats = { hits : int; misses : int; invalidations : int; size : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  drift_invalidations : int;
+  size : int;
+}
 
 let create ?(size = 64) () =
   { table = Hashtbl.create size;
@@ -26,7 +33,18 @@ let create ?(size = 64) () =
     hits = 0;
     misses = 0;
     invalidations = 0;
+    drift_invalidations = 0;
   }
+
+(* Observed cardinalities drifted past the serving threshold: flush
+   the generation (cached plans were costed under stale statistics)
+   and account it separately from schema-change invalidations.  The
+   caller rebases its statistics and serves the next request under a
+   new combined fingerprint. *)
+let note_drift t =
+  Hashtbl.reset t.table;
+  t.fingerprint <- None;
+  t.drift_invalidations <- t.drift_invalidations + 1
 
 let find_or_compile t ~fingerprint key ~compile =
   (match t.fingerprint with
@@ -50,15 +68,18 @@ let stats (t : ('k, 'v) t) =
   { hits = t.hits;
     misses = t.misses;
     invalidations = t.invalidations;
+    drift_invalidations = t.drift_invalidations;
     size = Hashtbl.length t.table;
   }
 
-let zero_stats = { hits = 0; misses = 0; invalidations = 0; size = 0 }
+let zero_stats =
+  { hits = 0; misses = 0; invalidations = 0; drift_invalidations = 0; size = 0 }
 
 let add_stats a b =
   { hits = a.hits + b.hits;
     misses = a.misses + b.misses;
     invalidations = a.invalidations + b.invalidations;
+    drift_invalidations = a.drift_invalidations + b.drift_invalidations;
     size = a.size + b.size;
   }
 

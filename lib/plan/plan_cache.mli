@@ -10,7 +10,13 @@ open Ccv_model
 
 type ('k, 'v) t
 
-type stats = { hits : int; misses : int; invalidations : int; size : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** generation flushes on fingerprint change *)
+  drift_invalidations : int;  (** generation flushes via {!note_drift} *)
+  size : int;
+}
 
 val create : ?size:int -> unit -> ('k, 'v) t
 
@@ -20,6 +26,13 @@ val create : ?size:int -> unit -> ('k, 'v) t
     cache is flushed first and an invalidation recorded. *)
 val find_or_compile :
   ('k, 'v) t -> fingerprint:string -> 'k -> compile:('k -> 'v) -> 'v
+
+(** [note_drift t] — observed cardinalities drifted past the serving
+    threshold: flush the generation (its plans were costed under stale
+    statistics) and count a drift invalidation.  The next
+    [find_or_compile] recompiles under whatever fingerprint the caller
+    rebased to. *)
+val note_drift : ('k, 'v) t -> unit
 
 val stats : ('k, 'v) t -> stats
 val zero_stats : stats

@@ -1,0 +1,185 @@
+open Ccv_common
+open Ccv_model
+
+(* Cardinality statistics: a point-in-time snapshot of the counts the
+   stores already maintain (entity extents, per-field value buckets,
+   association cardinalities), tagged with a digest so a compiled plan
+   can carry the statistics it was costed under.  Plain data — no
+   store handle survives into a snapshot, so shards can compare a
+   baseline against live observations without touching each other's
+   replicas. *)
+
+(* How many hot values a field snapshot keeps verbatim.  Skew is what
+   cost-based probing exploits: the top buckets are priced exactly,
+   everything else by the residual average. *)
+let hot_values = 8
+
+type field_stat = {
+  distinct : int;  (** distinct stored values *)
+  max_bucket : int;  (** largest equality bucket *)
+  hot : (Value.t * int) list;
+      (** top-[hot_values] buckets, largest first (count-descending,
+          value order breaking ties, so snapshots are deterministic) *)
+}
+
+type entity_stat = {
+  count : int;
+  field_stats : (string * field_stat) list;  (** canonical field names *)
+}
+
+type t = {
+  fingerprint : string;
+  entities : (string * entity_stat) list;  (** canonical entity names *)
+  links : (string * int) list;  (** association/relation cardinalities *)
+}
+
+let fingerprint t = t.fingerprint
+
+let render_counts entities links =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (e, (s : entity_stat)) ->
+      Buffer.add_string b (Printf.sprintf "E %s %d" e s.count);
+      List.iter
+        (fun (f, (fs : field_stat)) ->
+          Buffer.add_string b
+            (Printf.sprintf " %s:%d/%d" f fs.distinct fs.max_bucket);
+          List.iter
+            (fun (v, n) ->
+              Buffer.add_string b (Printf.sprintf "=%s*%d" (Value.show v) n))
+            fs.hot)
+        s.field_stats;
+      Buffer.add_char b '\n')
+    entities;
+  List.iter
+    (fun (a, n) -> Buffer.add_string b (Printf.sprintf "A %s %d\n" a n))
+    links;
+  Buffer.contents b
+
+let make ~entities ~links =
+  let entities =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entities
+  in
+  let links = List.sort (fun (a, _) (b, _) -> String.compare a b) links in
+  { fingerprint = Digest.to_hex (Digest.string (render_counts entities links));
+    entities;
+    links;
+  }
+
+let empty = make ~entities:[] ~links:[]
+
+(* Fold a value-count table into a field snapshot: bucket counts
+   sorted (count desc, value asc) for a deterministic hot list. *)
+let field_stat_of_buckets buckets =
+  let sorted =
+    List.sort
+      (fun (v1, n1) (v2, n2) ->
+        match Int.compare n2 n1 with 0 -> Value.compare v1 v2 | c -> c)
+      buckets
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  { distinct = List.length sorted;
+    max_bucket = (match sorted with (_, n) :: _ -> n | [] -> 0);
+    hot = take hot_values sorted;
+  }
+
+let entity_stat_of_rows (e : Semantic.entity) rows =
+  let count = List.length rows in
+  let field_stats =
+    List.map
+      (fun (f : Field.t) ->
+        let cf = Field.canon f.name in
+        let tbl : (Value.t, int) Hashtbl.t = Hashtbl.create 16 in
+        List.iter
+          (fun row ->
+            let v = Option.value (Row.get row cf) ~default:Value.Null in
+            Hashtbl.replace tbl v
+              (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0))
+          rows;
+        let buckets = Hashtbl.fold (fun v n acc -> (v, n) :: acc) tbl [] in
+        (cf, field_stat_of_buckets buckets))
+      e.fields
+  in
+  { count; field_stats }
+
+(* Snapshot a semantic instance: every entity's extent grouped per
+   stored field, every association's link count. *)
+let of_sdb db =
+  let schema = Sdb.schema db in
+  let entities =
+    List.map
+      (fun (e : Semantic.entity) ->
+        ( Field.canon e.ename,
+          entity_stat_of_rows e (Sdb.rows_silent db e.ename) ))
+      schema.Semantic.entities
+  in
+  let links =
+    List.map
+      (fun (a : Semantic.assoc) ->
+        (Field.canon a.aname, List.length (Sdb.links_silent db a.aname)))
+      schema.Semantic.assocs
+  in
+  make ~entities ~links
+
+(* Host-store snapshots carry counts only (the drift check needs no
+   bucket detail): build from whatever per-name counts a store
+   exposes. *)
+let of_counts ~entities ~links =
+  make
+    ~entities:
+      (List.map
+         (fun (name, count) ->
+           (Field.canon name, { count; field_stats = [] }))
+         entities)
+    ~links
+
+let entity_stat t ename = List.assoc_opt (Field.canon ename) t.entities
+
+let entity_count t ename =
+  match entity_stat t ename with Some s -> Some s.count | None -> None
+
+let field_stat t ename fname =
+  match entity_stat t ename with
+  | None -> None
+  | Some s -> List.assoc_opt (Field.canon fname) s.field_stats
+
+let link_count t aname = List.assoc_opt (Field.canon aname) t.links
+
+(* ------------------------------------------------------------------ *)
+(* Drift: the largest relative change of any baseline count.  Names
+   the observation no longer carries count as empty — a migrating or
+   truncated extent is exactly the drift the plan cache must notice. *)
+
+let drift ~baseline ~observed =
+  let rel b o =
+    float_of_int (abs (o - b)) /. float_of_int (max b 1)
+  in
+  let entity_drift =
+    List.fold_left
+      (fun acc (name, (s : entity_stat)) ->
+        let o =
+          match entity_count observed name with Some c -> c | None -> 0
+        in
+        Float.max acc (rel s.count o))
+      0. baseline.entities
+  in
+  List.fold_left
+    (fun acc (name, n) ->
+      match link_count observed name with
+      | Some o -> Float.max acc (rel n o)
+      | None -> acc)
+    entity_drift baseline.links
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>stats %s@ %a@ %a@]"
+    (String.sub t.fingerprint 0 (min 8 (String.length t.fingerprint)))
+    (Fmt.list (fun ppf (e, (s : entity_stat)) ->
+         Fmt.pf ppf "  %s: %d row(s), %d field(s) profiled" e s.count
+           (List.length s.field_stats)))
+    t.entities
+    (Fmt.list (fun ppf (a, n) -> Fmt.pf ppf "  %s: %d link(s)" a n))
+    t.links

@@ -1,0 +1,59 @@
+(** Cardinality statistics snapshots.
+
+    A snapshot captures the counts the stores already maintain —
+    entity extent sizes, per-field equality-bucket profiles,
+    association cardinalities — as plain data tagged with a digest.
+    Compiled plans carry the fingerprint of the statistics they were
+    costed under, so the serving layer can detect when observed
+    cardinalities have drifted away from a plan's assumptions and
+    recost it. *)
+
+open Ccv_common
+open Ccv_model
+
+type field_stat = {
+  distinct : int;  (** distinct stored values *)
+  max_bucket : int;  (** largest equality bucket *)
+  hot : (Value.t * int) list;
+      (** top buckets, count-descending (value order breaks ties) *)
+}
+
+type entity_stat = {
+  count : int;
+  field_stats : (string * field_stat) list;  (** canonical field names *)
+}
+
+type t = {
+  fingerprint : string;
+  entities : (string * entity_stat) list;  (** canonical entity names *)
+  links : (string * int) list;  (** association cardinalities *)
+}
+
+val empty : t
+val fingerprint : t -> string
+
+(** [make ~entities ~links] normalises (sorts, canonical order) and
+    fingerprints a snapshot built from arbitrary per-name stats. *)
+val make :
+  entities:(string * entity_stat) list -> links:(string * int) list -> t
+
+(** Snapshot a semantic instance: full per-field bucket profiles. *)
+val of_sdb : Sdb.t -> t
+
+(** Snapshot from bare per-name counts (host stores expose counts but
+    not necessarily bucket profiles); field profiles are left empty. *)
+val of_counts :
+  entities:(string * int) list -> links:(string * int) list -> t
+
+val entity_stat : t -> string -> entity_stat option
+val entity_count : t -> string -> int option
+val field_stat : t -> string -> string -> field_stat option
+val link_count : t -> string -> int option
+
+(** [drift ~baseline ~observed] is the largest relative count change
+    of any name present in [baseline]: [|o - b| / max b 1], maximised
+    over entities and links.  An entity missing from [observed] counts
+    as drifted to zero. *)
+val drift : baseline:t -> observed:t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -28,6 +28,9 @@ let rows t rel =
 let rows_silent t rel = find_table t rel
 let cardinality t rel = List.length (find_table t rel)
 
+let cardinalities t =
+  List.map (fun (n, rows) -> (n, List.length rows)) t.tables
+
 let set_table t rel rows =
   let rel = Field.canon rel in
   { t with

@@ -23,6 +23,9 @@ val rows_silent : t -> string -> Row.t list
 
 val cardinality : t -> string -> int
 
+(** Every relation's cardinality, uncounted (statistics snapshots). *)
+val cardinalities : t -> (string * int) list
+
 (** [insert db rel row] checks arity/types and key uniqueness. *)
 val insert : t -> string -> Row.t -> (t, Status.t) result
 

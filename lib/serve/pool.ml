@@ -17,6 +17,9 @@ type config = {
   backfill_lag : int;
   fail_backfill : (int * int) option;
   fingerprint_replicas : bool;
+  cost_based_plans : bool;
+  stats_every : int;
+  drift_threshold : float;
 }
 
 let default_config =
@@ -35,6 +38,9 @@ let default_config =
     backfill_lag = 1;
     fail_backfill = None;
     fingerprint_replicas = false;
+    cost_based_plans = false;
+    stats_every = 0;
+    drift_threshold = 0.5;
   }
 
 type divergence = {
@@ -102,11 +108,14 @@ let clock () = Unix.gettimeofday ()
    recorded at 8 domains on a smaller host).  A lone shard instead
    hands the pool down so the bulk data translation itself chunks
    across the workers. *)
-let create_shards ~pool ~use_plan_cache ?live req sdb nshards =
+let create_shards ~pool ~use_plan_cache ?cost_based ?stats_every
+    ?drift_threshold ?live req sdb nshards =
   let ndomains = Workpool.size pool in
   let eff = max 1 (min ndomains (Domain.recommended_domain_count ())) in
   let mk s =
-    try Shard.create ~id:s ~pool ~use_plan_cache ?live req sdb
+    try
+      Shard.create ~id:s ~pool ~use_plan_cache ?cost_based ?stats_every
+        ?drift_threshold ?live req sdb
     with e -> Error (Printexc.to_string e)
   in
   let created =
@@ -664,8 +673,9 @@ let run ?(config = default_config) ~cutover req sdb requests =
     else None
   in
   let t_prep = clock () in
-  match create_shards ~pool ~use_plan_cache:config.use_plan_cache ?live req
-          sdb nshards
+  match create_shards ~pool ~use_plan_cache:config.use_plan_cache
+          ~cost_based:config.cost_based_plans ~stats_every:config.stats_every
+          ~drift_threshold:config.drift_threshold ?live req sdb nshards
   with
   | Error e -> Error e
   | Ok shards ->
@@ -814,13 +824,19 @@ let render r =
   | None -> ()
   | Some fp -> Buffer.add_string b (Printf.sprintf "target replicas: %s\n" fp));
   let ps = r.plan_stats in
-  if ps.Ccv_plan.Plan_cache.hits + ps.Ccv_plan.Plan_cache.misses > 0 then
+  if ps.Ccv_plan.Plan_cache.hits + ps.Ccv_plan.Plan_cache.misses > 0 then begin
     Buffer.add_string b
       (Printf.sprintf
          "plan cache: %d hit(s), %d miss(es), %d compiled pair(s), %.1f%% hit rate\n"
          ps.Ccv_plan.Plan_cache.hits ps.Ccv_plan.Plan_cache.misses
          ps.Ccv_plan.Plan_cache.size
          (100. *. Ccv_plan.Plan_cache.hit_rate ps));
+    if ps.Ccv_plan.Plan_cache.drift_invalidations > 0 then
+      Buffer.add_string b
+        (Printf.sprintf
+           "stats drift: %d generation flush(es) past the drift threshold\n"
+           ps.Ccv_plan.Plan_cache.drift_invalidations)
+  end;
   if r.transitions <> [] then begin
     Buffer.add_string b "\nphase transitions:\n";
     List.iter

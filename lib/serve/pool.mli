@@ -90,6 +90,19 @@ type config = {
   fingerprint_replicas : bool;
       (** compute {!report.replica_fingerprint} after serving (walks
           every target replica — meant for tests, not production) *)
+  cost_based_plans : bool;
+      (** optimize every compiled pair under a per-shard cardinality
+          snapshot ({!Ccv_plan.Stats}): equality conjuncts ordered by
+          observed selectivity, cached plans tagged with the snapshot
+          fingerprint ({!Shard.create} [~cost_based]) *)
+  stats_every : int;
+      (** with [cost_based_plans], re-observe each shard's live target
+          replica every N requests and flush/recost its plan cache
+          when counts drift past [drift_threshold]; [0] disables the
+          periodic check *)
+  drift_threshold : float;
+      (** largest tolerated relative count change before cached plans
+          are considered stale (default [0.5]) *)
 }
 
 val default_config : config

@@ -2,6 +2,8 @@ open Ccv_common
 open Ccv_convert
 open Ccv_migrate
 open Ccv_plan
+module Semantic = Ccv_model.Semantic
+module Sdb = Ccv_model.Sdb
 
 (* One compiled serving pair: the source program lowered to closures,
    and either the converted target likewise compiled or the conversion
@@ -15,10 +17,17 @@ type entry = {
 type t = {
   shard_id : int;
   servable : Supervisor.servable;
+  target_semantic : Semantic.t;
   mutable source_db : Engines.database;
   mutable target_db : Engines.database;
   use_plan_cache : bool;
-  fingerprint : string;
+  cost_based : bool;
+  stats_every : int;  (** observe cardinalities every N requests; 0 = never *)
+  drift_threshold : float;
+  fingerprint : string;  (** serving (schema/ops/models) part *)
+  mutable stats : Stats.t option;
+      (** baseline snapshot the cached generation was costed under *)
+  mutable requests_seen : int;
   cache : (Ccv_abstract.Aprog.t, (entry, string * string) result) Plan_cache.t;
   migration : Migrate.t option;
 }
@@ -28,23 +37,58 @@ let warnings t = t.servable.Supervisor.warnings
 let plan_stats t = Plan_cache.stats t.cache
 let migration t = t.migration
 let target_database t = t.target_db
+let baseline_stats t = t.stats
 
-let create ~id ?pool ?(use_plan_cache = true) ?live req sdb =
+(* Cached plans depend on the serving definition AND, under cost-based
+   selection, on the statistics they were costed with: the combined
+   tag makes a statistics rebase flush the generation through the
+   plan cache's ordinary fingerprint discipline. *)
+let effective_fingerprint t =
+  match t.stats with
+  | None -> t.fingerprint
+  | Some st -> t.fingerprint ^ ":" ^ Stats.fingerprint st
+
+let create ~id ?pool ?(use_plan_cache = true) ?(cost_based = false)
+    ?(stats_every = 0) ?(drift_threshold = 0.5) ?live req sdb =
+  let finish servable target_semantic target_db migration =
+    let stats =
+      if cost_based then
+        (* Baseline from the semantic instance in hand: the translated
+           one when bulk translation ran, the source instance under
+           live migration (the target fills toward the same counts). *)
+        let snapshot_of =
+          match migration with
+          | None -> servable.Supervisor.translated
+          | Some _ -> sdb
+        in
+        Some (Stats.of_sdb snapshot_of)
+      else None
+    in
+    { shard_id = id;
+      servable;
+      target_semantic;
+      source_db = servable.Supervisor.source_db;
+      target_db;
+      use_plan_cache;
+      cost_based;
+      stats_every;
+      drift_threshold;
+      fingerprint = Supervisor.serving_fingerprint req;
+      stats;
+      requests_seen = 0;
+      cache = Plan_cache.create ();
+      migration;
+    }
+  in
   match live with
   | None -> (
       match Supervisor.prepare_serving ?pool req sdb with
       | Error (stage, reason) -> Error (stage ^ ": " ^ reason)
       | Ok servable ->
           Ok
-            { shard_id = id;
-              servable;
-              source_db = servable.Supervisor.source_db;
-              target_db = servable.Supervisor.target_db;
-              use_plan_cache;
-              fingerprint = Supervisor.serving_fingerprint req;
-              cache = Plan_cache.create ();
-              migration = None;
-            })
+            (finish servable
+               (Sdb.schema servable.Supervisor.translated)
+               servable.Supervisor.target_db None))
   | Some mconfig -> (
       (* Live migration: source replica only; the target starts empty
          and fills by fault-in and backfill — no bulk translation in
@@ -52,16 +96,13 @@ let create ~id ?pool ?(use_plan_cache = true) ?live req sdb =
       match Migrate.start ~config:mconfig ~shard_id:id req sdb with
       | Error (stage, reason) -> Error (stage ^ ": " ^ reason)
       | Ok (m, servable) ->
-          Ok
-            { shard_id = id;
-              servable;
-              source_db = servable.Supervisor.source_db;
-              target_db = Migrate.engine_db m;
-              use_plan_cache;
-              fingerprint = Supervisor.serving_fingerprint req;
-              cache = Plan_cache.create ();
-              migration = Some m;
-            })
+          let target_semantic =
+            match Ccv_transform.Schema_change.apply_all req.Supervisor.source_schema
+                    req.Supervisor.ops with
+            | Ok s -> s
+            | Error _ -> req.Supervisor.source_schema
+          in
+          Ok (finish servable target_semantic (Migrate.engine_db m) (Some m)))
 
 (* Advance this shard's backfill watermark (no-op without live
    migration or after a migration failure). *)
@@ -75,6 +116,35 @@ let backfill_to t ~to_ =
 
 let migration_failed t =
   match t.migration with None -> None | Some m -> Migrate.failed m
+
+(* Periodic statistics observation: every [stats_every] requests (and
+   only once migration is complete — a filling extent is drift by
+   construction), rebuild a count snapshot from the live target
+   replica and compare against the baseline the cached generation was
+   costed under.  Past the threshold, flush the generation via
+   [note_drift] and rebase: the next request recompiles under the new
+   combined fingerprint.  Deterministic per shard — the trigger is the
+   shard-local request counter, not wall-clock. *)
+let check_drift t =
+  t.requests_seen <- t.requests_seen + 1;
+  if
+    t.cost_based && t.stats_every > 0
+    && t.requests_seen mod t.stats_every = 0
+    && (match t.migration with
+       | None -> true
+       | Some m -> Migrate.failed m = None && Migrate.n_done m >= Migrate.total m)
+  then
+    match t.stats with
+    | None -> ()
+    | Some baseline ->
+        let observed = Engines.observed_stats t.target_semantic t.target_db in
+        (* hierarchical targets expose no counts: snapshot is empty,
+           drift stays inert *)
+        if observed.Stats.entities <> [] then
+          if Stats.drift ~baseline ~observed > t.drift_threshold then begin
+            Plan_cache.note_drift t.cache;
+            t.stats <- Some observed
+          end
 
 let run_source t program input =
   let r = Engines.run ~input t.source_db program in
@@ -106,11 +176,13 @@ type resolved =
   | Pair of (unit -> Engines.run_result) * (unit -> Engines.run_result)
 
 let resolve t ~epoch aprog =
+  let stats = if t.cost_based then t.stats else None in
   if t.use_plan_cache then
     let compiled =
-      Plan_cache.find_or_compile t.cache ~fingerprint:t.fingerprint aprog
+      Plan_cache.find_or_compile t.cache ~fingerprint:(effective_fingerprint t)
+        aprog
         ~compile:(fun aprog ->
-          match Supervisor.serve_pair ~at_epoch:epoch t.servable aprog with
+          match Supervisor.serve_pair ~at_epoch:epoch ?stats t.servable aprog with
           | Error e -> Error e
           | Ok { Supervisor.source_program; target_program; pair_issues = _ }
             ->
@@ -128,7 +200,7 @@ let resolve t ~epoch aprog =
           ( (fun () -> run_source_compiled t csrc []),
             fun () -> run_target_compiled t ctgt [] )
   else
-    match Supervisor.serve_pair ~at_epoch:epoch t.servable aprog with
+    match Supervisor.serve_pair ~at_epoch:epoch ?stats t.servable aprog with
     | Error _ -> Refused
     | Ok { Supervisor.source_program; target_program = Error _; _ } ->
         Fallback (fun () -> run_source t source_program [])
@@ -140,6 +212,7 @@ let resolve t ~epoch aprog =
 let exec t ~phase ~tolerate_reordering ~canary_seed ?(migration_ok = true)
     ~live ~clock ~epoch ~seq request =
   let t0 = clock () in
+  check_drift t;
   (* Live migration: admit, then fault in everything the request may
      touch before it runs, so the dual-run never sees a
      partially-translated extent.  Admission is the analyzer's static

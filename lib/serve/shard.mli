@@ -30,9 +30,20 @@ val id : t -> int
     ({!Ccv_convert.Supervisor.prepare_live} via
     {!Ccv_migrate.Migrate.start}): the target replica starts empty and
     fills on first touch and by backfill, so creation does no bulk
-    data translation at all. *)
+    data translation at all.
+
+    With [cost_based], a cardinality snapshot ({!Ccv_plan.Stats}) is
+    taken at creation and every compiled pair is optimized under it
+    (selectivity-ordered conjuncts); cached plans carry the snapshot's
+    fingerprint.  [stats_every = n] (with [n > 0]) re-observes the
+    live target replica every [n] requests of this shard; when the
+    largest relative count change exceeds [drift_threshold] (default
+    0.5), the plan-cache generation is flushed
+    ({!Ccv_plan.Plan_cache.note_drift}) and the statistics rebased, so
+    subsequent requests are recosted under current cardinalities. *)
 val create :
   id:int -> ?pool:Ccv_common.Workpool.t -> ?use_plan_cache:bool ->
+  ?cost_based:bool -> ?stats_every:int -> ?drift_threshold:float ->
   ?live:Ccv_migrate.Migrate.config ->
   Supervisor.request -> Sdb.t ->
   (t, string) result
@@ -57,6 +68,10 @@ val backfill_to : t -> to_:int -> unit
 (** Hit/miss/invalidation counters of this shard's plan cache (all
     zero when the cache is disabled). *)
 val plan_stats : t -> Ccv_plan.Plan_cache.stats
+
+(** The statistics snapshot current plans are costed under; [None]
+    unless the shard was created [~cost_based:true]. *)
+val baseline_stats : t -> Ccv_plan.Stats.t option
 
 (** Execute one request under the given phase.  [live] is the calling
     worker's staging buffer, charged while the request runs (engine

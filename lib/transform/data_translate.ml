@@ -41,26 +41,24 @@ let rebuild ?pool ~old_db ~new_schema ~entity_rows ~assoc_links () =
   let dropped = ref [] in
   List.iter
     (fun ((e : Semantic.entity), rows) ->
+      let db', rejected = Sdb.insert_all !db e.ename rows in
+      db := db';
       List.iter
-        (fun row ->
-          match Sdb.insert_entity !db e.ename row with
-          | Ok db' -> db := db'
-          | Error s ->
-              dropped :=
-                Fmt.str "%s %a dropped: %a" e.ename Row.pp row Status.pp s
-                :: !dropped)
-        rows)
+        (fun (row, s) ->
+          dropped :=
+            Fmt.str "%s %a dropped: %a" e.ename Row.pp row Status.pp s
+            :: !dropped)
+        rejected)
     staged_rows;
   List.iter
     (fun ((a : Semantic.assoc), links) ->
+      let db', rejected = Sdb.link_all !db a.aname links in
+      db := db';
       List.iter
-        (fun ((left, right, attrs) : Value.t list * Value.t list * Row.t) ->
-          match Sdb.link ~attrs !db a.aname ~left ~right with
-          | Ok db' -> db := db'
-          | Error s ->
-              dropped :=
-                Fmt.str "%s link dropped: %a" a.aname Status.pp s :: !dropped)
-        links)
+        (fun s ->
+          dropped :=
+            Fmt.str "%s link dropped: %a" a.aname Status.pp s :: !dropped)
+        rejected)
     staged_links;
   ignore old_db;
   (!db, List.rev !dropped)
@@ -338,26 +336,25 @@ let translate_slice ~snapshot ~ops ~rows ~links =
   let insert_err = ref None in
   List.iter
     (fun (ename, rs) ->
-      List.iter
-        (fun row ->
-          match Sdb.insert_entity !sub ename row with
-          | Ok db' -> sub := db'
-          | Error s ->
-              if !insert_err = None then
-                insert_err :=
-                  Some (Fmt.str "slice %s %a: %a" ename Row.pp row Status.pp s))
-        rs)
+      let db', rejected = Sdb.insert_all !sub ename rs in
+      sub := db';
+      match rejected with
+      | (row, s) :: _ when !insert_err = None ->
+          insert_err :=
+            Some (Fmt.str "slice %s %a: %a" ename Row.pp row Status.pp s)
+      | _ -> ())
     rows;
   List.iter
     (fun (aname, ls) ->
-      List.iter
-        (fun (l : Sdb.link) ->
-          match Sdb.link ~attrs:l.attrs !sub aname ~left:l.lkey ~right:l.rkey with
-          | Ok db' -> sub := db'
-          | Error s ->
-              if !insert_err = None then
-                insert_err := Some (Fmt.str "slice link %s: %a" aname Status.pp s))
-        ls)
+      let db', rejected =
+        Sdb.link_all !sub aname
+          (List.map (fun (l : Sdb.link) -> (l.lkey, l.rkey, l.attrs)) ls)
+      in
+      sub := db';
+      match rejected with
+      | s :: _ when !insert_err = None ->
+          insert_err := Some (Fmt.str "slice link %s: %a" aname Status.pp s)
+      | _ -> ())
     links;
   match !insert_err with
   | Some msg -> Error ("Data_translate.translate_slice: " ^ msg)

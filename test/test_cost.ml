@@ -1,0 +1,328 @@
+(* Cost-based plan selection: the statistics snapshot may change which
+   access path a plan takes, never what it answers.  The suite pins
+
+   - (qcheck) cost-chosen plans are Io_trace-identical to heuristic
+     plans for every generator family over both example schemas, at
+     uniform and skewed key popularity;
+   - the cost model is monotone in bucket size, and a skewed instance
+     flips the probe to the selective conjunct (with fewer record
+     reads, same answers);
+   - [Stats.drift] measures the largest relative count change;
+   - [Plan_cache.note_drift] flushes the generation and counts a
+     drift invalidation, distinct from fingerprint invalidations;
+   - the optimizer's common-prefix sharing rewrite preserves the
+     interpreted trace. *)
+
+open Ccv_common
+open Ccv_model
+open Ccv_abstract
+open Ccv_plan
+open Ccv_convert
+module W = Ccv_workload
+module G = Ccv_workload.Generator
+
+let check = Alcotest.(check bool)
+
+let schemas =
+  [ ("company", W.Company.schema, fun () -> W.Company.instance ());
+    ("school", W.School.schema, fun () -> W.School.instance ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* (a) qcheck differential: cost-based = heuristic, every family x
+   both schemas x uniform and skewed workloads                         *)
+
+let same_run db_h db_c h c =
+  Io_trace.equal h.Ainterp.trace c.Ainterp.trace
+  && Sdb.equal_contents db_h db_c
+  && h.Ainterp.steps = c.Ainterp.steps
+  && h.Ainterp.hit_limit = c.Ainterp.hit_limit
+
+let cost_parity_prop =
+  QCheck.Test.make
+    ~name:"cost-based plans = heuristic plans (families x schemas x skews)"
+    ~count:6
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      List.for_all
+        (fun (_sname, schema, instance) ->
+          List.for_all
+            (fun skew ->
+              let sample = instance () in
+              let stats = Stats.of_sdb sample in
+              List.for_all
+                (fun family ->
+                  let batch =
+                    G.batch ~seed schema ~sample ~n:2 ~mix:[ (1, family) ]
+                      ~skew ()
+                  in
+                  List.for_all
+                    (fun (_, aprog) ->
+                      let h =
+                        Compile.run (instance ()) (Compile.compile schema aprog)
+                      in
+                      let c =
+                        Compile.run (instance ())
+                          (Compile.compile ~stats schema aprog)
+                      in
+                      same_run h.Ainterp.db c.Ainterp.db h c)
+                    batch)
+                G.all_families)
+            [ 0.; 1.2 ])
+        schemas)
+
+(* ------------------------------------------------------------------ *)
+(* (b) cost model: monotone in bucket size; the probe choice follows   *)
+
+let emp_stats ~dept_bucket ~age_bucket =
+  Stats.make
+    ~entities:
+      [ ( "EMP",
+          { Stats.count = 120;
+            field_stats =
+              [ ( "DEPT-NAME",
+                  { Stats.distinct = 3;
+                    max_bucket = dept_bucket;
+                    hot = [ (Value.Str "SALES", dept_bucket) ];
+                  } );
+                ( "AGE",
+                  { Stats.distinct = 40;
+                    max_bucket = age_bucket;
+                    hot = [ (Value.Int 30, age_bucket) ];
+                  } );
+              ];
+          } );
+      ]
+    ~links:[]
+
+let sales_query =
+  [ Apattern.Self
+      { target = "EMP";
+        qual =
+          Cond.And
+            ( Cond.eq_field_const "DEPT-NAME" (Value.Str "SALES"),
+              Cond.eq_field_const "AGE" (Value.Int 30) );
+      };
+  ]
+
+let monotonicity_case () =
+  let schema = W.Company.schema in
+  (* eq_rows grows with the bucket *)
+  let rows_at n =
+    Cost.eq_rows
+      (emp_stats ~dept_bucket:n ~age_bucket:2)
+      "EMP" "DEPT-NAME"
+      (Some (Value.Str "SALES"))
+  in
+  check "eq_rows monotone in bucket size" true
+    (rows_at 2 < rows_at 20 && rows_at 20 < rows_at 80);
+  (* and so does the cost of a pinned plan (the heuristic one probes
+     DEPT-NAME, the growing bucket) — of_query itself would dodge the
+     growth by flipping the probe to AGE *)
+  let pinned = Plan.of_query schema sales_query in
+  let cost_at n =
+    Plan.total_cost ~stats:(emp_stats ~dept_bucket:n ~age_bucket:2) schema
+      pinned
+  in
+  check "total_cost monotone in bucket size" true
+    (cost_at 2 < cost_at 20 && cost_at 20 < cost_at 80);
+  (* probe choice follows the smaller bucket *)
+  let probe_field stats =
+    match (List.hd (Plan.of_query ~stats schema sales_query).Plan.steps)
+            .Plan.access
+    with
+    | Plan.Indexed_probe { field; _ } -> Symbol.name field
+    | a -> Alcotest.failf "expected a probe, got %a" Plan.pp_access a
+  in
+  check "probe follows the selective conjunct (AGE)" true
+    (probe_field (emp_stats ~dept_bucket:40 ~age_bucket:2) = "AGE");
+  check "probe follows the selective conjunct (DEPT-NAME)" true
+    (probe_field (emp_stats ~dept_bucket:2 ~age_bucket:40) = "DEPT-NAME");
+  (* no statistics: the heuristic first-conjunct choice survives *)
+  match
+    (List.hd (Plan.of_query schema sales_query).Plan.steps).Plan.access
+  with
+  | Plan.Indexed_probe { field; _ } ->
+      check "heuristic picks the first conjunct" true
+        (Symbol.name field = "DEPT-NAME")
+  | a -> Alcotest.failf "expected a probe, got %a" Plan.pp_access a
+
+(* On a real skewed instance the cost-chosen probe touches fewer
+   records for the same answers. *)
+let skewed_probe_case () =
+  let schema = W.Company.schema in
+  let sample = W.Company.scaled ~seed:17 ~n:240 in
+  let sales_emp =
+    match
+      List.find_opt
+        (fun r -> Row.get r "DEPT-NAME" = Some (Value.Str "SALES"))
+        (Sdb.rows_silent sample "EMP")
+    with
+    | Some r -> (
+        match Row.get r "EMP-NAME" with
+        | Some (Value.Str n) -> n
+        | _ -> Alcotest.fail "EMP-NAME missing")
+    | None -> Alcotest.fail "no SALES employee in the scaled instance"
+  in
+  let aprog =
+    { Aprog.name = "SKEWED-LOOKUP";
+      body =
+        [ Aprog.For_each
+            { query =
+                [ Apattern.Self
+                    { target = "EMP";
+                      qual =
+                        Cond.And
+                          ( Cond.eq_field_const "DEPT-NAME" (Value.Str "SALES"),
+                            Cond.eq_field_const "EMP-NAME"
+                              (Value.Str sales_emp) );
+                    };
+                ];
+              body = [ Aprog.Display [ Host.v "EMP.AGE" ] ];
+            };
+        ];
+    }
+  in
+  let stats = Stats.of_sdb sample in
+  let run compiled =
+    let db = W.Company.scaled ~seed:17 ~n:240 in
+    Counters.reset (Sdb.counters db);
+    let r = Compile.run db compiled in
+    (r, Counters.reads (Sdb.counters r.Ainterp.db))
+  in
+  let h, h_reads = run (Compile.compile schema aprog) in
+  let c, c_reads = run (Compile.compile ~stats schema aprog) in
+  check "skewed probe: same trace" true
+    (Io_trace.equal h.Ainterp.trace c.Ainterp.trace);
+  check
+    (Fmt.str "skewed probe reads fewer records (%d < %d)" c_reads h_reads)
+    true (c_reads < h_reads)
+
+(* ------------------------------------------------------------------ *)
+(* (c) Stats.drift                                                     *)
+
+let drift_case () =
+  let counts es = Stats.of_counts ~entities:es ~links:[] in
+  let b = counts [ ("EMP", 10); ("DIV", 4) ] in
+  check "identical snapshots do not drift" true
+    (Stats.drift ~baseline:b ~observed:b = 0.);
+  check "40% growth drifts 0.4" true
+    (abs_float
+       (Stats.drift ~baseline:b ~observed:(counts [ ("EMP", 14); ("DIV", 4) ])
+       -. 0.4)
+    < 1e-9);
+  check "doubling drifts 1.0" true
+    (Stats.drift ~baseline:b ~observed:(counts [ ("EMP", 20); ("DIV", 4) ])
+    = 1.);
+  check "a vanished extent drifts to zero (1.0)" true
+    (Stats.drift ~baseline:b ~observed:(counts [ ("DIV", 4) ]) = 1.);
+  check "link drift counts too" true
+    (Stats.drift
+       ~baseline:(Stats.of_counts ~entities:[] ~links:[ ("DIV-EMP", 8) ])
+       ~observed:(Stats.of_counts ~entities:[] ~links:[ ("DIV-EMP", 12) ])
+    = 0.5);
+  (* real snapshots of the same instance agree *)
+  let s = Stats.of_sdb (W.Company.instance ()) in
+  check "of_sdb is stable" true
+    (Stats.drift ~baseline:s ~observed:(Stats.of_sdb (W.Company.instance ()))
+    = 0.)
+
+(* ------------------------------------------------------------------ *)
+(* (d) Plan_cache.note_drift                                           *)
+
+let drift_invalidation_case () =
+  let schema = W.Company.schema in
+  let sdb = W.Company.instance () in
+  let cache : (Aprog.t, Compile.t) Plan_cache.t = Plan_cache.create () in
+  let fp = Plan_cache.schema_fingerprint schema in
+  let progs = List.map snd (G.batch ~seed:9 schema ~sample:sdb ~n:3 ()) in
+  let fill () =
+    List.iter
+      (fun p ->
+        ignore
+          (Plan_cache.find_or_compile cache ~fingerprint:fp p
+             ~compile:(Compile.compile schema)))
+      progs
+  in
+  fill ();
+  let s0 = Plan_cache.stats cache in
+  check "cache warmed" true (s0.Plan_cache.size = List.length progs);
+  Plan_cache.note_drift cache;
+  let s1 = Plan_cache.stats cache in
+  check "drift flushes the generation" true (s1.Plan_cache.size = 0);
+  check "drift invalidation counted" true
+    (s1.Plan_cache.drift_invalidations = 1);
+  check "not a fingerprint invalidation" true
+    (s1.Plan_cache.invalidations = s0.Plan_cache.invalidations);
+  (* same fingerprint recompiles after the flush, then hits again *)
+  fill ();
+  fill ();
+  let s2 = Plan_cache.stats cache in
+  check "recompiled under the same fingerprint" true
+    (s2.Plan_cache.misses = 2 * List.length progs);
+  check "steady state restored" true
+    (s2.Plan_cache.hits = s0.Plan_cache.hits + List.length progs)
+
+(* ------------------------------------------------------------------ *)
+(* (e) sharing rewrite: the optimizer merges a singleton common
+   prefix and the interpreted trace is unchanged                       *)
+
+let sharing_case () =
+  let schema = W.Company.schema in
+  let prefix =
+    [ Apattern.Self
+        { target = "EMP";
+          qual = Cond.eq_field_const "EMP-NAME" (Value.Str "ADAMS");
+        };
+      Apattern.Self
+        { target = "DIV";
+          qual = Cond.eq_field_const "DIV-NAME" (Value.Str "MACHINERY");
+        };
+    ]
+  in
+  let p =
+    { Aprog.name = "SHARED-PREFIX";
+      body =
+        [ Aprog.For_each
+            { query = prefix; body = [ Aprog.Display [ Host.v "EMP.AGE" ] ] };
+          Aprog.For_each
+            { query = prefix;
+              body = [ Aprog.Display [ Host.v "DIV.DIV-LOC" ] ];
+            };
+        ];
+    }
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let optimized, log = Optimizer.optimize schema p in
+  check "rewrite fired" true (List.exists (fun l -> contains l "shared") log);
+  check "one loop remains" true
+    (List.length (Aprog.queries optimized) < List.length (Aprog.queries p));
+  let r = Ainterp.run (W.Company.instance ()) p in
+  let o = Ainterp.run (W.Company.instance ()) optimized in
+  check "shared prefix: same trace" true
+    (Io_trace.equal r.Ainterp.trace o.Ainterp.trace);
+  check "shared prefix: same contents" true
+    (Sdb.equal_contents r.Ainterp.db o.Ainterp.db)
+
+let () =
+  Alcotest.run "cost"
+    [ ("differential", [ QCheck_alcotest.to_alcotest cost_parity_prop ]);
+      ( "model",
+        [ Alcotest.test_case "cost monotone in bucket size" `Quick
+            monotonicity_case;
+          Alcotest.test_case "skewed instance flips the probe" `Quick
+            skewed_probe_case;
+        ] );
+      ( "drift",
+        [ Alcotest.test_case "Stats.drift" `Quick drift_case;
+          Alcotest.test_case "note_drift flushes the cache" `Quick
+            drift_invalidation_case;
+        ] );
+      ("sharing", [ Alcotest.test_case "common prefix shared" `Quick sharing_case ]);
+    ]
