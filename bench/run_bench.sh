@@ -5,9 +5,10 @@
 # micro-bench), BENCH_PR2.json (phased-coexistence service),
 # BENCH_PR4.json (compiled plans + plan cache), BENCH_PR6.json
 # (worker-pool scaling, epoch snapshots vs tick barrier),
-# BENCH_PR7.json (live migration vs stop-the-world preparation) and
-# BENCH_PR9.json (cost-based plan selection + backfill drain) at the
-# repository root.
+# BENCH_PR7.json (live migration vs stop-the-world preparation),
+# BENCH_PR9.json (cost-based plan selection + backfill drain) and
+# BENCH_PR10.json (work-stealing vs pinned under a hot shard,
+# open-loop latency) at the repository root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,3 +20,4 @@ dune exec bench/main.exe -- plan --json --out BENCH_PR4.json
 dune exec bench/main.exe -- scaling --json --out BENCH_PR6.json
 dune exec bench/main.exe -- migration --json --out BENCH_PR7.json
 dune exec bench/main.exe -- cost drain --json --out BENCH_PR9.json
+dune exec bench/main.exe -- hotshard --json --out BENCH_PR10.json

@@ -340,8 +340,8 @@ let analyze_run schema program ops_raw cap corpus seed json explain =
 
 let serve_run ops_raw requests domains shards batch seed canary window
     min_obs threshold promote strict no_plan_cache fail_request epoch_serving
-    epoch_batch epoch_lag live_migration backfill_batch backfill_lag skew
-    cost_based stats_every drift_threshold explain =
+    epoch_batch epoch_lag steal split_threshold live_migration backfill_batch
+    backfill_lag skew cost_based stats_every drift_threshold explain =
   let module S = Ccv_serve in
   let module W = Ccv_workload in
   let ops =
@@ -406,6 +406,8 @@ let serve_run ops_raw requests domains shards batch seed canary window
       epoch_serving;
       epoch_batch;
       epoch_lag;
+      steal;
+      split_threshold;
       live_migration;
       backfill_batch;
       backfill_lag;
@@ -598,6 +600,23 @@ let serve_cmd =
           ~doc:"rows the phase plan is published ahead of the controller \
                 (epoch-serving pipeline depth)")
   in
+  let steal =
+    Arg.(
+      value & opt bool true
+      & info [ "steal" ] ~docv:"BOOL"
+          ~doc:"epoch serving: schedule epoch rows through the work-stealing \
+                deque — any idle worker claims the next ready row regardless \
+                of shard (default); $(b,false) pins shard s to worker s mod \
+                domains.  Served output is bit-identical either way")
+  in
+  let split_threshold =
+    Arg.(
+      value & opt int 0
+      & info [ "split-threshold" ] ~docv:"N"
+          ~doc:"with $(b,--steal), split epoch rows longer than N requests \
+                into sub-rows that successive workers execute back-to-back \
+                (0 = never split)")
+  in
   let live_migration =
     Arg.(
       value & flag
@@ -668,8 +687,9 @@ let serve_cmd =
       const serve_run $ ops_arg $ requests $ domains $ shards $ batch $ seed
       $ canary $ window $ min_obs $ threshold $ promote $ strict
       $ no_plan_cache $ fail_request $ epoch_serving $ epoch_batch
-      $ epoch_lag $ live_migration $ backfill_batch $ backfill_lag $ skew
-      $ cost_based $ stats_every $ drift_threshold $ explain)
+      $ epoch_lag $ steal $ split_threshold $ live_migration
+      $ backfill_batch $ backfill_lag $ skew $ cost_based $ stats_every
+      $ drift_threshold $ explain)
 
 let cmd =
   let doc =

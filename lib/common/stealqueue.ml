@@ -1,0 +1,72 @@
+(* Per-slot work-stealing deques over atomic immutable lists.
+
+   Each slot owns one deque; the owner pushes and pops at the head
+   (LIFO — the token it just ran is the one whose shard state is hot in
+   cache), parks blocked tokens at the tail, and thieves take from the
+   tail (FIFO — the oldest token is the one its owner has neglected
+   longest).  A deque is a whole immutable list in one [Atomic.t]; every
+   mutation is a CAS of the entire list.  That is O(n) for tail
+   operations, but n is bounded by the token count (shards, a few
+   dozen), and the scheme buys the property the epoch scheduler builds
+   its exactly-once argument on: a successful CAS removes an element
+   atomically, so a token lives in exactly one deque or in exactly one
+   worker's hands — never two.
+
+   The CAS also carries the ownership handoff: everything the previous
+   holder wrote to the token's shard before pushing it is visible to
+   whoever pops or steals it next (plain writes sequenced before an
+   atomic write are visible to readers of that atomic). *)
+
+type 'a t = { deques : 'a list Atomic.t array }
+
+let create ~slots = { deques = Array.init (max 1 slots) (fun _ -> Atomic.make []) }
+
+let slots t = Array.length t.deques
+
+let rec cas_update cell f =
+  let old = Atomic.get cell in
+  let now, out = f old in
+  if Atomic.compare_and_set cell old now then out else cas_update cell f
+
+let push t ~slot x = cas_update t.deques.(slot) (fun l -> (x :: l, ()))
+
+(* Park at the tail: the owner cycles past a blocked token instead of
+   spinning on it, and a thief will find it first. *)
+let push_back t ~slot x = cas_update t.deques.(slot) (fun l -> (l @ [ x ], ()))
+
+let pop t ~slot =
+  cas_update t.deques.(slot) (function
+    | [] -> ([], None)
+    | x :: rest -> (rest, Some x))
+
+let steal_from t victim =
+  cas_update t.deques.(victim) (fun l ->
+      match List.rev l with
+      | [] -> ([], None)
+      | x :: rest_rev -> (List.rev rest_rev, Some x))
+
+(* Scan victims round-robin from the thief's right neighbour — a
+   deterministic probe order, so contention spreads instead of every
+   thief hammering slot 0. *)
+let steal t ~thief =
+  let n = slots t in
+  let rec go k =
+    if k >= n then None
+    else
+      let v = (thief + k) mod n in
+      if v = thief then go (k + 1)
+      else
+        match steal_from t v with Some _ as r -> r | None -> go (k + 1)
+  in
+  go 1
+
+type 'a claim = Own of 'a | Stolen of 'a | Empty
+
+(* One claim: local LIFO first, then steal. *)
+let claim t ~slot =
+  match pop t ~slot with
+  | Some x -> Own x
+  | None -> ( match steal t ~thief:slot with Some x -> Stolen x | None -> Empty)
+
+let length t =
+  Array.fold_left (fun acc d -> acc + List.length (Atomic.get d)) 0 t.deques

@@ -1,0 +1,57 @@
+(** Work-stealing deques for the epoch scheduler.
+
+    One deque per worker slot.  The owner treats its deque as a LIFO
+    stack ({!push} / {!pop}); blocked work is parked at the tail with
+    {!push_back}; an idle slot takes the {e oldest} entry of another
+    slot's deque with {!steal} (FIFO from the victim's point of view).
+
+    Deques hold opaque {e tokens}.  The epoch scheduler's tokens are
+    shard cursors: holding one is the exclusive right to run that
+    shard's next ready row, so shard state needs no lock — exclusivity
+    travels through the queue.  Every transfer is a single CAS on the
+    victim deque, which gives the two properties the scheduler's
+    exactly-once argument needs:
+
+    - {b no duplication}: a successful CAS removes the token from the
+      deque atomically — two claimants cannot both obtain it;
+    - {b no loss}: a token is always either in exactly one deque or
+      held by the worker that popped/stole it (and is pushed back or
+      retired by that worker).
+
+    The CAS also orders memory: whatever the previous holder wrote
+    before releasing the token is visible to the next holder. *)
+
+type 'a t
+
+(** [create ~slots] — one empty deque per slot (clamped to ≥ 1). *)
+val create : slots:int -> 'a t
+
+val slots : 'a t -> int
+
+(** Owner push, head of [slot]'s deque (LIFO). *)
+val push : 'a t -> slot:int -> 'a -> unit
+
+(** Owner push at the tail — parks a currently-blocked token where the
+    owner will retry it last and a thief will find it first. *)
+val push_back : 'a t -> slot:int -> 'a -> unit
+
+(** Owner pop from the head; [None] when the deque is empty. *)
+val pop : 'a t -> slot:int -> 'a option
+
+(** Take the oldest entry of some other slot's deque, probing victims
+    round-robin from [thief + 1]; [None] when every other deque is
+    empty.  Safe from any domain. *)
+val steal : 'a t -> thief:int -> 'a option
+
+type 'a claim =
+  | Own of 'a  (** popped from the claimant's own deque *)
+  | Stolen of 'a  (** taken from another slot's deque *)
+  | Empty  (** every deque empty (work may still be in flight) *)
+
+(** [claim t ~slot] — local LIFO pop first, then steal. *)
+val claim : 'a t -> slot:int -> 'a claim
+
+(** Total tokens currently enqueued across all deques (racy under
+    concurrent mutation — meant for tests and termination checks where
+    the caller knows the queue is quiescent). *)
+val length : 'a t -> int

@@ -86,6 +86,26 @@ val idle_time : t -> float
     reports per worker. *)
 val idle_times : t -> float array
 
+(** {2 Charged accounting}
+
+    Park time only measures waits on the barrier condition variable.  A
+    submit-mode job that loops hunting for work never parks, so it
+    reports its own empty-handed time through these: [charge_idle] for
+    time with genuinely nothing to run anywhere, [charge_steal_wait]
+    for time spent probing other slots' queues before work was found.
+    Each slot must only be charged by the domain running that slot's
+    job; read the totals after {!drain}. *)
+
+val charge_idle : t -> slot:int -> float -> unit
+val charge_steal_wait : t -> slot:int -> float -> unit
+
+(** Per-slot park seconds plus charged idle — the true "had nothing to
+    do" figure for submit-mode jobs ({!idle_times} stays park-only). *)
+val charged_idle_times : t -> float array
+
+(** Per-slot charged steal-probe seconds. *)
+val steal_wait_times : t -> float array
+
 (** Stop and join every worker.  Idempotent; the pool must not be
     stepped afterwards. *)
 val shutdown : t -> unit

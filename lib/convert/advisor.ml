@@ -108,8 +108,15 @@ let eq_conjunct_field c =
   | Cond.Cmp (Cond.Eq, (Cond.Const _ | Cond.Var _), Cond.Field f) -> Some f
   | _ -> None
 
-let index_suggestions schema query =
-  let plan = Ccv_plan.Plan.of_query schema query in
+(* With [stats] the advice is observational, not structural: the plan
+   is costed under the snapshot, the message carries the observed
+   cardinalities, and cold scans are not advised at all — a scan over a
+   handful of instances beats index maintenance, and a field with one
+   distinct value gains nothing from a probe. *)
+let hot_scan_floor = 16
+
+let index_suggestions ?stats schema query =
+  let plan = Ccv_plan.Plan.of_query ?stats schema query in
   List.rev
     (Ccv_plan.Plan.fold_steps
        (fun acc (st : Ccv_plan.Plan.step) ->
@@ -118,17 +125,38 @@ let index_suggestions schema query =
          | Ccv_plan.Plan.Key_lookup -> acc
          | Ccv_plan.Plan.Extent_scan | Ccv_plan.Plan.Assoc_scan _ -> (
              match List.find_map eq_conjunct_field st.conjuncts with
-             | Some f ->
+             | Some f -> (
                  let target = Symbol.name st.target in
-                 { severity = `Advice;
-                   message =
-                     Fmt.str
-                       "equality on %s.%s is served by a scan — declare the \
-                        index (Sdb.ensure_index db %S %S) and the access \
-                        becomes an indexed probe"
-                       target f target f;
-                 }
-                 :: acc
+                 let advise detail =
+                   { severity = `Advice;
+                     message =
+                       Fmt.str
+                         "equality on %s.%s is served by a scan%s — declare \
+                          the index (Sdb.ensure_index db %S %S) and the \
+                          access becomes an indexed probe"
+                         target f detail target f;
+                   }
+                   :: acc
+                 in
+                 match stats with
+                 | None -> advise ""
+                 | Some st -> (
+                     let count =
+                       Option.value ~default:0
+                         (Ccv_plan.Stats.entity_count st target)
+                     in
+                     match Ccv_plan.Stats.field_stat st target f with
+                     | Some fs when count >= hot_scan_floor && fs.distinct >= 2
+                       ->
+                         advise
+                           (Fmt.str
+                              " over %d stored instance(s) (%d distinct \
+                               value(s), largest bucket %d)"
+                              count fs.distinct fs.max_bucket)
+                     | None when count >= hot_scan_floor ->
+                         advise
+                           (Fmt.str " over %d stored instance(s)" count)
+                     | Some _ | None -> acc))
              | None -> acc))
        [] plan)
 

@@ -30,4 +30,14 @@ type suggestion = {
 }
 
 val review : Semantic.t -> Aprog.t -> suggestion list
+
+(** The scan-vs-index advice alone, for one query.  Without [stats],
+    the advice is structural (every scanned equality); with [stats] —
+    e.g. the serving layer's current, drift-rebased snapshot — only
+    scans that are {e hot under the observed cardinalities} are
+    advised, and the message carries the observed extent size and
+    bucket profile alongside the concrete [Sdb.ensure_index] call. *)
+val index_suggestions :
+  ?stats:Ccv_plan.Stats.t -> Semantic.t -> Apattern.t -> suggestion list
+
 val pp_suggestion : Format.formatter -> suggestion -> unit

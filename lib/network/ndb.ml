@@ -9,7 +9,13 @@ type entry = { rtype : string; row : Row.t }
 type t = {
   schema : Nschema.t;
   records : entry Imap.t;
-  sets : int list Imap.t Smap.t;  (** set name -> owner key -> members *)
+  sets : int list Imap.t Smap.t;
+      (** set name -> owner key -> members.  Chains of CHRONOLOGICAL
+          sets are stored newest-first so CONNECT is a prepend instead
+          of an O(chain) append (bulk loads insert thousands of members
+          into one hot occurrence); readers canonicalise through
+          [canon_chain].  SORTED chains are stored in canonical
+          order — their insertion is order-driven anyway. *)
   member_of : int Smap.t Imap.t;  (** member key -> set name -> owner key *)
   by_type : Iset.t Smap.t;  (** record type -> keys of that type *)
   eq_indexes : Iset.t Vmap.t Smap.t;
@@ -238,6 +244,12 @@ let lookup_eq_silent t ~rtype ~field v =
         | None -> []
         | Some ks -> Iset.elements ks)
 
+(* Stored chain -> canonical member order (see the [sets] doc). *)
+let canon_chain (decl : Nschema.set_decl) ms =
+  match decl.order with
+  | Nschema.Chronological -> List.rev ms
+  | Nschema.Sorted _ -> ms
+
 let members_gen ~charge t ~set ~owner =
   let set = Field.canon set in
   match Smap.find_opt set t.sets with
@@ -247,7 +259,7 @@ let members_gen ~charge t ~set ~owner =
       (* One read fetches the occurrence's member chain; the records
          themselves are charged when a consumer actually views them. *)
       if charge then Counters.record_read t.counters;
-      ms
+      canon_chain (Nschema.find_set_exn t.schema set) ms
 
 let members t ~set ~owner = members_gen ~charge:true t ~set ~owner
 let members_silent t ~set ~owner = members_gen ~charge:false t ~set ~owner
@@ -256,12 +268,13 @@ let occurrences t set =
   let set = Field.canon set in
   let decl = Nschema.find_set_exn t.schema set in
   let occs = Smap.find set t.sets in
+  let chain okey =
+    canon_chain decl (Option.value (Imap.find_opt okey occs) ~default:[])
+  in
   match decl.owner with
-  | Nschema.System -> [ (system_key, Option.value (Imap.find_opt system_key occs) ~default:[]) ]
+  | Nschema.System -> [ (system_key, chain system_key) ]
   | Nschema.Owner_record orty ->
-      List.map
-        (fun okey -> (okey, Option.value (Imap.find_opt okey occs) ~default:[]))
-        (all_keys_silent t orty)
+      List.map (fun okey -> (okey, chain okey)) (all_keys_silent t orty)
 
 (* Sort-key extraction: prefer the live view, fall back to a supplied
    seed row (used at STORE time when virtuals are not yet resolvable). *)
@@ -302,7 +315,14 @@ let place t (decl : Nschema.set_decl) ~seed existing member_key =
         in
         Ok (ins existing)
 
+(* Store a chain given in canonical member order, translating to the
+   internal representation (newest-first for CHRONOLOGICAL sets). *)
 let set_occurrence t set owner ms =
+  let ms =
+    match (Nschema.find_set_exn t.schema set).order with
+    | Nschema.Chronological -> List.rev ms
+    | Nschema.Sorted _ -> ms
+  in
   let occs = Smap.find set t.sets in
   { t with sets = Smap.add set (Imap.add owner ms occs) t.sets }
 
@@ -316,13 +336,31 @@ let remove_membership t ~set ~member =
   | Some m -> { t with member_of = Imap.add member (Smap.remove set m) t.member_of }
 
 let connect_internal t (decl : Nschema.set_decl) ~seed ~member ~owner =
-  let existing = members_gen ~charge:false t ~set:decl.sname ~owner in
-  match place t decl ~seed existing member with
-  | Error s -> Error s
-  | Ok ms ->
+  match decl.order with
+  | Nschema.Chronological ->
+      (* Prepend to the newest-first chain: O(log owners) instead of
+         the O(chain) append a canonical-order store would need —
+         this is the per-record cost bulk loads and the live-migration
+         fault-in pay for every stored member. *)
+      ignore seed;
       Counters.record_write t.counters;
-      let t = set_occurrence t decl.sname owner ms in
+      let occs = Smap.find decl.sname t.sets in
+      let chain = Option.value (Imap.find_opt owner occs) ~default:[] in
+      let t =
+        { t with
+          sets =
+            Smap.add decl.sname (Imap.add owner (member :: chain) occs) t.sets;
+        }
+      in
       Ok (add_membership t ~set:decl.sname ~member ~owner)
+  | Nschema.Sorted _ -> (
+      let existing = members_gen ~charge:false t ~set:decl.sname ~owner in
+      match place t decl ~seed existing member with
+      | Error s -> Error s
+      | Ok ms ->
+          Counters.record_write t.counters;
+          let t = set_occurrence t decl.sname owner ms in
+          Ok (add_membership t ~set:decl.sname ~member ~owner))
 
 (* Owner selection for AUTOMATIC insertion. *)
 let select_owner t (decl : Nschema.set_decl) ~resolve_current ~seed =
@@ -787,11 +825,12 @@ let pp ppf t =
     t.records;
   Smap.iter
     (fun sname occs ->
+      let decl = Nschema.find_set_exn t.schema sname in
       Imap.iter
         (fun owner ms ->
           if ms <> [] then
             Fmt.pf ppf "@[%s: #%d -> [%a]@]@." sname owner
               Fmt.(list ~sep:(any "; ") int)
-              ms)
+              (canon_chain decl ms))
         occs)
     t.sets

@@ -12,6 +12,8 @@ type config = {
   epoch_serving : bool;
   epoch_batch : int;
   epoch_lag : int;
+  steal : bool;
+  split_threshold : int;
   live_migration : bool;
   backfill_batch : int;
   backfill_lag : int;
@@ -33,6 +35,8 @@ let default_config =
     epoch_serving = true;
     epoch_batch = 16;
     epoch_lag = 2;
+    steal = true;
+    split_threshold = 0;
     live_migration = false;
     backfill_batch = 64;
     backfill_lag = 1;
@@ -53,6 +57,11 @@ type divergence = {
   detail : string;
 }
 
+(* Per-slot scheduler activity under work stealing: how many sub-rows
+   the slot executed, how many of its claims were steals, and how many
+   of the executed sub-rows were fragments of a split row. *)
+type slot_steal = { sub_rows_run : int; stolen : int; split_frags : int }
+
 type report = {
   outcomes : Shadow.outcome list;
   transitions : Cutover.transition list;
@@ -67,6 +76,9 @@ type report = {
   epoch_serving : bool;
   pool_idle_s : float;
   worker_idle_s : float list;
+  steal_wait_s : float list;
+  steal_stats : slot_steal list option;
+  index_advice : string list;
   prepare_s : float;
   wall_s : float;
   migration : Migrate.summary option;
@@ -381,8 +393,29 @@ type epoch_payload =
   | Done of Shadow.outcome list * string option
   | Failed of fault
 
+(* Merging split sub-rows (ascending subseq, left = lower): outcome
+   lists concatenate — the sub-chunks partition the row's slice in
+   order, so concatenation restores exactly the payload an unsplit
+   execution would have published; a fault anywhere in the row
+   supersedes the partial outcomes, exactly as an unsplit worker
+   discards the outcomes it ran before the faulting request; the first
+   fragment to observe the shard's migration failure carries the
+   message (the flag is sticky, so later fragments agree). *)
+let merge_payload a b =
+  match a, b with
+  | (Failed _ as f), _ -> f
+  | _, (Failed _ as f) -> f
+  | Done (o1, m1), Done (o2, m2) ->
+      Done (o1 @ o2, (match m1 with Some _ -> m1 | None -> m2))
+
+(* A shard cursor: holding the token is the exclusive right to run
+   shard [ts]'s next pending sub-row.  Exclusivity travels through the
+   steal queue, so the mutable fields need no lock — only the current
+   holder touches them, and the queue's CAS orders each handoff. *)
+type token = { ts : int; mutable trow : int; mutable tsub : int }
+
 let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
-    ~wait_idle requests =
+    ~wait_idle ~steal_exec ~steal_stolen ~steal_splits requests =
   let ebatch = max 1 config.epoch_batch in
   let lag = max 1 config.epoch_lag in
   let shard_rows =
@@ -393,7 +426,27 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
   let rows = Array.map Array.length shard_rows in
   if config.live_migration then
     drain_unrouted_shards ~shards ~rows_of:(fun s -> rows.(s));
-  let buf = Epoch.create ~rows in
+  (* Hot-shard row splitting (steal mode only): a row longer than the
+     threshold is cut into sub-rows that successive holders of the
+     shard's token execute back-to-back — several workers end up
+     pipelining one hot shard's row while the reorder buffer merges the
+     fragments back into a single cell.  [sub_rows.(s).(e)] is the
+     row's partition as [(seq_base, chunk)] pairs; an unsplit row is
+     the single pair [(0, row)]. *)
+  let thr =
+    if config.steal && config.split_threshold > 0 then config.split_threshold
+    else 0
+  in
+  let sub_rows =
+    Array.map
+      (Array.map (fun row ->
+           if thr > 0 && List.length row > thr then
+             Array.of_list
+               (List.mapi (fun k c -> (k * thr, c)) (chunks thr row))
+           else [| (0, row) |]))
+      shard_rows
+  in
+  let buf = Epoch.create ~merge:merge_payload ~rows () in
   let total = Epoch.total_rows buf in
   let plan = Array.init total (fun _ -> Snapshot.cell None) in
   for e = 0 to min lag total - 1 do
@@ -408,14 +461,18 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
     f ();
     wait_idle.(w) <- wait_idle.(w) +. (clock () -. t0)
   in
-  let exec_chunk ~live ~phase ~migration_ok s e =
+  (* Run sub-chunk [k] of row [(s, e)]; [seq] stays the request's rank
+     within the whole row ([seq_base + i]), so outcome keys are
+     identical whether or not the row was split. *)
+  let exec_sub ~live ~phase ~migration_ok s e k =
+    let seq_base, chunk = sub_rows.(s).(e).(k) in
     let out = ref [] and fault = ref None in
     List.iteri
-      (fun seq r ->
+      (fun i r ->
         if !fault = None then
           match
             exec_request ~config ~shards ~phase ~migration_ok ~live s ~epoch:e
-              ~seq r
+              ~seq:(seq_base + i) r
           with
           | o -> out := o :: !out
           | exception ex ->
@@ -425,7 +482,7 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
                     at_request = r.Request.id;
                     fault_detail = Printexc.to_string ex;
                   })
-      shard_rows.(s).(e);
+      chunk;
     match !fault with
     | Some f -> Failed f
     | None -> Done (List.rev !out, Shard.migration_failed shards.(s))
@@ -449,7 +506,7 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
       | Some (phase, mok) ->
           if config.live_migration && mok then
             backfill_shard ~config ~shards s ~rows:rows.(s) ~row:e;
-          (match exec_chunk ~live ~phase ~migration_ok:mok s e with
+          (match exec_sub ~live ~phase ~migration_ok:mok s e 0 with
           | Failed f as p ->
               publish s e p;
               for e' = e + 1 to rows.(s) - 1 do
@@ -469,27 +526,8 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
      which slot ran which shard, so clamping changes wall clock
      only. *)
   let owned w = List.filter (fun s -> s mod eff = w) (List.init nshards Fun.id) in
-  let worker_job w =
-    let live = locals.(w) in
-    let my = owned w in
-    let next = Array.make nshards 0 in
-    let publish s e p = Snapshot.post mailboxes.(s) (e, p) in
-    let spins = ref 0 in
-    while List.exists (fun s -> next.(s) < rows.(s)) my do
-      let progress =
-        List.fold_left (fun p s -> advance ~live ~next ~publish s || p) false my
-      in
-      if progress then spins := 0
-      else if !spins < 200 then begin
-        incr spins;
-        Domain.cpu_relax ()
-      end
-      else idle_wait w (fun () -> Unix.sleepf 50e-6)
-    done
-  in
-  if eff > 1 then Workpool.submit pool worker_job;
-  (* Coordinator: interleaves executing its own shards, draining the
-     mailboxes, and consuming complete rows in canonical order. *)
+  (* Coordinator state: interleaves executing work of its own, draining
+     the mailboxes, and consuming complete rows in canonical order. *)
   let outcomes_rev = ref [] and div_rev = ref [] in
   let error = ref None in
   let mig_failed = ref false in
@@ -576,9 +614,6 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
               (Some (Cutover.phase ctl, not !mig_failed))
         end
   in
-  let my = owned 0 in
-  let next = Array.make nshards 0 in
-  let publish s e p = Epoch.publish buf ~shard:s ~epoch:e p in
   let drain_mailboxes () =
     let got = ref false in
     Array.iteri
@@ -587,7 +622,9 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
         | [] -> ()
         | posts ->
             got := true;
-            List.iter (fun (e, p) -> Epoch.publish buf ~shard:s ~epoch:e p)
+            List.iter
+              (fun (e, k, n, p) ->
+                Epoch.publish_sub buf ~shard:s ~epoch:e ~subseq:k ~nsub:n p)
               posts)
       mailboxes;
     !got
@@ -613,34 +650,233 @@ let serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains ~eff
     !error <> None || Epoch.frontier buf >= total
     || Atomic.get halt_at <= Epoch.frontier buf
   in
-  let spins = ref 0 in
-  let running = ref true in
-  while !running do
-    let progress =
-      List.fold_left
-        (fun p s -> advance ~live:locals.(0) ~next ~publish s || p)
-        false my
-    in
-    let progress = drain_mailboxes () || progress in
-    let progress = pop_rows () || progress in
-    if finished () then running := false
-    else if progress then spins := 0
-    else if eff > 1 && Workpool.quiescent pool then begin
-      (* workers exited; whatever they posted is final — one last
-         sweep, then anything still missing means a job died *)
-      Workpool.drain pool;
-      ignore (drain_mailboxes ());
-      ignore (pop_rows ());
-      if not (finished ()) then
-        failwith "epoch serving: workers exited without completing their rows";
-      running := false
-    end
-    else if !spins < 200 then begin
-      incr spins;
-      Domain.cpu_relax ()
-    end
-    else idle_wait 0 (fun () -> Unix.sleepf 50e-6)
-  done;
+  (* One coordinator iteration step shared by both schedulers:
+     [produce] is whatever scheduling strategy the coordinator itself
+     contributes per iteration. *)
+  let coordinator_loop produce =
+    let spins = ref 0 in
+    let running = ref true in
+    while !running do
+      let progress = produce () in
+      let progress = drain_mailboxes () || progress in
+      let progress = pop_rows () || progress in
+      if finished () then running := false
+      else if progress then spins := 0
+      else if eff > 1 && Workpool.quiescent pool then begin
+        (* workers exited; whatever they posted is final — one last
+           sweep, then anything still missing means a job died *)
+        Workpool.drain pool;
+        ignore (drain_mailboxes ());
+        ignore (pop_rows ());
+        if not (finished ()) then
+          failwith
+            "epoch serving: workers exited without completing their rows";
+        running := false
+      end
+      else if !spins < 200 then begin
+        incr spins;
+        Domain.cpu_relax ()
+      end
+      else idle_wait 0 (fun () -> Unix.sleepf 50e-6)
+    done
+  in
+  (if not config.steal then begin
+     (* Pinned scheduler (the pre-PR10 baseline, kept for A/B runs):
+        shard ownership strides statically over the engaged slots, so
+        a hot shard is stuck with whichever worker owns it. *)
+     let worker_job w =
+       let live = locals.(w) in
+       let my = owned w in
+       let next = Array.make nshards 0 in
+       let publish s e p = Snapshot.post mailboxes.(s) (e, 0, 1, p) in
+       let spins = ref 0 in
+       while List.exists (fun s -> next.(s) < rows.(s)) my do
+         let progress =
+           List.fold_left
+             (fun p s -> advance ~live ~next ~publish s || p)
+             false my
+         in
+         if progress then spins := 0
+         else if !spins < 200 then begin
+           incr spins;
+           Domain.cpu_relax ()
+         end
+         else idle_wait w (fun () -> Unix.sleepf 50e-6)
+       done
+     in
+     if eff > 1 then Workpool.submit pool worker_job;
+     let my = owned 0 in
+     let next = Array.make nshards 0 in
+     let publish s e p = Epoch.publish buf ~shard:s ~epoch:e p in
+     coordinator_loop (fun () ->
+         List.fold_left
+           (fun p s -> advance ~live:locals.(0) ~next ~publish s || p)
+           false my)
+   end
+   else begin
+     (* Work-stealing scheduler: shard cursors circulate as tokens in
+        per-slot deques; any idle slot (the coordinator included)
+        claims the next ready token — its own first, then a steal —
+        so a hot shard's rows migrate to whoever has cycles instead of
+        queueing behind one pinned owner. *)
+     let q = Stealqueue.create ~slots:eff in
+     let pending = Atomic.make 0 in
+     Array.iteri
+       (fun s n ->
+         if n > 0 then begin
+           Atomic.incr pending;
+           Stealqueue.push q ~slot:(s mod eff) { ts = s; trow = 0; tsub = 0 }
+         end)
+       rows;
+     (* Complete shard [tok.ts]'s remaining sub-rows with [Failed f],
+        starting at the cursor, and park the cursor at the end: rows
+        behind a dead shard must not stall the canonical order. *)
+     let fault_fill publish tok f =
+       let s = tok.ts in
+       let e0 = tok.trow in
+       if e0 < rows.(s) then begin
+         let n0 = Array.length sub_rows.(s).(e0) in
+         for k = tok.tsub to n0 - 1 do
+           publish s e0 k n0 (Failed f)
+         done;
+         for e' = e0 + 1 to rows.(s) - 1 do
+           let n' = Array.length sub_rows.(s).(e') in
+           for k = 0 to n' - 1 do
+             publish s e' k n' (Failed f)
+           done
+         done
+       end;
+       tok.trow <- rows.(s);
+       tok.tsub <- 0
+     in
+     let try_run_token ~slot ~live ~publish tok =
+       let s = tok.ts in
+       if tok.trow >= rows.(s) then `Finished
+       else if Atomic.get halt_at <= tok.trow then begin
+         (* rows at or past the halt fence are never consumed *)
+         tok.trow <- rows.(s);
+         tok.tsub <- 0;
+         `Finished
+       end
+       else begin
+         let e = tok.trow in
+         match Snapshot.read plan.(e) with
+         | None -> `Blocked
+         | Some (phase, mok) ->
+             let nsub = Array.length sub_rows.(s).(e) in
+             (* backfill once per row, before its first sub-row — the
+                schedule is a function of logical time, and the later
+                sub-rows run strictly after this one through the
+                token's sequential chain *)
+             if tok.tsub = 0 && config.live_migration && mok then
+               backfill_shard ~config ~shards s ~rows:rows.(s) ~row:e;
+             steal_exec.(slot) <- steal_exec.(slot) + 1;
+             if nsub > 1 then steal_splits.(slot) <- steal_splits.(slot) + 1;
+             (match exec_sub ~live ~phase ~migration_ok:mok s e tok.tsub with
+             | Failed f -> fault_fill publish tok f
+             | Done _ as p ->
+                 publish s e tok.tsub nsub p;
+                 if tok.tsub + 1 >= nsub then begin
+                   tok.trow <- e + 1;
+                   tok.tsub <- 0
+                 end
+                 else tok.tsub <- tok.tsub + 1);
+             `Progress
+       end
+     in
+     (* One claim-and-run; [`Progress] iff a sub-row ran or a token
+        retired.  Time spent probing beyond the local deque is charged
+        as steal-wait, not idle. *)
+     let run_claim ~slot ~live ~publish =
+       let t0 = clock () in
+       match Stealqueue.claim q ~slot with
+       | Stealqueue.Empty ->
+           Workpool.charge_steal_wait pool ~slot (clock () -. t0);
+           `Nothing
+       | (Stealqueue.Own tok | Stealqueue.Stolen tok) as c ->
+           (match c with
+           | Stealqueue.Stolen _ ->
+               steal_stolen.(slot) <- steal_stolen.(slot) + 1;
+               Workpool.charge_steal_wait pool ~slot (clock () -. t0)
+           | _ -> ());
+           (match
+              try try_run_token ~slot ~live ~publish tok
+              with ex ->
+                (* a scheduler-side failure (request faults are caught
+                   in [exec_sub]) must still complete the shard's rows,
+                   or peers spin on [pending] forever; best-effort
+                   fill, then retire — rows that stay unpublished
+                   anyway are caught by the quiescence sweep *)
+                let f =
+                  { at_shard = tok.ts;
+                    at_request = -1;
+                    fault_detail = "scheduler: " ^ Printexc.to_string ex;
+                  }
+                in
+                (try fault_fill publish tok f with _ -> ());
+                `Finished
+            with
+           | `Progress ->
+               (* requeue at the tail: tokens cycle round-robin, so
+                  every shard keeps pace with the arrival schedule —
+                  re-pushing at the head would grind one shard to its
+                  lag fence while the others' requests age (bursty
+                  completions, fat open-loop tail) *)
+               Stealqueue.push_back q ~slot tok;
+               `Progress
+           | `Blocked ->
+               (* park at the tail: the owner cycles past it, a thief
+                  finds it first *)
+               Stealqueue.push_back q ~slot tok;
+               `Nothing
+           | `Finished ->
+               Atomic.decr pending;
+               `Progress)
+     in
+     let steal_job w =
+       let live = locals.(w) in
+       let publish s e k n p = Snapshot.post mailboxes.(s) (e, k, n, p) in
+       let spins = ref 0 in
+       (* Exponential backoff while empty-handed: unlike a pinned
+          worker, a steal worker cannot exit when its own shards are
+          done (a hot shard may still need it), so on an oversubscribed
+          host a fixed short nap would keep preempting the slot that is
+          actually serving.  Doubling toward a cap approximates the
+          pinned worker's exit without giving up work conservation. *)
+       let nap = ref 50e-6 in
+       while Atomic.get pending > 0 do
+         match run_claim ~slot:w ~live ~publish with
+         | `Progress ->
+             spins := 0;
+             nap := 50e-6
+         | `Nothing ->
+             if !spins < 200 then begin
+               incr spins;
+               Domain.cpu_relax ()
+             end
+             else begin
+               (* truly idle: nothing runnable anywhere right now *)
+               let t0 = clock () in
+               Unix.sleepf !nap;
+               nap := Float.min (2. *. !nap) 2e-3;
+               Workpool.charge_idle pool ~slot:w (clock () -. t0)
+             end
+       done
+     in
+     if eff > 1 then Workpool.submit pool steal_job;
+     (* the coordinator claims like any other slot, but publishes into
+        the reorder buffer directly — no mailbox hop for slot 0 *)
+     let publish_direct s e k n p =
+       Epoch.publish_sub buf ~shard:s ~epoch:e ~subseq:k ~nsub:n p
+     in
+     (* one claim per loop pass: the coordinator must come back to the
+        mailboxes (and the plan-cell publication consuming drives)
+        after every sub-row, or workers block on unpublished phase
+        cells while it grinds through a burst *)
+     coordinator_loop (fun () ->
+         run_claim ~slot:0 ~live:locals.(0) ~publish:publish_direct
+         = `Progress)
+   end);
   if eff > 1 then Workpool.drain pool;
   match !error with
   | Some f -> Error f
@@ -685,6 +921,11 @@ let run ?(config = default_config) ~cutover req sdb requests =
       (* epoch-mode frontier waits, per slot; stays zero in barrier
          mode where the pool's park time is the only idle *)
       let wait_idle = Array.make ndomains 0. in
+      (* steal-scheduler activity, per slot; each cell is written only
+         by the domain running that slot and read after the drain *)
+      let steal_exec = Array.make ndomains 0 in
+      let steal_stolen = Array.make ndomains 0 in
+      let steal_splits = Array.make ndomains 0 in
       (* slots the epoch scheduler actually engages: past the hardware
          domain count a slot competes with the coordinator for cores
          instead of helping it *)
@@ -697,7 +938,7 @@ let run ?(config = default_config) ~cutover req sdb requests =
       let result =
         if config.epoch_serving then
           serve_epochs ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains
-            ~eff ~wait_idle requests
+            ~eff ~wait_idle ~steal_exec ~steal_stolen ~steal_splits requests
         else
           serve_ticks ~config ~pool ~shards ~ctl ~metrics ~nshards ~ndomains
             requests
@@ -714,13 +955,65 @@ let run ?(config = default_config) ~cutover req sdb requests =
                 Ccv_plan.Plan_cache.add_stats acc (Shard.plan_stats s))
               Ccv_plan.Plan_cache.zero_stats shards
           in
-          let park = Workpool.idle_times pool in
+          (* true idle = barrier park time + the idle a steal worker
+             charged itself while nothing was runnable; steal-probe
+             time is reported separately, it is not idleness *)
+          let park = Workpool.charged_idle_times pool in
+          let swait = Workpool.steal_wait_times pool in
           (* slots the epoch scheduler left dark report 0: they were
              never asked to serve, so their park time is not
              coordination overhead *)
           let worker_idle_s =
             List.init ndomains (fun i ->
                 if i < eff then park.(i) +. wait_idle.(i) else 0.)
+          in
+          let steal_wait_s =
+            List.init ndomains (fun i -> if i < eff then swait.(i) else 0.)
+          in
+          let steal_stats =
+            if config.epoch_serving && config.steal then
+              Some
+                (List.init ndomains (fun i ->
+                     { sub_rows_run = steal_exec.(i);
+                       stolen = steal_stolen.(i);
+                       split_frags = steal_splits.(i);
+                     }))
+            else None
+          in
+          (* Serving-time index advice: re-run the plan-layer scan
+             advisor under the statistics current plans are costed
+             under (rebased on drift), once per distinct program — the
+             report names the concrete [Sdb.ensure_index] calls whose
+             absence leaves a hot equality served by a scan. *)
+          let index_advice =
+            match
+              Array.fold_left
+                (fun acc sh ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> Shard.baseline_stats sh)
+                None shards
+            with
+            | None -> []
+            | Some stats ->
+                let seen = Hashtbl.create 8 in
+                List.concat_map
+                  (fun (r : Request.t) ->
+                    let p = r.Request.aprog in
+                    let name = p.Ccv_abstract.Aprog.name in
+                    if Hashtbl.mem seen name then []
+                    else begin
+                      Hashtbl.add seen name ();
+                      List.concat_map
+                        (fun query ->
+                          List.map
+                            (fun s -> s.Ccv_convert.Advisor.message)
+                            (Ccv_convert.Advisor.index_suggestions ~stats
+                               req.Ccv_convert.Supervisor.source_schema query))
+                        (Ccv_abstract.Aprog.queries p)
+                    end)
+                  requests
+                |> List.sort_uniq String.compare
           in
           let migration =
             if not config.live_migration then None
@@ -782,6 +1075,9 @@ let run ?(config = default_config) ~cutover req sdb requests =
               epoch_serving = config.epoch_serving;
               pool_idle_s = List.fold_left ( +. ) 0. worker_idle_s;
               worker_idle_s;
+              steal_wait_s;
+              steal_stats;
+              index_advice;
               prepare_s;
               wall_s = clock () -. t0;
               migration;
@@ -807,6 +1103,28 @@ let render r =
        r.pool_idle_s
        (String.concat ", "
           (List.map (Printf.sprintf "%.3f") r.worker_idle_s)));
+  (match r.steal_stats with
+  | None -> ()
+  | Some slots ->
+      Buffer.add_string b
+        (Printf.sprintf "steal scheduler: %s; steal-wait %.3fs (%s)\n"
+           (String.concat ", "
+              (List.mapi
+                 (fun i s ->
+                   Printf.sprintf "slot %d ran %d sub-row(s) (%d stolen, %d split)"
+                     i s.sub_rows_run s.stolen s.split_frags)
+                 slots))
+           (List.fold_left ( +. ) 0. r.steal_wait_s)
+           (String.concat ", "
+              (List.map (Printf.sprintf "%.3f") r.steal_wait_s))));
+  (match r.index_advice with
+  | [] -> ()
+  | advice ->
+      Buffer.add_string b
+        (Printf.sprintf "index advice (%d):\n" (List.length advice));
+      List.iter
+        (fun m -> Buffer.add_string b (Printf.sprintf "  - %s\n" m))
+        advice);
   (match r.migration with
   | None -> ()
   | Some m ->

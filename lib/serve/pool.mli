@@ -66,6 +66,22 @@ type config = {
   epoch_lag : int;
       (** how many rows ahead of the controller the phase plan is
           published — the pipeline depth; clamped to at least 1 *)
+  steal : bool;
+      (** epoch mode only: schedule epoch rows through a work-stealing
+          deque ({!Ccv_common.Stealqueue}) instead of pinning shard [s]
+          to worker [s mod domains].  Shard cursors circulate as
+          tokens; any idle slot — the coordinator included — claims the
+          next ready row regardless of shard, so a hot shard's backlog
+          migrates to whoever has cycles.  Results still flow through
+          the reorder buffer, so outcomes, transitions and divergence
+          logs are bit-identical to the pinned schedule at any domain
+          count.  Default [true]. *)
+  split_threshold : int;
+      (** with [steal], rows longer than this many requests are split
+          into sub-rows executed by successive token holders and
+          re-merged inside the reorder buffer ({!Ccv_common.Epoch}
+          [publish_sub]) — several workers pipeline one hot shard's
+          row.  [0] (the default) disables splitting. *)
   live_migration : bool;
       (** serve while migrating: shards start with an {e empty} target
           replica ({!Shard.create} [~live]) that fills by per-request
@@ -117,6 +133,13 @@ type divergence = {
   detail : string;  (** names the first differing event *)
 }
 
+(** Per-slot steal-scheduler activity. *)
+type slot_steal = {
+  sub_rows_run : int;  (** sub-rows this slot executed *)
+  stolen : int;  (** claims served by stealing another slot's token *)
+  split_frags : int;  (** executed sub-rows that were split fragments *)
+}
+
 type report = {
   outcomes : Shadow.outcome list;
       (** all served requests, in consumption order: request-id order
@@ -144,6 +167,19 @@ type report = {
           skew between slots is the load-imbalance signal.  Slots the
           epoch scheduler left dark (beyond the hardware domain count)
           report 0. *)
+  steal_wait_s : float list;
+      (** per-slot seconds spent probing beyond the local deque (a
+          claim that stole, or came up empty) — separated from idle:
+          a slot hunting for work is load-shedding, not starved *)
+  steal_stats : slot_steal list option;
+      (** per-slot scheduler activity; [None] outside steal mode *)
+  index_advice : string list;
+      (** serving-time {!Ccv_convert.Advisor.index_suggestions} under
+          the statistics current plans are costed under (drift-rebased
+          when [stats_every] fired): concrete [Sdb.ensure_index] calls
+          for hot equalities still served by scans, deduplicated over
+          the stream's distinct programs.  Empty without
+          [cost_based_plans]. *)
   prepare_s : float;
       (** seconds from the start of [run] until the pool could serve
           its first request — bulk replica preparation, or the (cheap)

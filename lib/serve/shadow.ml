@@ -20,6 +20,7 @@ type outcome = {
   refused : bool;
   served_trace : Io_trace.t;
   latency_us : float;
+  done_at : float;  (* completion stamp on the pool clock *)
   source_accesses : int;
   target_accesses : int;
 }

@@ -26,6 +26,11 @@ type outcome = {
   refused : bool;  (** conversion refused; served by the source *)
   served_trace : Io_trace.t;
   latency_us : float;
+  done_at : float;
+      (** completion stamp on the pool clock — lets an open-loop bench
+          compute latency from the request's {e intended} arrival time
+          rather than its service start, avoiding coordinated
+          omission *)
   source_accesses : int;
   target_accesses : int;
 }

@@ -248,6 +248,7 @@ let exec t ~phase ~tolerate_reordering ~canary_seed ?(migration_ok = true)
       ~source_accesses ~target_accesses =
     Counters.local_record_reads live (source_accesses + target_accesses);
     Counters.local_record_write live;
+    let tdone = clock () in
     { Shadow.request;
       shard = t.shard_id;
       epoch;
@@ -259,7 +260,8 @@ let exec t ~phase ~tolerate_reordering ~canary_seed ?(migration_ok = true)
       divergent;
       refused;
       served_trace;
-      latency_us = (clock () -. t0) *. 1e6;
+      latency_us = (tdone -. t0) *. 1e6;
+      done_at = tdone;
       source_accesses;
       target_accesses;
     }

@@ -11,6 +11,11 @@ open Ccv_model
    is pure CPU, and striding it over more slots than the host has
    cores runs slower than sequential (BENCH_PR5 measured 0.31x with 8
    pool slots on a smaller host). *)
+(* Rendered-key identity for hashing: [Value.show] is how migrate and
+   the loaders spell key equality, and structural Hashtbl equality on
+   raw values would diverge from [Value.compare]'s numeric coercions. *)
+let key_repr key = String.concat "|" (List.map Value.show key)
+
 let pmap ?pool f xs =
   match pool with
   | Some p when Workpool.size p > 1 ->
@@ -184,14 +189,23 @@ let translate ?pool db op =
           in
           (* the per-link owner/group lookups are the bulk of the
              interposition; stage them chunked on the pool, then dedup
-             sequentially in link order *)
+             sequentially in link order (hashed on the rendered key so
+             the dedup is linear in the link count) *)
           let keyed_links = pmap ?pool n_key_of links in
           let n_instances =
-            List.fold_left
-              (fun acc -> function
-                | Some pair when not (List.mem pair acc) -> acc @ [ pair ]
-                | Some _ | None -> acc)
-              [] keyed_links
+            let seen = Hashtbl.create 64 in
+            List.rev
+              (List.fold_left
+                 (fun acc -> function
+                   | Some ((okey, gvals) as pair) ->
+                       let repr = key_repr okey ^ "||" ^ key_repr gvals in
+                       if Hashtbl.mem seen repr then acc
+                       else begin
+                         Hashtbl.replace seen repr ();
+                         pair :: acc
+                       end
+                   | None -> acc)
+                 [] keyed_links)
           in
           let nfields, _ =
             Schema_change.interpose_entity_fields old_schema ~through ~group_by
@@ -210,16 +224,14 @@ let translate ?pool db op =
                 (Sdb.rows_silent db member.ename)
             else Sdb.rows_silent db e.ename
           in
+          let linked_rkeys = Hashtbl.create 64 in
+          List.iter
+            (fun (l : Sdb.link) -> Hashtbl.replace linked_rkeys (key_repr l.rkey) ())
+            links;
           List.iter
             (fun mrow ->
               let rkey = Sdb.key_of member mrow in
-              if
-                not
-                  (List.exists
-                     (fun (l : Sdb.link) ->
-                       List.compare Value.compare l.rkey rkey = 0)
-                     links)
-              then
+              if not (Hashtbl.mem linked_rkeys (key_repr rkey)) then
                 warnings :=
                   Fmt.str "%s %s: grouped values lost (no %s partner)"
                     member.ename
@@ -260,13 +272,18 @@ let translate ?pool db op =
               n.fields
           in
           let right_links = Sdb.links_silent db right_assoc in
+          (* last matching link wins, as the original fold had it;
+             hashed on the rendered member key so the per-member lookup
+             is O(1) instead of a scan over every right link *)
+          let n_key_by_member = Hashtbl.create 64 in
+          List.iter
+            (fun (l : Sdb.link) ->
+              Hashtbl.replace n_key_by_member (key_repr l.rkey) l.lkey)
+            right_links;
           let n_of_member rkey =
-            List.fold_left
-              (fun acc (l : Sdb.link) ->
-                if List.compare Value.compare l.rkey rkey = 0 then
-                  Sdb.find_entity db n.ename l.lkey
-                else acc)
-              None right_links
+            match Hashtbl.find_opt n_key_by_member (key_repr rkey) with
+            | Some lkey -> Sdb.find_entity db n.ename lkey
+            | None -> None
           in
           let entity_rows (e : Semantic.entity) =
             if Field.name_equal e.ename member.ename then

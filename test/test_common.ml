@@ -399,7 +399,7 @@ let epoch_tests =
         check "then seq" true (Epoch.compare_key (k 1 1 0) (k 1 1 1) < 0);
         check "equal" true (Epoch.compare_key (k 2 3 4) (k 2 3 4) = 0));
     Alcotest.test_case "rows release only when complete" `Quick (fun () ->
-        let b = Epoch.create ~rows:[| 2; 1; 2 |] in
+        let b = Epoch.create ~rows:[| 2; 1; 2 |] () in
         check "two rows total" true (Epoch.total_rows b = 2);
         Epoch.publish b ~shard:0 ~epoch:0 "a0";
         Epoch.publish b ~shard:2 ~epoch:0 "c0";
@@ -416,7 +416,7 @@ let epoch_tests =
           (Epoch.pop_row b = None && Epoch.frontier b = 2));
     Alcotest.test_case "publish rejects double and out-of-range" `Quick
       (fun () ->
-        let b = Epoch.create ~rows:[| 1 |] in
+        let b = Epoch.create ~rows:[| 1 |] () in
         Epoch.publish b ~shard:0 ~epoch:0 "x";
         (try
            Epoch.publish b ~shard:0 ~epoch:0 "y";
@@ -446,7 +446,7 @@ let epoch_props =
         in
         let rng = Prng.create ~seed in
         let shuffled = Prng.shuffle rng all in
-        let b = Epoch.create ~rows in
+        let b = Epoch.create ~rows () in
         let drained = ref [] in
         let drain () =
           let continue_ = ref true in
@@ -476,6 +476,244 @@ let epoch_props =
                    (List.init (Array.length rows) Fun.id)))
         in
         List.rev !drained = canonical);
+  ]
+
+(* ---------------- Epoch sub-row merging ---------------- *)
+
+let epoch_sub_tests =
+  [ Alcotest.test_case "fragments merge left-to-right by subseq" `Quick
+      (fun () ->
+        let b = Epoch.create ~merge:( ^ ) ~rows:[| 1 |] () in
+        (* out-of-order arrival; the fold must still be ascending *)
+        Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:2 ~nsub:3 "c";
+        Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:0 ~nsub:3 "a";
+        check "incomplete row stays held" true (Epoch.pop_row b = None);
+        Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:1 ~nsub:3 "b";
+        check "merged in subseq order" true
+          (Epoch.pop_row b = Some (0, [ (0, "abc") ])));
+    Alcotest.test_case "nsub = 1 is plain publish" `Quick (fun () ->
+        (* no ~merge needed for unsplit rows *)
+        let b = Epoch.create ~rows:[| 1 |] () in
+        Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:0 ~nsub:1 "x";
+        check "published" true (Epoch.pop_row b = Some (0, [ (0, "x") ])));
+    Alcotest.test_case "publish_sub guards" `Quick (fun () ->
+        let reject name f =
+          try
+            f ();
+            Alcotest.fail (name ^ " accepted")
+          with Invalid_argument _ -> ()
+        in
+        let b = Epoch.create ~rows:[| 1 |] () in
+        reject "nsub > 1 without merge" (fun () ->
+            Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:0 ~nsub:2 "x");
+        let b = Epoch.create ~merge:( ^ ) ~rows:[| 1 |] () in
+        Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:0 ~nsub:2 "x";
+        reject "double sub publish" (fun () ->
+            Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:0 ~nsub:2 "y");
+        reject "inconsistent nsub" (fun () ->
+            Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:1 ~nsub:3 "y");
+        reject "subseq out of range" (fun () ->
+            Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:2 ~nsub:2 "y");
+        reject "nonpositive nsub" (fun () ->
+            Epoch.publish_sub b ~shard:0 ~epoch:0 ~subseq:0 ~nsub:0 "y"));
+  ]
+
+let epoch_sub_props =
+  [ QCheck.Test.make
+      ~name:"sub-row merge law: any fragment interleaving = unsplit publish"
+      ~count:200
+      QCheck.(
+        pair (int_range 1 1000)
+          (list_of_size Gen.(int_range 1 5)
+             (pair (int_range 0 3) (int_range 1 4))))
+      (fun (seed, shape) ->
+        (* shape.(s) = (rows, nsub): every row of shard s splits into
+           nsub fragments carrying singleton int lists; fragments of
+           all rows are published in a seed-shuffled order, and the
+           drain must equal the unsplit buffer's — same canonical row
+           order, each cell the concatenation of its fragments in
+           ascending subseq *)
+        let rows = Array.of_list (List.map fst shape) in
+        let nsubs = Array.of_list (List.map snd shape) in
+        let frags =
+          Array.to_list rows
+          |> List.mapi (fun s n ->
+                 List.concat
+                   (List.init n (fun e ->
+                        List.init nsubs.(s) (fun k -> (s, e, k)))))
+          |> List.concat
+        in
+        let rng = Prng.create ~seed in
+        let shuffled = Prng.shuffle rng frags in
+        let split = Epoch.create ~merge:( @ ) ~rows () in
+        let drained = ref [] in
+        let drain b acc =
+          let continue_ = ref true in
+          while !continue_ do
+            match Epoch.pop_row b with
+            | None -> continue_ := false
+            | Some (e, cells) -> acc := (e, cells) :: !acc
+          done
+        in
+        List.iter
+          (fun (s, e, k) ->
+            Epoch.publish_sub split ~shard:s ~epoch:e ~subseq:k
+              ~nsub:nsubs.(s)
+              [ (s, e, k) ];
+            drain split drained)
+          shuffled;
+        drain split drained;
+        let unsplit = Epoch.create ~rows () in
+        let expect = ref [] in
+        Array.iteri
+          (fun s n ->
+            for e = 0 to n - 1 do
+              Epoch.publish unsplit ~shard:s ~epoch:e
+                (List.init nsubs.(s) (fun k -> (s, e, k)))
+            done)
+          rows;
+        drain unsplit expect;
+        List.rev !drained = List.rev !expect);
+  ]
+
+(* ---------------- Work-stealing deques ---------------- *)
+
+let stealqueue_tests =
+  [ Alcotest.test_case "owner pops LIFO" `Quick (fun () ->
+        let q = Stealqueue.create ~slots:2 in
+        Stealqueue.push q ~slot:0 1;
+        Stealqueue.push q ~slot:0 2;
+        check "last in first out" true (Stealqueue.pop q ~slot:0 = Some 2);
+        check "then older" true (Stealqueue.pop q ~slot:0 = Some 1);
+        check "empty" true (Stealqueue.pop q ~slot:0 = None));
+    Alcotest.test_case "push_back parks at the tail" `Quick (fun () ->
+        let q = Stealqueue.create ~slots:2 in
+        Stealqueue.push q ~slot:0 1;
+        Stealqueue.push_back q ~slot:0 99;
+        Stealqueue.push q ~slot:0 2;
+        check "head is newest push" true (Stealqueue.pop q ~slot:0 = Some 2);
+        check "parked entry comes last" true
+          (Stealqueue.pop q ~slot:0 = Some 1
+          && Stealqueue.pop q ~slot:0 = Some 99));
+    Alcotest.test_case "steal takes the victim's oldest" `Quick (fun () ->
+        let q = Stealqueue.create ~slots:2 in
+        Stealqueue.push q ~slot:0 1;
+        Stealqueue.push q ~slot:0 2;
+        check "fifo from the thief's side" true
+          (Stealqueue.steal q ~thief:1 = Some 1);
+        check "owner keeps the hot end" true
+          (Stealqueue.pop q ~slot:0 = Some 2));
+    Alcotest.test_case "claim prefers its own deque" `Quick (fun () ->
+        let q = Stealqueue.create ~slots:2 in
+        Stealqueue.push q ~slot:0 10;
+        Stealqueue.push q ~slot:1 20;
+        check "own first" true (Stealqueue.claim q ~slot:0 = Stealqueue.Own 10);
+        check "then steal" true
+          (Stealqueue.claim q ~slot:0 = Stealqueue.Stolen 20);
+        check "then empty" true (Stealqueue.claim q ~slot:0 = Stealqueue.Empty));
+    Alcotest.test_case "cross-domain stealing loses nothing" `Quick (fun () ->
+        (* one owner pushing and popping, one thief stealing: every
+           token is taken exactly once across the two domains *)
+        let n = 2000 in
+        let q = Stealqueue.create ~slots:2 in
+        let stolen = ref [] in
+        let thief =
+          Domain.spawn (fun () ->
+              let taken = ref 0 in
+              (* bounded scan: stop once the owner signals exhaustion
+                 by pushing the sentinel *)
+              let stop = ref false in
+              while not !stop do
+                match Stealqueue.steal q ~thief:1 with
+                | Some x when x = -1 -> stop := true
+                | Some x ->
+                    stolen := x :: !stolen;
+                    incr taken
+                | None -> Domain.cpu_relax ()
+              done;
+              !taken)
+        in
+        let popped = ref [] in
+        for i = 0 to n - 1 do
+          Stealqueue.push q ~slot:0 i;
+          if i mod 2 = 0 then
+            match Stealqueue.pop q ~slot:0 with
+            | Some x -> popped := x :: !popped
+            | None -> ()
+        done;
+        let rec drain () =
+          match Stealqueue.pop q ~slot:0 with
+          | Some x ->
+              popped := x :: !popped;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        Stealqueue.push q ~slot:0 (-1);
+        let _ = Domain.join thief in
+        (* the thief may leave the sentinel unstolen if the owner's
+           drain raced it away — repush until joined handles it; here
+           the sentinel was pushed after the owner's final drain, so
+           only the thief can have taken it *)
+        let all = List.sort Int.compare (!popped @ !stolen) in
+        check "every token exactly once" true (all = List.init n Fun.id));
+  ]
+
+let stealqueue_props =
+  [ QCheck.Test.make
+      ~name:"random claim/steal/push interleavings lose and duplicate nothing"
+      ~count:300
+      QCheck.(
+        triple (int_range 1 4) (int_range 0 40) (small_list (int_range 0 5)))
+      (fun (slots, tokens, ops) ->
+        (* seed [tokens] tokens round-robin, then replay [ops] as a
+           mix of claims and re-pushes from rotating slots; finish by
+           draining every deque.  Multiset in = multiset out. *)
+        let q = Stealqueue.create ~slots in
+        for i = 0 to tokens - 1 do
+          Stealqueue.push q ~slot:(i mod slots) i
+        done;
+        let held = ref [] and out = ref [] in
+        List.iteri
+          (fun i op ->
+            let slot = i mod slots in
+            match op with
+            | 0 | 1 -> (
+                match Stealqueue.claim q ~slot with
+                | Stealqueue.Own x | Stealqueue.Stolen x ->
+                    held := x :: !held
+                | Stealqueue.Empty -> ())
+            | 2 -> (
+                (* re-enqueue something we hold, at the head *)
+                match !held with
+                | x :: rest ->
+                    held := rest;
+                    Stealqueue.push q ~slot x
+                | [] -> ())
+            | 3 -> (
+                (* park something we hold at the tail *)
+                match !held with
+                | x :: rest ->
+                    held := rest;
+                    Stealqueue.push_back q ~slot x
+                | [] -> ())
+            | _ -> (
+                match Stealqueue.steal q ~thief:slot with
+                | Some x -> out := x :: !out
+                | None -> ()))
+          ops;
+        for slot = 0 to slots - 1 do
+          let rec drain () =
+            match Stealqueue.pop q ~slot with
+            | Some x ->
+                out := x :: !out;
+                drain ()
+            | None -> ()
+          in
+          drain ()
+        done;
+        check "queue empty after drain" true (Stealqueue.length q = 0);
+        List.sort Int.compare (!out @ !held) = List.init tokens Fun.id);
   ]
 
 (* ---------------- Counters.local staging ---------------- *)
@@ -538,6 +776,10 @@ let () =
       ("snapshot", snapshot_tests);
       ("epoch", epoch_tests);
       qsuite "epoch-props" epoch_props;
+      ("epoch-sub", epoch_sub_tests);
+      qsuite "epoch-sub-props" epoch_sub_props;
+      ("stealqueue", stealqueue_tests);
+      qsuite "stealqueue-props" stealqueue_props;
       ("counters-local", local_counter_tests);
       qsuite "counters-local-props" local_counter_props;
     ]

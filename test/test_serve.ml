@@ -47,11 +47,11 @@ let requests ~seed ~n =
 
 let run_service ?(domains = 1) ?(shards = 4) ?(batch = 8)
     ?(use_plan_cache = true) ?(epoch_serving = true) ?(epoch_batch = 8)
-    ~cutover ops reqs =
+    ?(steal = true) ?(split_threshold = 0) ~cutover ops reqs =
   let config =
     { Pool.default_config with
       domains; shards; batch; canary_seed = 7; use_plan_cache;
-      epoch_serving; epoch_batch;
+      epoch_serving; epoch_batch; steal; split_threshold;
     }
   in
   match Pool.run ~config ~cutover (net_req ops) (W.Company.instance ()) reqs with
@@ -307,6 +307,183 @@ let pinned_phase_modes_agree () =
         (List.map (fun (d : Pool.divergence) -> d.Pool.div_request)
            barrier.Pool.divergences))
 
+(* ------------------------------------------------------------------ *)
+(* (d') the work-stealing scheduler: schedule-neutral by construction  *)
+
+(* Concentrate ~half the stream on shard 0 by remapping ids: index [i]
+   becomes [i * shards] (shard 0) when even, [i * shards + (i mod
+   shards)] when odd — unique, strictly increasing, shard-skewed.
+   Routing is a pure function of the id, so this is how a hot shard
+   looks to the pool. *)
+let skew_to_shard0 ~shards reqs =
+  List.mapi
+    (fun i (r : Request.t) ->
+      let id = if i mod 2 = 0 then i * shards else (i * shards) + (i mod shards) in
+      { r with Request.id })
+    reqs
+
+let steal_report_shape () =
+  let reqs = requests ~seed:808 ~n:48 in
+  let stealing =
+    run_service ~domains:2 ~shards:6 ~epoch_batch:4 ~split_threshold:3
+      ~cutover:promoting_cutover [ interpose_op ] reqs
+  in
+  let pinned =
+    run_service ~domains:2 ~shards:6 ~epoch_batch:4 ~steal:false
+      ~cutover:promoting_cutover [ interpose_op ] reqs
+  in
+  check "steal mode reports per-slot stats" true
+    (match stealing.Pool.steal_stats with
+    | Some slots ->
+        List.length slots = stealing.Pool.domains
+        && List.fold_left (fun acc s -> acc + s.Pool.sub_rows_run) 0 slots > 0
+    | None -> false);
+  check "pinned mode reports no steal stats" true
+    (pinned.Pool.steal_stats = None);
+  check "steal-wait reported per slot" true
+    (List.length stealing.Pool.steal_wait_s = stealing.Pool.domains);
+  check "splitting ran" true
+    (match stealing.Pool.steal_stats with
+    | Some slots ->
+        List.fold_left (fun acc s -> acc + s.Pool.split_frags) 0 slots > 0
+    | None -> false);
+  check "scheduling is invisible in the served output" true
+    (terminal_output stealing = terminal_output pinned
+    && stealing.Pool.transitions = pinned.Pool.transitions)
+
+let steal_worker_fault_propagates () =
+  let reqs = requests ~seed:606 ~n:40 in
+  let config =
+    { Pool.default_config with
+      domains = 2; shards = 4; canary_seed = 7; fail_request = Some 17;
+      split_threshold = 3; epoch_batch = 8;
+    }
+  in
+  match
+    Pool.run ~config ~cutover:promoting_cutover (net_req [ interpose_op ])
+      (W.Company.instance ()) reqs
+  with
+  | Ok _ -> Alcotest.fail "steal+split: injected fault did not surface"
+  | Error e ->
+      check "steal+split: error names the worker failure" true
+        (contains ~affix:"worker failure" e);
+      check "steal+split: error names the failing request" true
+        (contains ~affix:"request 17" e)
+
+(* Serving-time index advice (the §5.3 feedback loop): a program
+   qualifying EMP by a field another entity stores degenerates to an
+   extent scan (the same shape the LN003 lint flags), and once the
+   extent clears the advisor's hot-scan floor the report must name the
+   concrete [Sdb.ensure_index] call with the observed cardinality;
+   without statistics the list stays empty. *)
+let serving_index_advice () =
+  let sample = W.Company.scaled ~seed:42 ~n:120 in
+  let hot_scan =
+    { Ccv_abstract.Aprog.name = "HOT-SCAN";
+      body =
+        [ Ccv_abstract.Aprog.For_each
+            { query =
+                [ Ccv_abstract.Apattern.Self
+                    { target = W.Company.emp;
+                      qual =
+                        Cond.Cmp
+                          ( Cond.Eq, Cond.Field "DIV-NAME",
+                            Cond.Const (Value.Str "DIV001") );
+                    };
+                ];
+              body = [ Ccv_abstract.Aprog.Display [ Cond.Var "EMP.EMP-NAME" ] ];
+            };
+        ];
+    }
+  in
+  let reqs =
+    List.mapi
+      (fun i (r : Request.t) -> { r with Request.id = i })
+      ({ Request.id = 0; family = W.Generator.Retrieval; aprog = hot_scan }
+      :: Request.stream ~seed:303 W.Company.schema ~sample ~n:39 ())
+  in
+  let go cost_based_plans =
+    let config =
+      { Pool.default_config with
+        domains = 1; shards = 2; canary_seed = 7; cost_based_plans;
+      }
+    in
+    match
+      Pool.run ~config ~cutover:promoting_cutover (net_req [ interpose_op ])
+        sample reqs
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "advice service failed: %s" e
+  in
+  let costed = go true and heuristic = go false in
+  check "no statistics, no advice" true (heuristic.Pool.index_advice = []);
+  check "hot scanned equalities are advised" true
+    (costed.Pool.index_advice <> []);
+  check "advice names the concrete declaration" true
+    (List.for_all
+       (fun m -> contains ~affix:"Sdb.ensure_index" m)
+       costed.Pool.index_advice);
+  check "advice carries the observed extent size" true
+    (List.for_all
+       (fun m -> contains ~affix:"stored instance" m)
+       costed.Pool.index_advice);
+  check "advice names the scanned equality" true
+    (List.exists
+       (fun m -> contains ~affix:"EMP.DIV-NAME" m)
+       costed.Pool.index_advice);
+  check "the crafted scan serves like any other request" true
+    (List.length costed.Pool.outcomes = List.length reqs
+    && terminal_output costed = terminal_output heuristic)
+
+(* The tentpole invariant: stealing, stealing-with-splitting and the
+   pinned schedule are the same service.  Whatever stream the
+   generator deals — uniform or concentrated on one hot shard — every
+   (scheduler, domain-count) combination yields the same outcomes,
+   transitions and divergence log, field for field. *)
+let steal_pinned_fingerprint_prop =
+  QCheck.Test.make
+    ~name:"stealing = pinned = single-domain, uniform and shard-skewed"
+    ~count:6
+    QCheck.(pair (int_range 1 10_000) bool)
+    (fun (seed, skewed) ->
+      let shards = 5 in
+      let reqs =
+        let r = requests ~seed ~n:32 in
+        if skewed then skew_to_shard0 ~shards r else r
+      in
+      let go ~domains ~steal ?(split_threshold = 0) () =
+        let r =
+          run_service ~domains ~shards ~epoch_batch:4 ~steal ~split_threshold
+            ~cutover:rollback_cutover [ restrict_op ] reqs
+        in
+        ( List.map
+            (fun (o : Shadow.outcome) ->
+              ( o.Shadow.request.Request.id,
+                o.Shadow.phase,
+                o.Shadow.shard,
+                o.Shadow.epoch,
+                o.Shadow.seq,
+                o.Shadow.shadowed,
+                o.Shadow.divergent,
+                Io_trace.terminal_lines o.Shadow.served_trace ))
+            r.Pool.outcomes,
+          r.Pool.transitions,
+          r.Pool.divergences,
+          r.Pool.served,
+          Cutover.phase_name r.Pool.final_phase )
+      in
+      let reference = go ~domains:1 ~steal:false () in
+      List.for_all
+        (fun fp -> fp = reference)
+        [ go ~domains:1 ~steal:true ();
+          go ~domains:2 ~steal:true ();
+          go ~domains:8 ~steal:true ();
+          go ~domains:2 ~steal:true ~split_threshold:3 ();
+          go ~domains:8 ~steal:true ~split_threshold:1 ();
+          go ~domains:2 ~steal:false ();
+          go ~domains:8 ~steal:false ();
+        ])
+
 (* qcheck over the workload seed: whatever stream the generator deals,
    epoch serving is domain-count independent. *)
 let epoch_determinism_prop =
@@ -418,7 +595,15 @@ let () =
             worker_fault_propagates;
           Alcotest.test_case "plan cache is behaviourally transparent" `Quick
             plan_cache_transparent;
+          Alcotest.test_case "steal scheduler reports per-slot activity" `Quick
+            steal_report_shape;
+          Alcotest.test_case "worker fault propagates under steal + split"
+            `Quick steal_worker_fault_propagates;
+          Alcotest.test_case "serving-time index advice under live stats"
+            `Quick serving_index_advice;
         ] );
       ( "epoch-props",
-        [ QCheck_alcotest.to_alcotest epoch_determinism_prop ] );
+        [ QCheck_alcotest.to_alcotest epoch_determinism_prop;
+          QCheck_alcotest.to_alcotest steal_pinned_fingerprint_prop;
+        ] );
     ]
